@@ -1,0 +1,602 @@
+(* One experiment per table/figure of the paper.  Each function runs the
+   paper's measurement procedure (via Vworkload.Rigs) and prints
+   measured-vs-paper rows.  See EXPERIMENTS.md for the recorded
+   comparison. *)
+
+module K = Vkernel.Kernel
+module Msg = Vkernel.Msg
+module TB = Vworkload.Testbed
+module R = Vworkload.Rigs
+
+let kernel_of tb i = (TB.host tb i).TB.kernel
+let cpu_of tb i = (TB.host tb i).TB.cpu
+let nic_of tb i = (TB.host tb i).TB.nic
+
+let m8 = Vhw.Cost_model.sun_8mhz
+let m10 = Vhw.Cost_model.sun_10mhz
+let net3 = Vnet.Medium.config_3mb
+let net10 = Vnet.Medium.config_10mb
+
+(* ------------------------------------------------------------------ *)
+(* Table 4-1: network penalty                                          *)
+
+let table_4_1 () =
+  Report.section
+    "Table 4-1: 3 Mb Ethernet SUN network penalty (times in ms)";
+  let rows =
+    List.map
+      (fun (n, p8, p10) ->
+        let wire =
+          float_of_int (n * Vnet.Medium.byte_time_ns net3) /. 1e6
+        in
+        let got8 = R.measure_penalty ~cpu_model:m8 ~medium_config:net3 n in
+        let got10 = R.measure_penalty ~cpu_model:m10 ~medium_config:net3 n in
+        [
+          string_of_int n;
+          Printf.sprintf "%.3f" wire;
+          Report.vs ~got:got8 ~paper:p8;
+          Report.vs ~got:got10 ~paper:p10;
+        ])
+      [ (64, 0.80, 0.65); (128, 1.20, 0.96); (256, 2.00, 1.62);
+        (512, 3.65, 3.00); (1024, 6.95, 5.83) ]
+  in
+  Report.table
+    ~header:[ "bytes"; "net-time"; "8MHz sim (paper)"; "10MHz sim (paper)" ]
+    rows;
+  Report.note
+    "Paper fit: P(n) = .0064n + .390 ms (8 MHz); .0054n + .251 ms (10 MHz)."
+
+(* ------------------------------------------------------------------ *)
+(* Tables 5-1 / 5-2: kernel performance                                *)
+
+let kernel_table ~cpu_model ~paper_rows title =
+  Report.section title;
+  let gt = R.gettime ~cpu_model () in
+  let srr_l = R.srr_local ~cpu_model () in
+  let srr_r = R.srr_remote ~cpu_model ~medium_config:net3 () in
+  let mf_l = R.move_local ~cpu_model ~count:1024 ~to_remote:false () in
+  let mf_r =
+    R.move_remote ~cpu_model ~medium_config:net3 ~count:1024 ~to_remote:false
+      ()
+  in
+  let mt_l = R.move_local ~cpu_model ~count:1024 ~to_remote:true () in
+  let mt_r =
+    R.move_remote ~cpu_model ~medium_config:net3 ~count:1024 ~to_remote:true
+      ()
+  in
+  let p = R.penalty_ns ~cpu_model ~medium_config:net3 in
+  let srr_penalty = 2 * p 64 in
+  let move_penalty = p 64 + p 1088 in
+  let row name local remote penalty (cc, sc) (pl, pr, pp, pc, ps) =
+    [
+      name;
+      Report.vs ~got:local ~paper:pl;
+      Report.vs ~got:remote ~paper:pr;
+      Report.vs ~got:(remote - local) ~paper:(pr -. pl);
+      Report.vs ~got:penalty ~paper:pp;
+      Report.vs ~got:cc ~paper:pc;
+      Report.vs ~got:sc ~paper:ps;
+    ]
+  in
+  let p_gt, p_srr, p_mf, p_mt = paper_rows in
+  Report.table
+    ~header:
+      [ "operation"; "local"; "remote"; "diff"; "penalty"; "client-cpu";
+        "server-cpu" ]
+    [
+      [ "GetTime"; Report.vs ~got:gt ~paper:p_gt; "-"; "-"; "-"; "-"; "-" ];
+      row "Send-Receive-Reply" srr_l srr_r.R.elapsed srr_penalty
+        (srr_r.R.client_cpu, srr_r.R.server_cpu)
+        p_srr;
+      row "MoveFrom 1024B" mf_l mf_r.R.elapsed move_penalty
+        (mf_r.R.client_cpu, mf_r.R.server_cpu)
+        p_mf;
+      row "MoveTo 1024B" mt_l mt_r.R.elapsed move_penalty
+        (mt_r.R.client_cpu, mt_r.R.server_cpu)
+        p_mt;
+    ]
+
+let table_5_1 () =
+  kernel_table ~cpu_model:m8
+    ~paper_rows:
+      ( 0.07,
+        (1.00, 3.18, 1.60, 1.79, 2.30),
+        (1.26, 9.03, 8.15, 3.76, 5.69),
+        (1.26, 9.05, 8.15, 3.59, 5.87) )
+    "Table 5-1: kernel performance, 3 Mb Ethernet, 8 MHz (ms, sim (paper))"
+
+let table_5_2 () =
+  kernel_table ~cpu_model:m10
+    ~paper_rows:
+      ( 0.06,
+        (0.77, 2.54, 1.30, 1.44, 1.79),
+        (0.95, 8.00, 6.77, 3.32, 4.78),
+        (0.95, 8.00, 6.77, 3.17, 4.95) )
+    "Table 5-2: kernel performance, 3 Mb Ethernet, 10 MHz (ms, sim (paper))"
+
+(* ------------------------------------------------------------------ *)
+(* Section 5.4: multi-process traffic                                  *)
+
+let section_5_4 () =
+  Report.section "Section 5.4: multi-process traffic and the 3 Mb bug";
+  let flood_load ~pairs =
+    let tb = TB.create ~cpu_model:m8 ~hosts:(2 * pairs) () in
+    let eng = tb.TB.eng in
+    let recs = Array.init pairs (fun _ -> Vsim.Stat.Acc.create ()) in
+    let mark = Vnet.Medium.mark tb.TB.medium in
+    for p = 0 to pairs - 1 do
+      let server = R.start_echo tb ~host:((2 * p) + 2) in
+      let k = kernel_of tb ((2 * p) + 1) in
+      ignore
+        (K.spawn k ~name:"flood" (fun _ ->
+             let msg = Msg.create () in
+             let stop = Vsim.Time.ms 500 in
+             let rec loop () =
+               if Vsim.Engine.now eng < stop then begin
+                 let t0 = Vsim.Engine.now eng in
+                 ignore (K.send k msg server);
+                 Vsim.Stat.Acc.add recs.(p)
+                   (float_of_int (Vsim.Engine.now eng - t0));
+                 loop ()
+               end
+             in
+             loop ()))
+    done;
+    TB.run tb;
+    let elapsed = Vsim.Engine.now eng in
+    let bits_per_s =
+      float_of_int (Vnet.Medium.bits_since tb.TB.medium mark)
+      /. Vsim.Time.to_float_s elapsed
+    in
+    let mean_srr =
+      Array.fold_left (fun acc r -> acc +. Vsim.Stat.Acc.mean r) 0.0 recs
+      /. float_of_int pairs
+    in
+    (bits_per_s, mean_srr /. 1e6)
+  in
+  let load1, srr1 = flood_load ~pairs:1 in
+  let load2, srr2 = flood_load ~pairs:2 in
+  Report.table
+    ~header:[ "pairs"; "offered load"; "% of 3Mb"; "% of 10Mb"; "S-R-R ms" ]
+    [
+      [ "1"; Printf.sprintf "%.0f kb/s" (load1 /. 1e3);
+        Printf.sprintf "%.1f%%" (load1 /. 2.94e6 *. 100.0);
+        Printf.sprintf "%.1f%%" (load1 /. 1e7 *. 100.0);
+        Report.msf srr1 ];
+      [ "2"; Printf.sprintf "%.0f kb/s" (load2 /. 1e3);
+        Printf.sprintf "%.1f%%" (load2 /. 2.94e6 *. 100.0);
+        Printf.sprintf "%.1f%%" (load2 /. 1e7 *. 100.0);
+        Report.msf srr2 ];
+    ];
+  Report.note
+    "Paper: one pair at maximum speed loads the net ~400 kb/s (~13%% of \
+     3 Mb);";
+  Report.note
+    "two concurrent pairs see minimal degradation. Sim pair-1 vs pair-2 \
+     S-R-R: %.2f vs %.2f ms." srr1 srr2;
+  let bug =
+    R.srr_remote ~trials:3000 ~cpu_model:m8 ~medium_config:net3
+      ~fault:Vnet.Fault.hardware_bug ()
+  in
+  Report.note
+    "Hardware-bug mode (1/2000 packets corrupted): S-R-R %.2f ms (paper \
+     3.4; clean 3.18)."
+    (Vsim.Time.to_float_ms bug.R.elapsed)
+
+(* ------------------------------------------------------------------ *)
+(* Table 6-1 and Section 6.1                                           *)
+
+let table_6_1 () =
+  Report.section
+    "Table 6-1: page-level file access, 512-byte pages, 10 MHz (ms, sim \
+     (paper))";
+  let read_l = R.page_op ~client_host:1 ~write:false ~basic:false () in
+  let read_r = R.page_op ~client_host:2 ~write:false ~basic:false () in
+  let write_l = R.page_op ~client_host:1 ~write:true ~basic:false () in
+  let write_r = R.page_op ~client_host:2 ~write:true ~basic:false () in
+  let p = R.penalty_ns ~cpu_model:m10 ~medium_config:net3 in
+  let page_penalty = p 64 + p 576 in
+  let row name l r (pl, pr, pp, pc, ps) =
+    [
+      name;
+      Report.vs ~got:l.R.elapsed ~paper:pl;
+      Report.vs ~got:r.R.elapsed ~paper:pr;
+      Report.vs ~got:(r.R.elapsed - l.R.elapsed) ~paper:(pr -. pl);
+      Report.vs ~got:page_penalty ~paper:pp;
+      Report.vs ~got:r.R.client_cpu ~paper:pc;
+      Report.vs ~got:r.R.server_cpu ~paper:ps;
+    ]
+  in
+  Report.table
+    ~header:
+      [ "operation"; "local"; "remote"; "diff"; "penalty"; "client-cpu";
+        "server-cpu" ]
+    [
+      row "page read" read_l read_r (1.31, 5.56, 3.89, 2.50, 3.28);
+      row "page write" write_l write_r (1.31, 5.60, 3.89, 2.58, 3.32);
+    ]
+
+let section_6_1_segments () =
+  Report.section
+    "Section 6.1: segment extension vs basic Thoth-style page access \
+     (10 MHz, remote)";
+  let seg_r = R.page_op ~client_host:2 ~write:false ~basic:false () in
+  let seg_w = R.page_op ~client_host:2 ~write:true ~basic:false () in
+  let bas_r = R.page_op ~client_host:2 ~write:false ~basic:true () in
+  let bas_w = R.page_op ~client_host:2 ~write:true ~basic:true () in
+  Report.table ~header:[ "operation"; "segments ms"; "basic ms"; "saved ms" ]
+    [
+      [ "page read"; Report.ms seg_r.R.elapsed; Report.ms bas_r.R.elapsed;
+        Report.ms (bas_r.R.elapsed - seg_r.R.elapsed) ];
+      [ "page write"; Report.ms seg_w.R.elapsed; Report.ms bas_w.R.elapsed;
+        Report.ms (bas_w.R.elapsed - seg_w.R.elapsed) ];
+    ];
+  Report.note
+    "Paper: basic Send-Receive-MoveFrom-Reply write costs 8.1 ms vs 5.6, \
+     'the segment mechanism saves 3.5 ms on every page read and write'.";
+  Report.note
+    "Packet counts: segments use 2 packets per page, the basic path 4 \
+     (Section 3.4)."
+
+(* ------------------------------------------------------------------ *)
+(* Table 6-2: sequential access with disk latency                      *)
+
+let table_6_2 () =
+  Report.section
+    "Table 6-2: sequential page reads vs disk latency, read-ahead server \
+     (ms/page, sim (paper))";
+  let run latency_ms paper =
+    let got =
+      R.sequential_read ~disk_latency_ns:(Vsim.Time.ms latency_ms) ()
+    in
+    [ string_of_int latency_ms; Report.vs ~got ~paper ]
+  in
+  Report.table
+    ~header:[ "disk latency ms"; "elapsed/page (paper)" ]
+    [ run 10 12.02; run 15 17.13; run 20 22.22 ];
+  Report.note
+    "Shape: elapsed/page = disk latency + ~constant, so a streaming \
+     protocol could win at most 10-20%% (Section 6.2)."
+
+(* ------------------------------------------------------------------ *)
+(* Table 6-3: program loading                                          *)
+
+let table_6_3 () =
+  Report.section
+    "Table 6-3: 64-kilobyte program load by transfer unit, 10 MHz (ms, sim \
+     (paper))";
+  let rows =
+    List.map
+      (fun (unit_kb, pl, pr, pc, ps) ->
+        let tu = unit_kb * 1024 in
+        let local = R.program_load ~transfer_unit:tu ~client_host:1 () in
+        let remote = R.program_load ~transfer_unit:tu ~client_host:2 () in
+        [
+          Printf.sprintf "%d Kb" unit_kb;
+          Report.vs ~got:local.R.elapsed ~paper:pl;
+          Report.vs ~got:remote.R.elapsed ~paper:pr;
+          Report.vs ~got:remote.R.client_cpu ~paper:pc;
+          Report.vs ~got:remote.R.server_cpu ~paper:ps;
+        ])
+      [
+        (1, 71.7, 518.3, 207.1, 297.9);
+        (4, 62.5, 368.4, 176.1, 225.2);
+        (16, 60.2, 344.6, 170.0, 216.9);
+        (64, 59.7, 335.4, 168.1, 212.7);
+      ]
+  in
+  Report.table
+    ~header:
+      [ "transfer unit"; "local"; "remote"; "client-cpu"; "server-cpu" ]
+    rows;
+  let remote64 = R.program_load ~transfer_unit:65536 ~client_host:2 () in
+  Report.note "Large-unit data rate: %.0f KB/s (paper ~192 KB/s)."
+    (65536.0 /. 1024.0 /. Vsim.Time.to_float_s remote64.R.elapsed)
+
+(* ------------------------------------------------------------------ *)
+(* Section 7: file server capacity                                     *)
+
+let section_7_capacity () =
+  Report.section
+    "Section 7: file-server capacity (90% page reads / 10% 64KB loads, \
+     10 MHz server)";
+  let rows =
+    List.map
+      (fun n ->
+        let thr, mean, cpu, net = R.capacity ~clients:n () in
+        [
+          string_of_int n;
+          Printf.sprintf "%.1f" thr;
+          Report.msf mean;
+          Printf.sprintf "%.0f%%" (100.0 *. cpu);
+          Printf.sprintf "%.1f%%" (100.0 *. net);
+        ])
+      [ 1; 2; 5; 10; 20; 30 ]
+  in
+  Report.table
+    ~header:[ "workstations"; "req/s"; "mean ms"; "server-cpu"; "network" ]
+    rows;
+  Report.note
+    "Paper's estimate: ~28 requests/s per server; ~10 workstations \
+     comfortable, 30+ overloaded; the network is never the bottleneck.";
+  Report.note
+    "Request latency inflates long before the wire saturates — the \
+     paper's central capacity argument (the server, not the network, \
+     limits a diskless cluster)."
+
+(* ------------------------------------------------------------------ *)
+(* Section 6.1: the diskless-vs-local-disk crossover                   *)
+
+let section_6_crossover () =
+  Report.section
+    "Section 6.1: diskless workstation vs local-disk workstation (512 B      page reads off the disk, 10 MHz)";
+  (* Page read with the file service on the given host and a real disk
+     access per page (data cache disabled). *)
+  let page_with_disk ~client_host ~latency_ms =
+    let tb, fs, _srv =
+      R.file_rig ~hosts:(max 2 client_host)
+        ~latency:(Vfs.Disk.Fixed (Vsim.Time.ms latency_ms))
+        ~files:[ ("pages", 16 * 512) ] ()
+    in
+    Vfs.Fs.set_cache_enabled fs false;
+    let k = kernel_of tb client_host in
+    let out = ref 0 in
+    R.as_process tb ~host:client_host (fun _ ->
+        let conn = R.get (Vfs.Client.connect k ()) in
+        let h = R.get (Vfs.Client.open_file conn "pages") in
+        ignore (R.get (Vfs.Client.read_page conn h ~block:0 ~buf:0 ()));
+        let trials = 20 in
+        let t0 = Vsim.Engine.now (K.engine k) in
+        for i = 1 to trials do
+          ignore (R.get (Vfs.Client.read_page conn h ~block:(i mod 16) ~buf:0 ()))
+        done;
+        out := (Vsim.Engine.now (K.engine k) - t0) / trials);
+    !out
+  in
+  let server_latency = 16 in
+  let diskless = page_with_disk ~client_host:2 ~latency_ms:server_latency in
+  let rows =
+    List.map
+      (fun local_latency ->
+        let local = page_with_disk ~client_host:1 ~latency_ms:local_latency in
+        [
+          string_of_int local_latency;
+          Report.ms local;
+          Report.ms diskless;
+          (if local < diskless then "local disk" else "diskless");
+        ])
+      [ 16; 18; 20; 21; 22; 24 ]
+  in
+  Report.table
+    ~header:
+      [ "local-disk ms"; "local-disk read"; "diskless read (16 ms server)";
+        "winner" ]
+    rows;
+  Report.note
+    "Paper: 'If the average disk access time for a file server is 4.3 ms      less than the average local disk access time (or better), there is      no time penalty ... for remote file operations.' The crossover above      sits where the local disk is ~4.2 ms slower than the server's —      shared servers with faster disks and big caches erase the diskless      penalty."
+
+(* ------------------------------------------------------------------ *)
+(* Section 7 extensions: remote execution and multiple servers         *)
+
+let section_7_exec () =
+  Report.section
+    "Section 7 extension: execute data-intensive programs ON the file      server";
+  (* A program that scans a 32 KB file (64 pages), run two ways. *)
+  let tb, _fs, _srv =
+    R.file_rig ~latency:(Vfs.Disk.Fixed 0) ~files:[ ("scan", 64 * 512) ] ()
+  in
+  let k2 = kernel_of tb 2 in
+  let exec_row = ref [] and fetch_row = ref [] in
+  let compute_per_page = Vfs.Server.default_config.Vfs.Server.exec_compute_ns_per_page in
+  R.as_process tb ~host:2 (fun _ ->
+      let conn = R.get (Vfs.Client.connect k2 ()) in
+      let h = R.get (Vfs.Client.open_file conn "scan") in
+      let medium = tb.TB.medium in
+      let measure name f =
+        let c1 = cpu_of tb 1 in
+        let mk = Vhw.Cpu.mark c1 in
+        let nm = Vnet.Medium.mark medium in
+        let t0 = Vsim.Engine.now (K.engine k2) in
+        f ();
+        [
+          name;
+          Report.ms (Vsim.Engine.now (K.engine k2) - t0);
+          Report.ms (Vhw.Cpu.busy_since c1 mk);
+          string_of_int
+            (Vnet.Medium.bits_since medium nm / 8);
+        ]
+      in
+      exec_row :=
+        measure "execute at the server" (fun () ->
+            ignore (R.get (Vfs.Client.exec_scan conn h ~block:0 ~count:64)));
+      fetch_row :=
+        measure "fetch pages + scan locally" (fun () ->
+            for b = 0 to 63 do
+              ignore (R.get (Vfs.Client.read_page conn h ~block:b ~buf:0 ()));
+              (* The same per-page computation, on the workstation. *)
+              Vhw.Cpu.compute (cpu_of tb 2) compute_per_page
+            done));
+  Report.table
+    ~header:[ "strategy"; "elapsed ms"; "server-cpu ms"; "net bytes" ]
+    [ !exec_row; !fetch_row ];
+  Report.note
+    "The paper: 'For some programs, it is advantageous in terms of file      server processor requirements to execute the program on the file      server, rather than to load the program into a workstation and      subsequently field remote page requests from it.'"
+
+let section_7_multi_server () =
+  Report.section
+    "Section 7 extension: adding file servers (30 workstations)";
+  let rows =
+    List.map
+      (fun servers ->
+        let thr, mean, cpu1, net =
+          R.capacity ~servers ~clients:30 ()
+        in
+        [
+          string_of_int servers;
+          Printf.sprintf "%.1f" thr;
+          Report.msf mean;
+          Printf.sprintf "%.0f%%" (100.0 *. cpu1);
+          Printf.sprintf "%.1f%%" (100.0 *. net);
+        ])
+      [ 1; 2; 3 ]
+  in
+  Report.table
+    ~header:
+      [ "file servers"; "req/s"; "mean ms"; "server-1 cpu"; "network" ]
+    rows;
+  Report.note
+    "The paper: 'a diskless workstation system can easily be extended to      handle more workstations by adding more file server machines since      the network would not seem to be a bottleneck for less than 100      workstations.'"
+
+(* ------------------------------------------------------------------ *)
+(* Section 8: 10 Mb Ethernet                                           *)
+
+let section_8_10mb () =
+  Report.section "Section 8: preliminary 10 Mb Ethernet figures (8 MHz)";
+  let srr = R.srr_remote ~cpu_model:m8 ~medium_config:net10 () in
+  let pr =
+    (R.page_op ~cpu_model:m8 ~medium_config:net10 ~client_host:2
+       ~write:false ~basic:false ())
+      .R.elapsed
+  in
+  let load =
+    R.program_load ~cpu_model:m8 ~medium_config:net10 ~transfer_unit:16384
+      ~client_host:2 ()
+  in
+  Report.table ~header:[ "measure"; "sim"; "paper" ]
+    [
+      [ "remote S-R-R"; Report.ms srr.R.elapsed; "2.71" ];
+      [ "remote page read"; Report.ms pr; "5.72" ];
+      [ "64KB load, 16Kb unit"; Report.ms load.R.elapsed; "255" ];
+    ];
+  Report.note
+    "The paper attributes part of its 10 Mb improvement to 'slightly \
+     faster network interfaces', which we do not model separately."
+
+(* ------------------------------------------------------------------ *)
+(* Baseline comparison: V IPC vs specialized protocol vs streaming      *)
+
+let baseline_comparison () =
+  Report.section
+    "Baseline: V IPC file access vs specialized (WFS-style) protocol vs \
+     network penalty (10 MHz, 3 Mb)";
+  let v_read = R.page_op ~client_host:2 ~write:false ~basic:false () in
+  let wfs_read =
+    let tb = TB.create ~cpu_model:m10 ~hosts:2 () in
+    let fs = TB.make_test_fs tb ~files:[ ("f", 16 * 512) ] () in
+    let (_ : Vbaseline.Wfs.server) =
+      Vbaseline.Wfs.start_server tb.TB.eng ~nic:(nic_of tb 1) ~fs ()
+    in
+    let client =
+      Vbaseline.Wfs.create_client tb.TB.eng ~nic:(nic_of tb 2) ~server:1 ()
+    in
+    let inum = Option.get (Vfs.Fs.lookup fs "f") in
+    let out = ref 0 in
+    let (_ : Vsim.Proc.t) =
+      Vsim.Proc.spawn tb.TB.eng (fun () ->
+          (match Vbaseline.Wfs.read_page client ~inum ~block:0 () with
+          | Ok _ -> ()
+          | Error e -> Fmt.failwith "wfs: %s" e);
+          let t0 = Vsim.Engine.now tb.TB.eng in
+          for i = 1 to 50 do
+            ignore (Vbaseline.Wfs.read_page client ~inum ~block:(i mod 16) ())
+          done;
+          out := (Vsim.Engine.now tb.TB.eng - t0) / 50)
+    in
+    TB.run tb;
+    !out
+  in
+  let p = R.penalty_ns ~cpu_model:m10 ~medium_config:net3 in
+  let floor = p 64 + p 576 in
+  Report.table ~header:[ "method"; "512B page read ms"; "packets/page" ]
+    [
+      [ "network penalty (floor)"; Report.ms floor; "2" ];
+      [ "specialized (WFS-style)"; Report.ms wfs_read; "2" ];
+      [ "V IPC with segments"; Report.ms v_read.R.elapsed; "2" ];
+      [ "V IPC basic (Thoth)";
+        Report.ms
+          (R.page_op ~client_host:2 ~write:false ~basic:true ()).R.elapsed;
+        "4" ];
+    ];
+  Report.note
+    "The paper's claim: V IPC is 'only slightly more expensive than a \
+     lower bound imposed by the basic cost of network communication', so \
+     specialized protocols have little headroom.";
+  let stream_pp =
+    let tb = TB.create ~cpu_model:m10 ~hosts:2 () in
+    let fs =
+      TB.make_test_fs tb ~latency:(Vfs.Disk.Fixed (Vsim.Time.ms 15))
+        ~files:[ ("s", 30 * 512) ] ()
+    in
+    let inum = Option.get (Vfs.Fs.lookup fs "s") in
+    Vfs.Fs.evict_cache fs;
+    let (_ : Vbaseline.Streaming.server) =
+      Vbaseline.Streaming.start_server tb.TB.eng ~nic:(nic_of tb 1) ~fs ()
+    in
+    let out = ref 0 in
+    let (_ : Vsim.Proc.t) =
+      Vsim.Proc.spawn tb.TB.eng (fun () ->
+          match
+            Vbaseline.Streaming.stream_file tb.TB.eng ~nic:(nic_of tb 2)
+              ~server:1 ~inum ()
+          with
+          | Ok s -> out := s.Vbaseline.Streaming.per_page_ns
+          | Error e -> Fmt.failwith "stream: %s" e)
+    in
+    TB.run tb;
+    !out
+  in
+  let v_seq = R.sequential_read ~disk_latency_ns:(Vsim.Time.ms 15) () in
+  Report.table
+    ~header:[ "sequential read, 15 ms disk"; "ms/page" ]
+    [
+      [ "V synchronous + server read-ahead"; Report.ms v_seq ];
+      [ "streaming (window 4)"; Report.ms stream_pp ];
+    ];
+  Report.note
+    "Streaming gains %.0f%% here — the paper bounds it at 10-20%% and \
+     judges it not worth the buffering, copies and cache-consistency cost."
+    ((1.0 -. (float_of_int stream_pp /. float_of_int v_seq)) *. 100.0)
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                           *)
+
+let ablations () =
+  Report.section "Ablations: the paper's design-choice measurements";
+  let base = R.srr_remote ~cpu_model:m8 ~medium_config:net3 () in
+  let ip =
+    R.srr_remote ~cpu_model:m8 ~medium_config:net3
+      ~kernel_config:{ K.default_config with K.ip_header_mode = true }
+      ()
+  in
+  let relay =
+    R.srr_remote ~cpu_model:m8 ~medium_config:net3
+      ~kernel_config:{ K.default_config with K.process_server_mode = true }
+      ()
+  in
+  Report.table
+    ~header:[ "configuration"; "remote S-R-R ms"; "vs raw" ]
+    [
+      [ "raw data-link (the V kernel)"; Report.ms base.R.elapsed; "1.00x" ];
+      [ "layered internet (IP) headers"; Report.ms ip.R.elapsed;
+        Printf.sprintf "%.2fx"
+          (float_of_int ip.R.elapsed /. float_of_int base.R.elapsed) ];
+      [ "process-level network server"; Report.ms relay.R.elapsed;
+        Printf.sprintf "%.2fx"
+          (float_of_int relay.R.elapsed /. float_of_int base.R.elapsed) ];
+    ];
+  Report.note
+    "Paper: IP headers cost ~20%% 'even without computing the IP header \
+     checksum'; a process-level network server cost a factor of four (we \
+     model only its extra copies and context switches, and measure ~2x).";
+  let lossy =
+    R.srr_remote ~trials:200 ~cpu_model:m8 ~medium_config:net3
+      ~fault:(Vnet.Fault.drop 0.05)
+      ~kernel_config:
+        { K.default_config with K.retransmit_timeout_ns = Vsim.Time.ms 20 }
+      ()
+  in
+  Report.note
+    "Under 5%% loss with T = 20 ms, exchanges still average %.2f ms — \
+     reliability comes from the reply itself, with no extra packets on \
+     the common path."
+    (Vsim.Time.to_float_ms lossy.R.elapsed)

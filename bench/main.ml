@@ -1,0 +1,108 @@
+(* The benchmark harness: regenerates every table and measured claim of
+   the paper's evaluation (Tables 4-1, 5-1, 5-2, 6-1, 6-2, 6-3 and the
+   measured statements of Sections 5.4, 6.1, 7 and 8), plus baseline and
+   ablation comparisons.
+
+   Usage:
+     dune exec bench/main.exe                 # all experiments
+     dune exec bench/main.exe -- table_6_3    # a single experiment
+     dune exec bench/main.exe -- --list
+     dune exec bench/main.exe -- --bechamel   # Bechamel timing of each
+                                              # experiment harness *)
+
+let experiments =
+  [
+    ("table_4_1", Experiments.table_4_1);
+    ("table_5_1", Experiments.table_5_1);
+    ("table_5_2", Experiments.table_5_2);
+    ("section_5_4", Experiments.section_5_4);
+    ("table_6_1", Experiments.table_6_1);
+    ("section_6_1_segments", Experiments.section_6_1_segments);
+    ("table_6_2", Experiments.table_6_2);
+    ("section_6_crossover", Experiments.section_6_crossover);
+    ("table_6_3", Experiments.table_6_3);
+    ("section_7_capacity", Experiments.section_7_capacity);
+    ("section_7_exec", Experiments.section_7_exec);
+    ("section_7_multi_server", Experiments.section_7_multi_server);
+    ("section_8_10mb", Experiments.section_8_10mb);
+    ("baseline_comparison", Experiments.baseline_comparison);
+    ("ablations", Experiments.ablations);
+  ]
+
+let run_all () =
+  Format.printf
+    "Reproduction of: Cheriton & Zwaenepoel, \"The Distributed V Kernel \
+     and its Performance for Diskless Workstations\" (SOSP 1983)@.";
+  Format.printf
+    "All times are simulated; every table prints sim (paper) pairs.@.";
+  List.iter (fun (_, f) -> f ()) experiments
+
+(* One Bechamel test per table: measures the wall-clock cost of each
+   experiment harness itself (the simulator's own performance). *)
+let bechamel () =
+  let open Bechamel in
+  let test =
+    Test.make_grouped ~name:"experiments"
+      (List.map
+         (fun (name, f) ->
+           Test.make ~name
+             (Staged.stage (fun () ->
+                  (* Run the experiment with its output suppressed. *)
+                  let old =
+                    Format.pp_get_formatter_out_functions
+                      Format.std_formatter ()
+                  in
+                  Format.pp_set_formatter_out_functions Format.std_formatter
+                    {
+                      old with
+                      Format.out_string = (fun _ _ _ -> ());
+                      out_flush = (fun () -> ());
+                    };
+                  Fun.protect
+                    ~finally:(fun () ->
+                      Format.pp_set_formatter_out_functions
+                        Format.std_formatter old)
+                    f)))
+         experiments)
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:10 ~quota:(Time.second 1.0) ~kde:None
+      ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg [ instance ] test in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  Format.printf "@.Bechamel: wall-clock cost of each experiment harness@.@.";
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      let est =
+        match Analyze.OLS.estimates ols with
+        | Some (e :: _) -> Printf.sprintf "%.1f ms" (e /. 1e6)
+        | Some [] | None -> "n/a"
+      in
+      rows := [ name; est ] :: !rows)
+    results;
+  Report.table ~header:[ "experiment"; "time/run" ]
+    (List.sort compare !rows)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  match args with
+  | [] -> run_all ()
+  | [ "--list" ] ->
+      List.iter (fun (name, _) -> print_endline name) experiments
+  | [ "--bechamel" ] -> bechamel ()
+  | names ->
+      List.iter
+        (fun name ->
+          match List.assoc_opt name experiments with
+          | Some f -> f ()
+          | None ->
+              Format.eprintf
+                "unknown experiment %S (use --list to see them)@." name;
+              exit 1)
+        names

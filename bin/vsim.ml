@@ -1,0 +1,310 @@
+(* vsim: run individual V kernel experiments with custom parameters.
+
+   Examples:
+     vsim ipc --mhz 8                    # remote Send-Receive-Reply
+     vsim ipc --local --mhz 10
+     vsim penalty --bytes 512 --net 10
+     vsim move --bytes 4096 --from
+     vsim page --write --basic
+     vsim load --unit 16384 --net 10
+     vsim seq --latency 15
+     vsim capacity --clients 12
+     vsim fault --drop 0.1 --timeout 20 *)
+
+open Cmdliner
+
+let model_of_mhz = function
+  | 8 -> Vhw.Cost_model.sun_8mhz
+  | 10 -> Vhw.Cost_model.sun_10mhz
+  | mhz -> Vhw.Cost_model.scale Vhw.Cost_model.sun_10mhz ~mhz
+
+let medium_of_net = function
+  | 3 -> Vnet.Medium.config_3mb
+  | 10 -> Vnet.Medium.config_10mb
+  | _ -> invalid_arg "--net must be 3 or 10"
+
+let mhz_arg =
+  Arg.(value & opt int 10 & info [ "mhz" ] ~docv:"MHZ"
+         ~doc:"Processor speed: 8 and 10 are the paper's calibrated SUNs; \
+               other values cycle-scale the 10 MHz model.")
+
+let net_arg =
+  Arg.(value & opt int 3 & info [ "net" ] ~docv:"MBITS"
+         ~doc:"Ethernet: 3 (experimental 2.94 Mb/s) or 10.")
+
+let local_arg =
+  Arg.(value & flag & info [ "local" ] ~doc:"Same-workstation operation.")
+
+let trials_arg =
+  Arg.(value & opt int 100 & info [ "trials" ] ~doc:"Measurement trials.")
+
+let pp_cols (c : Vworkload.Rigs.cols) =
+  Format.printf "elapsed      %a ms@." Vsim.Time.pp_ms c.Vworkload.Rigs.elapsed;
+  Format.printf "client cpu   %a ms@." Vsim.Time.pp_ms c.Vworkload.Rigs.client_cpu;
+  Format.printf "server cpu   %a ms@." Vsim.Time.pp_ms c.Vworkload.Rigs.server_cpu
+
+(* --- ipc ------------------------------------------------------------ *)
+
+let ipc_cmd =
+  let run mhz net local trials =
+    let cpu_model = model_of_mhz mhz in
+    if local then
+      Format.printf "local Send-Receive-Reply: %a ms@." Vsim.Time.pp_ms
+        (Vworkload.Rigs.srr_local ~trials ~cpu_model ())
+    else
+      pp_cols
+        (Vworkload.Rigs.srr_remote ~trials ~cpu_model
+           ~medium_config:(medium_of_net net) ())
+  in
+  Cmd.v (Cmd.info "ipc" ~doc:"Send-Receive-Reply message exchange")
+    Term.(const run $ mhz_arg $ net_arg $ local_arg $ trials_arg)
+
+(* --- penalty --------------------------------------------------------- *)
+
+let penalty_cmd =
+  let bytes =
+    Arg.(value & opt int 1024 & info [ "bytes" ] ~doc:"Datagram size.")
+  in
+  let run mhz net n trials =
+    let cpu_model = model_of_mhz mhz and medium_config = medium_of_net net in
+    let measured =
+      Vworkload.Rigs.measure_penalty ~trials ~cpu_model ~medium_config n
+    in
+    let analytic = Vworkload.Rigs.penalty_ns ~cpu_model ~medium_config n in
+    Format.printf "network penalty P(%d): measured %a ms, analytic %a ms@." n
+      Vsim.Time.pp_ms measured Vsim.Time.pp_ms analytic
+  in
+  Cmd.v
+    (Cmd.info "penalty"
+       ~doc:"Network penalty: one-way memory-to-memory datagram time")
+    Term.(const run $ mhz_arg $ net_arg $ bytes $ trials_arg)
+
+(* --- move ------------------------------------------------------------ *)
+
+let move_cmd =
+  let bytes =
+    Arg.(value & opt int 1024 & info [ "bytes" ] ~doc:"Transfer size.")
+  in
+  let from_flag =
+    Arg.(value & flag & info [ "from" ] ~doc:"MoveFrom instead of MoveTo.")
+  in
+  let run mhz net local count from_ =
+    let cpu_model = model_of_mhz mhz in
+    let to_remote = not from_ in
+    if local then
+      Format.printf "local Move%s %d bytes: %a ms@."
+        (if to_remote then "To" else "From")
+        count Vsim.Time.pp_ms
+        (Vworkload.Rigs.move_local ~cpu_model ~count ~to_remote ())
+    else
+      pp_cols
+        (Vworkload.Rigs.move_remote ~cpu_model
+           ~medium_config:(medium_of_net net) ~count ~to_remote ())
+  in
+  Cmd.v (Cmd.info "move" ~doc:"MoveTo/MoveFrom bulk data transfer")
+    Term.(const run $ mhz_arg $ net_arg $ local_arg $ bytes $ from_flag)
+
+(* --- page ------------------------------------------------------------ *)
+
+let page_cmd =
+  let write_flag =
+    Arg.(value & flag & info [ "write" ] ~doc:"Page write instead of read.")
+  in
+  let basic_flag =
+    Arg.(value & flag
+         & info [ "basic" ]
+             ~doc:"Thoth-style MoveTo/MoveFrom path (4 packets) instead of \
+                   the segment path (2 packets).")
+  in
+  let run mhz net local write basic =
+    pp_cols
+      (Vworkload.Rigs.page_op ~cpu_model:(model_of_mhz mhz)
+         ~medium_config:(medium_of_net net)
+         ~client_host:(if local then 1 else 2)
+         ~write ~basic ())
+  in
+  Cmd.v (Cmd.info "page" ~doc:"512-byte page access against a file server")
+    Term.(const run $ mhz_arg $ net_arg $ local_arg $ write_flag $ basic_flag)
+
+(* --- load ------------------------------------------------------------ *)
+
+let load_cmd =
+  let unit_arg =
+    Arg.(value & opt int 4096
+         & info [ "unit" ] ~doc:"MoveTo transfer unit in bytes.")
+  in
+  let run mhz net local transfer_unit =
+    let c =
+      Vworkload.Rigs.program_load ~cpu_model:(model_of_mhz mhz)
+        ~medium_config:(medium_of_net net) ~transfer_unit
+        ~client_host:(if local then 1 else 2)
+        ()
+    in
+    pp_cols c;
+    Format.printf "data rate    %.0f KB/s@."
+      (65536.0 /. 1024.0 /. Vsim.Time.to_float_s c.Vworkload.Rigs.elapsed)
+  in
+  Cmd.v (Cmd.info "load" ~doc:"64-kilobyte program load")
+    Term.(const run $ mhz_arg $ net_arg $ local_arg $ unit_arg)
+
+(* --- seq ------------------------------------------------------------- *)
+
+let seq_cmd =
+  let latency =
+    Arg.(value & opt int 15
+         & info [ "latency" ] ~doc:"Server disk latency in ms.")
+  in
+  let pages =
+    Arg.(value & opt int 30 & info [ "pages" ] ~doc:"File length in pages.")
+  in
+  let run mhz latency npages =
+    Format.printf "sequential read, %d ms disk: %a ms/page@." latency
+      Vsim.Time.pp_ms
+      (Vworkload.Rigs.sequential_read ~cpu_model:(model_of_mhz mhz) ~npages
+         ~disk_latency_ns:(Vsim.Time.ms latency) ())
+  in
+  Cmd.v
+    (Cmd.info "seq"
+       ~doc:"Sequential file read against a read-ahead file server")
+    Term.(const run $ mhz_arg $ latency $ pages)
+
+(* --- capacity --------------------------------------------------------- *)
+
+let capacity_cmd =
+  let clients =
+    Arg.(value & opt int 10 & info [ "clients" ] ~doc:"Diskless workstations.")
+  in
+  let think =
+    Arg.(value & opt int 320
+         & info [ "think" ] ~doc:"Mean think time between requests, ms.")
+  in
+  let duration =
+    Arg.(value & opt int 4 & info [ "duration" ] ~doc:"Simulated seconds.")
+  in
+  let run mhz clients think duration =
+    let thr, mean, cpu, net =
+      Vworkload.Rigs.capacity ~cpu_model:(model_of_mhz mhz)
+        ~duration:(Vsim.Time.sec duration)
+        ~think_mean:(Vsim.Time.ms think) ~clients ()
+    in
+    Format.printf
+      "%d workstations: %.1f req/s, mean %.2f ms, server cpu %.0f%%, \
+       network %.1f%%@."
+      clients thr mean (100.0 *. cpu) (100.0 *. net)
+  in
+  Cmd.v
+    (Cmd.info "capacity" ~doc:"File-server capacity under multi-client load")
+    Term.(const run $ mhz_arg $ clients $ think $ duration)
+
+(* --- fault ------------------------------------------------------------ *)
+
+let fault_cmd =
+  let drop =
+    Arg.(value & opt float 0.0 & info [ "drop" ] ~doc:"Frame drop probability.")
+  in
+  let corrupt =
+    Arg.(value & opt float 0.0
+         & info [ "corrupt" ] ~doc:"Frame corruption probability.")
+  in
+  let bug =
+    Arg.(value & flag
+         & info [ "bug" ] ~doc:"The 3 Mb interface hardware bug (1/2000).")
+  in
+  let timeout =
+    Arg.(value & opt int 200
+         & info [ "timeout" ] ~doc:"Retransmission timeout T in ms.")
+  in
+  let run mhz net drop corrupt bug timeout trials =
+    let fault =
+      if bug then Vnet.Fault.hardware_bug
+      else
+        { Vnet.Fault.none with Vnet.Fault.drop_prob = drop;
+          corrupt_prob = corrupt }
+    in
+    let kernel_config =
+      { Vkernel.Kernel.default_config with
+        Vkernel.Kernel.retransmit_timeout_ns = Vsim.Time.ms timeout }
+    in
+    pp_cols
+      (Vworkload.Rigs.srr_remote ~trials ~cpu_model:(model_of_mhz mhz)
+         ~medium_config:(medium_of_net net) ~fault ~kernel_config ())
+  in
+  Cmd.v
+    (Cmd.info "fault" ~doc:"Message exchange under network faults")
+    Term.(const run $ mhz_arg $ net_arg $ drop $ corrupt $ bug $ timeout
+          $ trials_arg)
+
+(* --- run: assemble a program and execute it on a diskless ws --------- *)
+
+let run_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"FILE.s" ~doc:"Assembly source for the workstation \
+                                        interpreter (see lib/vexec/asm.mli).")
+  in
+  let trace =
+    Arg.(value & flag & info [ "trace" ] ~doc:"Print kernel/network trace.")
+  in
+  let run mhz net source_path trace =
+    if trace then Vsim.Trace.to_stderr ();
+    let source = In_channel.with_open_text source_path In_channel.input_all in
+    let img =
+      match Vexec.Asm.assemble source with
+      | Ok img -> img
+      | Error e ->
+          Format.eprintf "%s: %s@." source_path e;
+          exit 1
+    in
+    let tb =
+      Vworkload.Testbed.create ~cpu_model:(model_of_mhz mhz)
+        ~medium_config:(medium_of_net net) ~hosts:2 ()
+    in
+    let fs = Vworkload.Testbed.make_test_fs tb ~files:[] () in
+    Vworkload.Testbed.run_proc tb ~name:"install" (fun () ->
+        let inum = Result.get_ok (Vfs.Fs.create fs "prog") in
+        match Vfs.Fs.write fs ~inum ~pos:0 (Vexec.Image.to_bytes img) with
+        | Ok () -> ()
+        | Error e -> Fmt.failwith "install: %a" Vfs.Fs.pp_error e);
+    let k_fs = (Vworkload.Testbed.host tb 1).Vworkload.Testbed.kernel in
+    let k_ws = (Vworkload.Testbed.host tb 2).Vworkload.Testbed.kernel in
+    let (_ : Vfs.Server.t) = Vfs.Server.start k_fs fs () in
+    let (_ : Vkernel.Pid.t) =
+      Vkernel.Kernel.spawn k_ws ~name:"workstation" (fun _ ->
+          let conn =
+            match Vfs.Client.connect k_ws () with
+            | Ok c -> c
+            | Error e ->
+                Fmt.failwith "connect: %s" (Vfs.Client.error_to_string e)
+          in
+          let eng = Vkernel.Kernel.engine k_ws in
+          let t0 = Vsim.Engine.now eng in
+          match
+            Vexec.Loader.load_and_run k_ws ~conn ~name:"prog"
+              ~console:print_char ()
+          with
+          | Ok outcome ->
+              Format.printf "@.[%a; loaded and ran in %a of simulated time]@."
+                Vexec.Vm.pp_outcome outcome Vsim.Time.pp
+                (Vsim.Engine.now eng - t0)
+          | Error e ->
+              Format.eprintf "load: %s@." (Vexec.Loader.error_to_string e))
+    in
+    Vworkload.Testbed.run tb
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Assemble a program and run it on a simulated diskless \
+             workstation (loaded from the file server, interpreted with V \
+             syscalls)")
+    Term.(const run $ mhz_arg $ net_arg $ file $ trace)
+
+let () =
+  let info =
+    Cmd.info "vsim" ~version:"1.0"
+      ~doc:"Experiments on the simulated distributed V kernel"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ ipc_cmd; penalty_cmd; move_cmd; page_cmd; load_cmd; seq_cmd;
+            capacity_cmd; fault_cmd; run_cmd ]))

@@ -1,0 +1,187 @@
+(* The command interpreter of Section 9.
+
+   "A simple command interpreter program allows programs to be loaded and
+   run on the workstations using these UNIX servers."
+
+   A diskless workstation runs a shell.  Program images (assembled for
+   the workstation interpreter of Section 6.3) live on the file server.
+   Each command is loaded with the paper's two-read pattern — header
+   page, then the image via MoveTo — and interpreted; its system calls
+   are real V kernel operations, so `time` talks to the kernel clock and
+   `greet` talks to a name-served process on another machine.
+
+   Run with: dune exec examples/command_interpreter.exe *)
+
+module K = Vkernel.Kernel
+module Msg = Vkernel.Msg
+
+let printf = Format.printf
+
+(* ---------------------------- programs ----------------------------- *)
+
+let hello_prog = {|
+        .entry main
+text:   .ascii "hello from a loaded program\n"
+        .word 0
+main:   loadi r2, @text
+loop:   ldb   r1, [r2+0]
+        jz    r1, done
+        sys   1
+        loadi r3, 1
+        add   r2, r2, r3
+        jmp   loop
+done:   halt
+|}
+
+let primes_prog = {|
+; print primes below 30, then exit with their count
+        .entry main
+main:   loadi r5, 2          ; candidate
+        loadi r6, 0          ; count
+next:   loadi r1, 30
+        blt   r5, r1, test
+        mov   r1, r6
+        sys   0              ; exit(count)
+test:   loadi r2, 2          ; divisor
+trial:  mov   r3, r5
+        blt   r2, r5, go
+        jmp   prime          ; divisor reached candidate: prime
+go:     div   r3, r5, r2
+        mul   r3, r3, r2
+        sub   r3, r5, r3     ; remainder
+        jz    r3, composite
+        loadi r3, 1
+        add   r2, r2, r3
+        jmp   trial
+prime:  call  print10
+        loadi r3, 1
+        add   r6, r6, r3
+composite:
+        loadi r3, 1
+        add   r5, r5, r3
+        jmp   next
+; print r5 as (up to two) decimal digits plus a space
+print10:
+        loadi r2, 10
+        blt   r5, r2, ones
+        div   r1, r5, r2     ; tens digit
+        loadi r3, 48
+        add   r1, r1, r3
+        sys   1
+ones:   loadi r2, 10
+        div   r3, r5, r2
+        mul   r3, r3, r2
+        sub   r1, r5, r3
+        loadi r3, 48
+        add   r1, r1, r3
+        sys   1
+        loadi r1, 32
+        sys   1
+        ret
+|}
+
+let time_prog = {|
+; ask the kernel for the time and exit with it (in seconds)
+        .entry main
+main:   sys   2              ; r1 := GetTime in ms
+        loadi r2, 1000
+        div   r1, r1, r2
+        sys   0
+|}
+
+let greet_prog = {|
+; exchange a message with the greeting service (logical id 9)
+        .entry main
+msgbuf: .bss 32
+main:   loadi r1, 9
+        sys   6              ; get_pid
+        jz    r1, fail
+        mov   r2, r1
+        loadi r1, @msgbuf
+        sys   3              ; send; the service replies with a greeting
+        jnz   r1, fail
+        loadi r2, @msgbuf
+        loadi r4, 1          ; print the five greeting bytes at offset 4
+        loadi r5, 5
+loop:   jz    r5, done
+        ldb   r1, [r2+4]
+        sys   1
+        add   r2, r2, r4
+        sub   r5, r5, r4
+        jmp   loop
+done:   halt
+fail:   loadi r1, 1
+        sys   0
+|}
+
+(* ------------------------------ world ------------------------------ *)
+
+let () =
+  let tb = Vworkload.Testbed.create ~hosts:3 () in
+  let k_fs = (Vworkload.Testbed.host tb 1).Vworkload.Testbed.kernel in
+  let k_ws = (Vworkload.Testbed.host tb 2).Vworkload.Testbed.kernel in
+  let k_svc = (Vworkload.Testbed.host tb 3).Vworkload.Testbed.kernel in
+
+  (* Install the program images on the file server's disk. *)
+  let fs = Vworkload.Testbed.make_test_fs tb ~files:[] () in
+  Vworkload.Testbed.run_proc tb ~name:"install" (fun () ->
+      List.iter
+        (fun (name, src) ->
+          let img = Vexec.Asm.assemble_exn src in
+          let bytes = Vexec.Image.to_bytes img in
+          let inum = Result.get_ok (Vfs.Fs.create fs name) in
+          match Vfs.Fs.write fs ~inum ~pos:0 bytes with
+          | Ok () ->
+              printf "installed %-8s (%d bytes)@." name (Bytes.length bytes)
+          | Error e -> Fmt.failwith "install: %a" Vfs.Fs.pp_error e)
+        [
+          ("hello", hello_prog); ("primes", primes_prog);
+          ("time", time_prog); ("greet", greet_prog);
+        ]);
+  let (_ : Vfs.Server.t) = Vfs.Server.start k_fs fs () in
+
+  (* A greeting service on a third machine, found by logical id. *)
+  let (_ : Vkernel.Pid.t) =
+    K.spawn k_svc ~name:"greeting-service" (fun pid ->
+        K.set_pid k_svc ~logical_id:9 pid K.Any;
+        let msg = Msg.create () in
+        let rec loop () =
+          let src = K.receive k_svc msg in
+          String.iteri (fun i c -> Msg.set_u8 msg (4 + i) (Char.code c)) "howdy";
+          ignore (K.reply k_svc msg src);
+          loop ()
+        in
+        loop ())
+  in
+
+  (* The workstation shell. *)
+  let script = [ "hello"; "primes"; "time"; "greet"; "no-such-command" ] in
+  let (_ : Vkernel.Pid.t) =
+    K.spawn k_ws ~name:"shell" (fun _ ->
+        Vsim.Proc.sleep (Vsim.Time.ms 50);
+        let conn =
+          match Vfs.Client.connect k_ws () with
+          | Ok c -> c
+          | Error e -> Fmt.failwith "connect: %s" (Vfs.Client.error_to_string e)
+        in
+        let eng = K.engine k_ws in
+        List.iter
+          (fun cmd ->
+            printf "@.ws%% %s@." cmd;
+            let console = Buffer.create 64 in
+            let t0 = Vsim.Engine.now eng in
+            match
+              Vexec.Loader.load_and_run k_ws ~conn ~name:cmd
+                ~console:(Buffer.add_char console) ()
+            with
+            | Ok outcome ->
+                if Buffer.length console > 0 then
+                  printf "%s" (Buffer.contents console);
+                printf "[%a after %a]@." Vexec.Vm.pp_outcome outcome
+                  Vsim.Time.pp
+                  (Vsim.Engine.now eng - t0)
+            | Error e ->
+                printf "shell: %s: %s@." cmd (Vexec.Loader.error_to_string e))
+          script)
+  in
+  Vworkload.Testbed.run tb

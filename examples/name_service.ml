@@ -1,0 +1,134 @@
+(* A name service in the V style.
+
+   The paper notes that the segment mechanism "has proven useful under
+   more general circumstances, e.g. in passing character string names to
+   name servers."  This example builds that name server, and combines it
+   with Thoth's Forward: clients address *named* services through the
+   name server, which forwards each request to the right service process —
+   possibly on a third machine — and the service's Reply travels straight
+   back to the client.  The dispatcher handles one packet per request and
+   never touches the reply.
+
+   Topology: host 1 runs the name server, host 2 runs two services
+   ("clock" and "adder"), host 3 is the client.
+
+   Run with: dune exec examples/name_service.exe *)
+
+module K = Vkernel.Kernel
+module Msg = Vkernel.Msg
+
+let printf = Format.printf
+let nameserver_logical_id = 2
+
+(* Request convention: byte 1 = 1 (call-by-name); the service name rides
+   as a read segment; bytes 4.. are service-specific arguments. *)
+
+let start_name_server k =
+  K.spawn k ~name:"name-server" (fun pid ->
+      K.set_pid k ~logical_id:nameserver_logical_id pid K.Any;
+      let directory : (string, Vkernel.Pid.t) Hashtbl.t = Hashtbl.create 8 in
+      let mem = K.memory k pid in
+      let msg = Msg.create () in
+      let rec loop () =
+        let src, seg_len = K.receive_with_segment k msg ~segptr:0 ~segsize:64 in
+        let name =
+          Bytes.to_string (Vkernel.Mem.read mem ~pos:0 ~len:seg_len)
+        in
+        (match Msg.get_u8 msg 1 with
+        | 2 ->
+            (* REGISTER: the sender itself becomes the service. *)
+            Hashtbl.replace directory name src;
+            printf "name-server: registered %S -> %a@." name Vkernel.Pid.pp
+              src;
+            ignore (K.reply k msg src)
+        | 1 -> (
+            (* CALL: forward the request to the named service; its reply
+               goes directly to the caller. *)
+            match Hashtbl.find_opt directory name with
+            | Some service ->
+                Msg.clear_segment msg;
+                let st = K.forward k msg ~from_pid:src ~to_pid:service in
+                printf "name-server: %a -> %S forwarded (%a)@."
+                  Vkernel.Pid.pp src name K.pp_status st
+            | None ->
+                Msg.set_u8 msg 1 0xFF;
+                ignore (K.reply k msg src))
+        | _ -> ignore (K.reply k msg src));
+        loop ()
+      in
+      loop ())
+
+let register k name =
+  let mem = K.my_memory k in
+  Vkernel.Mem.write mem ~pos:0 (Bytes.of_string name);
+  let msg = Msg.create () in
+  Msg.set_u8 msg 1 2;
+  Msg.set_segment msg Msg.Read_only ~ptr:0 ~len:(String.length name);
+  match K.get_pid k ~logical_id:nameserver_logical_id K.Any with
+  | Some ns -> K.send k msg ns
+  | None -> failwith "no name server"
+
+let start_clock_service k =
+  K.spawn k ~name:"clock" (fun _ ->
+      ignore (register k "clock");
+      let msg = Msg.create () in
+      let rec loop () =
+        let src = K.receive k msg in
+        Msg.set_u32 msg 4 (Vsim.Time.to_float_ms (K.get_time k) |> int_of_float);
+        ignore (K.reply k msg src);
+        loop ()
+      in
+      loop ())
+
+let start_adder_service k =
+  K.spawn k ~name:"adder" (fun _ ->
+      ignore (register k "adder");
+      let msg = Msg.create () in
+      let rec loop () =
+        let src = K.receive k msg in
+        Msg.set_u32 msg 4 (Msg.get_u32 msg 4 + Msg.get_u32 msg 8);
+        ignore (K.reply k msg src);
+        loop ()
+      in
+      loop ())
+
+let call_by_name k ~name ~a ~b =
+  let mem = K.my_memory k in
+  let scratch = Vkernel.Mem.size mem - 64 in
+  Vkernel.Mem.write mem ~pos:scratch (Bytes.of_string name);
+  let msg = Msg.create () in
+  Msg.set_u8 msg 1 1;
+  Msg.set_u32 msg 4 a;
+  Msg.set_u32 msg 8 b;
+  Msg.set_segment msg Msg.Read_only ~ptr:scratch ~len:(String.length name);
+  match K.get_pid k ~logical_id:nameserver_logical_id K.Any with
+  | Some ns ->
+      let st = K.send k msg ns in
+      (st, Msg.get_u32 msg 4)
+  | None -> failwith "no name server"
+
+let () =
+  let tb = Vworkload.Testbed.create ~hosts:3 () in
+  let k1 = (Vworkload.Testbed.host tb 1).Vworkload.Testbed.kernel in
+  let k2 = (Vworkload.Testbed.host tb 2).Vworkload.Testbed.kernel in
+  let k3 = (Vworkload.Testbed.host tb 3).Vworkload.Testbed.kernel in
+  let (_ : Vkernel.Pid.t) = start_name_server k1 in
+  let (_ : Vkernel.Pid.t) = start_clock_service k2 in
+  let (_ : Vkernel.Pid.t) = start_adder_service k2 in
+  let (_ : Vkernel.Pid.t) =
+    K.spawn k3 ~name:"client" (fun _ ->
+        Vsim.Proc.sleep (Vsim.Time.ms 50);
+        let st, sum = call_by_name k3 ~name:"adder" ~a:20 ~b:22 in
+        printf "client: adder(20, 22) = %d (%a)@." sum K.pp_status st;
+        let st, now = call_by_name k3 ~name:"clock" ~a:0 ~b:0 in
+        printf "client: clock() = %d ms (%a)@." now K.pp_status st;
+        let st, _ = call_by_name k3 ~name:"no-such-service" ~a:0 ~b:0 in
+        printf "client: unknown service answered with flag 0xFF (%a)@."
+          K.pp_status st)
+  in
+  Vworkload.Testbed.run tb;
+  let s1 = K.stats k1 in
+  printf
+    "name-server host: %d packets in, %d out — it forwarded requests but \
+     never carried a reply.@."
+    s1.K.packets_received s1.K.packets_sent

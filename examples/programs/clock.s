@@ -1,0 +1,9 @@
+; Burns some simulated CPU, then exits with the kernel clock (seconds).
+; Try: dune exec bin/vsim.exe -- run examples/programs/clock.s
+        .entry main
+main:   loadi r1, 500000     ; 500 ms of computation
+        sys   7              ; compute
+        sys   2              ; get_time -> r1 (ms)
+        loadi r2, 1000
+        div   r1, r1, r2
+        sys   0              ; exit(seconds)

@@ -1,0 +1,16 @@
+; Counts 9..0 on the console, then exits with code 0.
+; Try: dune exec bin/vsim.exe -- run examples/programs/countdown.s
+        .entry main
+main:   loadi r5, 9
+loop:   loadi r1, 48
+        add   r1, r1, r5     ; '0' + n
+        sys   1
+        loadi r1, 10         ; newline
+        sys   1
+        loadi r2, 1
+        sub   r5, r5, r2
+        loadi r3, 0
+        blt   r5, r3, done
+        jmp   loop
+done:   loadi r1, 0
+        sys   0

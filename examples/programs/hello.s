@@ -1,0 +1,12 @@
+; Try: dune exec bin/vsim.exe -- run examples/programs/hello.s
+        .entry main
+text:   .ascii "hello, diskless world\n"
+        .word 0
+main:   loadi r2, @text
+loop:   ldb   r1, [r2+0]
+        jz    r1, done
+        sys   1              ; put_char
+        loadi r3, 1
+        add   r2, r2, r3
+        jmp   loop
+done:   halt

@@ -1,0 +1,36 @@
+(** A streaming (windowed) sequential file-transfer protocol.
+
+    Section 6.2 argues that streaming "can be done without" on a local
+    network: disk latency dominates, the synchronous V exchange already
+    overlaps client and server processing, and streaming costs buffer
+    space, copies and code.  To measure that claim we implement what the
+    paper declined to: a sliding-window streaming reader over raw frames.
+
+    The server pushes data pages for a whole file, keeping up to [window]
+    pages unacknowledged; the client acks cumulatively and hands each page
+    to the application (paying a configurable per-page copy from its
+    protocol buffer — the extra copy streaming needs).  Lost pages are
+    recovered go-back-N style from the cumulative ack. *)
+
+type server
+
+val start_server :
+  Vsim.Engine.t -> nic:Vnet.Nic.t -> fs:Vfs.Fs.t -> ?window:int ->
+  ?process_ns:int -> unit -> server
+(** [window] defaults to 4 pages. *)
+
+type stats = {
+  bytes : int;
+  pages : int;
+  elapsed_ns : int;
+  per_page_ns : int;
+}
+
+val stream_file :
+  Vsim.Engine.t -> nic:Vnet.Nic.t -> server:Vnet.Addr.t -> inum:int ->
+  ?client_think_ns:int -> ?buffer_copy:bool -> unit ->
+  (stats, string) result
+(** Read the whole file sequentially (fiber-blocking).
+    [client_think_ns] models application compute between pages;
+    [buffer_copy] (default true) charges the page copy out of the protocol
+    buffer that streaming implies. *)

@@ -1,0 +1,1712 @@
+type status = Ok | Nonexistent | Bad_address | No_permission | Too_big
+
+let status_to_string = function
+  | Ok -> "ok"
+  | Nonexistent -> "nonexistent"
+  | Bad_address -> "bad-address"
+  | No_permission -> "no-permission"
+  | Too_big -> "too-big"
+
+let pp_status fmt s = Format.pp_print_string fmt (status_to_string s)
+
+(* Status codes as carried in Nack packets' aux field. *)
+let status_to_code = function
+  | Ok -> 0
+  | Nonexistent -> 1
+  | Bad_address -> 2
+  | No_permission -> 3
+  | Too_big -> 4
+
+let status_of_code = function
+  | 2 -> Bad_address
+  | 3 -> No_permission
+  | 4 -> Too_big
+  | _ -> Nonexistent
+
+type scope = Local | Remote | Any
+
+type config = {
+  retransmit_timeout_ns : int;
+  max_retries : int;
+  max_aliens : int;
+  max_packet_data : int;
+  max_seg_append : int;
+  getpid_timeout_ns : int;
+  getpid_retries : int;
+  default_mem_size : int;
+  ip_header_mode : bool;
+  process_server_mode : bool;
+}
+
+let default_config =
+  {
+    retransmit_timeout_ns = Vsim.Time.ms 200;
+    max_retries = 5;
+    max_aliens = 64;
+    max_packet_data = 1024;
+    max_seg_append = 512;
+    getpid_timeout_ns = Vsim.Time.ms 20;
+    getpid_retries = 3;
+    default_mem_size = 256 * 1024;
+    ip_header_mode = false;
+    process_server_mode = false;
+  }
+
+type grant = {
+  granted_to : Pid.t;
+  g_access : Msg.access;
+  g_ptr : int;
+  g_len : int;
+}
+
+type pstate = Ready | Receive_blocked | Awaiting_reply of Pid.t | Dead
+
+type queued = {
+  q_src : Pid.t;
+  q_seq : int;  (** alien seq for remote entries; 0 for local *)
+  q_msg : Msg.t;
+  q_local : bool;
+}
+
+type receive_wait = {
+  rw_msg : Msg.t;
+  rw_seg : (int * int) option;
+  rw_from : Pid.t option;  (** ReceiveSpecific filter *)
+  rw_k : Pid.t * int -> unit;
+}
+
+(* Remote-send state of a locally blocked sender. *)
+type rsend = {
+  mutable rs_pkt : Packet.t;
+  mutable rs_dst_host : int;
+  mutable rs_retries : int;
+  mutable rs_timer : Vsim.Engine.handle option;
+}
+
+type desc = {
+  d_pid : Pid.t;
+  mutable d_name : string;
+  d_mem : Mem.t;
+  d_queue : queued Queue.t;
+  mutable d_state : pstate;
+  mutable d_grant : grant option;
+  mutable d_on_reply : (status -> unit) option;
+  mutable d_reply_buf : Msg.t option;
+  mutable d_recv : receive_wait option;
+  mutable d_rsend : rsend option;
+}
+
+(* Alien process descriptors: surrogates for remote senders (Section 3.2).
+   They hold the message, filter retransmissions and cache the reply. *)
+type alien_state = A_queued | A_received | A_replied | A_forwarded
+
+type alien = {
+  al_src : Pid.t;
+  al_dst : Pid.t;
+  al_seq : int;
+  mutable al_state : alien_state;
+  mutable al_reply : Packet.t option;
+  mutable al_fwd : Pid.t;  (** where the message went when forwarded *)
+  al_msg : Msg.t;
+  al_data : Bytes.t;  (** piggybacked segment prefix *)
+}
+
+(* Sender side of an in-flight MoveTo. *)
+type mt_out = {
+  mto_seq : int;
+  mto_src : Pid.t;  (** the mover *)
+  mto_dst : Pid.t;
+  mto_src_ptr : int;
+  mto_dst_ptr : int;
+  mto_total : int;
+  mto_mem : Mem.t;
+  mutable mto_gen : int;  (** invalidates superseded streaming chains *)
+  mutable mto_retries : int;
+  mutable mto_timer : Vsim.Engine.handle option;
+  mto_done : status -> unit;
+}
+
+(* Receiver side of an in-flight MoveTo, keyed by (src host, seq). *)
+type mt_in = {
+  mti_src : Pid.t;
+  mti_dst : Pid.t;
+  mti_dst_ptr : int;
+  mti_total : int;
+  mti_born : Vsim.Time.t;
+  mutable mti_expected : int;
+  mutable mti_complete : bool;
+}
+
+(* Requester side of an in-flight MoveFrom. *)
+type mf_out = {
+  mfo_seq : int;
+  mfo_me : Pid.t;  (** the requesting process *)
+  mfo_src : Pid.t;  (** remote process we read from *)
+  mfo_src_ptr : int;
+  mfo_dst_ptr : int;
+  mfo_total : int;
+  mfo_mem : Mem.t;
+  mutable mfo_expected : int;
+  mutable mfo_retries : int;
+  mutable mfo_timer : Vsim.Engine.handle option;
+  mfo_done : status -> unit;
+}
+
+type registry_entry = { re_pid : Pid.t; re_scope : scope }
+
+type getpid_wait = {
+  mutable gw_timer : Vsim.Engine.handle option;
+  mutable gw_tries : int;
+  mutable gw_waiters : (Pid.t option -> unit) list;
+}
+
+type addressing = Direct | Mapped
+
+type stats = {
+  packets_sent : int;
+  packets_received : int;
+  retransmissions : int;
+  duplicates_filtered : int;
+  reply_pendings_sent : int;
+  nacks_sent : int;
+  naks_sent : int;
+  aliens_created : int;
+  alien_pool_full : int;
+  sends_local : int;
+  sends_remote : int;
+  moves_local : int;
+  moves_remote : int;
+}
+
+type t = {
+  eng : Vsim.Engine.t;
+  kcpu : Vhw.Cpu.t;
+  nic : Vnet.Nic.t;
+  khost : int;
+  cfg : config;
+  addressing : addressing;
+  host_map : (int, Vnet.Addr.t) Hashtbl.t;  (** Mapped mode only *)
+  procs : (int, desc) Hashtbl.t;  (** local id -> descriptor *)
+  fibers : (int, desc) Hashtbl.t;  (** fiber id -> descriptor *)
+  aliens : (Pid.t, alien) Hashtbl.t;
+  mutable alien_count : int;
+  mt_outs : (int, mt_out) Hashtbl.t;
+  mt_ins : (int * int, mt_in) Hashtbl.t;
+  mf_outs : (int, mf_out) Hashtbl.t;
+  registry : (int, registry_entry) Hashtbl.t;
+  getpid_cache : (int, Pid.t) Hashtbl.t;
+  getpid_waits : (int, getpid_wait) Hashtbl.t;
+  mutable next_local_id : int;
+  mutable next_seq : int;
+  (* statistics *)
+  mutable s_tx : int;
+  mutable s_rx : int;
+  mutable s_retrans : int;
+  mutable s_dups : int;
+  mutable s_rpend : int;
+  mutable s_nacks : int;
+  mutable s_naks : int;
+  mutable s_aliens : int;
+  mutable s_pool_full : int;
+  mutable s_send_local : int;
+  mutable s_send_remote : int;
+  mutable s_move_local : int;
+  mutable s_move_remote : int;
+}
+
+let engine t = t.eng
+let cpu t = t.kcpu
+let host t = t.khost
+let config t = t.cfg
+let model t = Vhw.Cpu.model t.kcpu
+
+(* ------------------------------------------------------------------ *)
+(* Small helpers                                                       *)
+
+let charge t ns = Vhw.Cpu.charge t.kcpu ns
+let charge_k t ns k = Vhw.Cpu.charge_k t.kcpu ns k
+
+(* Asynchronous accounting charge: real processor time that overlaps the
+   network round trip (timer setup, alien reclamation, ...). *)
+let charge_async t ns = if ns > 0 then Vhw.Cpu.charge_k t.kcpu ns ignore
+
+let next_seq t =
+  t.next_seq <- t.next_seq + 1;
+  t.next_seq
+
+let find_proc t pid =
+  if Pid.host pid <> t.khost then None
+  else
+    match Hashtbl.find_opt t.procs (Pid.local pid) with
+    | Some d when d.d_state <> Dead -> Some d
+    | Some _ | None -> None
+
+let current t =
+  let fiber = Vsim.Proc.self () in
+  match Hashtbl.find_opt t.fibers (Vsim.Proc.id fiber) with
+  | Some d -> d
+  | None ->
+      Fmt.failwith "V kernel operation outside a process of host %d" t.khost
+
+(* ------------------------------------------------------------------ *)
+(* Packet transmission                                                 *)
+
+let ip_pad = 20
+
+let addr_for t ~dst_host =
+  match t.addressing with
+  | Direct -> dst_host land 0xFF
+  | Mapped -> (
+      match Hashtbl.find_opt t.host_map dst_host with
+      | Some a -> a
+      | None -> Vnet.Addr.broadcast)
+
+(* The process-level network server ablation: model the relay process the
+   paper rejected — an extra message copy plus two context switches on
+   every packet, in each direction. *)
+let relay_cost t len =
+  let m = model t in
+  (2 * m.Vhw.Cost_model.context_switch_ns)
+  + m.Vhw.Cost_model.send_op_ns
+  + (len * m.Vhw.Cost_model.mem_copy_ns_per_byte)
+
+let send_pkt_gen t ?(pre_cost = 0) ~dst_addr pkt k =
+  let payload = Packet.to_bytes pkt in
+  let payload =
+    if t.cfg.ip_header_mode then Bytes.cat (Bytes.make ip_pad '\000') payload
+    else payload
+  in
+  let pre_cost =
+    pre_cost
+    + (if t.cfg.ip_header_mode then
+         (model t).Vhw.Cost_model.ip_header_extra_ns
+       else 0)
+    + (if t.cfg.process_server_mode then relay_cost t (Bytes.length payload)
+       else 0)
+  in
+  t.s_tx <- t.s_tx + 1;
+  Vsim.Trace.emitf t.eng ~topic:"kernel" "host %d tx %a" t.khost Packet.pp pkt;
+  Vnet.Nic.send_k t.nic ~pre_cost ~dst:dst_addr
+    ~ethertype:Vnet.Frame.ethertype_kernel payload k
+
+let send_pkt_k t ?pre_cost ~dst_host pkt k =
+  send_pkt_gen t ?pre_cost ~dst_addr:(addr_for t ~dst_host) pkt k
+
+let send_pkt t ?pre_cost ~dst_host pkt =
+  send_pkt_k t ?pre_cost ~dst_host pkt ignore
+
+(* ------------------------------------------------------------------ *)
+(* Grants                                                              *)
+
+let grant_covers (g : grant) ~who ~ptr ~len ~need_write =
+  Pid.equal g.granted_to who
+  && (match g.g_access, need_write with
+     | (Msg.Write_only | Msg.Read_write), true -> true
+     | (Msg.Read_only | Msg.Read_write), false -> true
+     | Msg.Read_only, true | Msg.Write_only, false -> false)
+  && ptr >= g.g_ptr
+  && ptr + len <= g.g_ptr + g.g_len
+
+let grant_of_msg msg ~granted_to =
+  match Msg.segment msg with
+  | None -> None
+  | Some (g_access, g_ptr, g_len) ->
+      Some { granted_to; g_access; g_ptr; g_len }
+
+(* ------------------------------------------------------------------ *)
+(* Message delivery to receivers                                       *)
+
+(* Deliver the segment piggyback for ReceiveWithSegment.  Local senders'
+   segments are read straight out of their address space; remote senders'
+   arrive as appended packet data. *)
+let deliver_segment t ~(entry : queued) ~seg ~(recv : desc) =
+  match seg with
+  | None -> 0
+  | Some (segptr, segsize) -> (
+      let m = model t in
+      if entry.q_local then
+        match
+          ( (if Msg.piggyback_allowed entry.q_msg then
+               Msg.readable_segment entry.q_msg
+             else None),
+            find_proc t entry.q_src )
+        with
+        | Some (sptr, slen), Some sender ->
+            let count = min slen segsize in
+            let count =
+              if
+                Mem.valid sender.d_mem ~pos:sptr ~len:count
+                && Mem.valid recv.d_mem ~pos:segptr ~len:count
+              then count
+              else 0
+            in
+            if count > 0 then begin
+              charge_async t
+                (m.Vhw.Cost_model.segment_handling_ns
+                + (count * m.Vhw.Cost_model.mem_copy_ns_per_byte));
+              Mem.transfer ~src:sender.d_mem ~src_pos:sptr ~dst:recv.d_mem
+                ~dst_pos:segptr ~len:count
+            end;
+            count
+        | _ -> 0
+      else
+        match Hashtbl.find_opt t.aliens entry.q_src with
+        | Some al when al.al_seq = entry.q_seq ->
+            let count = min (Bytes.length al.al_data) segsize in
+            let count =
+              if Mem.valid recv.d_mem ~pos:segptr ~len:count then count else 0
+            in
+            if count > 0 then begin
+              (* The NIC already paid the per-byte copy; placing the data in
+                 its final location costs only the segment bookkeeping. *)
+              charge_async t m.Vhw.Cost_model.segment_handling_ns;
+              Mem.blit_in recv.d_mem ~pos:segptr al.al_data ~src_off:0
+                ~len:count
+            end;
+            count
+        | Some _ | None -> 0)
+
+(* An entry still stands if its sender has neither died nor been
+   superseded by a newer retransmission epoch. *)
+let entry_valid t (d : desc) (entry : queued) =
+  if entry.q_local then
+    match find_proc t entry.q_src with
+    | Some sender -> sender.d_state = Awaiting_reply d.d_pid
+    | None -> false
+  else
+    match Hashtbl.find_opt t.aliens entry.q_src with
+    | Some al -> al.al_seq = entry.q_seq && al.al_state = A_queued
+    | None -> false
+
+(* Pop the first valid entry, optionally only from a specific sender
+   (ReceiveSpecific); dead entries are discarded, others retained in
+   order. *)
+let pop_valid ?from t (d : desc) =
+  let keep = Queue.create () in
+  let rec scan found =
+    match Queue.take_opt d.d_queue with
+    | None -> found
+    | Some entry ->
+        if not (entry_valid t d entry) then scan found
+        else if
+          found = None
+          && (match from with
+             | None -> true
+             | Some pid -> Pid.equal pid entry.q_src)
+        then scan (Some entry)
+        else begin
+          Queue.add entry keep;
+          scan found
+        end
+  in
+  let found = scan None in
+  Queue.transfer keep d.d_queue;
+  found
+
+let mark_received t (entry : queued) =
+  if not entry.q_local then
+    match Hashtbl.find_opt t.aliens entry.q_src with
+    | Some al -> al.al_state <- A_received
+    | None -> ()
+
+(* If [d] is blocked in Receive and a message is available, complete the
+   Receive: copy the message, deliver any segment, charge the context
+   switch and resume the fiber. *)
+let try_deliver t (d : desc) =
+  match d.d_recv with
+  | None -> ()
+  | Some rw -> (
+      match pop_valid ?from:rw.rw_from t d with
+      | None -> ()
+      | Some entry ->
+          d.d_recv <- None;
+          d.d_state <- Ready;
+          Msg.blit ~src:entry.q_msg ~dst:rw.rw_msg;
+          let count = deliver_segment t ~entry ~seg:rw.rw_seg ~recv:d in
+          mark_received t entry;
+          charge_k t (model t).Vhw.Cost_model.context_switch_ns (fun () ->
+              rw.rw_k (entry.q_src, count)))
+
+(* ------------------------------------------------------------------ *)
+(* Alien management                                                    *)
+
+let remove_alien t (al : alien) =
+  Hashtbl.remove t.aliens al.al_src;
+  t.alien_count <- t.alien_count - 1
+
+(* Reclaim a replied alien to make room; returns true on success. *)
+let reclaim_one_alien t =
+  let victim =
+    Hashtbl.fold
+      (fun _ al acc ->
+        match acc with
+        | Some _ -> acc
+        | None -> if al.al_state = A_replied then Some al else None)
+      t.aliens None
+  in
+  match victim with
+  | Some al ->
+      remove_alien t al;
+      true
+  | None -> false
+
+(* ------------------------------------------------------------------ *)
+(* Remote send: retransmission machinery                               *)
+
+let cancel_timer = function Some h -> Vsim.Engine.cancel h | None -> ()
+
+let finish_send t (d : desc) st =
+  match d.d_rsend with
+  | None -> ()
+  | Some rs ->
+      cancel_timer rs.rs_timer;
+      d.d_rsend <- None;
+      d.d_state <- Ready;
+      let k = d.d_on_reply in
+      d.d_on_reply <- None;
+      d.d_reply_buf <- None;
+      (match k with
+      | Some k ->
+          charge_k t (model t).Vhw.Cost_model.context_switch_ns (fun () ->
+              k st)
+      | None -> ())
+
+let rec arm_send_timer t (d : desc) (rs : rsend) =
+  rs.rs_timer <-
+    Some
+      (Vsim.Engine.after t.eng t.cfg.retransmit_timeout_ns (fun () ->
+           retransmit_send t d rs))
+
+and retransmit_send t (d : desc) (rs : rsend) =
+  match d.d_rsend with
+  | Some rs' when rs' == rs ->
+      rs.rs_retries <- rs.rs_retries + 1;
+      if rs.rs_retries > t.cfg.max_retries then finish_send t d Nonexistent
+      else begin
+        t.s_retrans <- t.s_retrans + 1;
+        Vsim.Trace.emitf t.eng ~topic:"kernel"
+          "host %d retransmit seq=%d try=%d" t.khost rs.rs_pkt.Packet.seq
+          rs.rs_retries;
+        send_pkt t ~dst_host:rs.rs_dst_host rs.rs_pkt;
+        arm_send_timer t d rs
+      end
+  | Some _ | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* NACKs and reply-pendings                                            *)
+
+let send_nack t ~dst_host ~src_pid ~dst_pid ~seq st =
+  t.s_nacks <- t.s_nacks + 1;
+  send_pkt t ~dst_host
+    (Packet.make ~op:Packet.Nack ~src_pid ~dst_pid ~seq
+       ~aux:(status_to_code st) ())
+
+let send_reply_pending t ~dst_host ~src_pid ~dst_pid ~seq =
+  t.s_rpend <- t.s_rpend + 1;
+  send_pkt t ~dst_host
+    (Packet.make ~op:Packet.Reply_pending ~src_pid ~dst_pid ~seq ())
+
+(* ------------------------------------------------------------------ *)
+(* MoveTo / MoveFrom streaming                                         *)
+
+let mt_alive t (mto : mt_out) =
+  match Hashtbl.find_opt t.mt_outs mto.mto_seq with
+  | Some m -> m == mto
+  | None -> false
+
+let mf_alive t (mfo : mf_out) =
+  match Hashtbl.find_opt t.mf_outs mfo.mfo_seq with
+  | Some m -> m == mfo
+  | None -> false
+
+let mt_finish t (mto : mt_out) st =
+  if mt_alive t mto then begin
+    cancel_timer mto.mto_timer;
+    Hashtbl.remove t.mt_outs mto.mto_seq;
+    charge_k t (model t).Vhw.Cost_model.context_switch_ns (fun () ->
+        mto.mto_done st)
+  end
+
+let rec mt_arm_timer t (mto : mt_out) =
+  cancel_timer mto.mto_timer;
+  mto.mto_timer <-
+    Some
+      (Vsim.Engine.after t.eng t.cfg.retransmit_timeout_ns (fun () ->
+           mt_timeout t mto))
+
+and mt_timeout t (mto : mt_out) =
+  if mt_alive t mto then begin
+    mto.mto_retries <- mto.mto_retries + 1;
+    if mto.mto_retries > t.cfg.max_retries then mt_finish t mto Nonexistent
+    else begin
+      t.s_retrans <- t.s_retrans + 1;
+      (* Probe with an empty fragment at [total]: a receiver that is done
+         re-acks; one mid-transfer NAKs with the offset it needs, giving
+         retransmission from the last correctly received packet. *)
+      let probe =
+        Packet.make ~op:Packet.Data_mt ~src_pid:mto.mto_src
+          ~dst_pid:mto.mto_dst ~seq:mto.mto_seq ~offset:mto.mto_total
+          ~total:mto.mto_total ~aux:mto.mto_dst_ptr ()
+      in
+      send_pkt t ~dst_host:(Pid.host mto.mto_dst) probe;
+      mt_arm_timer t mto
+    end
+  end
+
+(* Stream MoveTo fragments as maximally-sized packets; one acknowledgement
+   at the end, none per packet (Section 3.3). *)
+let stream_mt t (mto : mt_out) ~from =
+  let m = model t in
+  let gen = mto.mto_gen in
+  let ok () = mt_alive t mto && mto.mto_gen = gen in
+  let rec go cursor =
+    if not (ok ()) then ()
+    else if cursor >= mto.mto_total then begin
+      charge_async t m.Vhw.Cost_model.send_bookkeep_ns;
+      mt_arm_timer t mto
+    end
+    else begin
+      let len = min t.cfg.max_packet_data (mto.mto_total - cursor) in
+      let data = Mem.read mto.mto_mem ~pos:(mto.mto_src_ptr + cursor) ~len in
+      let pkt =
+        Packet.make ~op:Packet.Data_mt ~src_pid:mto.mto_src
+          ~dst_pid:mto.mto_dst ~seq:mto.mto_seq ~offset:cursor
+          ~total:mto.mto_total ~aux:mto.mto_dst_ptr ~data ()
+      in
+      send_pkt_k t ~pre_cost:m.Vhw.Cost_model.data_pkt_op_ns
+        ~dst_host:(Pid.host mto.mto_dst) pkt (fun () -> go (cursor + len))
+    end
+  in
+  go from
+
+(* Stream MoveFrom data from a local reply-blocked process's granted
+   segment back to a remote requester. *)
+let stream_mf t ~(src_desc : desc) ~requester ~seq ~base_ptr ~total ~from =
+  let m = model t in
+  let ok () =
+    src_desc.d_state = Awaiting_reply requester
+    && (match src_desc.d_grant with
+       | Some g ->
+           grant_covers g ~who:requester ~ptr:base_ptr ~len:total
+             ~need_write:false
+       | None -> false)
+  in
+  let rec go cursor =
+    if not (ok ()) then ()
+    else if cursor >= total then
+      charge_async t m.Vhw.Cost_model.server_bookkeep_ns
+    else begin
+      let len = min t.cfg.max_packet_data (total - cursor) in
+      let data = Mem.read src_desc.d_mem ~pos:(base_ptr + cursor) ~len in
+      let pkt =
+        Packet.make ~op:Packet.Data_mf ~src_pid:src_desc.d_pid
+          ~dst_pid:requester ~seq ~offset:cursor ~total ~data ()
+      in
+      send_pkt_k t ~pre_cost:m.Vhw.Cost_model.data_pkt_op_ns
+        ~dst_host:(Pid.host requester) pkt (fun () -> go (cursor + len))
+    end
+  in
+  go from
+
+let mf_finish t (mfo : mf_out) st =
+  if mf_alive t mfo then begin
+    cancel_timer mfo.mfo_timer;
+    Hashtbl.remove t.mf_outs mfo.mfo_seq;
+    charge_k t (model t).Vhw.Cost_model.context_switch_ns (fun () ->
+        mfo.mfo_done st)
+  end
+
+let rec mf_send_request t (mfo : mf_out) =
+  let req =
+    Packet.make ~op:Packet.Move_from_req ~src_pid:mfo.mfo_me
+      ~dst_pid:mfo.mfo_src ~seq:mfo.mfo_seq ~offset:mfo.mfo_expected
+      ~total:mfo.mfo_total ~aux:mfo.mfo_src_ptr ()
+  in
+  send_pkt_k t ~dst_host:(Pid.host mfo.mfo_src) req (fun () ->
+      charge_async t (model t).Vhw.Cost_model.send_bookkeep_ns;
+      if mf_alive t mfo then mf_arm_timer t mfo)
+
+and mf_arm_timer t (mfo : mf_out) =
+  cancel_timer mfo.mfo_timer;
+  mfo.mfo_timer <-
+    Some
+      (Vsim.Engine.after t.eng t.cfg.retransmit_timeout_ns (fun () ->
+           mf_timeout t mfo))
+
+and mf_timeout t (mfo : mf_out) =
+  if mf_alive t mfo then begin
+    mfo.mfo_retries <- mfo.mfo_retries + 1;
+    if mfo.mfo_retries > t.cfg.max_retries then mf_finish t mfo Nonexistent
+    else begin
+      t.s_retrans <- t.s_retrans + 1;
+      mf_send_request t mfo
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Receive path: packet handlers                                       *)
+
+(* An incoming Send packet: create (or refresh) the alien, queue the
+   message, answer retransmissions per Section 3.2. *)
+let handle_send_pkt t (pkt : Packet.t) =
+  let src = pkt.Packet.src_pid and dst = pkt.Packet.dst_pid in
+  let reply_host = Pid.host src in
+  match find_proc t dst with
+  | None ->
+      send_nack t ~dst_host:reply_host ~src_pid:dst ~dst_pid:src
+        ~seq:pkt.Packet.seq Nonexistent
+  | Some dd -> (
+      match Hashtbl.find_opt t.aliens src with
+      | Some al when al.al_seq = pkt.Packet.seq -> (
+          (* Retransmission of a message we already hold. *)
+          t.s_dups <- t.s_dups + 1;
+          match al.al_state, al.al_reply with
+          | A_replied, Some reply -> send_pkt t ~dst_host:reply_host reply
+          | A_forwarded, _ ->
+              (* The exchange moved on: remind the sender where, so its
+                 retransmissions reach the kernel that can answer. *)
+              send_pkt t ~dst_host:reply_host
+                (Packet.make ~op:Packet.Fwd_notice ~src_pid:dst ~dst_pid:src
+                   ~seq:pkt.Packet.seq ~aux:(Pid.to_int al.al_fwd) ())
+          | A_replied, None | A_queued, _ | A_received, _ ->
+              send_reply_pending t ~dst_host:reply_host ~src_pid:dst
+                ~dst_pid:src ~seq:pkt.Packet.seq)
+      | existing ->
+          (* A new message from this sender supersedes any older alien. *)
+          (match existing with Some al -> remove_alien t al | None -> ());
+          if t.alien_count >= t.cfg.max_aliens && not (reclaim_one_alien t)
+          then begin
+            (* No descriptors available: discard, tell sender to wait. *)
+            t.s_pool_full <- t.s_pool_full + 1;
+            send_reply_pending t ~dst_host:reply_host ~src_pid:dst
+              ~dst_pid:src ~seq:pkt.Packet.seq
+          end
+          else begin
+            let al =
+              {
+                al_src = src;
+                al_dst = dst;
+                al_seq = pkt.Packet.seq;
+                al_state = A_queued;
+                al_reply = None;
+                al_fwd = Pid.nil;
+                al_msg = Msg.copy pkt.Packet.msg;
+                al_data = pkt.Packet.data;
+              }
+            in
+            Hashtbl.replace t.aliens src al;
+            t.alien_count <- t.alien_count + 1;
+            t.s_aliens <- t.s_aliens + 1;
+            Queue.add
+              {
+                q_src = src;
+                q_seq = al.al_seq;
+                q_msg = al.al_msg;
+                q_local = false;
+              }
+              dd.d_queue;
+            try_deliver t dd
+          end)
+
+(* A Reply packet for one of our blocked senders. *)
+let handle_reply_pkt t (pkt : Packet.t) =
+  match find_proc t pkt.Packet.dst_pid with
+  | None -> ()
+  | Some d -> (
+      match d.d_rsend with
+      | Some rs when rs.rs_pkt.Packet.seq = pkt.Packet.seq ->
+          (match d.d_reply_buf with
+          | Some buf -> Msg.blit ~src:pkt.Packet.msg ~dst:buf
+          | None -> ());
+          (* ReplyWithSegment: deposit the appended segment at the dest
+             pointer, provided this process granted write access there. *)
+          if Bytes.length pkt.Packet.data > 0 then begin
+            let ptr = pkt.Packet.offset
+            and len = Bytes.length pkt.Packet.data in
+            let allowed =
+              match d.d_grant with
+              | Some g ->
+                  grant_covers g ~who:pkt.Packet.src_pid ~ptr ~len
+                    ~need_write:true
+                  && Mem.valid d.d_mem ~pos:ptr ~len
+              | None -> false
+            in
+            if allowed then
+              Mem.blit_in d.d_mem ~pos:ptr pkt.Packet.data ~src_off:0 ~len
+          end;
+          d.d_grant <- None;
+          finish_send t d Ok
+      | Some _ | None -> ())
+
+let handle_reply_pending t (pkt : Packet.t) =
+  match find_proc t pkt.Packet.dst_pid with
+  | None -> ()
+  | Some d -> (
+      match d.d_rsend with
+      | Some rs when rs.rs_pkt.Packet.seq = pkt.Packet.seq ->
+          (* The receiver lives; be patient indefinitely. *)
+          rs.rs_retries <- 0;
+          cancel_timer rs.rs_timer;
+          arm_send_timer t d rs
+      | Some _ | None -> ())
+
+let handle_nack t (pkt : Packet.t) =
+  let st = status_of_code pkt.Packet.aux in
+  (* A NACK may target a blocked sender or an in-flight data transfer. *)
+  (match Hashtbl.find_opt t.mt_outs pkt.Packet.seq with
+  | Some mto -> mt_finish t mto st
+  | None -> ());
+  (match Hashtbl.find_opt t.mf_outs pkt.Packet.seq with
+  | Some mfo -> mf_finish t mfo st
+  | None -> ());
+  match find_proc t pkt.Packet.dst_pid with
+  | None -> ()
+  | Some d -> (
+      match d.d_rsend with
+      | Some rs when rs.rs_pkt.Packet.seq = pkt.Packet.seq ->
+          d.d_grant <- None;
+          finish_send t d st
+      | Some _ | None -> ())
+
+(* Incoming MoveTo fragment. *)
+let handle_data_mt t (pkt : Packet.t) =
+  let key = (Pid.host pkt.Packet.src_pid, pkt.Packet.seq) in
+  let mover = pkt.Packet.src_pid in
+  (* Data arriving from the process we are send-blocked on is proof of
+     life: a long MoveTo into our space must not trip our own Send
+     retransmission (the transfer can far outlast T). *)
+  (match find_proc t pkt.Packet.dst_pid with
+  | Some dd when dd.d_state = Awaiting_reply mover -> (
+      match dd.d_rsend with
+      | Some rs ->
+          rs.rs_retries <- 0;
+          cancel_timer rs.rs_timer;
+          arm_send_timer t dd rs
+      | None -> ())
+  | Some _ | None -> ());
+  let nak expected =
+    t.s_naks <- t.s_naks + 1;
+    send_pkt t ~dst_host:(Pid.host mover)
+      (Packet.make ~op:Packet.Data_nak ~src_pid:pkt.Packet.dst_pid
+         ~dst_pid:mover ~seq:pkt.Packet.seq ~offset:expected ())
+  in
+  let ack () =
+    send_pkt t ~dst_host:(Pid.host mover)
+      (Packet.make ~op:Packet.Data_ack ~src_pid:pkt.Packet.dst_pid
+         ~dst_pid:mover ~seq:pkt.Packet.seq ())
+  in
+  let mti =
+    match Hashtbl.find_opt t.mt_ins key with
+    | Some mti -> Some mti
+    | None -> (
+        (* First fragment of a new transfer: validate the grant. *)
+        match find_proc t pkt.Packet.dst_pid with
+        | None ->
+            send_nack t ~dst_host:(Pid.host mover) ~src_pid:pkt.Packet.dst_pid
+              ~dst_pid:mover ~seq:pkt.Packet.seq Nonexistent;
+            None
+        | Some dd ->
+            let ptr = pkt.Packet.aux and len = pkt.Packet.total in
+            let allowed =
+              dd.d_state = Awaiting_reply mover
+              && (match dd.d_grant with
+                 | Some g ->
+                     grant_covers g ~who:mover ~ptr ~len ~need_write:true
+                 | None -> false)
+              && Mem.valid dd.d_mem ~pos:ptr ~len
+            in
+            if not allowed then begin
+              send_nack t ~dst_host:(Pid.host mover)
+                ~src_pid:pkt.Packet.dst_pid ~dst_pid:mover
+                ~seq:pkt.Packet.seq No_permission;
+              None
+            end
+            else begin
+              (* Lazily reclaim entries old enough that their mover has
+                 long since given up retransmitting. *)
+              let now = Vsim.Engine.now t.eng in
+              let horizon = 20 * t.cfg.retransmit_timeout_ns in
+              let stale =
+                Hashtbl.fold
+                  (fun k mti acc ->
+                    if now - mti.mti_born > horizon then k :: acc else acc)
+                  t.mt_ins []
+              in
+              List.iter (Hashtbl.remove t.mt_ins) stale;
+              let mti =
+                {
+                  mti_src = mover;
+                  mti_dst = dd.d_pid;
+                  mti_dst_ptr = ptr;
+                  mti_total = len;
+                  mti_born = now;
+                  mti_expected = 0;
+                  mti_complete = false;
+                }
+              in
+              Hashtbl.replace t.mt_ins key mti;
+              Some mti
+            end)
+  in
+  match mti with
+  | None -> ()
+  | Some mti ->
+      if mti.mti_complete then ack ()
+      else begin
+        let off = pkt.Packet.offset
+        and len = Bytes.length pkt.Packet.data in
+        if off > mti.mti_expected then nak mti.mti_expected
+        else if off < mti.mti_expected then
+          (* Duplicate; data already placed. *)
+          t.s_dups <- t.s_dups + 1
+        else begin
+          (match find_proc t mti.mti_dst with
+          | Some dd when len > 0 ->
+              Mem.blit_in dd.d_mem ~pos:(mti.mti_dst_ptr + off)
+                pkt.Packet.data ~src_off:0 ~len
+          | Some _ | None -> ());
+          mti.mti_expected <- off + len;
+          if mti.mti_expected >= mti.mti_total then begin
+            mti.mti_complete <- true;
+            ack ()
+          end
+        end
+      end
+
+(* Incoming MoveFrom data fragment at the requester. *)
+let handle_data_mf t (pkt : Packet.t) =
+  match Hashtbl.find_opt t.mf_outs pkt.Packet.seq with
+  | None -> ()
+  | Some mfo ->
+      let off = pkt.Packet.offset and len = Bytes.length pkt.Packet.data in
+      if off > mfo.mfo_expected then begin
+        t.s_naks <- t.s_naks + 1;
+        send_pkt t ~dst_host:(Pid.host mfo.mfo_src)
+          (Packet.make ~op:Packet.Data_nak ~src_pid:mfo.mfo_me
+             ~dst_pid:mfo.mfo_src ~seq:mfo.mfo_seq ~offset:mfo.mfo_expected
+             ~total:mfo.mfo_total ~aux:mfo.mfo_src_ptr ())
+      end
+      else if off < mfo.mfo_expected then t.s_dups <- t.s_dups + 1
+      else begin
+        if len > 0 then
+          Mem.blit_in mfo.mfo_mem ~pos:(mfo.mfo_dst_ptr + off) pkt.Packet.data
+            ~src_off:0 ~len;
+        mfo.mfo_expected <- off + len;
+        (* Fresh data: the source is alive, push the timeout out. *)
+        if mfo.mfo_expected >= mfo.mfo_total then mf_finish t mfo Ok
+        else mf_arm_timer t mfo
+      end
+
+let handle_data_ack t (pkt : Packet.t) =
+  match Hashtbl.find_opt t.mt_outs pkt.Packet.seq with
+  | None -> ()
+  | Some mto -> mt_finish t mto Ok
+
+(* A NAK against one of our outgoing streams: rewind to the offset the
+   receiver reports and restart the stream from there. *)
+let handle_data_nak t (pkt : Packet.t) =
+  match Hashtbl.find_opt t.mt_outs pkt.Packet.seq with
+  | Some mto ->
+      mto.mto_gen <- mto.mto_gen + 1;
+      cancel_timer mto.mto_timer;
+      mto.mto_timer <- None;
+      stream_mt t mto ~from:pkt.Packet.offset
+  | None -> (
+      (* NAK of a MoveFrom stream we source: the NAK carries the transfer
+         shape (base/total) so no source-side transfer state is needed. *)
+      match find_proc t pkt.Packet.dst_pid with
+      | Some src_desc ->
+          stream_mf t ~src_desc ~requester:pkt.Packet.src_pid
+            ~seq:pkt.Packet.seq ~base_ptr:pkt.Packet.aux
+            ~total:pkt.Packet.total ~from:pkt.Packet.offset
+      | None -> ())
+
+let handle_move_from_req t (pkt : Packet.t) =
+  let requester = pkt.Packet.src_pid in
+  match find_proc t pkt.Packet.dst_pid with
+  | None ->
+      send_nack t ~dst_host:(Pid.host requester) ~src_pid:pkt.Packet.dst_pid
+        ~dst_pid:requester ~seq:pkt.Packet.seq Nonexistent
+  | Some sd ->
+      let ptr = pkt.Packet.aux and len = pkt.Packet.total in
+      let allowed =
+        sd.d_state = Awaiting_reply requester
+        && (match sd.d_grant with
+           | Some g ->
+               grant_covers g ~who:requester ~ptr ~len ~need_write:false
+           | None -> false)
+        && Mem.valid sd.d_mem ~pos:ptr ~len
+      in
+      if not allowed then
+        send_nack t ~dst_host:(Pid.host requester) ~src_pid:pkt.Packet.dst_pid
+          ~dst_pid:requester ~seq:pkt.Packet.seq No_permission
+      else
+        stream_mf t ~src_desc:sd ~requester ~seq:pkt.Packet.seq ~base_ptr:ptr
+          ~total:len ~from:pkt.Packet.offset
+
+(* A forward notice: our blocked sender's message moved to a new server;
+   retarget retransmissions and the segment grant (Thoth's Forward). *)
+let handle_fwd_notice t (pkt : Packet.t) =
+  match find_proc t pkt.Packet.dst_pid with
+  | None -> ()
+  | Some d -> (
+      match d.d_rsend with
+      | Some rs when rs.rs_pkt.Packet.seq = pkt.Packet.seq ->
+          let new_pid = Pid.of_int pkt.Packet.aux in
+          rs.rs_pkt <- { rs.rs_pkt with Packet.dst_pid = new_pid };
+          rs.rs_dst_host <- Pid.host new_pid;
+          rs.rs_retries <- 0;
+          cancel_timer rs.rs_timer;
+          arm_send_timer t d rs;
+          d.d_state <- Awaiting_reply new_pid;
+          (match d.d_grant with
+          | Some g -> d.d_grant <- Some { g with granted_to = new_pid }
+          | None -> ())
+      | Some _ | None -> ())
+
+(* Registry packets. *)
+let handle_getpid_req t (pkt : Packet.t) =
+  let lid = pkt.Packet.aux in
+  match Hashtbl.find_opt t.registry lid with
+  | Some { re_pid; re_scope = Remote | Any } ->
+      send_pkt t ~dst_host:(Pid.host pkt.Packet.src_pid)
+        (Packet.make ~op:Packet.Getpid_reply ~src_pid:re_pid
+           ~dst_pid:pkt.Packet.src_pid ~seq:pkt.Packet.seq ~aux:lid
+           ~offset:(Pid.to_int re_pid) ())
+  | Some { re_scope = Local; _ } | None -> ()
+
+let handle_getpid_reply t (pkt : Packet.t) =
+  let lid = pkt.Packet.aux in
+  let found = Pid.of_int pkt.Packet.offset in
+  Hashtbl.replace t.getpid_cache lid found;
+  match Hashtbl.find_opt t.getpid_waits lid with
+  | None -> ()
+  | Some gw ->
+      cancel_timer gw.gw_timer;
+      Hashtbl.remove t.getpid_waits lid;
+      List.iter (fun k -> k (Some found)) (List.rev gw.gw_waiters)
+
+(* Main receive dispatch, invoked by the NIC after the receive-side CPU
+   charge for the packet itself. *)
+let handle_frame t (frame : Vnet.Frame.t) =
+  begin
+    let payload = frame.Vnet.Frame.payload in
+    let payload, extra =
+      if t.cfg.ip_header_mode then
+        ( Bytes.sub payload ip_pad (Bytes.length payload - ip_pad),
+          (model t).Vhw.Cost_model.ip_header_extra_ns )
+      else (payload, 0)
+    in
+    let extra =
+      extra
+      + (if t.cfg.process_server_mode then relay_cost t (Bytes.length payload)
+         else 0)
+    in
+    match Packet.of_bytes payload with
+    | Error e ->
+        Vsim.Trace.emitf t.eng ~topic:"kernel" "host %d bad packet: %s"
+          t.khost e
+    | Ok pkt ->
+        t.s_rx <- t.s_rx + 1;
+        (* 10 Mb style host mapping is learned from traffic. *)
+        if t.addressing = Mapped && not (Pid.is_nil pkt.Packet.src_pid) then
+          Hashtbl.replace t.host_map
+            (Pid.host pkt.Packet.src_pid)
+            frame.Vnet.Frame.src;
+        if
+          Pid.host pkt.Packet.dst_pid <> t.khost
+          && pkt.Packet.op <> Packet.Getpid_req
+        then
+          (* Broadcast-fallback traffic meant for another host. *)
+          ()
+        else begin
+          let m = model t in
+          let dispatch () =
+            Vsim.Trace.emitf t.eng ~topic:"kernel" "host %d rx %a" t.khost
+              Packet.pp pkt;
+            match pkt.Packet.op with
+            | Packet.Send -> handle_send_pkt t pkt
+            | Packet.Reply -> handle_reply_pkt t pkt
+            | Packet.Reply_pending -> handle_reply_pending t pkt
+            | Packet.Nack -> handle_nack t pkt
+            | Packet.Data_mt -> handle_data_mt t pkt
+            | Packet.Data_mf -> handle_data_mf t pkt
+            | Packet.Data_ack -> handle_data_ack t pkt
+            | Packet.Data_nak -> handle_data_nak t pkt
+            | Packet.Move_from_req -> handle_move_from_req t pkt
+            | Packet.Getpid_req -> handle_getpid_req t pkt
+            | Packet.Getpid_reply -> handle_getpid_reply t pkt
+            | Packet.Fwd_notice -> handle_fwd_notice t pkt
+          in
+          (* Data fragments are handled at interrupt level with no extra
+             kernel-op charge (the NIC copy already placed the bytes);
+             control packets pay the remote-operation processing cost. *)
+          match pkt.Packet.op with
+          | Packet.Data_mt | Packet.Data_mf -> charge_k t extra dispatch
+          | Packet.Send | Packet.Reply | Packet.Reply_pending | Packet.Nack
+          | Packet.Data_ack | Packet.Data_nak | Packet.Move_from_req
+          | Packet.Getpid_req | Packet.Getpid_reply | Packet.Fwd_notice ->
+              charge_k t (extra + m.Vhw.Cost_model.remote_op_extra_ns) dispatch
+        end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+
+let make_kernel eng ~cpu ~nic ~host ~config ~addressing =
+  if host < 0 || host > 0xFFFF then invalid_arg "Kernel.create: bad host id";
+  (match addressing with
+  | Direct ->
+      if host <> Vnet.Nic.addr nic || host > 0xFF then
+        invalid_arg
+          "Kernel.create: direct addressing requires host = station address"
+  | Mapped -> ());
+  let t =
+    {
+      eng;
+      kcpu = cpu;
+      nic;
+      khost = host;
+      cfg = config;
+      addressing;
+      host_map = Hashtbl.create 16;
+      procs = Hashtbl.create 64;
+      fibers = Hashtbl.create 64;
+      aliens = Hashtbl.create 64;
+      alien_count = 0;
+      mt_outs = Hashtbl.create 16;
+      mt_ins = Hashtbl.create 16;
+      mf_outs = Hashtbl.create 16;
+      registry = Hashtbl.create 16;
+      getpid_cache = Hashtbl.create 16;
+      getpid_waits = Hashtbl.create 16;
+      next_local_id = 0;
+      next_seq = 0;
+      s_tx = 0;
+      s_rx = 0;
+      s_retrans = 0;
+      s_dups = 0;
+      s_rpend = 0;
+      s_nacks = 0;
+      s_naks = 0;
+      s_aliens = 0;
+      s_pool_full = 0;
+      s_send_local = 0;
+      s_send_remote = 0;
+      s_move_local = 0;
+      s_move_remote = 0;
+    }
+  in
+  Vnet.Nic.set_receiver nic ~ethertype:Vnet.Frame.ethertype_kernel
+    (handle_frame t);
+  t
+
+let create eng ~cpu ~nic ~host ?(config = default_config) () =
+  make_kernel eng ~cpu ~nic ~host ~config ~addressing:Direct
+
+let create_mapped eng ~cpu ~nic ~host ?(config = default_config) () =
+  make_kernel eng ~cpu ~nic ~host ~config ~addressing:Mapped
+
+(* ------------------------------------------------------------------ *)
+(* Processes                                                           *)
+
+let spawn t ?(name = "process") ?mem_size body =
+  t.next_local_id <- t.next_local_id + 1;
+  if t.next_local_id > 0xFFFF then failwith "Kernel.spawn: out of local ids";
+  let pid = Pid.make ~host:t.khost ~local:t.next_local_id in
+  let mem_size = Option.value mem_size ~default:t.cfg.default_mem_size in
+  let d =
+    {
+      d_pid = pid;
+      d_name = name;
+      d_mem = Mem.create ~size:mem_size;
+      d_queue = Queue.create ();
+      d_state = Ready;
+      d_grant = None;
+      d_on_reply = None;
+      d_reply_buf = None;
+      d_recv = None;
+      d_rsend = None;
+    }
+  in
+  Hashtbl.replace t.procs (Pid.local pid) d;
+  let (_ : Vsim.Proc.t) =
+    Vsim.Proc.spawn t.eng ~name (fun () ->
+        let self = Vsim.Proc.self () in
+        Hashtbl.replace t.fibers (Vsim.Proc.id self) d;
+        Fun.protect
+          ~finally:(fun () -> Hashtbl.remove t.fibers (Vsim.Proc.id self))
+          (fun () -> body pid))
+  in
+  pid
+
+let destroy t pid =
+  match find_proc t pid with
+  | None -> ()
+  | Some d ->
+      d.d_state <- Dead;
+      Hashtbl.remove t.procs (Pid.local pid);
+      (* Fail everyone who was talking to it. *)
+      Queue.iter
+        (fun entry ->
+          if entry.q_local then (
+            match
+              Hashtbl.find_opt t.procs (Pid.local entry.q_src)
+            with
+            | Some sender when sender.d_state = Awaiting_reply pid ->
+                sender.d_state <- Ready;
+                let k = sender.d_on_reply in
+                sender.d_on_reply <- None;
+                sender.d_reply_buf <- None;
+                (match k with
+                | Some k -> charge_k t 0 (fun () -> k Nonexistent)
+                | None -> ())
+            | Some _ | None -> ())
+          else
+            match Hashtbl.find_opt t.aliens entry.q_src with
+            | Some al when al.al_seq = entry.q_seq ->
+                remove_alien t al;
+                send_nack t ~dst_host:(Pid.host entry.q_src) ~src_pid:pid
+                  ~dst_pid:entry.q_src ~seq:entry.q_seq Nonexistent
+            | Some _ | None -> ())
+        d.d_queue;
+      Queue.clear d.d_queue;
+      (* Fail ReceiveSpecific waiters blocked on the destroyed process. *)
+      Hashtbl.iter
+        (fun _ (w : desc) ->
+          match w.d_recv with
+          | Some rw when rw.rw_from = Some pid ->
+              w.d_recv <- None;
+              w.d_state <- Ready;
+              charge_k t 0 (fun () -> rw.rw_k (Pid.nil, 0))
+          | Some _ | None -> ())
+        t.procs
+
+let memory t pid =
+  match find_proc t pid with
+  | Some d -> d.d_mem
+  | None -> Fmt.invalid_arg "Kernel.memory: no process %a" Pid.pp pid
+
+let self_pid t = (current t).d_pid
+let my_memory t = (current t).d_mem
+let alive t pid = find_proc t pid <> None
+
+let process_name t pid =
+  match find_proc t pid with Some d -> Some d.d_name | None -> None
+
+(* ------------------------------------------------------------------ *)
+(* IPC primitives                                                      *)
+
+let send t msg dst =
+  let d = current t in
+  let m = model t in
+  let seg_cost =
+    if Msg.has_segment msg then m.Vhw.Cost_model.segment_handling_ns else 0
+  in
+  charge t (m.Vhw.Cost_model.send_op_ns + seg_cost);
+  d.d_grant <- grant_of_msg msg ~granted_to:dst;
+  if Pid.host dst = t.khost then begin
+    t.s_send_local <- t.s_send_local + 1;
+    match find_proc t dst with
+    | None ->
+        d.d_grant <- None;
+        Nonexistent
+    | Some dd ->
+        Queue.add
+          { q_src = d.d_pid; q_seq = 0; q_msg = Msg.copy msg; q_local = true }
+          dd.d_queue;
+        d.d_state <- Awaiting_reply dst;
+        Vsim.Proc.suspend ~reason:"send" (fun resume ->
+            d.d_on_reply <- Some resume;
+            d.d_reply_buf <- Some msg;
+            try_deliver t dd)
+  end
+  else begin
+    t.s_send_remote <- t.s_send_remote + 1;
+    charge t m.Vhw.Cost_model.remote_op_extra_ns;
+    (* Piggyback the head of a read-accessible segment (Section 3.4). *)
+    let data =
+      match
+        if Msg.piggyback_allowed msg then Msg.readable_segment msg else None
+      with
+      | Some (ptr, len) ->
+          let n = min len t.cfg.max_seg_append in
+          if Mem.valid d.d_mem ~pos:ptr ~len:n then
+            Mem.read d.d_mem ~pos:ptr ~len:n
+          else Bytes.empty
+      | None -> Bytes.empty
+    in
+    let seq = next_seq t in
+    let pkt =
+      Packet.make ~op:Packet.Send ~src_pid:d.d_pid ~dst_pid:dst ~seq ~msg
+        ~data ()
+    in
+    let rs =
+      { rs_pkt = pkt; rs_dst_host = Pid.host dst; rs_retries = 0;
+        rs_timer = None }
+    in
+    d.d_rsend <- Some rs;
+    d.d_state <- Awaiting_reply dst;
+    Vsim.Proc.suspend ~reason:"send-remote" (fun resume ->
+        d.d_on_reply <- Some resume;
+        d.d_reply_buf <- Some msg;
+        send_pkt_k t ~dst_host:(Pid.host dst) pkt (fun () ->
+            charge_async t m.Vhw.Cost_model.send_bookkeep_ns;
+            match d.d_rsend with
+            | Some rs' when rs' == rs -> arm_send_timer t d rs
+            | Some _ | None -> ()))
+  end
+
+let receive_gen ?from t msg ~seg =
+  let d = current t in
+  let m = model t in
+  charge t m.Vhw.Cost_model.receive_op_ns;
+  match pop_valid ?from t d with
+  | Some entry ->
+      (* Message already queued: no blocking, no context switch. *)
+      Msg.blit ~src:entry.q_msg ~dst:msg;
+      let count = deliver_segment t ~entry ~seg ~recv:d in
+      mark_received t entry;
+      (entry.q_src, count)
+  | None ->
+      d.d_state <- Receive_blocked;
+      Vsim.Proc.suspend ~reason:"receive" (fun resume ->
+          d.d_recv <-
+            Some { rw_msg = msg; rw_seg = seg; rw_from = from; rw_k = resume })
+
+let receive t msg = fst (receive_gen t msg ~seg:None)
+
+let receive_with_segment t msg ~segptr ~segsize =
+  receive_gen t msg ~seg:(Some (segptr, segsize))
+
+let receive_specific t msg from =
+  (* Fail fast if the awaited process is local and already dead; for
+     remote pids there is nothing to check without traffic. *)
+  if Pid.host from = t.khost && find_proc t from = None then begin
+    charge t (model t).Vhw.Cost_model.receive_op_ns;
+    Nonexistent
+  end
+  else begin
+    let src, _count = receive_gen ~from t msg ~seg:None in
+    if Pid.is_nil src then Nonexistent else Ok
+  end
+
+let reply_gen t msg dst ~seg =
+  let d = current t in
+  let m = model t in
+  let seg_cost =
+    match seg with Some _ -> m.Vhw.Cost_model.segment_handling_ns | None -> 0
+  in
+  charge t (m.Vhw.Cost_model.reply_op_ns + seg_cost);
+  if Pid.host dst = t.khost then begin
+    match find_proc t dst with
+    | Some dd when dd.d_state = Awaiting_reply d.d_pid -> (
+        let seg_status =
+          match seg with
+          | None -> Ok
+          | Some (destptr, segptr, segsize) ->
+              if not (Mem.valid d.d_mem ~pos:segptr ~len:segsize) then
+                Bad_address
+              else begin
+                let allowed =
+                  match dd.d_grant with
+                  | Some g ->
+                      grant_covers g ~who:d.d_pid ~ptr:destptr ~len:segsize
+                        ~need_write:true
+                      && Mem.valid dd.d_mem ~pos:destptr ~len:segsize
+                  | None -> false
+                in
+                if not allowed then No_permission
+                else begin
+                  charge t (segsize * m.Vhw.Cost_model.mem_copy_ns_per_byte);
+                  Mem.transfer ~src:d.d_mem ~src_pos:segptr ~dst:dd.d_mem
+                    ~dst_pos:destptr ~len:segsize;
+                  Ok
+                end
+              end
+        in
+        match seg_status with
+        | Ok ->
+            (match dd.d_reply_buf with
+            | Some buf -> Msg.blit ~src:msg ~dst:buf
+            | None -> ());
+            dd.d_state <- Ready;
+            dd.d_grant <- None;
+            let k = dd.d_on_reply in
+            dd.d_on_reply <- None;
+            dd.d_reply_buf <- None;
+            (match k with
+            | Some k ->
+                charge_k t m.Vhw.Cost_model.context_switch_ns (fun () ->
+                    k Ok)
+            | None -> ());
+            Ok
+        | (Nonexistent | Bad_address | No_permission | Too_big) as err -> err)
+    | Some _ | None -> No_permission
+  end
+  else begin
+    (* Reply to an alien: the reply packet is the acknowledgement. *)
+    match Hashtbl.find_opt t.aliens dst with
+    | Some al
+      when Pid.equal al.al_dst d.d_pid
+           && (al.al_state = A_received || al.al_state = A_queued) -> (
+        let build_and_send data destptr =
+          let pkt =
+            Packet.make ~op:Packet.Reply ~src_pid:d.d_pid ~dst_pid:dst
+              ~seq:al.al_seq ~offset:destptr ~msg ~data ()
+          in
+          al.al_state <- A_replied;
+          al.al_reply <- Some pkt;
+          (* The alien/timer upkeep of the reply side is accounted by the
+             asynchronous server bookkeeping charge below. *)
+          Vsim.Proc.suspend ~reason:"reply-tx" (fun resume ->
+              send_pkt_k t ~dst_host:(Pid.host dst) pkt (fun () ->
+                  charge_async t m.Vhw.Cost_model.server_bookkeep_ns;
+                  resume ()));
+          Ok
+        in
+        match seg with
+        | None -> build_and_send Bytes.empty 0
+        | Some (destptr, segptr, segsize) ->
+            if segsize > t.cfg.max_packet_data then Too_big
+            else if not (Mem.valid d.d_mem ~pos:segptr ~len:segsize) then
+              Bad_address
+            else
+              build_and_send (Mem.read d.d_mem ~pos:segptr ~len:segsize)
+                destptr)
+    | Some _ | None -> No_permission
+  end
+
+let reply t msg dst = reply_gen t msg dst ~seg:None
+
+let reply_with_segment t msg dst ~destptr ~segptr ~segsize =
+  reply_gen t msg dst ~seg:(Some (destptr, segptr, segsize))
+
+(* Thoth's Forward: hand a received message on to another server, leaving
+   the original sender blocked on the new recipient.  The reply travels
+   straight from the new server to the sender; this kernel drops out of
+   the exchange entirely. *)
+let forward t msg ~from_pid ~to_pid =
+  let d = current t in
+  let m = model t in
+  charge t m.Vhw.Cost_model.send_op_ns;
+  let fail_sender_local (fd : desc) st =
+    fd.d_state <- Ready;
+    fd.d_grant <- None;
+    (match fd.d_rsend with
+    | Some rs ->
+        cancel_timer rs.rs_timer;
+        fd.d_rsend <- None
+    | None -> ());
+    let k = fd.d_on_reply in
+    fd.d_on_reply <- None;
+    fd.d_reply_buf <- None;
+    match k with
+    | Some k -> charge_k t 0 (fun () -> k st)
+    | None -> ()
+  in
+  if Pid.host from_pid = t.khost then begin
+    (* The sender is local to this kernel. *)
+    match find_proc t from_pid with
+    | Some fd when fd.d_state = Awaiting_reply d.d_pid ->
+        fd.d_grant <- grant_of_msg msg ~granted_to:to_pid;
+        if Pid.host to_pid = t.khost then begin
+          match find_proc t to_pid with
+          | None ->
+              fail_sender_local fd Nonexistent;
+              Nonexistent
+          | Some td ->
+              Queue.add
+                { q_src = from_pid; q_seq = 0; q_msg = Msg.copy msg;
+                  q_local = true }
+                td.d_queue;
+              fd.d_state <- Awaiting_reply to_pid;
+              try_deliver t td;
+              Ok
+        end
+        else begin
+          (* Re-launch the message as a remote Send on the sender's
+             behalf; the sender now waits on the network path. *)
+          charge t m.Vhw.Cost_model.remote_op_extra_ns;
+          let data =
+            match
+              if Msg.piggyback_allowed msg then Msg.readable_segment msg
+              else None
+            with
+            | Some (ptr, len) ->
+                let n = min len t.cfg.max_seg_append in
+                if Mem.valid fd.d_mem ~pos:ptr ~len:n then
+                  Mem.read fd.d_mem ~pos:ptr ~len:n
+                else Bytes.empty
+            | None -> Bytes.empty
+          in
+          let seq = next_seq t in
+          let pkt =
+            Packet.make ~op:Packet.Send ~src_pid:from_pid ~dst_pid:to_pid
+              ~seq ~msg ~data ()
+          in
+          let rs =
+            { rs_pkt = pkt; rs_dst_host = Pid.host to_pid; rs_retries = 0;
+              rs_timer = None }
+          in
+          fd.d_rsend <- Some rs;
+          fd.d_state <- Awaiting_reply to_pid;
+          send_pkt_k t ~dst_host:(Pid.host to_pid) pkt (fun () ->
+              charge_async t m.Vhw.Cost_model.send_bookkeep_ns;
+              match fd.d_rsend with
+              | Some rs' when rs' == rs -> arm_send_timer t fd rs
+              | Some _ | None -> ());
+          Ok
+        end
+    | Some _ | None -> No_permission
+  end
+  else begin
+    (* The sender is an alien: it sent from another workstation. *)
+    match Hashtbl.find_opt t.aliens from_pid with
+    | Some al
+      when Pid.equal al.al_dst d.d_pid
+           && (al.al_state = A_received || al.al_state = A_queued) ->
+        if Pid.host to_pid = t.khost then begin
+          (* New server is local: retarget the alien and requeue. *)
+          match find_proc t to_pid with
+          | None ->
+              remove_alien t al;
+              send_nack t ~dst_host:(Pid.host from_pid) ~src_pid:d.d_pid
+                ~dst_pid:from_pid ~seq:al.al_seq Nonexistent;
+              Nonexistent
+          | Some td ->
+              Msg.blit ~src:msg ~dst:al.al_msg;
+              let al' = { al with al_dst = to_pid; al_state = A_queued } in
+              Hashtbl.replace t.aliens from_pid al';
+              Queue.add
+                { q_src = from_pid; q_seq = al.al_seq; q_msg = al'.al_msg;
+                  q_local = false }
+                td.d_queue;
+              try_deliver t td;
+              Ok
+        end
+        else begin
+          (* Remote-to-remote: re-launch the Send with the original
+             sender and sequence number so the new server's reply matches
+             the sender's outstanding rsend, and notify the sender's
+             kernel so its retransmissions and grants retarget. *)
+          charge t m.Vhw.Cost_model.remote_op_extra_ns;
+          al.al_state <- A_forwarded;
+          al.al_fwd <- to_pid;
+          let pkt =
+            Packet.make ~op:Packet.Send ~src_pid:from_pid ~dst_pid:to_pid
+              ~seq:al.al_seq ~msg ~data:al.al_data ()
+          in
+          send_pkt t ~dst_host:(Pid.host to_pid) pkt;
+          let notice =
+            Packet.make ~op:Packet.Fwd_notice ~src_pid:d.d_pid
+              ~dst_pid:from_pid ~seq:al.al_seq
+              ~aux:(Pid.to_int to_pid) ()
+          in
+          send_pkt t ~dst_host:(Pid.host from_pid) notice;
+          charge_async t m.Vhw.Cost_model.send_bookkeep_ns;
+          Ok
+        end
+    | Some _ | None -> No_permission
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Data transfer                                                       *)
+
+let move_to t ~dst_pid ~dst ~src ~count =
+  let d = current t in
+  let m = model t in
+  charge t m.Vhw.Cost_model.move_setup_ns;
+  if count < 0 || not (Mem.valid d.d_mem ~pos:src ~len:count) then Bad_address
+  else if Pid.host dst_pid = t.khost then begin
+    t.s_move_local <- t.s_move_local + 1;
+    match find_proc t dst_pid with
+    | None -> Nonexistent
+    | Some dd ->
+        let allowed =
+          dd.d_state = Awaiting_reply d.d_pid
+          && (match dd.d_grant with
+             | Some g ->
+                 grant_covers g ~who:d.d_pid ~ptr:dst ~len:count
+                   ~need_write:true
+             | None -> false)
+          && Mem.valid dd.d_mem ~pos:dst ~len:count
+        in
+        if not allowed then No_permission
+        else begin
+          charge t (count * m.Vhw.Cost_model.mem_copy_ns_per_byte);
+          Mem.transfer ~src:d.d_mem ~src_pos:src ~dst:dd.d_mem ~dst_pos:dst
+            ~len:count;
+          Ok
+        end
+  end
+  else begin
+    t.s_move_remote <- t.s_move_remote + 1;
+    charge t m.Vhw.Cost_model.remote_op_extra_ns;
+    Vsim.Proc.suspend ~reason:"moveto" (fun resume ->
+        let seq = next_seq t in
+        let mto =
+          {
+            mto_seq = seq;
+            mto_src = d.d_pid;
+            mto_dst = dst_pid;
+            mto_src_ptr = src;
+            mto_dst_ptr = dst;
+            mto_total = count;
+            mto_mem = d.d_mem;
+            mto_gen = 0;
+            mto_retries = 0;
+            mto_timer = None;
+            mto_done = resume;
+          }
+        in
+        Hashtbl.replace t.mt_outs seq mto;
+        stream_mt t mto ~from:0)
+  end
+
+let move_from t ~src_pid ~dst ~src ~count =
+  let d = current t in
+  let m = model t in
+  charge t m.Vhw.Cost_model.move_setup_ns;
+  if count < 0 || not (Mem.valid d.d_mem ~pos:dst ~len:count) then Bad_address
+  else if Pid.host src_pid = t.khost then begin
+    t.s_move_local <- t.s_move_local + 1;
+    match find_proc t src_pid with
+    | None -> Nonexistent
+    | Some sd ->
+        let allowed =
+          sd.d_state = Awaiting_reply d.d_pid
+          && (match sd.d_grant with
+             | Some g ->
+                 grant_covers g ~who:d.d_pid ~ptr:src ~len:count
+                   ~need_write:false
+             | None -> false)
+          && Mem.valid sd.d_mem ~pos:src ~len:count
+        in
+        if not allowed then No_permission
+        else begin
+          charge t (count * m.Vhw.Cost_model.mem_copy_ns_per_byte);
+          Mem.transfer ~src:sd.d_mem ~src_pos:src ~dst:d.d_mem ~dst_pos:dst
+            ~len:count;
+          Ok
+        end
+  end
+  else begin
+    t.s_move_remote <- t.s_move_remote + 1;
+    charge t m.Vhw.Cost_model.remote_op_extra_ns;
+    Vsim.Proc.suspend ~reason:"movefrom" (fun resume ->
+        let seq = next_seq t in
+        let mfo =
+          {
+            mfo_seq = seq;
+            mfo_me = d.d_pid;
+            mfo_src = src_pid;
+            mfo_src_ptr = src;
+            mfo_dst_ptr = dst;
+            mfo_total = count;
+            mfo_mem = d.d_mem;
+            mfo_expected = 0;
+            mfo_retries = 0;
+            mfo_timer = None;
+            mfo_done = resume;
+          }
+        in
+        Hashtbl.replace t.mf_outs seq mfo;
+        mf_send_request t mfo)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Naming and time                                                     *)
+
+let set_pid t ~logical_id pid scope =
+  let (_ : desc) = current t in
+  charge t (model t).Vhw.Cost_model.syscall_ns;
+  Hashtbl.replace t.registry logical_id { re_pid = pid; re_scope = scope }
+
+let rec getpid_broadcast t ~logical_id (gw : getpid_wait) ~me =
+  gw.gw_tries <- gw.gw_tries + 1;
+  if gw.gw_tries > t.cfg.getpid_retries then begin
+    Hashtbl.remove t.getpid_waits logical_id;
+    List.iter (fun k -> k None) (List.rev gw.gw_waiters)
+  end
+  else begin
+    let pkt =
+      Packet.make ~op:Packet.Getpid_req ~src_pid:me ~dst_pid:Pid.nil
+        ~seq:(next_seq t) ~aux:logical_id ()
+    in
+    send_pkt_gen t ~dst_addr:Vnet.Addr.broadcast pkt ignore;
+    gw.gw_timer <-
+      Some
+        (Vsim.Engine.after t.eng t.cfg.getpid_timeout_ns (fun () ->
+             getpid_broadcast t ~logical_id gw ~me))
+  end
+
+let get_pid t ~logical_id scope =
+  let d = current t in
+  charge t (model t).Vhw.Cost_model.syscall_ns;
+  let local_entry visible =
+    match Hashtbl.find_opt t.registry logical_id with
+    | Some e when visible e.re_scope -> Some e.re_pid
+    | Some _ | None -> None
+  in
+  match scope with
+  | Local -> local_entry (fun s -> s = Local || s = Any)
+  | Remote | Any -> (
+      let first =
+        match scope with
+        | Any -> local_entry (fun _ -> true)
+        | Remote | Local -> local_entry (fun s -> s = Remote || s = Any)
+      in
+      match first with
+      | Some pid -> Some pid
+      | None -> (
+          match Hashtbl.find_opt t.getpid_cache logical_id with
+          | Some pid -> Some pid
+          | None ->
+              Vsim.Proc.suspend ~reason:"getpid" (fun resume ->
+                  match Hashtbl.find_opt t.getpid_waits logical_id with
+                  | Some gw -> gw.gw_waiters <- resume :: gw.gw_waiters
+                  | None ->
+                      let gw =
+                        {
+                          gw_timer = None;
+                          gw_tries = 0;
+                          gw_waiters = [ resume ];
+                        }
+                      in
+                      Hashtbl.replace t.getpid_waits logical_id gw;
+                      getpid_broadcast t ~logical_id gw ~me:d.d_pid)))
+
+let get_time t =
+  let (_ : desc) = current t in
+  charge t (model t).Vhw.Cost_model.syscall_ns;
+  Vsim.Engine.now t.eng
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+
+let stats t =
+  {
+    packets_sent = t.s_tx;
+    packets_received = t.s_rx;
+    retransmissions = t.s_retrans;
+    duplicates_filtered = t.s_dups;
+    reply_pendings_sent = t.s_rpend;
+    nacks_sent = t.s_nacks;
+    naks_sent = t.s_naks;
+    aliens_created = t.s_aliens;
+    alien_pool_full = t.s_pool_full;
+    sends_local = t.s_send_local;
+    sends_remote = t.s_send_remote;
+    moves_local = t.s_move_local;
+    moves_remote = t.s_move_remote;
+  }
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "tx=%d rx=%d retrans=%d dups=%d rpend=%d nacks=%d naks=%d aliens=%d \
+     pool-full=%d sends(l/r)=%d/%d moves(l/r)=%d/%d"
+    s.packets_sent s.packets_received s.retransmissions s.duplicates_filtered
+    s.reply_pendings_sent s.nacks_sent s.naks_sent s.aliens_created
+    s.alien_pool_full s.sends_local s.sends_remote s.moves_local
+    s.moves_remote

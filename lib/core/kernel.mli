@@ -1,0 +1,178 @@
+(** The distributed V kernel.
+
+    One [Kernel.t] per workstation.  It implements the paper's primitives
+    (Section 2.1) with uniform local and network semantics:
+
+    - [send] / [receive] / [reply]: synchronous message exchanges on
+      32-byte messages;
+    - [receive_with_segment] / [reply_with_segment]: the page-level
+      extensions that piggyback a segment on the message packet, getting
+      file reads and writes down to two packets;
+    - [move_to] / [move_from]: bulk data transfer between address spaces,
+      streamed as maximally-sized packets with a single acknowledgement;
+    - [set_pid] / [get_pid]: the logical process registry, resolved by
+      network broadcast when not known locally;
+    - [get_time]: the trivial kernel operation (the measurement floor).
+
+    Remote operations are implemented directly in the kernel, not via a
+    process-level network server; packets ride raw data-link frames; the
+    reply message is the acknowledgement of a Send; retransmission after
+    timeout [T] with duplicate filtering via alien descriptors reproduces
+    Section 3.2's protocol, including reply-pending packets and negative
+    acknowledgements.
+
+    All blocking operations must be called from within a process fiber
+    spawned on this kernel. *)
+
+type t
+
+(** Operation outcome, delivered where Thoth returned condition codes. *)
+type status =
+  | Ok
+  | Nonexistent  (** destination process does not exist (NACK / N timeouts) *)
+  | Bad_address  (** a named range falls outside an address space *)
+  | No_permission  (** segment access not granted, or not awaiting reply *)
+  | Too_big  (** a reply segment exceeding one packet's capacity *)
+
+val status_to_string : status -> string
+val pp_status : Format.formatter -> status -> unit
+
+(** Visibility of a registry entry or lookup (paper, Section 3.1: needed
+    to distinguish per-workstation servers from network-wide ones). *)
+type scope = Local | Remote | Any
+
+type config = {
+  retransmit_timeout_ns : int;  (** the paper's T *)
+  max_retries : int;  (** the paper's N *)
+  max_aliens : int;  (** alien descriptor pool size *)
+  max_packet_data : int;  (** data bytes per maximally-sized packet *)
+  max_seg_append : int;
+      (** how much of a read-accessible segment a Send piggybacks; "at
+          least as large as a file block" *)
+  getpid_timeout_ns : int;
+  getpid_retries : int;
+  default_mem_size : int;  (** address-space size for new processes *)
+  ip_header_mode : bool;
+      (** ablation: layered internet headers (+20 bytes, + per-packet CPU) *)
+  process_server_mode : bool;
+      (** ablation: relay every packet through a process-level network
+          server (extra copy + context switches each way) *)
+}
+
+val default_config : config
+
+val create :
+  Vsim.Engine.t -> cpu:Vhw.Cpu.t -> nic:Vnet.Nic.t -> host:int ->
+  ?config:config -> unit -> t
+(** A kernel for logical host [host].  With the default (direct) host
+    addressing, [host] must equal the NIC's station address — the 3 Mb
+    convention where "the top bits of the logical host identifier are the
+    physical network address".  Use {!create_mapped} for the 10 Mb style
+    table-driven mapping. *)
+
+val create_mapped :
+  Vsim.Engine.t -> cpu:Vhw.Cpu.t -> nic:Vnet.Nic.t -> host:int ->
+  ?config:config -> unit -> t
+(** Like {!create} but the logical-host-to-network-address mapping is a
+    table: unknown hosts are reached by broadcast, and correspondences are
+    learned from received packets (Section 3.1). *)
+
+val engine : t -> Vsim.Engine.t
+val cpu : t -> Vhw.Cpu.t
+val host : t -> int
+val config : t -> config
+
+(** {1 Processes} *)
+
+val spawn : t -> ?name:string -> ?mem_size:int -> (Pid.t -> unit) -> Pid.t
+(** Create a process; its body starts as a fiber at the current instant. *)
+
+val destroy : t -> Pid.t -> unit
+(** Destroy a process: queued and blocked senders are failed with
+    [Nonexistent]. *)
+
+val memory : t -> Pid.t -> Mem.t
+(** The process's address space (test and stub-library access). *)
+
+val self_pid : t -> Pid.t
+(** Pid of the calling process. Must be called from a process fiber. *)
+
+val my_memory : t -> Mem.t
+(** Address space of the calling process. *)
+
+val alive : t -> Pid.t -> bool
+val process_name : t -> Pid.t -> string option
+
+(** {1 IPC primitives (call from process fibers only)} *)
+
+val send : t -> Msg.t -> Pid.t -> status
+(** Blocks until the receiver replies; the reply overwrites [msg]. *)
+
+val receive : t -> Msg.t -> Pid.t
+(** Blocks until a message arrives; returns the sender. *)
+
+val receive_with_segment : t -> Msg.t -> segptr:int -> segsize:int -> Pid.t * int
+(** As [receive], but up to [segsize] bytes of a read-accessible segment
+    piggybacked on the message are deposited at [segptr] in the caller's
+    space; returns the sender and the byte count received. *)
+
+val receive_specific : t -> Msg.t -> Pid.t -> status
+(** Block until a message from the given process arrives (Thoth's
+    ReceiveSpecific).  Returns [Nonexistent] immediately for a dead local
+    pid, or if the awaited process is destroyed while we wait. *)
+
+val reply : t -> Msg.t -> Pid.t -> status
+
+val reply_with_segment :
+  t -> Msg.t -> Pid.t -> destptr:int -> segptr:int -> segsize:int -> status
+(** As [reply], and also transmit [segsize] bytes starting at [segptr] in
+    the caller's space to [destptr] in the destination's space — in the
+    same packet.  The destination must have granted write access. *)
+
+val move_to : t -> dst_pid:Pid.t -> dst:int -> src:int -> count:int -> status
+(** Copy [count] bytes from the caller's space to [dst_pid]'s space.
+    [dst_pid] must be awaiting reply from the caller and have granted
+    write access covering [dst..dst+count]. *)
+
+val move_from : t -> src_pid:Pid.t -> dst:int -> src:int -> count:int -> status
+(** Copy [count] bytes from [src_pid]'s space into the caller's space.
+    [src_pid] must be awaiting reply from the caller and have granted read
+    access covering [src..src+count]. *)
+
+val forward : t -> Msg.t -> from_pid:Pid.t -> to_pid:Pid.t -> status
+(** Thoth's Forward: pass a received message (possibly rewritten as [msg])
+    to another server.  [from_pid] must be awaiting reply from the caller;
+    afterwards it awaits reply from [to_pid], whose Reply travels directly
+    back to it — the forwarder drops out of the exchange.  Works across
+    workstations: the sender's kernel is notified so retransmission and
+    segment grants retarget. *)
+
+(** {1 Naming and time} *)
+
+val set_pid : t -> logical_id:int -> Pid.t -> scope -> unit
+val get_pid : t -> logical_id:int -> scope -> Pid.t option
+(** [None] after broadcast retries time out. *)
+
+val get_time : t -> Vsim.Time.t
+(** Charged like the real GetTime syscall. *)
+
+(** {1 Introspection} *)
+
+type stats = {
+  packets_sent : int;
+  packets_received : int;
+  retransmissions : int;
+  duplicates_filtered : int;
+  reply_pendings_sent : int;
+  nacks_sent : int;
+  naks_sent : int;  (** data-transfer gap NAKs *)
+  aliens_created : int;
+  alien_pool_full : int;
+  sends_local : int;
+  sends_remote : int;
+  moves_local : int;
+  moves_remote : int;
+}
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit

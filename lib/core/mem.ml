@@ -1,0 +1,39 @@
+type t = { buf : Bytes.t }
+
+let create ~size =
+  if size <= 0 then invalid_arg "Mem.create: size must be positive";
+  { buf = Bytes.make size '\000' }
+
+let size t = Bytes.length t.buf
+let valid t ~pos ~len = pos >= 0 && len >= 0 && pos + len <= size t
+
+let check t ~pos ~len what =
+  if not (valid t ~pos ~len) then
+    Fmt.invalid_arg "Mem.%s: range %d+%d outside space of %d bytes" what pos
+      len (size t)
+
+let read t ~pos ~len =
+  check t ~pos ~len "read";
+  Bytes.sub t.buf pos len
+
+let write t ~pos data =
+  let len = Bytes.length data in
+  check t ~pos ~len "write";
+  Bytes.blit data 0 t.buf pos len
+
+let blit_out t ~pos dst ~dst_off ~len =
+  check t ~pos ~len "blit_out";
+  Bytes.blit t.buf pos dst dst_off len
+
+let blit_in t ~pos src ~src_off ~len =
+  check t ~pos ~len "blit_in";
+  Bytes.blit src src_off t.buf pos len
+
+let fill t ~pos ~len c =
+  check t ~pos ~len "fill";
+  Bytes.fill t.buf pos len c
+
+let transfer ~src ~src_pos ~dst ~dst_pos ~len =
+  check src ~pos:src_pos ~len "transfer(src)";
+  check dst ~pos:dst_pos ~len "transfer(dst)";
+  Bytes.blit src.buf src_pos dst.buf dst_pos len

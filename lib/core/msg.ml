@@ -1,0 +1,121 @@
+type t = Bytes.t
+type access = Read_only | Write_only | Read_write
+
+let length = 32
+let create () = Bytes.make length '\000'
+let copy = Bytes.copy
+
+let blit ~src ~dst =
+  assert (Bytes.length src = length && Bytes.length dst = length);
+  Bytes.blit src 0 dst 0 length
+
+let is_msg b = Bytes.length b = length
+
+(* Flag bits in byte 0. *)
+let flag_segment = 0x01
+let flag_read = 0x02
+let flag_write = 0x04
+let flag_no_piggyback = 0x08
+
+let seg_ptr_off = 24
+let seg_len_off = 28
+
+let check_app_range msg off width =
+  if Bytes.length msg <> length then invalid_arg "Msg: not a 32-byte message";
+  if off < 1 || off + width > seg_ptr_off then
+    Fmt.invalid_arg "Msg: offset %d (width %d) outside application area" off
+      width
+
+let get_u8 msg off =
+  check_app_range msg off 1;
+  Char.code (Bytes.get msg off)
+
+let set_u8 msg off v =
+  check_app_range msg off 1;
+  Bytes.set msg off (Char.chr (v land 0xFF))
+
+let get_u16 msg off =
+  check_app_range msg off 2;
+  Bytes.get_uint16_le msg off
+
+let set_u16 msg off v =
+  check_app_range msg off 2;
+  Bytes.set_uint16_le msg off (v land 0xFFFF)
+
+let get_u32 msg off =
+  check_app_range msg off 4;
+  Int32.to_int (Bytes.get_int32_le msg off) land 0xFFFF_FFFF
+
+let set_u32 msg off v =
+  check_app_range msg off 4;
+  Bytes.set_int32_le msg off (Int32.of_int v)
+
+let set_segment msg access ~ptr ~len =
+  if Bytes.length msg <> length then invalid_arg "Msg: not a 32-byte message";
+  if ptr < 0 || len < 0 then invalid_arg "Msg.set_segment: negative field";
+  let flags =
+    flag_segment
+    lor
+    match access with
+    | Read_only -> flag_read
+    | Write_only -> flag_write
+    | Read_write -> flag_read lor flag_write
+  in
+  Bytes.set msg 0 (Char.chr flags);
+  Bytes.set_int32_le msg seg_ptr_off (Int32.of_int ptr);
+  Bytes.set_int32_le msg seg_len_off (Int32.of_int len)
+
+let clear_segment msg =
+  if Bytes.length msg <> length then invalid_arg "Msg: not a 32-byte message";
+  Bytes.set msg 0 '\000';
+  Bytes.set_int32_le msg seg_ptr_off 0l;
+  Bytes.set_int32_le msg seg_len_off 0l
+
+let set_no_piggyback msg =
+  if Bytes.length msg <> length then invalid_arg "Msg: not a 32-byte message";
+  let flags = Char.code (Bytes.get msg 0) in
+  Bytes.set msg 0 (Char.chr (flags lor flag_no_piggyback))
+
+let piggyback_allowed msg =
+  Char.code (Bytes.get msg 0) land flag_no_piggyback = 0
+
+let segment msg =
+  if Bytes.length msg <> length then invalid_arg "Msg: not a 32-byte message";
+  let flags = Char.code (Bytes.get msg 0) in
+  if flags land flag_segment = 0 then None
+  else begin
+    let ptr = Int32.to_int (Bytes.get_int32_le msg seg_ptr_off) land 0xFFFF_FFFF in
+    let len = Int32.to_int (Bytes.get_int32_le msg seg_len_off) land 0xFFFF_FFFF in
+    let access =
+      match flags land flag_read <> 0, flags land flag_write <> 0 with
+      | true, false -> Read_only
+      | false, true -> Write_only
+      | true, true -> Read_write
+      | false, false -> Read_only (* segment bit without access: treat as R *)
+    in
+    Some (access, ptr, len)
+  end
+
+let has_segment msg = segment msg <> None
+
+let readable_segment msg =
+  match segment msg with
+  | Some ((Read_only | Read_write), ptr, len) -> Some (ptr, len)
+  | Some (Write_only, _, _) | None -> None
+
+let writable_segment msg =
+  match segment msg with
+  | Some ((Write_only | Read_write), ptr, len) -> Some (ptr, len)
+  | Some (Read_only, _, _) | None -> None
+
+let pp fmt msg =
+  match segment msg with
+  | None -> Format.fprintf fmt "msg[op=%d]" (get_u8 msg 1)
+  | Some (access, ptr, len) ->
+      let a =
+        match access with
+        | Read_only -> "r"
+        | Write_only -> "w"
+        | Read_write -> "rw"
+      in
+      Format.fprintf fmt "msg[op=%d seg=%s@%d+%d]" (get_u8 msg 1) a ptr len

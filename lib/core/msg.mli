@@ -1,0 +1,73 @@
+(** The 32-byte fixed-size V message.
+
+    "All messages are a fixed 32 bytes in length."  Short fixed messages
+    are the design linchpin: the kernel never queues variable-size data,
+    message buffers are statically allocated, and a message rides in a
+    single small packet.
+
+    Wire conventions (paper, Section 2.1): reserved flag bits at the
+    beginning of the message say whether a segment is specified and with
+    which access; the last two words give the segment's start address and
+    length in the sender's address space.  Applications own bytes 1..23.
+
+    A [t] is exactly 32 bytes; accessors are little-endian and
+    bounds-checked against the application region where noted. *)
+
+type t = Bytes.t
+
+type access =
+  | Read_only  (** recipient may MoveFrom / receive the segment *)
+  | Write_only  (** recipient may MoveTo / reply into the segment *)
+  | Read_write
+
+val length : int
+(** 32. *)
+
+val create : unit -> t
+(** A zeroed message. *)
+
+val copy : t -> t
+val blit : src:t -> dst:t -> unit
+val is_msg : Bytes.t -> bool
+(** Exactly 32 bytes long. *)
+
+(** {1 Application payload accessors}
+
+    Offsets are absolute byte offsets within the message.  Writing to
+    byte 0 or bytes 24..31 is refused — those belong to the kernel segment
+    conventions. *)
+
+val get_u8 : t -> int -> int
+val set_u8 : t -> int -> int -> unit
+val get_u16 : t -> int -> int
+val set_u16 : t -> int -> int -> unit
+val get_u32 : t -> int -> int
+val set_u32 : t -> int -> int -> unit
+
+(** {1 Segment descriptor} *)
+
+val set_segment : t -> access -> ptr:int -> len:int -> unit
+(** Declare that the recipient may access [len] bytes of the sender's
+    space starting at [ptr]. *)
+
+val clear_segment : t -> unit
+
+val set_no_piggyback : t -> unit
+(** Mark the segment as granted but not to be transmitted with the Send
+    packet.  This models the original Thoth convention — access implicitly
+    granted, data moved only by explicit MoveFrom/MoveTo — and is what the
+    Section 6.1 "basic" file-access comparison measures against. *)
+
+val piggyback_allowed : t -> bool
+
+val segment : t -> (access * int * int) option
+(** [(access, ptr, len)] if a segment is specified. *)
+
+val has_segment : t -> bool
+val readable_segment : t -> (int * int) option
+(** The segment if the recipient may read it. *)
+
+val writable_segment : t -> (int * int) option
+(** The segment if the recipient may write it. *)
+
+val pp : Format.formatter -> t -> unit

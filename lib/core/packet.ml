@@ -1,0 +1,130 @@
+type op =
+  | Send
+  | Reply
+  | Reply_pending
+  | Nack
+  | Data_mt
+  | Data_mf
+  | Data_ack
+  | Data_nak
+  | Move_from_req
+  | Getpid_req
+  | Getpid_reply
+  | Fwd_notice
+
+type t = {
+  op : op;
+  src_pid : Pid.t;
+  dst_pid : Pid.t;
+  seq : int;
+  offset : int;
+  total : int;
+  aux : int;
+  msg : Msg.t;
+  data : Bytes.t;
+}
+
+let header_bytes = 64
+
+let op_to_byte = function
+  | Send -> 1
+  | Reply -> 2
+  | Reply_pending -> 3
+  | Nack -> 4
+  | Data_mt -> 5
+  | Data_mf -> 6
+  | Data_ack -> 7
+  | Data_nak -> 8
+  | Move_from_req -> 9
+  | Getpid_req -> 10
+  | Getpid_reply -> 11
+  | Fwd_notice -> 12
+
+let op_of_byte = function
+  | 1 -> Some Send
+  | 2 -> Some Reply
+  | 3 -> Some Reply_pending
+  | 4 -> Some Nack
+  | 5 -> Some Data_mt
+  | 6 -> Some Data_mf
+  | 7 -> Some Data_ack
+  | 8 -> Some Data_nak
+  | 9 -> Some Move_from_req
+  | 10 -> Some Getpid_req
+  | 11 -> Some Getpid_reply
+  | 12 -> Some Fwd_notice
+  | _ -> None
+
+let op_to_string = function
+  | Send -> "send"
+  | Reply -> "reply"
+  | Reply_pending -> "reply-pending"
+  | Nack -> "nack"
+  | Data_mt -> "data-mt"
+  | Data_mf -> "data-mf"
+  | Data_ack -> "data-ack"
+  | Data_nak -> "data-nak"
+  | Move_from_req -> "movefrom-req"
+  | Getpid_req -> "getpid-req"
+  | Getpid_reply -> "getpid-reply"
+  | Fwd_notice -> "fwd-notice"
+
+let make ~op ~src_pid ~dst_pid ~seq ?(offset = 0) ?(total = 0) ?(aux = 0)
+    ?msg ?(data = Bytes.empty) () =
+  let msg = match msg with Some m -> Msg.copy m | None -> Msg.create () in
+  if not (Msg.is_msg msg) then invalid_arg "Packet.make: bad message size";
+  { op; src_pid; dst_pid; seq; offset; total; aux; msg; data }
+
+let wire_length t = header_bytes + Bytes.length t.data
+
+let set32 b off v = Bytes.set_int32_le b off (Int32.of_int v)
+let get32 b off = Int32.to_int (Bytes.get_int32_le b off) land 0xFFFF_FFFF
+
+let to_bytes t =
+  let b = Bytes.make (wire_length t) '\000' in
+  Bytes.set b 0 (Char.chr (op_to_byte t.op));
+  set32 b 4 (Pid.to_int t.src_pid);
+  set32 b 8 (Pid.to_int t.dst_pid);
+  set32 b 12 t.seq;
+  set32 b 16 t.offset;
+  set32 b 20 t.total;
+  set32 b 24 (Bytes.length t.data);
+  set32 b 28 t.aux;
+  Bytes.blit t.msg 0 b 32 Msg.length;
+  Bytes.blit t.data 0 b header_bytes (Bytes.length t.data);
+  b
+
+let of_bytes b =
+  let len = Bytes.length b in
+  if len < header_bytes then
+    Error (Printf.sprintf "packet too short: %d bytes" len)
+  else
+    match op_of_byte (Char.code (Bytes.get b 0)) with
+    | None -> Error (Printf.sprintf "bad op byte %d" (Char.code (Bytes.get b 0)))
+    | Some op ->
+        let data_len = get32 b 24 in
+        if header_bytes + data_len <> len then
+          Error
+            (Printf.sprintf "length mismatch: header says %d, frame has %d"
+               data_len (len - header_bytes))
+        else begin
+          let msg = Bytes.sub b 32 Msg.length in
+          let data = Bytes.sub b header_bytes data_len in
+          Ok
+            {
+              op;
+              src_pid = Pid.of_int (get32 b 4);
+              dst_pid = Pid.of_int (get32 b 8);
+              seq = get32 b 12;
+              offset = get32 b 16;
+              total = get32 b 20;
+              aux = get32 b 28;
+              msg;
+              data;
+            }
+        end
+
+let pp fmt t =
+  Format.fprintf fmt "pkt[%s %a->%a seq=%d off=%d tot=%d data=%d]"
+    (op_to_string t.op) Pid.pp t.src_pid Pid.pp t.dst_pid t.seq t.offset
+    t.total (Bytes.length t.data)

@@ -1,0 +1,87 @@
+(** The interkernel packet protocol.
+
+    Interkernel packets ride directly on raw data-link frames — the paper
+    measured a 20% penalty for layered (IP) headers and chose not to burden
+    the dominant local-net case (Section 3, point 2).  Reliability is built
+    straight on this unreliable datagram service: the reply message doubles
+    as the acknowledgement of a Send, and bulk data transfers carry a
+    single acknowledgement at the end (Section 3, points 3 and 5).
+
+    Wire format: a 64-byte header block (which embeds the 32-byte user
+    message) followed by optional appended data — a piggybacked segment
+    prefix, a reply segment, or a data-transfer fragment.
+
+    {v
+    offset  field
+    0       op
+    1       flags
+    2..3    reserved (zero)
+    4..7    source pid
+    8..11   destination pid
+    12..15  sequence / transaction id
+    16..19  offset   (data fragment offset; dest ptr for reply segments;
+                      expected offset in NAKs and MoveFrom requests)
+    20..23  total    (total transfer size in bytes)
+    24..27  data_len (bytes appended after the header)
+    28..31  aux      (MoveFrom source ptr; GetPid logical id and scope)
+    32..63  the 32-byte user message
+    64..    appended data
+    v} *)
+
+type op =
+  | Send  (** a Send, possibly with a piggybacked segment prefix *)
+  | Reply  (** a Reply, possibly with an appended reply segment *)
+  | Reply_pending
+      (** receiver is alive but has not replied; suppresses retransmission
+          escalation *)
+  | Nack  (** destination process does not exist *)
+  | Data_mt  (** MoveTo data fragment, kernel-to-kernel *)
+  | Data_mf  (** MoveFrom data fragment (the "acknowledging data") *)
+  | Data_ack  (** single acknowledgement closing a MoveTo *)
+  | Data_nak
+      (** receiver saw a gap; [offset] tells the sender where to resume
+          (retransmission from the last correctly received packet) *)
+  | Move_from_req  (** request to stream a remote segment back *)
+  | Getpid_req  (** broadcast logical-id lookup *)
+  | Getpid_reply
+  | Fwd_notice
+      (** tells a blocked sender's kernel its message was forwarded:
+          retransmissions and grant checks retarget to the new recipient
+          ([aux] carries the new pid) *)
+
+type t = {
+  op : op;
+  src_pid : Pid.t;
+  dst_pid : Pid.t;
+  seq : int;  (** message sequence number / transfer transaction id *)
+  offset : int;
+  total : int;
+  aux : int;
+  msg : Msg.t;
+  data : Bytes.t;  (** appended data; may be empty *)
+}
+
+val make :
+  op:op ->
+  src_pid:Pid.t ->
+  dst_pid:Pid.t ->
+  seq:int ->
+  ?offset:int ->
+  ?total:int ->
+  ?aux:int ->
+  ?msg:Msg.t ->
+  ?data:Bytes.t ->
+  unit ->
+  t
+
+val header_bytes : int
+(** 64: the fixed header block, user message included. *)
+
+val wire_length : t -> int
+(** Bytes this packet occupies as a frame payload. *)
+
+val to_bytes : t -> Bytes.t
+val of_bytes : Bytes.t -> (t, string) result
+
+val op_to_string : op -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,80 @@
+(** Calibrated processor cost model for the SUN workstation (MC68000).
+
+    The paper never reports instruction-level detail; everything it measures
+    reduces to a small set of per-operation and per-byte processor costs.
+    We calibrate those constants from the paper's own published numbers
+    (Tables 4-1, 5-1 and 5-2) for the two processor speeds it uses, then let
+    all *remote* times emerge from the protocol implementation — the remote
+    columns are the experiment, not an input.
+
+    Calibration sources:
+    - NIC copy cost: "the copy time from memory to the Ethernet interface
+      ... is roughly 1.90 milliseconds in each direction" for 1024 bytes on
+      the 8 MHz processor, and the penalty slopes P(n) = .0064n + .390 ms
+      (8 MHz) and .0054n + .251 ms (10 MHz) with 2.721 us/byte of wire time.
+    - Fixed per-packet costs: the penalty intercepts, minus the modelled
+      interface/medium latency.
+    - Kernel operation costs: local GetTime, Send-Receive-Reply and
+      MoveTo/MoveFrom rows of Tables 5-1 and 5-2. *)
+
+type t = {
+  name : string;
+  mhz : int;
+  (* Network interface (programmed I/O). *)
+  nic_copy_ns_per_byte : int;
+      (** Per-byte CPU cost to copy between memory and the interface. *)
+  pkt_send_setup_ns : int;
+      (** Fixed CPU cost to build and launch one packet. *)
+  pkt_recv_handling_ns : int;
+      (** Fixed CPU cost of the receive interrupt and dispatch for one
+          packet. *)
+  (* Kernel primitives (local path). *)
+  syscall_ns : int;  (** Trap + validate: the GetTime floor. *)
+  send_op_ns : int;  (** Kernel part of a local Send. *)
+  receive_op_ns : int;  (** Kernel part of a local Receive. *)
+  reply_op_ns : int;  (** Kernel part of a local Reply. *)
+  context_switch_ns : int;
+  move_setup_ns : int;  (** MoveTo/MoveFrom validation and setup. *)
+  mem_copy_ns_per_byte : int;
+      (** Cross-address-space memory copy, local case. *)
+  (* Remote path extras. *)
+  remote_op_extra_ns : int;
+      (** Alien/timer/validation work per remote operation leg. *)
+  segment_handling_ns : int;
+      (** Appending or extracting a piggybacked segment. *)
+  data_pkt_op_ns : int;
+      (** Per-data-packet kernel bookkeeping on the sending side of a
+          MoveTo/MoveFrom burst; fitted to the Table 5-1/6-3 transfer
+          rates (the paper's ~192 KB/s at large transfer units). *)
+  send_bookkeep_ns : int;
+      (** Client-side bookkeeping (retransmission timer setup, descriptor
+          upkeep) charged after a remote operation's packet is handed to
+          the interface.  Off the critical path — it overlaps the network
+          round trip — but it is real processor time, visible in the
+          paper's "Client" processor columns. *)
+  server_bookkeep_ns : int;
+      (** Server-side alien management and cleanup charged after the reply
+          packet is handed off; overlaps the reply's flight.  Visible in
+          the "Server" processor columns and in file-server saturation. *)
+  (* Ablations. *)
+  ip_header_extra_ns : int;
+      (** Extra per-packet CPU when the layered (IP) header mode is on;
+          the paper measured +20% on the message exchange. *)
+}
+
+val sun_8mhz : t
+(** The 8 MHz MC68000 SUN of Tables 4-1/5-1. *)
+
+val sun_10mhz : t
+(** The 10 MHz MC68000 SUN of Tables 4-1/5-2/6-x. *)
+
+val scale : t -> mhz:int -> t
+(** [scale base ~mhz] derives a hypothetical processor by pure cycle
+    scaling of every cost in [base].  Useful for sensitivity studies; the
+    two real calibrations above are preferred for reproduction. *)
+
+val local_srr_ns : t -> int
+(** Predicted local Send-Receive-Reply elapsed time (the sum the local fast
+    path charges); exposed for tests that pin the calibration. *)
+
+val pp : Format.formatter -> t -> unit

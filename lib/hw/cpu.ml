@@ -1,0 +1,37 @@
+type t = {
+  cname : string;
+  cmodel : Cost_model.t;
+  eng : Vsim.Engine.t;
+  mutable free : Vsim.Time.t;
+  mutable busy : int;
+}
+
+type mark = { at : Vsim.Time.t; busy_then : int }
+
+let create eng ~model ~name = { cname = name; cmodel = model; eng; free = 0; busy = 0 }
+let name t = t.cname
+let model t = t.cmodel
+let engine t = t.eng
+let busy_ns t = t.busy
+let free_at t = max t.free (Vsim.Engine.now t.eng)
+
+let charge_k t ns k =
+  let ns = max ns 0 in
+  let now = Vsim.Engine.now t.eng in
+  let start = max now t.free in
+  let finish = start + ns in
+  t.free <- finish;
+  t.busy <- t.busy + ns;
+  ignore (Vsim.Engine.at t.eng finish k)
+
+let charge t ns =
+  Vsim.Proc.suspend ~reason:"cpu" (fun resume -> charge_k t ns resume)
+
+let compute = charge
+
+let mark t = { at = Vsim.Engine.now t.eng; busy_then = t.busy }
+let busy_since t m = t.busy - m.busy_then
+
+let utilization_since t m =
+  let elapsed = Vsim.Engine.now t.eng - m.at in
+  if elapsed <= 0 then 0.0 else float_of_int (busy_since t m) /. float_of_int elapsed

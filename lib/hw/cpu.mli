@@ -1,0 +1,50 @@
+(** A workstation processor as a chargeable simulation resource.
+
+    Every unit of kernel, interrupt or application work costs processor
+    time.  Charges queue FCFS: a charge starts when the CPU becomes free and
+    occupies it for the full cost.  This is what produces the paper's
+    "Client" and "Server" processor-time columns, the busywork-process
+    utilization measurements, and the file-server saturation behaviour of
+    Section 7 — a server CPU that is busy delays the next request.
+
+    Two charging forms exist because kernel code runs in two contexts:
+    - {!charge} blocks the calling fiber (process context);
+    - {!charge_k} schedules a continuation (interrupt context, e.g. packet
+      reception, where there is no fiber to block). *)
+
+type t
+
+val create : Vsim.Engine.t -> model:Cost_model.t -> name:string -> t
+val name : t -> string
+val model : t -> Cost_model.t
+val engine : t -> Vsim.Engine.t
+
+val charge : t -> int -> unit
+(** [charge cpu ns] blocks the current fiber until the CPU has executed
+    [ns] of work for it. [ns <= 0] is a no-op. *)
+
+val charge_k : t -> int -> (unit -> unit) -> unit
+(** [charge_k cpu ns k] reserves [ns] of CPU and calls [k] when that work
+    completes. Never calls [k] synchronously (even for [ns <= 0]), keeping
+    callback re-entrancy out of kernel code. *)
+
+val compute : t -> int -> unit
+(** Application-level computation; same semantics as {!charge}. *)
+
+val busy_ns : t -> int
+(** Total busy time accumulated since creation. *)
+
+val free_at : t -> Vsim.Time.t
+(** Instant at which all currently queued work completes. *)
+
+(** Utilization measurement over a window, mirroring the paper's busywork
+    process: mark the start, run the experiment, read the busy fraction. *)
+type mark
+
+val mark : t -> mark
+val busy_since : t -> mark -> int
+(** Busy ns accumulated since the mark. *)
+
+val utilization_since : t -> mark -> float
+(** Busy fraction of elapsed simulated time since the mark (0 if no time
+    has passed). *)

@@ -1,0 +1,7 @@
+type t = int
+
+let broadcast = 255
+let is_broadcast a = a = broadcast
+let is_valid a = a >= 0 && a <= broadcast
+let pp fmt a = if is_broadcast a then Format.pp_print_string fmt "bcast" else Format.fprintf fmt "%d" a
+let equal = Int.equal

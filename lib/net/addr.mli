@@ -1,0 +1,15 @@
+(** Network (station) addresses.
+
+    The experimental 3 Mb Ethernet used 8-bit station addresses, which the V
+    kernel exposed directly as the top of the logical-host field of process
+    identifiers.  We keep that 0..254 range; 255 is broadcast. *)
+
+type t = int
+
+val broadcast : t
+val is_broadcast : t -> bool
+val is_valid : t -> bool
+(** Valid unicast or broadcast address. *)
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

@@ -1,0 +1,17 @@
+type t = {
+  drop_prob : float;
+  corrupt_prob : float;
+  collision_bug : bool;
+  bug_prob : float;
+}
+
+let none =
+  { drop_prob = 0.0; corrupt_prob = 0.0; collision_bug = false; bug_prob = 0.0 }
+
+let drop p = { none with drop_prob = p }
+let corrupt p = { none with corrupt_prob = p }
+let hardware_bug = { none with collision_bug = true; bug_prob = 1.0 /. 2000.0 }
+
+let pp fmt t =
+  Format.fprintf fmt "fault{drop=%.4f corrupt=%.4f bug=%b/%.5f}" t.drop_prob
+    t.corrupt_prob t.collision_bug t.bug_prob

@@ -1,0 +1,23 @@
+(** Fault injection for the network medium. *)
+
+type t = {
+  drop_prob : float;  (** Frame silently lost in transit. *)
+  corrupt_prob : float;
+      (** Frame delivered with [corrupted] set; the NIC's CRC check drops
+          it after reception. *)
+  collision_bug : bool;
+      (** The paper's 3 Mb interface hardware bug (Section 5.4): collisions
+          sometimes go undetected and "show up as corrupted packets".  When
+          set, each frame is corrupted with probability [bug_prob] —
+          the paper observed roughly one per 2000 packets. *)
+  bug_prob : float;
+}
+
+val none : t
+val drop : float -> t
+val corrupt : float -> t
+
+val hardware_bug : t
+(** The Section 5.4 configuration: 1/2000 corruption. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,26 @@
+type t = {
+  src : Addr.t;
+  dst : Addr.t;
+  ethertype : int;
+  payload : Bytes.t;
+  mutable corrupted : bool;
+}
+
+let make ~src ~dst ~ethertype payload =
+  if not (Addr.is_valid src) || Addr.is_broadcast src then
+    invalid_arg "Frame.make: bad source address";
+  if not (Addr.is_valid dst) then invalid_arg "Frame.make: bad destination";
+  { src; dst; ethertype; payload; corrupted = false }
+
+let length t = Bytes.length t.payload
+let is_broadcast t = Addr.is_broadcast t.dst
+
+let pp fmt t =
+  Format.fprintf fmt "frame[%a->%a type=%#x len=%d%s]" Addr.pp t.src Addr.pp
+    t.dst t.ethertype (length t)
+    (if t.corrupted then " CORRUPT" else "")
+
+let ethertype_kernel = 0x0512
+let ethertype_wfs = 0x0513
+let ethertype_stream = 0x0514
+let ethertype_raw = 0x0515

@@ -1,0 +1,235 @@
+type config = {
+  name : string;
+  bit_rate_bps : int;
+  latency_ns : int;
+  slot_ns : int;
+  jam_ns : int;
+  max_payload : int;
+}
+
+let config_3mb =
+  {
+    name = "3Mb-Ethernet";
+    bit_rate_bps = 2_940_000;
+    latency_ns = 30_000;
+    slot_ns = 10_000;
+    jam_ns = 3_000;
+    max_payload = 1536;
+  }
+
+let config_10mb =
+  {
+    name = "10Mb-Ethernet";
+    bit_rate_bps = 10_000_000;
+    latency_ns = 15_000;
+    slot_ns = 10_000;
+    jam_ns = 3_000;
+    max_payload = 1536;
+  }
+
+let byte_time_ns cfg = 8_000_000_000 / cfg.bit_rate_bps
+let wire_time_ns cfg n = n * byte_time_ns cfg
+
+type port = { paddr : Addr.t; prx : Frame.t -> unit }
+
+type pending = {
+  frame : Frame.t;
+  mutable attempts : int;
+  on_sent : unit -> unit;
+}
+
+type stats = {
+  attempted : int;
+  delivered : int;
+  dropped : int;
+  corrupted : int;
+  collisions : int;
+  excessive : int;
+  tx_busy_ns : int;
+  bits_sent : int;
+}
+
+type current = {
+  who : pending;
+  started : Vsim.Time.t;
+  finish : Vsim.Engine.handle;
+}
+
+type t = {
+  cfg : config;
+  eng : Vsim.Engine.t;
+  rng : Vsim.Rng.t;
+  ports : (Addr.t, port) Hashtbl.t;
+  waiters : pending Queue.t;
+  mutable busy_until : Vsim.Time.t;
+  mutable current : current option;
+  mutable flt : Fault.t;
+  mutable s_attempted : int;
+  mutable s_delivered : int;
+  mutable s_dropped : int;
+  mutable s_corrupted : int;
+  mutable s_collisions : int;
+  mutable s_excessive : int;
+  mutable s_tx_busy : int;
+  mutable s_bits : int;
+}
+
+type mark = { at : Vsim.Time.t; busy_then : int; bits_then : int }
+
+let create eng cfg =
+  {
+    cfg;
+    eng;
+    rng = Vsim.Rng.split (Vsim.Engine.rng eng);
+    ports = Hashtbl.create 16;
+    waiters = Queue.create ();
+    busy_until = 0;
+    current = None;
+    flt = Fault.none;
+    s_attempted = 0;
+    s_delivered = 0;
+    s_dropped = 0;
+    s_corrupted = 0;
+    s_collisions = 0;
+    s_excessive = 0;
+    s_tx_busy = 0;
+    s_bits = 0;
+  }
+
+let config t = t.cfg
+let engine t = t.eng
+let set_fault t f = t.flt <- f
+let fault t = t.flt
+
+let attach t ~addr ~rx =
+  if not (Addr.is_valid addr) || Addr.is_broadcast addr then
+    invalid_arg "Medium.attach: bad address";
+  if Hashtbl.mem t.ports addr then
+    Fmt.invalid_arg "Medium.attach: address %d already attached" addr;
+  let port = { paddr = addr; prx = rx } in
+  Hashtbl.replace t.ports addr port;
+  port
+
+let stats t =
+  {
+    attempted = t.s_attempted;
+    delivered = t.s_delivered;
+    dropped = t.s_dropped;
+    corrupted = t.s_corrupted;
+    collisions = t.s_collisions;
+    excessive = t.s_excessive;
+    tx_busy_ns = t.s_tx_busy;
+    bits_sent = t.s_bits;
+  }
+
+let mark t =
+  { at = Vsim.Engine.now t.eng; busy_then = t.s_tx_busy; bits_then = t.s_bits }
+
+let utilization_since t m =
+  let elapsed = Vsim.Engine.now t.eng - m.at in
+  if elapsed <= 0 then 0.0
+  else float_of_int (t.s_tx_busy - m.busy_then) /. float_of_int elapsed
+
+let bits_since t m = t.s_bits - m.bits_then
+
+(* Fault injection at delivery: the frame either vanishes (drop) or arrives
+   with a bad CRC (corrupt / hardware bug). *)
+let deliver_to t frame (port : port) =
+  if Vsim.Rng.bernoulli t.rng t.flt.Fault.drop_prob then
+    t.s_dropped <- t.s_dropped + 1
+  else begin
+    let bug =
+      t.flt.Fault.collision_bug
+      && Vsim.Rng.bernoulli t.rng t.flt.Fault.bug_prob
+    in
+    if bug || Vsim.Rng.bernoulli t.rng t.flt.Fault.corrupt_prob then begin
+      frame.Frame.corrupted <- true;
+      t.s_corrupted <- t.s_corrupted + 1
+    end;
+    t.s_delivered <- t.s_delivered + 1;
+    port.prx frame
+  end
+
+let deliver t frame =
+  let arrival = Vsim.Engine.now t.eng + t.cfg.latency_ns in
+  let to_port port =
+    (* Broadcast receivers get an aliased view so one receiver's corruption
+       flag does not leak into another's frame. *)
+    let f = { frame with Frame.corrupted = frame.Frame.corrupted } in
+    ignore (Vsim.Engine.at t.eng arrival (fun () -> deliver_to t f port))
+  in
+  if Frame.is_broadcast frame then
+    Hashtbl.iter
+      (fun addr port -> if not (Addr.equal addr frame.Frame.src) then to_port port)
+      t.ports
+  else
+    match Hashtbl.find_opt t.ports frame.Frame.dst with
+    | Some port -> to_port port
+    | None -> () (* no such station: bits fall on the floor *)
+
+let rec attempt t (p : pending) =
+  let now = Vsim.Engine.now t.eng in
+  match t.current with
+  | Some cur when now - cur.started < t.cfg.slot_ns ->
+      (* Within the collision window of an in-progress transmission: both
+         stations detect the collision, abort and back off. *)
+      Vsim.Engine.cancel cur.finish;
+      t.current <- None;
+      t.s_collisions <- t.s_collisions + 1;
+      t.busy_until <- now + t.cfg.jam_ns;
+      ignore (Vsim.Engine.at t.eng t.busy_until (fun () -> drain t));
+      backoff t cur.who;
+      backoff t p
+  | Some _ ->
+      (* Carrier sensed: defer until the medium frees. *)
+      Queue.add p t.waiters
+  | None ->
+      if now < t.busy_until then Queue.add p t.waiters
+      else begin
+        let tx = wire_time_ns t.cfg (Frame.length p.frame) in
+        let finish_at = now + tx in
+        let finish =
+          Vsim.Engine.at t.eng finish_at (fun () -> complete t p tx)
+        in
+        t.busy_until <- finish_at;
+        t.current <- Some { who = p; started = now; finish }
+      end
+
+and complete t p tx =
+  t.current <- None;
+  t.s_tx_busy <- t.s_tx_busy + tx;
+  t.s_bits <- t.s_bits + (8 * Frame.length p.frame);
+  deliver t p.frame;
+  p.on_sent ();
+  drain t
+
+and backoff t (p : pending) =
+  p.attempts <- p.attempts + 1;
+  if p.attempts > 16 then begin
+    t.s_excessive <- t.s_excessive + 1;
+    p.on_sent ()
+  end
+  else begin
+    let k = min p.attempts 10 in
+    let slots = Vsim.Rng.int t.rng (1 lsl k) in
+    let delay = t.cfg.jam_ns + (slots * t.cfg.slot_ns) in
+    ignore (Vsim.Engine.after t.eng delay (fun () -> attempt t p))
+  end
+
+and drain t =
+  (* Release deferred stations; if several wake at the same instant they
+     will collide via the slot-window rule in [attempt]. *)
+  let pending = Queue.length t.waiters in
+  for _ = 1 to pending do
+    let p = Queue.pop t.waiters in
+    attempt t p
+  done
+
+let transmit ?(on_sent = ignore) t frame =
+  if Frame.length frame > t.cfg.max_payload then
+    Fmt.invalid_arg "Medium.transmit: frame of %d bytes exceeds max %d"
+      (Frame.length frame) t.cfg.max_payload;
+  if not (Hashtbl.mem t.ports frame.Frame.src) then
+    invalid_arg "Medium.transmit: source not attached";
+  t.s_attempted <- t.s_attempted + 1;
+  attempt t { frame; attempts = 0; on_sent }

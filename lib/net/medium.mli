@@ -1,0 +1,84 @@
+(** The shared Ethernet bus.
+
+    An event-driven CSMA/CD model:
+    - a station transmits immediately if the medium is idle;
+    - a transmission beginning within [slot_ns] of another's start collides
+      with it (the collision window); both abort, jam, and retry after
+      binary-exponential backoff;
+    - a station sensing carrier defers and retries when the medium frees
+      (so two deferred stations genuinely collide when they both start).
+
+    Wire time is [payload bytes x byte time]; framing overhead is folded
+    into the per-packet CPU costs (see {!Frame}).  Delivery happens
+    [latency_ns] after the last bit — the interface/propagation latency the
+    paper's penalty intercept includes.
+
+    The model deliberately omits nothing the paper's experiments depend on:
+    idle-network behaviour is exact, utilization is metered for the
+    Section 5.4 load experiments, and fault injection reproduces the 3 Mb
+    interface's undetected-collision hardware bug. *)
+
+type config = {
+  name : string;
+  bit_rate_bps : int;
+  latency_ns : int;  (** interface + propagation latency, last-bit to rx *)
+  slot_ns : int;  (** collision window *)
+  jam_ns : int;  (** bus occupancy after a collision *)
+  max_payload : int;  (** largest payload a single frame may carry *)
+}
+
+val config_3mb : config
+(** The experimental 3 Mb Ethernet: 2.94 Mb/s. *)
+
+val config_10mb : config
+(** The standard 10 Mb Ethernet. *)
+
+val byte_time_ns : config -> int
+(** Wire time for one payload byte. *)
+
+val wire_time_ns : config -> int -> int
+(** Wire time for [n] payload bytes. *)
+
+type t
+
+val create : Vsim.Engine.t -> config -> t
+val config : t -> config
+val engine : t -> Vsim.Engine.t
+
+type port
+
+val attach : t -> addr:Addr.t -> rx:(Frame.t -> unit) -> port
+(** Connect a station. [rx] is invoked (in event context) when a frame
+    addressed to [addr] — or broadcast — arrives, including corrupted
+    frames (the NIC's CRC check is the receiver's job). Each address may be
+    attached once. *)
+
+val transmit : ?on_sent:(unit -> unit) -> t -> Frame.t -> unit
+(** Queue a frame for transmission from [frame.src] (which must be
+    attached). Asynchronous: returns immediately; CSMA/CD and delivery
+    proceed via events.  [on_sent] fires when the frame leaves the wire
+    (or is abandoned after excessive collisions) — NICs use it to free
+    their single transmit buffer. *)
+
+val set_fault : t -> Fault.t -> unit
+val fault : t -> Fault.t
+
+type stats = {
+  attempted : int;  (** transmit calls *)
+  delivered : int;  (** frame-to-station deliveries *)
+  dropped : int;  (** lost to fault injection *)
+  corrupted : int;  (** delivered with CRC damage *)
+  collisions : int;  (** collision events *)
+  excessive : int;  (** frames abandoned after 16 attempts *)
+  tx_busy_ns : int;  (** total successful-transmission wire time *)
+  bits_sent : int;  (** payload bits successfully transmitted *)
+}
+
+val stats : t -> stats
+
+(** Utilization over a window. *)
+type mark
+
+val mark : t -> mark
+val utilization_since : t -> mark -> float
+val bits_since : t -> mark -> int

@@ -1,0 +1,46 @@
+type t = { mutable clock : Time.t; queue : Eventq.t; rand : Rng.t }
+type handle = Eventq.event
+
+let default_seed = 0x5EED_CAFE_F00DL
+
+let create ?(seed = default_seed) () =
+  { clock = 0; queue = Eventq.create (); rand = Rng.create seed }
+
+let now t = t.clock
+let rng t = t.rand
+
+let at t time fn =
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.at: time %d is before now %d" time t.clock);
+  Eventq.add t.queue ~time fn
+
+let after t delay fn =
+  if delay < 0 then invalid_arg "Engine.after: negative delay";
+  Eventq.add t.queue ~time:(t.clock + delay) fn
+
+let cancel = Eventq.cancel
+
+let step t =
+  match Eventq.pop t.queue with
+  | None -> false
+  | Some (time, fn) ->
+      t.clock <- time;
+      fn ();
+      true
+
+let run ?until t =
+  let continue () =
+    match until, Eventq.next_time t.queue with
+    | _, None -> false
+    | None, Some _ -> true
+    | Some limit, Some next -> next <= limit
+  in
+  while continue () do
+    ignore (step t)
+  done;
+  match until with
+  | Some limit when t.clock < limit -> t.clock <- limit
+  | Some _ | None -> ()
+
+let pending t = Eventq.live_count t.queue

@@ -1,0 +1,44 @@
+(** The discrete-event simulation engine.
+
+    An engine owns the simulated clock, the event queue and a deterministic
+    random stream.  All activity in a simulation — process resumption, packet
+    delivery, CPU grants, disk completions, timers — flows through the
+    engine's event queue, which is what makes runs reproducible.
+
+    Exceptions raised inside event callbacks propagate out of {!run}: a bug
+    in simulated code fails the whole run loudly rather than being lost. *)
+
+type t
+
+type handle = Eventq.event
+(** Cancellable handle for a scheduled event. *)
+
+val create : ?seed:int64 -> unit -> t
+(** Fresh engine with clock at 0. Default seed is a fixed constant, so all
+    simulations are reproducible unless a seed is supplied. *)
+
+val now : t -> Time.t
+(** Current simulated time. *)
+
+val rng : t -> Rng.t
+(** The engine's random stream. *)
+
+val at : t -> Time.t -> (unit -> unit) -> handle
+(** [at t time fn] schedules [fn] at absolute [time]; [time] must not be in
+    the past. *)
+
+val after : t -> Time.t -> (unit -> unit) -> handle
+(** [after t delay fn] schedules [fn] at [now t + delay]. *)
+
+val cancel : handle -> unit
+(** Cancel a scheduled event. Idempotent; safe after the event fired. *)
+
+val run : ?until:Time.t -> t -> unit
+(** Execute events in order until the queue is empty, or until the clock
+    would pass [until] (the clock is then set to [until]). *)
+
+val step : t -> bool
+(** Execute the single earliest event. [false] if the queue was empty. *)
+
+val pending : t -> int
+(** Number of live scheduled events. *)

@@ -1,0 +1,94 @@
+type event = {
+  time : Time.t;
+  seq : int;
+  fn : unit -> unit;
+  mutable cancelled : bool;
+}
+
+type t = {
+  mutable heap : event array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let dummy = { time = 0; seq = -1; fn = ignore; cancelled = true }
+let create () = { heap = Array.make 64 dummy; size = 0; next_seq = 0 }
+
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t =
+  let heap = Array.make (2 * Array.length t.heap) dummy in
+  Array.blit t.heap 0 heap 0 t.size;
+  t.heap <- heap
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before t.heap.(i) t.heap.(parent) then begin
+      let tmp = t.heap.(i) in
+      t.heap.(i) <- t.heap.(parent);
+      t.heap.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && before t.heap.(l) t.heap.(!smallest) then smallest := l;
+  if r < t.size && before t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    let tmp = t.heap.(i) in
+    t.heap.(i) <- t.heap.(!smallest);
+    t.heap.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+let add t ~time fn =
+  let ev = { time; seq = t.next_seq; fn; cancelled = false } in
+  t.next_seq <- t.next_seq + 1;
+  if t.size = Array.length t.heap then grow t;
+  t.heap.(t.size) <- ev;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1);
+  ev
+
+let cancel ev = ev.cancelled <- true
+let cancelled ev = ev.cancelled
+
+let remove_top t =
+  t.size <- t.size - 1;
+  t.heap.(0) <- t.heap.(t.size);
+  t.heap.(t.size) <- dummy;
+  if t.size > 0 then sift_down t 0
+
+(* Drop cancelled events from the top so [next_time]/[pop] see live ones. *)
+let rec skim t =
+  if t.size > 0 && t.heap.(0).cancelled then begin
+    remove_top t;
+    skim t
+  end
+
+let next_time t =
+  skim t;
+  if t.size = 0 then None else Some t.heap.(0).time
+
+let pop t =
+  skim t;
+  if t.size = 0 then None
+  else begin
+    let ev = t.heap.(0) in
+    remove_top t;
+    Some (ev.time, ev.fn)
+  end
+
+let is_empty t =
+  skim t;
+  t.size = 0
+
+let live_count t =
+  let n = ref 0 in
+  for i = 0 to t.size - 1 do
+    if not t.heap.(i).cancelled then incr n
+  done;
+  !n

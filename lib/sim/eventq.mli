@@ -1,0 +1,35 @@
+(** Priority queue of timed events.
+
+    A binary min-heap keyed by [(time, seq)]: events fire in time order, and
+    events scheduled for the same instant fire in insertion order.  The
+    latter is essential for determinism — the whole simulator relies on it.
+
+    Cancellation is O(1): events carry a [cancelled] flag and are skipped
+    (and dropped) when they reach the top of the heap. *)
+
+type t
+
+type event
+(** A handle to a scheduled event, usable for cancellation. *)
+
+val create : unit -> t
+
+val add : t -> time:Time.t -> (unit -> unit) -> event
+(** Schedule a callback at an absolute time. *)
+
+val cancel : event -> unit
+(** Mark an event so it never fires. Idempotent. *)
+
+val cancelled : event -> bool
+
+val next_time : t -> Time.t option
+(** Time of the earliest live event, if any. *)
+
+val pop : t -> (Time.t * (unit -> unit)) option
+(** Remove and return the earliest live event. *)
+
+val is_empty : t -> bool
+(** [true] iff no live events remain. *)
+
+val live_count : t -> int
+(** Number of non-cancelled events (O(n); for tests and diagnostics). *)

@@ -1,0 +1,81 @@
+type state = Runnable | Running | Blocked of string | Terminated
+
+type t = {
+  pid : int;
+  pname : string;
+  eng : Engine.t;
+  mutable pstate : state;
+  mutable waiters : (unit -> unit) list;
+}
+
+type _ Effect.t +=
+  | Suspend : string * (('a -> unit) -> unit) -> 'a Effect.t
+  | Self : t Effect.t
+
+let counter = ref 0
+
+let id t = t.pid
+let name t = t.pname
+let state t = t.pstate
+let engine t = t.eng
+let terminated t = t.pstate = Terminated
+let pp fmt t = Format.fprintf fmt "proc#%d(%s)" t.pid t.pname
+
+let finish proc =
+  proc.pstate <- Terminated;
+  let ws = proc.waiters in
+  proc.waiters <- [];
+  List.iter (fun w -> w ()) ws
+
+let run_fiber proc fn =
+  let open Effect.Deep in
+  proc.pstate <- Running;
+  match_with fn ()
+    {
+      retc = (fun () -> finish proc);
+      exnc =
+        (fun e ->
+          finish proc;
+          raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Suspend (reason, register) ->
+              Some
+                (fun (k : (a, _) continuation) ->
+                  proc.pstate <- Blocked reason;
+                  let resumed = ref false in
+                  let resume v =
+                    if !resumed then
+                      Fmt.invalid_arg "Proc: double resume of %s" proc.pname;
+                    resumed := true;
+                    proc.pstate <- Running;
+                    continue k v
+                  in
+                  register resume)
+          | Self -> Some (fun (k : (a, _) continuation) -> continue k proc)
+          | _ -> None);
+    }
+
+let spawn eng ?(name = "proc") fn =
+  incr counter;
+  let proc =
+    { pid = !counter; pname = name; eng; pstate = Runnable; waiters = [] }
+  in
+  ignore (Engine.after eng 0 (fun () -> run_fiber proc fn));
+  proc
+
+let self () = Effect.perform Self
+let suspend ~reason register = Effect.perform (Suspend (reason, register))
+
+let sleep delay =
+  let p = self () in
+  suspend ~reason:"sleep" (fun resume ->
+      ignore (Engine.after p.eng delay (fun () -> resume ())))
+
+let yield () = sleep 0
+
+let join other =
+  if not (terminated other) then
+    suspend ~reason:"join" (fun resume ->
+        other.waiters <- resume :: other.waiters)

@@ -1,0 +1,121 @@
+module Acc = struct
+  type t = {
+    mutable n : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable mn : float;
+    mutable mx : float;
+    mutable sum : float;
+  }
+
+  let create () =
+    { n = 0; mean = 0.0; m2 = 0.0; mn = nan; mx = nan; sum = 0.0 }
+
+  let clear t =
+    t.n <- 0;
+    t.mean <- 0.0;
+    t.m2 <- 0.0;
+    t.mn <- nan;
+    t.mx <- nan;
+    t.sum <- 0.0
+
+  let add t x =
+    t.n <- t.n + 1;
+    t.sum <- t.sum +. x;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.n);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if t.n = 1 then begin
+      t.mn <- x;
+      t.mx <- x
+    end
+    else begin
+      if x < t.mn then t.mn <- x;
+      if x > t.mx then t.mx <- x
+    end
+
+  let count t = t.n
+  let mean t = if t.n = 0 then 0.0 else t.mean
+  let variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int (t.n - 1)
+  let stddev t = sqrt (variance t)
+  let min t = t.mn
+  let max t = t.mx
+  let total t = t.sum
+end
+
+module Series = struct
+  type t = {
+    mutable data : float array;
+    mutable n : int;
+    mutable sorted : bool;
+  }
+
+  let create () = { data = Array.make 256 0.0; n = 0; sorted = true }
+
+  let add t x =
+    if t.n = Array.length t.data then begin
+      let data = Array.make (2 * t.n) 0.0 in
+      Array.blit t.data 0 data 0 t.n;
+      t.data <- data
+    end;
+    t.data.(t.n) <- x;
+    t.n <- t.n + 1;
+    t.sorted <- false
+
+  let count t = t.n
+
+  let mean t =
+    if t.n = 0 then nan
+    else begin
+      let sum = ref 0.0 in
+      for i = 0 to t.n - 1 do
+        sum := !sum +. t.data.(i)
+      done;
+      !sum /. float_of_int t.n
+    end
+
+  let ensure_sorted t =
+    if not t.sorted then begin
+      let live = Array.sub t.data 0 t.n in
+      Array.sort compare live;
+      Array.blit live 0 t.data 0 t.n;
+      t.sorted <- true
+    end
+
+  let percentile t p =
+    if t.n = 0 then nan
+    else begin
+      ensure_sorted t;
+      let rank =
+        int_of_float (ceil (p /. 100.0 *. float_of_int t.n)) - 1
+      in
+      let rank = Stdlib.max 0 (Stdlib.min (t.n - 1) rank) in
+      t.data.(rank)
+    end
+
+  let median t = percentile t 50.0
+
+  let min t =
+    if t.n = 0 then nan
+    else begin
+      ensure_sorted t;
+      t.data.(0)
+    end
+
+  let max t =
+    if t.n = 0 then nan
+    else begin
+      ensure_sorted t;
+      t.data.(t.n - 1)
+    end
+end
+
+module Counter = struct
+  type t = { cname : string; mutable v : int }
+
+  let create cname = { cname; v = 0 }
+  let name t = t.cname
+  let incr ?(by = 1) t = t.v <- t.v + by
+  let value t = t.v
+  let reset t = t.v <- 0
+end

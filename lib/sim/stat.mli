@@ -1,0 +1,54 @@
+(** Statistics accumulators for experiment harnesses. *)
+
+(** Streaming mean / variance / extrema (Welford's algorithm). *)
+module Acc : sig
+  type t
+
+  val create : unit -> t
+  val clear : t -> unit
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  (** 0.0 when empty. *)
+
+  val variance : t -> float
+  (** Sample variance; 0.0 with fewer than two samples. *)
+
+  val stddev : t -> float
+  val min : t -> float
+  (** [nan] when empty. *)
+
+  val max : t -> float
+  (** [nan] when empty. *)
+
+  val total : t -> float
+end
+
+(** Stores every sample; supports exact percentiles. Suitable for the
+    thousands-of-trials scale of these experiments. *)
+module Series : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val percentile : t -> float -> float
+  (** [percentile t p] with [p] in [\[0,100\]]; nearest-rank on the sorted
+      samples. [nan] when empty. *)
+
+  val median : t -> float
+  val min : t -> float
+  val max : t -> float
+end
+
+(** Monotonically increasing named counters. *)
+module Counter : sig
+  type t
+
+  val create : string -> t
+  val name : t -> string
+  val incr : ?by:int -> t -> unit
+  val value : t -> int
+  val reset : t -> unit
+end

@@ -1,0 +1,21 @@
+let sink : (Time.t -> topic:string -> string -> unit) option ref = ref None
+
+let set_sink s = sink := s
+let enabled () = !sink <> None
+
+let emit eng ~topic msg =
+  match !sink with
+  | None -> ()
+  | Some f -> f (Engine.now eng) ~topic msg
+
+let emitf eng ~topic fmt =
+  match !sink with
+  | None -> Format.ikfprintf ignore Format.str_formatter fmt
+  | Some f ->
+      Format.kasprintf (fun msg -> f (Engine.now eng) ~topic msg) fmt
+
+let to_stderr () =
+  set_sink
+    (Some
+       (fun time ~topic msg ->
+         Format.eprintf "[%a] %s: %s@." Time.pp time topic msg))

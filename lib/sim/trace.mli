@@ -1,0 +1,21 @@
+(** Lightweight event tracing.
+
+    A single process-global sink keeps the hot path to one branch when
+    tracing is off.  Topics are short strings ("net", "kernel", "fs");
+    experiments enable a sink to debug protocol interleavings. *)
+
+val set_sink : (Time.t -> topic:string -> string -> unit) option -> unit
+(** Install or remove the trace sink. *)
+
+val enabled : unit -> bool
+
+val emit : Engine.t -> topic:string -> string -> unit
+(** Forward a pre-built message to the sink, if any. *)
+
+val emitf :
+  Engine.t -> topic:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Formatted emission; the message is only built when a sink is set. *)
+
+val to_stderr : unit -> unit
+(** Convenience: install a sink printing ["[<time>] <topic>: <msg>"] lines
+    on stderr. *)

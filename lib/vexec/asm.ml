@@ -1,0 +1,366 @@
+type operand =
+  | Reg of int
+  | Imm of int
+  | Label of string  (** bare label: branch target *)
+  | Addr of string  (** @label *)
+  | Mem of int * mem_disp  (** [reg + disp] *)
+
+and mem_disp = Dimm of int | Dlabel of string
+
+type item =
+  | Ins of string * operand list
+  | Word of int list
+  | Ascii of string
+  | Space of int
+  | Bss of int
+  | Entry of string
+
+type line = { label : string option; item : item option; lineno : int }
+
+exception Err of int * string
+
+let err lineno fmt = Format.kasprintf (fun m -> raise (Err (lineno, m))) fmt
+
+(* ----------------------------- lexing ----------------------------- *)
+
+let strip_comment s =
+  (* A ';' outside a char/string literal starts a comment. *)
+  let buf = Buffer.create (String.length s) in
+  let rec go i quote =
+    if i >= String.length s then ()
+    else begin
+      let c = s.[i] in
+      match quote with
+      | Some q ->
+          Buffer.add_char buf c;
+          if c = q then go (i + 1) None
+          else if c = '\\' && i + 1 < String.length s then begin
+            Buffer.add_char buf s.[i + 1];
+            go (i + 2) quote
+          end
+          else go (i + 1) quote
+      | None ->
+          if c = ';' then ()
+          else begin
+            Buffer.add_char buf c;
+            if c = '"' || c = '\'' then go (i + 1) (Some c)
+            else go (i + 1) None
+          end
+    end
+  in
+  go 0 None;
+  Buffer.contents buf
+
+let parse_int lineno s =
+  let s = String.trim s in
+  if String.length s >= 3 && s.[0] = '\'' && s.[String.length s - 1] = '\''
+  then begin
+    match String.length s with
+    | 3 -> Char.code s.[1]
+    | 4 when s.[1] = '\\' -> (
+        match s.[2] with
+        | 'n' -> 10
+        | 't' -> 9
+        | '0' -> 0
+        | '\\' -> 92
+        | '\'' -> 39
+        | c -> err lineno "bad escape '\\%c'" c)
+    | _ -> err lineno "bad character literal %s" s
+  end
+  else
+    match int_of_string_opt s with
+    | Some v -> v
+    | None -> err lineno "bad integer %S" s
+
+let parse_reg_opt s =
+  match String.lowercase_ascii (String.trim s) with
+  | "sp" -> Some 7
+  | r
+    when String.length r = 2
+         && r.[0] = 'r'
+         && r.[1] >= '0'
+         && r.[1] <= '7' ->
+      Some (Char.code r.[1] - Char.code '0')
+  | _ -> None
+
+let is_label_name s =
+  String.length s > 0
+  && (match s.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false)
+       s
+
+let parse_operand lineno s =
+  let s = String.trim s in
+  if s = "" then err lineno "empty operand"
+  else if s.[0] = '[' then begin
+    if s.[String.length s - 1] <> ']' then err lineno "unclosed memory operand";
+    let inner = String.sub s 1 (String.length s - 2) in
+    let base, disp =
+      match String.index_opt inner '+' with
+      | Some i ->
+          ( String.sub inner 0 i,
+            String.sub inner (i + 1) (String.length inner - i - 1) )
+      | None -> (
+          match String.index_opt inner '-' with
+          | Some i when i > 0 ->
+              ( String.sub inner 0 i,
+                String.sub inner i (String.length inner - i) )
+          | _ -> (inner, "0"))
+    in
+    let reg =
+      match parse_reg_opt base with
+      | Some r -> r
+      | None -> err lineno "bad base register %S" base
+    in
+    let disp = String.trim disp in
+    if String.length disp > 0 && disp.[0] = '@' then
+      Mem (reg, Dlabel (String.sub disp 1 (String.length disp - 1)))
+    else Mem (reg, Dimm (parse_int lineno disp))
+  end
+  else if s.[0] = '@' then Addr (String.sub s 1 (String.length s - 1))
+  else
+    match parse_reg_opt s with
+    | Some r -> Reg r
+    | None ->
+        if is_label_name s then Label s
+        else Imm (parse_int lineno s)
+
+let split_operands s =
+  (* Commas inside brackets don't occur; simple split suffices. *)
+  if String.trim s = "" then []
+  else String.split_on_char ',' s
+
+let parse_string_literal lineno s =
+  let s = String.trim s in
+  if String.length s < 2 || s.[0] <> '"' || s.[String.length s - 1] <> '"'
+  then err lineno "expected a string literal"
+  else begin
+    let inner = String.sub s 1 (String.length s - 2) in
+    let buf = Buffer.create (String.length inner) in
+    let rec go i =
+      if i < String.length inner then
+        if inner.[i] = '\\' && i + 1 < String.length inner then begin
+          (match inner.[i + 1] with
+          | 'n' -> Buffer.add_char buf '\n'
+          | 't' -> Buffer.add_char buf '\t'
+          | '0' -> Buffer.add_char buf '\000'
+          | c -> Buffer.add_char buf c);
+          go (i + 2)
+        end
+        else begin
+          Buffer.add_char buf inner.[i];
+          go (i + 1)
+        end
+    in
+    go 0;
+    Buffer.contents buf
+  end
+
+let parse_line lineno raw =
+  let s = String.trim (strip_comment raw) in
+  if s = "" then { label = None; item = None; lineno }
+  else begin
+    let label, rest =
+      match String.index_opt s ':' with
+      | Some i
+        when is_label_name (String.trim (String.sub s 0 i))
+             (* avoid treating e.g. a stray ':' inside strings; labels
+                must come first and directives/mnemonics never contain
+                ':' before operands with strings *)
+             && not (String.contains (String.sub s 0 i) '"') ->
+          ( Some (String.trim (String.sub s 0 i)),
+            String.trim (String.sub s (i + 1) (String.length s - i - 1)) )
+      | _ -> (None, s)
+    in
+    if rest = "" then { label; item = None; lineno }
+    else begin
+      let mnemonic, args =
+        match String.index_opt rest ' ' with
+        | None -> (rest, "")
+        | Some i ->
+            ( String.sub rest 0 i,
+              String.trim (String.sub rest (i + 1) (String.length rest - i - 1))
+            )
+      in
+      let mnemonic = String.lowercase_ascii mnemonic in
+      let item =
+        match mnemonic with
+        | ".word" ->
+            Word (List.map (parse_int lineno) (split_operands args))
+        | ".ascii" -> Ascii (parse_string_literal lineno args)
+        | ".space" -> Space (parse_int lineno args)
+        | ".bss" -> Bss (parse_int lineno args)
+        | ".entry" ->
+            if is_label_name (String.trim args) then Entry (String.trim args)
+            else err lineno ".entry needs a label"
+        | _ -> Ins (mnemonic, List.map (parse_operand lineno) (split_operands args))
+      in
+      { label; item = Some item; lineno }
+    end
+  end
+
+(* ----------------------------- layout ----------------------------- *)
+
+type section = Code | Data | BssSec
+
+let align8 n = (n + 7) land lnot 7
+
+let assemble source =
+  try
+    let lines =
+      String.split_on_char '\n' source
+      |> List.mapi (fun i raw -> parse_line (i + 1) raw)
+    in
+    (* Pass 1: sizes and symbol table. *)
+    let symbols : (string, section * int) Hashtbl.t = Hashtbl.create 32 in
+    let code_len = ref 0 and data_len = ref 0 and bss_len = ref 0 in
+    let entry_label = ref None in
+    List.iter
+      (fun { label; item; lineno } ->
+        let bind section pos =
+          match label with
+          | None -> ()
+          | Some l ->
+              if Hashtbl.mem symbols l then err lineno "duplicate label %S" l;
+              Hashtbl.replace symbols l (section, pos)
+        in
+        match item with
+        | None -> bind Code !code_len (* bare label: next code position *)
+        | Some (Ins _) ->
+            bind Code !code_len;
+            code_len := !code_len + Isa.instr_bytes
+        | Some (Word ws) ->
+            bind Data !data_len;
+            data_len := !data_len + (4 * List.length ws)
+        | Some (Ascii s) ->
+            bind Data !data_len;
+            data_len := !data_len + String.length s
+        | Some (Space n) ->
+            if n < 0 then err lineno "negative .space";
+            bind Data !data_len;
+            data_len := !data_len + n
+        | Some (Bss n) ->
+            if n < 0 then err lineno "negative .bss";
+            bind BssSec !bss_len;
+            bss_len := !bss_len + n
+        | Some (Entry l) ->
+            bind Code !code_len;
+            entry_label := Some (l, lineno))
+      lines;
+    let data_base = Image.load_base + align8 !code_len in
+    let bss_base = data_base + align8 !data_len in
+    let resolve lineno name =
+      match Hashtbl.find_opt symbols name with
+      | None -> err lineno "undefined label %S" name
+      | Some (Code, off) -> (Code, off)
+      | Some (Data, off) -> (Data, data_base + off)
+      | Some (BssSec, off) -> (BssSec, bss_base + off)
+    in
+    let value_of lineno = function
+      | Imm v -> v
+      | Addr name | Label name ->
+          let _, v = resolve lineno name in
+          v
+      | Reg _ | Mem _ -> err lineno "expected an immediate or label"
+    in
+    let code_target lineno = function
+      | Label name | Addr name -> (
+          match resolve lineno name with
+          | Code, off -> off
+          | (Data | BssSec), _ ->
+              err lineno "%S is not a code label" name)
+      | Imm v -> v
+      | Reg _ | Mem _ -> err lineno "expected a branch target"
+    in
+    (* Pass 2: encode. *)
+    let code = Buffer.create (max 16 !code_len) in
+    let data = Bytes.make !data_len '\000' in
+    let data_pos = ref 0 in
+    let reg lineno = function
+      | Reg r -> r
+      | _ -> err lineno "expected a register"
+    in
+    let mem lineno = function
+      | Mem (r, Dimm v) -> (r, v)
+      | Mem (r, Dlabel name) ->
+          let _, v = resolve lineno name in
+          (r, v)
+      | _ -> err lineno "expected a memory operand"
+    in
+    let emit i = Buffer.add_bytes code (Isa.encode i) in
+    List.iter
+      (fun { item; lineno; _ } ->
+        match item with
+        | None | Some (Entry _) | Some (Bss _) -> ()
+        | Some (Word ws) ->
+            List.iter
+              (fun w ->
+                Bytes.set_int32_le data !data_pos (Int32.of_int w);
+                data_pos := !data_pos + 4)
+              ws
+        | Some (Ascii s) ->
+            Bytes.blit_string s 0 data !data_pos (String.length s);
+            data_pos := !data_pos + String.length s
+        | Some (Space n) -> data_pos := !data_pos + n
+        | Some (Ins (mn, ops)) -> (
+            let r = reg lineno and v = value_of lineno in
+            let rrr c =
+              match ops with
+              | [ a; b; d ] -> emit (c (r a) (r b) (r d))
+              | _ -> err lineno "%s needs three registers" mn
+            in
+            match mn, ops with
+            | "halt", [] -> emit Isa.Halt
+            | "loadi", [ a; b ] -> emit (Isa.Loadi (r a, v b))
+            | "mov", [ a; b ] -> emit (Isa.Mov (r a, r b))
+            | "add", _ -> rrr (fun a b c -> Isa.Add (a, b, c))
+            | "sub", _ -> rrr (fun a b c -> Isa.Sub (a, b, c))
+            | "mul", _ -> rrr (fun a b c -> Isa.Mul (a, b, c))
+            | "div", _ -> rrr (fun a b c -> Isa.Div (a, b, c))
+            | "and", _ -> rrr (fun a b c -> Isa.And (a, b, c))
+            | "or", _ -> rrr (fun a b c -> Isa.Or (a, b, c))
+            | "xor", _ -> rrr (fun a b c -> Isa.Xor (a, b, c))
+            | "shl", _ -> rrr (fun a b c -> Isa.Shl (a, b, c))
+            | "shr", _ -> rrr (fun a b c -> Isa.Shr (a, b, c))
+            | "ld", [ a; m ] ->
+                let base, disp = mem lineno m in
+                emit (Isa.Ld (r a, base, disp))
+            | "ldb", [ a; m ] ->
+                let base, disp = mem lineno m in
+                emit (Isa.Ldb (r a, base, disp))
+            | "st", [ m; a ] ->
+                let base, disp = mem lineno m in
+                emit (Isa.St (r a, base, disp))
+            | "stb", [ m; a ] ->
+                let base, disp = mem lineno m in
+                emit (Isa.Stb (r a, base, disp))
+            | "jmp", [ t ] -> emit (Isa.Jmp (code_target lineno t))
+            | "jz", [ a; t ] -> emit (Isa.Jz (r a, code_target lineno t))
+            | "jnz", [ a; t ] -> emit (Isa.Jnz (r a, code_target lineno t))
+            | "blt", [ a; b; t ] ->
+                emit (Isa.Blt (r a, r b, code_target lineno t))
+            | "call", [ t ] -> emit (Isa.Call (code_target lineno t))
+            | "ret", [] -> emit Isa.Ret
+            | "sys", [ n ] -> emit (Isa.Sys (v n))
+            | _ -> err lineno "bad instruction %S" mn))
+      lines;
+    let entry =
+      match !entry_label with
+      | None -> 0
+      | Some (l, lineno) -> (
+          match resolve lineno l with
+          | Code, off -> off
+          | (Data | BssSec), _ -> err lineno "entry %S is not code" l)
+    in
+    Ok
+      {
+        Image.code = Buffer.to_bytes code;
+        data;
+        bss = !bss_len;
+        entry;
+      }
+  with Err (lineno, msg) -> Error (Printf.sprintf "line %d: %s" lineno msg)
+
+let assemble_exn source =
+  match assemble source with Ok img -> img | Error e -> failwith e

@@ -1,0 +1,29 @@
+(** A two-pass assembler for the interpreter's machine language.
+
+    Syntax, one item per line, [;] comments:
+    {v
+            loadi sp, 65536      ; registers r0..r7, sp = r7
+    loop:   add   r1, r1, r2     ; labels bind to the next item
+            blt   r1, r3, loop   ; branch targets are bare code labels
+            ld    r2, [r4+8]     ; memory operands: [reg], [reg+imm],
+            st    [r4+@cell], r2 ;   [reg+@label]
+            loadi r5, @greeting  ; @label = address of a data/bss label
+            sys   1
+            halt
+            .entry loop          ; default entry is code offset 0
+    greeting: .ascii "hi\n"      ; data directives build the data section
+    cell:     .word 42, 43
+    buffer:   .space 16
+    scratch:  .bss 4096          ; zero-filled space after the data
+    v}
+
+    Immediates are decimal, [0x] hex, or ['c'] character literals.
+    Code labels used as [@label] or branch targets yield code-relative
+    byte offsets; data and bss labels yield absolute addresses under the
+    {!Image.load_base} convention. *)
+
+val assemble : string -> (Image.t, string) result
+(** Errors carry the source line number. *)
+
+val assemble_exn : string -> Image.t
+(** Raises [Failure] with the error message. *)

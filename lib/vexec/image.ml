@@ -1,0 +1,64 @@
+type t = { code : Bytes.t; data : Bytes.t; bss : int; entry : int }
+
+let header_bytes = 512
+let magic = 0x56505247 (* "VPRG" *)
+let version = 1
+let load_base = 8192
+
+let align8 n = (n + 7) land lnot 7
+let data_base t = load_base + align8 (Bytes.length t.code)
+let bss_base t = data_base t + align8 (Bytes.length t.data)
+let image_bytes t = header_bytes + Bytes.length t.code + Bytes.length t.data
+
+let set32 b off v = Bytes.set_int32_le b off (Int32.of_int v)
+let get32 b off = Int32.to_int (Bytes.get_int32_le b off) land 0xFFFF_FFFF
+
+let to_bytes t =
+  let b = Bytes.make (image_bytes t) '\000' in
+  set32 b 0 magic;
+  set32 b 4 version;
+  set32 b 8 (Bytes.length t.code);
+  set32 b 12 (Bytes.length t.data);
+  set32 b 16 t.entry;
+  set32 b 20 t.bss;
+  Bytes.blit t.code 0 b header_bytes (Bytes.length t.code);
+  Bytes.blit t.data 0 b (header_bytes + Bytes.length t.code)
+    (Bytes.length t.data);
+  b
+
+let header_of_bytes b =
+  if Bytes.length b < 24 then Error "short header"
+  else if get32 b 0 <> magic then Error "bad magic"
+  else if get32 b 4 <> version then Error "bad version"
+  else begin
+    let code_len = get32 b 8 and data_len = get32 b 12 in
+    if code_len mod Isa.instr_bytes <> 0 then Error "ragged code size"
+    else
+      Ok
+        {
+          code = Bytes.make code_len '\000';
+          data = Bytes.make data_len '\000';
+          bss = get32 b 20;
+          entry = get32 b 16;
+        }
+  end
+
+let of_bytes b =
+  match header_of_bytes b with
+  | Error e -> Error e
+  | Ok hdr ->
+      let code_len = Bytes.length hdr.code
+      and data_len = Bytes.length hdr.data in
+      if Bytes.length b < header_bytes + code_len + data_len then
+        Error "truncated image"
+      else
+        Ok
+          {
+            hdr with
+            code = Bytes.sub b header_bytes code_len;
+            data = Bytes.sub b (header_bytes + code_len) data_len;
+          }
+
+let pp fmt t =
+  Format.fprintf fmt "image[code=%dB data=%dB bss=%dB entry=%d]"
+    (Bytes.length t.code) (Bytes.length t.data) t.bss t.entry

@@ -1,0 +1,51 @@
+(** Program images.
+
+    The on-disk format the loader's two-read pattern depends on
+    (Section 6.3: "the first read accesses the program header
+    information; the second read copies the program code and data into
+    the newly created program space").
+
+    Layout: a header of exactly one 512-byte page, then code, then
+    initialized data.
+
+    {v
+    header: magic "VPRG" | version | code_bytes | data_bytes |
+            entry (code-relative) | bss_bytes
+    v}
+
+    Loaded processes use a fixed memory convention: code at
+    {!load_base}, data immediately after (8-byte aligned), zeroed bss
+    after that, and the stack pointer started at the top of the address
+    space. *)
+
+type t = {
+  code : Bytes.t;  (** encoded instructions *)
+  data : Bytes.t;  (** initialized data *)
+  bss : int;  (** zero-initialized bytes after data *)
+  entry : int;  (** code-relative entry offset *)
+}
+
+val header_bytes : int
+(** 512 — one page, so a single page read fetches it. *)
+
+val load_base : int
+(** Where the loader places the code in a program's address space. *)
+
+val data_base : t -> int
+(** Address of the data region under the load convention. *)
+
+val bss_base : t -> int
+val image_bytes : t -> int
+(** Header + code + data: the file size. *)
+
+val to_bytes : t -> Bytes.t
+(** The complete file image (header, code, data). *)
+
+val header_of_bytes : Bytes.t -> (t, string) result
+(** Parse a header page; [code]/[data] in the result are sized but
+    zeroed (the loader fills them with the second read). *)
+
+val of_bytes : Bytes.t -> (t, string) result
+(** Parse a complete image. *)
+
+val pp : Format.formatter -> t -> unit

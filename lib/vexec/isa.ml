@@ -1,0 +1,144 @@
+type reg = int
+
+type instr =
+  | Halt
+  | Loadi of reg * int
+  | Mov of reg * reg
+  | Add of reg * reg * reg
+  | Sub of reg * reg * reg
+  | Mul of reg * reg * reg
+  | Div of reg * reg * reg
+  | And of reg * reg * reg
+  | Or of reg * reg * reg
+  | Xor of reg * reg * reg
+  | Shl of reg * reg * reg
+  | Shr of reg * reg * reg
+  | Ld of reg * reg * int
+  | St of reg * reg * int
+  | Ldb of reg * reg * int
+  | Stb of reg * reg * int
+  | Jmp of int
+  | Jz of reg * int
+  | Jnz of reg * int
+  | Blt of reg * reg * int
+  | Call of int
+  | Ret
+  | Sys of int
+
+let instr_bytes = 8
+
+let fields = function
+  | Halt -> (0, 0, 0, 0, 0)
+  | Loadi (r, imm) -> (1, r, 0, 0, imm)
+  | Mov (a, b) -> (2, a, b, 0, 0)
+  | Add (a, b, c) -> (3, a, b, c, 0)
+  | Sub (a, b, c) -> (4, a, b, c, 0)
+  | Mul (a, b, c) -> (5, a, b, c, 0)
+  | Div (a, b, c) -> (6, a, b, c, 0)
+  | And (a, b, c) -> (7, a, b, c, 0)
+  | Or (a, b, c) -> (8, a, b, c, 0)
+  | Xor (a, b, c) -> (9, a, b, c, 0)
+  | Shl (a, b, c) -> (10, a, b, c, 0)
+  | Shr (a, b, c) -> (11, a, b, c, 0)
+  | Ld (a, b, imm) -> (12, a, b, 0, imm)
+  | St (a, b, imm) -> (13, a, b, 0, imm)
+  | Ldb (a, b, imm) -> (14, a, b, 0, imm)
+  | Stb (a, b, imm) -> (15, a, b, 0, imm)
+  | Jmp imm -> (16, 0, 0, 0, imm)
+  | Jz (r, imm) -> (17, r, 0, 0, imm)
+  | Jnz (r, imm) -> (18, r, 0, 0, imm)
+  | Blt (a, b, imm) -> (19, a, b, 0, imm)
+  | Call imm -> (20, 0, 0, 0, imm)
+  | Ret -> (21, 0, 0, 0, 0)
+  | Sys imm -> (22, 0, 0, 0, imm)
+
+let check_reg r what =
+  if r < 0 || r > 7 then Fmt.invalid_arg "Isa: bad register r%d in %s" r what
+
+let encode instr =
+  let op, r1, r2, r3, imm = fields instr in
+  check_reg r1 "encode";
+  check_reg r2 "encode";
+  check_reg r3 "encode";
+  let b = Bytes.make instr_bytes '\000' in
+  Bytes.set b 0 (Char.chr op);
+  Bytes.set b 1 (Char.chr r1);
+  Bytes.set b 2 (Char.chr r2);
+  Bytes.set b 3 (Char.chr r3);
+  Bytes.set_int32_le b 4 (Int32.of_int imm);
+  b
+
+let decode buf ~pos =
+  if pos < 0 || pos + instr_bytes > Bytes.length buf then
+    Error (Printf.sprintf "instruction fetch out of range at %d" pos)
+  else begin
+    let op = Char.code (Bytes.get buf pos) in
+    let r1 = Char.code (Bytes.get buf (pos + 1)) in
+    let r2 = Char.code (Bytes.get buf (pos + 2)) in
+    let r3 = Char.code (Bytes.get buf (pos + 3)) in
+    let imm = Int32.to_int (Bytes.get_int32_le buf (pos + 4)) in
+    if r1 > 7 || r2 > 7 || r3 > 7 then
+      Error (Printf.sprintf "bad register field at %d" pos)
+    else
+      match op with
+      | 0 -> Ok Halt
+      | 1 -> Ok (Loadi (r1, imm))
+      | 2 -> Ok (Mov (r1, r2))
+      | 3 -> Ok (Add (r1, r2, r3))
+      | 4 -> Ok (Sub (r1, r2, r3))
+      | 5 -> Ok (Mul (r1, r2, r3))
+      | 6 -> Ok (Div (r1, r2, r3))
+      | 7 -> Ok (And (r1, r2, r3))
+      | 8 -> Ok (Or (r1, r2, r3))
+      | 9 -> Ok (Xor (r1, r2, r3))
+      | 10 -> Ok (Shl (r1, r2, r3))
+      | 11 -> Ok (Shr (r1, r2, r3))
+      | 12 -> Ok (Ld (r1, r2, imm))
+      | 13 -> Ok (St (r1, r2, imm))
+      | 14 -> Ok (Ldb (r1, r2, imm))
+      | 15 -> Ok (Stb (r1, r2, imm))
+      | 16 -> Ok (Jmp imm)
+      | 17 -> Ok (Jz (r1, imm))
+      | 18 -> Ok (Jnz (r1, imm))
+      | 19 -> Ok (Blt (r1, r2, imm))
+      | 20 -> Ok (Call imm)
+      | 21 -> Ok Ret
+      | 22 -> Ok (Sys imm)
+      | n -> Error (Printf.sprintf "bad opcode %d at %d" n pos)
+  end
+
+let pp fmt = function
+  | Halt -> Format.pp_print_string fmt "halt"
+  | Loadi (r, i) -> Format.fprintf fmt "loadi r%d, %d" r i
+  | Mov (a, b) -> Format.fprintf fmt "mov r%d, r%d" a b
+  | Add (a, b, c) -> Format.fprintf fmt "add r%d, r%d, r%d" a b c
+  | Sub (a, b, c) -> Format.fprintf fmt "sub r%d, r%d, r%d" a b c
+  | Mul (a, b, c) -> Format.fprintf fmt "mul r%d, r%d, r%d" a b c
+  | Div (a, b, c) -> Format.fprintf fmt "div r%d, r%d, r%d" a b c
+  | And (a, b, c) -> Format.fprintf fmt "and r%d, r%d, r%d" a b c
+  | Or (a, b, c) -> Format.fprintf fmt "or r%d, r%d, r%d" a b c
+  | Xor (a, b, c) -> Format.fprintf fmt "xor r%d, r%d, r%d" a b c
+  | Shl (a, b, c) -> Format.fprintf fmt "shl r%d, r%d, r%d" a b c
+  | Shr (a, b, c) -> Format.fprintf fmt "shr r%d, r%d, r%d" a b c
+  | Ld (a, b, i) -> Format.fprintf fmt "ld r%d, [r%d+%d]" a b i
+  | St (a, b, i) -> Format.fprintf fmt "st [r%d+%d], r%d" b i a
+  | Ldb (a, b, i) -> Format.fprintf fmt "ldb r%d, [r%d+%d]" a b i
+  | Stb (a, b, i) -> Format.fprintf fmt "stb [r%d+%d], r%d" b i a
+  | Jmp i -> Format.fprintf fmt "jmp %d" i
+  | Jz (r, i) -> Format.fprintf fmt "jz r%d, %d" r i
+  | Jnz (r, i) -> Format.fprintf fmt "jnz r%d, %d" r i
+  | Blt (a, b, i) -> Format.fprintf fmt "blt r%d, r%d, %d" a b i
+  | Call i -> Format.fprintf fmt "call %d" i
+  | Ret -> Format.pp_print_string fmt "ret"
+  | Sys i -> Format.fprintf fmt "sys %d" i
+
+module Syscall = struct
+  let exit = 0
+  let put_char = 1
+  let get_time = 2
+  let send = 3
+  let receive = 4
+  let reply = 5
+  let get_pid = 6
+  let compute = 7
+end

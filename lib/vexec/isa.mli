@@ -1,0 +1,69 @@
+(** The instruction set of the workstation interpreter.
+
+    The paper runs programs on diskless workstations through "a simple
+    interpreter we have written to run with the V kernel" (Section 6.3);
+    its command interpreter "allows programs to be loaded and run on the
+    workstations using these UNIX servers" (Section 9).  This is that
+    interpreter's machine language: a small register machine whose
+    system calls are V kernel operations, so loaded programs do real IPC.
+
+    Eight general registers [r0..r7] (convention: [r7] is the stack
+    pointer), a byte-addressed view of the owning process's V address
+    space, and a code-relative program counter.  Instructions encode to a
+    fixed 8 bytes: opcode, three register fields, and a 32-bit immediate. *)
+
+type reg = int
+(** 0..7. *)
+
+type instr =
+  | Halt
+  | Loadi of reg * int  (** r := imm (sign-extended 32-bit) *)
+  | Mov of reg * reg
+  | Add of reg * reg * reg
+  | Sub of reg * reg * reg
+  | Mul of reg * reg * reg
+  | Div of reg * reg * reg  (** faults on zero divisor *)
+  | And of reg * reg * reg
+  | Or of reg * reg * reg
+  | Xor of reg * reg * reg
+  | Shl of reg * reg * reg
+  | Shr of reg * reg * reg
+  | Ld of reg * reg * int  (** r1 := mem32\[r2 + imm\] *)
+  | St of reg * reg * int  (** mem32\[r2 + imm\] := r1 *)
+  | Ldb of reg * reg * int  (** r1 := mem8\[r2 + imm\] *)
+  | Stb of reg * reg * int  (** mem8\[r2 + imm\] := r1 *)
+  | Jmp of int  (** code-relative byte offset *)
+  | Jz of reg * int
+  | Jnz of reg * int
+  | Blt of reg * reg * int  (** branch if r1 < r2 (signed) *)
+  | Call of int  (** push return pc on \[r7\], jump *)
+  | Ret
+  | Sys of int  (** system call; see {!Vm} *)
+
+val instr_bytes : int
+(** 8. *)
+
+val encode : instr -> Bytes.t
+val decode : Bytes.t -> pos:int -> (instr, string) result
+val pp : Format.formatter -> instr -> unit
+
+(** System call numbers. *)
+module Syscall : sig
+  val exit : int  (** r1 = exit code *)
+
+  val put_char : int  (** r1 = character, appended to the console *)
+
+  val get_time : int  (** r1 := simulated time, ms *)
+
+  val send : int
+  (** r1 = message pointer (32 bytes), r2 = destination pid;
+      r1 := kernel status code; the reply overwrites the buffer *)
+
+  val receive : int  (** r1 = message pointer; r1 := sender pid *)
+
+  val reply : int  (** r1 = message pointer, r2 = destination pid *)
+
+  val get_pid : int  (** r1 = logical id; r1 := pid or 0 *)
+
+  val compute : int  (** burn r1 microseconds of processor time *)
+end

@@ -1,0 +1,64 @@
+module K = Vkernel.Kernel
+
+type error = Client of Vfs.Client.error | Bad_image of string | Too_large of int
+
+let error_to_string = function
+  | Client e -> Vfs.Client.error_to_string e
+  | Bad_image m -> "bad image: " ^ m
+  | Too_large n -> Printf.sprintf "image of %d bytes does not fit" n
+
+(* The image file starts with its header page; loading the whole file one
+   header-page below the code base lands code and data exactly at their
+   run addresses. *)
+let file_base = Image.load_base - Image.header_bytes
+
+let ( let* ) r f = match r with Ok v -> f v | Error e -> Error e
+let client r = Result.map_error (fun e -> Client e) r
+
+let load k ~conn ~name =
+  let mem = K.my_memory k in
+  let* handle = client (Vfs.Client.open_file conn name) in
+  let finish r =
+    ignore (Vfs.Client.close_file conn handle);
+    r
+  in
+  (* Read 1: the header page. *)
+  match client (Vfs.Client.read_page conn handle ~block:0 ~buf:file_base ()) with
+  | Error e -> finish (Error e)
+  | Ok n when n < 24 -> finish (Error (Bad_image "short header"))
+  | Ok _ -> (
+      let hdr_bytes =
+        Vkernel.Mem.read mem ~pos:file_base ~len:Image.header_bytes
+      in
+      match Image.header_of_bytes hdr_bytes with
+      | Error m -> finish (Error (Bad_image m))
+      | Ok hdr ->
+          let total = Image.image_bytes hdr in
+          if
+            not
+              (Vkernel.Mem.valid mem ~pos:file_base
+                 ~len:(total + hdr.Image.bss))
+          then finish (Error (Too_large total))
+          else begin
+            (* Read 2: the whole image into the program space. *)
+            match
+              client
+                (Vfs.Client.load_program conn handle ~buf:file_base
+                   ~max:total)
+            with
+            | Error e -> finish (Error e)
+            | Ok n when n < total ->
+                finish
+                  (Error (Bad_image (Printf.sprintf "truncated: %d < %d" n total)))
+            | Ok n ->
+                if hdr.Image.bss > 0 then
+                  Vkernel.Mem.fill mem ~pos:(Image.bss_base hdr)
+                    ~len:hdr.Image.bss '\000';
+                finish (Ok (hdr, n))
+          end)
+
+let load_and_run k ~conn ~name ?config ?console () =
+  let* hdr, _bytes = load k ~conn ~name in
+  Ok
+    (Vm.run k ?config ?console ~entry:hdr.Image.entry
+       ~code_len:(Bytes.length hdr.Image.code) ())

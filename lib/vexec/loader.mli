@@ -1,0 +1,34 @@
+(** The two-read program loader (Section 6.3).
+
+    "A simple interpreter we have written to run with the V kernel loads
+    programs in two read operations: the first read accesses the program
+    header information; the second read copies the program code and data
+    into the newly created program space."
+
+    Read 1 is a 512-byte page read of the header; read 2 is the server's
+    program-loading path — the whole image pushed by MoveTo in the
+    server's configured transfer units. *)
+
+type error =
+  | Client of Vfs.Client.error
+  | Bad_image of string
+  | Too_large of int  (** image bytes that did not fit the address space *)
+
+val error_to_string : error -> string
+
+val load :
+  Vkernel.Kernel.t -> conn:Vfs.Client.conn -> name:string ->
+  (Image.t * int, error) result
+(** Load the named program image into the calling process's space at the
+    standard addresses.  Returns the parsed header and the total bytes
+    transferred. *)
+
+val load_and_run :
+  Vkernel.Kernel.t ->
+  conn:Vfs.Client.conn ->
+  name:string ->
+  ?config:Vm.config ->
+  ?console:(char -> unit) ->
+  unit ->
+  (Vm.outcome, error) result
+(** Load, zero the bss, and interpret from the image's entry point. *)

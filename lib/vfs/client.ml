@@ -1,0 +1,126 @@
+module K = Vkernel.Kernel
+module Msg = Vkernel.Msg
+
+type conn = { k : K.t; server : Vkernel.Pid.t }
+
+type error =
+  | Server of Protocol.rstatus
+  | Ipc of K.status
+  | No_server
+
+let error_to_string = function
+  | Server s -> "server: " ^ Protocol.rstatus_to_string s
+  | Ipc s -> "ipc: " ^ K.status_to_string s
+  | No_server -> "no file server found"
+
+let pp_error fmt e = Format.pp_print_string fmt (error_to_string e)
+
+let connect k ?(logical_id = Protocol.fileserver_logical_id) () =
+  match K.get_pid k ~logical_id K.Any with
+  | Some pid -> Ok { k; server = pid }
+  | None -> Error No_server
+
+let connect_to k pid = { k; server = pid }
+let server_pid c = c.server
+
+type handle = int
+
+(* The stubs need a little memory of the caller's to pass names through;
+   by convention they own the top of the address space. *)
+let name_scratch_size = 256
+
+let exchange c msg =
+  match K.send c.k msg c.server with
+  | K.Ok -> (
+      match Protocol.decode_reply msg with
+      | Protocol.Sok, value -> Ok value
+      | st, _ -> Error (Server st))
+  | (K.Nonexistent | K.Bad_address | K.No_permission | K.Too_big) as st ->
+      Error (Ipc st)
+
+let with_name c name ~op =
+  let mem = K.my_memory c.k in
+  let scratch = Vkernel.Mem.size mem - name_scratch_size in
+  let len = String.length name in
+  if len > name_scratch_size then Error (Server Protocol.Sbad_request)
+  else begin
+    Vkernel.Mem.write mem ~pos:scratch (Bytes.of_string name);
+    let msg = Msg.create () in
+    Protocol.encode_request msg ~op ~handle:0 ~block:0 ~count:len;
+    Msg.set_segment msg Msg.Read_only ~ptr:scratch ~len;
+    exchange c msg
+  end
+
+let open_file c name = with_name c name ~op:Protocol.Open
+let create_file c name = with_name c name ~op:Protocol.Create
+
+let delete_file c name =
+  match with_name c name ~op:Protocol.Delete with
+  | Ok _ -> Ok ()
+  | Error e -> Error e
+
+let simple c ~op ~handle ~block ~count =
+  let msg = Msg.create () in
+  Protocol.encode_request msg ~op ~handle ~block ~count;
+  exchange c msg
+
+let close_file c handle =
+  match simple c ~op:Protocol.Close ~handle ~block:0 ~count:0 with
+  | Ok _ -> Ok ()
+  | Error e -> Error e
+
+let file_size c handle = simple c ~op:Protocol.Stat ~handle ~block:0 ~count:0
+
+let read_gen c ~op handle ~block ~buf ~count =
+  let msg = Msg.create () in
+  Protocol.encode_request msg ~op ~handle ~block ~count;
+  Msg.set_segment msg Msg.Write_only ~ptr:buf ~len:count;
+  exchange c msg
+
+let read_page c handle ~block ~buf ?(count = Fs.block_size) () =
+  read_gen c ~op:Protocol.Read_page handle ~block ~buf ~count
+
+let read_page_basic c handle ~block ~buf ?(count = Fs.block_size) () =
+  read_gen c ~op:Protocol.Read_basic handle ~block ~buf ~count
+
+let write_page c handle ~block ~buf ~count =
+  let msg = Msg.create () in
+  Protocol.encode_request msg ~op:Protocol.Write_page ~handle ~block ~count;
+  (* The page itself rides the request packet as the read segment. *)
+  Msg.set_segment msg Msg.Read_only ~ptr:buf ~len:count;
+  exchange c msg
+
+let write_page_basic c handle ~block ~buf ~count =
+  let msg = Msg.create () in
+  Protocol.encode_request msg ~op:Protocol.Write_basic ~handle ~block ~count;
+  (* Grant read access but do not piggyback: the data moves only by the
+     server's explicit MoveFrom, as in the original Thoth protocol. *)
+  Msg.set_segment msg Msg.Read_only ~ptr:buf ~len:count;
+  Msg.set_no_piggyback msg;
+  exchange c msg
+
+let load_program c handle ~buf ~max =
+  let msg = Msg.create () in
+  Protocol.encode_request msg ~op:Protocol.Load_program ~handle ~block:0
+    ~count:max;
+  Msg.set_segment msg Msg.Write_only ~ptr:buf ~len:max;
+  exchange c msg
+
+let exec_scan c handle ~block ~count =
+  simple c ~op:Protocol.Exec ~handle ~block ~count
+
+let read_sequential c handle ~buf ~on_page =
+  match file_size c handle with
+  | Error e -> Error e
+  | Ok size ->
+      let nblocks = (size + Fs.block_size - 1) / Fs.block_size in
+      let rec go block total =
+        if block >= nblocks then Ok total
+        else
+          match read_page c handle ~block ~buf () with
+          | Error e -> Error e
+          | Ok n ->
+              on_page block n;
+              go (block + 1) (total + n)
+      in
+      go 0 0

@@ -1,0 +1,83 @@
+(** Client stubs for the V file server.
+
+    "Applications commonly access system services through stub routines
+    that provide a procedural interface to the message primitives" — these
+    are those stubs.  Each call builds the 32-byte request, grants the
+    right segment of the calling process's address space, Sends, and
+    decodes the reply.
+
+    Buffer arguments ([buf]) are byte offsets in the calling process's
+    address space.  The stub library reserves the top 256 bytes of the
+    space as a scratch area for file names. *)
+
+type conn
+
+type error =
+  | Server of Protocol.rstatus  (** the server refused the request *)
+  | Ipc of Vkernel.Kernel.status  (** the message exchange itself failed *)
+  | No_server  (** GetPid could not locate a file server *)
+
+val error_to_string : error -> string
+val pp_error : Format.formatter -> error -> unit
+
+val connect :
+  Vkernel.Kernel.t -> ?logical_id:int -> unit -> (conn, error) result
+(** Locate a file server via GetPid (broadcast if unknown locally). *)
+
+val connect_to : Vkernel.Kernel.t -> Vkernel.Pid.t -> conn
+(** Use a known server pid. *)
+
+val server_pid : conn -> Vkernel.Pid.t
+
+type handle = int
+
+(** {1 Name operations} *)
+
+val open_file : conn -> string -> (handle, error) result
+val create_file : conn -> string -> (handle, error) result
+val delete_file : conn -> string -> (unit, error) result
+val close_file : conn -> handle -> (unit, error) result
+val file_size : conn -> handle -> (int, error) result
+
+(** {1 Page-level access (two packets per page)} *)
+
+val read_page :
+  conn -> handle -> block:int -> buf:int -> ?count:int -> unit ->
+  (int, error) result
+(** Read up to one block into the caller's space at [buf]; returns the
+    byte count. Uses Send + ReplyWithSegment. *)
+
+val write_page :
+  conn -> handle -> block:int -> buf:int -> count:int -> (int, error) result
+(** Write [count] bytes from [buf]; the data rides the request packet via
+    the piggybacked segment. *)
+
+(** {1 Thoth-style access (four packets per page; Section 6.1 baseline)} *)
+
+val read_page_basic :
+  conn -> handle -> block:int -> buf:int -> ?count:int -> unit ->
+  (int, error) result
+
+val write_page_basic :
+  conn -> handle -> block:int -> buf:int -> count:int -> (int, error) result
+
+(** {1 Bulk} *)
+
+val load_program :
+  conn -> handle -> buf:int -> max:int -> (int, error) result
+(** Load the whole file into the caller's space at [buf] (program
+    loading); the server streams it with MoveTo. Returns the byte count. *)
+
+val exec_scan :
+  conn -> handle -> block:int -> count:int -> (int, error) result
+(** Run the server's program-execution facility over [count] pages
+    starting at [block]: the scan (and its page traffic) happens entirely
+    on the file server; the returned value is the byte checksum.  This is
+    the Section 7 extension — compare with fetching the pages and
+    scanning locally. *)
+
+val read_sequential :
+  conn -> handle -> buf:int -> on_page:(int -> int -> unit) ->
+  (int, error) result
+(** Read the file block by block into [buf] (each page overwrites it);
+    [on_page block count] is called per page. Returns total bytes. *)

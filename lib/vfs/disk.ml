@@ -1,0 +1,95 @@
+type latency =
+  | Fixed of Vsim.Time.t
+  | Seek of {
+      base_ns : int;
+      full_seek_ns : int;
+      rotation_ns : int;
+      cylinders : int;
+    }
+
+type t = {
+  eng : Vsim.Engine.t;
+  store : Bytes.t array;
+  bsize : int;
+  mutable lat : latency;
+  mutable head_cyl : int;
+  mutable free_at : Vsim.Time.t;
+  mutable n_reads : int;
+  mutable n_writes : int;
+  mutable busy : int;
+  rng : Vsim.Rng.t;
+}
+
+let create eng ?(latency = Fixed (Vsim.Time.ms 20)) ~blocks ~block_size () =
+  if blocks <= 0 || block_size <= 0 then
+    invalid_arg "Disk.create: blocks and block_size must be positive";
+  {
+    eng;
+    store = Array.init blocks (fun _ -> Bytes.make block_size '\000');
+    bsize = block_size;
+    lat = latency;
+    head_cyl = 0;
+    free_at = 0;
+    n_reads = 0;
+    n_writes = 0;
+    busy = 0;
+    rng = Vsim.Rng.split (Vsim.Engine.rng eng);
+  }
+
+let block_size t = t.bsize
+let blocks t = Array.length t.store
+let latency t = t.lat
+let set_latency t lat = t.lat <- lat
+let reads t = t.n_reads
+let writes t = t.n_writes
+let busy_ns t = t.busy
+
+let check_block t b =
+  if b < 0 || b >= Array.length t.store then
+    Fmt.invalid_arg "Disk: block %d out of range (%d blocks)" b
+      (Array.length t.store)
+
+let access_time t b =
+  match t.lat with
+  | Fixed ns -> ns
+  | Seek { base_ns; full_seek_ns; rotation_ns; cylinders } ->
+      let blocks_per_cyl = max 1 (Array.length t.store / cylinders) in
+      let cyl = b / blocks_per_cyl in
+      let travel = abs (cyl - t.head_cyl) in
+      t.head_cyl <- cyl;
+      let seek = full_seek_ns * travel / max 1 cylinders in
+      let rot = Vsim.Rng.int t.rng (max 1 rotation_ns) in
+      base_ns + seek + rot
+
+(* Serialize operations: an access starts when the device frees up. *)
+let schedule t b k =
+  let cost = access_time t b in
+  let now = Vsim.Engine.now t.eng in
+  let start = max now t.free_at in
+  let finish = start + cost in
+  t.free_at <- finish;
+  t.busy <- t.busy + cost;
+  ignore (Vsim.Engine.at t.eng finish k)
+
+let read_k t b k =
+  check_block t b;
+  t.n_reads <- t.n_reads + 1;
+  schedule t b (fun () -> k (Bytes.copy t.store.(b)))
+
+let write_k t b data k =
+  check_block t b;
+  if Bytes.length data <> t.bsize then
+    Fmt.invalid_arg "Disk.write: expected %d-byte block, got %d" t.bsize
+      (Bytes.length data);
+  t.n_writes <- t.n_writes + 1;
+  let data = Bytes.copy data in
+  schedule t b (fun () ->
+      Bytes.blit data 0 t.store.(b) 0 t.bsize;
+      k ())
+
+let read t b =
+  Vsim.Proc.suspend ~reason:"disk-read" (fun resume -> read_k t b resume)
+
+let write t b data =
+  Vsim.Proc.suspend ~reason:"disk-write" (fun resume ->
+      write_k t b data resume)

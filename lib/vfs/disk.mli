@@ -1,0 +1,50 @@
+(** A block device with a latency model.
+
+    The paper treats disk latency as a parameter (10/15/20 ms in
+    Table 6-2, ~20 ms in its Section 6.1 estimates) and even simulates the
+    disk by interposing a delay in the server.  We provide both a fixed
+    latency — for exact reproduction — and a simple seek + rotation model
+    for more realistic workloads.
+
+    One operation is serviced at a time; queued requests wait, which is
+    what couples many-client load to disk saturation in the Section 7
+    experiments. *)
+
+type latency =
+  | Fixed of Vsim.Time.t  (** every access costs exactly this *)
+  | Seek of {
+      base_ns : int;  (** controller + transfer overhead *)
+      full_seek_ns : int;  (** end-to-end arm travel *)
+      rotation_ns : int;  (** full revolution; average adds half *)
+      cylinders : int;
+    }
+
+type t
+
+val create :
+  Vsim.Engine.t -> ?latency:latency -> blocks:int -> block_size:int ->
+  unit -> t
+(** Default latency is [Fixed 20ms], the paper's rule-of-thumb disk. *)
+
+val block_size : t -> int
+val blocks : t -> int
+val latency : t -> latency
+val set_latency : t -> latency -> unit
+
+val read : t -> int -> Bytes.t
+(** [read t b] blocks the calling fiber for the access latency and returns
+    a copy of block [b]. *)
+
+val write : t -> int -> Bytes.t -> unit
+(** [write t b data] blocks for the access latency. [data] must be exactly
+    one block. *)
+
+val read_k : t -> int -> (Bytes.t -> unit) -> unit
+(** Callback form, e.g. for asynchronous read-ahead. *)
+
+val write_k : t -> int -> Bytes.t -> (unit -> unit) -> unit
+
+val reads : t -> int
+val writes : t -> int
+val busy_ns : t -> int
+(** Total time the device spent servicing requests. *)

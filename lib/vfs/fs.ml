@@ -1,0 +1,499 @@
+type error =
+  | No_space
+  | No_inodes
+  | Not_found
+  | Already_exists
+  | Name_too_long
+  | Too_big
+  | Bad_argument
+  | Not_formatted
+
+let error_to_string = function
+  | No_space -> "no space"
+  | No_inodes -> "no inodes"
+  | Not_found -> "not found"
+  | Already_exists -> "already exists"
+  | Name_too_long -> "name too long"
+  | Too_big -> "too big"
+  | Bad_argument -> "bad argument"
+  | Not_formatted -> "not formatted"
+
+let pp_error fmt e = Format.pp_print_string fmt (error_to_string e)
+
+let block_size = 512
+let magic = 0x56465331 (* "VFS1" *)
+let n_direct = 12
+let ptrs_per_block = block_size / 4
+let max_blocks_per_file = n_direct + ptrs_per_block
+let max_file_size = max_blocks_per_file * block_size
+let inode_size = 64
+let inodes_per_block = block_size / inode_size
+let dirent_size = 32
+let max_name = dirent_size - 4
+let root_inum = 0
+
+type geometry = {
+  nblocks : int;
+  ninodes : int;
+  bitmap_start : int;
+  bitmap_blocks : int;
+  inode_start : int;
+  inode_blocks : int;
+  data_start : int;
+}
+
+type t = {
+  dsk : Disk.t;
+  geo : geometry;
+  cache : (int, Bytes.t) Hashtbl.t;
+  mutable cache_on : bool;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let disk t = t.dsk
+
+(* ---------------- geometry ---------------- *)
+
+let compute_geometry ~nblocks ~ninodes =
+  let bitmap_blocks = (nblocks + (block_size * 8) - 1) / (block_size * 8) in
+  let inode_blocks = (ninodes + inodes_per_block - 1) / inodes_per_block in
+  let bitmap_start = 1 in
+  let inode_start = bitmap_start + bitmap_blocks in
+  let data_start = inode_start + inode_blocks in
+  { nblocks; ninodes; bitmap_start; bitmap_blocks; inode_start; inode_blocks;
+    data_start }
+
+let set32 b off v = Bytes.set_int32_le b off (Int32.of_int v)
+let get32 b off = Int32.to_int (Bytes.get_int32_le b off) land 0xFFFF_FFFF
+
+(* ---------------- block cache ---------------- *)
+
+(* Metadata blocks (superblock, bitmap, inode table, indirect tables) are
+   always cached: any real file server keeps them in memory, and the
+   experiments that disable the cache mean *data* caching — Table 6-2's
+   one-disk-access-per-page condition. *)
+let read_block ?(meta = false) t b =
+  let cached = meta || t.cache_on in
+  match if cached then Hashtbl.find_opt t.cache b else None with
+  | Some data ->
+      t.hits <- t.hits + 1;
+      Bytes.copy data
+  | None ->
+      t.misses <- t.misses + 1;
+      let data = Disk.read t.dsk b in
+      if cached then Hashtbl.replace t.cache b (Bytes.copy data);
+      data
+
+(* Write-through: the cache is updated and the disk written. *)
+let write_block ?(meta = false) t b data =
+  if meta || t.cache_on then Hashtbl.replace t.cache b (Bytes.copy data);
+  Disk.write t.dsk b data
+
+let set_cache_enabled t on =
+  t.cache_on <- on;
+  if not on then Hashtbl.reset t.cache
+
+let cache_enabled t = t.cache_on
+let evict_cache t = Hashtbl.reset t.cache
+let cache_hits t = t.hits
+let cache_misses t = t.misses
+
+(* ---------------- bitmap ---------------- *)
+
+let alloc_block t =
+  let geo = t.geo in
+  let rec scan_block bi =
+    if bi >= geo.bitmap_blocks then Error No_space
+    else begin
+      let bytes = read_block ~meta:true t (geo.bitmap_start + bi) in
+      let rec scan_byte i =
+        if i >= block_size then scan_block (bi + 1)
+        else begin
+          let v = Char.code (Bytes.get bytes i) in
+          if v = 0xFF then scan_byte (i + 1)
+          else begin
+            let bit = ref 0 in
+            while v land (1 lsl !bit) <> 0 do
+              incr bit
+            done;
+            let blk = (((bi * block_size) + i) * 8) + !bit in
+            if blk >= geo.nblocks then Error No_space
+            else begin
+              Bytes.set bytes i (Char.chr (v lor (1 lsl !bit)));
+              write_block ~meta:true t (geo.bitmap_start + bi) bytes;
+              (* Fresh blocks must read back as zeros. *)
+              write_block t blk (Bytes.make block_size '\000');
+              Ok blk
+            end
+          end
+        end
+      in
+      scan_byte 0
+    end
+  in
+  scan_block 0
+
+let free_block t blk =
+  let geo = t.geo in
+  let idx = blk / 8 in
+  let bi = idx / block_size and off = idx mod block_size in
+  let bytes = read_block ~meta:true t (geo.bitmap_start + bi) in
+  let v = Char.code (Bytes.get bytes off) in
+  Bytes.set bytes off (Char.chr (v land lnot (1 lsl (blk mod 8))));
+  write_block ~meta:true t (geo.bitmap_start + bi) bytes
+
+let mark_used t blk =
+  let geo = t.geo in
+  let idx = blk / 8 in
+  let bi = idx / block_size and off = idx mod block_size in
+  let bytes = read_block ~meta:true t (geo.bitmap_start + bi) in
+  let v = Char.code (Bytes.get bytes off) in
+  Bytes.set bytes off (Char.chr (v lor (1 lsl (blk mod 8))));
+  write_block ~meta:true t (geo.bitmap_start + bi) bytes
+
+(* ---------------- inodes ---------------- *)
+
+type inode = {
+  mutable i_used : bool;
+  mutable i_size : int;
+  i_direct : int array;  (** 0 = unallocated *)
+  mutable i_indirect : int;
+}
+
+let inode_location t inum =
+  let geo = t.geo in
+  ( geo.inode_start + (inum / inodes_per_block),
+    inum mod inodes_per_block * inode_size )
+
+let read_inode t inum =
+  if inum < 0 || inum >= t.geo.ninodes then Error Bad_argument
+  else begin
+    let blk, off = inode_location t inum in
+    let bytes = read_block ~meta:true t blk in
+    let ino =
+      {
+        i_used = Bytes.get bytes off <> '\000';
+        i_size = get32 bytes (off + 4);
+        i_direct = Array.init n_direct (fun i -> get32 bytes (off + 8 + (4 * i)));
+        i_indirect = get32 bytes (off + 8 + (4 * n_direct));
+      }
+    in
+    Ok ino
+  end
+
+let write_inode t inum (ino : inode) =
+  let blk, off = inode_location t inum in
+  let bytes = read_block ~meta:true t blk in
+  Bytes.set bytes off (if ino.i_used then '\001' else '\000');
+  set32 bytes (off + 4) ino.i_size;
+  Array.iteri (fun i v -> set32 bytes (off + 8 + (4 * i)) v) ino.i_direct;
+  set32 bytes (off + 8 + (4 * n_direct)) ino.i_indirect;
+  write_block ~meta:true t blk bytes
+
+let alloc_inode t =
+  let rec scan inum =
+    if inum >= t.geo.ninodes then Error No_inodes
+    else
+      match read_inode t inum with
+      | Error e -> Error e
+      | Ok ino ->
+          if ino.i_used then scan (inum + 1)
+          else begin
+            ino.i_used <- true;
+            ino.i_size <- 0;
+            Array.fill ino.i_direct 0 n_direct 0;
+            ino.i_indirect <- 0;
+            write_inode t inum ino;
+            Ok inum
+          end
+  in
+  scan 1 (* inode 0 is the root directory *)
+
+(* Map a file block index to a disk block; optionally allocating. *)
+let bmap t (ino : inode) ~inum ~idx ~alloc =
+  if idx < 0 || idx >= max_blocks_per_file then Error Too_big
+  else if idx < n_direct then begin
+    if ino.i_direct.(idx) <> 0 then Ok (Some ino.i_direct.(idx))
+    else if not alloc then Ok None
+    else
+      match alloc_block t with
+      | Error e -> Error e
+      | Ok blk ->
+          ino.i_direct.(idx) <- blk;
+          write_inode t inum ino;
+          Ok (Some blk)
+  end
+  else begin
+    let slot = idx - n_direct in
+    let with_indirect iblk =
+      let table = read_block ~meta:true t iblk in
+      let ptr = get32 table (4 * slot) in
+      if ptr <> 0 then Ok (Some ptr)
+      else if not alloc then Ok None
+      else
+        match alloc_block t with
+        | Error e -> Error e
+        | Ok blk ->
+            set32 table (4 * slot) blk;
+            write_block ~meta:true t iblk table;
+            Ok (Some blk)
+    in
+    if ino.i_indirect <> 0 then with_indirect ino.i_indirect
+    else if not alloc then Ok None
+    else
+      match alloc_block t with
+      | Error e -> Error e
+      | Ok iblk ->
+          ino.i_indirect <- iblk;
+          write_inode t inum ino;
+          with_indirect iblk
+  end
+
+(* ---------------- byte-level read/write ---------------- *)
+
+let read_range t ~inum ~pos ~len =
+  if pos < 0 || len < 0 then Error Bad_argument
+  else
+    match read_inode t inum with
+    | Error e -> Error e
+    | Ok ino when not ino.i_used -> Error Not_found
+    | Ok ino ->
+        let len = max 0 (min len (ino.i_size - pos)) in
+        let out = Bytes.make len '\000' in
+        let rec go off =
+          if off >= len then Ok out
+          else begin
+            let abs = pos + off in
+            let idx = abs / block_size and boff = abs mod block_size in
+            let n = min (block_size - boff) (len - off) in
+            match bmap t ino ~inum ~idx ~alloc:false with
+            | Error e -> Error e
+            | Ok None -> go (off + n) (* hole: zeros *)
+            | Ok (Some blk) ->
+                let data = read_block t blk in
+                Bytes.blit data boff out off n;
+                go (off + n)
+          end
+        in
+        go 0
+
+let write_range t ~inum ~pos data =
+  let len = Bytes.length data in
+  if pos < 0 then Error Bad_argument
+  else if pos + len > max_file_size then Error Too_big
+  else
+    match read_inode t inum with
+    | Error e -> Error e
+    | Ok ino when not ino.i_used -> Error Not_found
+    | Ok ino ->
+        let rec go off =
+          if off >= len then begin
+            if pos + len > ino.i_size then begin
+              ino.i_size <- pos + len;
+              write_inode t inum ino
+            end;
+            Ok ()
+          end
+          else begin
+            let abs = pos + off in
+            let idx = abs / block_size and boff = abs mod block_size in
+            let n = min (block_size - boff) (len - off) in
+            match bmap t ino ~inum ~idx ~alloc:true with
+            | Error e -> Error e
+            | Ok None -> Error No_space
+            | Ok (Some blk) ->
+                let cur =
+                  if n = block_size then Bytes.make block_size '\000'
+                  else read_block t blk
+                in
+                Bytes.blit data off cur boff n;
+                write_block t blk cur;
+                go (off + n)
+          end
+        in
+        go 0
+
+(* ---------------- directory ---------------- *)
+
+let dirent_count (root : inode) = root.i_size / dirent_size
+
+let read_dirent t i =
+  match read_range t ~inum:root_inum ~pos:(i * dirent_size) ~len:dirent_size with
+  | Error _ -> None
+  | Ok bytes ->
+      if Bytes.length bytes < dirent_size then None
+      else begin
+        let inum = get32 bytes 0 in
+        let name = Bytes.sub_string bytes 4 max_name in
+        let name =
+          match String.index_opt name '\000' with
+          | Some i -> String.sub name 0 i
+          | None -> name
+        in
+        Some (name, inum)
+      end
+
+let write_dirent t i ~name ~inum =
+  let bytes = Bytes.make dirent_size '\000' in
+  set32 bytes 0 inum;
+  Bytes.blit_string name 0 bytes 4 (String.length name);
+  write_range t ~inum:root_inum ~pos:(i * dirent_size) bytes
+
+let find_entry t name =
+  match read_inode t root_inum with
+  | Error _ -> None
+  | Ok root ->
+      let n = dirent_count root in
+      let rec go i =
+        if i >= n then None
+        else
+          match read_dirent t i with
+          | Some (n', inum) when n' = name -> Some (i, inum)
+          | Some _ | None -> go (i + 1)
+      in
+      go 0
+
+(* ---------------- public API ---------------- *)
+
+let format dsk ~ninodes =
+  if Disk.block_size dsk <> block_size then
+    invalid_arg "Fs.format: disk block size must be 512";
+  let geo = compute_geometry ~nblocks:(Disk.blocks dsk) ~ninodes in
+  let t =
+    { dsk; geo; cache = Hashtbl.create 512; cache_on = true; hits = 0;
+      misses = 0 }
+  in
+  (* Superblock. *)
+  let sb = Bytes.make block_size '\000' in
+  set32 sb 0 magic;
+  set32 sb 4 geo.nblocks;
+  set32 sb 8 geo.ninodes;
+  set32 sb 12 geo.bitmap_start;
+  set32 sb 16 geo.bitmap_blocks;
+  set32 sb 20 geo.inode_start;
+  set32 sb 24 geo.inode_blocks;
+  set32 sb 28 geo.data_start;
+  write_block ~meta:true t 0 sb;
+  (* Zero the bitmap and inode table, then mark metadata blocks used. *)
+  let zero = Bytes.make block_size '\000' in
+  for b = geo.bitmap_start to geo.data_start - 1 do
+    write_block t b zero
+  done;
+  for b = 0 to geo.data_start - 1 do
+    mark_used t b
+  done;
+  (* Root directory: inode 0, empty. *)
+  let root =
+    { i_used = true; i_size = 0; i_direct = Array.make n_direct 0;
+      i_indirect = 0 }
+  in
+  write_inode t root_inum root
+
+let mount dsk =
+  if Disk.block_size dsk <> block_size then Error Bad_argument
+  else begin
+    let t0 =
+      {
+        dsk;
+        geo = compute_geometry ~nblocks:(Disk.blocks dsk) ~ninodes:1;
+        cache = Hashtbl.create 512;
+        cache_on = true;
+        hits = 0;
+        misses = 0;
+      }
+    in
+    let sb = read_block ~meta:true t0 0 in
+    if get32 sb 0 <> magic then Error Not_formatted
+    else begin
+      let geo =
+        {
+          nblocks = get32 sb 4;
+          ninodes = get32 sb 8;
+          bitmap_start = get32 sb 12;
+          bitmap_blocks = get32 sb 16;
+          inode_start = get32 sb 20;
+          inode_blocks = get32 sb 24;
+          data_start = get32 sb 28;
+        }
+      in
+      Ok { t0 with geo }
+    end
+  end
+
+let create t name =
+  if String.length name = 0 then Error Bad_argument
+  else if String.length name > max_name then Error Name_too_long
+  else if find_entry t name <> None then Error Already_exists
+  else
+    match alloc_inode t with
+    | Error e -> Error e
+    | Ok inum -> (
+        (* Reuse a deleted slot if there is one. *)
+        match read_inode t root_inum with
+        | Error e -> Error e
+        | Ok root ->
+            let n = dirent_count root in
+            let rec find_free i =
+              if i >= n then n
+              else
+                match read_dirent t i with
+                | Some ("", _) -> i
+                | Some _ | None -> find_free (i + 1)
+            in
+            let slot = find_free 0 in
+            (match write_dirent t slot ~name ~inum with
+            | Error e -> Error e
+            | Ok () -> Ok inum))
+
+let lookup t name =
+  match find_entry t name with Some (_, inum) -> Some inum | None -> None
+
+let free_file_blocks t (ino : inode) =
+  Array.iter (fun blk -> if blk <> 0 then free_block t blk) ino.i_direct;
+  if ino.i_indirect <> 0 then begin
+    let table = read_block ~meta:true t ino.i_indirect in
+    for i = 0 to ptrs_per_block - 1 do
+      let ptr = get32 table (4 * i) in
+      if ptr <> 0 then free_block t ptr
+    done;
+    free_block t ino.i_indirect
+  end
+
+let unlink t name =
+  match find_entry t name with
+  | None -> Error Not_found
+  | Some (slot, inum) -> (
+      match read_inode t inum with
+      | Error e -> Error e
+      | Ok ino ->
+          if ino.i_used then begin
+            free_file_blocks t ino;
+            ino.i_used <- false;
+            ino.i_size <- 0;
+            write_inode t inum ino
+          end;
+          write_dirent t slot ~name:"" ~inum:0)
+
+let size t ~inum =
+  match read_inode t inum with
+  | Error e -> Error e
+  | Ok ino when not ino.i_used -> Error Not_found
+  | Ok ino -> Ok ino.i_size
+
+let read t ~inum ~pos ~len = read_range t ~inum ~pos ~len
+let write t ~inum ~pos data = write_range t ~inum ~pos data
+
+let list t =
+  match read_inode t root_inum with
+  | Error _ -> []
+  | Ok root ->
+      let n = dirent_count root in
+      let rec go i acc =
+        if i >= n then List.rev acc
+        else
+          match read_dirent t i with
+          | Some ("", _) | None -> go (i + 1) acc
+          | Some (name, inum) -> go (i + 1) ((name, inum) :: acc)
+      in
+      go 0 []

@@ -1,0 +1,73 @@
+(** A small block filesystem.
+
+    The paper's file servers were VAX/UNIX machines running a kernel
+    simulator and serving UNIX files; what matters to the experiments is
+    that page reads and writes execute a real file-system code path with
+    controllable disk behaviour.  This is a classic inode filesystem:
+
+    - block 0: superblock;
+    - a block-allocation bitmap;
+    - an inode table (64-byte inodes, 12 direct + 1 indirect pointer);
+    - a flat root directory (inode 0) of 32-byte entries.
+
+    With 512-byte blocks a file holds up to 12 + 128 blocks = 71,680
+    bytes — comfortably the paper's 64-kilobyte program images.
+
+    A write-through block cache makes re-reads free, reproducing the
+    "data buffered in memory" condition of Table 6-1; disable it to force
+    every access to pay disk latency.
+
+    All calls block the calling fiber for the disk time they incur. *)
+
+type t
+
+type error =
+  | No_space
+  | No_inodes
+  | Not_found
+  | Already_exists
+  | Name_too_long
+  | Too_big
+  | Bad_argument
+  | Not_formatted
+
+val error_to_string : error -> string
+val pp_error : Format.formatter -> error -> unit
+
+val block_size : int
+(** 512, the paper's page size. *)
+
+val max_file_size : int
+
+val format : Disk.t -> ninodes:int -> unit
+(** Initialize an empty filesystem on the disk. *)
+
+val mount : Disk.t -> (t, error) result
+
+val disk : t -> Disk.t
+
+(** {1 Files} *)
+
+val create : t -> string -> (int, error) result
+(** Create an empty file; returns its inode number. *)
+
+val lookup : t -> string -> int option
+val unlink : t -> string -> (unit, error) result
+val size : t -> inum:int -> (int, error) result
+
+val read : t -> inum:int -> pos:int -> len:int -> (Bytes.t, error) result
+(** Short reads at end of file return fewer bytes; reads past the end
+    return empty. *)
+
+val write : t -> inum:int -> pos:int -> Bytes.t -> (unit, error) result
+(** Extends the file as needed (holes read back as zeros). *)
+
+val list : t -> (string * int) list
+
+(** {1 Cache control} *)
+
+val set_cache_enabled : t -> bool -> unit
+val cache_enabled : t -> bool
+val evict_cache : t -> unit
+val cache_hits : t -> int
+val cache_misses : t -> int

@@ -1,0 +1,113 @@
+type op =
+  | Open
+  | Close
+  | Create
+  | Delete
+  | Stat
+  | Read_page
+  | Write_page
+  | Read_basic
+  | Write_basic
+  | Load_program
+  | Exec
+
+type rstatus =
+  | Sok
+  | Sbad_handle
+  | Snot_found
+  | Sexists
+  | Sno_space
+  | Sbad_request
+  | Sio_error
+
+let op_to_string = function
+  | Open -> "open"
+  | Close -> "close"
+  | Create -> "create"
+  | Delete -> "delete"
+  | Stat -> "stat"
+  | Read_page -> "read-page"
+  | Write_page -> "write-page"
+  | Read_basic -> "read-basic"
+  | Write_basic -> "write-basic"
+  | Load_program -> "load-program"
+  | Exec -> "exec"
+
+let rstatus_to_string = function
+  | Sok -> "ok"
+  | Sbad_handle -> "bad handle"
+  | Snot_found -> "not found"
+  | Sexists -> "exists"
+  | Sno_space -> "no space"
+  | Sbad_request -> "bad request"
+  | Sio_error -> "io error"
+
+let fileserver_logical_id = 1
+
+let op_to_byte = function
+  | Open -> 1
+  | Close -> 2
+  | Create -> 3
+  | Delete -> 4
+  | Stat -> 5
+  | Read_page -> 6
+  | Write_page -> 7
+  | Read_basic -> 8
+  | Write_basic -> 9
+  | Load_program -> 10
+  | Exec -> 11
+
+let op_of_byte = function
+  | 1 -> Some Open
+  | 2 -> Some Close
+  | 3 -> Some Create
+  | 4 -> Some Delete
+  | 5 -> Some Stat
+  | 6 -> Some Read_page
+  | 7 -> Some Write_page
+  | 8 -> Some Read_basic
+  | 9 -> Some Write_basic
+  | 10 -> Some Load_program
+  | 11 -> Some Exec
+  | _ -> None
+
+let rstatus_to_byte = function
+  | Sok -> 0
+  | Sbad_handle -> 1
+  | Snot_found -> 2
+  | Sexists -> 3
+  | Sno_space -> 4
+  | Sbad_request -> 5
+  | Sio_error -> 6
+
+let rstatus_of_byte = function
+  | 0 -> Sok
+  | 1 -> Sbad_handle
+  | 2 -> Snot_found
+  | 3 -> Sexists
+  | 4 -> Sno_space
+  | 6 -> Sio_error
+  | _ -> Sbad_request
+
+let encode_request msg ~op ~handle ~block ~count =
+  Vkernel.Msg.set_u8 msg 1 (op_to_byte op);
+  Vkernel.Msg.set_u16 msg 2 handle;
+  Vkernel.Msg.set_u32 msg 4 block;
+  Vkernel.Msg.set_u32 msg 8 count
+
+let decode_request msg =
+  match op_of_byte (Vkernel.Msg.get_u8 msg 1) with
+  | None -> None
+  | Some op ->
+      Some
+        ( op,
+          Vkernel.Msg.get_u16 msg 2,
+          Vkernel.Msg.get_u32 msg 4,
+          Vkernel.Msg.get_u32 msg 8 )
+
+let encode_reply msg ~status ~value =
+  Vkernel.Msg.set_u8 msg 1 (rstatus_to_byte status);
+  Vkernel.Msg.set_u32 msg 4 value
+
+let decode_reply msg =
+  (rstatus_of_byte (Vkernel.Msg.get_u8 msg 1), Vkernel.Msg.get_u32 msg 4)

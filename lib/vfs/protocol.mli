@@ -1,0 +1,70 @@
+(** The V I/O protocol: file access over the kernel IPC.
+
+    This is the Verex-derived protocol of Section 3.4: a client Sends a
+    32-byte request naming the file, block number and byte count, plus a
+    segment of its own address space for the data; the server uses
+    ReceiveWithSegment / ReplyWithSegment (or MoveTo / MoveFrom for the
+    basic Thoth-style variants and bulk program loading) to move the data.
+
+    Request message layout (application bytes of {!Vkernel.Msg}):
+    {v
+    byte 1      opcode
+    bytes 2-3   file handle
+    bytes 4-7   block number (or byte position for Stat/Load)
+    bytes 8-11  byte count
+    v}
+    File names travel as read-accessible segments piggybacked on the
+    request — the same mechanism as page writes, which the paper notes
+    "has proven useful ... in passing character string names to name
+    servers."
+
+    Reply layout: byte 1 = status, bytes 4-7 = value (count, handle or
+    size). *)
+
+type op =
+  | Open
+  | Close
+  | Create
+  | Delete
+  | Stat
+  | Read_page  (** data returned by ReplyWithSegment *)
+  | Write_page  (** data carried by the request's segment *)
+  | Read_basic  (** data returned by MoveTo: Send-Receive-MoveTo-Reply *)
+  | Write_basic  (** data fetched by MoveFrom *)
+  | Load_program  (** whole file pushed by MoveTo in transfer units *)
+  | Exec
+      (** run a data-intensive program *at the server* over a file's pages
+          instead of shipping them — the Section 7 extension ("it is
+          advantageous ... to execute the program on the file server").
+          [block]/[count] select the page range; the reply value is the
+          program's result (here: a checksum). *)
+
+type rstatus =
+  | Sok
+  | Sbad_handle
+  | Snot_found
+  | Sexists
+  | Sno_space
+  | Sbad_request
+  | Sio_error
+
+val op_to_string : op -> string
+val rstatus_to_string : rstatus -> string
+
+val fileserver_logical_id : int
+(** The well-known logical id under which file servers register (the
+    paper's example "fileserver" logicalid). *)
+
+(** {1 Requests} *)
+
+val encode_request :
+  Vkernel.Msg.t -> op:op -> handle:int -> block:int -> count:int -> unit
+(** Fill a message with a request (does not touch the segment words). *)
+
+val decode_request : Vkernel.Msg.t -> (op * int * int * int) option
+(** [(op, handle, block, count)] if the message parses. *)
+
+(** {1 Replies} *)
+
+val encode_reply : Vkernel.Msg.t -> status:rstatus -> value:int -> unit
+val decode_reply : Vkernel.Msg.t -> rstatus * int

@@ -1,0 +1,354 @@
+module K = Vkernel.Kernel
+module Msg = Vkernel.Msg
+
+type config = {
+  transfer_unit : int;
+  read_ahead : bool;
+  write_behind : bool;
+  fs_process_ns : int;
+  exec_compute_ns_per_page : int;
+      (** processor time the Exec facility charges per scanned page *)
+  max_open : int;
+  register_id : int option;
+}
+
+let default_config =
+  {
+    transfer_unit = 4096;
+    read_ahead = false;
+    write_behind = false;
+    fs_process_ns = 0;
+    exec_compute_ns_per_page = Vsim.Time.us 500;
+    max_open = 32;
+    register_id = Some Protocol.fileserver_logical_id;
+  }
+
+type open_file = { of_inum : int; mutable of_last_block : int }
+
+type t = {
+  kernel : K.t;
+  fs : Fs.t;
+  cfg : config;
+  mutable spid : Vkernel.Pid.t;
+  handles : open_file option array;
+  mutable n_requests : int;
+  mutable n_reads : int;
+  mutable n_writes : int;
+  mutable n_loads : int;
+  mutable n_execs : int;
+}
+
+let pid t = t.spid
+let requests_served t = t.n_requests
+let pages_read t = t.n_reads
+let pages_written t = t.n_writes
+let loads_served t = t.n_loads
+let execs_served t = t.n_execs
+
+(* Server address-space layout: a block-sized scratch buffer for request
+   segments and page data, and a larger staging buffer for program loads. *)
+let scratch_ptr = 0
+let load_ptr = 8192
+
+let alloc_handle t inum =
+  let rec go h =
+    if h >= Array.length t.handles then None
+    else
+      match t.handles.(h) with
+      | None ->
+          t.handles.(h) <- Some { of_inum = inum; of_last_block = -1 };
+          Some h
+      | Some _ -> go (h + 1)
+  in
+  go 1
+
+let lookup_handle t h =
+  if h <= 0 || h >= Array.length t.handles then None else t.handles.(h)
+
+let fs_error_status : Fs.error -> Protocol.rstatus = function
+  | Fs.Not_found -> Protocol.Snot_found
+  | Fs.Already_exists -> Protocol.Sexists
+  | Fs.No_space | Fs.No_inodes -> Protocol.Sno_space
+  | Fs.Name_too_long | Fs.Too_big | Fs.Bad_argument -> Protocol.Sbad_request
+  | Fs.Not_formatted -> Protocol.Sio_error
+
+(* Charge the configured per-request file-system processing time. *)
+let fs_work t = if t.cfg.fs_process_ns > 0 then
+    Vhw.Cpu.compute (K.cpu t.kernel) t.cfg.fs_process_ns
+
+let string_of_segment mem ~count =
+  let bytes = Vkernel.Mem.read mem ~pos:scratch_ptr ~len:count in
+  Bytes.to_string bytes
+
+(* Read-ahead per Table 6-2: after replying to a sequential read, fetch
+   the next block before the next Receive, overlapping disk latency with
+   the client's next request's network time. *)
+let maybe_read_ahead t (f : open_file) ~block =
+  if t.cfg.read_ahead then begin
+    match Fs.size t.fs ~inum:f.of_inum with
+    | Ok sz when (block + 1) * Fs.block_size < sz ->
+        (match
+           Fs.read t.fs ~inum:f.of_inum ~pos:((block + 1) * Fs.block_size)
+             ~len:Fs.block_size
+         with
+        | Ok _ | Error _ -> ())
+    | Ok _ | Error _ -> ()
+  end
+
+let handle_request t ~mem ~msg ~src ~seg_count =
+  t.n_requests <- t.n_requests + 1;
+  let client_seg = Msg.segment msg in
+  let reply st value =
+    Msg.clear_segment msg;
+    Protocol.encode_reply msg ~status:st ~value;
+    ignore (K.reply t.kernel msg src)
+  in
+  match Protocol.decode_request msg with
+  | None -> reply Protocol.Sbad_request 0
+  | Some (op, handle, block, count) -> (
+      match op with
+      | Protocol.Open | Protocol.Create -> (
+          let name = string_of_segment mem ~count:seg_count in
+          fs_work t;
+          let inum =
+            match op with
+            | Protocol.Create -> (
+                match Fs.create t.fs name with
+                | Ok inum -> Ok inum
+                | Error Fs.Already_exists -> (
+                    match Fs.lookup t.fs name with
+                    | Some inum -> Ok inum
+                    | None -> Error Fs.Not_found)
+                | Error e -> Error e)
+            | _ -> (
+                match Fs.lookup t.fs name with
+                | Some inum -> Ok inum
+                | None -> Error Fs.Not_found)
+          in
+          match inum with
+          | Error e -> reply (fs_error_status e) 0
+          | Ok inum -> (
+              match alloc_handle t inum with
+              | None -> reply Protocol.Sio_error 0
+              | Some h -> reply Protocol.Sok h))
+      | Protocol.Close -> (
+          match lookup_handle t handle with
+          | None -> reply Protocol.Sbad_handle 0
+          | Some _ ->
+              t.handles.(handle) <- None;
+              reply Protocol.Sok 0)
+      | Protocol.Delete -> (
+          let name = string_of_segment mem ~count:seg_count in
+          fs_work t;
+          match Fs.unlink t.fs name with
+          | Ok () -> reply Protocol.Sok 0
+          | Error e -> reply (fs_error_status e) 0)
+      | Protocol.Stat -> (
+          match lookup_handle t handle with
+          | None -> reply Protocol.Sbad_handle 0
+          | Some f -> (
+              match Fs.size t.fs ~inum:f.of_inum with
+              | Ok sz -> reply Protocol.Sok sz
+              | Error e -> reply (fs_error_status e) 0))
+      | Protocol.Read_page -> (
+          match lookup_handle t handle, client_seg with
+          | None, _ -> reply Protocol.Sbad_handle 0
+          | Some _, (None | Some ((Msg.Read_only, _, _))) ->
+              reply Protocol.Sbad_request 0
+          | Some f, Some ((Msg.Write_only | Msg.Read_write), dptr, dlen) -> (
+              t.n_reads <- t.n_reads + 1;
+              let count = min (min count Fs.block_size) dlen in
+              fs_work t;
+              match
+                Fs.read t.fs ~inum:f.of_inum ~pos:(block * Fs.block_size)
+                  ~len:count
+              with
+              | Error e -> reply (fs_error_status e) 0
+              | Ok data ->
+                  let n = Bytes.length data in
+                  Vkernel.Mem.write mem ~pos:scratch_ptr data;
+                  Msg.clear_segment msg;
+                  Protocol.encode_reply msg ~status:Protocol.Sok ~value:n;
+                  ignore
+                    (K.reply_with_segment t.kernel msg src ~destptr:dptr
+                       ~segptr:scratch_ptr ~segsize:n);
+                  f.of_last_block <- block;
+                  maybe_read_ahead t f ~block))
+      | Protocol.Write_page -> (
+          match lookup_handle t handle with
+          | None -> reply Protocol.Sbad_handle 0
+          | Some f ->
+              t.n_writes <- t.n_writes + 1;
+              let n = min seg_count Fs.block_size in
+              let data = Vkernel.Mem.read mem ~pos:scratch_ptr ~len:n in
+              fs_work t;
+              let do_write () =
+                Fs.write t.fs ~inum:f.of_inum ~pos:(block * Fs.block_size)
+                  data
+              in
+              if t.cfg.write_behind then begin
+                reply Protocol.Sok n;
+                (* Asynchronous store of the modified page. *)
+                ignore
+                  (K.spawn t.kernel ~name:"fs-flush" ~mem_size:4096
+                     (fun _ -> ignore (do_write ())))
+              end
+              else begin
+                match do_write () with
+                | Ok () -> reply Protocol.Sok n
+                | Error e -> reply (fs_error_status e) 0
+              end)
+      | Protocol.Read_basic -> (
+          (* The Thoth-style Send-Receive-MoveTo-Reply page read. *)
+          match lookup_handle t handle, client_seg with
+          | None, _ -> reply Protocol.Sbad_handle 0
+          | Some _, (None | Some ((Msg.Read_only, _, _))) ->
+              reply Protocol.Sbad_request 0
+          | Some f, Some ((Msg.Write_only | Msg.Read_write), dptr, dlen) -> (
+              t.n_reads <- t.n_reads + 1;
+              let count = min (min count Fs.block_size) dlen in
+              fs_work t;
+              match
+                Fs.read t.fs ~inum:f.of_inum ~pos:(block * Fs.block_size)
+                  ~len:count
+              with
+              | Error e -> reply (fs_error_status e) 0
+              | Ok data ->
+                  let n = Bytes.length data in
+                  Vkernel.Mem.write mem ~pos:scratch_ptr data;
+                  (match
+                     K.move_to t.kernel ~dst_pid:src ~dst:dptr
+                       ~src:scratch_ptr ~count:n
+                   with
+                  | K.Ok -> reply Protocol.Sok n
+                  | K.Nonexistent | K.Bad_address | K.No_permission
+                  | K.Too_big ->
+                      reply Protocol.Sio_error 0)))
+      | Protocol.Write_basic -> (
+          match lookup_handle t handle, client_seg with
+          | None, _ -> reply Protocol.Sbad_handle 0
+          | Some _, (None | Some ((Msg.Write_only, _, _))) ->
+              reply Protocol.Sbad_request 0
+          | Some f, Some ((Msg.Read_only | Msg.Read_write), sptr, slen) -> (
+              t.n_writes <- t.n_writes + 1;
+              let n = min (min count Fs.block_size) slen in
+              match
+                K.move_from t.kernel ~src_pid:src ~dst:scratch_ptr ~src:sptr
+                  ~count:n
+              with
+              | K.Ok -> (
+                  let data = Vkernel.Mem.read mem ~pos:scratch_ptr ~len:n in
+                  fs_work t;
+                  match
+                    Fs.write t.fs ~inum:f.of_inum
+                      ~pos:(block * Fs.block_size) data
+                  with
+                  | Ok () -> reply Protocol.Sok n
+                  | Error e -> reply (fs_error_status e) 0)
+              | K.Nonexistent | K.Bad_address | K.No_permission | K.Too_big
+                ->
+                  reply Protocol.Sio_error 0))
+      | Protocol.Exec -> (
+          (* The general program-execution facility of Section 7: scan the
+             requested page range server-side and return a checksum,
+             avoiding any page traffic on the network. *)
+          match lookup_handle t handle with
+          | None -> reply Protocol.Sbad_handle 0
+          | Some f -> (
+              t.n_execs <- t.n_execs + 1;
+              fs_work t;
+              let rec scan b remaining sum =
+                if remaining = 0 then Ok sum
+                else
+                  match
+                    Fs.read t.fs ~inum:f.of_inum ~pos:(b * Fs.block_size)
+                      ~len:Fs.block_size
+                  with
+                  | Error e -> Error e
+                  | Ok data ->
+                      Vhw.Cpu.compute (K.cpu t.kernel)
+                        t.cfg.exec_compute_ns_per_page;
+                      let s = ref sum in
+                      Bytes.iter
+                        (fun c -> s := (!s + Char.code c) land 0xFFFF_FFFF)
+                        data;
+                      scan (b + 1) (remaining - 1) !s
+              in
+              match scan block count 0 with
+              | Ok sum -> reply Protocol.Sok sum
+              | Error e -> reply (fs_error_status e) 0))
+      | Protocol.Load_program -> (
+          (* Push the whole file into the waiting program space with
+             MoveTo, [transfer_unit] bytes per operation. *)
+          match lookup_handle t handle, client_seg with
+          | None, _ -> reply Protocol.Sbad_handle 0
+          | Some _, (None | Some ((Msg.Read_only, _, _))) ->
+              reply Protocol.Sbad_request 0
+          | Some f, Some ((Msg.Write_only | Msg.Read_write), dptr, dlen) -> (
+              t.n_loads <- t.n_loads + 1;
+              fs_work t;
+              match Fs.size t.fs ~inum:f.of_inum with
+              | Error e -> reply (fs_error_status e) 0
+              | Ok sz -> (
+                  let n = min (min sz dlen) count in
+                  match Fs.read t.fs ~inum:f.of_inum ~pos:0 ~len:n with
+                  | Error e -> reply (fs_error_status e) 0
+                  | Ok data ->
+                      let n = Bytes.length data in
+                      Vkernel.Mem.write mem ~pos:load_ptr data;
+                      let unit_sz = max 1 t.cfg.transfer_unit in
+                      let rec push off ok =
+                        if (not ok) || off >= n then ok
+                        else begin
+                          let chunk = min unit_sz (n - off) in
+                          match
+                            K.move_to t.kernel ~dst_pid:src ~dst:(dptr + off)
+                              ~src:(load_ptr + off) ~count:chunk
+                          with
+                          | K.Ok -> push (off + chunk) true
+                          | K.Nonexistent | K.Bad_address | K.No_permission
+                          | K.Too_big ->
+                              false
+                        end
+                      in
+                      if push 0 true then reply Protocol.Sok n
+                      else reply Protocol.Sio_error 0))))
+
+let server_body t mem pid () =
+  t.spid <- pid;
+  (match t.cfg.register_id with
+  | Some lid -> K.set_pid t.kernel ~logical_id:lid pid K.Any
+  | None -> ());
+  let msg = Msg.create () in
+  let rec loop () =
+    let src, seg_count =
+      K.receive_with_segment t.kernel msg ~segptr:scratch_ptr
+        ~segsize:Fs.block_size
+    in
+    handle_request t ~mem ~msg ~src ~seg_count;
+    loop ()
+  in
+  loop ()
+
+let start kernel fs ?(config = default_config) () =
+  let t =
+    {
+      kernel;
+      fs;
+      cfg = config;
+      spid = Vkernel.Pid.nil;
+      handles = Array.make (max 2 config.max_open) None;
+      n_requests = 0;
+      n_reads = 0;
+      n_writes = 0;
+      n_loads = 0;
+      n_execs = 0;
+    }
+  in
+  let pid =
+    K.spawn kernel ~name:"file-server" ~mem_size:(256 * 1024) (fun pid ->
+        let mem = K.memory kernel pid in
+        server_body t mem pid ())
+  in
+  t.spid <- pid;
+  t

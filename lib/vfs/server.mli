@@ -1,0 +1,49 @@
+(** The V file server.
+
+    A single server process implementing the {!Protocol} over a local
+    filesystem, as the paper's diskless workstations use it:
+
+    - page reads answered with ReplyWithSegment (two packets per read);
+    - page writes received with ReceiveWithSegment (two packets per write);
+    - the Thoth-style [Read_basic]/[Write_basic] variants using
+      MoveTo/MoveFrom (four packets per page — the Section 6.1 comparison);
+    - program loading by streaming the file with MoveTo in configurable
+      transfer units (Table 6-3), "at most 4 kilobytes at a time" in the
+      authors' VAX server, larger here when asked;
+    - optional read-ahead: after replying to a sequential read, the server
+      fetches the next block from disk before its next Receive — the exact
+      delay structure of the Table 6-2 experiment — and write-behind, which
+      replies before the disk write completes.
+
+    [fs_process_ns] charges extra per-request CPU to model file-system
+    processing beyond the kernel cost (the paper estimates ~2.5-3.5 ms from
+    LOCUS measurements); it defaults to 0 so that kernel-level numbers are
+    visible on their own. *)
+
+type config = {
+  transfer_unit : int;  (** MoveTo chunk for program loading *)
+  read_ahead : bool;
+  write_behind : bool;
+  fs_process_ns : int;  (** per-request file-system processing time *)
+  exec_compute_ns_per_page : int;
+      (** processor time the Exec facility charges per scanned page *)
+  max_open : int;  (** open-file table size *)
+  register_id : int option;
+      (** logical id to register (network scope); default the well-known
+          file-server id, [None] to skip registration *)
+}
+
+val default_config : config
+
+type t
+
+val start : Vkernel.Kernel.t -> Fs.t -> ?config:config -> unit -> t
+(** Spawn the server process on the kernel's host and return immediately;
+    the server registers itself and serves forever. *)
+
+val pid : t -> Vkernel.Pid.t
+val requests_served : t -> int
+val pages_read : t -> int
+val pages_written : t -> int
+val loads_served : t -> int
+val execs_served : t -> int

@@ -1,0 +1,343 @@
+module K = Vkernel.Kernel
+module Msg = Vkernel.Msg
+
+let kernel_of tb i = (Testbed.host tb i).Testbed.kernel
+let cpu_of tb i = (Testbed.host tb i).Testbed.cpu
+let nic_of tb i = (Testbed.host tb i).Testbed.nic
+
+type cols = { elapsed : int; client_cpu : int; server_cpu : int }
+
+let start_echo tb ~host =
+  let k = kernel_of tb host in
+  K.spawn k ~name:"echo" (fun _ ->
+      let msg = Msg.create () in
+      let rec loop () =
+        let src = K.receive k msg in
+        ignore (K.reply k msg src);
+        loop ()
+      in
+      loop ())
+
+let as_process tb ~host f =
+  let k = kernel_of tb host in
+  let (_ : Vkernel.Pid.t) = K.spawn k ~name:"rig" (fun pid -> f pid) in
+  Testbed.run tb
+
+let srr_remote ?(trials = 50) ~cpu_model ~medium_config ?fault
+    ?(kernel_config = K.default_config) () =
+  let tb =
+    Testbed.create ~cpu_model ~medium_config ~kernel_config ~hosts:2 ()
+  in
+  (match fault with
+  | Some f -> Vnet.Medium.set_fault tb.Testbed.medium f
+  | None -> ());
+  let server = start_echo tb ~host:2 in
+  let k1 = kernel_of tb 1 in
+  let out = ref { elapsed = 0; client_cpu = 0; server_cpu = 0 } in
+  as_process tb ~host:1 (fun _ ->
+      let msg = Msg.create () in
+      ignore (K.send k1 msg server);
+      let c1 = cpu_of tb 1 and c2 = cpu_of tb 2 in
+      let mk1 = Vhw.Cpu.mark c1 and mk2 = Vhw.Cpu.mark c2 in
+      let t0 = Vsim.Engine.now (K.engine k1) in
+      for _ = 1 to trials do
+        ignore (K.send k1 msg server)
+      done;
+      out :=
+        {
+          elapsed = (Vsim.Engine.now (K.engine k1) - t0) / trials;
+          client_cpu = Vhw.Cpu.busy_since c1 mk1 / trials;
+          server_cpu = Vhw.Cpu.busy_since c2 mk2 / trials;
+        });
+  !out
+
+let srr_local ?(trials = 50) ~cpu_model () =
+  let tb = Testbed.create ~cpu_model ~hosts:1 () in
+  let server = start_echo tb ~host:1 in
+  let k = kernel_of tb 1 in
+  let out = ref 0 in
+  as_process tb ~host:1 (fun _ ->
+      let msg = Msg.create () in
+      ignore (K.send k msg server);
+      let t0 = Vsim.Engine.now (K.engine k) in
+      for _ = 1 to trials do
+        ignore (K.send k msg server)
+      done;
+      out := (Vsim.Engine.now (K.engine k) - t0) / trials);
+  !out
+
+let gettime ~cpu_model () =
+  let tb = Testbed.create ~cpu_model ~hosts:1 () in
+  let k = kernel_of tb 1 in
+  let out = ref 0 in
+  as_process tb ~host:1 (fun _ ->
+      let t0 = Vsim.Engine.now (K.engine k) in
+      for _ = 1 to 50 do
+        ignore (K.get_time k)
+      done;
+      out := (Vsim.Engine.now (K.engine k) - t0) / 50);
+  !out
+
+let move_remote ?(trials = 30) ~cpu_model ~medium_config ~count ~to_remote ()
+    =
+  let tb = Testbed.create ~cpu_model ~medium_config ~hosts:2 () in
+  let k1 = kernel_of tb 1 and k2 = kernel_of tb 2 in
+  let out = ref { elapsed = 0; client_cpu = 0; server_cpu = 0 } in
+  let mover =
+    K.spawn k1 ~name:"mover" (fun _ ->
+        let msg = Msg.create () in
+        let src = K.receive k1 msg in
+        let op () =
+          if to_remote then K.move_to k1 ~dst_pid:src ~dst:0 ~src:0 ~count
+          else K.move_from k1 ~src_pid:src ~dst:0 ~src:0 ~count
+        in
+        ignore (op ());
+        let c1 = cpu_of tb 1 and c2 = cpu_of tb 2 in
+        let mk1 = Vhw.Cpu.mark c1 and mk2 = Vhw.Cpu.mark c2 in
+        let t0 = Vsim.Engine.now (K.engine k1) in
+        for _ = 1 to trials do
+          ignore (op ())
+        done;
+        out :=
+          {
+            elapsed = (Vsim.Engine.now (K.engine k1) - t0) / trials;
+            client_cpu = Vhw.Cpu.busy_since c1 mk1 / trials;
+            server_cpu = Vhw.Cpu.busy_since c2 mk2 / trials;
+          };
+        ignore (K.reply k1 msg src))
+  in
+  as_process tb ~host:2 (fun _ ->
+      let msg = Msg.create () in
+      Msg.set_segment msg Msg.Read_write ~ptr:0 ~len:(128 * 1024);
+      Msg.set_no_piggyback msg;
+      ignore (K.send k2 msg mover));
+  !out
+
+let move_local ?(trials = 30) ~cpu_model ~count ~to_remote () =
+  let tb = Testbed.create ~cpu_model ~hosts:1 () in
+  let k = kernel_of tb 1 in
+  let out = ref 0 in
+  let mover =
+    K.spawn k ~name:"mover" (fun _ ->
+        let msg = Msg.create () in
+        let src = K.receive k msg in
+        let op () =
+          if to_remote then K.move_to k ~dst_pid:src ~dst:0 ~src:0 ~count
+          else K.move_from k ~src_pid:src ~dst:0 ~src:0 ~count
+        in
+        ignore (op ());
+        let t0 = Vsim.Engine.now (K.engine k) in
+        for _ = 1 to trials do
+          ignore (op ())
+        done;
+        out := (Vsim.Engine.now (K.engine k) - t0) / trials;
+        ignore (K.reply k msg src))
+  in
+  as_process tb ~host:1 (fun _ ->
+      let msg = Msg.create () in
+      Msg.set_segment msg Msg.Read_write ~ptr:0 ~len:(128 * 1024);
+      Msg.set_no_piggyback msg;
+      ignore (K.send k msg mover));
+  !out
+
+let penalty_ns ~cpu_model ~medium_config n =
+  cpu_model.Vhw.Cost_model.pkt_send_setup_ns
+  + cpu_model.Vhw.Cost_model.pkt_recv_handling_ns
+  + medium_config.Vnet.Medium.latency_ns
+  + (n
+     * ((2 * cpu_model.Vhw.Cost_model.nic_copy_ns_per_byte)
+       + Vnet.Medium.byte_time_ns medium_config))
+
+let measure_penalty ?(trials = 100) ~cpu_model ~medium_config n =
+  let tb = Testbed.create ~cpu_model ~medium_config ~hosts:2 () in
+  let eng = tb.Testbed.eng in
+  let nic1 = nic_of tb 1 and nic2 = nic_of tb 2 in
+  let pending = ref None in
+  Vnet.Nic.set_receiver nic2 ~ethertype:Vnet.Frame.ethertype_raw (fun _ ->
+      match !pending with
+      | Some k ->
+          pending := None;
+          k (Vsim.Engine.now eng)
+      | None -> ());
+  let acc = Vsim.Stat.Acc.create () in
+  let (_ : Vsim.Proc.t) =
+    Vsim.Proc.spawn eng (fun () ->
+        for _ = 1 to trials do
+          let t0 = Vsim.Engine.now eng in
+          let arrival =
+            Vsim.Proc.suspend ~reason:"penalty" (fun resume ->
+                pending := Some resume;
+                Vnet.Nic.send_k nic1 ~dst:2
+                  ~ethertype:Vnet.Frame.ethertype_raw (Bytes.make n 'p')
+                  ignore)
+          in
+          Vsim.Stat.Acc.add acc (float_of_int (arrival - t0))
+        done)
+  in
+  Vsim.Engine.run eng;
+  int_of_float (Vsim.Stat.Acc.mean acc)
+
+let get = function
+  | Ok v -> v
+  | Error e -> Fmt.failwith "rig client: %s" (Vfs.Client.error_to_string e)
+
+let file_rig ?(hosts = 2) ?(cpu_model = Vhw.Cost_model.sun_10mhz)
+    ?(medium_config = Vnet.Medium.config_3mb) ?server_config ?latency ~files
+    () =
+  let tb = Testbed.create ~cpu_model ~medium_config ~hosts () in
+  let fs = Testbed.make_test_fs tb ?latency ~files () in
+  let server = Vfs.Server.start (kernel_of tb 1) fs ?config:server_config () in
+  (tb, fs, server)
+
+let page_op ?(trials = 50) ?(cpu_model = Vhw.Cost_model.sun_10mhz)
+    ?(medium_config = Vnet.Medium.config_3mb) ~client_host ~write ~basic () =
+  let tb, _fs, _srv =
+    file_rig ~hosts:(max 2 client_host) ~cpu_model ~medium_config
+      ~latency:(Vfs.Disk.Fixed 0) ~files:[ ("pages", 16 * 512) ] ()
+  in
+  let k = kernel_of tb client_host in
+  let out = ref { elapsed = 0; client_cpu = 0; server_cpu = 0 } in
+  as_process tb ~host:client_host (fun _ ->
+      let conn = get (Vfs.Client.connect k ()) in
+      let h = get (Vfs.Client.open_file conn "pages") in
+      let op block =
+        match write, basic with
+        | false, false -> get (Vfs.Client.read_page conn h ~block ~buf:0 ())
+        | false, true ->
+            get (Vfs.Client.read_page_basic conn h ~block ~buf:0 ())
+        | true, false ->
+            get (Vfs.Client.write_page conn h ~block ~buf:0 ~count:512)
+        | true, true ->
+            get (Vfs.Client.write_page_basic conn h ~block ~buf:0 ~count:512)
+      in
+      ignore (op 0);
+      let c1 = cpu_of tb 1 and cc = cpu_of tb client_host in
+      let mk1 = Vhw.Cpu.mark c1 and mkc = Vhw.Cpu.mark cc in
+      let t0 = Vsim.Engine.now (K.engine k) in
+      for i = 1 to trials do
+        ignore (op (i mod 16))
+      done;
+      out :=
+        {
+          elapsed = (Vsim.Engine.now (K.engine k) - t0) / trials;
+          client_cpu = Vhw.Cpu.busy_since cc mkc / trials;
+          server_cpu = Vhw.Cpu.busy_since c1 mk1 / trials;
+        });
+  !out
+
+let program_load ?(cpu_model = Vhw.Cost_model.sun_10mhz)
+    ?(medium_config = Vnet.Medium.config_3mb) ~transfer_unit ~client_host ()
+    =
+  let server_config =
+    { Vfs.Server.default_config with Vfs.Server.transfer_unit }
+  in
+  let tb, _fs, _srv =
+    file_rig ~hosts:(max 2 client_host) ~cpu_model ~medium_config
+      ~server_config ~latency:(Vfs.Disk.Fixed 0) ~files:[ ("prog", 65536) ]
+      ()
+  in
+  let k = kernel_of tb client_host in
+  let out = ref { elapsed = 0; client_cpu = 0; server_cpu = 0 } in
+  as_process tb ~host:client_host (fun _ ->
+      let conn = get (Vfs.Client.connect k ()) in
+      let h = get (Vfs.Client.open_file conn "prog") in
+      ignore (get (Vfs.Client.load_program conn h ~buf:8192 ~max:65536));
+      let c1 = cpu_of tb 1 and cc = cpu_of tb client_host in
+      let mk1 = Vhw.Cpu.mark c1 and mkc = Vhw.Cpu.mark cc in
+      let t0 = Vsim.Engine.now (K.engine k) in
+      let trials = 5 in
+      for _ = 1 to trials do
+        ignore (get (Vfs.Client.load_program conn h ~buf:8192 ~max:65536))
+      done;
+      out :=
+        {
+          elapsed = (Vsim.Engine.now (K.engine k) - t0) / trials;
+          client_cpu = Vhw.Cpu.busy_since cc mkc / trials;
+          server_cpu = Vhw.Cpu.busy_since c1 mk1 / trials;
+        });
+  !out
+
+let sequential_read ?(cpu_model = Vhw.Cost_model.sun_10mhz) ?(npages = 30)
+    ~disk_latency_ns () =
+  let server_config =
+    { Vfs.Server.default_config with Vfs.Server.read_ahead = true }
+  in
+  let tb, fs, _srv =
+    file_rig ~cpu_model ~server_config
+      ~latency:(Vfs.Disk.Fixed disk_latency_ns)
+      ~files:[ ("seq", npages * 512) ]
+      ()
+  in
+  Vfs.Fs.evict_cache fs;
+  let k = kernel_of tb 2 in
+  let out = ref 0 in
+  as_process tb ~host:2 (fun _ ->
+      let conn = get (Vfs.Client.connect k ()) in
+      let h = get (Vfs.Client.open_file conn "seq") in
+      let t0 = Vsim.Engine.now (K.engine k) in
+      let (_ : int) =
+        get (Vfs.Client.read_sequential conn h ~buf:0 ~on_page:(fun _ _ -> ()))
+      in
+      out := (Vsim.Engine.now (K.engine k) - t0) / npages);
+  !out
+
+let capacity ?(cpu_model = Vhw.Cost_model.sun_10mhz)
+    ?(duration = Vsim.Time.sec 4) ?(think_mean = Vsim.Time.ms 320)
+    ?(servers = 1) ~clients () =
+  let server_config =
+    {
+      Vfs.Server.default_config with
+      Vfs.Server.fs_process_ns = Vsim.Time.us 3500;
+      transfer_unit = 16384;
+      max_open = 2 * (clients + 2);
+    }
+  in
+  let tb = Testbed.create ~cpu_model ~hosts:(clients + servers) () in
+  let server_pids =
+    Array.init servers (fun i ->
+        let fs =
+          Testbed.make_test_fs tb
+            ~latency:(Vfs.Disk.Fixed (Vsim.Time.ms 4))
+            ~files:[ ("data", 64 * 512); ("prog", 65536) ]
+            ()
+        in
+        let srv =
+          Vfs.Server.start (kernel_of tb (i + 1)) fs ~config:server_config ()
+        in
+        Vfs.Server.pid srv)
+  in
+  let eng = tb.Testbed.eng in
+  let rec_ = Recorder.create eng ~warmup:(Vsim.Time.ms 300) () in
+  let cpu_mark = Vhw.Cpu.mark (cpu_of tb 1) in
+  let net_mark = Vnet.Medium.mark tb.Testbed.medium in
+  for c = 1 to clients do
+    let k = kernel_of tb (c + servers) in
+    let my_server = server_pids.(c mod servers) in
+    ignore
+      (K.spawn k ~name:"ws" (fun _ ->
+           let rng = Vsim.Rng.split (Vsim.Engine.rng eng) in
+           let conn = Vfs.Client.connect_to k my_server in
+           let dh = get (Vfs.Client.open_file conn "data") in
+           let ph = get (Vfs.Client.open_file conn "prog") in
+           let rec loop () =
+             if Vsim.Engine.now eng < duration then begin
+               Vsim.Proc.sleep
+                 (Think.sample (Think.Exponential think_mean) rng);
+               Recorder.measure rec_ (fun () ->
+                   if Vsim.Rng.int rng 10 < 9 then
+                     ignore
+                       (Vfs.Client.read_page conn dh
+                          ~block:(Vsim.Rng.int rng 64) ~buf:0 ())
+                   else
+                     ignore
+                       (Vfs.Client.load_program conn ph ~buf:4096 ~max:65536));
+               loop ()
+             end
+           in
+           loop ()))
+  done;
+  Testbed.run tb;
+  ( Recorder.throughput_per_sec rec_,
+    Recorder.mean_ms rec_,
+    Vhw.Cpu.utilization_since (cpu_of tb 1) cpu_mark,
+    Vnet.Medium.utilization_since tb.Testbed.medium net_mark )

@@ -1,0 +1,124 @@
+(** Measurement rigs for the paper's experiments.
+
+    Each function builds a fresh testbed, runs one of the paper's
+    measurement procedures (Sections 4-8) and returns per-operation
+    numbers.  The benchmark harness and the [vsim] command-line tool are
+    both thin wrappers over these. *)
+
+type cols = {
+  elapsed : int;  (** per-op elapsed simulated time, ns *)
+  client_cpu : int;  (** per-op client processor time, ns *)
+  server_cpu : int;  (** per-op server processor time, ns *)
+}
+
+val srr_remote :
+  ?trials:int ->
+  cpu_model:Vhw.Cost_model.t ->
+  medium_config:Vnet.Medium.config ->
+  ?fault:Vnet.Fault.t ->
+  ?kernel_config:Vkernel.Kernel.config ->
+  unit ->
+  cols
+(** Remote Send-Receive-Reply between two workstations (Tables 5-1/5-2). *)
+
+val srr_local : ?trials:int -> cpu_model:Vhw.Cost_model.t -> unit -> int
+(** Local Send-Receive-Reply elapsed time. *)
+
+val gettime : cpu_model:Vhw.Cost_model.t -> unit -> int
+(** The trivial kernel operation. *)
+
+val move_remote :
+  ?trials:int ->
+  cpu_model:Vhw.Cost_model.t ->
+  medium_config:Vnet.Medium.config ->
+  count:int ->
+  to_remote:bool ->
+  unit ->
+  cols
+(** Remote MoveTo ([to_remote = true]) or MoveFrom of [count] bytes. *)
+
+val move_local :
+  ?trials:int ->
+  cpu_model:Vhw.Cost_model.t ->
+  count:int ->
+  to_remote:bool ->
+  unit ->
+  int
+
+val penalty_ns :
+  cpu_model:Vhw.Cost_model.t -> medium_config:Vnet.Medium.config -> int -> int
+(** Analytic network penalty P(n); validated against {!measure_penalty}. *)
+
+val measure_penalty :
+  ?trials:int ->
+  cpu_model:Vhw.Cost_model.t ->
+  medium_config:Vnet.Medium.config ->
+  int ->
+  int
+(** Measured one-way memory-to-memory datagram time (Section 4). *)
+
+val file_rig :
+  ?hosts:int ->
+  ?cpu_model:Vhw.Cost_model.t ->
+  ?medium_config:Vnet.Medium.config ->
+  ?server_config:Vfs.Server.config ->
+  ?latency:Vfs.Disk.latency ->
+  files:(string * int) list ->
+  unit ->
+  Testbed.t * Vfs.Fs.t * Vfs.Server.t
+(** A file server on host 1 with the given pattern-filled files. *)
+
+val get : ('a, Vfs.Client.error) result -> 'a
+(** Unwrap a client-stub result, failing the simulation on error. *)
+
+val as_process : Testbed.t -> host:int -> (Vkernel.Pid.t -> unit) -> unit
+(** Run a function as a kernel process on [host] and drive the engine to
+    quiescence. *)
+
+val start_echo : Testbed.t -> host:int -> Vkernel.Pid.t
+(** A forever-looping echo server process. *)
+
+val page_op :
+  ?trials:int ->
+  ?cpu_model:Vhw.Cost_model.t ->
+  ?medium_config:Vnet.Medium.config ->
+  client_host:int ->
+  write:bool ->
+  basic:bool ->
+  unit ->
+  cols
+(** 512-byte page read/write against a file server on host 1, from
+    [client_host] (1 = same machine).  [basic] selects the Thoth-style
+    MoveTo/MoveFrom variant (Table 6-1, Section 6.1). *)
+
+val program_load :
+  ?cpu_model:Vhw.Cost_model.t ->
+  ?medium_config:Vnet.Medium.config ->
+  transfer_unit:int ->
+  client_host:int ->
+  unit ->
+  cols
+(** 64-kilobyte program load (Table 6-3). *)
+
+val sequential_read :
+  ?cpu_model:Vhw.Cost_model.t ->
+  ?npages:int ->
+  disk_latency_ns:int ->
+  unit ->
+  int
+(** Per-page elapsed time of a sequential file read against a read-ahead
+    server paying the given disk latency (Table 6-2). *)
+
+val capacity :
+  ?cpu_model:Vhw.Cost_model.t ->
+  ?duration:Vsim.Time.t ->
+  ?think_mean:Vsim.Time.t ->
+  ?servers:int ->
+  clients:int ->
+  unit ->
+  float * float * float * float
+(** [(throughput_per_s, mean_ms, server1_cpu_util, net_util)] for the
+    Section 7 multi-client mix (90% page reads, 10% 64 KB loads).
+    [servers] > 1 spreads the clients across several file-server
+    machines — the paper's "add more file server machines" scaling
+    argument. *)

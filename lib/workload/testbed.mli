@@ -1,0 +1,55 @@
+(** Canned experiment topologies.
+
+    Every experiment in the paper is "some SUN workstations on one
+    Ethernet, one of them possibly a file server".  This module builds
+    that: an engine, a medium, and [n] hosts (station addresses 1..n),
+    each with a CPU, NIC and V kernel. *)
+
+type host = {
+  addr : Vnet.Addr.t;
+  cpu : Vhw.Cpu.t;
+  nic : Vnet.Nic.t;
+  kernel : Vkernel.Kernel.t;
+}
+
+type t = {
+  eng : Vsim.Engine.t;
+  medium : Vnet.Medium.t;
+  hosts : host array;
+}
+
+val create :
+  ?seed:int64 ->
+  ?medium_config:Vnet.Medium.config ->
+  ?cpu_model:Vhw.Cost_model.t ->
+  ?kernel_config:Vkernel.Kernel.config ->
+  hosts:int ->
+  unit ->
+  t
+(** Defaults: 3 Mb Ethernet, the 10 MHz SUN, default kernel config. *)
+
+val host : t -> int -> host
+(** 1-based, by station address. *)
+
+val run_proc : t -> ?name:string -> (unit -> unit) -> unit
+(** Spawn a bare fiber (no kernel process) and run the engine until all
+    activity quiesces.  Used for setup phases: formatting disks, creating
+    files. *)
+
+val run : ?until:Vsim.Time.t -> t -> unit
+(** Run the engine (see {!Vsim.Engine.run}). *)
+
+val pattern_byte : int -> char
+(** Deterministic test-data generator: byte at offset [i]. *)
+
+val make_test_fs :
+  t ->
+  ?latency:Vfs.Disk.latency ->
+  ?blocks:int ->
+  files:(string * int) list ->
+  unit ->
+  Vfs.Fs.t
+(** Build a formatted filesystem pre-populated with the named files (sizes
+    in bytes, contents from {!pattern_byte}).  Runs its own setup fiber to
+    completion; the disk has zero latency during population, then the
+    requested latency. *)

@@ -1,0 +1,102 @@
+(* Disk model tests. *)
+
+let test_fixed_latency () =
+  let eng = Vsim.Engine.create () in
+  let d =
+    Vfs.Disk.create eng ~latency:(Vfs.Disk.Fixed (Vsim.Time.ms 20))
+      ~blocks:16 ~block_size:512 ()
+  in
+  let t = ref 0 in
+  let (_ : Vsim.Proc.t) =
+    Vsim.Proc.spawn eng (fun () ->
+        let (_ : Bytes.t) = Vfs.Disk.read d 3 in
+        t := Vsim.Engine.now eng)
+  in
+  Vsim.Engine.run eng;
+  Alcotest.(check int) "20 ms access" (Vsim.Time.ms 20) !t
+
+let test_persistence () =
+  let eng = Vsim.Engine.create () in
+  let d = Vfs.Disk.create eng ~latency:(Vfs.Disk.Fixed 0) ~blocks:8 ~block_size:16 () in
+  let ok = ref false in
+  let (_ : Vsim.Proc.t) =
+    Vsim.Proc.spawn eng (fun () ->
+        let data = Bytes.of_string "0123456789abcdef" in
+        Vfs.Disk.write d 5 data;
+        (* Mutating the caller's buffer must not affect the stored block. *)
+        Bytes.set data 0 'X';
+        let got = Vfs.Disk.read d 5 in
+        ok := Bytes.to_string got = "0123456789abcdef")
+  in
+  Vsim.Engine.run eng;
+  Alcotest.(check bool) "write-read roundtrip isolated" true !ok;
+  Alcotest.(check int) "reads" 1 (Vfs.Disk.reads d);
+  Alcotest.(check int) "writes" 1 (Vfs.Disk.writes d)
+
+let test_serialization () =
+  (* Two concurrent accesses take 2x the latency in total. *)
+  let eng = Vsim.Engine.create () in
+  let d =
+    Vfs.Disk.create eng ~latency:(Vfs.Disk.Fixed (Vsim.Time.ms 10))
+      ~blocks:8 ~block_size:16 ()
+  in
+  let finish = ref [] in
+  Vfs.Disk.read_k d 0 (fun _ -> finish := Vsim.Engine.now eng :: !finish);
+  Vfs.Disk.read_k d 1 (fun _ -> finish := Vsim.Engine.now eng :: !finish);
+  Vsim.Engine.run eng;
+  Alcotest.(check (list int))
+    "one at a time"
+    [ Vsim.Time.ms 10; Vsim.Time.ms 20 ]
+    (List.rev !finish);
+  Alcotest.(check int) "busy" (Vsim.Time.ms 20) (Vfs.Disk.busy_ns d)
+
+let test_seek_model () =
+  let eng = Vsim.Engine.create () in
+  let lat =
+    Vfs.Disk.Seek
+      { base_ns = Vsim.Time.ms 2; full_seek_ns = Vsim.Time.ms 40;
+        rotation_ns = 0; cylinders = 100 }
+  in
+  let d = Vfs.Disk.create eng ~latency:lat ~blocks:1000 ~block_size:16 () in
+  let times = ref [] in
+  let (_ : Vsim.Proc.t) =
+    Vsim.Proc.spawn eng (fun () ->
+        let t0 = Vsim.Engine.now eng in
+        let (_ : Bytes.t) = Vfs.Disk.read d 0 in
+        let t1 = Vsim.Engine.now eng in
+        (* Far block: long seek. *)
+        let (_ : Bytes.t) = Vfs.Disk.read d 990 in
+        let t2 = Vsim.Engine.now eng in
+        (* Same cylinder: base only. *)
+        let (_ : Bytes.t) = Vfs.Disk.read d 991 in
+        let t3 = Vsim.Engine.now eng in
+        times := [ t1 - t0; t2 - t1; t3 - t2 ])
+  in
+  Vsim.Engine.run eng;
+  match !times with
+  | [ near; far; same ] ->
+      Alcotest.(check int) "near: base only" (Vsim.Time.ms 2) near;
+      Alcotest.(check bool) "far seek costs more" true (far > near);
+      Alcotest.(check int) "same cylinder: base only" (Vsim.Time.ms 2) same
+  | _ -> Alcotest.fail "missing measurements"
+
+let test_bounds () =
+  let eng = Vsim.Engine.create () in
+  let d = Vfs.Disk.create eng ~blocks:4 ~block_size:16 () in
+  (try
+     Vfs.Disk.read_k d 9 ignore;
+     Alcotest.fail "out of range accepted"
+   with Invalid_argument _ -> ());
+  try
+    Vfs.Disk.write_k d 0 (Bytes.make 3 'x') ignore;
+    Alcotest.fail "short block accepted"
+  with Invalid_argument _ -> ()
+
+let suite =
+  [
+    Alcotest.test_case "fixed latency" `Quick test_fixed_latency;
+    Alcotest.test_case "persistence" `Quick test_persistence;
+    Alcotest.test_case "serialization" `Quick test_serialization;
+    Alcotest.test_case "seek model" `Quick test_seek_model;
+    Alcotest.test_case "bounds" `Quick test_bounds;
+  ]

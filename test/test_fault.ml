@@ -1,0 +1,233 @@
+(* Fault injection: the reliability machinery of Section 3.2 under packet
+   loss, corruption and resource exhaustion. *)
+
+module K = Vkernel.Kernel
+module Msg = Vkernel.Msg
+
+let kernel_of tb i = (Vworkload.Testbed.host tb i).Vworkload.Testbed.kernel
+
+(* A short retransmission timeout so fault tests converge quickly. *)
+let fast_config =
+  { K.default_config with K.retransmit_timeout_ns = Vsim.Time.ms 10 }
+
+let test_send_survives_loss () =
+  let tb = Util.testbed ~kernel_config:fast_config ~hosts:2 () in
+  let k1 = kernel_of tb 1 in
+  Vnet.Medium.set_fault tb.Vworkload.Testbed.medium (Vnet.Fault.drop 0.25);
+  let server = Util.start_echo_server tb ~host:2 in
+  Util.run_as_process tb ~host:1 (fun _ ->
+      let msg = Msg.create () in
+      for i = 1 to 30 do
+        Msg.set_u8 msg 4 (i land 0x7F);
+        Alcotest.check Util.status "send survives loss" K.Ok
+          (K.send k1 msg server);
+        Alcotest.(check int) "echo correct" ((i land 0x7F) + 1)
+          (Msg.get_u8 msg 4)
+      done);
+  let s = K.stats k1 in
+  Alcotest.(check bool) "retransmissions happened" true
+    (s.K.retransmissions > 0)
+
+let test_duplicate_filtering () =
+  (* With reply packets being dropped, the client retransmits requests the
+     server already served: the alien must filter them and re-send the
+     cached reply, and the server process must never see a duplicate. *)
+  let tb = Util.testbed ~kernel_config:fast_config ~hosts:2 () in
+  let k1 = kernel_of tb 1 and k2 = kernel_of tb 2 in
+  let served = ref 0 in
+  let server =
+    K.spawn k2 ~name:"server" (fun _ ->
+        let msg = Msg.create () in
+        let rec loop () =
+          let src = K.receive k2 msg in
+          incr served;
+          ignore (K.reply k2 msg src);
+          loop ()
+        in
+        loop ())
+  in
+  Vnet.Medium.set_fault tb.Vworkload.Testbed.medium (Vnet.Fault.drop 0.3);
+  let sent = ref 0 in
+  let (_ : Vkernel.Pid.t) =
+    K.spawn k1 ~name:"client" (fun _ ->
+        let msg = Msg.create () in
+        for _ = 1 to 25 do
+          Alcotest.check Util.status "send" K.Ok (K.send k1 msg server);
+          incr sent
+        done)
+  in
+  Vworkload.Testbed.run tb;
+  Alcotest.(check int) "sends completed" 25 !sent;
+  Alcotest.(check int) "server saw each message exactly once" 25 !served;
+  let s2 = K.stats k2 in
+  Alcotest.(check bool) "duplicates were filtered" true
+    (s2.K.duplicates_filtered > 0)
+
+let test_moveto_survives_loss () =
+  let tb = Util.testbed ~kernel_config:fast_config ~hosts:2 () in
+  let k1 = kernel_of tb 1 and k2 = kernel_of tb 2 in
+  Vnet.Medium.set_fault tb.Vworkload.Testbed.medium (Vnet.Fault.drop 0.1);
+  let mover =
+    K.spawn k2 ~name:"mover" (fun pid ->
+        let mem = K.memory k2 pid in
+        let msg = Msg.create () in
+        let src = K.receive k2 msg in
+        Vkernel.Mem.write mem ~pos:0
+          (Bytes.init 32768 (fun i -> Vworkload.Testbed.pattern_byte (i * 7)));
+        Alcotest.check Util.status "move_to under loss" K.Ok
+          (K.move_to k2 ~dst_pid:src ~dst:0 ~src:0 ~count:32768);
+        ignore (K.reply k2 msg src))
+  in
+  Util.run_as_process tb ~host:1 (fun pid ->
+      let mem = K.memory k1 pid in
+      let msg = Msg.create () in
+      Msg.set_segment msg Msg.Read_write ~ptr:0 ~len:65536;
+      Msg.set_no_piggyback msg;
+      Alcotest.check Util.status "grant send" K.Ok (K.send k1 msg mover);
+      let got = Vkernel.Mem.read mem ~pos:0 ~len:32768 in
+      let expect =
+        Bytes.init 32768 (fun i -> Vworkload.Testbed.pattern_byte (i * 7))
+      in
+      Alcotest.(check bool) "data exact despite loss" true
+        (Bytes.equal got expect));
+  let s1 = K.stats k1 and s2 = K.stats k2 in
+  Alcotest.(check bool) "recovery happened" true
+    (s1.K.naks_sent > 0 || s2.K.retransmissions > 0
+    || s1.K.duplicates_filtered > 0)
+
+let test_movefrom_survives_loss () =
+  let tb = Util.testbed ~kernel_config:fast_config ~hosts:2 () in
+  let k1 = kernel_of tb 1 and k2 = kernel_of tb 2 in
+  Vnet.Medium.set_fault tb.Vworkload.Testbed.medium (Vnet.Fault.drop 0.1);
+  let mover =
+    K.spawn k2 ~name:"mover" (fun pid ->
+        let mem = K.memory k2 pid in
+        let msg = Msg.create () in
+        let src = K.receive k2 msg in
+        Alcotest.check Util.status "move_from under loss" K.Ok
+          (K.move_from k2 ~src_pid:src ~dst:0 ~src:0 ~count:16384);
+        Util.check_pattern mem ~pos:0 ~len:16384 ~name:"movefrom data";
+        ignore (K.reply k2 msg src))
+  in
+  Util.run_as_process tb ~host:1 (fun pid ->
+      let mem = K.memory k1 pid in
+      Util.fill_pattern mem ~pos:0 ~len:16384;
+      let msg = Msg.create () in
+      Msg.set_segment msg Msg.Read_only ~ptr:0 ~len:16384;
+      Msg.set_no_piggyback msg;
+      Alcotest.check Util.status "grant send" K.Ok (K.send k1 msg mover))
+
+let test_hardware_bug_mode () =
+  (* Section 5.4: the 3 Mb interface bug corrupts ~1/2000 packets, raising
+     the 8 MHz remote exchange from 3.18 to ~3.4 ms through timeouts. *)
+  let tb =
+    Util.testbed ~cpu_model:Vhw.Cost_model.sun_8mhz ~hosts:2 ()
+  in
+  let k1 = kernel_of tb 1 in
+  Vnet.Medium.set_fault tb.Vworkload.Testbed.medium Vnet.Fault.hardware_bug;
+  let server = Util.start_echo_server tb ~host:2 in
+  Util.run_as_process tb ~host:1 (fun _ ->
+      let msg = Msg.create () in
+      let n = 3000 in
+      let t0 = Vsim.Engine.now (K.engine k1) in
+      for _ = 1 to n do
+        Alcotest.check Util.status "send" K.Ok (K.send k1 msg server)
+      done;
+      let per_op = (Vsim.Engine.now (K.engine k1) - t0) / n in
+      (* Expect elevated mean: between 3.2 and 3.8 ms. *)
+      let ms = Vsim.Time.to_float_ms per_op in
+      if ms < 3.18 || ms > 3.9 then
+        Alcotest.failf "bug-mode exchange %.3f ms out of range" ms);
+  Alcotest.(check bool) "timeouts occurred" true
+    ((K.stats k1).K.retransmissions > 0)
+
+let test_alien_pool_exhaustion () =
+  (* More concurrent remote senders than alien descriptors: extra Sends
+     get reply-pending treatment and complete once descriptors free up. *)
+  let small_pool =
+    { fast_config with K.max_aliens = 2 }
+  in
+  let tb = Util.testbed ~kernel_config:small_pool ~hosts:6 () in
+  let k1 = kernel_of tb 1 in
+  (* A slow server that holds messages for a while before replying. *)
+  let server =
+    K.spawn k1 ~name:"slow" (fun _ ->
+        let msg = Msg.create () in
+        let rec loop () =
+          let src = K.receive k1 msg in
+          Vsim.Proc.sleep (Vsim.Time.ms 5);
+          ignore (K.reply k1 msg src);
+          loop ()
+        in
+        loop ())
+  in
+  let completions = ref 0 in
+  for h = 2 to 6 do
+    let k = kernel_of tb h in
+    ignore
+      (K.spawn k ~name:"client" (fun _ ->
+           let msg = Msg.create () in
+           Alcotest.check Util.status "send completes eventually" K.Ok
+             (K.send k msg server);
+           incr completions))
+  done;
+  Vworkload.Testbed.run tb;
+  Alcotest.(check int) "all five clients served" 5 !completions;
+  let s1 = K.stats k1 in
+  Alcotest.(check bool) "pool pressure observed" true
+    (s1.K.alien_pool_full > 0 || s1.K.reply_pendings_sent > 0)
+
+let test_send_to_dead_host_times_out () =
+  (* Host 3 exists on the wire but runs no such process: the kernel NACKs
+     and the send fails fast.  A pid whose host does not answer at all
+     exhausts retries. *)
+  let tb = Util.testbed ~kernel_config:fast_config ~hosts:2 () in
+  let k1 = kernel_of tb 1 in
+  Util.run_as_process tb ~host:1 (fun _ ->
+      let msg = Msg.create () in
+      (* Existing host, no such process: NACKed. *)
+      let ghost = Vkernel.Pid.make ~host:2 ~local:999 in
+      Alcotest.check Util.status "nacked" K.Nonexistent (K.send k1 msg ghost);
+      (* Unattached host: N timeouts then failure. *)
+      let t0 = Vsim.Engine.now (K.engine k1) in
+      let void = Vkernel.Pid.make ~host:200 ~local:1 in
+      Alcotest.check Util.status "timed out" K.Nonexistent
+        (K.send k1 msg void);
+      let took = Vsim.Engine.now (K.engine k1) - t0 in
+      Alcotest.(check bool) "took the retry budget" true
+        (took >= fast_config.K.max_retries * fast_config.K.retransmit_timeout_ns))
+
+let test_reply_pending_extends_patience () =
+  (* A server that sits on the message longer than N x T: the client must
+     keep waiting (reply-pending resets the retry count), not fail. *)
+  let tb = Util.testbed ~kernel_config:fast_config ~hosts:2 () in
+  let k1 = kernel_of tb 1 and k2 = kernel_of tb 2 in
+  let server =
+    K.spawn k2 ~name:"ponderous" (fun _ ->
+        let msg = Msg.create () in
+        let src = K.receive k2 msg in
+        (* Hold for far longer than max_retries * timeout = 50 ms. *)
+        Vsim.Proc.sleep (Vsim.Time.ms 500);
+        ignore (K.reply k2 msg src))
+  in
+  Util.run_as_process tb ~host:1 (fun _ ->
+      let msg = Msg.create () in
+      Alcotest.check Util.status "patient send succeeds" K.Ok
+        (K.send k1 msg server));
+  Alcotest.(check bool) "reply-pendings were sent" true
+    ((K.stats k2).K.reply_pendings_sent > 0)
+
+let suite =
+  [
+    Alcotest.test_case "send survives loss" `Quick test_send_survives_loss;
+    Alcotest.test_case "duplicate filtering" `Quick test_duplicate_filtering;
+    Alcotest.test_case "move_to survives loss" `Quick test_moveto_survives_loss;
+    Alcotest.test_case "move_from survives loss" `Quick
+      test_movefrom_survives_loss;
+    Alcotest.test_case "hardware bug mode (5.4)" `Slow test_hardware_bug_mode;
+    Alcotest.test_case "alien pool exhaustion" `Quick
+      test_alien_pool_exhaustion;
+    Alcotest.test_case "dead host" `Quick test_send_to_dead_host_times_out;
+    Alcotest.test_case "reply-pending patience" `Quick
+      test_reply_pending_extends_patience;
+  ]

@@ -1,0 +1,113 @@
+(* Tests for the CPU resource and cost-model calibration. *)
+
+let test_cpu_fcfs () =
+  let eng = Vsim.Engine.create () in
+  let cpu = Vhw.Cpu.create eng ~model:Vhw.Cost_model.sun_8mhz ~name:"cpu" in
+  let log = ref [] in
+  Vhw.Cpu.charge_k cpu 100 (fun () -> log := ("a", Vsim.Engine.now eng) :: !log);
+  Vhw.Cpu.charge_k cpu 50 (fun () -> log := ("b", Vsim.Engine.now eng) :: !log);
+  Vsim.Engine.run eng;
+  Alcotest.(check (list (pair string int)))
+    "charges serialize FCFS"
+    [ ("a", 100); ("b", 150) ]
+    (List.rev !log);
+  Alcotest.(check int) "busy accounted" 150 (Vhw.Cpu.busy_ns cpu)
+
+let test_cpu_idle_gap () =
+  let eng = Vsim.Engine.create () in
+  let cpu = Vhw.Cpu.create eng ~model:Vhw.Cost_model.sun_8mhz ~name:"cpu" in
+  let done_at = ref 0 in
+  ignore
+    (Vsim.Engine.after eng 1000 (fun () ->
+         Vhw.Cpu.charge_k cpu 100 (fun () -> done_at := Vsim.Engine.now eng)));
+  Vsim.Engine.run eng;
+  Alcotest.(check int) "starts when idle at now" 1100 !done_at;
+  Alcotest.(check int) "busy only the charge" 100 (Vhw.Cpu.busy_ns cpu)
+
+let test_cpu_utilization () =
+  let eng = Vsim.Engine.create () in
+  let cpu = Vhw.Cpu.create eng ~model:Vhw.Cost_model.sun_8mhz ~name:"cpu" in
+  let mark = Vhw.Cpu.mark cpu in
+  Vhw.Cpu.charge_k cpu 400 ignore;
+  ignore (Vsim.Engine.after eng 1000 ignore);
+  Vsim.Engine.run eng;
+  Alcotest.(check (float 1e-9))
+    "40% busy" 0.4
+    (Vhw.Cpu.utilization_since cpu mark)
+
+let test_cpu_blocking_charge () =
+  let eng = Vsim.Engine.create () in
+  let cpu = Vhw.Cpu.create eng ~model:Vhw.Cost_model.sun_8mhz ~name:"cpu" in
+  let t = ref 0 in
+  let (_ : Vsim.Proc.t) =
+    Vsim.Proc.spawn eng (fun () ->
+        Vhw.Cpu.charge cpu 250;
+        Vhw.Cpu.charge cpu 250;
+        t := Vsim.Engine.now eng)
+  in
+  Vsim.Engine.run eng;
+  Alcotest.(check int) "sequential charges" 500 !t
+
+let test_calibration_pinned () =
+  (* These are the constants everything else is calibrated against; a
+     change here invalidates EXPERIMENTS.md. *)
+  let m8 = Vhw.Cost_model.sun_8mhz and m10 = Vhw.Cost_model.sun_10mhz in
+  Alcotest.(check int) "8MHz local S-R-R is 1.00 ms" 1_000_000
+    (Vhw.Cost_model.local_srr_ns m8);
+  Util.check_ms ~tolerance:0.05 "10MHz local S-R-R" 0.77
+    (Vhw.Cost_model.local_srr_ns m10);
+  Alcotest.(check int) "8MHz GetTime" 70_000 m8.Vhw.Cost_model.syscall_ns;
+  Alcotest.(check int) "10MHz GetTime" 60_000 m10.Vhw.Cost_model.syscall_ns;
+  (* Local MoveTo of 1024 bytes: 1.26 / 0.95 ms. *)
+  Util.check_ms ~tolerance:0.01 "8MHz local MoveTo 1KB" 1.26
+    (m8.Vhw.Cost_model.move_setup_ns
+    + (1024 * m8.Vhw.Cost_model.mem_copy_ns_per_byte));
+  Util.check_ms ~tolerance:0.01 "10MHz local MoveTo 1KB" 0.95
+    (m10.Vhw.Cost_model.move_setup_ns
+    + (1024 * m10.Vhw.Cost_model.mem_copy_ns_per_byte))
+
+let test_penalty_formula () =
+  (* The paper: P(n) = .0064n + .390 ms (8 MHz); .0054n + .251 (10 MHz).
+     Our decomposition: 2 NIC copies + wire time + fixed packet costs +
+     medium latency must reproduce the slope and intercept. *)
+  let check model ~slope ~intercept =
+    let m = model in
+    let wire = Vnet.Medium.byte_time_ns Vnet.Medium.config_3mb in
+    let got_slope =
+      float_of_int ((2 * m.Vhw.Cost_model.nic_copy_ns_per_byte) + wire) /. 1e6
+    in
+    let got_intercept =
+      float_of_int
+        (m.Vhw.Cost_model.pkt_send_setup_ns
+        + m.Vhw.Cost_model.pkt_recv_handling_ns
+        + Vnet.Medium.config_3mb.Vnet.Medium.latency_ns)
+      /. 1e6
+    in
+    if Float.abs (got_slope -. slope) > 0.0002 then
+      Alcotest.failf "%s slope: %.5f vs %.5f" m.Vhw.Cost_model.name got_slope
+        slope;
+    if Float.abs (got_intercept -. intercept) > 0.01 then
+      Alcotest.failf "%s intercept: %.4f vs %.4f" m.Vhw.Cost_model.name
+        got_intercept intercept
+  in
+  check Vhw.Cost_model.sun_8mhz ~slope:0.0064 ~intercept:0.390;
+  check Vhw.Cost_model.sun_10mhz ~slope:0.0054 ~intercept:0.251
+
+let test_scale () =
+  let m = Vhw.Cost_model.scale Vhw.Cost_model.sun_8mhz ~mhz:16 in
+  Alcotest.(check int) "halved syscall" 35_000 m.Vhw.Cost_model.syscall_ns;
+  Alcotest.(check int) "mhz" 16 m.Vhw.Cost_model.mhz;
+  Alcotest.check_raises "zero mhz rejected"
+    (Invalid_argument "Cost_model.scale: mhz must be positive") (fun () ->
+      ignore (Vhw.Cost_model.scale Vhw.Cost_model.sun_8mhz ~mhz:0))
+
+let suite =
+  [
+    Alcotest.test_case "cpu FCFS" `Quick test_cpu_fcfs;
+    Alcotest.test_case "cpu idle gap" `Quick test_cpu_idle_gap;
+    Alcotest.test_case "cpu utilization" `Quick test_cpu_utilization;
+    Alcotest.test_case "cpu blocking charge" `Quick test_cpu_blocking_charge;
+    Alcotest.test_case "calibration pinned" `Quick test_calibration_pinned;
+    Alcotest.test_case "penalty formula" `Quick test_penalty_formula;
+    Alcotest.test_case "cost model scale" `Quick test_scale;
+  ]

@@ -1,0 +1,23 @@
+let () =
+  Alcotest.run "v-kernel"
+    [
+      ("sim", Test_sim.suite);
+      ("hw", Test_hw.suite);
+      ("net", Test_net.suite);
+      ("msg-pid", Test_msg.suite);
+      ("packet", Test_packet.suite);
+      ("kernel-local", Test_kernel_local.suite);
+      ("kernel-remote", Test_kernel_remote.suite);
+      ("forward", Test_forward.suite);
+      ("mapped", Test_mapped.suite);
+      ("move", Test_move.suite);
+      ("registry", Test_registry.suite);
+      ("fault", Test_fault.suite);
+      ("disk", Test_disk.suite);
+      ("fs", Test_fs.suite);
+      ("file-server", Test_server.suite);
+      ("baseline", Test_baseline.suite);
+      ("workload", Test_workload.suite);
+      ("vexec", Test_vexec.suite);
+      ("stress", Test_stress.suite);
+    ]

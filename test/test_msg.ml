@@ -1,0 +1,98 @@
+(* Tests for pids and the 32-byte message format. *)
+
+let test_pid_roundtrip =
+  Util.qtest "pid encode/decode roundtrip"
+    QCheck.(pair (int_bound 0xFFFF) (int_range 1 0xFFFF))
+    (fun (host, local) ->
+      let pid = Vkernel.Pid.make ~host ~local in
+      Vkernel.Pid.host pid = host
+      && Vkernel.Pid.local pid = local
+      && Vkernel.Pid.of_int (Vkernel.Pid.to_int pid) = pid)
+
+let test_pid_validation () =
+  Alcotest.check_raises "local 0 is reserved"
+    (Invalid_argument "Pid.make: local id out of range") (fun () ->
+      ignore (Vkernel.Pid.make ~host:1 ~local:0));
+  Alcotest.(check bool) "nil" true (Vkernel.Pid.is_nil Vkernel.Pid.nil);
+  Alcotest.(check string) "pp" "3.7"
+    (Format.asprintf "%a" Vkernel.Pid.pp (Vkernel.Pid.make ~host:3 ~local:7))
+
+let test_msg_accessors () =
+  let m = Vkernel.Msg.create () in
+  Vkernel.Msg.set_u8 m 1 0xAB;
+  Vkernel.Msg.set_u16 m 2 0xCDEF;
+  Vkernel.Msg.set_u32 m 4 0xDEADBEEF;
+  Alcotest.(check int) "u8" 0xAB (Vkernel.Msg.get_u8 m 1);
+  Alcotest.(check int) "u16" 0xCDEF (Vkernel.Msg.get_u16 m 2);
+  Alcotest.(check int) "u32" 0xDEADBEEF (Vkernel.Msg.get_u32 m 4)
+
+let test_msg_reserved_areas () =
+  let m = Vkernel.Msg.create () in
+  (try
+     Vkernel.Msg.set_u8 m 0 1;
+     Alcotest.fail "byte 0 is reserved"
+   with Invalid_argument _ -> ());
+  (try
+     Vkernel.Msg.set_u32 m 24 1;
+     Alcotest.fail "segment words are reserved"
+   with Invalid_argument _ -> ());
+  try
+    Vkernel.Msg.set_u32 m 21 1;
+    Alcotest.fail "straddles the segment words"
+  with Invalid_argument _ -> ()
+
+let test_segment_roundtrip =
+  let access =
+    QCheck.oneofl [ Vkernel.Msg.Read_only; Vkernel.Msg.Write_only;
+                    Vkernel.Msg.Read_write ]
+  in
+  Util.qtest "segment descriptor roundtrip"
+    QCheck.(triple access (int_bound 100000) (int_bound 100000))
+    (fun (access, ptr, len) ->
+      let m = Vkernel.Msg.create () in
+      Vkernel.Msg.set_segment m access ~ptr ~len;
+      Vkernel.Msg.segment m = Some (access, ptr, len))
+
+let test_segment_access () =
+  let m = Vkernel.Msg.create () in
+  Alcotest.(check bool) "no segment" false (Vkernel.Msg.has_segment m);
+  Vkernel.Msg.set_segment m Vkernel.Msg.Read_only ~ptr:64 ~len:512;
+  Alcotest.(check (option (pair int int)))
+    "readable" (Some (64, 512))
+    (Vkernel.Msg.readable_segment m);
+  Alcotest.(check (option (pair int int))) "not writable" None
+    (Vkernel.Msg.writable_segment m);
+  Vkernel.Msg.set_segment m Vkernel.Msg.Read_write ~ptr:0 ~len:8;
+  Alcotest.(check (option (pair int int)))
+    "rw writable" (Some (0, 8))
+    (Vkernel.Msg.writable_segment m);
+  Vkernel.Msg.clear_segment m;
+  Alcotest.(check bool) "cleared" false (Vkernel.Msg.has_segment m)
+
+let test_no_piggyback () =
+  let m = Vkernel.Msg.create () in
+  Vkernel.Msg.set_segment m Vkernel.Msg.Read_only ~ptr:0 ~len:100;
+  Alcotest.(check bool) "default allowed" true (Vkernel.Msg.piggyback_allowed m);
+  Vkernel.Msg.set_no_piggyback m;
+  Alcotest.(check bool) "disabled" false (Vkernel.Msg.piggyback_allowed m);
+  Alcotest.(check bool) "segment still present" true (Vkernel.Msg.has_segment m)
+
+let test_payload_independent_of_segment () =
+  (* Setting a segment must not clobber application bytes 1..23. *)
+  let m = Vkernel.Msg.create () in
+  Vkernel.Msg.set_u32 m 4 0x12345678;
+  Vkernel.Msg.set_segment m Vkernel.Msg.Write_only ~ptr:4096 ~len:512;
+  Alcotest.(check int) "payload intact" 0x12345678 (Vkernel.Msg.get_u32 m 4)
+
+let suite =
+  [
+    test_pid_roundtrip;
+    Alcotest.test_case "pid validation" `Quick test_pid_validation;
+    Alcotest.test_case "msg accessors" `Quick test_msg_accessors;
+    Alcotest.test_case "msg reserved areas" `Quick test_msg_reserved_areas;
+    test_segment_roundtrip;
+    Alcotest.test_case "segment access" `Quick test_segment_access;
+    Alcotest.test_case "no-piggyback flag" `Quick test_no_piggyback;
+    Alcotest.test_case "payload vs segment" `Quick
+      test_payload_independent_of_segment;
+  ]

@@ -1,0 +1,200 @@
+(* Tests for the Ethernet medium and NIC. *)
+
+let cfg3 = Vnet.Medium.config_3mb
+
+let setup ?(medium_config = cfg3) () =
+  let eng = Vsim.Engine.create () in
+  let medium = Vnet.Medium.create eng medium_config in
+  (eng, medium)
+
+let test_delivery_timing () =
+  let eng, medium = setup () in
+  let arrival = ref (-1) in
+  let (_ : Vnet.Medium.port) =
+    Vnet.Medium.attach medium ~addr:2 ~rx:(fun _ ->
+        arrival := Vsim.Engine.now eng)
+  in
+  let (_ : Vnet.Medium.port) = Vnet.Medium.attach medium ~addr:1 ~rx:ignore in
+  Vnet.Medium.transmit medium
+    (Vnet.Frame.make ~src:1 ~dst:2 ~ethertype:0 (Bytes.make 64 'x'));
+  Vsim.Engine.run eng;
+  (* 64 bytes at 2721 ns/byte + 30 us latency *)
+  let expect = (64 * Vnet.Medium.byte_time_ns cfg3) + cfg3.Vnet.Medium.latency_ns in
+  Alcotest.(check int) "arrival time" expect !arrival
+
+let test_broadcast () =
+  let eng, medium = setup () in
+  let got = ref [] in
+  for a = 1 to 3 do
+    ignore (Vnet.Medium.attach medium ~addr:a ~rx:(fun _ -> got := a :: !got))
+  done;
+  Vnet.Medium.transmit medium
+    (Vnet.Frame.make ~src:1 ~dst:Vnet.Addr.broadcast ~ethertype:0
+       (Bytes.make 10 'b'));
+  Vsim.Engine.run eng;
+  Alcotest.(check (list int)) "everyone but the sender" [ 2; 3 ]
+    (List.sort compare !got)
+
+let test_carrier_sense () =
+  (* A transmission started while the medium is busy (outside the
+     collision window) defers and goes out after the first completes. *)
+  let eng, medium = setup () in
+  let arrivals = ref [] in
+  ignore
+    (Vnet.Medium.attach medium ~addr:3 ~rx:(fun f ->
+         arrivals := (f.Vnet.Frame.src, Vsim.Engine.now eng) :: !arrivals));
+  ignore (Vnet.Medium.attach medium ~addr:1 ~rx:ignore);
+  ignore (Vnet.Medium.attach medium ~addr:2 ~rx:ignore);
+  let tx src payload =
+    Vnet.Medium.transmit medium
+      (Vnet.Frame.make ~src ~dst:3 ~ethertype:0 (Bytes.make payload 'x'))
+  in
+  tx 1 1000;
+  (* Second transmit 1 ms in: medium still busy (1000 B = 2.72 ms). *)
+  ignore (Vsim.Engine.after eng (Vsim.Time.ms 1) (fun () -> tx 2 100));
+  Vsim.Engine.run eng;
+  let bt = Vnet.Medium.byte_time_ns cfg3 and lat = cfg3.Vnet.Medium.latency_ns in
+  let first_end = 1000 * bt in
+  Alcotest.(check (list (pair int int)))
+    "serialized on the wire"
+    [ (1, first_end + lat); (2, first_end + (100 * bt) + lat) ]
+    (List.rev !arrivals);
+  let stats = Vnet.Medium.stats medium in
+  Alcotest.(check int) "no collisions" 0 stats.Vnet.Medium.collisions
+
+let test_collision_backoff () =
+  (* Two stations transmitting at the same instant collide, then both
+     frames eventually get through via backoff. *)
+  let eng, medium = setup () in
+  let got = ref 0 in
+  ignore (Vnet.Medium.attach medium ~addr:3 ~rx:(fun _ -> incr got));
+  ignore (Vnet.Medium.attach medium ~addr:1 ~rx:ignore);
+  ignore (Vnet.Medium.attach medium ~addr:2 ~rx:ignore);
+  Vnet.Medium.transmit medium
+    (Vnet.Frame.make ~src:1 ~dst:3 ~ethertype:0 (Bytes.make 100 'a'));
+  Vnet.Medium.transmit medium
+    (Vnet.Frame.make ~src:2 ~dst:3 ~ethertype:0 (Bytes.make 100 'b'));
+  Vsim.Engine.run eng;
+  let stats = Vnet.Medium.stats medium in
+  Alcotest.(check int) "both delivered" 2 !got;
+  Alcotest.(check bool) "collision happened" true
+    (stats.Vnet.Medium.collisions >= 1)
+
+let test_fault_drop () =
+  let eng, medium = setup () in
+  Vnet.Medium.set_fault medium (Vnet.Fault.drop 1.0);
+  let got = ref 0 in
+  ignore (Vnet.Medium.attach medium ~addr:2 ~rx:(fun _ -> incr got));
+  ignore (Vnet.Medium.attach medium ~addr:1 ~rx:ignore);
+  Vnet.Medium.transmit medium
+    (Vnet.Frame.make ~src:1 ~dst:2 ~ethertype:0 (Bytes.make 10 'x'));
+  Vsim.Engine.run eng;
+  Alcotest.(check int) "nothing arrives" 0 !got;
+  Alcotest.(check int) "counted" 1 (Vnet.Medium.stats medium).Vnet.Medium.dropped
+
+let test_fault_corrupt_and_crc () =
+  let eng, medium = setup () in
+  Vnet.Medium.set_fault medium (Vnet.Fault.corrupt 1.0);
+  let cpu = Vhw.Cpu.create eng ~model:Vhw.Cost_model.sun_8mhz ~name:"c" in
+  let nic2 = Vnet.Nic.create eng ~cpu ~medium ~addr:2 in
+  let got = ref 0 in
+  Vnet.Nic.set_receiver nic2 ~ethertype:7 (fun _ -> incr got);
+  ignore (Vnet.Medium.attach medium ~addr:1 ~rx:ignore);
+  Vnet.Medium.transmit medium
+    (Vnet.Frame.make ~src:1 ~dst:2 ~ethertype:7 (Bytes.make 10 'x'));
+  Vsim.Engine.run eng;
+  Alcotest.(check int) "handler never sees corrupt frame" 0 !got;
+  Alcotest.(check int) "CRC drop counted" 1 (Vnet.Nic.crc_drops nic2);
+  Alcotest.(check bool) "CPU still paid for the packet" true
+    (Vhw.Cpu.busy_ns cpu > 0)
+
+let test_nic_costs () =
+  (* The NIC charges setup + per-byte copy on transmit. *)
+  let eng, medium = setup () in
+  let m = Vhw.Cost_model.sun_8mhz in
+  let cpu1 = Vhw.Cpu.create eng ~model:m ~name:"c1" in
+  let nic1 = Vnet.Nic.create eng ~cpu:cpu1 ~medium ~addr:1 in
+  ignore (Vnet.Medium.attach medium ~addr:2 ~rx:ignore);
+  let (_ : Vsim.Proc.t) =
+    Vsim.Proc.spawn eng (fun () ->
+        Vnet.Nic.send nic1 ~dst:2 ~ethertype:0 (Bytes.make 100 'x'))
+  in
+  Vsim.Engine.run eng;
+  Alcotest.(check int) "tx cost"
+    (m.Vhw.Cost_model.pkt_send_setup_ns
+    + (100 * m.Vhw.Cost_model.nic_copy_ns_per_byte))
+    (Vhw.Cpu.busy_ns cpu1)
+
+let test_nic_tx_buffer_serializes () =
+  (* Back-to-back sends: copy of packet k+1 waits for packet k to leave
+     the wire, so the inter-arrival gap is copy + wire time. *)
+  let eng, medium = setup () in
+  let m = Vhw.Cost_model.sun_10mhz in
+  let cpu1 = Vhw.Cpu.create eng ~model:m ~name:"c1" in
+  let nic1 = Vnet.Nic.create eng ~cpu:cpu1 ~medium ~addr:1 in
+  let arrivals = ref [] in
+  ignore
+    (Vnet.Medium.attach medium ~addr:2 ~rx:(fun _ ->
+         arrivals := Vsim.Engine.now eng :: !arrivals));
+  let (_ : Vsim.Proc.t) =
+    Vsim.Proc.spawn eng (fun () ->
+        for _ = 1 to 3 do
+          Vnet.Nic.send nic1 ~dst:2 ~ethertype:0 (Bytes.make 1000 'x')
+        done)
+  in
+  Vsim.Engine.run eng;
+  match List.rev !arrivals with
+  | [ a; b; c ] ->
+      let wire = 1000 * Vnet.Medium.byte_time_ns cfg3 in
+      let copy =
+        m.Vhw.Cost_model.pkt_send_setup_ns
+        + (1000 * m.Vhw.Cost_model.nic_copy_ns_per_byte)
+      in
+      Alcotest.(check int) "gap 1" (wire + copy) (b - a);
+      Alcotest.(check int) "gap 2" (wire + copy) (c - b)
+  | l -> Alcotest.failf "expected 3 arrivals, got %d" (List.length l)
+
+let test_utilization_metering () =
+  let eng, medium = setup () in
+  ignore (Vnet.Medium.attach medium ~addr:1 ~rx:ignore);
+  ignore (Vnet.Medium.attach medium ~addr:2 ~rx:ignore);
+  let mark = Vnet.Medium.mark medium in
+  Vnet.Medium.transmit medium
+    (Vnet.Frame.make ~src:1 ~dst:2 ~ethertype:0 (Bytes.make 500 'x'));
+  ignore (Vsim.Engine.after eng (Vsim.Time.ms 10) ignore);
+  Vsim.Engine.run eng;
+  let wire = float_of_int (500 * Vnet.Medium.byte_time_ns cfg3) in
+  let expect = wire /. 10e6 in
+  let got = Vnet.Medium.utilization_since medium mark in
+  if Float.abs (got -. expect) > 0.02 then
+    Alcotest.failf "utilization %.4f vs %.4f" got expect;
+  Alcotest.(check int) "bits" (500 * 8) (Vnet.Medium.bits_since medium mark)
+
+let test_oversize_rejected () =
+  let _, medium = setup () in
+  ignore (Vnet.Medium.attach medium ~addr:1 ~rx:ignore);
+  try
+    Vnet.Medium.transmit medium
+      (Vnet.Frame.make ~src:1 ~dst:2 ~ethertype:0 (Bytes.make 4096 'x'));
+    Alcotest.fail "expected rejection"
+  with Invalid_argument _ -> ()
+
+let test_10mb_config () =
+  Alcotest.(check int) "10 Mb byte time" 800
+    (Vnet.Medium.byte_time_ns Vnet.Medium.config_10mb);
+  Alcotest.(check int) "3 Mb byte time" 2721 (Vnet.Medium.byte_time_ns cfg3)
+
+let suite =
+  [
+    Alcotest.test_case "delivery timing" `Quick test_delivery_timing;
+    Alcotest.test_case "broadcast" `Quick test_broadcast;
+    Alcotest.test_case "carrier sense" `Quick test_carrier_sense;
+    Alcotest.test_case "collision backoff" `Quick test_collision_backoff;
+    Alcotest.test_case "fault drop" `Quick test_fault_drop;
+    Alcotest.test_case "fault corrupt + CRC" `Quick test_fault_corrupt_and_crc;
+    Alcotest.test_case "nic tx costs" `Quick test_nic_costs;
+    Alcotest.test_case "nic tx buffer" `Quick test_nic_tx_buffer_serializes;
+    Alcotest.test_case "utilization metering" `Quick test_utilization_metering;
+    Alcotest.test_case "oversize rejected" `Quick test_oversize_rejected;
+    Alcotest.test_case "bit rates" `Quick test_10mb_config;
+  ]

@@ -1,0 +1,100 @@
+(* Tests for interkernel packet serialization. *)
+
+let all_ops =
+  [
+    Vkernel.Packet.Send; Vkernel.Packet.Reply; Vkernel.Packet.Reply_pending;
+    Vkernel.Packet.Nack; Vkernel.Packet.Data_mt; Vkernel.Packet.Data_mf;
+    Vkernel.Packet.Data_ack; Vkernel.Packet.Data_nak;
+    Vkernel.Packet.Move_from_req; Vkernel.Packet.Getpid_req;
+    Vkernel.Packet.Getpid_reply;
+  ]
+
+let test_roundtrip_all_ops () =
+  List.iter
+    (fun op ->
+      let msg = Vkernel.Msg.create () in
+      Vkernel.Msg.set_u32 msg 4 42;
+      let pkt =
+        Vkernel.Packet.make ~op
+          ~src_pid:(Vkernel.Pid.make ~host:1 ~local:2)
+          ~dst_pid:(Vkernel.Pid.make ~host:3 ~local:4)
+          ~seq:77 ~offset:1024 ~total:4096 ~aux:555 ~msg
+          ~data:(Bytes.of_string "hello") ()
+      in
+      match Vkernel.Packet.of_bytes (Vkernel.Packet.to_bytes pkt) with
+      | Error e -> Alcotest.failf "%s: %s" (Vkernel.Packet.op_to_string op) e
+      | Ok pkt' ->
+          Alcotest.(check string)
+            (Vkernel.Packet.op_to_string op)
+            (Format.asprintf "%a" Vkernel.Packet.pp pkt)
+            (Format.asprintf "%a" Vkernel.Packet.pp pkt');
+          Alcotest.(check bytes) "data" pkt.Vkernel.Packet.data
+            pkt'.Vkernel.Packet.data;
+          Alcotest.(check int) "msg word" 42
+            (Vkernel.Msg.get_u32 pkt'.Vkernel.Packet.msg 4))
+    all_ops
+
+let test_roundtrip_random =
+  Util.qtest "packet roundtrip (random fields)"
+    QCheck.(
+      quad (int_bound 0xFFFFFF) (int_bound 0xFFFFFF) (int_bound 0xFFFFFF)
+        (string_of_size (Gen.int_bound 1024)))
+    (fun (seq, offset, total, data) ->
+      let pkt =
+        Vkernel.Packet.make ~op:Vkernel.Packet.Data_mt
+          ~src_pid:(Vkernel.Pid.make ~host:9 ~local:9)
+          ~dst_pid:(Vkernel.Pid.make ~host:8 ~local:8)
+          ~seq ~offset ~total ~data:(Bytes.of_string data) ()
+      in
+      match Vkernel.Packet.of_bytes (Vkernel.Packet.to_bytes pkt) with
+      | Error _ -> false
+      | Ok p ->
+          p.Vkernel.Packet.seq = seq
+          && p.Vkernel.Packet.offset = offset
+          && p.Vkernel.Packet.total = total
+          && Bytes.to_string p.Vkernel.Packet.data = data)
+
+let test_wire_length () =
+  let pkt =
+    Vkernel.Packet.make ~op:Vkernel.Packet.Send
+      ~src_pid:(Vkernel.Pid.make ~host:1 ~local:1)
+      ~dst_pid:(Vkernel.Pid.make ~host:2 ~local:1)
+      ~seq:1 ()
+  in
+  (* A bare message exchange packet is exactly 64 bytes: this is what the
+     network-penalty comparison in Table 5-1 relies on. *)
+  Alcotest.(check int) "message packet is 64 bytes" 64
+    (Vkernel.Packet.wire_length pkt);
+  let pkt512 = { pkt with Vkernel.Packet.data = Bytes.make 512 'x' } in
+  Alcotest.(check int) "page packet is 576 bytes" 576
+    (Vkernel.Packet.wire_length pkt512)
+
+let test_parse_errors () =
+  (match Vkernel.Packet.of_bytes (Bytes.make 10 '\000') with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "short packet accepted");
+  let bad_op = Bytes.make 64 '\000' in
+  Bytes.set bad_op 0 '\255';
+  (match Vkernel.Packet.of_bytes bad_op with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad op accepted");
+  (* Length mismatch: header claims more data than the frame carries. *)
+  let pkt =
+    Vkernel.Packet.make ~op:Vkernel.Packet.Send
+      ~src_pid:(Vkernel.Pid.make ~host:1 ~local:1)
+      ~dst_pid:(Vkernel.Pid.make ~host:2 ~local:1)
+      ~seq:1 ~data:(Bytes.make 100 'x') ()
+  in
+  let wire = Vkernel.Packet.to_bytes pkt in
+  let truncated = Bytes.sub wire 0 (Bytes.length wire - 10) in
+  match Vkernel.Packet.of_bytes truncated with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated packet accepted"
+
+let suite =
+  [
+    Alcotest.test_case "roundtrip all ops" `Quick test_roundtrip_all_ops;
+    test_roundtrip_random;
+    Alcotest.test_case "wire lengths" `Quick test_wire_length;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+  ]

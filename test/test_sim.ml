@@ -1,0 +1,209 @@
+(* Tests for the discrete-event engine, fibers and statistics. *)
+
+let test_eventq_order () =
+  let q = Vsim.Eventq.create () in
+  let fired = ref [] in
+  let add time tag =
+    ignore (Vsim.Eventq.add q ~time (fun () -> fired := tag :: !fired))
+  in
+  add 30 "c";
+  add 10 "a";
+  add 20 "b";
+  add 10 "a2";
+  let rec drain () =
+    match Vsim.Eventq.pop q with
+    | Some (_, fn) ->
+        fn ();
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list string))
+    "time order, FIFO within a time"
+    [ "a"; "a2"; "b"; "c" ]
+    (List.rev !fired)
+
+let test_eventq_cancel () =
+  let q = Vsim.Eventq.create () in
+  let fired = ref 0 in
+  let ev1 = Vsim.Eventq.add q ~time:10 (fun () -> incr fired) in
+  let _ev2 = Vsim.Eventq.add q ~time:20 (fun () -> incr fired) in
+  Vsim.Eventq.cancel ev1;
+  Alcotest.(check bool) "cancelled" true (Vsim.Eventq.cancelled ev1);
+  Alcotest.(check int) "live count" 1 (Vsim.Eventq.live_count q);
+  Alcotest.(check (option int)) "next is 20" (Some 20) (Vsim.Eventq.next_time q);
+  (match Vsim.Eventq.pop q with
+  | Some (20, fn) -> fn ()
+  | Some (t, _) -> Alcotest.failf "popped time %d" t
+  | None -> Alcotest.fail "empty");
+  Alcotest.(check int) "one fired" 1 !fired;
+  Alcotest.(check bool) "now empty" true (Vsim.Eventq.is_empty q)
+
+(* Model-based check: the heap pops in the same order as a sorted list. *)
+let test_eventq_model =
+  Util.qtest "eventq matches sorted-list model"
+    QCheck.(list (int_bound 1000))
+    (fun times ->
+      let q = Vsim.Eventq.create () in
+      List.iter (fun t -> ignore (Vsim.Eventq.add q ~time:t ignore)) times;
+      let popped = ref [] in
+      let rec drain () =
+        match Vsim.Eventq.pop q with
+        | Some (t, _) ->
+            popped := t :: !popped;
+            drain ()
+        | None -> ()
+      in
+      drain ();
+      List.rev !popped = List.sort compare times)
+
+let test_engine_run_until () =
+  let eng = Vsim.Engine.create () in
+  let fired = ref [] in
+  ignore (Vsim.Engine.after eng 100 (fun () -> fired := 100 :: !fired));
+  ignore (Vsim.Engine.after eng 200 (fun () -> fired := 200 :: !fired));
+  Vsim.Engine.run ~until:150 eng;
+  Alcotest.(check (list int)) "only first" [ 100 ] (List.rev !fired);
+  Alcotest.(check int) "clock at until" 150 (Vsim.Engine.now eng);
+  Vsim.Engine.run eng;
+  Alcotest.(check (list int)) "both" [ 100; 200 ] (List.rev !fired);
+  Alcotest.(check int) "clock at last event" 200 (Vsim.Engine.now eng)
+
+let test_engine_no_past () =
+  let eng = Vsim.Engine.create () in
+  ignore (Vsim.Engine.after eng 100 ignore);
+  Vsim.Engine.run eng;
+  Alcotest.check_raises "past scheduling rejected"
+    (Invalid_argument "Engine.at: time 50 is before now 100") (fun () ->
+      ignore (Vsim.Engine.at eng 50 ignore))
+
+let test_proc_sleep_join () =
+  let eng = Vsim.Engine.create () in
+  let log = ref [] in
+  let p1 =
+    Vsim.Proc.spawn eng ~name:"p1" (fun () ->
+        Vsim.Proc.sleep 100;
+        log := ("p1", Vsim.Engine.now eng) :: !log)
+  in
+  let _p2 =
+    Vsim.Proc.spawn eng ~name:"p2" (fun () ->
+        Vsim.Proc.join p1;
+        log := ("p2", Vsim.Engine.now eng) :: !log)
+  in
+  Vsim.Engine.run eng;
+  Alcotest.(check (list (pair string int)))
+    "join woke after sleep"
+    [ ("p1", 100); ("p2", 100) ]
+    (List.rev !log);
+  Alcotest.(check bool) "terminated" true (Vsim.Proc.terminated p1)
+
+let test_proc_double_resume () =
+  let eng = Vsim.Engine.create () in
+  let resume_box = ref None in
+  let (_ : Vsim.Proc.t) =
+    Vsim.Proc.spawn eng (fun () ->
+        Vsim.Proc.suspend ~reason:"test" (fun resume ->
+            resume_box := Some resume))
+  in
+  Vsim.Engine.run eng;
+  let resume = Option.get !resume_box in
+  resume ();
+  Alcotest.check_raises "double resume rejected"
+    (Invalid_argument "Proc: double resume of proc") (fun () -> resume ())
+
+let test_proc_exn_propagates () =
+  let eng = Vsim.Engine.create () in
+  let (_ : Vsim.Proc.t) =
+    Vsim.Proc.spawn eng (fun () -> failwith "boom")
+  in
+  (try
+     Vsim.Engine.run eng;
+     Alcotest.fail "expected exception"
+   with Failure m -> Alcotest.(check string) "message" "boom" m)
+
+let test_determinism () =
+  let trace seed =
+    let eng = Vsim.Engine.create ~seed () in
+    let log = Buffer.create 64 in
+    for i = 1 to 5 do
+      let delay = Vsim.Rng.int (Vsim.Engine.rng eng) 1000 in
+      ignore
+        (Vsim.Engine.after eng delay (fun () ->
+             Buffer.add_string log
+               (Printf.sprintf "%d@%d;" i (Vsim.Engine.now eng))))
+    done;
+    Vsim.Engine.run eng;
+    Buffer.contents log
+  in
+  Alcotest.(check string) "same seed, same trace" (trace 42L) (trace 42L);
+  Alcotest.(check bool)
+    "different seed, different trace" true
+    (trace 42L <> trace 43L)
+
+let test_stat_acc () =
+  let acc = Vsim.Stat.Acc.create () in
+  List.iter (Vsim.Stat.Acc.add acc) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  Alcotest.(check int) "count" 8 (Vsim.Stat.Acc.count acc);
+  Alcotest.(check (float 1e-9)) "mean" 5.0 (Vsim.Stat.Acc.mean acc);
+  Alcotest.(check (float 1e-6)) "stddev" 2.13809 (Vsim.Stat.Acc.stddev acc);
+  Alcotest.(check (float 1e-9)) "min" 2.0 (Vsim.Stat.Acc.min acc);
+  Alcotest.(check (float 1e-9)) "max" 9.0 (Vsim.Stat.Acc.max acc)
+
+let test_stat_series () =
+  let s = Vsim.Stat.Series.create () in
+  for i = 1 to 100 do
+    Vsim.Stat.Series.add s (float_of_int i)
+  done;
+  Alcotest.(check (float 1e-9)) "p50" 50.0 (Vsim.Stat.Series.percentile s 50.0);
+  Alcotest.(check (float 1e-9)) "p95" 95.0 (Vsim.Stat.Series.percentile s 95.0);
+  Alcotest.(check (float 1e-9)) "median after more adds" 50.0
+    (Vsim.Stat.Series.median s);
+  Alcotest.(check (float 1e-9)) "mean" 50.5 (Vsim.Stat.Series.mean s);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Vsim.Stat.Series.min s);
+  Alcotest.(check (float 1e-9)) "max" 100.0 (Vsim.Stat.Series.max s)
+
+let test_rng_bounds =
+  Util.qtest "rng int stays in bounds"
+    QCheck.(pair int64 (int_range 1 1000))
+    (fun (seed, bound) ->
+      let rng = Vsim.Rng.create seed in
+      let ok = ref true in
+      for _ = 1 to 100 do
+        let v = Vsim.Rng.int rng bound in
+        if v < 0 || v >= bound then ok := false
+      done;
+      !ok)
+
+let test_rng_bernoulli () =
+  let rng = Vsim.Rng.create 7L in
+  let hits = ref 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    if Vsim.Rng.bernoulli rng 0.3 then incr hits
+  done;
+  let p = float_of_int !hits /. float_of_int n in
+  if Float.abs (p -. 0.3) > 0.01 then
+    Alcotest.failf "bernoulli(0.3) frequency %.4f" p
+
+let test_time_pp () =
+  Alcotest.(check string) "ms" "3.18" (Format.asprintf "%a" Vsim.Time.pp_ms 3_180_000);
+  Alcotest.(check string) "adaptive us" "2.50us" (Format.asprintf "%a" Vsim.Time.pp 2_500);
+  Alcotest.(check int) "of_float_ms" 3_180_000 (Vsim.Time.of_float_ms 3.18)
+
+let suite =
+  [
+    Alcotest.test_case "eventq order" `Quick test_eventq_order;
+    Alcotest.test_case "eventq cancel" `Quick test_eventq_cancel;
+    test_eventq_model;
+    Alcotest.test_case "engine run until" `Quick test_engine_run_until;
+    Alcotest.test_case "engine rejects past" `Quick test_engine_no_past;
+    Alcotest.test_case "proc sleep and join" `Quick test_proc_sleep_join;
+    Alcotest.test_case "proc double resume" `Quick test_proc_double_resume;
+    Alcotest.test_case "proc exn propagates" `Quick test_proc_exn_propagates;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "stat acc" `Quick test_stat_acc;
+    Alcotest.test_case "stat series" `Quick test_stat_series;
+    test_rng_bounds;
+    Alcotest.test_case "rng bernoulli" `Quick test_rng_bernoulli;
+    Alcotest.test_case "time pretty-printing" `Quick test_time_pp;
+  ]
