@@ -600,3 +600,71 @@ let ablations () =
      reliability comes from the reply itself, with no extra packets on \
      the common path."
     (Vsim.Time.to_float_ms lossy.R.elapsed)
+
+(* ------------------------------------------------------------------ *)
+(* Span decomposition: the Table 5-1 penalty breakdown, measured live   *)
+
+let span_decomposition () =
+  Report.section
+    "Span decomposition: remote page-read latency from the span correlator";
+  let tb, _fs, _srv =
+    R.file_rig ~hosts:2 ~latency:(Vfs.Disk.Fixed 0)
+      ~files:[ ("pages", 16 * 512) ] ()
+  in
+  let spans = Vobs.Spans.attach tb.TB.eng in
+  let trials = 50 in
+  let elapsed = ref 0 and t_start = ref 0 in
+  R.as_process tb ~host:2 (fun _ ->
+      let k = kernel_of tb 2 in
+      let conn = R.get (Vfs.Client.connect k ()) in
+      let h = R.get (Vfs.Client.open_file conn "pages") in
+      (* Warm the server's block cache so measured reads are uniform. *)
+      ignore (R.get (Vfs.Client.read_page conn h ~block:0 ~buf:0 ()));
+      let eng = K.engine k in
+      t_start := Vsim.Engine.now eng;
+      for i = 1 to trials do
+        ignore (R.get (Vfs.Client.read_page conn h ~block:(i mod 16) ~buf:0 ()))
+      done;
+      elapsed := Vsim.Engine.now eng - !t_start);
+  let measured =
+    List.filter (fun s -> s.Vobs.Spans.t_open >= !t_start)
+      (Vobs.Spans.spans spans)
+  in
+  let n = List.length measured in
+  assert (n = trials);
+  assert (Vobs.Spans.open_count spans = 0);
+  let span_sum =
+    List.fold_left (fun a s -> a + Vobs.Spans.total_ns s) 0 measured
+  in
+  (* Every nanosecond of client-observed latency is attributed to a
+     segment: no sim-time work happens between page reads, so the spans
+     tile the measurement window exactly. *)
+  assert (!elapsed = span_sum);
+  List.iter (fun s -> assert (Vobs.Spans.total_ns s
+                              = Vobs.Spans.segments_sum s)) measured;
+  let labels =
+    match measured with
+    | s :: _ -> List.map fst s.Vobs.Spans.segments
+    | [] -> []
+  in
+  let mean_of label =
+    List.fold_left
+      (fun a s -> a + List.assoc label s.Vobs.Spans.segments)
+      0 measured
+    / n
+  in
+  Report.table ~header:[ "segment"; "mean ms"; "share" ]
+    (List.map
+       (fun label ->
+         let m = mean_of label in
+         [
+           label;
+           Printf.sprintf "%.3f" (Vsim.Time.to_float_ms m);
+           Printf.sprintf "%4.1f%%"
+             (100.0 *. float_of_int (m * n) /. float_of_int span_sum);
+         ])
+       labels);
+  Report.note
+    "%d remote page reads: elapsed %s ms = sum of %d span totals \
+     (exact); every span's segments sum to its total."
+    trials (Report.ms !elapsed) n

@@ -27,6 +27,7 @@ let experiments =
     ("section_8_10mb", Experiments.section_8_10mb);
     ("baseline_comparison", Experiments.baseline_comparison);
     ("ablations", Experiments.ablations);
+    ("span_decomposition", Experiments.span_decomposition);
   ]
 
 let run_all () =

@@ -38,6 +38,80 @@ let local_arg =
 let trials_arg =
   Arg.(value & opt int 100 & info [ "trials" ] ~doc:"Measurement trials.")
 
+(* --- observability ---------------------------------------------------- *)
+
+type obs = { trace_out : string option; topics : string list; metrics : bool }
+
+let obs_term =
+  let trace_out =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE"
+             ~doc:"Write the structured event trace to $(docv): JSON lines \
+                   by default, or a Chrome trace_event array (loadable in \
+                   chrome://tracing or Perfetto) when $(docv) ends in .json.")
+  in
+  let topics =
+    Arg.(value & opt (list string) []
+         & info [ "trace-topics" ] ~docv:"LIST"
+             ~doc:"Comma-separated event topics to keep (kernel, net, cpu, \
+                   disk, fs, span).  Default: all.")
+  in
+  let metrics =
+    Arg.(value & flag
+         & info [ "metrics" ]
+             ~doc:"Print the per-host metrics registry after the run.")
+  in
+  Term.(const (fun trace_out topics metrics -> { trace_out; topics; metrics })
+        $ trace_out $ topics $ metrics)
+
+(* Instrument every engine the command creates: spans first (so their
+   Span_open/Span_close events reach the sinks attached after them), then
+   the trace file sink, then the metrics registry.  Engines get
+   consecutive run indices so multi-engine commands stay separable in one
+   trace file. *)
+let with_obs obs f =
+  if obs.trace_out = None && not obs.metrics then f ()
+  else begin
+    let chrome =
+      match obs.trace_out with
+      | Some path when Filename.check_suffix path ".json" ->
+          Some (Vobs.Chrome_trace.create ())
+      | _ -> None
+    in
+    let open_or_die path =
+      try open_out path
+      with Sys_error e ->
+        Format.eprintf "vsim: cannot open trace file: %s@." e;
+        exit 1
+    in
+    let oc = Option.map open_or_die obs.trace_out in
+    let registry = Vobs.Metrics.create () in
+    let run_ix = ref 0 in
+    Vsim.Engine.set_create_hook
+      (Some
+         (fun eng ->
+           let run = !run_ix in
+           incr run_ix;
+           let (_ : Vobs.Spans.t) = Vobs.Spans.attach eng in
+           (match (chrome, oc) with
+           | Some c, _ ->
+               Vobs.Chrome_trace.attach ~topics:obs.topics ~run c eng
+           | None, Some oc ->
+               Vobs.Jsonl.attach ~topics:obs.topics ~run eng
+                 (output_string oc)
+           | None, None -> ());
+           if obs.metrics then Vobs.Metrics.attach registry eng));
+    Fun.protect
+      ~finally:(fun () ->
+        Vsim.Engine.set_create_hook None;
+        (match (chrome, oc) with
+        | Some c, Some oc -> output_string oc (Vobs.Chrome_trace.to_string c)
+        | _ -> ());
+        (match oc with Some oc -> close_out oc | None -> ());
+        if obs.metrics then Format.printf "%a@." Vobs.Metrics.pp registry)
+      f
+  end
+
 let pp_cols (c : Vworkload.Rigs.cols) =
   Format.printf "elapsed      %a ms@." Vsim.Time.pp_ms c.Vworkload.Rigs.elapsed;
   Format.printf "client cpu   %a ms@." Vsim.Time.pp_ms c.Vworkload.Rigs.client_cpu;
@@ -46,7 +120,8 @@ let pp_cols (c : Vworkload.Rigs.cols) =
 (* --- ipc ------------------------------------------------------------ *)
 
 let ipc_cmd =
-  let run mhz net local trials =
+  let run obs mhz net local trials =
+    with_obs obs @@ fun () ->
     let cpu_model = model_of_mhz mhz in
     if local then
       Format.printf "local Send-Receive-Reply: %a ms@." Vsim.Time.pp_ms
@@ -57,7 +132,7 @@ let ipc_cmd =
            ~medium_config:(medium_of_net net) ())
   in
   Cmd.v (Cmd.info "ipc" ~doc:"Send-Receive-Reply message exchange")
-    Term.(const run $ mhz_arg $ net_arg $ local_arg $ trials_arg)
+    Term.(const run $ obs_term $ mhz_arg $ net_arg $ local_arg $ trials_arg)
 
 (* --- penalty --------------------------------------------------------- *)
 
@@ -65,7 +140,8 @@ let penalty_cmd =
   let bytes =
     Arg.(value & opt int 1024 & info [ "bytes" ] ~doc:"Datagram size.")
   in
-  let run mhz net n trials =
+  let run obs mhz net n trials =
+    with_obs obs @@ fun () ->
     let cpu_model = model_of_mhz mhz and medium_config = medium_of_net net in
     let measured =
       Vworkload.Rigs.measure_penalty ~trials ~cpu_model ~medium_config n
@@ -77,7 +153,7 @@ let penalty_cmd =
   Cmd.v
     (Cmd.info "penalty"
        ~doc:"Network penalty: one-way memory-to-memory datagram time")
-    Term.(const run $ mhz_arg $ net_arg $ bytes $ trials_arg)
+    Term.(const run $ obs_term $ mhz_arg $ net_arg $ bytes $ trials_arg)
 
 (* --- move ------------------------------------------------------------ *)
 
@@ -88,7 +164,8 @@ let move_cmd =
   let from_flag =
     Arg.(value & flag & info [ "from" ] ~doc:"MoveFrom instead of MoveTo.")
   in
-  let run mhz net local count from_ =
+  let run obs mhz net local count from_ =
+    with_obs obs @@ fun () ->
     let cpu_model = model_of_mhz mhz in
     let to_remote = not from_ in
     if local then
@@ -102,7 +179,8 @@ let move_cmd =
            ~medium_config:(medium_of_net net) ~count ~to_remote ())
   in
   Cmd.v (Cmd.info "move" ~doc:"MoveTo/MoveFrom bulk data transfer")
-    Term.(const run $ mhz_arg $ net_arg $ local_arg $ bytes $ from_flag)
+    Term.(const run $ obs_term $ mhz_arg $ net_arg $ local_arg $ bytes
+          $ from_flag)
 
 (* --- page ------------------------------------------------------------ *)
 
@@ -116,7 +194,8 @@ let page_cmd =
              ~doc:"Thoth-style MoveTo/MoveFrom path (4 packets) instead of \
                    the segment path (2 packets).")
   in
-  let run mhz net local write basic =
+  let run obs mhz net local write basic =
+    with_obs obs @@ fun () ->
     pp_cols
       (Vworkload.Rigs.page_op ~cpu_model:(model_of_mhz mhz)
          ~medium_config:(medium_of_net net)
@@ -124,7 +203,8 @@ let page_cmd =
          ~write ~basic ())
   in
   Cmd.v (Cmd.info "page" ~doc:"512-byte page access against a file server")
-    Term.(const run $ mhz_arg $ net_arg $ local_arg $ write_flag $ basic_flag)
+    Term.(const run $ obs_term $ mhz_arg $ net_arg $ local_arg $ write_flag
+          $ basic_flag)
 
 (* --- load ------------------------------------------------------------ *)
 
@@ -133,7 +213,8 @@ let load_cmd =
     Arg.(value & opt int 4096
          & info [ "unit" ] ~doc:"MoveTo transfer unit in bytes.")
   in
-  let run mhz net local transfer_unit =
+  let run obs mhz net local transfer_unit =
+    with_obs obs @@ fun () ->
     let c =
       Vworkload.Rigs.program_load ~cpu_model:(model_of_mhz mhz)
         ~medium_config:(medium_of_net net) ~transfer_unit
@@ -145,7 +226,7 @@ let load_cmd =
       (65536.0 /. 1024.0 /. Vsim.Time.to_float_s c.Vworkload.Rigs.elapsed)
   in
   Cmd.v (Cmd.info "load" ~doc:"64-kilobyte program load")
-    Term.(const run $ mhz_arg $ net_arg $ local_arg $ unit_arg)
+    Term.(const run $ obs_term $ mhz_arg $ net_arg $ local_arg $ unit_arg)
 
 (* --- seq ------------------------------------------------------------- *)
 
@@ -157,7 +238,8 @@ let seq_cmd =
   let pages =
     Arg.(value & opt int 30 & info [ "pages" ] ~doc:"File length in pages.")
   in
-  let run mhz latency npages =
+  let run obs mhz latency npages =
+    with_obs obs @@ fun () ->
     Format.printf "sequential read, %d ms disk: %a ms/page@." latency
       Vsim.Time.pp_ms
       (Vworkload.Rigs.sequential_read ~cpu_model:(model_of_mhz mhz) ~npages
@@ -166,7 +248,7 @@ let seq_cmd =
   Cmd.v
     (Cmd.info "seq"
        ~doc:"Sequential file read against a read-ahead file server")
-    Term.(const run $ mhz_arg $ latency $ pages)
+    Term.(const run $ obs_term $ mhz_arg $ latency $ pages)
 
 (* --- capacity --------------------------------------------------------- *)
 
@@ -181,7 +263,8 @@ let capacity_cmd =
   let duration =
     Arg.(value & opt int 4 & info [ "duration" ] ~doc:"Simulated seconds.")
   in
-  let run mhz clients think duration =
+  let run obs mhz clients think duration =
+    with_obs obs @@ fun () ->
     let thr, mean, cpu, net =
       Vworkload.Rigs.capacity ~cpu_model:(model_of_mhz mhz)
         ~duration:(Vsim.Time.sec duration)
@@ -194,7 +277,7 @@ let capacity_cmd =
   in
   Cmd.v
     (Cmd.info "capacity" ~doc:"File-server capacity under multi-client load")
-    Term.(const run $ mhz_arg $ clients $ think $ duration)
+    Term.(const run $ obs_term $ mhz_arg $ clients $ think $ duration)
 
 (* --- fault ------------------------------------------------------------ *)
 
@@ -214,7 +297,8 @@ let fault_cmd =
     Arg.(value & opt int 200
          & info [ "timeout" ] ~doc:"Retransmission timeout T in ms.")
   in
-  let run mhz net drop corrupt bug timeout trials =
+  let run obs mhz net drop corrupt bug timeout trials =
+    with_obs obs @@ fun () ->
     let fault =
       if bug then Vnet.Fault.hardware_bug
       else
@@ -231,8 +315,8 @@ let fault_cmd =
   in
   Cmd.v
     (Cmd.info "fault" ~doc:"Message exchange under network faults")
-    Term.(const run $ mhz_arg $ net_arg $ drop $ corrupt $ bug $ timeout
-          $ trials_arg)
+    Term.(const run $ obs_term $ mhz_arg $ net_arg $ drop $ corrupt $ bug
+          $ timeout $ trials_arg)
 
 (* --- run: assemble a program and execute it on a diskless ws --------- *)
 
@@ -245,7 +329,8 @@ let run_cmd =
   let trace =
     Arg.(value & flag & info [ "trace" ] ~doc:"Print kernel/network trace.")
   in
-  let run mhz net source_path trace =
+  let run obs mhz net source_path trace =
+    with_obs obs @@ fun () ->
     if trace then Vsim.Trace.to_stderr ();
     let source = In_channel.with_open_text source_path In_channel.input_all in
     let img =
@@ -296,7 +381,7 @@ let run_cmd =
        ~doc:"Assemble a program and run it on a simulated diskless \
              workstation (loaded from the file server, interpreted with V \
              syscalls)")
-    Term.(const run $ mhz_arg $ net_arg $ file $ trace)
+    Term.(const run $ obs_term $ mhz_arg $ net_arg $ file $ trace)
 
 let () =
   let info =

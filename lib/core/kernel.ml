@@ -285,7 +285,17 @@ let send_pkt_gen t ?(pre_cost = 0) ~dst_addr pkt k =
        else 0)
   in
   t.s_tx <- t.s_tx + 1;
-  Vsim.Trace.emitf t.eng ~topic:"kernel" "host %d tx %a" t.khost Packet.pp pkt;
+  if Vsim.Trace.tracing t.eng then
+    Vsim.Trace.event t.eng
+      (Vsim.Event.Packet_tx
+         {
+           host = t.khost;
+           op = Packet.op_to_string pkt.Packet.op;
+           src = Pid.to_int pkt.Packet.src_pid;
+           dst = Pid.to_int pkt.Packet.dst_pid;
+           seq = pkt.Packet.seq;
+           bytes = Bytes.length payload;
+         });
   Vnet.Nic.send_k t.nic ~pre_cost ~dst:dst_addr
     ~ethertype:Vnet.Frame.ethertype_kernel payload k
 
@@ -409,6 +419,19 @@ let mark_received t (entry : queued) =
     | Some al -> al.al_state <- A_received
     | None -> ()
 
+(* All message enqueues onto a receiver's queue go through here so the
+   queue depth is observable. *)
+let enqueue_msg t (d : desc) entry =
+  Queue.add entry d.d_queue;
+  if Vsim.Trace.tracing t.eng then
+    Vsim.Trace.event t.eng
+      (Vsim.Event.Queue_depth
+         {
+           host = t.khost;
+           pid = Pid.to_int d.d_pid;
+           depth = Queue.length d.d_queue;
+         })
+
 (* If [d] is blocked in Receive and a message is available, complete the
    Receive: copy the message, deliver any segment, charge the context
    switch and resume the fiber. *)
@@ -425,6 +448,16 @@ let try_deliver t (d : desc) =
           let count = deliver_segment t ~entry ~seg:rw.rw_seg ~recv:d in
           mark_received t entry;
           charge_k t (model t).Vhw.Cost_model.context_switch_ns (fun () ->
+              if Vsim.Trace.tracing t.eng then
+                Vsim.Trace.event t.eng
+                  (Vsim.Event.Receive
+                     {
+                       host = t.khost;
+                       pid = Pid.to_int d.d_pid;
+                       src = Pid.to_int entry.q_src;
+                       seq = entry.q_seq;
+                       bytes = count;
+                     });
               rw.rw_k (entry.q_src, count)))
 
 (* ------------------------------------------------------------------ *)
@@ -465,11 +498,27 @@ let finish_send t (d : desc) st =
       let k = d.d_on_reply in
       d.d_on_reply <- None;
       d.d_reply_buf <- None;
+      let seq = rs.rs_pkt.Packet.seq in
+      (* Send_done marks the instant the blocked sender resumes; spans use
+         it as the close timestamp, so it must fire inside the context-
+         switch continuation, at the same engine time [k st] runs. *)
+      let note () =
+        if Vsim.Trace.tracing t.eng then
+          Vsim.Trace.event t.eng
+            (Vsim.Event.Send_done
+               {
+                 host = t.khost;
+                 pid = Pid.to_int d.d_pid;
+                 seq;
+                 status = status_to_string st;
+               })
+      in
       (match k with
       | Some k ->
           charge_k t (model t).Vhw.Cost_model.context_switch_ns (fun () ->
+              note ();
               k st)
-      | None -> ())
+      | None -> note ())
 
 let rec arm_send_timer t (d : desc) (rs : rsend) =
   rs.rs_timer <-
@@ -484,9 +533,15 @@ and retransmit_send t (d : desc) (rs : rsend) =
       if rs.rs_retries > t.cfg.max_retries then finish_send t d Nonexistent
       else begin
         t.s_retrans <- t.s_retrans + 1;
-        Vsim.Trace.emitf t.eng ~topic:"kernel"
-          "host %d retransmit seq=%d try=%d" t.khost rs.rs_pkt.Packet.seq
-          rs.rs_retries;
+        if Vsim.Trace.tracing t.eng then
+          Vsim.Trace.event t.eng
+            (Vsim.Event.Retransmit
+               {
+                 host = t.khost;
+                 kind = "send";
+                 seq = rs.rs_pkt.Packet.seq;
+                 attempt = rs.rs_retries;
+               });
         send_pkt t ~dst_host:rs.rs_dst_host rs.rs_pkt;
         arm_send_timer t d rs
       end
@@ -524,6 +579,14 @@ let mt_finish t (mto : mt_out) st =
     cancel_timer mto.mto_timer;
     Hashtbl.remove t.mt_outs mto.mto_seq;
     charge_k t (model t).Vhw.Cost_model.context_switch_ns (fun () ->
+        if Vsim.Trace.tracing t.eng then
+          Vsim.Trace.event t.eng
+            (Vsim.Event.Move_done
+               {
+                 host = t.khost;
+                 seq = mto.mto_seq;
+                 status = status_to_string st;
+               });
         mto.mto_done st)
   end
 
@@ -540,6 +603,15 @@ and mt_timeout t (mto : mt_out) =
     if mto.mto_retries > t.cfg.max_retries then mt_finish t mto Nonexistent
     else begin
       t.s_retrans <- t.s_retrans + 1;
+      if Vsim.Trace.tracing t.eng then
+        Vsim.Trace.event t.eng
+          (Vsim.Event.Retransmit
+             {
+               host = t.khost;
+               kind = "move-to";
+               seq = mto.mto_seq;
+               attempt = mto.mto_retries;
+             });
       (* Probe with an empty fragment at [total]: a receiver that is done
          re-acks; one mid-transfer NAKs with the offset it needs, giving
          retransmission from the last correctly received packet. *)
@@ -613,6 +685,14 @@ let mf_finish t (mfo : mf_out) st =
     cancel_timer mfo.mfo_timer;
     Hashtbl.remove t.mf_outs mfo.mfo_seq;
     charge_k t (model t).Vhw.Cost_model.context_switch_ns (fun () ->
+        if Vsim.Trace.tracing t.eng then
+          Vsim.Trace.event t.eng
+            (Vsim.Event.Move_done
+               {
+                 host = t.khost;
+                 seq = mfo.mfo_seq;
+                 status = status_to_string st;
+               });
         mfo.mfo_done st)
   end
 
@@ -639,6 +719,15 @@ and mf_timeout t (mfo : mf_out) =
     if mfo.mfo_retries > t.cfg.max_retries then mf_finish t mfo Nonexistent
     else begin
       t.s_retrans <- t.s_retrans + 1;
+      if Vsim.Trace.tracing t.eng then
+        Vsim.Trace.event t.eng
+          (Vsim.Event.Retransmit
+             {
+               host = t.khost;
+               kind = "move-from";
+               seq = mfo.mfo_seq;
+               attempt = mfo.mfo_retries;
+             });
       mf_send_request t mfo
     end
   end
@@ -697,14 +786,13 @@ let handle_send_pkt t (pkt : Packet.t) =
             Hashtbl.replace t.aliens src al;
             t.alien_count <- t.alien_count + 1;
             t.s_aliens <- t.s_aliens + 1;
-            Queue.add
+            enqueue_msg t dd
               {
                 q_src = src;
                 q_seq = al.al_seq;
                 q_msg = al.al_msg;
                 q_local = false;
-              }
-              dd.d_queue;
+              };
             try_deliver t dd
           end)
 
@@ -1004,8 +1092,14 @@ let handle_frame t (frame : Vnet.Frame.t) =
     in
     match Packet.of_bytes payload with
     | Error e ->
-        Vsim.Trace.emitf t.eng ~topic:"kernel" "host %d bad packet: %s"
-          t.khost e
+        if Vsim.Trace.tracing t.eng then
+          Vsim.Trace.event t.eng
+            (Vsim.Event.Packet_drop
+               {
+                 host = t.khost;
+                 reason = "decode: " ^ e;
+                 bytes = Bytes.length payload;
+               })
     | Ok pkt ->
         t.s_rx <- t.s_rx + 1;
         (* 10 Mb style host mapping is learned from traffic. *)
@@ -1022,8 +1116,17 @@ let handle_frame t (frame : Vnet.Frame.t) =
         else begin
           let m = model t in
           let dispatch () =
-            Vsim.Trace.emitf t.eng ~topic:"kernel" "host %d rx %a" t.khost
-              Packet.pp pkt;
+            if Vsim.Trace.tracing t.eng then
+              Vsim.Trace.event t.eng
+                (Vsim.Event.Packet_rx
+                   {
+                     host = t.khost;
+                     op = Packet.op_to_string pkt.Packet.op;
+                     src = Pid.to_int pkt.Packet.src_pid;
+                     dst = Pid.to_int pkt.Packet.dst_pid;
+                     seq = pkt.Packet.seq;
+                     bytes = Bytes.length payload;
+                   });
             match pkt.Packet.op with
             | Packet.Send -> handle_send_pkt t pkt
             | Packet.Reply -> handle_reply_pkt t pkt
@@ -1200,21 +1303,37 @@ let process_name t pid =
 let send t msg dst =
   let d = current t in
   let m = model t in
+  let remote = Pid.host dst <> t.khost in
+  (* The sequence number is allocated before the first CPU charge so the
+     Send event — emitted at the caller's own timestamp, before any
+     simulated work — can carry it.  Sequence numbers only need to be
+     unique per host, so allocating here rather than mid-operation is
+     behaviour-preserving. *)
+  let seq = if remote then next_seq t else 0 in
+  if Vsim.Trace.tracing t.eng then
+    Vsim.Trace.event t.eng
+      (Vsim.Event.Send
+         {
+           host = t.khost;
+           src = Pid.to_int d.d_pid;
+           dst = Pid.to_int dst;
+           seq;
+           remote;
+         });
   let seg_cost =
     if Msg.has_segment msg then m.Vhw.Cost_model.segment_handling_ns else 0
   in
   charge t (m.Vhw.Cost_model.send_op_ns + seg_cost);
   d.d_grant <- grant_of_msg msg ~granted_to:dst;
-  if Pid.host dst = t.khost then begin
+  if not remote then begin
     t.s_send_local <- t.s_send_local + 1;
     match find_proc t dst with
     | None ->
         d.d_grant <- None;
         Nonexistent
     | Some dd ->
-        Queue.add
-          { q_src = d.d_pid; q_seq = 0; q_msg = Msg.copy msg; q_local = true }
-          dd.d_queue;
+        enqueue_msg t dd
+          { q_src = d.d_pid; q_seq = 0; q_msg = Msg.copy msg; q_local = true };
         d.d_state <- Awaiting_reply dst;
         Vsim.Proc.suspend ~reason:"send" (fun resume ->
             d.d_on_reply <- Some resume;
@@ -1236,7 +1355,6 @@ let send t msg dst =
           else Bytes.empty
       | None -> Bytes.empty
     in
-    let seq = next_seq t in
     let pkt =
       Packet.make ~op:Packet.Send ~src_pid:d.d_pid ~dst_pid:dst ~seq ~msg
         ~data ()
@@ -1267,6 +1385,16 @@ let receive_gen ?from t msg ~seg =
       Msg.blit ~src:entry.q_msg ~dst:msg;
       let count = deliver_segment t ~entry ~seg ~recv:d in
       mark_received t entry;
+      if Vsim.Trace.tracing t.eng then
+        Vsim.Trace.event t.eng
+          (Vsim.Event.Receive
+             {
+               host = t.khost;
+               pid = Pid.to_int d.d_pid;
+               src = Pid.to_int entry.q_src;
+               seq = entry.q_seq;
+               bytes = count;
+             });
       (entry.q_src, count)
   | None ->
       d.d_state <- Receive_blocked;
@@ -1327,6 +1455,16 @@ let reply_gen t msg dst ~seg =
         in
         match seg_status with
         | Ok ->
+            if Vsim.Trace.tracing t.eng then
+              Vsim.Trace.event t.eng
+                (Vsim.Event.Reply
+                   {
+                     host = t.khost;
+                     src = Pid.to_int d.d_pid;
+                     dst = Pid.to_int dst;
+                     seq = 0;
+                     remote = false;
+                   });
             (match dd.d_reply_buf with
             | Some buf -> Msg.blit ~src:msg ~dst:buf
             | None -> ());
@@ -1355,6 +1493,16 @@ let reply_gen t msg dst ~seg =
             Packet.make ~op:Packet.Reply ~src_pid:d.d_pid ~dst_pid:dst
               ~seq:al.al_seq ~offset:destptr ~msg ~data ()
           in
+          if Vsim.Trace.tracing t.eng then
+            Vsim.Trace.event t.eng
+              (Vsim.Event.Reply
+                 {
+                   host = t.khost;
+                   src = Pid.to_int d.d_pid;
+                   dst = Pid.to_int dst;
+                   seq = al.al_seq;
+                   remote = true;
+                 });
           al.al_state <- A_replied;
           al.al_reply <- Some pkt;
           (* The alien/timer upkeep of the reply side is accounted by the
@@ -1389,6 +1537,15 @@ let reply_with_segment t msg dst ~destptr ~segptr ~segsize =
 let forward t msg ~from_pid ~to_pid =
   let d = current t in
   let m = model t in
+  if Vsim.Trace.tracing t.eng then
+    Vsim.Trace.event t.eng
+      (Vsim.Event.Forward
+         {
+           host = t.khost;
+           by = Pid.to_int d.d_pid;
+           src = Pid.to_int from_pid;
+           dst = Pid.to_int to_pid;
+         });
   charge t m.Vhw.Cost_model.send_op_ns;
   let fail_sender_local (fd : desc) st =
     fd.d_state <- Ready;
@@ -1416,10 +1573,9 @@ let forward t msg ~from_pid ~to_pid =
               fail_sender_local fd Nonexistent;
               Nonexistent
           | Some td ->
-              Queue.add
+              enqueue_msg t td
                 { q_src = from_pid; q_seq = 0; q_msg = Msg.copy msg;
-                  q_local = true }
-                td.d_queue;
+                  q_local = true };
               fd.d_state <- Awaiting_reply to_pid;
               try_deliver t td;
               Ok
@@ -1478,10 +1634,9 @@ let forward t msg ~from_pid ~to_pid =
               Msg.blit ~src:msg ~dst:al.al_msg;
               let al' = { al with al_dst = to_pid; al_state = A_queued } in
               Hashtbl.replace t.aliens from_pid al';
-              Queue.add
+              enqueue_msg t td
                 { q_src = from_pid; q_seq = al.al_seq; q_msg = al'.al_msg;
-                  q_local = false }
-                td.d_queue;
+                  q_local = false };
               try_deliver t td;
               Ok
         end
@@ -1534,6 +1689,18 @@ let move_to t ~dst_pid ~dst ~src ~count =
         in
         if not allowed then No_permission
         else begin
+          if Vsim.Trace.tracing t.eng then
+            Vsim.Trace.event t.eng
+              (Vsim.Event.Move
+                 {
+                   host = t.khost;
+                   dir = Vsim.Event.To;
+                   src = Pid.to_int d.d_pid;
+                   dst = Pid.to_int dst_pid;
+                   seq = 0;
+                   bytes = count;
+                   remote = false;
+                 });
           charge t (count * m.Vhw.Cost_model.mem_copy_ns_per_byte);
           Mem.transfer ~src:d.d_mem ~src_pos:src ~dst:dd.d_mem ~dst_pos:dst
             ~len:count;
@@ -1542,9 +1709,23 @@ let move_to t ~dst_pid ~dst ~src ~count =
   end
   else begin
     t.s_move_remote <- t.s_move_remote + 1;
+    (* Hoisted out of the suspend body (which runs synchronously at
+       registration) so the Move event can carry the sequence number. *)
+    let seq = next_seq t in
+    if Vsim.Trace.tracing t.eng then
+      Vsim.Trace.event t.eng
+        (Vsim.Event.Move
+           {
+             host = t.khost;
+             dir = Vsim.Event.To;
+             src = Pid.to_int d.d_pid;
+             dst = Pid.to_int dst_pid;
+             seq;
+             bytes = count;
+             remote = true;
+           });
     charge t m.Vhw.Cost_model.remote_op_extra_ns;
     Vsim.Proc.suspend ~reason:"moveto" (fun resume ->
-        let seq = next_seq t in
         let mto =
           {
             mto_seq = seq;
@@ -1585,6 +1766,18 @@ let move_from t ~src_pid ~dst ~src ~count =
         in
         if not allowed then No_permission
         else begin
+          if Vsim.Trace.tracing t.eng then
+            Vsim.Trace.event t.eng
+              (Vsim.Event.Move
+                 {
+                   host = t.khost;
+                   dir = Vsim.Event.From;
+                   src = Pid.to_int src_pid;
+                   dst = Pid.to_int d.d_pid;
+                   seq = 0;
+                   bytes = count;
+                   remote = false;
+                 });
           charge t (count * m.Vhw.Cost_model.mem_copy_ns_per_byte);
           Mem.transfer ~src:sd.d_mem ~src_pos:src ~dst:d.d_mem ~dst_pos:dst
             ~len:count;
@@ -1593,9 +1786,22 @@ let move_from t ~src_pid ~dst ~src ~count =
   end
   else begin
     t.s_move_remote <- t.s_move_remote + 1;
+    (* Hoisted as in [move_to]: the Move event carries the sequence. *)
+    let seq = next_seq t in
+    if Vsim.Trace.tracing t.eng then
+      Vsim.Trace.event t.eng
+        (Vsim.Event.Move
+           {
+             host = t.khost;
+             dir = Vsim.Event.From;
+             src = Pid.to_int src_pid;
+             dst = Pid.to_int d.d_pid;
+             seq;
+             bytes = count;
+             remote = true;
+           });
     charge t m.Vhw.Cost_model.remote_op_extra_ns;
     Vsim.Proc.suspend ~reason:"movefrom" (fun resume ->
-        let seq = next_seq t in
         let mfo =
           {
             mfo_seq = seq;

@@ -1,5 +1,6 @@
 type t = {
   cname : string;
+  chost : int;
   cmodel : Cost_model.t;
   eng : Vsim.Engine.t;
   mutable free : Vsim.Time.t;
@@ -8,8 +9,11 @@ type t = {
 
 type mark = { at : Vsim.Time.t; busy_then : int }
 
-let create eng ~model ~name = { cname = name; cmodel = model; eng; free = 0; busy = 0 }
+let create ?(host = 0) eng ~model ~name =
+  { cname = name; chost = host; cmodel = model; eng; free = 0; busy = 0 }
+
 let name t = t.cname
+let host t = t.chost
 let model t = t.cmodel
 let engine t = t.eng
 let busy_ns t = t.busy
@@ -22,6 +26,9 @@ let charge_k t ns k =
   let finish = start + ns in
   t.free <- finish;
   t.busy <- t.busy + ns;
+  if ns > 0 && Vsim.Trace.tracing t.eng then
+    Vsim.Trace.event t.eng
+      (Vsim.Event.Cpu_grant { host = t.chost; cpu = t.cname; ns });
   ignore (Vsim.Engine.at t.eng finish k)
 
 let charge t ns =

@@ -14,8 +14,13 @@
 
 type t
 
-val create : Vsim.Engine.t -> model:Cost_model.t -> name:string -> t
+val create :
+  ?host:int -> Vsim.Engine.t -> model:Cost_model.t -> name:string -> t
+(** [host] is the station address used to attribute [Cpu_grant] trace
+    events; defaults to 0 for CPUs outside any host. *)
+
 val name : t -> string
+val host : t -> int
 val model : t -> Cost_model.t
 val engine : t -> Vsim.Engine.t
 

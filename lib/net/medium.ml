@@ -135,8 +135,17 @@ let bits_since t m = t.s_bits - m.bits_then
 (* Fault injection at delivery: the frame either vanishes (drop) or arrives
    with a bad CRC (corrupt / hardware bug). *)
 let deliver_to t frame (port : port) =
-  if Vsim.Rng.bernoulli t.rng t.flt.Fault.drop_prob then
-    t.s_dropped <- t.s_dropped + 1
+  if Vsim.Rng.bernoulli t.rng t.flt.Fault.drop_prob then begin
+    t.s_dropped <- t.s_dropped + 1;
+    if Vsim.Trace.tracing t.eng then
+      Vsim.Trace.event t.eng
+        (Vsim.Event.Packet_drop
+           {
+             host = port.paddr;
+             reason = "fault";
+             bytes = Frame.length frame;
+           })
+  end
   else begin
     let bug =
       t.flt.Fault.collision_bug
@@ -176,6 +185,10 @@ let rec attempt t (p : pending) =
       Vsim.Engine.cancel cur.finish;
       t.current <- None;
       t.s_collisions <- t.s_collisions + 1;
+      if Vsim.Trace.tracing t.eng then
+        Vsim.Trace.event t.eng
+          (Vsim.Event.Collision
+             { a = cur.who.frame.Frame.src; b = p.frame.Frame.src });
       t.busy_until <- now + t.cfg.jam_ns;
       ignore (Vsim.Engine.at t.eng t.busy_until (fun () -> drain t));
       backoff t cur.who;
@@ -207,6 +220,14 @@ and backoff t (p : pending) =
   p.attempts <- p.attempts + 1;
   if p.attempts > 16 then begin
     t.s_excessive <- t.s_excessive + 1;
+    if Vsim.Trace.tracing t.eng then
+      Vsim.Trace.event t.eng
+        (Vsim.Event.Packet_drop
+           {
+             host = p.frame.Frame.src;
+             reason = "excessive-collisions";
+             bytes = Frame.length p.frame;
+           });
     p.on_sent ()
   end
   else begin

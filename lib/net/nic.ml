@@ -20,8 +20,14 @@ let on_frame t frame =
   Vhw.Cpu.charge_k t.ncpu cost (fun () ->
       if frame.Frame.corrupted then begin
         t.crc_count <- t.crc_count + 1;
-        Vsim.Trace.emitf t.eng ~topic:"nic" "addr %a: CRC drop %a" Addr.pp
-          t.naddr Frame.pp frame
+        if Vsim.Trace.tracing t.eng then
+          Vsim.Trace.event t.eng
+            (Vsim.Event.Packet_drop
+               {
+                 host = t.naddr;
+                 reason = "crc";
+                 bytes = Frame.length frame;
+               })
       end
       else begin
         t.rx_count <- t.rx_count + 1;
@@ -70,7 +76,13 @@ let send_k t ?(pre_cost = 0) ~dst ~ethertype payload k =
           (Frame.make ~src:t.naddr ~dst ~ethertype payload);
         k ())
   in
-  if t.tx_buf_busy then Queue.add go t.tx_waiters
+  if t.tx_buf_busy then begin
+    Queue.add go t.tx_waiters;
+    if Vsim.Trace.tracing t.eng then
+      Vsim.Trace.event t.eng
+        (Vsim.Event.Nic_busy
+           { host = t.naddr; queued = Queue.length t.tx_waiters })
+  end
   else begin
     t.tx_buf_busy <- true;
     go ()

@@ -1,0 +1,141 @@
+(* Chrome trace_event exporter: accumulates typed events and writes the
+   JSON-array format that chrome://tracing and https://ui.perfetto.dev
+   load directly.
+
+   Mapping:
+   - every event becomes an instant ("ph":"i") on the process lane of its
+     host (tid 0);
+   - Span_close additionally becomes complete events ("ph":"X") on tid 1:
+     one for the whole round trip and one per segment, laid end to end,
+     so Perfetto renders the paper's latency decomposition as nested
+     slices;
+   - timestamps are microseconds (trace_event convention); simulation
+     nanoseconds keep three decimals.
+
+   Each engine run gets its own process-id block (run * 256 + host) so
+   several runs in one file stay visually separate. *)
+
+type recorded = { r_ts : Vsim.Time.t; r_run : int; r_ev : Vsim.Event.t }
+
+type t = { mutable events : recorded list (* reverse order *) }
+
+let create () = { events = [] }
+
+let attach ?(topics = []) ?(run = 0) t eng =
+  Vsim.Trace.attach eng (fun ts ev ->
+      if Jsonl.wanted topics ev then
+        t.events <- { r_ts = ts; r_run = run; r_ev = ev } :: t.events)
+
+let us_of_ns ns = float_of_int ns /. 1000.0
+
+let lane ~run ~host = (run * 256) + host
+
+let args_json ev =
+  let module E = Vsim.Event in
+  Json.Obj
+    (List.map
+       (fun (k, v) ->
+         (k, match v with E.I i -> Json.Int i | E.S s -> Json.Str s))
+       (E.fields ev))
+
+let instant_json { r_ts; r_run; r_ev } =
+  let host = Option.value ~default:0 (Vsim.Event.host r_ev) in
+  Json.Obj
+    [
+      ("name", Json.Str (Vsim.Event.name r_ev));
+      ("cat", Json.Str (Vsim.Event.topic r_ev));
+      ("ph", Json.Str "i");
+      ("ts", Json.Float (us_of_ns r_ts));
+      ("pid", Json.Int (lane ~run:r_run ~host));
+      ("tid", Json.Int 0);
+      ("s", Json.Str "t");
+      ("args", args_json r_ev);
+    ]
+
+let complete_json ~name ~cat ~ts_ns ~dur_ns ~pid =
+  Json.Obj
+    [
+      ("name", Json.Str name);
+      ("cat", Json.Str cat);
+      ("ph", Json.Str "X");
+      ("ts", Json.Float (us_of_ns ts_ns));
+      ("dur", Json.Float (us_of_ns dur_ns));
+      ("pid", Json.Int pid);
+      ("tid", Json.Int 1);
+    ]
+
+let span_json ~run ~host ~pid ~seq ~total_ns ~segments ~close_ts =
+  let open_ts = close_ts - total_ns in
+  let lane = lane ~run ~host in
+  let whole =
+    complete_json
+      ~name:(Printf.sprintf "ipc pid=%d seq=%d" pid seq)
+      ~cat:"span" ~ts_ns:open_ts ~dur_ns:total_ns ~pid:lane
+  in
+  let _, rev_segs =
+    List.fold_left
+      (fun (cursor, acc) (label, dur) ->
+        ( cursor + dur,
+          complete_json ~name:label ~cat:"span" ~ts_ns:cursor ~dur_ns:dur
+            ~pid:lane
+          :: acc ))
+      (open_ts, []) segments
+  in
+  whole :: List.rev rev_segs
+
+let metadata_json ~pid ~name =
+  Json.Obj
+    [
+      ("name", Json.Str "process_name");
+      ("ph", Json.Str "M");
+      ("pid", Json.Int pid);
+      ("tid", Json.Int 0);
+      ("args", Json.Obj [ ("name", Json.Str name) ]);
+    ]
+
+let write t buf =
+  let events = List.rev t.events in
+  (* One metadata record per (run, host) lane, in sorted order. *)
+  let lanes =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun r ->
+           Option.map
+             (fun host -> (r.r_run, host))
+             (Vsim.Event.host r.r_ev))
+         events)
+  in
+  let records =
+    List.map
+      (fun (run, host) ->
+        metadata_json
+          ~pid:(lane ~run ~host)
+          ~name:(Printf.sprintf "run%d host%d" run host))
+      lanes
+    @ List.concat_map
+        (fun r ->
+          let base = [ instant_json r ] in
+          match r.r_ev with
+          | Vsim.Event.Span_close { host; pid; seq; total_ns; segments; _ }
+            ->
+              base
+              @ span_json ~run:r.r_run ~host ~pid ~seq ~total_ns ~segments
+                  ~close_ts:r.r_ts
+          | _ -> base)
+        events
+  in
+  Buffer.add_string buf "[";
+  List.iteri
+    (fun i record ->
+      if i > 0 then Buffer.add_string buf ",";
+      Buffer.add_string buf "\n";
+      Json.to_buffer buf record)
+    records;
+  Buffer.add_string buf "\n]\n"
+
+let to_string t =
+  let buf = Buffer.create 4096 in
+  write t buf;
+  Buffer.contents buf
+
+let count t = List.length t.events

@@ -1,0 +1,27 @@
+(** Chrome [trace_event] exporter.
+
+    Accumulates typed events from one or more engines and writes the JSON
+    array format that [chrome://tracing] and Perfetto
+    ({:https://ui.perfetto.dev}) open directly: every event as an instant
+    on its host's lane, and every completed span as nested duration
+    slices showing the round-trip decomposition.
+
+    Timestamps are microseconds per the trace_event convention;
+    simulation nanoseconds keep three decimals. *)
+
+type t
+
+val create : unit -> t
+
+val attach : ?topics:string list -> ?run:int -> t -> Vsim.Engine.t -> unit
+(** Record this engine's events ([topics] filters as in {!Jsonl.attach});
+    [run] separates several engines' lanes in one file. *)
+
+val write : t -> Buffer.t -> unit
+(** Render everything recorded so far, deterministically (one JSON record
+    per line inside the array). *)
+
+val to_string : t -> string
+
+val count : t -> int
+(** Number of raw events recorded. *)

@@ -1,0 +1,23 @@
+(** Minimal JSON values with deterministic serialization and a parser for
+    round-trip tests.  No dependency beyond the stdlib. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact rendering (no whitespace).  Object fields keep list order, so
+    output is byte-deterministic. *)
+
+val to_buffer : Buffer.t -> t -> unit
+
+val parse : string -> (t, string) result
+(** Strict parse of one JSON document (rejects trailing input). *)
+
+val member : string -> t -> t option
+(** [member k (Obj fields)] looks up field [k]; [None] on non-objects. *)

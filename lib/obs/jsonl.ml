@@ -1,0 +1,34 @@
+(* JSON-lines trace sink: one event per line, stable field order, so two
+   identically seeded runs produce byte-identical files. *)
+
+let json_of_event ?(run = 0) ts ev =
+  let module E = Vsim.Event in
+  let args =
+    List.map
+      (fun (k, v) ->
+        (k, match v with E.I i -> Json.Int i | E.S s -> Json.Str s))
+      (E.fields ev)
+  in
+  Json.Obj
+    ([
+       ("ts", Json.Int ts);
+       ("run", Json.Int run);
+       ("topic", Json.Str (E.topic ev));
+       ("name", Json.Str (E.name ev));
+     ]
+    @ (match E.host ev with
+      | Some h -> [ ("host", Json.Int h) ]
+      | None -> [])
+    @ [ ("args", Json.Obj args) ])
+
+let line ?run ts ev = Json.to_string (json_of_event ?run ts ev)
+
+let wanted topics ev =
+  match topics with [] -> true | _ -> List.mem (Vsim.Event.topic ev) topics
+
+let attach ?(topics = []) ?(run = 0) eng write =
+  Vsim.Trace.attach eng (fun ts ev ->
+      if wanted topics ev then begin
+        write (line ~run ts ev);
+        write "\n"
+      end)

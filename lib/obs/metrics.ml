@@ -1,0 +1,135 @@
+(* Per-host metrics registry: named counters and latency histograms,
+   found-or-created on first touch, dumped as a table or JSON at end of
+   run.  All dump orders are sorted by (host, name) so output is
+   deterministic regardless of hash-table internals. *)
+
+type value = C of Vsim.Stat.Counter.t | H of Vsim.Stat.Histogram.t
+
+type t = { tbl : (int * string, value) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 64 }
+
+let counter t ~host name =
+  match Hashtbl.find_opt t.tbl (host, name) with
+  | Some (C c) -> c
+  | Some (H _) ->
+      invalid_arg
+        (Printf.sprintf "Metrics.counter: %s@host%d is a histogram" name host)
+  | None ->
+      let c = Vsim.Stat.Counter.create name in
+      Hashtbl.replace t.tbl (host, name) (C c);
+      c
+
+let histogram t ~host ?bounds name =
+  match Hashtbl.find_opt t.tbl (host, name) with
+  | Some (H h) -> h
+  | Some (C _) ->
+      invalid_arg
+        (Printf.sprintf "Metrics.histogram: %s@host%d is a counter" name host)
+  | None ->
+      let h = Vsim.Stat.Histogram.create ?bounds () in
+      Hashtbl.replace t.tbl (host, name) (H h);
+      h
+
+let add t ~host name by = Vsim.Stat.Counter.incr ~by (counter t ~host name)
+
+let observe t ~host ?bounds name v =
+  Vsim.Stat.Histogram.add (histogram t ~host ?bounds name) v
+
+(* Small linear buckets suit queue depths; the default decade buckets
+   suit nanosecond latencies. *)
+let depth_bounds = [| 1.0; 2.0; 4.0; 8.0; 16.0; 32.0 |]
+
+let handle t (ev : Vsim.Event.t) =
+  match ev with
+  | Send { host; remote; _ } ->
+      add t ~host (if remote then "sends_remote" else "sends_local") 1
+  | Send_done { host; status; _ } ->
+      if status <> "ok" then add t ~host "ipc_failures" 1
+  | Receive { host; _ } -> add t ~host "receives" 1
+  | Reply { host; _ } -> add t ~host "replies" 1
+  | Forward { host; _ } -> add t ~host "forwards" 1
+  | Move { host; bytes; _ } ->
+      add t ~host "moves" 1;
+      add t ~host "move_bytes" bytes
+  | Move_done { host; status; _ } ->
+      if status <> "ok" then add t ~host "ipc_failures" 1
+  | Packet_tx { host; bytes; _ } ->
+      add t ~host "packets_tx" 1;
+      add t ~host "bytes_tx" bytes
+  | Packet_rx { host; bytes; _ } ->
+      add t ~host "packets_rx" 1;
+      add t ~host "bytes_rx" bytes
+  | Packet_drop { host; _ } -> add t ~host "packet_drops" 1
+  | Retransmit { host; _ } -> add t ~host "retransmits" 1
+  | Collision _ -> add t ~host:0 "collisions" 1
+  | Nic_busy { host; _ } -> add t ~host "nic_busy_waits" 1
+  | Queue_depth { host; depth; _ } ->
+      observe t ~host ~bounds:depth_bounds "recv_queue_depth" (float_of_int depth)
+  | Cpu_grant { host; ns; _ } -> add t ~host "cpu_busy_ns" ns
+  | Disk_io { host; ns; _ } ->
+      add t ~host "disk_ios" 1;
+      observe t ~host "disk_ns" (float_of_int ns)
+  | Fs_request { host; _ } -> add t ~host "fs_requests" 1
+  | Span_close { host; total_ns; _ } ->
+      observe t ~host "ipc_rtt_ns" (float_of_int total_ns)
+  | Span_open _ | User _ -> ()
+
+let attach t eng = Vsim.Trace.attach eng (fun _ts ev -> handle t ev)
+
+let sorted_rows t =
+  let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.tbl [] in
+  List.sort (fun (a, _) (b, _) -> compare a b) rows
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>-- metrics --@,";
+  List.iter
+    (fun ((host, name), v) ->
+      match v with
+      | C c ->
+          Format.fprintf fmt "host %-3d %-18s %d@," host name
+            (Vsim.Stat.Counter.value c)
+      | H h ->
+          Format.fprintf fmt "host %-3d %-18s %a@," host name
+            Vsim.Stat.Histogram.pp h)
+    (sorted_rows t);
+  Format.fprintf fmt "@]"
+
+let to_json t =
+  let hist_json h =
+    Json.Obj
+      [
+        ("count", Json.Int (Vsim.Stat.Histogram.count h));
+        ("sum", Json.Float (Vsim.Stat.Histogram.sum h));
+        ("mean", Json.Float (Vsim.Stat.Histogram.mean h));
+        ( "buckets",
+          Json.List
+            (List.map
+               (fun (bound, c) ->
+                 Json.Obj
+                   [
+                     ( "le",
+                       if bound = infinity then Json.Str "inf"
+                       else Json.Float bound );
+                     ("count", Json.Int c);
+                   ])
+               (Vsim.Stat.Histogram.buckets h)) );
+      ]
+  in
+  let by_host = Hashtbl.create 8 in
+  List.iter
+    (fun ((host, name), v) ->
+      let entry =
+        match v with
+        | C c -> (name, Json.Int (Vsim.Stat.Counter.value c))
+        | H h -> (name, hist_json h)
+      in
+      let prev = try Hashtbl.find by_host host with Not_found -> [] in
+      Hashtbl.replace by_host host (entry :: prev))
+    (List.rev (sorted_rows t));
+  let hosts = Hashtbl.fold (fun h _ acc -> h :: acc) by_host [] in
+  Json.Obj
+    (List.map
+       (fun h ->
+         (Printf.sprintf "host-%d" h, Json.Obj (Hashtbl.find by_host h)))
+       (List.sort compare hosts))

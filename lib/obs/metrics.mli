@@ -1,0 +1,37 @@
+(** Per-host metrics registry: named counters and histograms, created on
+    first touch, dumped as an aligned table or JSON.
+
+    {!attach} derives a standard metric set from the typed event stream:
+    packet/byte counts, drops, retransmissions, NIC busy-waits,
+    collisions (attributed to host 0, the medium), receive-queue depth,
+    CPU busy time, disk I/O latency, file-server request counts and IPC
+    round-trip latency from spans.  Registries can also be fed manually
+    through {!counter}/{!histogram}/{!add}/{!observe}. *)
+
+type t
+
+val create : unit -> t
+
+val counter : t -> host:int -> string -> Vsim.Stat.Counter.t
+(** Find-or-create.  Raises [Invalid_argument] if the name is registered
+    as a histogram for this host. *)
+
+val histogram :
+  t -> host:int -> ?bounds:float array -> string -> Vsim.Stat.Histogram.t
+(** Find-or-create; [bounds] applies only on creation. *)
+
+val add : t -> host:int -> string -> int -> unit
+(** [add t ~host name by] increments the counter by [by]. *)
+
+val observe : t -> host:int -> ?bounds:float array -> string -> float -> unit
+
+val attach : t -> Vsim.Engine.t -> unit
+(** Derive the standard metric set from this engine's event stream.  One
+    registry may be attached to several engines to aggregate runs. *)
+
+val pp : Format.formatter -> t -> unit
+(** Aligned [host  name  value] table, sorted by (host, name). *)
+
+val to_json : t -> Json.t
+(** [{"host-<n>": {"<name>": <int | histogram object>, ...}, ...}],
+    hosts and names sorted. *)

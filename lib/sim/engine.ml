@@ -1,10 +1,32 @@
-type t = { mutable clock : Time.t; queue : Eventq.t; rand : Rng.t }
+type t = {
+  mutable clock : Time.t;
+  queue : Eventq.t;
+  rand : Rng.t;
+  mutable tracers : (Time.t -> Event.t -> unit) list;
+}
+
 type handle = Eventq.event
 
 let default_seed = 0x5EED_CAFE_F00DL
 
+(* Invoked on every freshly created engine.  This is how a CLI flag can
+   attach trace sinks to engines constructed deep inside experiment rigs
+   without threading a parameter through every layer. *)
+let create_hook : (t -> unit) option ref = ref None
+
+let set_create_hook h = create_hook := h
+
 let create ?(seed = default_seed) () =
-  { clock = 0; queue = Eventq.create (); rand = Rng.create seed }
+  let t =
+    { clock = 0; queue = Eventq.create (); rand = Rng.create seed; tracers = [] }
+  in
+  (match !create_hook with Some hook -> hook t | None -> ());
+  t
+
+let add_tracer t f = t.tracers <- t.tracers @ [ f ]
+let clear_tracers t = t.tracers <- []
+let tracers t = t.tracers
+let traced t = t.tracers <> []
 
 let now t = t.clock
 let rng t = t.rand

@@ -42,3 +42,25 @@ val step : t -> bool
 
 val pending : t -> int
 (** Number of live scheduled events. *)
+
+(** {1 Tracing}
+
+    Each engine carries its own list of tracers, so two engines in one
+    process never share observability state.  Prefer the {!Trace} module's
+    [attach]/[event] wrappers; these accessors are the underlying
+    mechanism. *)
+
+val add_tracer : t -> (Time.t -> Event.t -> unit) -> unit
+(** Append a tracer; tracers run in attachment order on every event. *)
+
+val clear_tracers : t -> unit
+
+val tracers : t -> (Time.t -> Event.t -> unit) list
+
+val traced : t -> bool
+(** [true] iff at least one tracer is attached. *)
+
+val set_create_hook : (t -> unit) option -> unit
+(** Install a process-wide hook invoked on every engine returned by
+    {!create}.  Used by [bin/vsim] to attach trace sinks to engines
+    constructed inside experiment rigs; clear it ([None]) when done. *)

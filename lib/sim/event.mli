@@ -1,0 +1,97 @@
+(** Typed trace events.
+
+    Structured counterparts to the old string traces: each layer of the
+    simulator reports its activity through one of these constructors, and
+    sinks (JSONL writers, span correlators, metrics registries — see the
+    [vobs] library) consume them without parsing.
+
+    Events carry only simulation-deterministic data — integer pids, host
+    addresses, byte counts, sequence numbers.  Two runs with the same seed
+    emit identical streams. *)
+
+type dir = To | From
+
+type field = I of int | S of string
+
+type t =
+  | Send of { host : int; src : int; dst : int; seq : int; remote : bool }
+      (** IPC [Send] initiated on [host] by pid [src] to pid [dst].
+          [seq] is 0 for local sends (no packet, hence no sequence). *)
+  | Send_done of { host : int; pid : int; seq : int; status : string }
+      (** The blocked sender resumed; [status] is ["ok"] or a failure. *)
+  | Receive of { host : int; pid : int; src : int; seq : int; bytes : int }
+      (** Receiver [pid] picked up a message from [src]. *)
+  | Reply of { host : int; src : int; dst : int; seq : int; remote : bool }
+      (** [src] replied to [dst] (an alien when [remote]). *)
+  | Forward of { host : int; by : int; src : int; dst : int }
+  | Move of {
+      host : int;
+      dir : dir;
+      src : int;
+      dst : int;
+      seq : int;
+      bytes : int;
+      remote : bool;
+    }  (** MoveTo ([dir = To]) or MoveFrom ([dir = From]) data transfer. *)
+  | Move_done of { host : int; seq : int; status : string }
+  | Packet_tx of {
+      host : int;
+      op : string;
+      src : int;
+      dst : int;
+      seq : int;
+      bytes : int;
+    }  (** Kernel handed a packet to the NIC; [bytes] is wire length. *)
+  | Packet_rx of {
+      host : int;
+      op : string;
+      src : int;
+      dst : int;
+      seq : int;
+      bytes : int;
+    }  (** Kernel accepted a packet from the NIC. *)
+  | Packet_drop of { host : int; reason : string; bytes : int }
+  | Retransmit of { host : int; kind : string; seq : int; attempt : int }
+      (** [kind] is ["send"], ["move-to"] or ["move-from"]. *)
+  | Collision of { a : int; b : int }
+      (** CSMA/CD collision between stations [a] and [b] (no single host). *)
+  | Nic_busy of { host : int; queued : int }
+      (** Transmit requested while the tx buffer was busy. *)
+  | Queue_depth of { host : int; pid : int; depth : int }
+      (** Message-queue depth of [pid] after an enqueue. *)
+  | Cpu_grant of { host : int; cpu : string; ns : int }
+  | Disk_io of { host : int; rw : string; block : int; ns : int }
+  | Fs_request of { host : int; op : string; block : int; count : int }
+  | Span_open of { host : int; kind : string; pid : int; seq : int }
+      (** Emitted by the span correlator (see [Vobs.Spans]). *)
+  | Span_close of {
+      host : int;
+      kind : string;
+      pid : int;
+      seq : int;
+      total_ns : int;
+      segments : (string * int) list;
+    }
+      (** [segments] are contiguous (label, duration-ns) slices whose sum
+          equals [total_ns]. *)
+  | User of { topic : string; msg : string }
+      (** Free-form escape hatch; carries legacy [Trace.emit] strings. *)
+
+val name : t -> string
+(** Stable snake_case constructor name, e.g. ["packet_tx"]. *)
+
+val topic : t -> string
+(** Coarse routing key: ["kernel"], ["net"], ["cpu"], ["disk"], ["fs"],
+    ["span"], or the embedded topic of a [User] event. *)
+
+val host : t -> int option
+(** The host the event is attributed to; [None] for [Collision] (two
+    stations) and [User]. *)
+
+val fields : t -> (string * field) list
+(** Flat key/value view for serializers.  Order is fixed per constructor
+    and is part of the deterministic-output contract. *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line human-readable rendering ([name k=v ...]); [User] events
+    print their message verbatim. *)

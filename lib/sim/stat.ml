@@ -95,6 +95,18 @@ module Series = struct
 
   let median t = percentile t 50.0
 
+  let stddev t =
+    if t.n < 2 then 0.0
+    else begin
+      let mu = mean t in
+      let acc = ref 0.0 in
+      for i = 0 to t.n - 1 do
+        let d = t.data.(i) -. mu in
+        acc := !acc +. (d *. d)
+      done;
+      sqrt (!acc /. float_of_int (t.n - 1))
+    end
+
   let min t =
     if t.n = 0 then nan
     else begin
@@ -108,6 +120,67 @@ module Series = struct
       ensure_sorted t;
       t.data.(t.n - 1)
     end
+end
+
+module Histogram = struct
+  type t = {
+    bounds : float array; (* strictly increasing upper bounds *)
+    counts : int array; (* length bounds + 1; last is overflow *)
+    mutable n : int;
+    mutable sum : float;
+  }
+
+  (* Decades from 1 µs to 1 s, in nanoseconds: latency-friendly. *)
+  let default_bounds = [| 1e3; 1e4; 1e5; 1e6; 1e7; 1e8; 1e9 |]
+
+  let create ?(bounds = default_bounds) () =
+    let k = Array.length bounds in
+    if k = 0 then invalid_arg "Histogram.create: empty bounds";
+    for i = 1 to k - 1 do
+      if bounds.(i) <= bounds.(i - 1) then
+        invalid_arg "Histogram.create: bounds must be strictly increasing"
+    done;
+    { bounds = Array.copy bounds; counts = Array.make (k + 1) 0; n = 0; sum = 0.0 }
+
+  let add t x =
+    let k = Array.length t.bounds in
+    let i = ref 0 in
+    while !i < k && x > t.bounds.(!i) do
+      incr i
+    done;
+    t.counts.(!i) <- t.counts.(!i) + 1;
+    t.n <- t.n + 1;
+    t.sum <- t.sum +. x
+
+  let count t = t.n
+  let sum t = t.sum
+  let mean t = if t.n = 0 then 0.0 else t.sum /. float_of_int t.n
+
+  let buckets t =
+    Array.to_list
+      (Array.mapi
+         (fun i c ->
+           let bound =
+             if i < Array.length t.bounds then t.bounds.(i) else infinity
+           in
+           (bound, c))
+         t.counts)
+
+  let clear t =
+    Array.fill t.counts 0 (Array.length t.counts) 0;
+    t.n <- 0;
+    t.sum <- 0.0
+
+  let pp fmt t =
+    Format.fprintf fmt "n=%d mean=%.1f" t.n (mean t);
+    List.iter
+      (fun (bound, c) ->
+        if c > 0 then
+          if Float.is_integer bound && Float.abs bound < 1e15 then
+            Format.fprintf fmt " le_%.0f=%d" bound c
+          else if bound = infinity then Format.fprintf fmt " inf=%d" c
+          else Format.fprintf fmt " le_%g=%d" bound c)
+      (buckets t)
 end
 
 module Counter = struct

@@ -38,8 +38,40 @@ module Series : sig
       samples. [nan] when empty. *)
 
   val median : t -> float
+
+  val stddev : t -> float
+  (** Sample standard deviation; 0.0 with fewer than two samples. *)
+
   val min : t -> float
   val max : t -> float
+end
+
+(** Fixed-bucket histogram: a value [x] lands in the first bucket whose
+    upper bound is [>= x]; values above every bound land in an overflow
+    bucket.  Constant memory, used by the metrics registry. *)
+module Histogram : sig
+  type t
+
+  val default_bounds : float array
+  (** Decades from 1e3 to 1e9 — microsecond-to-second latencies in ns. *)
+
+  val create : ?bounds:float array -> unit -> t
+  (** [bounds] must be non-empty and strictly increasing. *)
+
+  val add : t -> float -> unit
+  val count : t -> int
+  val sum : t -> float
+  val mean : t -> float
+  (** 0.0 when empty. *)
+
+  val buckets : t -> (float * int) list
+  (** [(upper_bound, count)] per bucket, in bound order; the final entry
+      is [(infinity, overflow_count)]. *)
+
+  val clear : t -> unit
+
+  val pp : Format.formatter -> t -> unit
+  (** Compact one-line rendering; empty buckets are omitted. *)
 end
 
 (** Monotonically increasing named counters. *)

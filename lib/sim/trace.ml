@@ -1,18 +1,36 @@
-let sink : (Time.t -> topic:string -> string -> unit) option ref = ref None
+(* Engine-scoped structured tracing.
 
-let set_sink s = sink := s
-let enabled () = !sink <> None
+   The hot-path guard is [tracing eng]: one list-emptiness check plus one
+   ref read when tracing is off.  Emission sites are expected to guard
+   event construction with it so an untraced run allocates nothing.
+
+   A process-global legacy sink is kept as a deprecated shim for the old
+   string API; typed events reaching it are rendered through Event.pp. *)
+
+let legacy : (Time.t -> topic:string -> string -> unit) option ref = ref None
+
+let set_sink s = legacy := s
+let enabled () = !legacy <> None
+
+let tracing eng = Engine.traced eng || !legacy <> None
+
+let event eng ev =
+  let time = Engine.now eng in
+  (match !legacy with
+  | None -> ()
+  | Some f -> f time ~topic:(Event.topic ev) (Format.asprintf "%a" Event.pp ev));
+  List.iter (fun f -> f time ev) (Engine.tracers eng)
+
+let attach = Engine.add_tracer
+let detach_all = Engine.clear_tracers
 
 let emit eng ~topic msg =
-  match !sink with
-  | None -> ()
-  | Some f -> f (Engine.now eng) ~topic msg
+  if tracing eng then event eng (Event.User { topic; msg })
 
 let emitf eng ~topic fmt =
-  match !sink with
-  | None -> Format.ikfprintf ignore Format.str_formatter fmt
-  | Some f ->
-      Format.kasprintf (fun msg -> f (Engine.now eng) ~topic msg) fmt
+  if tracing eng then
+    Format.kasprintf (fun msg -> event eng (Event.User { topic; msg })) fmt
+  else Format.ikfprintf ignore Format.str_formatter fmt
 
 let to_stderr () =
   set_sink

@@ -1,21 +1,50 @@
-(** Lightweight event tracing.
+(** Engine-scoped structured tracing.
 
-    A single process-global sink keeps the hot path to one branch when
-    tracing is off.  Topics are short strings ("net", "kernel", "fs");
-    experiments enable a sink to debug protocol interleavings. *)
+    Tracers are attached to a specific {!Engine.t}, so two engines in one
+    process keep fully independent observability state.  Emission sites
+    guard with {!tracing} and then call {!event} with a typed {!Event.t}:
 
-val set_sink : (Time.t -> topic:string -> string -> unit) option -> unit
-(** Install or remove the trace sink. *)
+    {[
+      if Trace.tracing eng then
+        Trace.event eng (Event.Packet_drop { host; reason = "crc"; bytes })
+    ]}
 
-val enabled : unit -> bool
+    The cost when no tracer is attached is a single branch. *)
+
+val tracing : Engine.t -> bool
+(** [true] iff this engine has a tracer attached (or the deprecated
+    process-global sink is set).  Guard event construction with this. *)
+
+val event : Engine.t -> Event.t -> unit
+(** Deliver a typed event, stamped with the engine's current time, to all
+    attached tracers (and, rendered as text, to the legacy sink if set). *)
+
+val attach : Engine.t -> (Time.t -> Event.t -> unit) -> unit
+(** Attach a tracer to this engine; tracers run in attachment order. *)
+
+val detach_all : Engine.t -> unit
+(** Remove every tracer from this engine. *)
 
 val emit : Engine.t -> topic:string -> string -> unit
-(** Forward a pre-built message to the sink, if any. *)
+(** Free-form message; delivered as an {!Event.User} event. *)
 
 val emitf :
   Engine.t -> topic:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
-(** Formatted emission; the message is only built when a sink is set. *)
+(** Formatted {!emit}; the message is only built when tracing is on. *)
+
+(** {1 Deprecated process-global sink}
+
+    The pre-structured API.  The sink is process-global — two engines
+    share and clobber it — which is why it was replaced by {!attach}.
+    Kept as a shim: typed events are rendered to it via {!Event.pp}. *)
+
+val set_sink : (Time.t -> topic:string -> string -> unit) option -> unit
+[@@ocaml.deprecated "Use Trace.attach for engine-scoped tracing."]
+(** Install or remove the process-global string sink. *)
+
+val enabled : unit -> bool
+[@@ocaml.deprecated "Use Trace.tracing, which is engine-scoped."]
 
 val to_stderr : unit -> unit
-(** Convenience: install a sink printing ["[<time>] <topic>: <msg>"] lines
-    on stderr. *)
+(** Convenience: install a global sink printing
+    ["[<time>] <topic>: <msg>"] lines on stderr. *)

@@ -9,6 +9,7 @@ type latency =
 
 type t = {
   eng : Vsim.Engine.t;
+  dhost : int;
   store : Bytes.t array;
   bsize : int;
   mutable lat : latency;
@@ -20,11 +21,13 @@ type t = {
   rng : Vsim.Rng.t;
 }
 
-let create eng ?(latency = Fixed (Vsim.Time.ms 20)) ~blocks ~block_size () =
+let create eng ?(host = 0) ?(latency = Fixed (Vsim.Time.ms 20)) ~blocks
+    ~block_size () =
   if blocks <= 0 || block_size <= 0 then
     invalid_arg "Disk.create: blocks and block_size must be positive";
   {
     eng;
+    dhost = host;
     store = Array.init blocks (fun _ -> Bytes.make block_size '\000');
     bsize = block_size;
     lat = latency;
@@ -62,19 +65,22 @@ let access_time t b =
       base_ns + seek + rot
 
 (* Serialize operations: an access starts when the device frees up. *)
-let schedule t b k =
+let schedule t ~rw b k =
   let cost = access_time t b in
   let now = Vsim.Engine.now t.eng in
   let start = max now t.free_at in
   let finish = start + cost in
   t.free_at <- finish;
   t.busy <- t.busy + cost;
+  if Vsim.Trace.tracing t.eng then
+    Vsim.Trace.event t.eng
+      (Vsim.Event.Disk_io { host = t.dhost; rw; block = b; ns = cost });
   ignore (Vsim.Engine.at t.eng finish k)
 
 let read_k t b k =
   check_block t b;
   t.n_reads <- t.n_reads + 1;
-  schedule t b (fun () -> k (Bytes.copy t.store.(b)))
+  schedule t ~rw:"read" b (fun () -> k (Bytes.copy t.store.(b)))
 
 let write_k t b data k =
   check_block t b;
@@ -83,7 +89,7 @@ let write_k t b data k =
       (Bytes.length data);
   t.n_writes <- t.n_writes + 1;
   let data = Bytes.copy data in
-  schedule t b (fun () ->
+  schedule t ~rw:"write" b (fun () ->
       Bytes.blit data 0 t.store.(b) 0 t.bsize;
       k ())
 

@@ -22,9 +22,10 @@ type latency =
 type t
 
 val create :
-  Vsim.Engine.t -> ?latency:latency -> blocks:int -> block_size:int ->
-  unit -> t
-(** Default latency is [Fixed 20ms], the paper's rule-of-thumb disk. *)
+  Vsim.Engine.t -> ?host:int -> ?latency:latency -> blocks:int ->
+  block_size:int -> unit -> t
+(** Default latency is [Fixed 20ms], the paper's rule-of-thumb disk.
+    [host] attributes [Disk_io] trace events; defaults to 0. *)
 
 val block_size : t -> int
 val blocks : t -> int

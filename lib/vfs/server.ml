@@ -106,6 +106,16 @@ let handle_request t ~mem ~msg ~src ~seg_count =
   match Protocol.decode_request msg with
   | None -> reply Protocol.Sbad_request 0
   | Some (op, handle, block, count) -> (
+      let eng = K.engine t.kernel in
+      if Vsim.Trace.tracing eng then
+        Vsim.Trace.event eng
+          (Vsim.Event.Fs_request
+             {
+               host = K.host t.kernel;
+               op = Protocol.op_to_string op;
+               block;
+               count;
+             });
       match op with
       | Protocol.Open | Protocol.Create -> (
           let name = string_of_segment mem ~count:seg_count in

@@ -20,7 +20,8 @@ let create ?seed ?(medium_config = Vnet.Medium.config_3mb)
   let mk i =
     let addr = i + 1 in
     let cpu =
-      Vhw.Cpu.create eng ~model:cpu_model ~name:(Printf.sprintf "cpu%d" addr)
+      Vhw.Cpu.create eng ~host:addr ~model:cpu_model
+        ~name:(Printf.sprintf "cpu%d" addr)
     in
     let nic = Vnet.Nic.create eng ~cpu ~medium ~addr in
     let kernel =
@@ -46,10 +47,10 @@ let pattern_byte i = Char.chr (((i * 31) + 7) land 0xFF)
 let pattern_bytes ~pos ~len =
   Bytes.init len (fun i -> pattern_byte (pos + i))
 
-let make_test_fs t ?(latency = Vfs.Disk.Fixed 0) ?(blocks = 16384) ~files ()
-    =
+let make_test_fs t ?(host = 1) ?(latency = Vfs.Disk.Fixed 0) ?(blocks = 16384)
+    ~files () =
   let disk =
-    Vfs.Disk.create t.eng ~latency:(Vfs.Disk.Fixed 0) ~blocks
+    Vfs.Disk.create t.eng ~host ~latency:(Vfs.Disk.Fixed 0) ~blocks
       ~block_size:Vfs.Fs.block_size ()
   in
   let fs_box = ref None in

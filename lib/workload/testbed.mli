@@ -44,6 +44,7 @@ val pattern_byte : int -> char
 
 val make_test_fs :
   t ->
+  ?host:int ->
   ?latency:Vfs.Disk.latency ->
   ?blocks:int ->
   files:(string * int) list ->
@@ -52,4 +53,5 @@ val make_test_fs :
 (** Build a formatted filesystem pre-populated with the named files (sizes
     in bytes, contents from {!pattern_byte}).  Runs its own setup fiber to
     completion; the disk has zero latency during population, then the
-    requested latency. *)
+    requested latency.  [host] (default 1) attributes the disk's [Disk_io]
+    trace events to the server's station address. *)

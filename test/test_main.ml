@@ -20,4 +20,5 @@ let () =
       ("workload", Test_workload.suite);
       ("vexec", Test_vexec.suite);
       ("stress", Test_stress.suite);
+      ("obs", Test_obs.suite);
     ]

@@ -1,0 +1,273 @@
+(* Observability: typed events, JSONL/Chrome sinks, span correlation,
+   the metrics registry, and the Stat additions backing them. *)
+
+module K = Vkernel.Kernel
+module Msg = Vkernel.Msg
+module TB = Vworkload.Testbed
+
+let kernel_of tb i = (TB.host tb i).TB.kernel
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+  in
+  go 0
+
+(* One remote Send-Receive-Reply exchange per trial, as in the paper's
+   kernel-performance rig. *)
+let run_srr ?seed ~trials tb_fn =
+  let tb = Util.testbed ?seed ~hosts:2 () in
+  tb_fn tb;
+  let k1 = kernel_of tb 1 in
+  let server = Util.start_echo_server tb ~host:2 in
+  let elapsed = ref 0 in
+  Util.run_as_process tb ~host:1 (fun _ ->
+      let msg = Msg.create () in
+      let eng = K.engine k1 in
+      let t0 = Vsim.Engine.now eng in
+      for _ = 1 to trials do
+        ignore (K.send k1 msg server)
+      done;
+      elapsed := Vsim.Engine.now eng - t0);
+  !elapsed
+
+(* --- typed events and the JSONL sink --------------------------------- *)
+
+let test_jsonl_roundtrip () =
+  let buf = Buffer.create 4096 in
+  let (_ : int) =
+    run_srr ~trials:3 (fun tb ->
+        (* The correlator re-emits span events into the same stream. *)
+        let (_ : Vobs.Spans.t) = Vobs.Spans.attach tb.TB.eng in
+        Vobs.Jsonl.attach tb.TB.eng (Buffer.add_string buf))
+  in
+  let lines =
+    List.filter (fun l -> l <> "")
+      (String.split_on_char '\n' (Buffer.contents buf))
+  in
+  Alcotest.(check bool) "trace is non-empty" true (List.length lines > 10);
+  let names =
+    List.map
+      (fun line ->
+        match Vobs.Json.parse line with
+        | Error e -> Alcotest.failf "unparseable line %S: %s" line e
+        | Ok json -> (
+            (match Vobs.Json.member "ts" json with
+            | Some (Vobs.Json.Int ts) ->
+                Alcotest.(check bool) "ts >= 0" true (ts >= 0)
+            | _ -> Alcotest.fail "missing ts");
+            match Vobs.Json.member "name" json with
+            | Some (Vobs.Json.Str n) -> n
+            | _ -> Alcotest.fail "missing name"))
+      lines
+  in
+  let count n = List.length (List.filter (String.equal n) names) in
+  Alcotest.(check int) "three remote sends" 3 (count "send");
+  Alcotest.(check int) "three completions" 3 (count "send_done");
+  Alcotest.(check int) "three receives" 3 (count "receive");
+  Alcotest.(check int) "spans close" 3 (count "span_close");
+  Alcotest.(check bool) "packets on the wire" true (count "packet_tx" >= 6)
+
+let test_topic_filter () =
+  let buf = Buffer.create 4096 in
+  let (_ : int) =
+    run_srr ~trials:2 (fun tb ->
+        Vobs.Jsonl.attach ~topics:[ "net" ] tb.TB.eng (Buffer.add_string buf))
+  in
+  String.split_on_char '\n' (Buffer.contents buf)
+  |> List.iter (fun line ->
+         if line <> "" then
+           match Vobs.Json.parse line with
+           | Ok json ->
+               Alcotest.(check string)
+                 "only net events pass" "net"
+                 (match Vobs.Json.member "topic" json with
+                 | Some (Vobs.Json.Str t) -> t
+                 | _ -> "?")
+           | Error e -> Alcotest.failf "unparseable: %s" e)
+
+let test_determinism () =
+  let capture () =
+    let buf = Buffer.create 4096 in
+    let (_ : int) =
+      run_srr ~seed:42L ~trials:5 (fun tb ->
+          Vobs.Jsonl.attach tb.TB.eng (Buffer.add_string buf))
+    in
+    Buffer.contents buf
+  in
+  let a = capture () and b = capture () in
+  Alcotest.(check bool) "byte-identical traces" true (String.equal a b)
+
+let test_engine_isolation () =
+  (* A sink attached to one engine must not observe another engine's
+     events. *)
+  let buf = Buffer.create 256 in
+  let eng_a = Vsim.Engine.create () in
+  let eng_b = Vsim.Engine.create () in
+  Vobs.Jsonl.attach eng_a (Buffer.add_string buf);
+  Vsim.Trace.event eng_b (Vsim.Event.User { topic = "test"; msg = "b" });
+  Alcotest.(check string) "nothing from engine B" "" (Buffer.contents buf);
+  Vsim.Trace.event eng_a (Vsim.Event.User { topic = "test"; msg = "a" });
+  Alcotest.(check bool) "engine A observed" true (Buffer.length buf > 0)
+
+(* --- spans ----------------------------------------------------------- *)
+
+let test_span_balance () =
+  let spans = ref None in
+  let elapsed =
+    run_srr ~trials:4 (fun tb -> spans := Some (Vobs.Spans.attach tb.TB.eng))
+  in
+  let t = Option.get !spans in
+  Alcotest.(check int) "all spans closed" 0 (Vobs.Spans.open_count t);
+  Alcotest.(check int) "one span per exchange" 4 (Vobs.Spans.closed t);
+  let sum = ref 0 in
+  List.iter
+    (fun s ->
+      Alcotest.(check string) "span ok" "ok" s.Vobs.Spans.status;
+      Alcotest.(check int)
+        "segments tile the span" (Vobs.Spans.total_ns s)
+        (Vobs.Spans.segments_sum s);
+      Alcotest.(check int)
+        "seven segments" 7
+        (List.length s.Vobs.Spans.segments);
+      sum := !sum + Vobs.Spans.total_ns s)
+    (Vobs.Spans.spans t);
+  (* The client does nothing between exchanges, so the spans tile the
+     measured window exactly: client-observed latency == span time. *)
+  Alcotest.(check int) "spans account for all elapsed time" elapsed !sum
+
+(* --- metrics --------------------------------------------------------- *)
+
+let test_metrics_counts () =
+  let reg = Vobs.Metrics.create () in
+  let (_ : int) =
+    run_srr ~trials:3 (fun tb -> Vobs.Metrics.attach reg tb.TB.eng)
+  in
+  let v name = Vsim.Stat.Counter.value (Vobs.Metrics.counter reg ~host:1 name) in
+  Alcotest.(check int) "client remote sends" 3 (v "sends_remote");
+  Alcotest.(check int) "client tx = request packets" 3 (v "packets_tx");
+  Alcotest.(check int) "server receives" 3
+    (Vsim.Stat.Counter.value (Vobs.Metrics.counter reg ~host:2 "receives"));
+  let dump = Format.asprintf "%a" Vobs.Metrics.pp reg in
+  Alcotest.(check bool) "table dump mentions sends_remote" true
+    (contains dump "sends_remote");
+  match Vobs.Json.parse (Vobs.Json.to_string (Vobs.Metrics.to_json reg)) with
+  | Error e -> Alcotest.failf "metrics json: %s" e
+  | Ok json -> (
+      match Vobs.Json.member "host-1" json with
+      | Some h1 ->
+          Alcotest.(check bool) "host-1 has sends_remote" true
+            (Vobs.Json.member "sends_remote" h1 = Some (Vobs.Json.Int 3))
+      | None -> Alcotest.fail "missing host-1")
+
+let test_metrics_kind_clash () =
+  let reg = Vobs.Metrics.create () in
+  Vobs.Metrics.add reg ~host:0 "x" 1;
+  Alcotest.check_raises "histogram over counter"
+    (Invalid_argument "Metrics.histogram: x@host0 is a counter") (fun () ->
+      ignore (Vobs.Metrics.histogram reg ~host:0 "x"))
+
+(* --- chrome trace ---------------------------------------------------- *)
+
+let test_chrome_export () =
+  let c = Vobs.Chrome_trace.create () in
+  let (_ : int) =
+    run_srr ~trials:2 (fun tb ->
+        let (_ : Vobs.Spans.t) = Vobs.Spans.attach tb.TB.eng in
+        Vobs.Chrome_trace.attach c tb.TB.eng)
+  in
+  Alcotest.(check bool) "events recorded" true (Vobs.Chrome_trace.count c > 0);
+  match Vobs.Json.parse (Vobs.Chrome_trace.to_string c) with
+  | Error e -> Alcotest.failf "chrome json: %s" e
+  | Ok (Vobs.Json.List records) ->
+      let phases =
+        List.filter_map
+          (fun r ->
+            match Vobs.Json.member "ph" r with
+            | Some (Vobs.Json.Str p) -> Some p
+            | _ -> None)
+          records
+      in
+      Alcotest.(check int) "every record has a phase" (List.length records)
+        (List.length phases);
+      let has p = List.exists (String.equal p) phases in
+      Alcotest.(check bool) "metadata records" true (has "M");
+      Alcotest.(check bool) "instants" true (has "i");
+      Alcotest.(check bool) "span slices" true (has "X")
+  | Ok _ -> Alcotest.fail "chrome trace is not a JSON array"
+
+(* --- json ------------------------------------------------------------ *)
+
+let test_json_escapes () =
+  let j = Vobs.Json.Str "a\"b\\c\nd\te\r\x01" in
+  let s = Vobs.Json.to_string j in
+  Alcotest.(check string) "escaped"
+    "\"a\\\"b\\\\c\\nd\\te\\r\\u0001\"" s;
+  match Vobs.Json.parse s with
+  | Ok j' -> Alcotest.(check bool) "round trip" true (j = j')
+  | Error e -> Alcotest.failf "parse: %s" e
+
+let test_json_rejects_trailing () =
+  match Vobs.Json.parse "{\"a\":1} x" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trailing garbage accepted"
+
+(* --- stat additions -------------------------------------------------- *)
+
+let test_series_stddev () =
+  let s = Vsim.Stat.Series.create () in
+  Alcotest.(check (float 1e-9)) "empty" 0.0 (Vsim.Stat.Series.stddev s);
+  Vsim.Stat.Series.add s 4.0;
+  Alcotest.(check (float 1e-9)) "single" 0.0 (Vsim.Stat.Series.stddev s);
+  List.iter (Vsim.Stat.Series.add s) [ 7.0; 13.0; 16.0 ];
+  (* sample stddev of {4,7,13,16}: mean 10, var (36+9+9+36)/3 = 30 *)
+  Alcotest.(check (float 1e-9)) "sample stddev" (sqrt 30.0)
+    (Vsim.Stat.Series.stddev s)
+
+let test_series_percentile_edges () =
+  let s = Vsim.Stat.Series.create () in
+  Vsim.Stat.Series.add s 5.0;
+  Alcotest.(check (float 1e-9)) "single p0" 5.0
+    (Vsim.Stat.Series.percentile s 0.0);
+  Alcotest.(check (float 1e-9)) "single p100" 5.0
+    (Vsim.Stat.Series.percentile s 100.0);
+  List.iter (Vsim.Stat.Series.add s) [ 1.0; 9.0; 3.0 ];
+  Alcotest.(check (float 1e-9)) "p0 is the minimum" 1.0
+    (Vsim.Stat.Series.percentile s 0.0);
+  Alcotest.(check (float 1e-9)) "p100 is the maximum" 9.0
+    (Vsim.Stat.Series.percentile s 100.0);
+  Alcotest.(check (float 1e-9)) "p50 nearest-rank" 3.0
+    (Vsim.Stat.Series.percentile s 50.0)
+
+let test_histogram () =
+  let h = Vsim.Stat.Histogram.create ~bounds:[| 10.0; 100.0 |] () in
+  List.iter (Vsim.Stat.Histogram.add h) [ 1.0; 10.0; 50.0; 1000.0 ];
+  Alcotest.(check int) "count" 4 (Vsim.Stat.Histogram.count h);
+  Alcotest.(check (float 1e-9)) "sum" 1061.0 (Vsim.Stat.Histogram.sum h);
+  (match Vsim.Stat.Histogram.buckets h with
+  | [ (10.0, 2); (100.0, 1); (inf, 1) ] when inf = infinity -> ()
+  | b ->
+      Alcotest.failf "unexpected buckets: %s"
+        (String.concat ";"
+           (List.map (fun (x, c) -> Printf.sprintf "(%g,%d)" x c) b)));
+  Alcotest.check_raises "bounds must increase"
+    (Invalid_argument "Histogram.create: bounds must be strictly increasing")
+    (fun () -> ignore (Vsim.Stat.Histogram.create ~bounds:[| 2.0; 1.0 |] ()))
+
+let suite =
+  [
+    Alcotest.test_case "jsonl round-trip" `Quick test_jsonl_roundtrip;
+    Alcotest.test_case "topic filter" `Quick test_topic_filter;
+    Alcotest.test_case "deterministic traces" `Quick test_determinism;
+    Alcotest.test_case "engine isolation" `Quick test_engine_isolation;
+    Alcotest.test_case "span balance" `Quick test_span_balance;
+    Alcotest.test_case "metrics counts" `Quick test_metrics_counts;
+    Alcotest.test_case "metrics kind clash" `Quick test_metrics_kind_clash;
+    Alcotest.test_case "chrome export" `Quick test_chrome_export;
+    Alcotest.test_case "json escapes" `Quick test_json_escapes;
+    Alcotest.test_case "json trailing input" `Quick test_json_rejects_trailing;
+    Alcotest.test_case "series stddev" `Quick test_series_stddev;
+    Alcotest.test_case "percentile edges" `Quick test_series_percentile_edges;
+    Alcotest.test_case "histogram" `Quick test_histogram;
+  ]
