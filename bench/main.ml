@@ -25,6 +25,7 @@ let experiments =
     ("section_7_exec", Experiments.section_7_exec);
     ("section_7_multi_server", Experiments.section_7_multi_server);
     ("section_8_10mb", Experiments.section_8_10mb);
+    ("cache_crossover", Experiments.cache_crossover);
     ("baseline_comparison", Experiments.baseline_comparison);
     ("ablations", Experiments.ablations);
     ("span_decomposition", Experiments.span_decomposition);

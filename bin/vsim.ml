@@ -194,17 +194,71 @@ let page_cmd =
              ~doc:"Thoth-style MoveTo/MoveFrom path (4 packets) instead of \
                    the segment path (2 packets).")
   in
-  let run obs mhz net local write basic =
-    with_obs obs @@ fun () ->
-    pp_cols
-      (Vworkload.Rigs.page_op ~cpu_model:(model_of_mhz mhz)
-         ~medium_config:(medium_of_net net)
-         ~client_host:(if local then 1 else 2)
-         ~write ~basic ())
+  let cache_blocks_arg =
+    Arg.(value & opt int 0
+         & info [ "cache-blocks" ]
+             ~doc:"Client block-cache capacity in blocks; 0 disables the \
+                   cache and uses the plain per-protocol stubs.")
   in
-  Cmd.v (Cmd.info "page" ~doc:"512-byte page access against a file server")
+  let cache_policy_arg =
+    Arg.(value & opt string "wt"
+         & info [ "cache-policy" ]
+             ~doc:"Cache write policy: wt (write-through) or wb \
+                   (write-back).")
+  in
+  let pp_cache_stats = function
+    | Some s ->
+        Format.printf
+          "cache        %d hits, %d misses, %d evictions, %d write-backs, \
+           %d invalidations@."
+          s.Vfs.Cache.hits s.Vfs.Cache.misses s.Vfs.Cache.evictions
+          s.Vfs.Cache.writebacks s.Vfs.Cache.invalidations
+    | None -> ()
+  in
+  let run obs mhz net local write basic cache_blocks cache_policy =
+    with_obs obs @@ fun () ->
+    let cpu_model = model_of_mhz mhz
+    and medium_config = medium_of_net net in
+    if cache_blocks = 0 then
+      pp_cols
+        (Vworkload.Rigs.page_op ~cpu_model ~medium_config
+           ~client_host:(if local then 1 else 2)
+           ~write ~basic ())
+    else
+      match Vfs.Cache.policy_of_string cache_policy with
+      | None ->
+          Fmt.failwith "unknown cache policy %S (expected wt or wb)"
+            cache_policy
+      | Some policy ->
+          if write then begin
+            let per_write, flush_ns, stats =
+              Vworkload.Rigs.cached_write ~cpu_model ~medium_config
+                ~cache_blocks ~policy ()
+            in
+            Format.printf "per write    %a ms (%s)@." Vsim.Time.pp_ms
+              per_write
+              (Vfs.Cache.policy_to_string policy);
+            Format.printf "flush total  %a ms@." Vsim.Time.pp_ms flush_ns;
+            pp_cache_stats stats
+          end
+          else begin
+            let r =
+              Vworkload.Rigs.cached_read ~cpu_model ~medium_config
+                ~cache_blocks ~policy ()
+            in
+            Format.printf "cold read    %a ms@." Vsim.Time.pp_ms
+              r.Vworkload.Rigs.cold_ns;
+            Format.printf "warm read    %a ms@." Vsim.Time.pp_ms
+              r.Vworkload.Rigs.warm_ns;
+            pp_cache_stats r.Vworkload.Rigs.cache_stats
+          end
+  in
+  Cmd.v
+    (Cmd.info "page"
+       ~doc:"512-byte page access against a file server, optionally \
+             through a client block cache")
     Term.(const run $ obs_term $ mhz_arg $ net_arg $ local_arg $ write_flag
-          $ basic_flag)
+          $ basic_flag $ cache_blocks_arg $ cache_policy_arg)
 
 (* --- load ------------------------------------------------------------ *)
 
@@ -331,7 +385,6 @@ let run_cmd =
   in
   let run obs mhz net source_path trace =
     with_obs obs @@ fun () ->
-    if trace then Vsim.Trace.to_stderr ();
     let source = In_channel.with_open_text source_path In_channel.input_all in
     let img =
       match Vexec.Asm.assemble source with
@@ -344,6 +397,7 @@ let run_cmd =
       Vworkload.Testbed.create ~cpu_model:(model_of_mhz mhz)
         ~medium_config:(medium_of_net net) ~hosts:2 ()
     in
+    if trace then Vsim.Trace.to_stderr tb.Vworkload.Testbed.eng;
     let fs = Vworkload.Testbed.make_test_fs tb ~files:[] () in
     Vworkload.Testbed.run_proc tb ~name:"install" (fun () ->
         let inum = Result.get_ok (Vfs.Fs.create fs "prog") in

@@ -80,7 +80,7 @@ let scenario ~name ~fault ~exchanges =
      reply-pendings@."
     s1.K.retransmissions s2.K.duplicates_filtered s2.K.reply_pendings_sent;
   printf "  bulk recovery NAKs: %d; frames dropped/corrupted: %d/%d@.@."
-    (s1.K.naks_sent + s2.K.naks_sent)
+    (s1.K.gap_naks_sent + s2.K.gap_naks_sent)
     m.Vnet.Medium.dropped m.Vnet.Medium.corrupted
 
 let () =

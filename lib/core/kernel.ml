@@ -168,8 +168,8 @@ type stats = {
   retransmissions : int;
   duplicates_filtered : int;
   reply_pendings_sent : int;
-  nacks_sent : int;
-  naks_sent : int;
+  nonexistent_nacks_sent : int;
+  gap_naks_sent : int;
   aliens_created : int;
   alien_pool_full : int;
   sends_local : int;
@@ -1898,8 +1898,8 @@ let stats t =
     retransmissions = t.s_retrans;
     duplicates_filtered = t.s_dups;
     reply_pendings_sent = t.s_rpend;
-    nacks_sent = t.s_nacks;
-    naks_sent = t.s_naks;
+    nonexistent_nacks_sent = t.s_nacks;
+    gap_naks_sent = t.s_naks;
     aliens_created = t.s_aliens;
     alien_pool_full = t.s_pool_full;
     sends_local = t.s_send_local;
@@ -1910,9 +1910,9 @@ let stats t =
 
 let pp_stats fmt s =
   Format.fprintf fmt
-    "tx=%d rx=%d retrans=%d dups=%d rpend=%d nacks=%d naks=%d aliens=%d \
-     pool-full=%d sends(l/r)=%d/%d moves(l/r)=%d/%d"
+    "tx=%d rx=%d retrans=%d dups=%d rpend=%d nonexistent-nacks=%d \
+     gap-naks=%d aliens=%d pool-full=%d sends(l/r)=%d/%d moves(l/r)=%d/%d"
     s.packets_sent s.packets_received s.retransmissions s.duplicates_filtered
-    s.reply_pendings_sent s.nacks_sent s.naks_sent s.aliens_created
+    s.reply_pendings_sent s.nonexistent_nacks_sent s.gap_naks_sent s.aliens_created
     s.alien_pool_full s.sends_local s.sends_remote s.moves_local
     s.moves_remote

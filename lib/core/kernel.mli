@@ -164,8 +164,10 @@ type stats = {
   retransmissions : int;
   duplicates_filtered : int;
   reply_pendings_sent : int;
-  nacks_sent : int;
-  naks_sent : int;  (** data-transfer gap NAKs *)
+  nonexistent_nacks_sent : int;
+      (** NACKs sent for packets addressed to nonexistent processes *)
+  gap_naks_sent : int;  (** data-transfer gap NAKs (missing MoveTo/MoveFrom
+      data packets requested for retransmission) *)
   aliens_created : int;
   alien_pool_full : int;
   sends_local : int;

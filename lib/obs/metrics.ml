@@ -71,6 +71,14 @@ let handle t (ev : Vsim.Event.t) =
       add t ~host "disk_ios" 1;
       observe t ~host "disk_ns" (float_of_int ns)
   | Fs_request { host; _ } -> add t ~host "fs_requests" 1
+  | Cache_op { host; op; _ } -> (
+      match op with
+      | "hit" -> add t ~host "cache_hits" 1
+      | "miss" -> add t ~host "cache_misses" 1
+      | "evict" -> add t ~host "cache_evictions" 1
+      | "writeback" -> add t ~host "cache_writebacks" 1
+      | "invalidate" -> add t ~host "cache_invalidations" 1
+      | _ -> ())
   | Span_close { host; total_ns; _ } ->
       observe t ~host "ipc_rtt_ns" (float_of_int total_ns)
   | Span_open _ | User _ -> ()
@@ -80,6 +88,30 @@ let attach t eng = Vsim.Trace.attach eng (fun _ts ev -> handle t ev)
 let sorted_rows t =
   let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.tbl [] in
   List.sort (fun (a, _) (b, _) -> compare a b) rows
+
+(* Derived per-host cache hit rate: hits / (hits + misses), for every
+   host that recorded any cache traffic.  Sorted by host. *)
+let cache_hit_rates t =
+  let count host name =
+    match Hashtbl.find_opt t.tbl (host, name) with
+    | Some (C c) -> Vsim.Stat.Counter.value c
+    | _ -> 0
+  in
+  let hosts =
+    Hashtbl.fold
+      (fun (host, name) _ acc ->
+        if (name = "cache_hits" || name = "cache_misses")
+           && not (List.mem host acc)
+        then host :: acc
+        else acc)
+      t.tbl []
+  in
+  List.filter_map
+    (fun host ->
+      let hits = count host "cache_hits" and misses = count host "cache_misses" in
+      if hits + misses = 0 then None
+      else Some (host, float_of_int hits /. float_of_int (hits + misses)))
+    (List.sort compare hosts)
 
 let pp fmt t =
   Format.fprintf fmt "@[<v>-- metrics --@,";
@@ -93,6 +125,10 @@ let pp fmt t =
           Format.fprintf fmt "host %-3d %-18s %a@," host name
             Vsim.Stat.Histogram.pp h)
     (sorted_rows t);
+  List.iter
+    (fun (host, rate) ->
+      Format.fprintf fmt "host %-3d %-18s %.3f@," host "cache_hit_rate" rate)
+    (cache_hit_rates t);
   Format.fprintf fmt "@]"
 
 let to_json t =
@@ -127,6 +163,12 @@ let to_json t =
       let prev = try Hashtbl.find by_host host with Not_found -> [] in
       Hashtbl.replace by_host host (entry :: prev))
     (List.rev (sorted_rows t));
+  List.iter
+    (fun (host, rate) ->
+      let prev = try Hashtbl.find by_host host with Not_found -> [] in
+      Hashtbl.replace by_host host
+        (prev @ [ ("cache_hit_rate", Json.Float rate) ]))
+    (cache_hit_rates t);
   let hosts = Hashtbl.fold (fun h _ acc -> h :: acc) by_host [] in
   Json.Obj
     (List.map

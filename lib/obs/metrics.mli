@@ -4,7 +4,9 @@
     {!attach} derives a standard metric set from the typed event stream:
     packet/byte counts, drops, retransmissions, NIC busy-waits,
     collisions (attributed to host 0, the medium), receive-queue depth,
-    CPU busy time, disk I/O latency, file-server request counts and IPC
+    CPU busy time, disk I/O latency, file-server request counts,
+    client block-cache activity (hits, misses, evictions, write-backs,
+    invalidations — plus a derived per-host [cache_hit_rate]) and IPC
     round-trip latency from spans.  Registries can also be fed manually
     through {!counter}/{!histogram}/{!add}/{!observe}. *)
 

@@ -53,6 +53,7 @@ type t =
   | Cpu_grant of { host : int; cpu : string; ns : int }
   | Disk_io of { host : int; rw : string; block : int; ns : int }
   | Fs_request of { host : int; op : string; block : int; count : int }
+  | Cache_op of { host : int; op : string; inum : int; block : int }
   | Span_open of { host : int; kind : string; pid : int; seq : int }
   | Span_close of {
       host : int;
@@ -83,6 +84,7 @@ let name = function
   | Cpu_grant _ -> "cpu_grant"
   | Disk_io _ -> "disk_io"
   | Fs_request _ -> "fs_request"
+  | Cache_op _ -> "cache_op"
   | Span_open _ -> "span_open"
   | Span_close _ -> "span_close"
   | User _ -> "user"
@@ -97,6 +99,7 @@ let topic = function
   | Cpu_grant _ -> "cpu"
   | Disk_io _ -> "disk"
   | Fs_request _ -> "fs"
+  | Cache_op _ -> "cache"
   | Span_open _ | Span_close _ -> "span"
   | User { topic; _ } -> topic
 
@@ -117,6 +120,7 @@ let host = function
   | Cpu_grant { host; _ }
   | Disk_io { host; _ }
   | Fs_request { host; _ }
+  | Cache_op { host; _ }
   | Span_open { host; _ }
   | Span_close { host; _ } ->
       Some host
@@ -159,6 +163,8 @@ let fields = function
       [ ("rw", S rw); ("block", I block); ("ns", I ns) ]
   | Fs_request { host = _; op; block; count } ->
       [ ("op", S op); ("block", I block); ("count", I count) ]
+  | Cache_op { host = _; op; inum; block } ->
+      [ ("op", S op); ("inum", I inum); ("block", I block) ]
   | Span_open { host = _; kind; pid; seq } ->
       [ ("kind", S kind); ("pid", I pid); ("seq", I seq) ]
   | Span_close { host = _; kind; pid; seq; total_ns; segments } ->

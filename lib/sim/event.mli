@@ -62,6 +62,9 @@ type t =
   | Cpu_grant of { host : int; cpu : string; ns : int }
   | Disk_io of { host : int; rw : string; block : int; ns : int }
   | Fs_request of { host : int; op : string; block : int; count : int }
+  | Cache_op of { host : int; op : string; inum : int; block : int }
+      (** Client-side block-cache activity on [host]; [op] is ["hit"],
+          ["miss"], ["evict"], ["writeback"] or ["invalidate"]. *)
   | Span_open of { host : int; kind : string; pid : int; seq : int }
       (** Emitted by the span correlator (see [Vobs.Spans]). *)
   | Span_close of {
@@ -82,7 +85,7 @@ val name : t -> string
 
 val topic : t -> string
 (** Coarse routing key: ["kernel"], ["net"], ["cpu"], ["disk"], ["fs"],
-    ["span"], or the embedded topic of a [User] event. *)
+    ["cache"], ["span"], or the embedded topic of a [User] event. *)
 
 val host : t -> int option
 (** The host the event is attributed to; [None] for [Collision] (two

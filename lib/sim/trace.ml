@@ -1,24 +1,13 @@
 (* Engine-scoped structured tracing.
 
-   The hot-path guard is [tracing eng]: one list-emptiness check plus one
-   ref read when tracing is off.  Emission sites are expected to guard
-   event construction with it so an untraced run allocates nothing.
+   The hot-path guard is [tracing eng]: one list-emptiness check when
+   tracing is off.  Emission sites are expected to guard event
+   construction with it so an untraced run allocates nothing. *)
 
-   A process-global legacy sink is kept as a deprecated shim for the old
-   string API; typed events reaching it are rendered through Event.pp. *)
-
-let legacy : (Time.t -> topic:string -> string -> unit) option ref = ref None
-
-let set_sink s = legacy := s
-let enabled () = !legacy <> None
-
-let tracing eng = Engine.traced eng || !legacy <> None
+let tracing = Engine.traced
 
 let event eng ev =
   let time = Engine.now eng in
-  (match !legacy with
-  | None -> ()
-  | Some f -> f time ~topic:(Event.topic ev) (Format.asprintf "%a" Event.pp ev));
   List.iter (fun f -> f time ev) (Engine.tracers eng)
 
 let attach = Engine.add_tracer
@@ -32,8 +21,6 @@ let emitf eng ~topic fmt =
     Format.kasprintf (fun msg -> event eng (Event.User { topic; msg })) fmt
   else Format.ikfprintf ignore Format.str_formatter fmt
 
-let to_stderr () =
-  set_sink
-    (Some
-       (fun time ~topic msg ->
-         Format.eprintf "[%a] %s: %s@." Time.pp time topic msg))
+let to_stderr eng =
+  attach eng (fun time ev ->
+      Format.eprintf "[%a] %s: %a@." Time.pp time (Event.topic ev) Event.pp ev)

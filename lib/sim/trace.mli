@@ -9,15 +9,19 @@
         Trace.event eng (Event.Packet_drop { host; reason = "crc"; bytes })
     ]}
 
-    The cost when no tracer is attached is a single branch. *)
+    The cost when no tracer is attached is a single branch.
+
+    The pre-structured process-global string sink ([set_sink]) is gone:
+    all consumption goes through typed {!Event.t} tracers.  For quick
+    debugging output use {!to_stderr}, which is just an ordinary tracer. *)
 
 val tracing : Engine.t -> bool
-(** [true] iff this engine has a tracer attached (or the deprecated
-    process-global sink is set).  Guard event construction with this. *)
+(** [true] iff this engine has a tracer attached.  Guard event
+    construction with this. *)
 
 val event : Engine.t -> Event.t -> unit
 (** Deliver a typed event, stamped with the engine's current time, to all
-    attached tracers (and, rendered as text, to the legacy sink if set). *)
+    attached tracers. *)
 
 val attach : Engine.t -> (Time.t -> Event.t -> unit) -> unit
 (** Attach a tracer to this engine; tracers run in attachment order. *)
@@ -32,19 +36,6 @@ val emitf :
   Engine.t -> topic:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
 (** Formatted {!emit}; the message is only built when tracing is on. *)
 
-(** {1 Deprecated process-global sink}
-
-    The pre-structured API.  The sink is process-global — two engines
-    share and clobber it — which is why it was replaced by {!attach}.
-    Kept as a shim: typed events are rendered to it via {!Event.pp}. *)
-
-val set_sink : (Time.t -> topic:string -> string -> unit) option -> unit
-[@@ocaml.deprecated "Use Trace.attach for engine-scoped tracing."]
-(** Install or remove the process-global string sink. *)
-
-val enabled : unit -> bool
-[@@ocaml.deprecated "Use Trace.tracing, which is engine-scoped."]
-
-val to_stderr : unit -> unit
-(** Convenience: install a global sink printing
-    ["[<time>] <topic>: <msg>"] lines on stderr. *)
+val to_stderr : Engine.t -> unit
+(** Convenience: attach a tracer printing ["[<time>] <topic>: <event>"]
+    lines on stderr. *)

@@ -1,0 +1,108 @@
+(** Workstation-side block cache.
+
+    The paper's diskless workstations fetch every page over the network
+    (Section 6); this cache sits between the {!Client.Io} file API and
+    the wire protocol so that re-reads of a warm working set cost only
+    local kernel + copy time instead of a remote page read.
+
+    Blocks are keyed by [(inum, block)] and tagged with the file version
+    number the server piggybacked on the reply that produced them
+    ({!Protocol.encode_reply_ext}).  Consistency is the open-close model
+    of early distributed file systems: a client detects remote writes
+    when it reopens a file (the open reply carries the current version;
+    {!revalidate} drops stale clean blocks) or when any extended reply
+    reveals a newer version ({!find} treats a clean block with an old
+    tag as a miss and invalidates it).
+
+    Two write policies:
+    - {!Write_through} — every write goes to the server immediately;
+      cached copies are always clean.
+    - {!Write_back} — writes dirty the cached block; dirty blocks reach
+      the server on eviction, {!Client.Io.flush} or close.
+
+    Eviction is LRU, implemented with a monotonic touch tick so that
+    victim choice is deterministic (no hash-order dependence).  All
+    cache activity is reported as {!Vsim.Event.Cache_op} trace events
+    when tracing is enabled, feeding the [cache_*] counters of
+    [Vobs.Metrics]. *)
+
+type policy = Write_through | Write_back
+
+type config = { capacity_blocks : int; policy : policy }
+
+val policy_of_string : string -> policy option
+(** Recognizes ["wt"]/["write-through"] and ["wb"]/["write-back"]. *)
+
+val policy_to_string : policy -> string
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  writebacks : int;  (** dirty blocks pushed to the server *)
+  invalidations : int;  (** clean blocks dropped as stale *)
+}
+
+type t
+
+val create : Vsim.Engine.t -> host:int -> config -> t
+(** [host] attributes the {!Vsim.Event.Cache_op} events this cache
+    emits on [eng]. *)
+
+val config : t -> config
+val stats : t -> stats
+val resident : t -> int
+(** Number of blocks currently cached. *)
+
+val find : t -> inum:int -> block:int -> version:int -> Bytes.t option
+(** Look up a block, counting a hit or miss.  [version] is the caller's
+    latest knowledge of the file's version: a {e clean} cached block
+    tagged with an older version is invalidated and reported as a miss;
+    a {e dirty} block is returned regardless (local modifications win
+    until flushed).  The returned bytes are the cache's own copy — do
+    not mutate; use {!update}. *)
+
+val insert :
+  t ->
+  inum:int ->
+  block:int ->
+  version:int ->
+  dirty:bool ->
+  Bytes.t ->
+  (int * int * Bytes.t) list
+(** Insert (or replace) a block, taking ownership of the bytes.  Returns
+    the dirty blocks [(inum, block, data)] evicted to make room, oldest
+    first — the caller must write them to the server (clean victims are
+    dropped silently).  With [capacity_blocks = 0] every insert is a
+    no-op returning [[]]. *)
+
+val update :
+  t -> inum:int -> block:int -> off:int -> Bytes.t -> dirty:bool -> unit
+(** Overwrite part of an already-cached block in place (no-op if the
+    block is not resident).  [dirty] marks the block for write-back. *)
+
+val retag_file : t -> inum:int -> version:int -> unit
+(** Raise the version tag of every cached block of [inum] to [version].
+    Correct only when the caller knows its cached copies are still
+    current at [version] — i.e. when its own write produced that version
+    (the reply returned exactly the expected successor), so no other
+    writer intervened. *)
+
+val take_dirty : t -> inum:int -> (int * Bytes.t) list
+(** All dirty blocks of a file as [(block, data)], sorted by block
+    number, atomically marked clean.  Used by flush/close; the caller
+    pushes them to the server and should call {!note_writeback} per
+    block (evictions from {!insert} count their own write-backs the
+    same way). *)
+
+val note_writeback : t -> inum:int -> block:int -> unit
+(** Count (and trace) one dirty block pushed to the server. *)
+
+val revalidate : t -> inum:int -> version:int -> unit
+(** Open-time consistency check: drop (invalidate) all {e clean} blocks
+    of [inum] whose tag is older than [version].  Dirty blocks survive —
+    they hold local modifications that still need flushing. *)
+
+val drop_file : t -> inum:int -> unit
+(** Forget every block of a file, dirty or not, without counting
+    invalidations (used when a file is deleted). *)

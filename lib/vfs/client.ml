@@ -20,8 +20,20 @@ let connect k ?(logical_id = Protocol.fileserver_logical_id) () =
   | Some pid -> Ok { k; server = pid }
   | None -> Error No_server
 
-let connect_to k pid = { k; server = pid }
+let connect_to k pid =
+  (* A nil pid can never serve; a local pid can be checked against the
+     process table right away.  Remote pids are taken on faith — liveness
+     only shows up when a request times out. *)
+  if Vkernel.Pid.is_nil pid then Error No_server
+  else if Vkernel.Pid.host pid = K.host k && not (K.alive k pid) then
+    Error No_server
+  else Ok { k; server = pid }
+
 let server_pid c = c.server
+
+let error_is_retryable = function
+  | No_server | Server Protocol.Sio_error -> true
+  | Server _ | Ipc _ -> false
 
 type handle = int
 
@@ -35,6 +47,17 @@ let exchange c msg =
       match Protocol.decode_reply msg with
       | Protocol.Sok, value -> Ok value
       | st, _ -> Error (Server st))
+  | (K.Nonexistent | K.Bad_address | K.No_permission | K.Too_big) as st ->
+      Error (Ipc st)
+
+(* Like [exchange] but also decoding the (inum, version) consistency
+   metadata the server piggybacks on extended replies. *)
+let exchange_ext c msg =
+  match K.send c.k msg c.server with
+  | K.Ok -> (
+      match Protocol.decode_reply_ext msg with
+      | Protocol.Sok, value, inum, version -> Ok (value, inum, version)
+      | st, _, _, _ -> Error (Server st))
   | (K.Nonexistent | K.Bad_address | K.No_permission | K.Too_big) as st ->
       Error (Ipc st)
 
@@ -108,6 +131,310 @@ let load_program c handle ~buf ~max =
 
 let exec_scan c handle ~block ~count =
   simple c ~op:Protocol.Exec ~handle ~block ~count
+
+(* ------------------------------------------------------------------ *)
+(* The redesigned file-access API: byte-granular reads and writes over
+   an open-file record, with an optional workstation-side block cache
+   between the calls and the wire protocol.  The per-protocol stubs
+   above remain as the thin baseline entry points; everything below
+   routes through Read_page/Write_page plus the extended replies that
+   piggyback (inum, version) for consistency. *)
+
+module Io = struct
+  type io = {
+    conn : conn;
+    cache : Cache.t option;
+    files : (int, file) Hashtbl.t;
+        (* open files by inum — write-back needs a live handle to push a
+           dirty block evicted on behalf of any file, not just the one
+           being read.  Never iterated, so hash order cannot leak. *)
+  }
+
+  and file = {
+    io : io;
+    fh : handle;
+    inum : int;
+    mutable version : int;
+        (* latest file version this client has observed *)
+    mutable closed : bool;
+  }
+
+  type t = io
+
+  let make ?cache conn = { conn; cache; files = Hashtbl.create 8 }
+  let conn io = io.conn
+  let cache_stats io = Option.map Cache.stats io.cache
+  let file_handle f = f.fh
+  let file_version f = f.version
+
+  let bs = Fs.block_size
+
+  (* Threshold (in blocks) above which an uncached from-zero read uses
+     the streamed Load_program path instead of per-page requests. *)
+  let stream_threshold_blocks = 8
+
+  (* Address-space layout: names at the very top ([name_scratch_size]),
+     a block-sized staging buffer just below, and everything under that
+     free for the caller — the streamed path stages bulk loads at the
+     bottom of the space. *)
+  let block_scratch mem = Vkernel.Mem.size mem - name_scratch_size - bs
+  let stream_area_limit mem = block_scratch mem
+
+  (* A warm cache hit costs one trap plus a cross-space copy of the
+     bytes actually delivered — no network, no server. *)
+  let charge_local k ~bytes =
+    let cm = Vhw.Cpu.model (K.cpu k) in
+    Vhw.Cpu.compute (K.cpu k)
+      (cm.Vhw.Cost_model.syscall_ns
+      + (bytes * cm.Vhw.Cost_model.mem_copy_ns_per_byte))
+
+  (* Our own successful write moved the file to [version].  If that is
+     exactly the successor of what we knew, no other writer intervened
+     and every block we hold is still current, so re-tag them all;
+     otherwise leave the tags alone and let [Cache.find] invalidate
+     lazily. *)
+  let note_write_reply f ~version =
+    (match f.io.cache with
+    | Some c when version = f.version + 1 ->
+        Cache.retag_file c ~inum:f.inum ~version
+    | _ -> ());
+    if version > f.version then f.version <- version
+
+  let with_name_ext c name ~op =
+    let mem = K.my_memory c.k in
+    let scratch = Vkernel.Mem.size mem - name_scratch_size in
+    let len = String.length name in
+    if len > name_scratch_size then Error (Server Protocol.Sbad_request)
+    else begin
+      Vkernel.Mem.write mem ~pos:scratch (Bytes.of_string name);
+      let msg = Msg.create () in
+      Protocol.encode_request msg ~op ~handle:0 ~block:0 ~count:len;
+      Msg.set_segment msg Msg.Read_only ~ptr:scratch ~len;
+      exchange_ext c msg
+    end
+
+  let open_gen io name ~op =
+    match with_name_ext io.conn name ~op with
+    | Error e -> Error e
+    | Ok (h, inum, version) ->
+        (* Open-time consistency: the reply's version exposes remote
+           writes since we last had the file; stale clean blocks go. *)
+        (match io.cache with
+        | Some c -> Cache.revalidate c ~inum ~version
+        | None -> ());
+        let f = { io; fh = h; inum; version; closed = false } in
+        Hashtbl.replace io.files inum f;
+        Ok f
+
+  let open_file io name = open_gen io name ~op:Protocol.Open
+  let create io name = open_gen io name ~op:Protocol.Create
+
+  let size f =
+    if f.closed then Error (Server Protocol.Sbad_handle)
+    else file_size f.io.conn f.fh
+
+  (* Write one whole-block image for [f] at [block] and fold the reply's
+     version into our knowledge. *)
+  let push_content f ~block content =
+    let c = f.io.conn in
+    let mem = K.my_memory c.k in
+    let ptr = block_scratch mem in
+    let len = Bytes.length content in
+    Vkernel.Mem.write mem ~pos:ptr content;
+    let msg = Msg.create () in
+    Protocol.encode_request msg ~op:Protocol.Write_page ~handle:f.fh ~block
+      ~count:len;
+    Msg.set_segment msg Msg.Read_only ~ptr ~len;
+    match exchange_ext c msg with
+    | Ok (_, _, version) ->
+        note_write_reply f ~version;
+        Ok ()
+    | Error e -> Error e
+
+  (* Push a dirty block the cache gave back (eviction or flush) to the
+     server, on behalf of whichever open file owns it. *)
+  let push_block io ~inum ~block data =
+    match Hashtbl.find_opt io.files inum with
+    | None -> Error (Server Protocol.Sbad_handle)
+    | Some owner -> push_content owner ~block data
+
+  let rec push_all io = function
+    | [] -> Ok ()
+    | (inum, block, data) :: rest -> (
+        match push_block io ~inum ~block data with
+        | Ok () -> push_all io rest
+        | Error e -> Error e)
+
+  (* Remote block fetch via Read_page; inserts the block (clean) into
+     the cache, writing back any dirty victims that fall out. *)
+  let fetch_block f ~block =
+    let c = f.io.conn in
+    let mem = K.my_memory c.k in
+    let ptr = block_scratch mem in
+    let msg = Msg.create () in
+    Protocol.encode_request msg ~op:Protocol.Read_page ~handle:f.fh ~block
+      ~count:bs;
+    Msg.set_segment msg Msg.Write_only ~ptr ~len:bs;
+    match exchange_ext c msg with
+    | Error e -> Error e
+    | Ok (n, _, version) ->
+        if version > f.version then f.version <- version;
+        let data = Vkernel.Mem.read mem ~pos:ptr ~len:n in
+        (match f.io.cache with
+        | None -> Ok data
+        | Some cch -> (
+            let evicted =
+              Cache.insert cch ~inum:f.inum ~block ~version:f.version
+                ~dirty:false data
+            in
+            match push_all f.io evicted with
+            | Ok () -> Ok data
+            | Error e -> Error e))
+
+  (* The block through the cache: a hit costs local trap-plus-copy for
+     the [want] bytes the caller will consume; a miss goes remote. *)
+  let get_block f ~block ~want =
+    match f.io.cache with
+    | Some cch -> (
+        match Cache.find cch ~inum:f.inum ~block ~version:f.version with
+        | Some data ->
+            charge_local f.io.conn.k ~bytes:want;
+            Ok data
+        | None -> fetch_block f ~block)
+    | None -> fetch_block f ~block
+
+  let read f ~off ~len =
+    if f.closed then Error (Server Protocol.Sbad_handle)
+    else if off < 0 || len < 0 then Error (Server Protocol.Sbad_request)
+    else if len = 0 then Ok Bytes.empty
+    else begin
+      let mem = K.my_memory f.io.conn.k in
+      let streamed =
+        Option.is_none f.io.cache && off = 0
+        && len >= stream_threshold_blocks * bs
+        && len <= stream_area_limit mem
+      in
+      if streamed then begin
+        (* Bulk from-zero read with no cache: the server streams the
+           file with MoveTo (the program-loading path) — fewer, larger
+           exchanges than per-page requests. *)
+        match load_program f.io.conn f.fh ~buf:0 ~max:len with
+        | Error e -> Error e
+        | Ok n -> Ok (Vkernel.Mem.read mem ~pos:0 ~len:(min n len))
+      end
+      else begin
+        let out = Bytes.create len in
+        let rec go got =
+          if got >= len then Ok len
+          else begin
+            let abs = off + got in
+            let block = abs / bs and boff = abs mod bs in
+            let want = min (bs - boff) (len - got) in
+            match get_block f ~block ~want with
+            | Error e -> Error e
+            | Ok data ->
+                let m = min want (max (Bytes.length data - boff) 0) in
+                if m > 0 then Bytes.blit data boff out got m;
+                if m < want then Ok (got + m) (* short block: EOF *)
+                else go (got + m)
+          end
+        in
+        match go 0 with
+        | Error e -> Error e
+        | Ok n -> Ok (if n = len then out else Bytes.sub out 0 n)
+      end
+    end
+
+  (* One block's worth of a write: build the new whole-block image
+     (read-merge for partial overwrites), then dispatch on policy. *)
+  let write_block f ~block ~boff chunk =
+    let m = Bytes.length chunk in
+    let content =
+      if boff = 0 && m = bs then Ok chunk
+      else
+        match get_block f ~block ~want:m with
+        | Error e -> Error e
+        | Ok base ->
+            (* Holes and beyond-EOF reads come back short; pad with
+               zeros, as the file system itself would. *)
+            let newlen = max (boff + m) (Bytes.length base) in
+            let buf = Bytes.make newlen '\000' in
+            Bytes.blit base 0 buf 0 (Bytes.length base);
+            Bytes.blit chunk 0 buf boff m;
+            Ok buf
+    in
+    match content with
+    | Error e -> Error e
+    | Ok content -> (
+        match f.io.cache with
+        | Some cch when (Cache.config cch).Cache.policy = Cache.Write_back ->
+            (* Dirty the cached copy; the server sees it on eviction,
+               flush or close. *)
+            charge_local f.io.conn.k ~bytes:m;
+            let evicted =
+              Cache.insert cch ~inum:f.inum ~block ~version:f.version
+                ~dirty:true content
+            in
+            push_all f.io evicted
+        | Some cch -> (
+            (* Write-through: server first (which advances the version),
+               then keep a clean copy. *)
+            match push_content f ~block content with
+            | Error e -> Error e
+            | Ok () ->
+                let evicted =
+                  Cache.insert cch ~inum:f.inum ~block ~version:f.version
+                    ~dirty:false content
+                in
+                push_all f.io evicted)
+        | None -> push_content f ~block content)
+
+  let write f ~off data =
+    if f.closed then Error (Server Protocol.Sbad_handle)
+    else if off < 0 then Error (Server Protocol.Sbad_request)
+    else begin
+      let total = Bytes.length data in
+      let rec go written =
+        if written >= total then Ok total
+        else begin
+          let abs = off + written in
+          let block = abs / bs and boff = abs mod bs in
+          let m = min (bs - boff) (total - written) in
+          match write_block f ~block ~boff (Bytes.sub data written m) with
+          | Error e -> Error e
+          | Ok () -> go (written + m)
+        end
+      in
+      go 0
+    end
+
+  let flush f =
+    if f.closed then Error (Server Protocol.Sbad_handle)
+    else
+      match f.io.cache with
+      | None -> Ok ()
+      | Some cch ->
+          let rec go = function
+            | [] -> Ok ()
+            | (block, data) :: rest -> (
+                match push_content f ~block data with
+                | Ok () ->
+                    Cache.note_writeback cch ~inum:f.inum ~block;
+                    go rest
+                | Error e -> Error e)
+          in
+          go (Cache.take_dirty cch ~inum:f.inum)
+
+  let close f =
+    if f.closed then Ok ()
+    else
+      match flush f with
+      | Error e -> Error e
+      | Ok () ->
+          f.closed <- true;
+          Hashtbl.remove f.io.files f.inum;
+          close_file f.io.conn f.fh
+end
 
 let read_sequential c handle ~buf ~on_page =
   match file_size c handle with

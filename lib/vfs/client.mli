@@ -6,9 +6,23 @@
     right segment of the calling process's address space, Sends, and
     decodes the reply.
 
+    Two layers:
+
+    - The {!Io} module is the file-access API proper: byte-granular
+      [read]/[write] over an open-file record, an optional
+      workstation-side block cache ({!Cache}) with version-based
+      consistency, and automatic choice between per-page and streamed
+      transfer strategies.  New code should use it.
+    - The per-protocol stubs below ({!read_page}, {!write_page},
+      {!read_page_basic}, ...) map one-to-one onto wire requests with no
+      caching or strategy choice.  They remain the measurement baseline
+      — the rigs that reproduce the paper's per-operation tables call
+      them directly — and the building blocks {!Io} is made of.
+
     Buffer arguments ([buf]) are byte offsets in the calling process's
     address space.  The stub library reserves the top 256 bytes of the
-    space as a scratch area for file names. *)
+    space as a scratch area for file names (and {!Io} one block below
+    that for staging). *)
 
 type conn
 
@@ -20,12 +34,22 @@ type error =
 val error_to_string : error -> string
 val pp_error : Format.formatter -> error -> unit
 
+val error_is_retryable : error -> bool
+(** Whether retrying the operation could plausibly succeed: [true] for
+    {!No_server} (a server may yet register) and transient server I/O
+    errors ([Sio_error]); [false] for definitive refusals (bad handle,
+    not found, ...) and for IPC failures, which the kernel has already
+    retried at the packet level. *)
+
 val connect :
   Vkernel.Kernel.t -> ?logical_id:int -> unit -> (conn, error) result
 (** Locate a file server via GetPid (broadcast if unknown locally). *)
 
-val connect_to : Vkernel.Kernel.t -> Vkernel.Pid.t -> conn
-(** Use a known server pid. *)
+val connect_to :
+  Vkernel.Kernel.t -> Vkernel.Pid.t -> (conn, error) result
+(** Use a known server pid.  [Error No_server] if the pid is nil, or is
+    local and demonstrably dead; remote pids are accepted on faith
+    (their liveness only shows up as a timeout on the first request). *)
 
 val server_pid : conn -> Vkernel.Pid.t
 
@@ -81,3 +105,69 @@ val read_sequential :
   (int, error) result
 (** Read the file block by block into [buf] (each page overwrites it);
     [on_page block count] is called per page. Returns total bytes. *)
+
+(** {1 The file-access API}
+
+    Byte-granular file I/O with an optional workstation-side block
+    cache.  An {!Io.t} bundles a connection with at most one cache; each
+    {!Io.open_file} returns an open-file record carrying the server
+    handle plus the file's last-observed version number, which the
+    server piggybacks on extended replies and the cache uses to detect
+    staleness (see {!Cache}).
+
+    [read]/[write] take byte offsets and lengths — no block numbers, no
+    address-space buffer management — and internally pick a strategy:
+    cached per-block access when a cache is present, plain per-page
+    requests otherwise, or the streamed MoveTo bulk path for large
+    uncached from-zero reads.  All operations return [(_, error) result]
+    and never raise. *)
+
+module Io : sig
+  type t
+  (** A connection plus (optionally) a block cache and the table of open
+      files the cache writes back through. *)
+
+  type file
+  (** An open file: server handle, inode number, last-observed version. *)
+
+  val make : ?cache:Cache.t -> conn -> t
+  (** No [cache] means every operation goes to the server. *)
+
+  val conn : t -> conn
+  val cache_stats : t -> Cache.stats option
+
+  val open_file : t -> string -> (file, error) result
+  (** Open by name.  The open reply's version is checked against the
+      cache ({!Cache.revalidate}), so blocks another client overwrote
+      since our last use are dropped here — the open-close consistency
+      point. *)
+
+  val create : t -> string -> (file, error) result
+  (** Create (or open, if racing an existing file) by name. *)
+
+  val file_handle : file -> handle
+  val file_version : file -> int
+  (** The file version this client most recently observed. *)
+
+  val size : file -> (int, error) result
+
+  val read : file -> off:int -> len:int -> (Bytes.t, error) result
+  (** Read up to [len] bytes at byte offset [off]; the result is shorter
+      exactly when EOF intervenes.  Cache hits cost local trap-plus-copy
+      time only; misses fetch whole blocks (which then populate the
+      cache). *)
+
+  val write : file -> off:int -> Bytes.t -> (int, error) result
+  (** Write the bytes at byte offset [off] (read-merge-write for partial
+      blocks).  Under {!Cache.Write_through} the server is updated
+      immediately; under {!Cache.Write_back} blocks are dirtied in cache
+      and reach the server on eviction, {!flush} or {!close}.  Returns
+      the byte count written. *)
+
+  val flush : file -> (unit, error) result
+  (** Push this file's dirty cached blocks to the server (no-op without
+      a cache or under write-through). *)
+
+  val close : file -> (unit, error) result
+  (** {!flush}, then release the server handle.  Idempotent. *)
+end

@@ -111,3 +111,17 @@ let encode_reply msg ~status ~value =
 
 let decode_reply msg =
   (rstatus_of_byte (Vkernel.Msg.get_u8 msg 1), Vkernel.Msg.get_u32 msg 4)
+
+(* Extended replies piggyback the file's version number (and its inode
+   number, so clients can key caches) on otherwise-unused reply bytes.
+   [decode_reply] ignores these bytes, so servers can always send the
+   extended form without disturbing version-unaware clients. *)
+
+let encode_reply_ext msg ~status ~value ~inum ~version =
+  encode_reply msg ~status ~value;
+  Vkernel.Msg.set_u32 msg 8 version;
+  Vkernel.Msg.set_u16 msg 12 inum
+
+let decode_reply_ext msg =
+  let status, value = decode_reply msg in
+  (status, value, Vkernel.Msg.get_u16 msg 12, Vkernel.Msg.get_u32 msg 8)

@@ -68,3 +68,14 @@ val decode_request : Vkernel.Msg.t -> (op * int * int * int) option
 
 val encode_reply : Vkernel.Msg.t -> status:rstatus -> value:int -> unit
 val decode_reply : Vkernel.Msg.t -> rstatus * int
+
+val encode_reply_ext :
+  Vkernel.Msg.t -> status:rstatus -> value:int -> inum:int -> version:int -> unit
+(** Like {!encode_reply}, but additionally piggybacks consistency
+    metadata on otherwise-unused reply bytes: bytes 8-11 carry the
+    file's server-side version number, bytes 12-13 its inode number.
+    {!decode_reply} ignores these bytes, so version-unaware clients can
+    parse extended replies unchanged. *)
+
+val decode_reply_ext : Vkernel.Msg.t -> rstatus * int * int * int
+(** [(status, value, inum, version)]. *)

@@ -31,6 +31,9 @@ type t = {
   cfg : config;
   mutable spid : Vkernel.Pid.t;
   handles : open_file option array;
+  versions : (int, int) Hashtbl.t;
+      (* per-inode version number, bumped on every accepted mutation;
+         piggybacked on extended replies for client-cache consistency *)
   mutable n_requests : int;
   mutable n_reads : int;
   mutable n_writes : int;
@@ -39,6 +42,12 @@ type t = {
 }
 
 let pid t = t.spid
+
+let file_version t ~inum =
+  match Hashtbl.find_opt t.versions inum with Some v -> v | None -> 1
+
+let bump_version t ~inum =
+  Hashtbl.replace t.versions inum (file_version t ~inum + 1)
 let requests_served t = t.n_requests
 let pages_read t = t.n_reads
 let pages_written t = t.n_writes
@@ -103,6 +112,14 @@ let handle_request t ~mem ~msg ~src ~seg_count =
     Protocol.encode_reply msg ~status:st ~value;
     ignore (K.reply t.kernel msg src)
   in
+  (* Success replies for ops bound to a file carry (inum, version) so
+     version-aware clients can keep their block caches consistent. *)
+  let reply_ext st value ~inum =
+    Msg.clear_segment msg;
+    Protocol.encode_reply_ext msg ~status:st ~value ~inum
+      ~version:(file_version t ~inum);
+    ignore (K.reply t.kernel msg src)
+  in
   match Protocol.decode_request msg with
   | None -> reply Protocol.Sbad_request 0
   | Some (op, handle, block, count) -> (
@@ -124,7 +141,12 @@ let handle_request t ~mem ~msg ~src ~seg_count =
             match op with
             | Protocol.Create -> (
                 match Fs.create t.fs name with
-                | Ok inum -> Ok inum
+                | Ok inum ->
+                    (* Fresh inode: bumping (rather than resetting to 1)
+                       invalidates stale cached blocks if the inum is
+                       being reused after an unlink. *)
+                    bump_version t ~inum;
+                    Ok inum
                 | Error Fs.Already_exists -> (
                     match Fs.lookup t.fs name with
                     | Some inum -> Ok inum
@@ -140,7 +162,7 @@ let handle_request t ~mem ~msg ~src ~seg_count =
           | Ok inum -> (
               match alloc_handle t inum with
               | None -> reply Protocol.Sio_error 0
-              | Some h -> reply Protocol.Sok h))
+              | Some h -> reply_ext Protocol.Sok h ~inum))
       | Protocol.Close -> (
           match lookup_handle t handle with
           | None -> reply Protocol.Sbad_handle 0
@@ -178,7 +200,8 @@ let handle_request t ~mem ~msg ~src ~seg_count =
                   let n = Bytes.length data in
                   Vkernel.Mem.write mem ~pos:scratch_ptr data;
                   Msg.clear_segment msg;
-                  Protocol.encode_reply msg ~status:Protocol.Sok ~value:n;
+                  Protocol.encode_reply_ext msg ~status:Protocol.Sok ~value:n
+                    ~inum:f.of_inum ~version:(file_version t ~inum:f.of_inum);
                   ignore
                     (K.reply_with_segment t.kernel msg src ~destptr:dptr
                        ~segptr:scratch_ptr ~segsize:n);
@@ -197,7 +220,11 @@ let handle_request t ~mem ~msg ~src ~seg_count =
                   data
               in
               if t.cfg.write_behind then begin
-                reply Protocol.Sok n;
+                (* The write is accepted at reply time, so the version is
+                   bumped before replying even though the store is
+                   asynchronous. *)
+                bump_version t ~inum:f.of_inum;
+                reply_ext Protocol.Sok n ~inum:f.of_inum;
                 (* Asynchronous store of the modified page. *)
                 ignore
                   (K.spawn t.kernel ~name:"fs-flush" ~mem_size:4096
@@ -205,7 +232,9 @@ let handle_request t ~mem ~msg ~src ~seg_count =
               end
               else begin
                 match do_write () with
-                | Ok () -> reply Protocol.Sok n
+                | Ok () ->
+                    bump_version t ~inum:f.of_inum;
+                    reply_ext Protocol.Sok n ~inum:f.of_inum
                 | Error e -> reply (fs_error_status e) 0
               end)
       | Protocol.Read_basic -> (
@@ -253,7 +282,9 @@ let handle_request t ~mem ~msg ~src ~seg_count =
                     Fs.write t.fs ~inum:f.of_inum
                       ~pos:(block * Fs.block_size) data
                   with
-                  | Ok () -> reply Protocol.Sok n
+                  | Ok () ->
+                      bump_version t ~inum:f.of_inum;
+                      reply_ext Protocol.Sok n ~inum:f.of_inum
                   | Error e -> reply (fs_error_status e) 0)
               | K.Nonexistent | K.Bad_address | K.No_permission | K.Too_big
                 ->
@@ -348,6 +379,7 @@ let start kernel fs ?(config = default_config) () =
       cfg = config;
       spid = Vkernel.Pid.nil;
       handles = Array.make (max 2 config.max_open) None;
+      versions = Hashtbl.create 16;
       n_requests = 0;
       n_reads = 0;
       n_writes = 0;

@@ -42,6 +42,14 @@ val start : Vkernel.Kernel.t -> Fs.t -> ?config:config -> unit -> t
     the server registers itself and serves forever. *)
 
 val pid : t -> Vkernel.Pid.t
+
+val file_version : t -> inum:int -> int
+(** Current version number of the inode, starting at 1 and bumped on
+    every accepted mutation (page write — including write-behind accepts
+    — basic write, or create reusing the inode).  Piggybacked on
+    extended replies ({!Protocol.encode_reply_ext}) so clients can
+    detect stale cached blocks. *)
+
 val requests_served : t -> int
 val pages_read : t -> int
 val pages_written : t -> int

@@ -281,6 +281,87 @@ let sequential_read ?(cpu_model = Vhw.Cost_model.sun_10mhz) ?(npages = 30)
       out := (Vsim.Engine.now (K.engine k) - t0) / npages);
   !out
 
+type cache_cols = {
+  cold_ns : int;
+  warm_ns : int;
+  cache_stats : Vfs.Cache.stats option;
+}
+
+let make_cache tb ~host ~cache_blocks ~policy =
+  if cache_blocks > 0 then
+    Some
+      (Vfs.Cache.create tb.Testbed.eng ~host
+         { Vfs.Cache.capacity_blocks = cache_blocks; policy })
+  else None
+
+let cached_read ?(passes = 4) ?(cpu_model = Vhw.Cost_model.sun_10mhz)
+    ?(medium_config = Vnet.Medium.config_3mb) ?(file_blocks = 64)
+    ?(working_set = 16) ~cache_blocks ~policy () =
+  let bs = Vfs.Fs.block_size in
+  let tb, _fs, _srv =
+    file_rig ~cpu_model ~medium_config ~latency:(Vfs.Disk.Fixed 0)
+      ~files:[ ("data", file_blocks * bs) ]
+      ()
+  in
+  let k = kernel_of tb 2 in
+  let out = ref { cold_ns = 0; warm_ns = 0; cache_stats = None } in
+  as_process tb ~host:2 (fun _ ->
+      let conn = get (Vfs.Client.connect k ()) in
+      let cache = make_cache tb ~host:2 ~cache_blocks ~policy in
+      let io = Vfs.Client.Io.make ?cache conn in
+      let f = get (Vfs.Client.Io.open_file io "data") in
+      let pass () =
+        for b = 0 to working_set - 1 do
+          ignore (get (Vfs.Client.Io.read f ~off:(b * bs) ~len:bs))
+        done
+      in
+      let eng = K.engine k in
+      let t0 = Vsim.Engine.now eng in
+      pass ();
+      let t1 = Vsim.Engine.now eng in
+      for _ = 2 to passes do
+        pass ()
+      done;
+      let t2 = Vsim.Engine.now eng in
+      let warm_reads = max 1 ((passes - 1) * working_set) in
+      out :=
+        {
+          cold_ns = (t1 - t0) / working_set;
+          warm_ns = (t2 - t1) / warm_reads;
+          cache_stats = Option.map Vfs.Cache.stats cache;
+        });
+  !out
+
+let cached_write ?(cpu_model = Vhw.Cost_model.sun_10mhz)
+    ?(medium_config = Vnet.Medium.config_3mb) ?(blocks = 16) ~cache_blocks
+    ~policy () =
+  let bs = Vfs.Fs.block_size in
+  let tb, _fs, _srv =
+    file_rig ~cpu_model ~medium_config ~latency:(Vfs.Disk.Fixed 0)
+      ~files:[ ("out", blocks * bs) ]
+      ()
+  in
+  let k = kernel_of tb 2 in
+  let out = ref (0, 0, None) in
+  as_process tb ~host:2 (fun _ ->
+      let conn = get (Vfs.Client.connect k ()) in
+      let cache = make_cache tb ~host:2 ~cache_blocks ~policy in
+      let io = Vfs.Client.Io.make ?cache conn in
+      let f = get (Vfs.Client.Io.open_file io "out") in
+      let data = Bytes.make bs 'w' in
+      let eng = K.engine k in
+      let t0 = Vsim.Engine.now eng in
+      for b = 0 to blocks - 1 do
+        ignore (get (Vfs.Client.Io.write f ~off:(b * bs) data))
+      done;
+      let t1 = Vsim.Engine.now eng in
+      get (Vfs.Client.Io.flush f);
+      let t2 = Vsim.Engine.now eng in
+      get (Vfs.Client.Io.close f);
+      out :=
+        ((t1 - t0) / blocks, t2 - t1, Option.map Vfs.Cache.stats cache));
+  !out
+
 let capacity ?(cpu_model = Vhw.Cost_model.sun_10mhz)
     ?(duration = Vsim.Time.sec 4) ?(think_mean = Vsim.Time.ms 320)
     ?(servers = 1) ~clients () =
@@ -316,7 +397,7 @@ let capacity ?(cpu_model = Vhw.Cost_model.sun_10mhz)
     ignore
       (K.spawn k ~name:"ws" (fun _ ->
            let rng = Vsim.Rng.split (Vsim.Engine.rng eng) in
-           let conn = Vfs.Client.connect_to k my_server in
+           let conn = get (Vfs.Client.connect_to k my_server) in
            let dh = get (Vfs.Client.open_file conn "data") in
            let ph = get (Vfs.Client.open_file conn "prog") in
            let rec loop () =

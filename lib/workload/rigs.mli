@@ -109,6 +109,42 @@ val sequential_read :
 (** Per-page elapsed time of a sequential file read against a read-ahead
     server paying the given disk latency (Table 6-2). *)
 
+type cache_cols = {
+  cold_ns : int;  (** per-read ns over the first (cold-cache) pass *)
+  warm_ns : int;  (** per-read ns averaged over the re-read passes *)
+  cache_stats : Vfs.Cache.stats option;  (** [None] when uncached *)
+}
+
+val cached_read :
+  ?passes:int ->
+  ?cpu_model:Vhw.Cost_model.t ->
+  ?medium_config:Vnet.Medium.config ->
+  ?file_blocks:int ->
+  ?working_set:int ->
+  cache_blocks:int ->
+  policy:Vfs.Cache.policy ->
+  unit ->
+  cache_cols
+(** Cyclic re-read of a [working_set]-block span through the {!Vfs.Client.Io}
+    API with a [cache_blocks]-block client cache ([0] disables caching).
+    One cold pass then [passes - 1] warm passes; with
+    [working_set <= cache_blocks] every warm read is a hit, with
+    [working_set > cache_blocks] LRU evicts each block just before its
+    cyclic reuse and every read misses — the cache-capacity crossover. *)
+
+val cached_write :
+  ?cpu_model:Vhw.Cost_model.t ->
+  ?medium_config:Vnet.Medium.config ->
+  ?blocks:int ->
+  cache_blocks:int ->
+  policy:Vfs.Cache.policy ->
+  unit ->
+  int * int * Vfs.Cache.stats option
+(** [(per_write_ns, flush_ns, stats)]: write [blocks] full blocks through
+    the cache, then flush.  Write-through pays the server on every write
+    and flushes for free; write-back writes at memory speed and pays at
+    flush. *)
+
 val capacity :
   ?cpu_model:Vhw.Cost_model.t ->
   ?duration:Vsim.Time.t ->

@@ -1,0 +1,227 @@
+(* The workstation-side block cache and the Io file-access API:
+   hit/miss accounting and LRU order, write-through vs write-back
+   visibility, reopen invalidation after a remote writer, determinism,
+   unaligned access, and correctness under packet loss. *)
+
+module K = Vkernel.Kernel
+module Io = Vfs.Client.Io
+
+let kernel_of tb i = (Vworkload.Testbed.host tb i).Vworkload.Testbed.kernel
+
+let rig ?(files = [ ("data", 8 * 512) ]) () =
+  let tb = Util.testbed ~hosts:3 () in
+  let fs = Vworkload.Testbed.make_test_fs tb ~files () in
+  let server = Vfs.Server.start (kernel_of tb 1) fs () in
+  ignore server;
+  (tb, fs)
+
+let get = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "client: %s" (Vfs.Client.error_to_string e)
+
+let fs_get = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "fs: %a" Vfs.Fs.pp_error e
+
+let make_io tb ~host ~capacity ~policy =
+  let k = kernel_of tb host in
+  let conn = get (Vfs.Client.connect k ()) in
+  let cache =
+    Vfs.Cache.create tb.Vworkload.Testbed.eng ~host
+      { Vfs.Cache.capacity_blocks = capacity; policy }
+  in
+  (Io.make ~cache conn, cache)
+
+let expect_block b = Bytes.init 512 (fun i -> Util.pattern ((b * 512) + i))
+
+let check_stats name cache ~hits ~misses ~evictions =
+  let s = Vfs.Cache.stats cache in
+  Alcotest.(check int) (name ^ ": hits") hits s.Vfs.Cache.hits;
+  Alcotest.(check int) (name ^ ": misses") misses s.Vfs.Cache.misses;
+  Alcotest.(check int) (name ^ ": evictions") evictions s.Vfs.Cache.evictions
+
+(* LRU accounting: capacity 2, access b0 b1 b1 b2 b0 b1.  The cyclic
+   tail (b2 b0 b1) must evict the victim just before its reuse: 5
+   misses, 1 hit, 3 evictions. *)
+let test_lru_order () =
+  let tb, _ = rig () in
+  Util.run_as_process tb ~host:2 (fun _ ->
+      let io, cache =
+        make_io tb ~host:2 ~capacity:2 ~policy:Vfs.Cache.Write_through
+      in
+      let f = get (Io.open_file io "data") in
+      let read b =
+        let got = get (Io.read f ~off:(b * 512) ~len:512) in
+        Alcotest.(check bytes)
+          (Printf.sprintf "block %d content" b)
+          (expect_block b) got
+      in
+      List.iter read [ 0; 1; 1; 2; 0; 1 ];
+      check_stats "lru" cache ~hits:1 ~misses:5 ~evictions:3)
+
+(* Write-through: the server's file system sees the write immediately.
+   Write-back: only after flush (or close). *)
+let test_write_policies () =
+  let check ~policy ~visible_before_flush =
+    let tb, fs = rig () in
+    let inum =
+      match Vfs.Fs.lookup fs "data" with
+      | Some i -> i
+      | None -> Alcotest.fail "data file missing"
+    in
+    Util.run_as_process tb ~host:2 (fun _ ->
+        let io, cache = make_io tb ~host:2 ~capacity:8 ~policy in
+        let f = get (Io.open_file io "data") in
+        let fresh = Bytes.make 512 'X' in
+        let n = get (Io.write f ~off:(2 * 512) fresh) in
+        Alcotest.(check int) "bytes written" 512 n;
+        let server_now =
+          fs_get (Vfs.Fs.read fs ~inum ~pos:(2 * 512) ~len:512)
+        in
+        Alcotest.(check bool)
+          (Vfs.Cache.policy_to_string policy ^ ": visible before flush")
+          visible_before_flush
+          (Bytes.equal server_now fresh);
+        (* The writer's own cache serves the new data either way. *)
+        Alcotest.(check bytes)
+          "cached read-back" fresh
+          (get (Io.read f ~off:(2 * 512) ~len:512));
+        get (Io.flush f);
+        let server_after =
+          fs_get (Vfs.Fs.read fs ~inum ~pos:(2 * 512) ~len:512)
+        in
+        Alcotest.(check bytes) "visible after flush" fresh server_after;
+        let s = Vfs.Cache.stats cache in
+        Alcotest.(check int)
+          "write-backs"
+          (if policy = Vfs.Cache.Write_back then 1 else 0)
+          s.Vfs.Cache.writebacks)
+  in
+  check ~policy:Vfs.Cache.Write_through ~visible_before_flush:true;
+  check ~policy:Vfs.Cache.Write_back ~visible_before_flush:false
+
+(* Open-close consistency: a cached reader does not see a remote write
+   until it reopens the file; the reopen drops the stale block. *)
+let test_reopen_invalidation () =
+  let tb, _ = rig () in
+  Util.run_as_process tb ~host:2 (fun _ ->
+      let io, cache =
+        make_io tb ~host:2 ~capacity:8 ~policy:Vfs.Cache.Write_through
+      in
+      let f = get (Io.open_file io "data") in
+      Alcotest.(check bytes)
+        "initial content" (expect_block 0)
+        (get (Io.read f ~off:0 ~len:512));
+      (* A second workstation overwrites block 0 through the plain
+         stubs while we hold the file cached. *)
+      let k3 = kernel_of tb 3 in
+      let done_ = ref false in
+      let (_ : Vkernel.Pid.t) =
+        K.spawn k3 ~name:"remote-writer" (fun pid ->
+            let mem = K.memory k3 pid in
+            let conn = get (Vfs.Client.connect k3 ()) in
+            let h = get (Vfs.Client.open_file conn "data") in
+            Vkernel.Mem.write mem ~pos:0 (Bytes.make 512 'R');
+            let (_ : int) =
+              get (Vfs.Client.write_page conn h ~block:0 ~buf:0 ~count:512)
+            in
+            get (Vfs.Client.close_file conn h);
+            done_ := true)
+      in
+      (* Let the writer run: block until its write is visible by doing
+         enough of our own IPC. *)
+      Vsim.Proc.sleep (Vsim.Time.ms 100);
+      Alcotest.(check bool) "remote writer ran" true !done_;
+      (* Still the old data: cached, and we have not reopened. *)
+      Alcotest.(check bytes)
+        "stale read before reopen" (expect_block 0)
+        (get (Io.read f ~off:0 ~len:512));
+      get (Io.close f);
+      let f2 = get (Io.open_file io "data") in
+      Alcotest.(check bytes)
+        "fresh after reopen" (Bytes.make 512 'R')
+        (get (Io.read f2 ~off:0 ~len:512));
+      let s = Vfs.Cache.stats cache in
+      Alcotest.(check bool) "stale block invalidated" true
+        (s.Vfs.Cache.invalidations >= 1))
+
+(* Unaligned reads and read-merge-writes across block boundaries. *)
+let test_unaligned () =
+  let tb, fs = rig () in
+  let inum =
+    match Vfs.Fs.lookup fs "data" with
+    | Some i -> i
+    | None -> Alcotest.fail "data file missing"
+  in
+  Util.run_as_process tb ~host:2 (fun _ ->
+      let io, _cache =
+        make_io tb ~host:2 ~capacity:8 ~policy:Vfs.Cache.Write_through
+      in
+      let f = get (Io.open_file io "data") in
+      let got = get (Io.read f ~off:100 ~len:1000) in
+      Alcotest.(check bytes)
+        "unaligned read spans blocks"
+        (Bytes.init 1000 (fun i -> Util.pattern (100 + i)))
+        got;
+      (* Read past EOF comes back short. *)
+      let tail = get (Io.read f ~off:((8 * 512) - 10) ~len:100) in
+      Alcotest.(check int) "short read at EOF" 10 (Bytes.length tail);
+      (* Partial overwrite inside one block preserves its neighbours. *)
+      let n = get (Io.write f ~off:700 (Bytes.make 50 'Z')) in
+      Alcotest.(check int) "partial write count" 50 n;
+      let blk = fs_get (Vfs.Fs.read fs ~inum ~pos:512 ~len:512) in
+      let expect = Bytes.init 512 (fun i -> Util.pattern (512 + i)) in
+      Bytes.fill expect (700 - 512) 50 'Z';
+      Alcotest.(check bytes) "merged block on server" expect blk)
+
+(* Two identically seeded runs of the cached rig must agree exactly —
+   timings and cache counters both. *)
+let test_determinism () =
+  let run () =
+    Vworkload.Rigs.cached_read ~cache_blocks:4 ~working_set:8 ~file_blocks:16
+      ~policy:Vfs.Cache.Write_through ()
+  in
+  let a = run () and b = run () in
+  Alcotest.(check int) "cold ns" a.Vworkload.Rigs.cold_ns
+    b.Vworkload.Rigs.cold_ns;
+  Alcotest.(check int) "warm ns" a.Vworkload.Rigs.warm_ns
+    b.Vworkload.Rigs.warm_ns;
+  Alcotest.(check bool) "stats equal" true
+    (a.Vworkload.Rigs.cache_stats = b.Vworkload.Rigs.cache_stats)
+
+(* Packet loss under the cached path: the kernel's retransmission hides
+   drops from the cache layer and data stays correct. *)
+let test_fault_injection () =
+  let tb, _ = rig () in
+  Vnet.Medium.set_fault tb.Vworkload.Testbed.medium (Vnet.Fault.drop 0.2);
+  Util.run_as_process tb ~host:2 (fun _ ->
+      let io, cache =
+        make_io tb ~host:2 ~capacity:4 ~policy:Vfs.Cache.Write_back
+      in
+      let f = get (Io.open_file io "data") in
+      for b = 0 to 7 do
+        Alcotest.(check bytes)
+          (Printf.sprintf "lossy block %d" b)
+          (expect_block b)
+          (get (Io.read f ~off:(b * 512) ~len:512))
+      done;
+      (* Re-read the resident tail: still hits, still correct. *)
+      for b = 4 to 7 do
+        Alcotest.(check bytes)
+          (Printf.sprintf "lossy warm block %d" b)
+          (expect_block b)
+          (get (Io.read f ~off:(b * 512) ~len:512))
+      done;
+      get (Io.close f);
+      let s = Vfs.Cache.stats cache in
+      Alcotest.(check int) "warm hits despite loss" 4 s.Vfs.Cache.hits)
+
+let suite =
+  [
+    Alcotest.test_case "lru order" `Quick test_lru_order;
+    Alcotest.test_case "write policies" `Quick test_write_policies;
+    Alcotest.test_case "reopen invalidation" `Quick test_reopen_invalidation;
+    Alcotest.test_case "unaligned access" `Quick test_unaligned;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "fault injection" `Quick test_fault_injection;
+  ]

@@ -92,7 +92,7 @@ let test_moveto_survives_loss () =
         (Bytes.equal got expect));
   let s1 = K.stats k1 and s2 = K.stats k2 in
   Alcotest.(check bool) "recovery happened" true
-    (s1.K.naks_sent > 0 || s2.K.retransmissions > 0
+    (s1.K.gap_naks_sent > 0 || s2.K.retransmissions > 0
     || s1.K.duplicates_filtered > 0)
 
 let test_movefrom_survives_loss () =

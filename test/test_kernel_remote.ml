@@ -219,19 +219,21 @@ let test_bad_piggyback_range () =
         (K.send k1 msg server));
   Alcotest.(check int) "no bytes piggybacked" 0 !seen
 
-let[@alert "-deprecated"] test_trace_sink () =
-  (* The deprecated process-global sink still observes kernel activity:
-     typed events are rendered to it as strings by the shim. *)
+let test_trace_attach () =
+  (* An engine-scoped tracer observes kernel activity as typed events. *)
   let hits = ref 0 in
-  Vsim.Trace.set_sink (Some (fun _ ~topic _ -> if topic = "kernel" then incr hits));
-  Alcotest.(check bool) "enabled" true (Vsim.Trace.enabled ());
   let tb = Util.testbed ~hosts:2 () in
+  let eng = tb.Vworkload.Testbed.eng in
+  Alcotest.(check bool) "untraced" false (Vsim.Trace.tracing eng);
+  Vsim.Trace.attach eng (fun _ ev ->
+      if Vsim.Event.topic ev = "kernel" then incr hits);
+  Alcotest.(check bool) "tracing" true (Vsim.Trace.tracing eng);
   let k1 = kernel_of tb 1 in
   let server = Util.start_echo_server tb ~host:2 in
   Util.run_as_process tb ~host:1 (fun _ ->
       ignore (K.send k1 (Msg.create ()) server));
-  Vsim.Trace.set_sink None;
-  Alcotest.(check bool) "disabled" false (Vsim.Trace.enabled ());
+  Vsim.Trace.detach_all eng;
+  Alcotest.(check bool) "detached" false (Vsim.Trace.tracing eng);
   Alcotest.(check bool) "kernel events traced" true (!hits >= 4)
 
 let test_page_read_timing_pinned () =
@@ -285,7 +287,7 @@ let suite =
       test_reply_segment_too_big;
     Alcotest.test_case "segment truncation" `Quick test_segment_truncation;
     Alcotest.test_case "bad piggyback range" `Quick test_bad_piggyback_range;
-    Alcotest.test_case "trace sink" `Quick test_trace_sink;
+    Alcotest.test_case "trace attach" `Quick test_trace_attach;
     Alcotest.test_case "plain receive ignores segment" `Quick
       test_plain_receive_ignores_segment;
     Alcotest.test_case "page read timing (Table 6-1)" `Quick

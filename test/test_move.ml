@@ -141,7 +141,7 @@ let test_move_packet_count () =
   let s2 = K.stats k2 in
   let s1 = K.stats k1 in
   Alcotest.(check int) "no retrans" 0 s2.K.retransmissions;
-  Alcotest.(check int) "no naks" 0 s1.K.naks_sent;
+  Alcotest.(check int) "no naks" 0 s1.K.gap_naks_sent;
   (* 64 data packets + 1 grant-reply + 1 reply ack-ish: mover sent
      64 data + 1 reply = 65; granter sent 1 send + 1 data ack = 2. *)
   Alcotest.(check int) "mover packets" 65 s2.K.packets_sent;
