@@ -161,22 +161,28 @@ let update t ~inum ~block ~off src ~dirty =
       touch t e
 
 let retag_file t ~inum ~version =
+  (* Only blocks tagged with the version the caller observed just before
+     its write are known-current; older tags mean unknown validity (a
+     remote writer may have changed those blocks after we cached them),
+     so they keep their tags and fall to lazy invalidation. *)
   Hashtbl.iter
-    (fun (i, _) e -> if i = inum && e.version < version then e.version <- version)
+    (fun (i, _) e ->
+      if i = inum && e.version = version - 1 then e.version <- version)
     t.tbl
 
-let take_dirty t ~inum =
+let dirty_blocks t ~inum =
   let dirty =
     Hashtbl.fold
       (fun (i, block) e acc ->
-        if i = inum && e.dirty then (block, e) :: acc else acc)
+        if i = inum && e.dirty then (block, e.data) :: acc else acc)
       t.tbl []
   in
-  List.map
-    (fun (block, e) ->
-      e.dirty <- false;
-      (block, e.data))
-    (List.sort (fun (a, _) (b, _) -> compare a b) dirty)
+  List.sort (fun (a, _) (b, _) -> compare a b) dirty
+
+let mark_clean t ~inum ~block =
+  match Hashtbl.find_opt t.tbl (inum, block) with
+  | None -> ()
+  | Some e -> e.dirty <- false
 
 let note_writeback t ~inum ~block =
   t.writebacks <- t.writebacks + 1;

@@ -82,18 +82,23 @@ val update :
     block is not resident).  [dirty] marks the block for write-back. *)
 
 val retag_file : t -> inum:int -> version:int -> unit
-(** Raise the version tag of every cached block of [inum] to [version].
-    Correct only when the caller knows its cached copies are still
-    current at [version] — i.e. when its own write produced that version
-    (the reply returned exactly the expected successor), so no other
-    writer intervened. *)
+(** Raise to [version] the tag of every cached block of [inum] whose
+    tag is exactly [version - 1] — the version the caller observed just
+    before its own write produced [version], so no other writer can
+    have touched those blocks.  Blocks with older tags have unknown
+    validity (they may predate a remote write) and keep their tags, to
+    be dropped by {!find}'s lazy check or {!revalidate} on reopen. *)
 
-val take_dirty : t -> inum:int -> (int * Bytes.t) list
+val dirty_blocks : t -> inum:int -> (int * Bytes.t) list
 (** All dirty blocks of a file as [(block, data)], sorted by block
-    number, atomically marked clean.  Used by flush/close; the caller
-    pushes them to the server and should call {!note_writeback} per
-    block (evictions from {!insert} count their own write-backs the
-    same way). *)
+    number.  The dirty bits are {e not} cleared: the caller pushes each
+    block to the server and calls {!mark_clean} (plus {!note_writeback})
+    only on success, so a failed flush leaves the unpushed blocks dirty
+    and retryable instead of silently losing them. *)
+
+val mark_clean : t -> inum:int -> block:int -> unit
+(** Clear a block's dirty bit after its write-back reached the server
+    (no-op if the block is not resident). *)
 
 val note_writeback : t -> inum:int -> block:int -> unit
 (** Count (and trace) one dirty block pushed to the server. *)

@@ -147,7 +147,9 @@ module Io = struct
     files : (int, file) Hashtbl.t;
         (* open files by inum — write-back needs a live handle to push a
            dirty block evicted on behalf of any file, not just the one
-           being read.  Never iterated, so hash order cannot leak. *)
+           being read.  A doubly-opened file has multiple bindings
+           (Hashtbl.add); push resolves to any still-open one.  Never
+           iterated, so hash order cannot leak. *)
   }
 
   and file = {
@@ -223,7 +225,7 @@ module Io = struct
         | Some c -> Cache.revalidate c ~inum ~version
         | None -> ());
         let f = { io; fh = h; inum; version; closed = false } in
-        Hashtbl.replace io.files inum f;
+        Hashtbl.add io.files inum f;
         Ok f
 
   let open_file io name = open_gen io name ~op:Protocol.Open
@@ -254,7 +256,9 @@ module Io = struct
   (* Push a dirty block the cache gave back (eviction or flush) to the
      server, on behalf of whichever open file owns it. *)
   let push_block io ~inum ~block data =
-    match Hashtbl.find_opt io.files inum with
+    match
+      List.find_opt (fun f -> not f.closed) (Hashtbl.find_all io.files inum)
+    with
     | None -> Error (Server Protocol.Sbad_handle)
     | Some owner -> push_content owner ~block data
 
@@ -414,16 +418,32 @@ module Io = struct
       match f.io.cache with
       | None -> Ok ()
       | Some cch ->
+          (* Clear each dirty bit only once its push succeeded: an
+             aborted flush leaves the remaining blocks dirty so a retry
+             (or eviction) still writes them back. *)
           let rec go = function
             | [] -> Ok ()
             | (block, data) :: rest -> (
                 match push_content f ~block data with
                 | Ok () ->
+                    Cache.mark_clean cch ~inum:f.inum ~block;
                     Cache.note_writeback cch ~inum:f.inum ~block;
                     go rest
                 | Error e -> Error e)
           in
-          go (Cache.take_dirty cch ~inum:f.inum)
+          go (Cache.dirty_blocks cch ~inum:f.inum)
+
+  (* Drop exactly [f]'s binding from the open-file table, keeping any
+     other still-open handles on the same inum (legal double-open). *)
+  let forget_file f =
+    let tbl = f.io.files in
+    let all = Hashtbl.find_all tbl f.inum in
+    List.iter (fun _ -> Hashtbl.remove tbl f.inum) all;
+    (* find_all lists bindings most-recent-first; re-add in reverse to
+       preserve the original order. *)
+    List.iter
+      (fun g -> Hashtbl.add tbl f.inum g)
+      (List.rev (List.filter (fun g -> g != f) all))
 
   let close f =
     if f.closed then Ok ()
@@ -432,7 +452,7 @@ module Io = struct
       | Error e -> Error e
       | Ok () ->
           f.closed <- true;
-          Hashtbl.remove f.io.files f.inum;
+          forget_file f;
           close_file f.io.conn f.fh
 end
 

@@ -120,8 +120,8 @@ let decode_reply msg =
 let encode_reply_ext msg ~status ~value ~inum ~version =
   encode_reply msg ~status ~value;
   Vkernel.Msg.set_u32 msg 8 version;
-  Vkernel.Msg.set_u16 msg 12 inum
+  Vkernel.Msg.set_u32 msg 12 inum
 
 let decode_reply_ext msg =
   let status, value = decode_reply msg in
-  (status, value, Vkernel.Msg.get_u16 msg 12, Vkernel.Msg.get_u32 msg 8)
+  (status, value, Vkernel.Msg.get_u32 msg 12, Vkernel.Msg.get_u32 msg 8)

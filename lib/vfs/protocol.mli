@@ -73,7 +73,7 @@ val encode_reply_ext :
   Vkernel.Msg.t -> status:rstatus -> value:int -> inum:int -> version:int -> unit
 (** Like {!encode_reply}, but additionally piggybacks consistency
     metadata on otherwise-unused reply bytes: bytes 8-11 carry the
-    file's server-side version number, bytes 12-13 its inode number.
+    file's server-side version number, bytes 12-15 its inode number.
     {!decode_reply} ignores these bytes, so version-unaware clients can
     parse extended replies unchanged. *)
 

@@ -145,6 +145,120 @@ let test_reopen_invalidation () =
       Alcotest.(check bool) "stale block invalidated" true
         (s.Vfs.Cache.invalidations >= 1))
 
+(* A local write whose reply is the expected successor version must not
+   resurrect blocks cached *before* a remote write: only blocks tagged
+   with the pre-write version are known-current.  Scenario: cache block
+   5 at v; a remote writer bumps the file to v+1; we observe v+1 by
+   fetching block 3; our own write then yields v+2 — block 5 (still
+   tagged v) must stay stale and be refetched, not get retagged. *)
+let test_no_stale_retag () =
+  let tb, _ = rig () in
+  Util.run_as_process tb ~host:2 (fun _ ->
+      let io, _cache =
+        make_io tb ~host:2 ~capacity:8 ~policy:Vfs.Cache.Write_through
+      in
+      let f = get (Io.open_file io "data") in
+      Alcotest.(check bytes)
+        "block 5 cached" (expect_block 5)
+        (get (Io.read f ~off:(5 * 512) ~len:512));
+      let k3 = kernel_of tb 3 in
+      let done_ = ref false in
+      let (_ : Vkernel.Pid.t) =
+        K.spawn k3 ~name:"remote-writer" (fun pid ->
+            let mem = K.memory k3 pid in
+            let conn = get (Vfs.Client.connect k3 ()) in
+            let h = get (Vfs.Client.open_file conn "data") in
+            Vkernel.Mem.write mem ~pos:0 (Bytes.make 512 'R');
+            let (_ : int) =
+              get (Vfs.Client.write_page conn h ~block:5 ~buf:0 ~count:512)
+            in
+            get (Vfs.Client.close_file conn h);
+            done_ := true)
+      in
+      Vsim.Proc.sleep (Vsim.Time.ms 100);
+      Alcotest.(check bool) "remote writer ran" true !done_;
+      (* Observe the remote writer's version on a different block. *)
+      Alcotest.(check bytes)
+        "block 3 fetched" (expect_block 3)
+        (get (Io.read f ~off:(3 * 512) ~len:512));
+      (* Our own write: reply version is the successor of what we saw. *)
+      let (_ : int) = get (Io.write f ~off:0 (Bytes.make 512 'W')) in
+      (* Block 5 must now be treated as stale and refetched. *)
+      Alcotest.(check bytes)
+        "remote write visible, not stale cache" (Bytes.make 512 'R')
+        (get (Io.read f ~off:(5 * 512) ~len:512)))
+
+(* A failed flush must leave unpushed blocks dirty so it can be retried;
+   clearing dirty bits up front would make the next flush report Ok and
+   silently lose the writes.  We force the failure by closing the
+   server-side handle behind the Io layer's back. *)
+let test_flush_failure_keeps_dirty () =
+  let tb, _ = rig () in
+  Util.run_as_process tb ~host:2 (fun _ ->
+      let io, _cache =
+        make_io tb ~host:2 ~capacity:8 ~policy:Vfs.Cache.Write_back
+      in
+      let f = get (Io.open_file io "data") in
+      let (_ : int) = get (Io.write f ~off:0 (Bytes.make 512 'A')) in
+      let (_ : int) = get (Io.write f ~off:512 (Bytes.make 512 'B')) in
+      get (Vfs.Client.close_file (Io.conn io) (Io.file_handle f));
+      (match Io.flush f with
+      | Error _ -> ()
+      | Ok () -> Alcotest.fail "flush against dead handle succeeded");
+      (* The dirty blocks survived the failure: a retry still attempts
+         (and fails) the push instead of reporting a silent Ok. *)
+      match Io.flush f with
+      | Error _ -> ()
+      | Ok () -> Alcotest.fail "retried flush lost the dirty blocks")
+
+(* Opening the same file twice through one Io is legal: closing one
+   handle must not orphan the other's dirty blocks — eviction write-back
+   resolves to any still-open handle. *)
+let test_double_open () =
+  let tb, fs = rig () in
+  let inum =
+    match Vfs.Fs.lookup fs "data" with
+    | Some i -> i
+    | None -> Alcotest.fail "data file missing"
+  in
+  Util.run_as_process tb ~host:2 (fun _ ->
+      let io, _cache =
+        make_io tb ~host:2 ~capacity:2 ~policy:Vfs.Cache.Write_back
+      in
+      let f1 = get (Io.open_file io "data") in
+      let f2 = get (Io.open_file io "data") in
+      get (Io.close f2);
+      (* Dirty three blocks through f1: inserting the third evicts the
+         LRU dirty block, whose write-back needs a live handle. *)
+      for b = 0 to 2 do
+        let (_ : int) =
+          get
+            (Io.write f1 ~off:(b * 512)
+               (Bytes.make 512 (Char.chr (Char.code 'A' + b))))
+        in
+        ()
+      done;
+      get (Io.close f1);
+      for b = 0 to 2 do
+        Alcotest.(check bytes)
+          (Printf.sprintf "block %d reached the server" b)
+          (Bytes.make 512 (Char.chr (Char.code 'A' + b)))
+          (fs_get (Vfs.Fs.read fs ~inum ~pos:(b * 512) ~len:512))
+      done)
+
+(* The extended reply carries the inode number at full width: inums
+   above 65535 must survive the encode/decode round trip, or clients
+   would cache blocks under a truncated key. *)
+let test_ext_reply_inum_width () =
+  let msg = Vkernel.Msg.create () in
+  Vfs.Protocol.encode_reply_ext msg ~status:Vfs.Protocol.Sok ~value:7
+    ~inum:70001 ~version:9;
+  let st, value, inum, version = Vfs.Protocol.decode_reply_ext msg in
+  Alcotest.(check bool) "status" true (st = Vfs.Protocol.Sok);
+  Alcotest.(check int) "value" 7 value;
+  Alcotest.(check int) "inum survives > 16 bits" 70001 inum;
+  Alcotest.(check int) "version" 9 version
+
 (* Unaligned reads and read-merge-writes across block boundaries. *)
 let test_unaligned () =
   let tb, fs = rig () in
@@ -221,6 +335,11 @@ let suite =
     Alcotest.test_case "lru order" `Quick test_lru_order;
     Alcotest.test_case "write policies" `Quick test_write_policies;
     Alcotest.test_case "reopen invalidation" `Quick test_reopen_invalidation;
+    Alcotest.test_case "no stale retag" `Quick test_no_stale_retag;
+    Alcotest.test_case "flush failure keeps dirty" `Quick
+      test_flush_failure_keeps_dirty;
+    Alcotest.test_case "double open" `Quick test_double_open;
+    Alcotest.test_case "ext reply inum width" `Quick test_ext_reply_inum_width;
     Alcotest.test_case "unaligned access" `Quick test_unaligned;
     Alcotest.test_case "determinism" `Quick test_determinism;
     Alcotest.test_case "fault injection" `Quick test_fault_injection;
