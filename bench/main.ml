@@ -29,6 +29,7 @@ let experiments =
     ("baseline_comparison", Experiments.baseline_comparison);
     ("ablations", Experiments.ablations);
     ("span_decomposition", Experiments.span_decomposition);
+    ("loss_sweep", Experiments.loss_sweep);
   ]
 
 let run_all () =

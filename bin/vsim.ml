@@ -351,7 +351,17 @@ let fault_cmd =
     Arg.(value & opt int 200
          & info [ "timeout" ] ~doc:"Retransmission timeout T in ms.")
   in
-  let run obs mhz net drop corrupt bug timeout trials =
+  let rto_mode =
+    let modes =
+      [ ("fixed", Vkernel.Kernel.Fixed); ("adaptive", Vkernel.Kernel.Adaptive) ]
+    in
+    Arg.(value & opt (enum modes) Vkernel.Kernel.Fixed
+         & info [ "rto-mode" ]
+             ~doc:"Retransmission timer: $(b,fixed) uses T verbatim; \
+                   $(b,adaptive) estimates per-destination RTT \
+                   (Jacobson/Karn) with exponential backoff.")
+  in
+  let run obs mhz net drop corrupt bug timeout rto_mode trials =
     with_obs obs @@ fun () ->
     let fault =
       if bug then Vnet.Fault.hardware_bug
@@ -361,7 +371,8 @@ let fault_cmd =
     in
     let kernel_config =
       { Vkernel.Kernel.default_config with
-        Vkernel.Kernel.retransmit_timeout_ns = Vsim.Time.ms timeout }
+        Vkernel.Kernel.retransmit_timeout_ns = Vsim.Time.ms timeout;
+        rto_mode }
     in
     pp_cols
       (Vworkload.Rigs.srr_remote ~trials ~cpu_model:(model_of_mhz mhz)
@@ -370,7 +381,7 @@ let fault_cmd =
   Cmd.v
     (Cmd.info "fault" ~doc:"Message exchange under network faults")
     Term.(const run $ obs_term $ mhz_arg $ net_arg $ drop $ corrupt $ bug
-          $ timeout $ trials_arg)
+          $ timeout $ rto_mode $ trials_arg)
 
 (* --- run: assemble a program and execute it on a diskless ws --------- *)
 

@@ -1,4 +1,11 @@
-type status = Ok | Nonexistent | Bad_address | No_permission | Too_big
+type status =
+  | Ok
+  | Nonexistent
+  | Bad_address
+  | No_permission
+  | Too_big
+  | Retryable
+  | Dead
 
 let status_to_string = function
   | Ok -> "ok"
@@ -6,6 +13,8 @@ let status_to_string = function
   | Bad_address -> "bad-address"
   | No_permission -> "no-permission"
   | Too_big -> "too-big"
+  | Retryable -> "retryable"
+  | Dead -> "dead"
 
 let pp_status fmt s = Format.pp_print_string fmt (status_to_string s)
 
@@ -16,14 +25,20 @@ let status_to_code = function
   | Bad_address -> 2
   | No_permission -> 3
   | Too_big -> 4
+  | Retryable -> 5
+  | Dead -> 6
 
-let status_of_code = function
+let status_of_code : int -> status = function
   | 2 -> Bad_address
   | 3 -> No_permission
   | 4 -> Too_big
+  | 5 -> Retryable
+  | 6 -> Dead
   | _ -> Nonexistent
 
 type scope = Local | Remote | Any
+
+type rto_mode = Fixed | Adaptive
 
 type config = {
   retransmit_timeout_ns : int;
@@ -31,8 +46,11 @@ type config = {
   max_aliens : int;
   max_packet_data : int;
   max_seg_append : int;
-  getpid_timeout_ns : int;
-  getpid_retries : int;
+  rto_mode : rto_mode;
+  rto_min_ns : int;
+  rto_max_ns : int;
+  rto_ns_per_byte : int;
+  suspect_threshold : int;
   default_mem_size : int;
   ip_header_mode : bool;
   process_server_mode : bool;
@@ -45,8 +63,11 @@ let default_config =
     max_aliens = 64;
     max_packet_data = 1024;
     max_seg_append = 512;
-    getpid_timeout_ns = Vsim.Time.ms 20;
-    getpid_retries = 3;
+    rto_mode = Fixed;
+    rto_min_ns = Vsim.Time.ms 1;
+    rto_max_ns = Vsim.Time.ms 800;
+    rto_ns_per_byte = 3_000;
+    suspect_threshold = 2;
     default_mem_size = 256 * 1024;
     ip_header_mode = false;
     process_server_mode = false;
@@ -81,6 +102,13 @@ type rsend = {
   mutable rs_dst_host : int;
   mutable rs_retries : int;
   mutable rs_timer : Vsim.Engine.handle option;
+  mutable rs_gen : int;
+      (** timer epoch: a callback from a superseded arm is a no-op *)
+  rs_born : Vsim.Time.t;
+  mutable rs_clean : bool;
+      (** false once anything disturbed the exchange (retransmission,
+          reply-pending, forward, proof-of-life) — Karn's rule: such
+          exchanges contribute no RTT sample *)
 }
 
 type desc = {
@@ -109,6 +137,9 @@ type alien = {
   mutable al_fwd : Pid.t;  (** where the message went when forwarded *)
   al_msg : Msg.t;
   al_data : Bytes.t;  (** piggybacked segment prefix *)
+  mutable al_replied_at : Vsim.Time.t;
+      (** when the cached reply was last (re)sent; the reclaim grace
+          period counts from here *)
 }
 
 (* Sender side of an in-flight MoveTo. *)
@@ -123,6 +154,10 @@ type mt_out = {
   mutable mto_gen : int;  (** invalidates superseded streaming chains *)
   mutable mto_retries : int;
   mutable mto_timer : Vsim.Engine.handle option;
+  mutable mto_tgen : int;  (** timer epoch, distinct from the stream epoch *)
+  mutable mto_wait_since : Vsim.Time.t;
+      (** when the full train was last on the wire and we began waiting
+          for the Data_ack; 0 until then *)
   mto_done : status -> unit;
 }
 
@@ -149,6 +184,8 @@ type mf_out = {
   mutable mfo_expected : int;
   mutable mfo_retries : int;
   mutable mfo_timer : Vsim.Engine.handle option;
+  mutable mfo_tgen : int;  (** timer epoch *)
+  mutable mfo_req_at : Vsim.Time.t;  (** when the last request went out *)
   mfo_done : status -> unit;
 }
 
@@ -157,7 +194,22 @@ type registry_entry = { re_pid : Pid.t; re_scope : scope }
 type getpid_wait = {
   mutable gw_timer : Vsim.Engine.handle option;
   mutable gw_tries : int;
+  mutable gw_gen : int;  (** timer epoch *)
+  gw_born : Vsim.Time.t;
   mutable gw_waiters : (Pid.t option -> unit) list;
+}
+
+(* Per-destination adaptive-retransmission state (Jacobson/Karn).  One
+   record per remote host we have exchanged with; the broadcast
+   pseudo-destination carries GetPid state. *)
+type rto_state = {
+  mutable srtt_ns : int;
+  mutable rttvar_ns : int;
+  mutable have_sample : bool;
+  mutable rto_backoff : int;
+      (** consecutive timer expiries without a fresh RTT sample *)
+  mutable rto_fails : int;  (** consecutive retry exhaustions *)
+  mutable rto_suspected : bool;
 }
 
 type addressing = Direct | Mapped
@@ -166,12 +218,15 @@ type stats = {
   packets_sent : int;
   packets_received : int;
   retransmissions : int;
+  timeouts_fired : int;
   duplicates_filtered : int;
   reply_pendings_sent : int;
   nonexistent_nacks_sent : int;
   gap_naks_sent : int;
   aliens_created : int;
   alien_pool_full : int;
+  aliens_reclaimed : int;
+  hosts_suspected : int;
   sends_local : int;
   sends_remote : int;
   moves_local : int;
@@ -196,18 +251,22 @@ type t = {
   registry : (int, registry_entry) Hashtbl.t;
   getpid_cache : (int, Pid.t) Hashtbl.t;
   getpid_waits : (int, getpid_wait) Hashtbl.t;
+  rtos : (int, rto_state) Hashtbl.t;  (** dst host -> RTO estimator *)
   mutable next_local_id : int;
   mutable next_seq : int;
   (* statistics *)
   mutable s_tx : int;
   mutable s_rx : int;
   mutable s_retrans : int;
+  mutable s_timeouts : int;
   mutable s_dups : int;
   mutable s_rpend : int;
   mutable s_nacks : int;
   mutable s_naks : int;
   mutable s_aliens : int;
   mutable s_pool_full : int;
+  mutable s_reclaims : int;
+  mutable s_suspects : int;
   mutable s_send_local : int;
   mutable s_send_remote : int;
   mutable s_move_local : int;
@@ -247,6 +306,147 @@ let current t =
   | Some d -> d
   | None ->
       Fmt.failwith "V kernel operation outside a process of host %d" t.khost
+
+(* ------------------------------------------------------------------ *)
+(* Adaptive retransmission: per-destination RTO (Jacobson/Karn)        *)
+
+(* GetPid broadcasts have no single destination host; they share one
+   estimator under this pseudo-destination. *)
+let broadcast_dst = -1
+
+(* Cost-model seed for a destination we have never measured: the CPU side
+   of an idealized remote S-R-R, both directions.  It deliberately
+   ignores wire time (the kernel does not know the medium), so the
+   no-sample RTO below pads it generously. *)
+let rtt_seed t =
+  let m = model t in
+  (2
+  * (m.Vhw.Cost_model.pkt_send_setup_ns
+    + m.Vhw.Cost_model.pkt_recv_handling_ns
+    + (2 * 64 * m.Vhw.Cost_model.nic_copy_ns_per_byte)))
+  + m.Vhw.Cost_model.send_op_ns + m.Vhw.Cost_model.receive_op_ns
+  + m.Vhw.Cost_model.reply_op_ns
+  + (2 * m.Vhw.Cost_model.context_switch_ns)
+  + (2 * m.Vhw.Cost_model.remote_op_extra_ns)
+
+let rto_state t ~dst_host =
+  match Hashtbl.find_opt t.rtos dst_host with
+  | Some st -> st
+  | None ->
+      let seed = rtt_seed t in
+      let st =
+        {
+          srtt_ns = seed;
+          rttvar_ns = seed / 2;
+          have_sample = false;
+          rto_backoff = 0;
+          rto_fails = 0;
+          rto_suspected = false;
+        }
+      in
+      Hashtbl.replace t.rtos dst_host st;
+      st
+
+let rto_clamp t v = min (max v t.cfg.rto_min_ns) t.cfg.rto_max_ns
+
+(* The un-backed-off, un-jittered timeout.  With samples this is the
+   classic srtt + 4*rttvar, floored at 1.5*srtt: in a simulator identical
+   exchanges drive rttvar to zero, and an RTO equal to the RTT itself
+   would race every reply.  Without samples the cost-model seed is padded
+   and floored so a first exchange never times out spuriously. *)
+let rto_base_of t (st : rto_state) ~bytes =
+  let base =
+    if st.have_sample then
+      st.srtt_ns + max (4 * st.rttvar_ns) (st.srtt_ns / 2)
+    else max (3 * rtt_seed t) (Vsim.Time.ms 10)
+  in
+  rto_clamp t (base + (bytes * t.cfg.rto_ns_per_byte))
+
+(* Conservative per-destination interval estimate, used for timer-free
+   decisions (alien reclaim grace, introspection).  Never draws from the
+   RNG. *)
+let rto_base_ns t ~dst_host ~bytes =
+  match t.cfg.rto_mode with
+  | Fixed -> t.cfg.retransmit_timeout_ns
+  | Adaptive -> rto_base_of t (rto_state t ~dst_host) ~bytes
+
+let rto_estimate_ns t ~dst_host = rto_base_ns t ~dst_host ~bytes:0
+
+(* The timeout to arm now: base, shifted by the exponential backoff and
+   capped, plus deterministic jitter from the sim RNG.  Jitter is drawn
+   only on backed-off arms so clean runs consume no RNG — the stream seen
+   by the rest of the simulation is untouched unless loss already
+   perturbed it. *)
+let rto_timeout_ns t ~dst_host ~bytes =
+  match t.cfg.rto_mode with
+  | Fixed -> t.cfg.retransmit_timeout_ns
+  | Adaptive ->
+      let st = rto_state t ~dst_host in
+      let base = rto_base_of t st ~bytes in
+      let backed = min (base * (1 lsl min st.rto_backoff 6)) t.cfg.rto_max_ns in
+      if st.rto_backoff = 0 then backed
+      else backed + Vsim.Rng.int (Vsim.Engine.rng t.eng) (1 + (backed / 8))
+
+(* Every retransmission-timer expiry passes through here (both modes):
+   count it, grow the backoff, and trace the interval that just fired. *)
+let rto_note_expiry t ~dst_host ~kind ~seq ~attempt ~rto_ns =
+  t.s_timeouts <- t.s_timeouts + 1;
+  let st = rto_state t ~dst_host in
+  st.rto_backoff <- st.rto_backoff + 1;
+  if Vsim.Trace.tracing t.eng then
+    Vsim.Trace.event t.eng
+      (Vsim.Event.Backoff
+         { host = t.khost; peer = dst_host; kind; seq; attempt; rto_ns })
+
+(* A completed exchange: the destination is alive.  [sample_ns] is the
+   measured round trip, or [None] when Karn's rule rejects it; the
+   backed-off RTO is retained until a fresh sample arrives. *)
+let rto_note_success t ~dst_host ~sample_ns =
+  let st = rto_state t ~dst_host in
+  st.rto_fails <- 0;
+  st.rto_suspected <- false;
+  match sample_ns with
+  | None -> ()
+  | Some r ->
+      let r = max r 1 in
+      st.rto_backoff <- 0;
+      if st.have_sample then begin
+        st.rttvar_ns <- ((3 * st.rttvar_ns) + abs (st.srtt_ns - r)) / 4;
+        st.srtt_ns <- ((7 * st.srtt_ns) + r) / 8
+      end
+      else begin
+        st.have_sample <- true;
+        st.srtt_ns <- r;
+        st.rttvar_ns <- r / 2
+      end;
+      if t.cfg.rto_mode = Adaptive && Vsim.Trace.tracing t.eng then
+        Vsim.Trace.event t.eng
+          (Vsim.Event.Rtt_sample
+             {
+               host = t.khost;
+               peer = dst_host;
+               sample_ns = r;
+               srtt_ns = st.srtt_ns;
+               rttvar_ns = st.rttvar_ns;
+               rto_ns = rto_base_of t st ~bytes:0;
+             })
+
+(* All retries exhausted against [dst_host]: the failure detector marks
+   the host suspect after [suspect_threshold] consecutive exhaustions.
+   Returns the status the failed operation should surface. *)
+let rto_note_exhausted t ~dst_host : status =
+  let st = rto_state t ~dst_host in
+  st.rto_fails <- st.rto_fails + 1;
+  if (not st.rto_suspected) && st.rto_fails >= t.cfg.suspect_threshold
+  then begin
+    st.rto_suspected <- true;
+    t.s_suspects <- t.s_suspects + 1;
+    if Vsim.Trace.tracing t.eng then
+      Vsim.Trace.event t.eng
+        (Vsim.Event.Host_suspected
+           { host = t.khost; peer = dst_host; fails = st.rto_fails })
+  end;
+  if st.rto_suspected then Dead else Retryable
 
 (* ------------------------------------------------------------------ *)
 (* Packet transmission                                                 *)
@@ -467,19 +667,41 @@ let remove_alien t (al : alien) =
   Hashtbl.remove t.aliens al.al_src;
   t.alien_count <- t.alien_count - 1
 
-(* Reclaim a replied alien to make room; returns true on success. *)
+(* Reclaim a replied alien to make room; returns true on success.
+
+   Only replied aliens are candidates — their exchange is over — but a
+   cached reply is still load-bearing while the sender's retransmission
+   window is plausibly open: evicting it early would let a retransmitted
+   Send re-execute a non-idempotent operation (Section 3.2).  So we evict
+   only the alien whose cached reply was least recently (re)sent, and
+   only once two retransmission intervals have passed since — by then a
+   live sender would have retransmitted and refreshed it.  The tie-break
+   on sender pid keeps the choice independent of hash order. *)
 let reclaim_one_alien t =
+  let now = Vsim.Engine.now t.eng in
+  let grace al =
+    2 * rto_base_ns t ~dst_host:(Pid.host al.al_src) ~bytes:0
+  in
+  let older a b =
+    a.al_replied_at < b.al_replied_at
+    || (a.al_replied_at = b.al_replied_at
+       && Pid.to_int a.al_src < Pid.to_int b.al_src)
+  in
   let victim =
     Hashtbl.fold
       (fun _ al acc ->
-        match acc with
-        | Some _ -> acc
-        | None -> if al.al_state = A_replied then Some al else None)
+        if al.al_state <> A_replied || now - al.al_replied_at < grace al
+        then acc
+        else
+          match acc with
+          | Some best when older best al -> acc
+          | Some _ | None -> Some al)
       t.aliens None
   in
   match victim with
   | Some al ->
       remove_alien t al;
+      t.s_reclaims <- t.s_reclaims + 1;
       true
   | None -> false
 
@@ -493,6 +715,23 @@ let finish_send t (d : desc) st =
   | None -> ()
   | Some rs ->
       cancel_timer rs.rs_timer;
+      rs.rs_timer <- None;
+      rs.rs_gen <- rs.rs_gen + 1;
+      (* Feed the failure detector and — on clean exchanges only (Karn's
+         rule) — the RTT estimator.  Exhaustion statuses must not reset
+         the failure count they just raised. *)
+      (match st with
+      | Ok ->
+          let sample =
+            if rs.rs_clean && rs.rs_retries = 0 then
+              Some (Vsim.Engine.now t.eng - rs.rs_born)
+            else None
+          in
+          rto_note_success t ~dst_host:rs.rs_dst_host ~sample_ns:sample
+      | Retryable | Dead -> ()
+      | Nonexistent | Bad_address | No_permission | Too_big ->
+          (* A NACK answered us: the destination host is alive. *)
+          rto_note_success t ~dst_host:rs.rs_dst_host ~sample_ns:None);
       d.d_rsend <- None;
       d.d_state <- Ready;
       let k = d.d_on_reply in
@@ -521,16 +760,25 @@ let finish_send t (d : desc) st =
       | None -> note ())
 
 let rec arm_send_timer t (d : desc) (rs : rsend) =
+  cancel_timer rs.rs_timer;
+  rs.rs_gen <- rs.rs_gen + 1;
+  let gen = rs.rs_gen in
+  let rto = rto_timeout_ns t ~dst_host:rs.rs_dst_host ~bytes:0 in
   rs.rs_timer <-
     Some
-      (Vsim.Engine.after t.eng t.cfg.retransmit_timeout_ns (fun () ->
-           retransmit_send t d rs))
+      (Vsim.Engine.after t.eng rto (fun () ->
+           retransmit_send t d rs ~gen ~rto))
 
-and retransmit_send t (d : desc) (rs : rsend) =
+and retransmit_send t (d : desc) (rs : rsend) ~gen ~rto =
   match d.d_rsend with
-  | Some rs' when rs' == rs ->
+  | Some rs' when rs' == rs && rs.rs_gen = gen ->
+      rs.rs_timer <- None;
+      rs.rs_clean <- false;
       rs.rs_retries <- rs.rs_retries + 1;
-      if rs.rs_retries > t.cfg.max_retries then finish_send t d Nonexistent
+      rto_note_expiry t ~dst_host:rs.rs_dst_host ~kind:"send"
+        ~seq:rs.rs_pkt.Packet.seq ~attempt:rs.rs_retries ~rto_ns:rto;
+      if rs.rs_retries > t.cfg.max_retries then
+        finish_send t d (rto_note_exhausted t ~dst_host:rs.rs_dst_host)
       else begin
         t.s_retrans <- t.s_retrans + 1;
         if Vsim.Trace.tracing t.eng then
@@ -577,7 +825,22 @@ let mf_alive t (mfo : mf_out) =
 let mt_finish t (mto : mt_out) st =
   if mt_alive t mto then begin
     cancel_timer mto.mto_timer;
+    mto.mto_tgen <- mto.mto_tgen + 1;
     Hashtbl.remove t.mt_outs mto.mto_seq;
+    (match st with
+    | Ok ->
+        (* The gap from end-of-train to Data_ack is a pure control round
+           trip — a valid sample when no timer-driven retransmission
+           touched the transfer (Karn). *)
+        let sample =
+          if mto.mto_retries = 0 && mto.mto_wait_since > 0 then
+            Some (Vsim.Engine.now t.eng - mto.mto_wait_since)
+          else None
+        in
+        rto_note_success t ~dst_host:(Pid.host mto.mto_dst) ~sample_ns:sample
+    | Retryable | Dead -> ()
+    | Nonexistent | Bad_address | No_permission | Too_big ->
+        rto_note_success t ~dst_host:(Pid.host mto.mto_dst) ~sample_ns:None);
     charge_k t (model t).Vhw.Cost_model.context_switch_ns (fun () ->
         if Vsim.Trace.tracing t.eng then
           Vsim.Trace.event t.eng
@@ -592,15 +855,29 @@ let mt_finish t (mto : mt_out) st =
 
 let rec mt_arm_timer t (mto : mt_out) =
   cancel_timer mto.mto_timer;
+  mto.mto_tgen <- mto.mto_tgen + 1;
+  let gen = mto.mto_tgen in
+  (* Size-scaled: the timer is always armed with at most one fragment
+     still outstanding (it arms after the train is on the wire), so the
+     margin covers a fragment, not the whole transfer. *)
+  let rto =
+    rto_timeout_ns t
+      ~dst_host:(Pid.host mto.mto_dst)
+      ~bytes:(min mto.mto_total t.cfg.max_packet_data)
+  in
   mto.mto_timer <-
-    Some
-      (Vsim.Engine.after t.eng t.cfg.retransmit_timeout_ns (fun () ->
-           mt_timeout t mto))
+    Some (Vsim.Engine.after t.eng rto (fun () -> mt_timeout t mto ~gen ~rto))
 
-and mt_timeout t (mto : mt_out) =
-  if mt_alive t mto then begin
+and mt_timeout t (mto : mt_out) ~gen ~rto =
+  if mt_alive t mto && mto.mto_tgen = gen then begin
+    mto.mto_timer <- None;
     mto.mto_retries <- mto.mto_retries + 1;
-    if mto.mto_retries > t.cfg.max_retries then mt_finish t mto Nonexistent
+    rto_note_expiry t
+      ~dst_host:(Pid.host mto.mto_dst)
+      ~kind:"move-to" ~seq:mto.mto_seq ~attempt:mto.mto_retries ~rto_ns:rto;
+    if mto.mto_retries > t.cfg.max_retries then
+      mt_finish t mto
+        (rto_note_exhausted t ~dst_host:(Pid.host mto.mto_dst))
     else begin
       t.s_retrans <- t.s_retrans + 1;
       if Vsim.Trace.tracing t.eng then
@@ -635,6 +912,7 @@ let stream_mt t (mto : mt_out) ~from =
     if not (ok ()) then ()
     else if cursor >= mto.mto_total then begin
       charge_async t m.Vhw.Cost_model.send_bookkeep_ns;
+      mto.mto_wait_since <- Vsim.Engine.now t.eng;
       mt_arm_timer t mto
     end
     else begin
@@ -683,7 +961,14 @@ let stream_mf t ~(src_desc : desc) ~requester ~seq ~base_ptr ~total ~from =
 let mf_finish t (mfo : mf_out) st =
   if mf_alive t mfo then begin
     cancel_timer mfo.mfo_timer;
+    mfo.mfo_tgen <- mfo.mfo_tgen + 1;
     Hashtbl.remove t.mf_outs mfo.mfo_seq;
+    (match st with
+    | Retryable | Dead -> ()
+    | Ok | Nonexistent | Bad_address | No_permission | Too_big ->
+        (* RTT samples for MoveFrom are taken at first-fragment arrival
+           (handle_data_mf); here we only record liveness. *)
+        rto_note_success t ~dst_host:(Pid.host mfo.mfo_src) ~sample_ns:None);
     charge_k t (model t).Vhw.Cost_model.context_switch_ns (fun () ->
         if Vsim.Trace.tracing t.eng then
           Vsim.Trace.event t.eng
@@ -697,6 +982,7 @@ let mf_finish t (mfo : mf_out) st =
   end
 
 let rec mf_send_request t (mfo : mf_out) =
+  mfo.mfo_req_at <- Vsim.Engine.now t.eng;
   let req =
     Packet.make ~op:Packet.Move_from_req ~src_pid:mfo.mfo_me
       ~dst_pid:mfo.mfo_src ~seq:mfo.mfo_seq ~offset:mfo.mfo_expected
@@ -708,15 +994,28 @@ let rec mf_send_request t (mfo : mf_out) =
 
 and mf_arm_timer t (mfo : mf_out) =
   cancel_timer mfo.mfo_timer;
+  mfo.mfo_tgen <- mfo.mfo_tgen + 1;
+  let gen = mfo.mfo_tgen in
+  (* Re-armed on every fragment arrival, so at most one fragment (or the
+     request round trip) is ever outstanding. *)
+  let rto =
+    rto_timeout_ns t
+      ~dst_host:(Pid.host mfo.mfo_src)
+      ~bytes:(min mfo.mfo_total t.cfg.max_packet_data)
+  in
   mfo.mfo_timer <-
-    Some
-      (Vsim.Engine.after t.eng t.cfg.retransmit_timeout_ns (fun () ->
-           mf_timeout t mfo))
+    Some (Vsim.Engine.after t.eng rto (fun () -> mf_timeout t mfo ~gen ~rto))
 
-and mf_timeout t (mfo : mf_out) =
-  if mf_alive t mfo then begin
+and mf_timeout t (mfo : mf_out) ~gen ~rto =
+  if mf_alive t mfo && mfo.mfo_tgen = gen then begin
+    mfo.mfo_timer <- None;
     mfo.mfo_retries <- mfo.mfo_retries + 1;
-    if mfo.mfo_retries > t.cfg.max_retries then mf_finish t mfo Nonexistent
+    rto_note_expiry t
+      ~dst_host:(Pid.host mfo.mfo_src)
+      ~kind:"move-from" ~seq:mfo.mfo_seq ~attempt:mfo.mfo_retries ~rto_ns:rto;
+    if mfo.mfo_retries > t.cfg.max_retries then
+      mf_finish t mfo
+        (rto_note_exhausted t ~dst_host:(Pid.host mfo.mfo_src))
     else begin
       t.s_retrans <- t.s_retrans + 1;
       if Vsim.Trace.tracing t.eng then
@@ -750,7 +1049,11 @@ let handle_send_pkt t (pkt : Packet.t) =
           (* Retransmission of a message we already hold. *)
           t.s_dups <- t.s_dups + 1;
           match al.al_state, al.al_reply with
-          | A_replied, Some reply -> send_pkt t ~dst_host:reply_host reply
+          | A_replied, Some reply ->
+              (* Re-serving the cached reply proves the sender is still
+                 retransmitting: restart its reclaim grace period. *)
+              al.al_replied_at <- Vsim.Engine.now t.eng;
+              send_pkt t ~dst_host:reply_host reply
           | A_forwarded, _ ->
               (* The exchange moved on: remind the sender where, so its
                  retransmissions reach the kernel that can answer. *)
@@ -781,6 +1084,7 @@ let handle_send_pkt t (pkt : Packet.t) =
                 al_fwd = Pid.nil;
                 al_msg = Msg.copy pkt.Packet.msg;
                 al_data = pkt.Packet.data;
+                al_replied_at = 0;
               }
             in
             Hashtbl.replace t.aliens src al;
@@ -832,9 +1136,11 @@ let handle_reply_pending t (pkt : Packet.t) =
   | Some d -> (
       match d.d_rsend with
       | Some rs when rs.rs_pkt.Packet.seq = pkt.Packet.seq ->
-          (* The receiver lives; be patient indefinitely. *)
+          (* The receiver lives; be patient indefinitely.  The elapsed
+             time now includes server queueing, so the exchange no longer
+             yields an RTT sample. *)
           rs.rs_retries <- 0;
-          cancel_timer rs.rs_timer;
+          rs.rs_clean <- false;
           arm_send_timer t d rs
       | Some _ | None -> ())
 
@@ -868,7 +1174,7 @@ let handle_data_mt t (pkt : Packet.t) =
       match dd.d_rsend with
       | Some rs ->
           rs.rs_retries <- 0;
-          cancel_timer rs.rs_timer;
+          rs.rs_clean <- false;
           arm_send_timer t dd rs
       | None -> ())
   | Some _ | None -> ());
@@ -976,6 +1282,12 @@ let handle_data_mf t (pkt : Packet.t) =
       end
       else if off < mfo.mfo_expected then t.s_dups <- t.s_dups + 1
       else begin
+        (* The request-to-first-data gap is a clean round-trip sample,
+           provided no timeout retransmitted the request (Karn). *)
+        if off = 0 && mfo.mfo_retries = 0 then
+          rto_note_success t
+            ~dst_host:(Pid.host mfo.mfo_src)
+            ~sample_ns:(Some (Vsim.Engine.now t.eng - mfo.mfo_req_at));
         if len > 0 then
           Mem.blit_in mfo.mfo_mem ~pos:(mfo.mfo_dst_ptr + off) pkt.Packet.data
             ~src_off:0 ~len;
@@ -996,6 +1308,7 @@ let handle_data_nak t (pkt : Packet.t) =
   match Hashtbl.find_opt t.mt_outs pkt.Packet.seq with
   | Some mto ->
       mto.mto_gen <- mto.mto_gen + 1;
+      mto.mto_tgen <- mto.mto_tgen + 1;
       cancel_timer mto.mto_timer;
       mto.mto_timer <- None;
       stream_mt t mto ~from:pkt.Packet.offset
@@ -1044,7 +1357,7 @@ let handle_fwd_notice t (pkt : Packet.t) =
           rs.rs_pkt <- { rs.rs_pkt with Packet.dst_pid = new_pid };
           rs.rs_dst_host <- Pid.host new_pid;
           rs.rs_retries <- 0;
-          cancel_timer rs.rs_timer;
+          rs.rs_clean <- false;
           arm_send_timer t d rs;
           d.d_state <- Awaiting_reply new_pid;
           (match d.d_grant with
@@ -1071,6 +1384,19 @@ let handle_getpid_reply t (pkt : Packet.t) =
   | None -> ()
   | Some gw ->
       cancel_timer gw.gw_timer;
+      gw.gw_gen <- gw.gw_gen + 1;
+      (* First-try replies sample the broadcast round trip; the answering
+         host's own estimator is credited too, so a later direct exchange
+         starts informed. *)
+      let sample =
+        if gw.gw_tries = 1 then Some (Vsim.Engine.now t.eng - gw.gw_born)
+        else None
+      in
+      rto_note_success t ~dst_host:broadcast_dst ~sample_ns:sample;
+      if not (Pid.is_nil pkt.Packet.src_pid) then
+        rto_note_success t
+          ~dst_host:(Pid.host pkt.Packet.src_pid)
+          ~sample_ns:sample;
       Hashtbl.remove t.getpid_waits lid;
       List.iter (fun k -> k (Some found)) (List.rev gw.gw_waiters)
 
@@ -1183,17 +1509,21 @@ let make_kernel eng ~cpu ~nic ~host ~config ~addressing =
       registry = Hashtbl.create 16;
       getpid_cache = Hashtbl.create 16;
       getpid_waits = Hashtbl.create 16;
+      rtos = Hashtbl.create 16;
       next_local_id = 0;
       next_seq = 0;
       s_tx = 0;
       s_rx = 0;
       s_retrans = 0;
+      s_timeouts = 0;
       s_dups = 0;
       s_rpend = 0;
       s_nacks = 0;
       s_naks = 0;
       s_aliens = 0;
       s_pool_full = 0;
+      s_reclaims = 0;
+      s_suspects = 0;
       s_send_local = 0;
       s_send_remote = 0;
       s_move_local = 0;
@@ -1361,7 +1691,8 @@ let send t msg dst =
     in
     let rs =
       { rs_pkt = pkt; rs_dst_host = Pid.host dst; rs_retries = 0;
-        rs_timer = None }
+        rs_timer = None; rs_gen = 0; rs_born = Vsim.Engine.now t.eng;
+        rs_clean = true }
     in
     d.d_rsend <- Some rs;
     d.d_state <- Awaiting_reply dst;
@@ -1479,7 +1810,9 @@ let reply_gen t msg dst ~seg =
                     k Ok)
             | None -> ());
             Ok
-        | (Nonexistent | Bad_address | No_permission | Too_big) as err -> err)
+        | (Nonexistent | Bad_address | No_permission | Too_big | Retryable
+          | Dead) as err ->
+            err)
     | Some _ | None -> No_permission
   end
   else begin
@@ -1553,6 +1886,8 @@ let forward t msg ~from_pid ~to_pid =
     (match fd.d_rsend with
     | Some rs ->
         cancel_timer rs.rs_timer;
+        rs.rs_timer <- None;
+        rs.rs_gen <- rs.rs_gen + 1;
         fd.d_rsend <- None
     | None -> ());
     let k = fd.d_on_reply in
@@ -1603,7 +1938,10 @@ let forward t msg ~from_pid ~to_pid =
           in
           let rs =
             { rs_pkt = pkt; rs_dst_host = Pid.host to_pid; rs_retries = 0;
-              rs_timer = None }
+              rs_timer = None; rs_gen = 0;
+              rs_born = Vsim.Engine.now t.eng;
+              (* The exchange already spans a forward: never sample it. *)
+              rs_clean = false }
           in
           fd.d_rsend <- Some rs;
           fd.d_state <- Awaiting_reply to_pid;
@@ -1738,6 +2076,8 @@ let move_to t ~dst_pid ~dst ~src ~count =
             mto_gen = 0;
             mto_retries = 0;
             mto_timer = None;
+            mto_tgen = 0;
+            mto_wait_since = 0;
             mto_done = resume;
           }
         in
@@ -1814,6 +2154,8 @@ let move_from t ~src_pid ~dst ~src ~count =
             mfo_expected = 0;
             mfo_retries = 0;
             mfo_timer = None;
+            mfo_tgen = 0;
+            mfo_req_at = 0;
             mfo_done = resume;
           }
         in
@@ -1829,9 +2171,14 @@ let set_pid t ~logical_id pid scope =
   charge t (model t).Vhw.Cost_model.syscall_ns;
   Hashtbl.replace t.registry logical_id { re_pid = pid; re_scope = scope }
 
+(* GetPid rides the shared retransmission machinery: the broadcast
+   pseudo-destination gets the same adaptive timer, backoff and stats
+   accounting as every other exchange (retransmissions / timeouts_fired),
+   with [1 + max_retries] attempts total. *)
 let rec getpid_broadcast t ~logical_id (gw : getpid_wait) ~me =
   gw.gw_tries <- gw.gw_tries + 1;
-  if gw.gw_tries > t.cfg.getpid_retries then begin
+  if gw.gw_tries > 1 + t.cfg.max_retries then begin
+    ignore (rto_note_exhausted t ~dst_host:broadcast_dst : status);
     Hashtbl.remove t.getpid_waits logical_id;
     List.iter (fun k -> k None) (List.rev gw.gw_waiters)
   end
@@ -1840,11 +2187,32 @@ let rec getpid_broadcast t ~logical_id (gw : getpid_wait) ~me =
       Packet.make ~op:Packet.Getpid_req ~src_pid:me ~dst_pid:Pid.nil
         ~seq:(next_seq t) ~aux:logical_id ()
     in
+    if gw.gw_tries > 1 then begin
+      t.s_retrans <- t.s_retrans + 1;
+      if Vsim.Trace.tracing t.eng then
+        Vsim.Trace.event t.eng
+          (Vsim.Event.Retransmit
+             {
+               host = t.khost;
+               kind = "getpid";
+               seq = pkt.Packet.seq;
+               attempt = gw.gw_tries - 1;
+             })
+    end;
     send_pkt_gen t ~dst_addr:Vnet.Addr.broadcast pkt ignore;
+    gw.gw_gen <- gw.gw_gen + 1;
+    let gen = gw.gw_gen in
+    let rto = rto_timeout_ns t ~dst_host:broadcast_dst ~bytes:0 in
     gw.gw_timer <-
       Some
-        (Vsim.Engine.after t.eng t.cfg.getpid_timeout_ns (fun () ->
-             getpid_broadcast t ~logical_id gw ~me))
+        (Vsim.Engine.after t.eng rto (fun () ->
+             match Hashtbl.find_opt t.getpid_waits logical_id with
+             | Some gw' when gw' == gw && gw.gw_gen = gen ->
+                 gw.gw_timer <- None;
+                 rto_note_expiry t ~dst_host:broadcast_dst ~kind:"getpid"
+                   ~seq:pkt.Packet.seq ~attempt:gw.gw_tries ~rto_ns:rto;
+                 getpid_broadcast t ~logical_id gw ~me
+             | Some _ | None -> ()))
   end
 
 let get_pid t ~logical_id scope =
@@ -1877,6 +2245,8 @@ let get_pid t ~logical_id scope =
                         {
                           gw_timer = None;
                           gw_tries = 0;
+                          gw_gen = 0;
+                          gw_born = Vsim.Engine.now t.eng;
                           gw_waiters = [ resume ];
                         }
                       in
@@ -1896,12 +2266,15 @@ let stats t =
     packets_sent = t.s_tx;
     packets_received = t.s_rx;
     retransmissions = t.s_retrans;
+    timeouts_fired = t.s_timeouts;
     duplicates_filtered = t.s_dups;
     reply_pendings_sent = t.s_rpend;
     nonexistent_nacks_sent = t.s_nacks;
     gap_naks_sent = t.s_naks;
     aliens_created = t.s_aliens;
     alien_pool_full = t.s_pool_full;
+    aliens_reclaimed = t.s_reclaims;
+    hosts_suspected = t.s_suspects;
     sends_local = t.s_send_local;
     sends_remote = t.s_send_remote;
     moves_local = t.s_move_local;
@@ -1910,9 +2283,11 @@ let stats t =
 
 let pp_stats fmt s =
   Format.fprintf fmt
-    "tx=%d rx=%d retrans=%d dups=%d rpend=%d nonexistent-nacks=%d \
-     gap-naks=%d aliens=%d pool-full=%d sends(l/r)=%d/%d moves(l/r)=%d/%d"
-    s.packets_sent s.packets_received s.retransmissions s.duplicates_filtered
-    s.reply_pendings_sent s.nonexistent_nacks_sent s.gap_naks_sent s.aliens_created
-    s.alien_pool_full s.sends_local s.sends_remote s.moves_local
+    "tx=%d rx=%d retrans=%d timeouts=%d dups=%d rpend=%d \
+     nonexistent-nacks=%d gap-naks=%d aliens=%d pool-full=%d reclaimed=%d \
+     suspected=%d sends(l/r)=%d/%d moves(l/r)=%d/%d"
+    s.packets_sent s.packets_received s.retransmissions s.timeouts_fired
+    s.duplicates_filtered s.reply_pendings_sent s.nonexistent_nacks_sent
+    s.gap_naks_sent s.aliens_created s.alien_pool_full s.aliens_reclaimed
+    s.hosts_suspected s.sends_local s.sends_remote s.moves_local
     s.moves_remote

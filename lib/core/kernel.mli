@@ -29,10 +29,17 @@ type t
 (** Operation outcome, delivered where Thoth returned condition codes. *)
 type status =
   | Ok
-  | Nonexistent  (** destination process does not exist (NACK / N timeouts) *)
+  | Nonexistent  (** destination process does not exist (answered by NACK) *)
   | Bad_address  (** a named range falls outside an address space *)
   | No_permission  (** segment access not granted, or not awaiting reply *)
   | Too_big  (** a reply segment exceeding one packet's capacity *)
+  | Retryable
+      (** all retransmissions went unanswered, but the destination host is
+          not (yet) considered failed — the operation may be retried *)
+  | Dead
+      (** the failure detector holds the destination host suspect after
+          repeated retry exhaustion; retrying is unlikely to help until
+          traffic from the host proves it alive again *)
 
 val status_to_string : status -> string
 val pp_status : Format.formatter -> status -> unit
@@ -41,16 +48,30 @@ val pp_status : Format.formatter -> status -> unit
     to distinguish per-workstation servers from network-wide ones). *)
 type scope = Local | Remote | Any
 
+(** Retransmission-timer policy.  [Fixed] uses the paper's constant T for
+    every destination.  [Adaptive] estimates a per-destination round trip
+    (Jacobson-style SRTT/RTTVAR, seeded from the cost model, Karn's rule
+    for samples) and backs off exponentially with deterministic jitter
+    drawn from the simulation RNG. *)
+type rto_mode = Fixed | Adaptive
+
 type config = {
-  retransmit_timeout_ns : int;  (** the paper's T *)
+  retransmit_timeout_ns : int;  (** the paper's T ([Fixed] mode) *)
   max_retries : int;  (** the paper's N *)
   max_aliens : int;  (** alien descriptor pool size *)
   max_packet_data : int;  (** data bytes per maximally-sized packet *)
   max_seg_append : int;
       (** how much of a read-accessible segment a Send piggybacks; "at
           least as large as a file block" *)
-  getpid_timeout_ns : int;
-  getpid_retries : int;
+  rto_mode : rto_mode;
+  rto_min_ns : int;  (** adaptive-timer floor *)
+  rto_max_ns : int;  (** adaptive-timer (and backoff) cap *)
+  rto_ns_per_byte : int;
+      (** extra timeout margin per outstanding data byte: size-scales
+          MoveTo/MoveFrom page-train timers *)
+  suspect_threshold : int;
+      (** consecutive retry exhaustions before a destination host is
+          marked suspect and failures surface as [Dead] *)
   default_mem_size : int;  (** address-space size for new processes *)
   ip_header_mode : bool;
       (** ablation: layered internet headers (+20 bytes, + per-packet CPU) *)
@@ -162,6 +183,10 @@ type stats = {
   packets_sent : int;
   packets_received : int;
   retransmissions : int;
+  timeouts_fired : int;
+      (** retransmission-timer expiries (Send, MoveTo, MoveFrom, GetPid);
+          [>= retransmissions] since the final, exhausting expiry
+          retransmits nothing *)
   duplicates_filtered : int;
   reply_pendings_sent : int;
   nonexistent_nacks_sent : int;
@@ -170,6 +195,11 @@ type stats = {
       data packets requested for retransmission) *)
   aliens_created : int;
   alien_pool_full : int;
+  aliens_reclaimed : int;
+      (** replied aliens evicted under pool pressure (only ever past their
+          sender's plausible retransmission window) *)
+  hosts_suspected : int;
+      (** failure-detector trips: destinations marked suspect *)
   sends_local : int;
   sends_remote : int;
   moves_local : int;
@@ -178,3 +208,8 @@ type stats = {
 
 val stats : t -> stats
 val pp_stats : Format.formatter -> stats -> unit
+
+val rto_estimate_ns : t -> dst_host:int -> int
+(** The current un-backed-off retransmission interval for [dst_host]: the
+    configured T in [Fixed] mode, the live srtt/rttvar-derived estimate in
+    [Adaptive] mode (tests and observability). *)

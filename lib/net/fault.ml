@@ -3,15 +3,24 @@ type t = {
   corrupt_prob : float;
   collision_bug : bool;
   bug_prob : float;
+  drop_frames : int list;
 }
 
 let none =
-  { drop_prob = 0.0; corrupt_prob = 0.0; collision_bug = false; bug_prob = 0.0 }
+  {
+    drop_prob = 0.0;
+    corrupt_prob = 0.0;
+    collision_bug = false;
+    bug_prob = 0.0;
+    drop_frames = [];
+  }
 
 let drop p = { none with drop_prob = p }
 let corrupt p = { none with corrupt_prob = p }
+let drop_nth frames = { none with drop_frames = frames }
 let hardware_bug = { none with collision_bug = true; bug_prob = 1.0 /. 2000.0 }
 
 let pp fmt t =
-  Format.fprintf fmt "fault{drop=%.4f corrupt=%.4f bug=%b/%.5f}" t.drop_prob
-    t.corrupt_prob t.collision_bug t.bug_prob
+  Format.fprintf fmt "fault{drop=%.4f corrupt=%.4f bug=%b/%.5f scripted=%d}"
+    t.drop_prob t.corrupt_prob t.collision_bug t.bug_prob
+    (List.length t.drop_frames)

@@ -11,11 +11,20 @@ type t = {
           set, each frame is corrupted with probability [bug_prob] —
           the paper observed roughly one per 2000 packets. *)
   bug_prob : float;
+  drop_frames : int list;
+      (** Scripted, deterministic loss: 1-based positions in the medium's
+          completed-transmission order whose frames vanish entirely (a
+          broadcast counts once).  Independent of the RNG, so tests can
+          kill exactly the packet they mean to. *)
 }
 
 val none : t
 val drop : float -> t
 val corrupt : float -> t
+
+val drop_nth : int list -> t
+(** Scripted loss only: [drop_nth [2; 5]] drops the 2nd and 5th frames
+    put on the wire. *)
 
 val hardware_bug : t
 (** The Section 5.4 configuration: 1/2000 corruption. *)

@@ -64,6 +64,7 @@ type t = {
   mutable busy_until : Vsim.Time.t;
   mutable current : current option;
   mutable flt : Fault.t;
+  mutable frame_no : int;  (** completed transmissions, for scripted drops *)
   mutable s_attempted : int;
   mutable s_delivered : int;
   mutable s_dropped : int;
@@ -86,6 +87,7 @@ let create eng cfg =
     busy_until = 0;
     current = None;
     flt = Fault.none;
+    frame_no = 0;
     s_attempted = 0;
     s_delivered = 0;
     s_dropped = 0;
@@ -160,6 +162,20 @@ let deliver_to t frame (port : port) =
   end
 
 let deliver t frame =
+  t.frame_no <- t.frame_no + 1;
+  if List.mem t.frame_no t.flt.Fault.drop_frames then begin
+    (* Scripted loss: the frame vanishes for every receiver. *)
+    t.s_dropped <- t.s_dropped + 1;
+    if Vsim.Trace.tracing t.eng then
+      Vsim.Trace.event t.eng
+        (Vsim.Event.Packet_drop
+           {
+             host = frame.Frame.src;
+             reason = "fault-scripted";
+             bytes = Frame.length frame;
+           })
+  end
+  else
   let arrival = Vsim.Engine.now t.eng + t.cfg.latency_ns in
   let to_port port =
     (* Broadcast receivers get an aliased view so one receiver's corruption

@@ -62,6 +62,12 @@ let handle t (ev : Vsim.Event.t) =
       add t ~host "bytes_rx" bytes
   | Packet_drop { host; _ } -> add t ~host "packet_drops" 1
   | Retransmit { host; _ } -> add t ~host "retransmits" 1
+  | Rtt_sample { host; srtt_ns; _ } ->
+      observe t ~host "rtt_estimate_ns" (float_of_int srtt_ns)
+  | Backoff { host; rto_ns; _ } ->
+      add t ~host "timeouts_fired" 1;
+      observe t ~host "backoff_ns" (float_of_int rto_ns)
+  | Host_suspected { host; _ } -> add t ~host "host_suspected" 1
   | Collision _ -> add t ~host:0 "collisions" 1
   | Nic_busy { host; _ } -> add t ~host "nic_busy_waits" 1
   | Queue_depth { host; depth; _ } ->

@@ -47,6 +47,23 @@ type t =
     }
   | Packet_drop of { host : int; reason : string; bytes : int }
   | Retransmit of { host : int; kind : string; seq : int; attempt : int }
+  | Rtt_sample of {
+      host : int;
+      peer : int;
+      sample_ns : int;
+      srtt_ns : int;
+      rttvar_ns : int;
+      rto_ns : int;
+    }
+  | Backoff of {
+      host : int;
+      peer : int;
+      kind : string;
+      seq : int;
+      attempt : int;
+      rto_ns : int;
+    }
+  | Host_suspected of { host : int; peer : int; fails : int }
   | Collision of { a : int; b : int }
   | Nic_busy of { host : int; queued : int }
   | Queue_depth of { host : int; pid : int; depth : int }
@@ -78,6 +95,9 @@ let name = function
   | Packet_rx _ -> "packet_rx"
   | Packet_drop _ -> "packet_drop"
   | Retransmit _ -> "retransmit"
+  | Rtt_sample _ -> "rtt_sample"
+  | Backoff _ -> "backoff"
+  | Host_suspected _ -> "host_suspected"
   | Collision _ -> "collision"
   | Nic_busy _ -> "nic_busy"
   | Queue_depth _ -> "queue_depth"
@@ -93,8 +113,8 @@ let topic = function
   | Send _ | Send_done _ | Receive _ | Reply _ | Forward _ | Move _
   | Move_done _ | Queue_depth _ ->
       "kernel"
-  | Packet_tx _ | Packet_rx _ | Packet_drop _ | Retransmit _ | Collision _
-  | Nic_busy _ ->
+  | Packet_tx _ | Packet_rx _ | Packet_drop _ | Retransmit _ | Rtt_sample _
+  | Backoff _ | Host_suspected _ | Collision _ | Nic_busy _ ->
       "net"
   | Cpu_grant _ -> "cpu"
   | Disk_io _ -> "disk"
@@ -115,6 +135,9 @@ let host = function
   | Packet_rx { host; _ }
   | Packet_drop { host; _ }
   | Retransmit { host; _ }
+  | Rtt_sample { host; _ }
+  | Backoff { host; _ }
+  | Host_suspected { host; _ }
   | Nic_busy { host; _ }
   | Queue_depth { host; _ }
   | Cpu_grant { host; _ }
@@ -154,6 +177,15 @@ let fields = function
       [ ("reason", S reason); ("bytes", I bytes) ]
   | Retransmit { host = _; kind; seq; attempt } ->
       [ ("kind", S kind); ("seq", I seq); ("attempt", I attempt) ]
+  | Rtt_sample { host = _; peer; sample_ns; srtt_ns; rttvar_ns; rto_ns } ->
+      [ ("peer", I peer); ("sample_ns", I sample_ns);
+        ("srtt_ns", I srtt_ns); ("rttvar_ns", I rttvar_ns);
+        ("rto_ns", I rto_ns) ]
+  | Backoff { host = _; peer; kind; seq; attempt; rto_ns } ->
+      [ ("peer", I peer); ("kind", S kind); ("seq", I seq);
+        ("attempt", I attempt); ("rto_ns", I rto_ns) ]
+  | Host_suspected { host = _; peer; fails } ->
+      [ ("peer", I peer); ("fails", I fails) ]
   | Collision { a; b } -> [ ("a", I a); ("b", I b) ]
   | Nic_busy { host = _; queued } -> [ ("queued", I queued) ]
   | Queue_depth { host = _; pid; depth } ->

@@ -52,7 +52,31 @@ type t =
     }  (** Kernel accepted a packet from the NIC. *)
   | Packet_drop of { host : int; reason : string; bytes : int }
   | Retransmit of { host : int; kind : string; seq : int; attempt : int }
-      (** [kind] is ["send"], ["move-to"] or ["move-from"]. *)
+      (** [kind] is ["send"], ["move-to"], ["move-from"] or ["getpid"]. *)
+  | Rtt_sample of {
+      host : int;
+      peer : int;
+      sample_ns : int;
+      srtt_ns : int;
+      rttvar_ns : int;
+      rto_ns : int;
+    }
+      (** Adaptive retransmission accepted a round-trip sample for
+          destination host [peer]; [srtt_ns]/[rttvar_ns]/[rto_ns] are the
+          estimator state after folding it in. *)
+  | Backoff of {
+      host : int;
+      peer : int;
+      kind : string;
+      seq : int;
+      attempt : int;
+      rto_ns : int;
+    }
+      (** A retransmission timer of [kind] (as in [Retransmit]) expired
+          after waiting [rto_ns] against destination host [peer]. *)
+  | Host_suspected of { host : int; peer : int; fails : int }
+      (** The failure detector on [host] marked destination [peer] suspect
+          after [fails] consecutive retry exhaustions. *)
   | Collision of { a : int; b : int }
       (** CSMA/CD collision between stations [a] and [b] (no single host). *)
   | Nic_busy of { host : int; queued : int }

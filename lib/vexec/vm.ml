@@ -65,6 +65,8 @@ let run k ?(config = default_config) ?(console = ignore) ~entry ~code_len ()
     | K.Bad_address -> 2
     | K.No_permission -> 3
     | K.Too_big -> 4
+    | K.Retryable -> 5
+    | K.Dead -> 6
   in
   let syscall n =
     (* Kernel calls must see the CPU time the program burned first. *)

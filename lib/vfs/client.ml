@@ -32,7 +32,7 @@ let connect_to k pid =
 let server_pid c = c.server
 
 let error_is_retryable = function
-  | No_server | Server Protocol.Sio_error -> true
+  | No_server | Server Protocol.Sio_error | Ipc K.Retryable -> true
   | Server _ | Ipc _ -> false
 
 type handle = int
@@ -47,7 +47,8 @@ let exchange c msg =
       match Protocol.decode_reply msg with
       | Protocol.Sok, value -> Ok value
       | st, _ -> Error (Server st))
-  | (K.Nonexistent | K.Bad_address | K.No_permission | K.Too_big) as st ->
+  | ( K.Nonexistent | K.Bad_address | K.No_permission | K.Too_big
+    | K.Retryable | K.Dead ) as st ->
       Error (Ipc st)
 
 (* Like [exchange] but also decoding the (inum, version) consistency
@@ -58,7 +59,8 @@ let exchange_ext c msg =
       match Protocol.decode_reply_ext msg with
       | Protocol.Sok, value, inum, version -> Ok (value, inum, version)
       | st, _, _, _ -> Error (Server st))
-  | (K.Nonexistent | K.Bad_address | K.No_permission | K.Too_big) as st ->
+  | ( K.Nonexistent | K.Bad_address | K.No_permission | K.Too_big
+    | K.Retryable | K.Dead ) as st ->
       Error (Ipc st)
 
 let with_name c name ~op =
@@ -175,6 +177,23 @@ module Io = struct
      the streamed Load_program path instead of per-page requests. *)
   let stream_threshold_blocks = 8
 
+  (* Transient failures — [Ipc Retryable] from the kernel's reliability
+     layer, or a server-side [Sio_error] — get a bounded number of fresh
+     attempts.  Each retry is a new kernel exchange (new sequence number,
+     fresh retransmission budget); [Dead] and permanent errors surface
+     immediately.  Page reads and whole-block-image writes are idempotent,
+     so a retry after an ambiguous timeout is safe. *)
+  let max_op_retries = 2
+
+  let with_retry op =
+    let rec go attempt =
+      match op () with
+      | Error e when error_is_retryable e && attempt < max_op_retries ->
+          go (attempt + 1)
+      | r -> r
+    in
+    go 0
+
   (* Address-space layout: names at the very top ([name_scratch_size]),
      a block-sized staging buffer just below, and everything under that
      free for the caller — the streamed path stages bulk loads at the
@@ -216,7 +235,7 @@ module Io = struct
     end
 
   let open_gen io name ~op =
-    match with_name_ext io.conn name ~op with
+    match with_retry (fun () -> with_name_ext io.conn name ~op) with
     | Error e -> Error e
     | Ok (h, inum, version) ->
         (* Open-time consistency: the reply's version exposes remote
@@ -243,11 +262,14 @@ module Io = struct
     let ptr = block_scratch mem in
     let len = Bytes.length content in
     Vkernel.Mem.write mem ~pos:ptr content;
-    let msg = Msg.create () in
-    Protocol.encode_request msg ~op:Protocol.Write_page ~handle:f.fh ~block
-      ~count:len;
-    Msg.set_segment msg Msg.Read_only ~ptr ~len;
-    match exchange_ext c msg with
+    let attempt () =
+      let msg = Msg.create () in
+      Protocol.encode_request msg ~op:Protocol.Write_page ~handle:f.fh ~block
+        ~count:len;
+      Msg.set_segment msg Msg.Read_only ~ptr ~len;
+      exchange_ext c msg
+    in
+    match with_retry attempt with
     | Ok (_, _, version) ->
         note_write_reply f ~version;
         Ok ()
@@ -275,11 +297,14 @@ module Io = struct
     let c = f.io.conn in
     let mem = K.my_memory c.k in
     let ptr = block_scratch mem in
-    let msg = Msg.create () in
-    Protocol.encode_request msg ~op:Protocol.Read_page ~handle:f.fh ~block
-      ~count:bs;
-    Msg.set_segment msg Msg.Write_only ~ptr ~len:bs;
-    match exchange_ext c msg with
+    let attempt () =
+      let msg = Msg.create () in
+      Protocol.encode_request msg ~op:Protocol.Read_page ~handle:f.fh ~block
+        ~count:bs;
+      Msg.set_segment msg Msg.Write_only ~ptr ~len:bs;
+      exchange_ext c msg
+    in
+    match with_retry attempt with
     | Error e -> Error e
     | Ok (n, _, version) ->
         if version > f.version then f.version <- version;

@@ -261,7 +261,7 @@ let handle_request t ~mem ~msg ~src ~seg_count =
                    with
                   | K.Ok -> reply Protocol.Sok n
                   | K.Nonexistent | K.Bad_address | K.No_permission
-                  | K.Too_big ->
+                  | K.Too_big | K.Retryable | K.Dead ->
                       reply Protocol.Sio_error 0)))
       | Protocol.Write_basic -> (
           match lookup_handle t handle, client_seg with
@@ -287,7 +287,7 @@ let handle_request t ~mem ~msg ~src ~seg_count =
                       reply_ext Protocol.Sok n ~inum:f.of_inum
                   | Error e -> reply (fs_error_status e) 0)
               | K.Nonexistent | K.Bad_address | K.No_permission | K.Too_big
-                ->
+              | K.Retryable | K.Dead ->
                   reply Protocol.Sio_error 0))
       | Protocol.Exec -> (
           (* The general program-execution facility of Section 7: scan the
@@ -348,7 +348,7 @@ let handle_request t ~mem ~msg ~src ~seg_count =
                           with
                           | K.Ok -> push (off + chunk) true
                           | K.Nonexistent | K.Bad_address | K.No_permission
-                          | K.Too_big ->
+                          | K.Too_big | K.Retryable | K.Dead ->
                               false
                         end
                       in

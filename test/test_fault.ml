@@ -188,14 +188,18 @@ let test_send_to_dead_host_times_out () =
       (* Existing host, no such process: NACKed. *)
       let ghost = Vkernel.Pid.make ~host:2 ~local:999 in
       Alcotest.check Util.status "nacked" K.Nonexistent (K.send k1 msg ghost);
-      (* Unattached host: N timeouts then failure. *)
+      (* Unattached host: N timeouts then a transient failure; a second
+         exhaustion trips the failure detector and the host reads dead. *)
       let t0 = Vsim.Engine.now (K.engine k1) in
       let void = Vkernel.Pid.make ~host:200 ~local:1 in
-      Alcotest.check Util.status "timed out" K.Nonexistent
-        (K.send k1 msg void);
+      Alcotest.check Util.status "timed out" K.Retryable (K.send k1 msg void);
       let took = Vsim.Engine.now (K.engine k1) - t0 in
       Alcotest.(check bool) "took the retry budget" true
-        (took >= fast_config.K.max_retries * fast_config.K.retransmit_timeout_ns))
+        (took >= fast_config.K.max_retries * fast_config.K.retransmit_timeout_ns);
+      Alcotest.check Util.status "suspected dead" K.Dead (K.send k1 msg void));
+  let s1 = K.stats k1 in
+  Alcotest.(check int) "failure detector fired once" 1 s1.K.hosts_suspected;
+  Alcotest.(check bool) "timeouts were counted" true (s1.K.timeouts_fired > 0)
 
 let test_reply_pending_extends_patience () =
   (* A server that sits on the message longer than N x T: the client must
@@ -217,6 +221,197 @@ let test_reply_pending_extends_patience () =
   Alcotest.(check bool) "reply-pendings were sent" true
     ((K.stats k2).K.reply_pendings_sent > 0)
 
+let test_scripted_send_reply_loss () =
+  (* Deterministic loss: frame 1 is the client's Send, frame 2 the reply.
+     Dropping exactly the reply forces one timeout, one retransmission and
+     one filtered duplicate — each visible in the stat counters. *)
+  let tb = Util.testbed ~kernel_config:fast_config ~hosts:2 () in
+  let k1 = kernel_of tb 1 and k2 = kernel_of tb 2 in
+  Vnet.Medium.set_fault tb.Vworkload.Testbed.medium (Vnet.Fault.drop_nth [ 2 ]);
+  let server = Util.start_echo_server tb ~host:2 in
+  Util.run_as_process tb ~host:1 (fun _ ->
+      let msg = Msg.create () in
+      Msg.set_u8 msg 4 7;
+      Alcotest.check Util.status "send survives reply loss" K.Ok
+        (K.send k1 msg server);
+      Alcotest.(check int) "echoed" 8 (Msg.get_u8 msg 4));
+  let s1 = K.stats k1 and s2 = K.stats k2 in
+  Alcotest.(check int) "one retransmission" 1 s1.K.retransmissions;
+  Alcotest.(check int) "one timeout fired" 1 s1.K.timeouts_fired;
+  Alcotest.(check int) "one duplicate filtered" 1 s2.K.duplicates_filtered
+
+(* Scripted-loss transfers: a 1 KB fragment takes ~3 ms on the 3 Mb
+   medium, so a 3-fragment train outlasts the 10 ms fast timeout.  Give
+   the timers room — only the deliberately provoked one may fire. *)
+let move_config =
+  { K.default_config with K.retransmit_timeout_ns = Vsim.Time.ms 50 }
+
+let scripted_moveto tb ~drop =
+  (* A 3-fragment MoveTo inside a Send-Receive-MoveTo-Reply exchange.
+     Wire order: 1 Send, 2-4 data fragments, 5 Data_ack, 6 Reply. *)
+  let k1 = kernel_of tb 1 and k2 = kernel_of tb 2 in
+  Vnet.Medium.set_fault tb.Vworkload.Testbed.medium (Vnet.Fault.drop_nth drop);
+  let count = 3 * 1024 in
+  let mover =
+    K.spawn k2 ~name:"mover" (fun pid ->
+        let mem = K.memory k2 pid in
+        let msg = Msg.create () in
+        let src = K.receive k2 msg in
+        Vkernel.Mem.write mem ~pos:0
+          (Bytes.init count (fun i -> Vworkload.Testbed.pattern_byte i));
+        Alcotest.check Util.status "move_to" K.Ok
+          (K.move_to k2 ~dst_pid:src ~dst:0 ~src:0 ~count);
+        ignore (K.reply k2 msg src))
+  in
+  Util.run_as_process tb ~host:1 (fun pid ->
+      let mem = K.memory k1 pid in
+      let msg = Msg.create () in
+      Msg.set_segment msg Msg.Read_write ~ptr:0 ~len:count;
+      Msg.set_no_piggyback msg;
+      Alcotest.check Util.status "grant send" K.Ok (K.send k1 msg mover);
+      Util.check_pattern mem ~pos:0 ~len:count ~name:"moveto data")
+
+let test_scripted_moveto_fragment_loss () =
+  let tb = Util.testbed ~kernel_config:move_config ~hosts:2 () in
+  scripted_moveto tb ~drop:[ 3 ];
+  (* Losing a mid-train fragment is repaired by the receiver's gap NAK,
+     well before the mover's end-of-train timer can fire. *)
+  let s1 = kernel_of tb 1 |> K.stats and s2 = kernel_of tb 2 |> K.stats in
+  Alcotest.(check int) "receiver NAKed the gap" 1 s1.K.gap_naks_sent;
+  Alcotest.(check int) "mover timer never fired" 0 s2.K.timeouts_fired
+
+let test_scripted_moveto_ack_loss () =
+  let tb = Util.testbed ~kernel_config:move_config ~hosts:2 () in
+  scripted_moveto tb ~drop:[ 5 ];
+  (* Losing the Data_ack leaves the mover waiting: its timer fires, it
+     probes, and the receiver — already complete — re-acks. *)
+  let s2 = kernel_of tb 2 |> K.stats in
+  Alcotest.(check int) "mover timed out once" 1 s2.K.timeouts_fired;
+  Alcotest.(check int) "mover retransmitted once" 1 s2.K.retransmissions
+
+let test_scripted_movefrom_fragment_loss () =
+  (* MoveFrom wire order: 1 Send, 2 Move_from_req, 3-5 data fragments,
+     6 Reply.  Dropping fragment 4 makes fragment 5 arrive out of order;
+     the requester NAKs and the stream resumes from the gap. *)
+  let tb = Util.testbed ~kernel_config:move_config ~hosts:2 () in
+  let k1 = kernel_of tb 1 and k2 = kernel_of tb 2 in
+  Vnet.Medium.set_fault tb.Vworkload.Testbed.medium (Vnet.Fault.drop_nth [ 4 ]);
+  let count = 3 * 1024 in
+  let mover =
+    K.spawn k2 ~name:"mover" (fun pid ->
+        let mem = K.memory k2 pid in
+        let msg = Msg.create () in
+        let src = K.receive k2 msg in
+        Alcotest.check Util.status "move_from" K.Ok
+          (K.move_from k2 ~src_pid:src ~dst:0 ~src:0 ~count);
+        Util.check_pattern mem ~pos:0 ~len:count ~name:"movefrom data";
+        ignore (K.reply k2 msg src))
+  in
+  Util.run_as_process tb ~host:1 (fun pid ->
+      let mem = K.memory k1 pid in
+      Util.fill_pattern mem ~pos:0 ~len:count;
+      let msg = Msg.create () in
+      Msg.set_segment msg Msg.Read_only ~ptr:0 ~len:count;
+      Msg.set_no_piggyback msg;
+      Alcotest.check Util.status "grant send" K.Ok (K.send k1 msg mover));
+  let s2 = K.stats k2 in
+  Alcotest.(check int) "requester NAKed the gap" 1 s2.K.gap_naks_sent;
+  Alcotest.(check int) "requester timer never fired" 0 s2.K.timeouts_fired
+
+let test_alien_reclaim_safety () =
+  (* One alien descriptor, two clients.  Client A's reply is dropped, so
+     A keeps retransmitting a request whose cached reply lives in the only
+     alien.  Client B's arrival must NOT evict that alien while A's
+     retransmission window is plausibly open — otherwise A's retransmit
+     would be re-executed.  Once the grace period passes, B's retransmit
+     reclaims the descriptor and both complete. *)
+  let cfg = { fast_config with K.max_aliens = 1 } in
+  let tb = Util.testbed ~kernel_config:cfg ~hosts:3 () in
+  let k1 = kernel_of tb 1 and k2 = kernel_of tb 2 and k3 = kernel_of tb 3 in
+  let served = ref 0 in
+  let server =
+    K.spawn k1 ~name:"server" (fun _ ->
+        let msg = Msg.create () in
+        let rec loop () =
+          let src = K.receive k1 msg in
+          incr served;
+          ignore (K.reply k1 msg src);
+          loop ()
+        in
+        loop ())
+  in
+  (* Frame 1 is A's Send, frame 2 the server's reply to A: drop it. *)
+  Vnet.Medium.set_fault tb.Vworkload.Testbed.medium (Vnet.Fault.drop_nth [ 2 ]);
+  let a_done = ref false and b_done = ref false in
+  let (_ : Vkernel.Pid.t) =
+    K.spawn k2 ~name:"client-a" (fun _ ->
+        let msg = Msg.create () in
+        Alcotest.check Util.status "client A completes" K.Ok
+          (K.send k2 msg server);
+        a_done := true)
+  in
+  let (_ : Vkernel.Pid.t) =
+    K.spawn k3 ~name:"client-b" (fun _ ->
+        Vsim.Proc.sleep (Vsim.Time.ms 2);
+        let msg = Msg.create () in
+        Alcotest.check Util.status "client B completes" K.Ok
+          (K.send k3 msg server);
+        b_done := true)
+  in
+  Vworkload.Testbed.run tb;
+  Alcotest.(check bool) "both clients finished" true (!a_done && !b_done);
+  Alcotest.(check int) "server executed each request exactly once" 2 !served;
+  let s1 = K.stats k1 in
+  Alcotest.(check int) "exactly one alien reclaimed" 1 s1.K.aliens_reclaimed;
+  Alcotest.(check bool) "A's retransmit served from the reply cache" true
+    (s1.K.duplicates_filtered >= 1);
+  Alcotest.(check bool) "B waited out the pool" true (s1.K.alien_pool_full >= 1)
+
+let test_reply_just_before_timeout () =
+  (* A reply that lands a hair before the client's retransmission timer:
+     the stale timer must be a no-op — no spurious retransmission, no
+     duplicate service, no double resume. *)
+  let delay = ref 0 in
+  let tb = Util.testbed ~kernel_config:fast_config ~hosts:2 () in
+  let k1 = kernel_of tb 1 and k2 = kernel_of tb 2 in
+  let served = ref 0 in
+  let server =
+    K.spawn k2 ~name:"edge-server" (fun _ ->
+        let msg = Msg.create () in
+        let rec loop () =
+          let src = K.receive k2 msg in
+          incr served;
+          if !delay > 0 then Vsim.Proc.sleep !delay;
+          ignore (K.reply k2 msg src);
+          loop ()
+        in
+        loop ())
+  in
+  let completions = ref 0 in
+  Util.run_as_process tb ~host:1 (fun _ ->
+      let msg = Msg.create () in
+      (* Calibrate: a zero-delay exchange measures the loss-free RTT. *)
+      let t0 = Vsim.Engine.now (K.engine k1) in
+      Alcotest.check Util.status "calibration" K.Ok (K.send k1 msg server);
+      let rtt = Vsim.Engine.now (K.engine k1) - t0 in
+      let t_cfg = fast_config.K.retransmit_timeout_ns in
+      Alcotest.(check bool) "rtt below timeout" true (rtt < t_cfg);
+      List.iter
+        (fun margin ->
+          (* The reply arrives [margin] before the timer would fire. *)
+          delay := t_cfg - rtt - margin;
+          Alcotest.check Util.status "razor-edge reply" K.Ok
+            (K.send k1 msg server);
+          incr completions)
+        [ Vsim.Time.us 200; Vsim.Time.us 50; Vsim.Time.us 10; Vsim.Time.us 1 ]);
+  Alcotest.(check int) "every exchange resumed exactly once" 4 !completions;
+  let s1 = K.stats k1 and s2 = K.stats k2 in
+  Alcotest.(check int) "no spurious retransmission" 0 s1.K.retransmissions;
+  Alcotest.(check int) "no timer fired" 0 s1.K.timeouts_fired;
+  Alcotest.(check int) "server executed each request once" 5 !served;
+  Alcotest.(check int) "no duplicate reached the server" 0
+    s2.K.duplicates_filtered
+
 let suite =
   [
     Alcotest.test_case "send survives loss" `Quick test_send_survives_loss;
@@ -230,4 +425,15 @@ let suite =
     Alcotest.test_case "dead host" `Quick test_send_to_dead_host_times_out;
     Alcotest.test_case "reply-pending patience" `Quick
       test_reply_pending_extends_patience;
+    Alcotest.test_case "scripted send reply loss" `Quick
+      test_scripted_send_reply_loss;
+    Alcotest.test_case "scripted move_to fragment loss" `Quick
+      test_scripted_moveto_fragment_loss;
+    Alcotest.test_case "scripted move_to ack loss" `Quick
+      test_scripted_moveto_ack_loss;
+    Alcotest.test_case "scripted move_from fragment loss" `Quick
+      test_scripted_movefrom_fragment_loss;
+    Alcotest.test_case "alien reclaim safety" `Quick test_alien_reclaim_safety;
+    Alcotest.test_case "reply just before timeout" `Quick
+      test_reply_just_before_timeout;
   ]

@@ -13,6 +13,7 @@ let () =
       ("move", Test_move.suite);
       ("registry", Test_registry.suite);
       ("fault", Test_fault.suite);
+      ("rto", Test_rto.suite);
       ("disk", Test_disk.suite);
       ("fs", Test_fs.suite);
       ("file-server", Test_server.suite);

@@ -62,9 +62,18 @@ let test_not_found_times_out () =
       let r = K.get_pid k1 ~logical_id:404 K.Any in
       t_took := Vsim.Engine.now (K.engine k1) - t0;
       Alcotest.(check bool) "no such service" true (r = None));
+  (* GetPid rides the shared retransmission path: 1 + max_retries
+     broadcast attempts, each waiting at least the base timeout. *)
   let cfg = Vkernel.Kernel.default_config in
   Alcotest.(check bool) "took the retry budget" true
-    (!t_took >= cfg.K.getpid_retries * cfg.K.getpid_timeout_ns)
+    (!t_took >= (1 + cfg.K.max_retries) * cfg.K.retransmit_timeout_ns);
+  (* The rebroadcasts land in the shared counters, not a GetPid-private
+     path. *)
+  let s1 = K.stats k1 in
+  Alcotest.(check int) "rebroadcasts counted as retransmissions"
+    cfg.K.max_retries s1.K.retransmissions;
+  Alcotest.(check int) "expiries counted as timeouts"
+    (1 + cfg.K.max_retries) s1.K.timeouts_fired
 
 let test_cache_after_discovery () =
   let tb = Util.testbed ~hosts:2 () in
