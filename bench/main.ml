@@ -30,6 +30,7 @@ let experiments =
     ("ablations", Experiments.ablations);
     ("span_decomposition", Experiments.span_decomposition);
     ("loss_sweep", Experiments.loss_sweep);
+    ("server_scaling", Experiments.server_scaling);
   ]
 
 let run_all () =

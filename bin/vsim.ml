@@ -215,13 +215,19 @@ let page_cmd =
           s.Vfs.Cache.writebacks s.Vfs.Cache.invalidations
     | None -> ()
   in
-  let run obs mhz net local write basic cache_blocks cache_policy =
+  let workers_arg =
+    Arg.(value & opt int 1
+         & info [ "workers" ]
+             ~doc:"File-server worker processes (1 = the classic single \
+                   Receive loop).")
+  in
+  let run obs mhz net local write basic cache_blocks cache_policy workers =
     with_obs obs @@ fun () ->
     let cpu_model = model_of_mhz mhz
     and medium_config = medium_of_net net in
     if cache_blocks = 0 then
       pp_cols
-        (Vworkload.Rigs.page_op ~cpu_model ~medium_config
+        (Vworkload.Rigs.page_op ~cpu_model ~medium_config ~workers
            ~client_host:(if local then 1 else 2)
            ~write ~basic ())
     else
@@ -258,7 +264,7 @@ let page_cmd =
        ~doc:"512-byte page access against a file server, optionally \
              through a client block cache")
     Term.(const run $ obs_term $ mhz_arg $ net_arg $ local_arg $ write_flag
-          $ basic_flag $ cache_blocks_arg $ cache_policy_arg)
+          $ basic_flag $ cache_blocks_arg $ cache_policy_arg $ workers_arg)
 
 (* --- load ------------------------------------------------------------ *)
 
@@ -317,12 +323,18 @@ let capacity_cmd =
   let duration =
     Arg.(value & opt int 4 & info [ "duration" ] ~doc:"Simulated seconds.")
   in
-  let run obs mhz clients think duration =
+  let workers =
+    Arg.(value & opt int 1
+         & info [ "workers" ]
+             ~doc:"File-server worker processes (1 = the classic single \
+                   Receive loop).")
+  in
+  let run obs mhz clients think duration workers =
     with_obs obs @@ fun () ->
     let thr, mean, cpu, net =
       Vworkload.Rigs.capacity ~cpu_model:(model_of_mhz mhz)
         ~duration:(Vsim.Time.sec duration)
-        ~think_mean:(Vsim.Time.ms think) ~clients ()
+        ~think_mean:(Vsim.Time.ms think) ~workers ~clients ()
     in
     Format.printf
       "%d workstations: %.1f req/s, mean %.2f ms, server cpu %.0f%%, \
@@ -331,7 +343,8 @@ let capacity_cmd =
   in
   Cmd.v
     (Cmd.info "capacity" ~doc:"File-server capacity under multi-client load")
-    Term.(const run $ obs_term $ mhz_arg $ clients $ think $ duration)
+    Term.(const run $ obs_term $ mhz_arg $ clients $ think $ duration
+          $ workers)
 
 (* --- fault ------------------------------------------------------------ *)
 

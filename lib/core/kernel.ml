@@ -347,6 +347,12 @@ let rto_state t ~dst_host =
       Hashtbl.replace t.rtos dst_host st;
       st
 
+(* Read-only probe: does not create detector state for unseen hosts. *)
+let host_suspected t ~host =
+  match Hashtbl.find_opt t.rtos host with
+  | Some st -> st.rto_suspected
+  | None -> false
+
 let rto_clamp t v = min (max v t.cfg.rto_min_ns) t.cfg.rto_max_ns
 
 (* The un-backed-off, un-jittered timeout.  With samples this is the
@@ -1975,6 +1981,15 @@ let forward t msg ~from_pid ~to_pid =
               enqueue_msg t td
                 { q_src = from_pid; q_seq = al.al_seq; q_msg = al'.al_msg;
                   q_local = false };
+              (* The reply will come from [to_pid]: the sender's kernel
+                 must retarget its retransmissions and segment grant or
+                 it will drop the new server's reply segment. *)
+              let notice =
+                Packet.make ~op:Packet.Fwd_notice ~src_pid:d.d_pid
+                  ~dst_pid:from_pid ~seq:al.al_seq
+                  ~aux:(Pid.to_int to_pid) ()
+              in
+              send_pkt t ~dst_host:(Pid.host from_pid) notice;
               try_deliver t td;
               Ok
         end

@@ -124,6 +124,13 @@ val my_memory : t -> Mem.t
 val alive : t -> Pid.t -> bool
 val process_name : t -> Pid.t -> string option
 
+val host_suspected : t -> host:int -> bool
+(** Whether this kernel's failure detector currently suspects
+    destination [host] (consecutive retry exhaustions reached the
+    suspect threshold; see [suspect_threshold] in {!config}).  [false]
+    for hosts the kernel has never talked to.  Read-only: servers use
+    it to reclaim resources held on behalf of dead clients. *)
+
 (** {1 IPC primitives (call from process fibers only)} *)
 
 val send : t -> Msg.t -> Pid.t -> status

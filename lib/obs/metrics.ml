@@ -76,7 +76,17 @@ let handle t (ev : Vsim.Event.t) =
   | Disk_io { host; ns; _ } ->
       add t ~host "disk_ios" 1;
       observe t ~host "disk_ns" (float_of_int ns)
+  | Disk_queue { host; depth; wait_ns } ->
+      observe t ~host ~bounds:depth_bounds "disk_queue_depth"
+        (float_of_int depth);
+      observe t ~host "disk_queue_wait_ns" (float_of_int wait_ns)
   | Fs_request { host; _ } -> add t ~host "fs_requests" 1
+  | Server_dispatch { host; busy; queued; _ } ->
+      add t ~host "server_dispatches" 1;
+      observe t ~host ~bounds:depth_bounds "server_busy_workers"
+        (float_of_int busy);
+      observe t ~host ~bounds:depth_bounds "server_request_queue"
+        (float_of_int queued)
   | Cache_op { host; op; _ } -> (
       match op with
       | "hit" -> add t ~host "cache_hits" 1

@@ -69,7 +69,14 @@ type t =
   | Queue_depth of { host : int; pid : int; depth : int }
   | Cpu_grant of { host : int; cpu : string; ns : int }
   | Disk_io of { host : int; rw : string; block : int; ns : int }
+  | Disk_queue of { host : int; depth : int; wait_ns : int }
   | Fs_request of { host : int; op : string; block : int; count : int }
+  | Server_dispatch of {
+      host : int;
+      worker : int;
+      busy : int;
+      queued : int;
+    }
   | Cache_op of { host : int; op : string; inum : int; block : int }
   | Span_open of { host : int; kind : string; pid : int; seq : int }
   | Span_close of {
@@ -103,7 +110,9 @@ let name = function
   | Queue_depth _ -> "queue_depth"
   | Cpu_grant _ -> "cpu_grant"
   | Disk_io _ -> "disk_io"
+  | Disk_queue _ -> "disk_queue"
   | Fs_request _ -> "fs_request"
+  | Server_dispatch _ -> "server_dispatch"
   | Cache_op _ -> "cache_op"
   | Span_open _ -> "span_open"
   | Span_close _ -> "span_close"
@@ -117,8 +126,8 @@ let topic = function
   | Backoff _ | Host_suspected _ | Collision _ | Nic_busy _ ->
       "net"
   | Cpu_grant _ -> "cpu"
-  | Disk_io _ -> "disk"
-  | Fs_request _ -> "fs"
+  | Disk_io _ | Disk_queue _ -> "disk"
+  | Fs_request _ | Server_dispatch _ -> "fs"
   | Cache_op _ -> "cache"
   | Span_open _ | Span_close _ -> "span"
   | User { topic; _ } -> topic
@@ -142,7 +151,9 @@ let host = function
   | Queue_depth { host; _ }
   | Cpu_grant { host; _ }
   | Disk_io { host; _ }
+  | Disk_queue { host; _ }
   | Fs_request { host; _ }
+  | Server_dispatch { host; _ }
   | Cache_op { host; _ }
   | Span_open { host; _ }
   | Span_close { host; _ } ->
@@ -193,8 +204,12 @@ let fields = function
   | Cpu_grant { host = _; cpu; ns } -> [ ("cpu", S cpu); ("ns", I ns) ]
   | Disk_io { host = _; rw; block; ns } ->
       [ ("rw", S rw); ("block", I block); ("ns", I ns) ]
+  | Disk_queue { host = _; depth; wait_ns } ->
+      [ ("depth", I depth); ("wait_ns", I wait_ns) ]
   | Fs_request { host = _; op; block; count } ->
       [ ("op", S op); ("block", I block); ("count", I count) ]
+  | Server_dispatch { host = _; worker; busy; queued } ->
+      [ ("worker", I worker); ("busy", I busy); ("queued", I queued) ]
   | Cache_op { host = _; op; inum; block } ->
       [ ("op", S op); ("inum", I inum); ("block", I block) ]
   | Span_open { host = _; kind; pid; seq } ->

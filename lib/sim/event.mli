@@ -85,7 +85,23 @@ type t =
       (** Message-queue depth of [pid] after an enqueue. *)
   | Cpu_grant of { host : int; cpu : string; ns : int }
   | Disk_io of { host : int; rw : string; block : int; ns : int }
+  | Disk_queue of { host : int; depth : int; wait_ns : int }
+      (** A disk request arrived while the device was busy and joined the
+          FCFS queue: [depth] requests are now waiting (including this
+          one) and this request will wait [wait_ns] before service
+          starts.  Never emitted when the device is idle, so traces of
+          non-overlapping workloads are unchanged. *)
   | Fs_request of { host : int; op : string; block : int; count : int }
+  | Server_dispatch of {
+      host : int;
+      worker : int;
+      busy : int;
+      queued : int;
+    }
+      (** The file-server dispatcher handed a client request to worker
+          pid [worker]; [busy] workers are now busy and [queued] requests
+          remain waiting for a free worker.  Only emitted by multi-worker
+          servers ([config.workers > 1]). *)
   | Cache_op of { host : int; op : string; inum : int; block : int }
       (** Client-side block-cache activity on [host]; [op] is ["hit"],
           ["miss"], ["evict"], ["writeback"] or ["invalidate"]. *)

@@ -7,6 +7,8 @@ type latency =
       cylinders : int;
     }
 
+type pending = { p_cost : int; p_action : unit -> unit }
+
 type t = {
   eng : Vsim.Engine.t;
   dhost : int;
@@ -18,6 +20,11 @@ type t = {
   mutable n_reads : int;
   mutable n_writes : int;
   mutable busy : int;
+  queue : pending Queue.t;
+  mutable in_service : bool;
+  mutable n_waits : int;
+  mutable wait_ns : int;
+  mutable max_depth : int;
   rng : Vsim.Rng.t;
 }
 
@@ -36,6 +43,11 @@ let create eng ?(host = 0) ?(latency = Fixed (Vsim.Time.ms 20)) ~blocks
     n_reads = 0;
     n_writes = 0;
     busy = 0;
+    queue = Queue.create ();
+    in_service = false;
+    n_waits = 0;
+    wait_ns = 0;
+    max_depth = 0;
     rng = Vsim.Rng.split (Vsim.Engine.rng eng);
   }
 
@@ -46,6 +58,10 @@ let set_latency t lat = t.lat <- lat
 let reads t = t.n_reads
 let writes t = t.n_writes
 let busy_ns t = t.busy
+let queue_depth t = Queue.length t.queue
+let max_queue_depth t = t.max_depth
+let queue_waits t = t.n_waits
+let queue_wait_ns t = t.wait_ns
 
 let check_block t b =
   if b < 0 || b >= Array.length t.store then
@@ -64,18 +80,54 @@ let access_time t b =
       let rot = Vsim.Rng.int t.rng (max 1 rotation_ns) in
       base_ns + seek + rot
 
-(* Serialize operations: an access starts when the device frees up. *)
+(* The device is an FCFS queued resource: one access in service at a
+   time, arrivals while busy wait in [queue].  Service instants are
+   identical to the old implementation's [free_at] reservation scheme
+   (start = max now free_at, finish = start + cost), but waiting
+   requests are now held explicitly so depth and wait time are
+   observable.  [access_time] is evaluated at submit time — the head
+   position and rotation draw follow request-arrival order, matching
+   the previous behavior exactly. *)
+let rec begin_service t cost action =
+  t.in_service <- true;
+  let finish = Vsim.Engine.now t.eng + cost in
+  ignore
+    (Vsim.Engine.at t.eng finish (fun () ->
+         action ();
+         (* [action] may resume a fiber that immediately submits another
+            request; it is queued behind us and picked up here. *)
+         match Queue.take_opt t.queue with
+         | Some p -> begin_service t p.p_cost p.p_action
+         | None -> t.in_service <- false))
+
 let schedule t ~rw b k =
   let cost = access_time t b in
   let now = Vsim.Engine.now t.eng in
   let start = max now t.free_at in
-  let finish = start + cost in
-  t.free_at <- finish;
+  t.free_at <- start + cost;
   t.busy <- t.busy + cost;
   if Vsim.Trace.tracing t.eng then
     Vsim.Trace.event t.eng
       (Vsim.Event.Disk_io { host = t.dhost; rw; block = b; ns = cost });
-  ignore (Vsim.Engine.at t.eng finish k)
+  if t.in_service then begin
+    Queue.push { p_cost = cost; p_action = k } t.queue;
+    let wait = start - now in
+    (* [wait = 0] happens when a request is submitted from within the
+       previous completion (a fiber resumed at the finish instant reads
+       its next block); that is back-to-back service, not contention, so
+       it is not counted and emits no event — traces of non-overlapping
+       workloads stay byte-identical. *)
+    if wait > 0 then begin
+      let depth = Queue.length t.queue in
+      if depth > t.max_depth then t.max_depth <- depth;
+      t.n_waits <- t.n_waits + 1;
+      t.wait_ns <- t.wait_ns + wait;
+      if Vsim.Trace.tracing t.eng then
+        Vsim.Trace.event t.eng
+          (Vsim.Event.Disk_queue { host = t.dhost; depth; wait_ns = wait })
+    end
+  end
+  else begin_service t cost k
 
 let read_k t b k =
   check_block t b;

@@ -6,9 +6,13 @@
     latency — for exact reproduction — and a simple seek + rotation model
     for more realistic workloads.
 
-    One operation is serviced at a time; queued requests wait, which is
-    what couples many-client load to disk saturation in the Section 7
-    experiments. *)
+    The device is an FCFS queued resource: one operation is in service
+    at a time and arrivals while busy wait in an explicit queue, which
+    is what couples many-client load to disk saturation in the
+    Section 7 experiments.  Queue depth and wait time are observable
+    ({!queue_depth}, {!queue_wait_ns}) and genuine contention — a
+    request arriving while the device is busy with an unrelated access
+    — emits a [Disk_queue] trace event. *)
 
 type latency =
   | Fixed of Vsim.Time.t  (** every access costs exactly this *)
@@ -49,3 +53,18 @@ val reads : t -> int
 val writes : t -> int
 val busy_ns : t -> int
 (** Total time the device spent servicing requests. *)
+
+val queue_depth : t -> int
+(** Requests currently waiting for service (excludes the one in
+    service). *)
+
+val max_queue_depth : t -> int
+(** High-water mark of {!queue_depth} among requests that actually had
+    to wait. *)
+
+val queue_waits : t -> int
+(** Number of requests that arrived while the device was busy and spent
+    nonzero time queued. *)
+
+val queue_wait_ns : t -> int
+(** Total time requests spent waiting in the queue before service. *)

@@ -9,6 +9,7 @@ type config = {
   exec_compute_ns_per_page : int;
       (** processor time the Exec facility charges per scanned page *)
   max_open : int;
+  workers : int;
   register_id : int option;
 }
 
@@ -20,28 +21,39 @@ let default_config =
     fs_process_ns = 0;
     exec_compute_ns_per_page = Vsim.Time.us 500;
     max_open = 32;
+    workers = 1;
     register_id = Some Protocol.fileserver_logical_id;
   }
 
-type open_file = { of_inum : int; mutable of_last_block : int }
+type open_file = {
+  of_inum : int;
+  of_owner : Vkernel.Pid.t;
+  of_stamp : int;  (* open order, for oldest-first reclaim *)
+  mutable of_last_block : int;
+}
 
 type t = {
   kernel : K.t;
   fs : Fs.t;
   cfg : config;
   mutable spid : Vkernel.Pid.t;
+  mutable worker_pids : Vkernel.Pid.t list;
   handles : open_file option array;
   versions : (int, int) Hashtbl.t;
       (* per-inode version number, bumped on every accepted mutation;
          piggybacked on extended replies for client-cache consistency *)
+  mutable open_seq : int;
   mutable n_requests : int;
   mutable n_reads : int;
   mutable n_writes : int;
   mutable n_loads : int;
   mutable n_execs : int;
+  mutable n_dispatches : int;
+  mutable n_reclaimed : int;
 }
 
 let pid t = t.spid
+let workers t = max 1 t.cfg.workers
 
 let file_version t ~inum =
   match Hashtbl.find_opt t.versions inum with Some v -> v | None -> 1
@@ -53,23 +65,66 @@ let pages_read t = t.n_reads
 let pages_written t = t.n_writes
 let loads_served t = t.n_loads
 let execs_served t = t.n_execs
+let dispatches t = t.n_dispatches
+let handles_reclaimed t = t.n_reclaimed
 
 (* Server address-space layout: a block-sized scratch buffer for request
    segments and page data, and a larger staging buffer for program loads. *)
 let scratch_ptr = 0
 let load_ptr = 8192
 
-let alloc_handle t inum =
-  let rec go h =
+(* A handle's owner is gone when its process is no longer alive (local
+   owners) or when the failure detector suspects its host (remote
+   owners — the server only learns of a dead client through its own
+   exhausted retransmissions, e.g. a MoveTo that never acks). *)
+let owner_gone t owner =
+  let ohost = Vkernel.Pid.host owner in
+  if ohost = K.host t.kernel then not (K.alive t.kernel owner)
+  else K.host_suspected t.kernel ~host:ohost
+
+(* Under open pressure, evict the oldest handle whose owner is dead or
+   suspected.  Returns [true] if a slot was freed. *)
+let reclaim_dead_handle t =
+  let best = ref None in
+  Array.iteri
+    (fun h slot ->
+      match slot with
+      | Some f when h > 0 && owner_gone t f.of_owner -> (
+          match !best with
+          | Some (stamp, _) when stamp <= f.of_stamp -> ()
+          | _ -> best := Some (f.of_stamp, h))
+      | _ -> ())
+    t.handles;
+  match !best with
+  | Some (_, h) ->
+      t.handles.(h) <- None;
+      t.n_reclaimed <- t.n_reclaimed + 1;
+      true
+  | None -> false
+
+let alloc_handle t ~owner inum =
+  let rec free h =
     if h >= Array.length t.handles then None
-    else
-      match t.handles.(h) with
-      | None ->
-          t.handles.(h) <- Some { of_inum = inum; of_last_block = -1 };
-          Some h
-      | Some _ -> go (h + 1)
+    else match t.handles.(h) with None -> Some h | Some _ -> free (h + 1)
   in
-  go 1
+  let slot =
+    match free 1 with
+    | Some h -> Some h
+    | None -> if reclaim_dead_handle t then free 1 else None
+  in
+  match slot with
+  | None -> None
+  | Some h ->
+      t.open_seq <- t.open_seq + 1;
+      t.handles.(h) <-
+        Some
+          {
+            of_inum = inum;
+            of_owner = owner;
+            of_stamp = t.open_seq;
+            of_last_block = -1;
+          };
+      Some h
 
 let lookup_handle t h =
   if h <= 0 || h >= Array.length t.handles then None else t.handles.(h)
@@ -91,7 +146,10 @@ let string_of_segment mem ~count =
 
 (* Read-ahead per Table 6-2: after replying to a sequential read, fetch
    the next block before the next Receive, overlapping disk latency with
-   the client's next request's network time. *)
+   the client's next request's network time.  Callers gate this on the
+   access actually being sequential (block = previous block + 1) —
+   prefetching on a random-access stream wastes a full disk access per
+   request. *)
 let maybe_read_ahead t (f : open_file) ~block =
   if t.cfg.read_ahead then begin
     match Fs.size t.fs ~inum:f.of_inum with
@@ -160,8 +218,8 @@ let handle_request t ~mem ~msg ~src ~seg_count =
           match inum with
           | Error e -> reply (fs_error_status e) 0
           | Ok inum -> (
-              match alloc_handle t inum with
-              | None -> reply Protocol.Sio_error 0
+              match alloc_handle t ~owner:src inum with
+              | None -> reply Protocol.Sno_space 0
               | Some h -> reply_ext Protocol.Sok h ~inum))
       | Protocol.Close -> (
           match lookup_handle t handle with
@@ -205,8 +263,11 @@ let handle_request t ~mem ~msg ~src ~seg_count =
                   ignore
                     (K.reply_with_segment t.kernel msg src ~destptr:dptr
                        ~segptr:scratch_ptr ~segsize:n);
+                  (* A fresh handle ([of_last_block = -1]) starting at
+                     block 0 counts as sequential. *)
+                  let sequential = block = f.of_last_block + 1 in
                   f.of_last_block <- block;
-                  maybe_read_ahead t f ~block))
+                  if sequential then maybe_read_ahead t f ~block))
       | Protocol.Write_page -> (
           match lookup_handle t handle with
           | None -> reply Protocol.Sbad_handle 0
@@ -355,6 +416,8 @@ let handle_request t ~mem ~msg ~src ~seg_count =
                       if push 0 true then reply Protocol.Sok n
                       else reply Protocol.Sio_error 0))))
 
+(* Single-worker mode: the seed's one-process Receive loop, preserved
+   byte-for-byte (no dispatcher, no extra IPC, no new events). *)
 let server_body t mem pid () =
   t.spid <- pid;
   (match t.cfg.register_id with
@@ -371,6 +434,76 @@ let server_body t mem pid () =
   in
   loop ()
 
+(* Worker-team mode (the paper's Section 6 note that the V server is "a
+   team of processes" so disk latency overlaps request handling).  Each
+   worker announces itself idle with a Send to the dispatcher; the
+   dispatcher Forwards a queued client request to it (retargeting the
+   client's reply path and any piggybacked segment, Thoth-style) and
+   then Replies to the idle Send to wake it.  The worker Receives the
+   forwarded request, serves it against the shared [Fs.t]/handle table,
+   and replies directly to the client. *)
+let worker_body t mem _pid () =
+  let idle = Msg.create () in
+  let msg = Msg.create () in
+  let rec loop () =
+    ignore (K.send t.kernel idle t.spid);
+    let src, seg_count =
+      K.receive_with_segment t.kernel msg ~segptr:scratch_ptr
+        ~segsize:Fs.block_size
+    in
+    handle_request t ~mem ~msg ~src ~seg_count;
+    loop ()
+  in
+  loop ()
+
+let dispatcher_body t pid () =
+  t.spid <- pid;
+  (match t.cfg.register_id with
+  | Some lid -> K.set_pid t.kernel ~logical_id:lid pid K.Any
+  | None -> ());
+  let msg = Msg.create () in
+  let wake = Msg.create () in
+  let idle : Vkernel.Pid.t Queue.t = Queue.create () in
+  let pending : (Vkernel.Pid.t * Msg.t) Queue.t = Queue.create () in
+  let is_worker src =
+    List.exists (fun w -> Vkernel.Pid.equal w src) t.worker_pids
+  in
+  let rec dispatch () =
+    if not (Queue.is_empty idle || Queue.is_empty pending) then begin
+      let src, m = Queue.pop pending in
+      let w = Queue.peek idle in
+      match K.forward t.kernel m ~from_pid:src ~to_pid:w with
+      | K.Ok ->
+          ignore (Queue.pop idle);
+          t.n_dispatches <- t.n_dispatches + 1;
+          let eng = K.engine t.kernel in
+          if Vsim.Trace.tracing eng then
+            Vsim.Trace.event eng
+              (Vsim.Event.Server_dispatch
+                 {
+                   host = K.host t.kernel;
+                   worker = Vkernel.Pid.to_int w;
+                   busy = List.length t.worker_pids - Queue.length idle;
+                   queued = Queue.length pending;
+                 });
+          ignore (K.reply t.kernel wake w);
+          dispatch ()
+      | K.Nonexistent | K.Bad_address | K.No_permission | K.Too_big
+      | K.Retryable | K.Dead ->
+          (* The client vanished while queued; drop its request and keep
+             the worker idle for the next one. *)
+          dispatch ()
+    end
+  in
+  let rec loop () =
+    let src = K.receive t.kernel msg in
+    if is_worker src then Queue.push src idle
+    else Queue.push (src, Msg.copy msg) pending;
+    dispatch ();
+    loop ()
+  in
+  loop ()
+
 let start kernel fs ?(config = default_config) () =
   let t =
     {
@@ -378,19 +511,43 @@ let start kernel fs ?(config = default_config) () =
       fs;
       cfg = config;
       spid = Vkernel.Pid.nil;
+      worker_pids = [];
       handles = Array.make (max 2 config.max_open) None;
       versions = Hashtbl.create 16;
+      open_seq = 0;
       n_requests = 0;
       n_reads = 0;
       n_writes = 0;
       n_loads = 0;
       n_execs = 0;
+      n_dispatches = 0;
+      n_reclaimed = 0;
     }
   in
-  let pid =
-    K.spawn kernel ~name:"file-server" ~mem_size:(256 * 1024) (fun pid ->
-        let mem = K.memory kernel pid in
-        server_body t mem pid ())
-  in
-  t.spid <- pid;
-  t
+  (* Process bodies are deferred fibers (Engine.after 0), so every
+     field assigned below is visible before any body runs. *)
+  if config.workers <= 1 then begin
+    let pid =
+      K.spawn kernel ~name:"file-server" ~mem_size:(256 * 1024) (fun pid ->
+          let mem = K.memory kernel pid in
+          server_body t mem pid ())
+    in
+    t.spid <- pid;
+    t
+  end
+  else begin
+    let pid =
+      K.spawn kernel ~name:"file-server" ~mem_size:4096 (fun pid ->
+          dispatcher_body t pid ())
+    in
+    t.spid <- pid;
+    t.worker_pids <-
+      List.init config.workers (fun i ->
+          K.spawn kernel
+            ~name:(Printf.sprintf "fs-worker-%d" i)
+            ~mem_size:(256 * 1024)
+            (fun pid ->
+              let mem = K.memory kernel pid in
+              worker_body t mem pid ()));
+    t
+  end

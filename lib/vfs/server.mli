@@ -1,7 +1,13 @@
 (** The V file server.
 
-    A single server process implementing the {!Protocol} over a local
-    filesystem, as the paper's diskless workstations use it:
+    A server implementing the {!Protocol} over a local filesystem, as
+    the paper's diskless workstations use it.  By default it is a
+    single Receive-loop process; with [config.workers > 1] it becomes
+    the paper's "team of processes" (Section 6): a dispatcher process
+    owns the registered server pid and Forwards each client request to
+    an idle worker, so one worker's disk wait overlaps another's
+    request processing.  Workers share the filesystem, the open-file
+    table and the per-inode versions.  Operation details:
 
     - page reads answered with ReplyWithSegment (two packets per read);
     - page writes received with ReceiveWithSegment (two packets per write);
@@ -28,6 +34,11 @@ type config = {
   exec_compute_ns_per_page : int;
       (** processor time the Exec facility charges per scanned page *)
   max_open : int;  (** open-file table size *)
+  workers : int;
+      (** number of worker processes; [1] (the default) preserves the
+          original single-process server byte-for-byte, [> 1] runs the
+          dispatcher + worker team and emits [Server_dispatch] trace
+          events *)
   register_id : int option;
       (** logical id to register (network scope); default the well-known
           file-server id, [None] to skip registration *)
@@ -42,6 +53,11 @@ val start : Vkernel.Kernel.t -> Fs.t -> ?config:config -> unit -> t
     the server registers itself and serves forever. *)
 
 val pid : t -> Vkernel.Pid.t
+(** The pid clients Send to: the server process itself in single-worker
+    mode, the dispatcher in team mode. *)
+
+val workers : t -> int
+(** Configured team size (at least 1). *)
 
 val file_version : t -> inum:int -> int
 (** Current version number of the inode, starting at 1 and bumped on
@@ -55,3 +71,12 @@ val pages_read : t -> int
 val pages_written : t -> int
 val loads_served : t -> int
 val execs_served : t -> int
+
+val dispatches : t -> int
+(** Requests handed to workers by the dispatcher (0 in single-worker
+    mode, where no dispatch step exists). *)
+
+val handles_reclaimed : t -> int
+(** Open-file handles evicted under open pressure because their owner
+    was dead or its host suspected — see {!Vkernel.Kernel.host_suspected}.
+    When no handle can be reclaimed a full table answers [Sno_space]. *)

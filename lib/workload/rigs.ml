@@ -190,9 +190,11 @@ let file_rig ?(hosts = 2) ?(cpu_model = Vhw.Cost_model.sun_10mhz)
   (tb, fs, server)
 
 let page_op ?(trials = 50) ?(cpu_model = Vhw.Cost_model.sun_10mhz)
-    ?(medium_config = Vnet.Medium.config_3mb) ~client_host ~write ~basic () =
+    ?(medium_config = Vnet.Medium.config_3mb) ?(workers = 1) ~client_host
+    ~write ~basic () =
   let tb, _fs, _srv =
     file_rig ~hosts:(max 2 client_host) ~cpu_model ~medium_config
+      ~server_config:{ Vfs.Server.default_config with workers }
       ~latency:(Vfs.Disk.Fixed 0) ~files:[ ("pages", 16 * 512) ] ()
   in
   let k = kernel_of tb client_host in
@@ -364,13 +366,14 @@ let cached_write ?(cpu_model = Vhw.Cost_model.sun_10mhz)
 
 let capacity ?(cpu_model = Vhw.Cost_model.sun_10mhz)
     ?(duration = Vsim.Time.sec 4) ?(think_mean = Vsim.Time.ms 320)
-    ?(servers = 1) ~clients () =
+    ?(servers = 1) ?(workers = 1) ~clients () =
   let server_config =
     {
       Vfs.Server.default_config with
       Vfs.Server.fs_process_ns = Vsim.Time.us 3500;
       transfer_unit = 16384;
       max_open = 2 * (clients + 2);
+      workers;
     }
   in
   let tb = Testbed.create ~cpu_model ~hosts:(clients + servers) () in
@@ -389,7 +392,11 @@ let capacity ?(cpu_model = Vhw.Cost_model.sun_10mhz)
   in
   let eng = tb.Testbed.eng in
   let rec_ = Recorder.create eng ~warmup:(Vsim.Time.ms 300) () in
-  let cpu_mark = Vhw.Cpu.mark (cpu_of tb 1) in
+  (* Aggregate CPU utilization across *all* server hosts (1..servers),
+     not just the first one. *)
+  let cpu_marks =
+    Array.init servers (fun i -> Vhw.Cpu.mark (cpu_of tb (i + 1)))
+  in
   let net_mark = Vnet.Medium.mark tb.Testbed.medium in
   for c = 1 to clients do
     let k = kernel_of tb (c + servers) in
@@ -418,7 +425,78 @@ let capacity ?(cpu_model = Vhw.Cost_model.sun_10mhz)
            loop ()))
   done;
   Testbed.run tb;
+  let server_util =
+    let sum = ref 0.0 in
+    Array.iteri
+      (fun i mark ->
+        sum := !sum +. Vhw.Cpu.utilization_since (cpu_of tb (i + 1)) mark)
+      cpu_marks;
+    !sum /. float_of_int servers
+  in
   ( Recorder.throughput_per_sec rec_,
     Recorder.mean_ms rec_,
-    Vhw.Cpu.utilization_since (cpu_of tb 1) cpu_mark,
+    server_util,
     Vnet.Medium.utilization_since tb.Testbed.medium net_mark )
+
+type contention_cols = {
+  c_throughput : float;
+  c_mean_ms : float;
+  c_p95_ms : float;
+  c_disk_waits : int;
+  c_max_disk_queue : int;
+  c_dispatches : int;
+}
+
+(* Closed-loop random page reads with the server's data cache disabled,
+   so every request pays fs CPU *and* one disk access — the two-stage
+   pipeline a worker team overlaps.  Each client issues a fixed request
+   count, which keeps runs deterministic and comparable across worker
+   counts. *)
+let contention ?(cpu_model = Vhw.Cost_model.sun_10mhz) ?(workers = 1)
+    ?(reads_per_client = 40) ?(think_mean = Vsim.Time.ms 10) ~clients () =
+  let server_config =
+    {
+      Vfs.Server.default_config with
+      Vfs.Server.fs_process_ns = Vsim.Time.us 3500;
+      max_open = 2 * (clients + 2);
+      workers;
+    }
+  in
+  let tb = Testbed.create ~cpu_model ~hosts:(clients + 1) () in
+  let fs =
+    Testbed.make_test_fs tb
+      ~latency:(Vfs.Disk.Fixed (Vsim.Time.ms 8))
+      ~files:[ ("data", 64 * 512) ]
+      ()
+  in
+  Vfs.Fs.set_cache_enabled fs false;
+  let srv = Vfs.Server.start (kernel_of tb 1) fs ~config:server_config () in
+  let spid = Vfs.Server.pid srv in
+  let eng = tb.Testbed.eng in
+  let rec_ = Recorder.create eng () in
+  for c = 1 to clients do
+    let k = kernel_of tb (c + 1) in
+    ignore
+      (K.spawn k ~name:"ws" (fun _ ->
+           let rng = Vsim.Rng.split (Vsim.Engine.rng eng) in
+           let conn = get (Vfs.Client.connect_to k spid) in
+           let dh = get (Vfs.Client.open_file conn "data") in
+           for _ = 1 to reads_per_client do
+             Vsim.Proc.sleep
+               (Think.sample (Think.Exponential think_mean) rng);
+             Recorder.measure rec_ (fun () ->
+                 ignore
+                   (Vfs.Client.read_page conn dh
+                      ~block:(Vsim.Rng.int rng 64) ~buf:0 ()))
+           done))
+  done;
+  Testbed.run tb;
+  let dsk = Vfs.Fs.disk fs in
+  {
+    c_throughput = Recorder.throughput_per_sec rec_;
+    c_mean_ms = Recorder.mean_ms rec_;
+    c_p95_ms = Recorder.p95_ms rec_;
+    c_disk_waits = Vfs.Disk.queue_waits dsk;
+    c_max_disk_queue = Vfs.Disk.max_queue_depth dsk;
+    c_dispatches = Vfs.Server.dispatches srv;
+  }

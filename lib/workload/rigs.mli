@@ -82,6 +82,7 @@ val page_op :
   ?trials:int ->
   ?cpu_model:Vhw.Cost_model.t ->
   ?medium_config:Vnet.Medium.config ->
+  ?workers:int ->
   client_host:int ->
   write:bool ->
   basic:bool ->
@@ -89,7 +90,9 @@ val page_op :
   cols
 (** 512-byte page read/write against a file server on host 1, from
     [client_host] (1 = same machine).  [basic] selects the Thoth-style
-    MoveTo/MoveFrom variant (Table 6-1, Section 6.1). *)
+    MoveTo/MoveFrom variant (Table 6-1, Section 6.1).  [workers] sizes
+    the server's process team (a single client cannot benefit, but the
+    dispatch overhead becomes visible). *)
 
 val program_load :
   ?cpu_model:Vhw.Cost_model.t ->
@@ -150,11 +153,37 @@ val capacity :
   ?duration:Vsim.Time.t ->
   ?think_mean:Vsim.Time.t ->
   ?servers:int ->
+  ?workers:int ->
   clients:int ->
   unit ->
   float * float * float * float
-(** [(throughput_per_s, mean_ms, server1_cpu_util, net_util)] for the
+(** [(throughput_per_s, mean_ms, server_cpu_util, net_util)] for the
     Section 7 multi-client mix (90% page reads, 10% 64 KB loads).
     [servers] > 1 spreads the clients across several file-server
     machines — the paper's "add more file server machines" scaling
-    argument. *)
+    argument — and [server_cpu_util] is the mean utilization across all
+    of them.  [workers] sizes each server's process team. *)
+
+type contention_cols = {
+  c_throughput : float;  (** completed reads per simulated second *)
+  c_mean_ms : float;
+  c_p95_ms : float;
+  c_disk_waits : int;  (** disk requests that queued behind another *)
+  c_max_disk_queue : int;
+  c_dispatches : int;  (** worker dispatches (0 for a 1-worker server) *)
+}
+
+val contention :
+  ?cpu_model:Vhw.Cost_model.t ->
+  ?workers:int ->
+  ?reads_per_client:int ->
+  ?think_mean:Vsim.Time.t ->
+  clients:int ->
+  unit ->
+  contention_cols
+(** Closed-loop random page reads from [clients] workstations against
+    one file server with a [workers]-process team and its data cache
+    disabled, so every request pays ~3.5 ms of fs CPU plus an 8 ms disk
+    access.  A team overlaps one request's disk wait with another's
+    processing; a single worker serializes them.  Deterministic: each
+    client issues exactly [reads_per_client] requests. *)

@@ -80,6 +80,53 @@ let test_seek_model () =
       Alcotest.(check int) "same cylinder: base only" (Vsim.Time.ms 2) same
   | _ -> Alcotest.fail "missing measurements"
 
+let test_queue_accounting () =
+  (* Three submissions at t=0: the first enters service immediately, the
+     other two queue behind it and their waits are accounted. *)
+  let eng = Vsim.Engine.create () in
+  let d =
+    Vfs.Disk.create eng ~latency:(Vfs.Disk.Fixed (Vsim.Time.ms 10))
+      ~blocks:8 ~block_size:16 ()
+  in
+  let finish = ref [] in
+  let note _ = finish := Vsim.Engine.now eng :: !finish in
+  Vfs.Disk.read_k d 0 note;
+  Vfs.Disk.read_k d 1 note;
+  Vfs.Disk.read_k d 2 note;
+  Alcotest.(check int) "two queued behind the head" 2 (Vfs.Disk.queue_depth d);
+  Vsim.Engine.run eng;
+  Alcotest.(check (list int))
+    "FCFS completion order"
+    [ Vsim.Time.ms 10; Vsim.Time.ms 20; Vsim.Time.ms 30 ]
+    (List.rev !finish);
+  Alcotest.(check int) "queue drained" 0 (Vfs.Disk.queue_depth d);
+  Alcotest.(check int) "two requests waited" 2 (Vfs.Disk.queue_waits d);
+  (* The second waits 10 ms, the third 20 ms. *)
+  Alcotest.(check int)
+    "total queue wait" (Vsim.Time.ms 30)
+    (Vfs.Disk.queue_wait_ns d);
+  Alcotest.(check int) "max depth" 2 (Vfs.Disk.max_queue_depth d)
+
+let test_queue_idle_unaccounted () =
+  (* Back-to-back sequential use (submit after the previous completion)
+     never touches the queue counters — the busy single-server case must
+     look identical to the seed. *)
+  let eng = Vsim.Engine.create () in
+  let d =
+    Vfs.Disk.create eng ~latency:(Vfs.Disk.Fixed (Vsim.Time.ms 10))
+      ~blocks:8 ~block_size:16 ()
+  in
+  let (_ : Vsim.Proc.t) =
+    Vsim.Proc.spawn eng (fun () ->
+        let (_ : Bytes.t) = Vfs.Disk.read d 0 in
+        let (_ : Bytes.t) = Vfs.Disk.read d 1 in
+        ())
+  in
+  Vsim.Engine.run eng;
+  Alcotest.(check int) "no waits" 0 (Vfs.Disk.queue_waits d);
+  Alcotest.(check int) "no wait time" 0 (Vfs.Disk.queue_wait_ns d);
+  Alcotest.(check int) "no depth" 0 (Vfs.Disk.max_queue_depth d)
+
 let test_bounds () =
   let eng = Vsim.Engine.create () in
   let d = Vfs.Disk.create eng ~blocks:4 ~block_size:16 () in
@@ -98,5 +145,8 @@ let suite =
     Alcotest.test_case "persistence" `Quick test_persistence;
     Alcotest.test_case "serialization" `Quick test_serialization;
     Alcotest.test_case "seek model" `Quick test_seek_model;
+    Alcotest.test_case "queue accounting" `Quick test_queue_accounting;
+    Alcotest.test_case "idle queue unaccounted" `Quick
+      test_queue_idle_unaccounted;
     Alcotest.test_case "bounds" `Quick test_bounds;
   ]

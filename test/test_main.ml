@@ -17,6 +17,7 @@ let () =
       ("disk", Test_disk.suite);
       ("fs", Test_fs.suite);
       ("file-server", Test_server.suite);
+      ("server-team", Test_team.suite);
       ("cache", Test_cache.suite);
       ("baseline", Test_baseline.suite);
       ("workload", Test_workload.suite);

@@ -217,6 +217,87 @@ let test_exec_cheaper_on_the_wire () =
   Alcotest.(check int) "exec is one exchange" 2 !exec_pkts;
   Alcotest.(check int) "fetch is 2 packets/page" 64 !fetch_pkts
 
+let test_read_ahead_sequential_only () =
+  (* Regression: read-ahead used to prefetch after *every* read, paying a
+     wasted disk access per request under random access.  Count raw disk
+     reads with read-ahead on and off over the same block pattern: random
+     access must cost exactly the same, sequential access exactly one
+     more (the one-block prefetch that runs past the last read). *)
+  let disk_reads ~read_ahead pattern =
+    let server_config =
+      { Vfs.Server.default_config with Vfs.Server.read_ahead }
+    in
+    let tb, fs, _ =
+      rig ~files:[ ("ra", 16 * 512) ] ~server_config
+        ~latency:(Vfs.Disk.Fixed (Vsim.Time.ms 5)) ()
+    in
+    Vfs.Fs.evict_cache fs;
+    let k2 = kernel_of tb 2 in
+    let dsk = Vfs.Fs.disk fs in
+    let count = ref 0 in
+    Util.run_as_process tb ~host:2 (fun _ ->
+        let conn = connect k2 in
+        let h = get (Vfs.Client.open_file conn "ra") in
+        let before = Vfs.Disk.reads dsk in
+        List.iter
+          (fun b ->
+            ignore (get (Vfs.Client.read_page conn h ~block:b ~buf:0 ())))
+          pattern;
+        count := Vfs.Disk.reads dsk - before);
+    !count
+  in
+  (* No element is the successor of the one before it. *)
+  let random = [ 9; 2; 11; 4; 13; 6; 1; 8 ] in
+  Alcotest.(check int)
+    "random access prefetches nothing"
+    (disk_reads ~read_ahead:false random)
+    (disk_reads ~read_ahead:true random);
+  let sequential = [ 0; 1; 2; 3; 4; 5; 6; 7 ] in
+  Alcotest.(check int)
+    "sequential access still prefetches"
+    (disk_reads ~read_ahead:false sequential + 1)
+    (disk_reads ~read_ahead:true sequential)
+
+let test_handle_reclaim () =
+  (* max_open = 4 gives three usable slots (handle 0 is never issued). *)
+  let server_config =
+    { Vfs.Server.default_config with Vfs.Server.max_open = 4 }
+  in
+  let tb, _, srv =
+    rig ~files:[ ("a", 1024); ("b", 1024); ("c", 1024) ] ~server_config ()
+  in
+  let k1 = kernel_of tb 1 in
+  let k2 = kernel_of tb 2 in
+  (* A local client fills the whole table and never closes. *)
+  let holder =
+    K.spawn k1 ~name:"holder" (fun _ ->
+        let conn = connect k1 in
+        ignore (get (Vfs.Client.open_file conn "a"));
+        ignore (get (Vfs.Client.open_file conn "b"));
+        ignore (get (Vfs.Client.open_file conn "c")))
+  in
+  Vworkload.Testbed.run tb;
+  (* While the holder lives its handles are untouchable: the table is
+     full and a new open is refused. *)
+  Util.run_as_process tb ~host:2 (fun _ ->
+      let conn = connect k2 in
+      match Vfs.Client.open_file conn "a" with
+      | Error (Vfs.Client.Server Vfs.Protocol.Sno_space) -> ()
+      | Error e ->
+          Alcotest.failf "wrong error: %s" (Vfs.Client.error_to_string e)
+      | Ok _ -> Alcotest.fail "open succeeded on a full table");
+  Alcotest.(check int) "nothing reclaimed while the owner lives" 0
+    (Vfs.Server.handles_reclaimed srv);
+  (* Once the owner is destroyed, open pressure reclaims its slots. *)
+  K.destroy k1 holder;
+  Util.run_as_process tb ~host:2 (fun _ ->
+      let conn = connect k2 in
+      let h = get (Vfs.Client.open_file conn "b") in
+      let n = get (Vfs.Client.read_page conn h ~block:0 ~buf:0 ()) in
+      Alcotest.(check int) "read through the reclaimed slot" 512 n);
+  Alcotest.(check int) "one slot reclaimed" 1
+    (Vfs.Server.handles_reclaimed srv)
+
 let test_multi_client_counts () =
   let tb = Util.testbed ~hosts:4 () in
   let fs = Vworkload.Testbed.make_test_fs tb ~files:[ ("f", 4096) ] () in
@@ -252,5 +333,9 @@ let suite =
     Alcotest.test_case "partial page count" `Quick test_partial_page_count;
     Alcotest.test_case "exec scan" `Quick test_exec_scan;
     Alcotest.test_case "exec wire cost" `Quick test_exec_cheaper_on_the_wire;
+    Alcotest.test_case "read-ahead only when sequential" `Quick
+      test_read_ahead_sequential_only;
+    Alcotest.test_case "handle reclaim under open pressure" `Quick
+      test_handle_reclaim;
     Alcotest.test_case "multi-client" `Quick test_multi_client_counts;
   ]
