@@ -31,6 +31,7 @@ let experiments =
     ("span_decomposition", Experiments.span_decomposition);
     ("loss_sweep", Experiments.loss_sweep);
     ("server_scaling", Experiments.server_scaling);
+    ("check_sweep", Experiments.check_sweep);
   ]
 
 let run_all () =

@@ -396,6 +396,91 @@ let fault_cmd =
     Term.(const run $ obs_term $ mhz_arg $ net_arg $ drop $ corrupt $ bug
           $ timeout $ rto_mode $ trials_arg)
 
+(* --- check: systematic fault-schedule exploration --------------------- *)
+
+let check_cmd =
+  let depth =
+    Arg.(value & opt int 2
+         & info [ "depth" ] ~docv:"N"
+             ~doc:"Maximum scheduled faults per run (1 or 2).")
+  in
+  let limit =
+    Arg.(value & opt int 600
+         & info [ "limit" ] ~docv:"N"
+             ~doc:"Stop after exploring $(docv) schedules.")
+  in
+  let repro =
+    Arg.(value & opt (some file) None
+         & info [ "repro" ] ~docv:"FILE"
+             ~doc:"Replay the single schedule in $(docv) (as emitted on a \
+                   violation) instead of sweeping.")
+  in
+  let emit =
+    Arg.(value & opt string "vcheck.repro"
+         & info [ "emit-repro" ] ~docv:"FILE"
+             ~doc:"Where to write the minimized reproducer on violation.")
+  in
+  let print_violations vs =
+    List.iter
+      (fun v ->
+        Format.printf "  violation -- %a@." Vcheck.Checker.pp_violation v)
+      vs
+  in
+  let run depth limit repro emit =
+    match repro with
+    | Some path -> (
+        let text = In_channel.with_open_text path In_channel.input_all in
+        match Vcheck.Schedule.of_string text with
+        | Error e ->
+            Format.eprintf "vsim check: %s@." e;
+            exit 2
+        | Ok s -> (
+            Format.printf "replaying schedule: %a@." Vcheck.Schedule.pp s;
+            let report =
+              Vcheck.Workload.run ~fault:(Vcheck.Schedule.to_fault s) ()
+            in
+            Format.printf "@[<v>%a@]@." Vcheck.Checker.pp_report report;
+            match Vcheck.Checker.violations_of report with
+            | [] -> Format.printf "no invariant violations@."
+            | vs ->
+                print_violations vs;
+                exit 1))
+    | None -> (
+        match Vcheck.Checker.sweep ~depth ~limit () with
+        | Error vs ->
+            Format.printf "the unfaulted baseline run violates invariants:@.";
+            print_violations vs;
+            exit 1
+        | Ok r -> (
+            Format.printf "baseline workload: %d frames, %d operations@."
+              r.Vcheck.Checker.baseline_frames Vcheck.Workload.op_count;
+            match r.Vcheck.Checker.failure with
+            | None ->
+                Format.printf
+                  "explored %d fault schedules (depth <= %d): no invariant \
+                   violations@."
+                  r.Vcheck.Checker.schedules_run depth
+            | Some (first, minimal, vs) ->
+                Format.printf "violation at schedule %d of the sweep@."
+                  r.Vcheck.Checker.schedules_run;
+                Format.printf "  first failing: %a@." Vcheck.Schedule.pp first;
+                Format.printf "  minimized:     %a@." Vcheck.Schedule.pp
+                  minimal;
+                print_violations vs;
+                Out_channel.with_open_text emit (fun oc ->
+                    output_string oc
+                      (Vcheck.Checker.repro_file_contents minimal vs));
+                Format.printf "reproducer written to %s@." emit;
+                exit 1))
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Systematically explore fault schedules (drop / duplicate / \
+             delay / reorder per frame) over a scripted IPC workload, \
+             checking the paper's protocol invariants after every run; \
+             violations are shrunk to a minimal replayable schedule")
+    Term.(const run $ depth $ limit $ repro $ emit)
+
 (* --- run: assemble a program and execute it on a diskless ws --------- *)
 
 let run_cmd =
@@ -470,4 +555,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ ipc_cmd; penalty_cmd; move_cmd; page_cmd; load_cmd; seq_cmd;
-            capacity_cmd; fault_cmd; run_cmd ]))
+            capacity_cmd; fault_cmd; check_cmd; run_cmd ]))

@@ -1,0 +1,168 @@
+type violation = { invariant : string; detail : string }
+
+let pp_violation fmt v =
+  Format.fprintf fmt "%s: %s" v.invariant v.detail
+
+(* Judge one run report against the paper's claims.  A depth-2 schedule
+   can force at most a few retransmissions, far under max_retries, so
+   under any such schedule every operation must still succeed. *)
+let violations_of (r : Workload.report) =
+  let vs = ref [] in
+  let add invariant detail = vs := { invariant; detail } :: !vs in
+  if not r.Workload.completed then
+    add "termination"
+      (Printf.sprintf "run did not quiesce cleanly (%d events executed)"
+         r.Workload.events);
+  List.iter
+    (fun (o : Workload.op_result) ->
+      if not o.Workload.ok then
+        add "op-result"
+          (Printf.sprintf "%s failed (%s)" o.Workload.op o.Workload.detail))
+    r.Workload.ops;
+  if r.Workload.completed && List.length r.Workload.ops < Workload.op_count
+  then
+    add "op-result"
+      (Printf.sprintf "only %d of %d operations ran"
+         (List.length r.Workload.ops) Workload.op_count);
+  List.iter
+    (fun (name, n) ->
+      if n <> 1 then
+        add "exactly-once"
+          (Printf.sprintf "server %s applied %d times (want 1)" name n))
+    r.Workload.ledger;
+  if r.Workload.pages_written <> 1 then
+    add "exactly-once"
+      (Printf.sprintf "file server wrote %d pages (want 1)"
+         r.Workload.pages_written);
+  if r.Workload.completed && not r.Workload.file_ok then
+    add "data" "server-side file bytes differ from the client's write";
+  List.iter
+    (fun (p : Workload.kernel_probe) ->
+      let t = p.Workload.tables in
+      let leak name n =
+        if n <> 0 then
+          add "table-drain"
+            (Printf.sprintf "host %d: %d %s left at quiescence"
+               p.Workload.host n name)
+      in
+      leak "live aliens" t.Vkernel.Kernel.aliens_live;
+      leak "incomplete mt_ins" t.Vkernel.Kernel.mt_ins_incomplete;
+      leak "mt_outs" t.Vkernel.Kernel.mt_outs_pending;
+      leak "mf_outs" t.Vkernel.Kernel.mf_outs_pending;
+      leak "getpid waits" t.Vkernel.Kernel.getpid_pending;
+      leak "blocked senders" t.Vkernel.Kernel.sends_blocked)
+    r.Workload.kernels;
+  let m = r.Workload.medium in
+  let open Vnet.Medium in
+  if m.targeted + m.duplicated <> m.delivered + m.dropped then
+    add "conservation"
+      (Printf.sprintf
+         "medium: targeted %d + duplicated %d <> delivered %d + dropped %d"
+         m.targeted m.duplicated m.delivered m.dropped);
+  List.rev !vs
+
+let run_schedule ?max_events (s : Schedule.t) =
+  violations_of (Workload.run ~fault:(Schedule.to_fault s) ?max_events ())
+
+(* A deterministic, wall-clock-free digest of one run, for replay
+   diagnosis. *)
+let pp_report fmt (r : Workload.report) =
+  Format.fprintf fmt "completed=%b frames=%d@," r.Workload.completed
+    r.Workload.frames;
+  List.iter
+    (fun (o : Workload.op_result) ->
+      Format.fprintf fmt "op %-14s %s (%s)@," o.Workload.op
+        (if o.Workload.ok then "ok" else "FAILED")
+        o.Workload.detail)
+    r.Workload.ops;
+  Format.fprintf fmt "ledger:";
+  List.iter
+    (fun (name, n) -> Format.fprintf fmt " %s=%d" name n)
+    r.Workload.ledger;
+  Format.fprintf fmt " pages_written=%d file_ok=%b@," r.Workload.pages_written
+    r.Workload.file_ok;
+  List.iter
+    (fun (p : Workload.kernel_probe) ->
+      Format.fprintf fmt "host %d: %a@,        %a@," p.Workload.host
+        Vkernel.Kernel.pp_stats p.Workload.kstats
+        Vkernel.Kernel.pp_table_counts p.Workload.tables)
+    r.Workload.kernels;
+  let m = r.Workload.medium in
+  Format.fprintf fmt
+    "medium: attempted=%d targeted=%d delivered=%d dropped=%d duplicated=%d \
+     collisions=%d excessive=%d"
+    m.Vnet.Medium.attempted m.Vnet.Medium.targeted m.Vnet.Medium.delivered
+    m.Vnet.Medium.dropped m.Vnet.Medium.duplicated m.Vnet.Medium.collisions
+    m.Vnet.Medium.excessive
+
+(* Greedy delta debugging: drop one entry at a time, keeping any removal
+   that preserves a violation, until no single removal does.  [run] is a
+   parameter so the strategy is testable against synthetic oracles. *)
+let shrink ~run (s : Schedule.t) =
+  let violates s = run s <> [] in
+  let rec go s =
+    let n = List.length s in
+    let rec try_without i =
+      if i >= n then s
+      else
+        let candidate = List.filteri (fun j _ -> j <> i) s in
+        if violates candidate then go candidate else try_without (i + 1)
+    in
+    if n <= 1 then s else try_without 0
+  in
+  go s
+
+type sweep_result = {
+  schedules_run : int;
+  baseline_frames : int;
+  failure : (Schedule.t * Schedule.t * violation list) option;
+      (** first violating schedule, its shrunk form, and the shrunk
+          form's violations *)
+}
+
+(* Enumerate schedules over the baseline run's frame positions and stop
+   at the first violation (shrunk to a minimal reproducer) or at
+   [limit].  The baseline run itself must be violation-free. *)
+let sweep ?(depth = 2) ?(limit = 600) ?(actions = Schedule.default_actions)
+    ?max_events ?(progress = fun _ -> ()) () =
+  let baseline = Workload.run ?max_events () in
+  match violations_of baseline with
+  | _ :: _ as vs -> Error vs
+  | [] ->
+      let frames = baseline.Workload.frames in
+      let run s = run_schedule ?max_events s in
+      let count = ref 0 in
+      let failure = ref None in
+      let seq = Schedule.enumerate ~depth ~frames ~actions in
+      (try
+         Seq.iter
+           (fun s ->
+             if !count >= limit then raise Exit;
+             incr count;
+             progress !count;
+             match run s with
+             | [] -> ()
+             | _ :: _ ->
+                 let minimal = shrink ~run s in
+                 failure := Some (s, minimal, run minimal);
+                 raise Exit)
+           seq
+       with Exit -> ());
+      Ok
+        {
+          schedules_run = !count;
+          baseline_frames = frames;
+          failure = !failure;
+        }
+
+let repro_file_contents (s : Schedule.t) (vs : violation list) =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "# vcheck minimal reproducer -- replay with: vsim check --repro FILE\n";
+  List.iter
+    (fun v ->
+      Buffer.add_string b
+        (Printf.sprintf "# violates %s: %s\n" v.invariant v.detail))
+    vs;
+  Buffer.add_string b (Schedule.to_string s);
+  Buffer.add_char b '\n';
+  Buffer.contents b

@@ -1,0 +1,54 @@
+(** The fault-schedule explorer: invariants, sweep, shrinker.
+
+    The paper claims (Sections 3.2, 5.4) the V IPC protocol stays
+    correct under packet loss: retransmissions are filtered, replies are
+    cached, non-idempotent operations apply exactly once.  {!sweep}
+    tests those claims systematically — every depth-1 and depth-2 fault
+    schedule over the {!Workload} baseline's frames, each run judged by
+    {!violations_of} — and shrinks any failure to a minimal replayable
+    schedule. *)
+
+type violation = { invariant : string; detail : string }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val violations_of : Workload.report -> violation list
+(** Empty iff the run upholds every invariant: termination, per-op
+    success and data fidelity, exactly-once application, protocol-table
+    drain, and medium delivery conservation. *)
+
+val run_schedule : ?max_events:int -> Schedule.t -> violation list
+(** One workload run under the schedule, judged. *)
+
+val pp_report : Format.formatter -> Workload.report -> unit
+(** Deterministic digest of a run (ops, ledger, per-kernel stats and
+    tables, medium counters) for replay diagnosis. *)
+
+val shrink : run:(Schedule.t -> violation list) -> Schedule.t -> Schedule.t
+(** Greedy delta debugging: repeatedly remove any single entry whose
+    removal preserves a violation.  The result still violates (per
+    [run]) and no strictly smaller single-removal neighbour does. *)
+
+type sweep_result = {
+  schedules_run : int;
+  baseline_frames : int;
+  failure : (Schedule.t * Schedule.t * violation list) option;
+      (** first violating schedule, its shrunk form, and the shrunk
+          form's violations; [None] when every schedule passed *)
+}
+
+val sweep :
+  ?depth:int ->
+  ?limit:int ->
+  ?actions:Vnet.Fault.action list ->
+  ?max_events:int ->
+  ?progress:(int -> unit) ->
+  unit ->
+  (sweep_result, violation list) result
+(** Systematic exploration, stopping at the first violation or after
+    [limit] schedules.  [Error vs] when the unfaulted baseline itself
+    violates (nothing useful can be explored then).  [progress] is
+    called with the running schedule count. *)
+
+val repro_file_contents : Schedule.t -> violation list -> string
+(** The replayable repro-file text for a minimized schedule. *)

@@ -1,0 +1,110 @@
+type entry = { frame : int; action : Vnet.Fault.action }
+type t = entry list
+
+let to_fault s =
+  Vnet.Fault.script (List.map (fun e -> (e.frame, e.action)) s)
+
+let entry_to_string e =
+  match e.action with
+  | Vnet.Fault.Drop -> Printf.sprintf "drop@%d" e.frame
+  | Vnet.Fault.Duplicate -> Printf.sprintf "dup@%d" e.frame
+  | Vnet.Fault.Delay ns -> Printf.sprintf "delay@%d+%dus" e.frame (ns / 1000)
+  | Vnet.Fault.Reorder -> Printf.sprintf "reorder@%d" e.frame
+
+let to_string s = String.concat " " (List.map entry_to_string s)
+
+let pp fmt s =
+  if s = [] then Format.pp_print_string fmt "(empty)"
+  else Format.pp_print_string fmt (to_string s)
+
+let entry_of_string w =
+  match String.index_opt w '@' with
+  | None -> Error (Printf.sprintf "bad schedule entry %S: missing '@'" w)
+  | Some i -> (
+      let verb = String.sub w 0 i in
+      let rest = String.sub w (i + 1) (String.length w - i - 1) in
+      let frame_of str =
+        match int_of_string_opt str with
+        | Some n when n >= 1 -> Ok n
+        | _ -> Error (Printf.sprintf "bad frame number in %S" w)
+      in
+      match verb with
+      | "drop" ->
+          Result.map (fun frame -> { frame; action = Vnet.Fault.Drop })
+            (frame_of rest)
+      | "dup" ->
+          Result.map (fun frame -> { frame; action = Vnet.Fault.Duplicate })
+            (frame_of rest)
+      | "reorder" ->
+          Result.map (fun frame -> { frame; action = Vnet.Fault.Reorder })
+            (frame_of rest)
+      | "delay" -> (
+          match String.index_opt rest '+' with
+          | None -> Error (Printf.sprintf "bad delay entry %S: missing '+'" w)
+          | Some j ->
+              let frame_s = String.sub rest 0 j in
+              let us_s = String.sub rest (j + 1) (String.length rest - j - 1) in
+              let us_s =
+                if Filename.check_suffix us_s "us" then
+                  Filename.chop_suffix us_s "us"
+                else us_s
+              in
+              Result.bind (frame_of frame_s) (fun frame ->
+                  match int_of_string_opt us_s with
+                  | Some us when us > 0 ->
+                      Ok { frame; action = Vnet.Fault.Delay (us * 1000) }
+                  | _ -> Error (Printf.sprintf "bad delay amount in %S" w)))
+      | _ -> Error (Printf.sprintf "unknown schedule verb %S" verb))
+
+let of_string str =
+  let words =
+    String.split_on_char '\n' str
+    |> List.concat_map (fun line ->
+           (* '#' starts a comment; blank lines are ignored. *)
+           let line =
+             match String.index_opt line '#' with
+             | Some i -> String.sub line 0 i
+             | None -> line
+           in
+           String.split_on_char ' ' line)
+    |> List.filter (fun w -> String.trim w <> "")
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | w :: ws -> (
+        match entry_of_string (String.trim w) with
+        | Ok e -> go (e :: acc) ws
+        | Error _ as e -> e)
+  in
+  go [] words
+
+let default_delay_ns = Vsim.Time.ms 15
+
+let default_actions =
+  Vnet.Fault.[ Drop; Duplicate; Delay default_delay_ns; Reorder ]
+
+(* Systematic enumeration, lazily: every single-entry schedule over frames
+   1..frames in (frame, action) lexicographic order, then every two-entry
+   schedule with strictly increasing frame positions.  Deterministic and
+   duplicate-free by construction. *)
+let enumerate ~depth ~frames ~actions =
+  let frame_seq = Seq.init frames (fun i -> i + 1) in
+  let entries f = List.to_seq actions |> Seq.map (fun a -> { frame = f; action = a }) in
+  let depth1 = Seq.concat_map (fun f -> Seq.map (fun e -> [ e ]) (entries f)) frame_seq in
+  let depth2 =
+    Seq.concat_map
+      (fun f1 ->
+        Seq.concat_map
+          (fun e1 ->
+            Seq.concat_map
+              (fun f2 ->
+                if f2 <= f1 then Seq.empty
+                else Seq.map (fun e2 -> [ e1; e2 ]) (entries f2))
+              frame_seq)
+          (entries f1))
+      frame_seq
+  in
+  match depth with
+  | 1 -> depth1
+  | 2 -> Seq.append depth1 depth2
+  | d -> invalid_arg (Printf.sprintf "Schedule.enumerate: depth %d not supported" d)

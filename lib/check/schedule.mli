@@ -1,0 +1,34 @@
+(** Fault schedules: scripted per-frame actions, their textual repro
+    format, and the systematic enumerator.
+
+    A schedule names frames by their 1-based position in the medium's
+    completed-transmission order during the unfaulted baseline run of the
+    workload, and assigns each a {!Vnet.Fault.action}.  The textual form
+    is whitespace-separated entries — [drop@3], [dup@7], [delay@5+15000us],
+    [reorder@9] — with [#] comments, so a minimized reproducer is a plain
+    one-line file. *)
+
+type entry = { frame : int; action : Vnet.Fault.action }
+type t = entry list
+
+val to_fault : t -> Vnet.Fault.t
+
+val to_string : t -> string
+val of_string : string -> (t, string) result
+(** Inverse of {!to_string}; also accepts newlines and [#] comments. *)
+
+val pp : Format.formatter -> t -> unit
+
+val default_delay_ns : int
+(** 15 ms: longer than the workload's 10 ms retransmission timeout, so a
+    delayed frame both forces a retransmission and later lands as a
+    duplicate. *)
+
+val default_actions : Vnet.Fault.action list
+(** Drop, Duplicate, Delay {!default_delay_ns}, Reorder. *)
+
+val enumerate :
+  depth:int -> frames:int -> actions:Vnet.Fault.action list -> t Seq.t
+(** All schedules with at most [depth] (1 or 2) entries over frames
+    [1..frames]: depth-1 schedules first, then depth-2 with strictly
+    increasing positions.  Lazy, deterministic, duplicate-free. *)

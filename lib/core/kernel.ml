@@ -122,6 +122,11 @@ type desc = {
   mutable d_reply_buf : Msg.t option;
   mutable d_recv : receive_wait option;
   mutable d_rsend : rsend option;
+  mutable d_mf_gen : int;
+      (** invalidates superseded MoveFrom streams sourced from this
+          process — a retransmitted request or a NAK starts a fresh
+          stream, and without supersession the old ones keep running and
+          flood the requester with out-of-order fragments *)
 }
 
 (* Alien process descriptors: surrogates for remote senders (Section 3.2).
@@ -182,6 +187,11 @@ type mf_out = {
   mfo_total : int;
   mfo_mem : Mem.t;
   mutable mfo_expected : int;
+  mutable mfo_nak_at : int;
+      (** expected offset the last NAK reported, [-1] if none is
+          outstanding — stale in-flight fragments keep arriving after a
+          gap is detected, and NAKing each of them spawns one redundant
+          restream per NAK *)
   mutable mfo_retries : int;
   mutable mfo_timer : Vsim.Engine.handle option;
   mutable mfo_tgen : int;  (** timer epoch *)
@@ -392,6 +402,18 @@ let rto_timeout_ns t ~dst_host ~bytes =
       let backed = min (base * (1 lsl min st.rto_backoff 6)) t.cfg.rto_max_ns in
       if st.rto_backoff = 0 then backed
       else backed + Vsim.Rng.int (Vsim.Engine.rng t.eng) (1 + (backed / 8))
+
+(* The interval a peer's retransmission timers plausibly use right now:
+   base shifted by the live backoff and capped, but without jitter and
+   without touching the RNG.  For reclaim horizons that must scale with a
+   backed-off adaptive RTO rather than the static configured timeout. *)
+let rto_current_ns t ~dst_host ~bytes =
+  match t.cfg.rto_mode with
+  | Fixed -> t.cfg.retransmit_timeout_ns
+  | Adaptive ->
+      let st = rto_state t ~dst_host in
+      let base = rto_base_of t st ~bytes in
+      min (base * (1 lsl min st.rto_backoff 6)) t.cfg.rto_max_ns
 
 (* Every retransmission-timer expiry passes through here (both modes):
    count it, grow the backoff, and trace the interval that just fired. *)
@@ -939,8 +961,10 @@ let stream_mt t (mto : mt_out) ~from =
    segment back to a remote requester. *)
 let stream_mf t ~(src_desc : desc) ~requester ~seq ~base_ptr ~total ~from =
   let m = model t in
+  let gen = src_desc.d_mf_gen in
   let ok () =
-    src_desc.d_state = Awaiting_reply requester
+    src_desc.d_mf_gen = gen
+    && src_desc.d_state = Awaiting_reply requester
     && (match src_desc.d_grant with
        | Some g ->
            grant_covers g ~who:requester ~ptr:base_ptr ~len:total
@@ -1033,6 +1057,7 @@ and mf_timeout t (mfo : mf_out) ~gen ~rto =
                seq = mfo.mfo_seq;
                attempt = mfo.mfo_retries;
              });
+      mfo.mfo_nak_at <- -1;
       mf_send_request t mfo
     end
   end
@@ -1069,6 +1094,13 @@ let handle_send_pkt t (pkt : Packet.t) =
           | A_replied, None | A_queued, _ | A_received, _ ->
               send_reply_pending t ~dst_host:reply_host ~src_pid:dst
                 ~dst_pid:src ~seq:pkt.Packet.seq)
+      | Some al when pkt.Packet.seq < al.al_seq ->
+          (* A stale straggler (delayed or reordered in the network) from
+             an exchange this sender has already completed: sequence
+             numbers from one sender only grow, so the alien's newer seq
+             proves the sender moved on.  Filter it — delivering it as a
+             fresh message would apply a non-idempotent operation twice. *)
+          t.s_dups <- t.s_dups + 1
       | existing ->
           (* A new message from this sender supersedes any older alien. *)
           (match existing with Some al -> remove_alien t al | None -> ());
@@ -1223,12 +1255,21 @@ let handle_data_mt t (pkt : Packet.t) =
             end
             else begin
               (* Lazily reclaim entries old enough that their mover has
-                 long since given up retransmitting. *)
+                 long since given up retransmitting.  The horizon follows
+                 each entry's current per-destination RTO: under an
+                 adaptive, backed-off estimator the static configured
+                 timeout can be far shorter than the mover's live timer,
+                 and a fixed horizon would reclaim an in-progress inbound
+                 transfer whose next fragment is merely slow. *)
               let now = Vsim.Engine.now t.eng in
-              let horizon = 20 * t.cfg.retransmit_timeout_ns in
               let stale =
                 Hashtbl.fold
-                  (fun k mti acc ->
+                  (fun ((src_host, _) as k) mti acc ->
+                    let horizon =
+                      20
+                      * rto_current_ns t ~dst_host:src_host
+                          ~bytes:(min mti.mti_total t.cfg.max_packet_data)
+                    in
                     if now - mti.mti_born > horizon then k :: acc else acc)
                   t.mt_ins []
               in
@@ -1280,11 +1321,16 @@ let handle_data_mf t (pkt : Packet.t) =
   | Some mfo ->
       let off = pkt.Packet.offset and len = Bytes.length pkt.Packet.data in
       if off > mfo.mfo_expected then begin
-        t.s_naks <- t.s_naks + 1;
-        send_pkt t ~dst_host:(Pid.host mfo.mfo_src)
-          (Packet.make ~op:Packet.Data_nak ~src_pid:mfo.mfo_me
-             ~dst_pid:mfo.mfo_src ~seq:mfo.mfo_seq ~offset:mfo.mfo_expected
-             ~total:mfo.mfo_total ~aux:mfo.mfo_src_ptr ())
+        (* NAK each gap once; a lost NAK is recovered by the request
+           timeout, which re-enables NAKing. *)
+        if mfo.mfo_nak_at <> mfo.mfo_expected then begin
+          mfo.mfo_nak_at <- mfo.mfo_expected;
+          t.s_naks <- t.s_naks + 1;
+          send_pkt t ~dst_host:(Pid.host mfo.mfo_src)
+            (Packet.make ~op:Packet.Data_nak ~src_pid:mfo.mfo_me
+               ~dst_pid:mfo.mfo_src ~seq:mfo.mfo_seq ~offset:mfo.mfo_expected
+               ~total:mfo.mfo_total ~aux:mfo.mfo_src_ptr ())
+        end
       end
       else if off < mfo.mfo_expected then t.s_dups <- t.s_dups + 1
       else begin
@@ -1298,7 +1344,11 @@ let handle_data_mf t (pkt : Packet.t) =
           Mem.blit_in mfo.mfo_mem ~pos:(mfo.mfo_dst_ptr + off) pkt.Packet.data
             ~src_off:0 ~len;
         mfo.mfo_expected <- off + len;
-        (* Fresh data: the source is alive, push the timeout out. *)
+        mfo.mfo_nak_at <- -1;
+        (* Fresh data: the source is alive, push the timeout out and
+           restart the retry budget — retries count consecutive silent
+           periods, not total loss over a long transfer. *)
+        mfo.mfo_retries <- 0;
         if mfo.mfo_expected >= mfo.mfo_total then mf_finish t mfo Ok
         else mf_arm_timer t mfo
       end
@@ -1323,6 +1373,7 @@ let handle_data_nak t (pkt : Packet.t) =
          shape (base/total) so no source-side transfer state is needed. *)
       match find_proc t pkt.Packet.dst_pid with
       | Some src_desc ->
+          src_desc.d_mf_gen <- src_desc.d_mf_gen + 1;
           stream_mf t ~src_desc ~requester:pkt.Packet.src_pid
             ~seq:pkt.Packet.seq ~base_ptr:pkt.Packet.aux
             ~total:pkt.Packet.total ~from:pkt.Packet.offset
@@ -1347,9 +1398,11 @@ let handle_move_from_req t (pkt : Packet.t) =
       if not allowed then
         send_nack t ~dst_host:(Pid.host requester) ~src_pid:pkt.Packet.dst_pid
           ~dst_pid:requester ~seq:pkt.Packet.seq No_permission
-      else
+      else begin
+        sd.d_mf_gen <- sd.d_mf_gen + 1;
         stream_mf t ~src_desc:sd ~requester ~seq:pkt.Packet.seq ~base_ptr:ptr
           ~total:len ~from:pkt.Packet.offset
+      end
 
 (* A forward notice: our blocked sender's message moved to a new server;
    retarget retransmissions and the segment grant (Thoth's Forward). *)
@@ -1566,6 +1619,7 @@ let spawn t ?(name = "process") ?mem_size body =
       d_reply_buf = None;
       d_recv = None;
       d_rsend = None;
+      d_mf_gen = 0;
     }
   in
   Hashtbl.replace t.procs (Pid.local pid) d;
@@ -2167,6 +2221,7 @@ let move_from t ~src_pid ~dst ~src ~count =
             mfo_total = count;
             mfo_mem = d.d_mem;
             mfo_expected = 0;
+            mfo_nak_at = -1;
             mfo_retries = 0;
             mfo_timer = None;
             mfo_tgen = 0;
@@ -2295,6 +2350,61 @@ let stats t =
     moves_local = t.s_move_local;
     moves_remote = t.s_move_remote;
   }
+
+(* Invariant probes for the protocol checker: a quiesced kernel must hold
+   no live protocol state.  Replied/forwarded aliens are legitimately
+   retained as cached replies until reclaim, so they are reported apart
+   from live (unanswered) ones. *)
+type table_counts = {
+  aliens_live : int;
+  aliens_replied : int;
+  aliens_forwarded : int;
+  mt_ins_incomplete : int;
+  mt_ins_total : int;
+  mt_outs_pending : int;
+  mf_outs_pending : int;
+  getpid_pending : int;
+  sends_blocked : int;
+}
+
+let table_counts t =
+  let aliens_live = ref 0
+  and aliens_replied = ref 0
+  and aliens_forwarded = ref 0 in
+  Hashtbl.iter
+    (fun _ al ->
+      match al.al_state with
+      | A_queued | A_received -> incr aliens_live
+      | A_replied -> incr aliens_replied
+      | A_forwarded -> incr aliens_forwarded)
+    t.aliens;
+  let mt_ins_incomplete = ref 0 in
+  Hashtbl.iter
+    (fun _ mti -> if not mti.mti_complete then incr mt_ins_incomplete)
+    t.mt_ins;
+  let sends_blocked = ref 0 in
+  Hashtbl.iter
+    (fun _ d -> if d.d_rsend <> None then incr sends_blocked)
+    t.procs;
+  {
+    aliens_live = !aliens_live;
+    aliens_replied = !aliens_replied;
+    aliens_forwarded = !aliens_forwarded;
+    mt_ins_incomplete = !mt_ins_incomplete;
+    mt_ins_total = Hashtbl.length t.mt_ins;
+    mt_outs_pending = Hashtbl.length t.mt_outs;
+    mf_outs_pending = Hashtbl.length t.mf_outs;
+    getpid_pending = Hashtbl.length t.getpid_waits;
+    sends_blocked = !sends_blocked;
+  }
+
+let pp_table_counts fmt c =
+  Format.fprintf fmt
+    "aliens(live/replied/fwd)=%d/%d/%d mt_ins(incomplete/total)=%d/%d \
+     mt_outs=%d mf_outs=%d getpid=%d sends-blocked=%d"
+    c.aliens_live c.aliens_replied c.aliens_forwarded c.mt_ins_incomplete
+    c.mt_ins_total c.mt_outs_pending c.mf_outs_pending c.getpid_pending
+    c.sends_blocked
 
 let pp_stats fmt s =
   Format.fprintf fmt

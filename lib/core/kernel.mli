@@ -216,6 +216,26 @@ type stats = {
 val stats : t -> stats
 val pp_stats : Format.formatter -> stats -> unit
 
+(** Sizes of the kernel's protocol tables, for invariant checks.  After a
+    workload quiesces, everything here except [aliens_replied] /
+    [aliens_forwarded] (cached replies awaiting reclaim) and
+    [mt_ins_total] (completed transfers retained as duplicate filters)
+    must be zero. *)
+type table_counts = {
+  aliens_live : int;  (** A_queued or A_received: exchange unanswered *)
+  aliens_replied : int;
+  aliens_forwarded : int;
+  mt_ins_incomplete : int;  (** inbound MoveTo trains still missing data *)
+  mt_ins_total : int;
+  mt_outs_pending : int;
+  mf_outs_pending : int;
+  getpid_pending : int;
+  sends_blocked : int;  (** local processes stuck in a remote Send *)
+}
+
+val table_counts : t -> table_counts
+val pp_table_counts : Format.formatter -> table_counts -> unit
+
 val rto_estimate_ns : t -> dst_host:int -> int
 (** The current un-backed-off retransmission interval for [dst_host]: the
     configured T in [Fixed] mode, the live srtt/rttvar-derived estimate in

@@ -1,9 +1,16 @@
+type action =
+  | Drop
+  | Duplicate
+  | Delay of int
+  | Reorder
+
 type t = {
   drop_prob : float;
   corrupt_prob : float;
   collision_bug : bool;
   bug_prob : float;
   drop_frames : int list;
+  actions : (int * action) list;
 }
 
 let none =
@@ -13,14 +20,38 @@ let none =
     collision_bug = false;
     bug_prob = 0.0;
     drop_frames = [];
+    actions = [];
   }
 
 let drop p = { none with drop_prob = p }
 let corrupt p = { none with corrupt_prob = p }
 let drop_nth frames = { none with drop_frames = frames }
+let script actions = { none with actions }
 let hardware_bug = { none with collision_bug = true; bug_prob = 1.0 /. 2000.0 }
 
+(* [drop_frames] is kept as sugar for scripted Drop actions; an explicit
+   action for the same frame wins so a schedule can override it. *)
+let action_for t n =
+  match List.assoc_opt n t.actions with
+  | Some _ as a -> a
+  | None -> if List.mem n t.drop_frames then Some Drop else None
+
+let scripted t = t.drop_frames <> [] || t.actions <> []
+
+let action_to_string = function
+  | Drop -> "drop"
+  | Duplicate -> "dup"
+  | Delay ns -> Printf.sprintf "delay+%dus" (ns / 1000)
+  | Reorder -> "reorder"
+
+let pp_action fmt a = Format.pp_print_string fmt (action_to_string a)
+
 let pp fmt t =
-  Format.fprintf fmt "fault{drop=%.4f corrupt=%.4f bug=%b/%.5f scripted=%d}"
+  Format.fprintf fmt "fault{drop=%.4f corrupt=%.4f bug=%b/%.5f scripted=%d"
     t.drop_prob t.corrupt_prob t.collision_bug t.bug_prob
-    (List.length t.drop_frames)
+    (List.length t.drop_frames + List.length t.actions);
+  List.iter (fun n -> Format.fprintf fmt " drop@%d" n) t.drop_frames;
+  List.iter
+    (fun (n, a) -> Format.fprintf fmt " %s@%d" (action_to_string a) n)
+    t.actions;
+  Format.fprintf fmt "}"

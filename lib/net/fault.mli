@@ -1,5 +1,14 @@
 (** Fault injection for the network medium. *)
 
+type action =
+  | Drop  (** the frame vanishes for every receiver *)
+  | Duplicate  (** every receiver gets a second copy one slot later *)
+  | Delay of int  (** delivery postponed by the given extra nanoseconds *)
+  | Reorder
+      (** the frame is held and released just after the next completed
+          transmission's delivery, swapping their arrival order; if the
+          wire then goes quiet the held frame is flushed by a timer *)
+
 type t = {
   drop_prob : float;  (** Frame silently lost in transit. *)
   corrupt_prob : float;
@@ -13,9 +22,13 @@ type t = {
   bug_prob : float;
   drop_frames : int list;
       (** Scripted, deterministic loss: 1-based positions in the medium's
-          completed-transmission order whose frames vanish entirely (a
-          broadcast counts once).  Independent of the RNG, so tests can
-          kill exactly the packet they mean to. *)
+          completed-transmission order whose frames vanish entirely.
+          Sugar for [(n, Drop)] entries in [actions]. *)
+  actions : (int * action) list;
+      (** Scripted per-frame actions keyed by the same 1-based
+          completed-transmission order.  Independent of the RNG, so a
+          checker can explore schedules without perturbing any other
+          random stream. *)
 }
 
 val none : t
@@ -26,7 +39,19 @@ val drop_nth : int list -> t
 (** Scripted loss only: [drop_nth [2; 5]] drops the 2nd and 5th frames
     put on the wire. *)
 
+val script : (int * action) list -> t
+(** Scripted actions only: [script [(2, Duplicate); (5, Drop)]]. *)
+
 val hardware_bug : t
 (** The Section 5.4 configuration: 1/2000 corruption. *)
 
+val action_for : t -> int -> action option
+(** The scripted action for completed transmission [n], if any.  An
+    explicit [actions] entry wins over a [drop_frames] entry. *)
+
+val scripted : t -> bool
+(** True when any scripted entries are present. *)
+
+val action_to_string : action -> string
+val pp_action : Format.formatter -> action -> unit
 val pp : Format.formatter -> t -> unit

@@ -40,8 +40,10 @@ type pending = {
 
 type stats = {
   attempted : int;
+  targeted : int;
   delivered : int;
   dropped : int;
+  duplicated : int;
   corrupted : int;
   collisions : int;
   excessive : int;
@@ -64,10 +66,14 @@ type t = {
   mutable busy_until : Vsim.Time.t;
   mutable current : current option;
   mutable flt : Fault.t;
-  mutable frame_no : int;  (** completed transmissions, for scripted drops *)
+  mutable frame_no : int;  (** completed transmissions, for scripted actions *)
+  mutable held : Frame.t option;  (** frame parked by a Reorder action *)
+  mutable held_flush : Vsim.Engine.handle option;
   mutable s_attempted : int;
+  mutable s_targeted : int;
   mutable s_delivered : int;
   mutable s_dropped : int;
+  mutable s_duplicated : int;
   mutable s_corrupted : int;
   mutable s_collisions : int;
   mutable s_excessive : int;
@@ -88,9 +94,13 @@ let create eng cfg =
     current = None;
     flt = Fault.none;
     frame_no = 0;
+    held = None;
+    held_flush = None;
     s_attempted = 0;
+    s_targeted = 0;
     s_delivered = 0;
     s_dropped = 0;
+    s_duplicated = 0;
     s_corrupted = 0;
     s_collisions = 0;
     s_excessive = 0;
@@ -115,8 +125,10 @@ let attach t ~addr ~rx =
 let stats t =
   {
     attempted = t.s_attempted;
+    targeted = t.s_targeted;
     delivered = t.s_delivered;
     dropped = t.s_dropped;
+    duplicated = t.s_duplicated;
     corrupted = t.s_corrupted;
     collisions = t.s_collisions;
     excessive = t.s_excessive;
@@ -161,36 +173,98 @@ let deliver_to t frame (port : port) =
     port.prx frame
   end
 
-let deliver t frame =
-  t.frame_no <- t.frame_no + 1;
-  if List.mem t.frame_no t.flt.Fault.drop_frames then begin
-    (* Scripted loss: the frame vanishes for every receiver. *)
-    t.s_dropped <- t.s_dropped + 1;
-    if Vsim.Trace.tracing t.eng then
-      Vsim.Trace.event t.eng
-        (Vsim.Event.Packet_drop
-           {
-             host = frame.Frame.src;
-             reason = "fault-scripted";
-             bytes = Frame.length frame;
-           })
-  end
-  else
-  let arrival = Vsim.Engine.now t.eng + t.cfg.latency_ns in
-  let to_port port =
-    (* Broadcast receivers get an aliased view so one receiver's corruption
-       flag does not leak into another's frame. *)
-    let f = { frame with Frame.corrupted = frame.Frame.corrupted } in
-    ignore (Vsim.Engine.at t.eng arrival (fun () -> deliver_to t f port))
-  in
+(* The stations a completed transmission is aimed at.  An unattached
+   unicast destination yields the empty list: those bits fall on the
+   floor and are not counted as targeted. *)
+let targets t frame =
   if Frame.is_broadcast frame then
-    Hashtbl.iter
-      (fun addr port -> if not (Addr.equal addr frame.Frame.src) then to_port port)
-      t.ports
+    Hashtbl.fold
+      (fun addr port acc ->
+        if Addr.equal addr frame.Frame.src then acc else port :: acc)
+      t.ports []
   else
     match Hashtbl.find_opt t.ports frame.Frame.dst with
-    | Some port -> to_port port
-    | None -> () (* no such station: bits fall on the floor *)
+    | Some port -> [ port ]
+    | None -> []
+
+(* Each receiver (and each scripted duplicate) gets an aliased view so one
+   receiver's corruption flag does not leak into another's frame. *)
+let schedule_rx t frame port ~at =
+  let f = { frame with Frame.corrupted = frame.Frame.corrupted } in
+  ignore (Vsim.Engine.at t.eng at (fun () -> deliver_to t f port))
+
+(* Scripted loss is accounted per receiver at what would have been the
+   arrival instant, exactly like probabilistic loss, so that
+   [targeted + duplicated = delivered + dropped] holds either way and
+   Packet_drop events always name the receiver that missed the frame. *)
+let drop_scripted t frame port ~at =
+  ignore
+    (Vsim.Engine.at t.eng at (fun () ->
+         t.s_dropped <- t.s_dropped + 1;
+         if Vsim.Trace.tracing t.eng then
+           Vsim.Trace.event t.eng
+             (Vsim.Event.Packet_drop
+                {
+                  host = port.paddr;
+                  reason = "fault-scripted";
+                  bytes = Frame.length frame;
+                })))
+
+(* How long a Reorder-held frame waits for a successor before a timer
+   flushes it anyway; keeps a reorder at end-of-run from acting as a drop. *)
+let reorder_flush_ns t = 10 * t.cfg.latency_ns
+
+let release_held t ~at =
+  match t.held with
+  | None -> ()
+  | Some frame ->
+      t.held <- None;
+      (match t.held_flush with
+      | Some h ->
+          Vsim.Engine.cancel h;
+          t.held_flush <- None
+      | None -> ());
+      List.iter (fun port -> schedule_rx t frame port ~at) (targets t frame)
+
+let deliver t frame =
+  t.frame_no <- t.frame_no + 1;
+  let arrival = Vsim.Engine.now t.eng + t.cfg.latency_ns in
+  let tgts = targets t frame in
+  let n = List.length tgts in
+  match Fault.action_for t.flt t.frame_no with
+  | Some Fault.Drop ->
+      t.s_targeted <- t.s_targeted + n;
+      List.iter (fun p -> drop_scripted t frame p ~at:arrival) tgts;
+      release_held t ~at:(arrival + 1)
+  | Some Fault.Duplicate ->
+      t.s_targeted <- t.s_targeted + n;
+      t.s_duplicated <- t.s_duplicated + n;
+      List.iter
+        (fun p ->
+          schedule_rx t frame p ~at:arrival;
+          schedule_rx t frame p ~at:(arrival + t.cfg.slot_ns))
+        tgts;
+      release_held t ~at:(arrival + 1)
+  | Some (Fault.Delay extra) ->
+      t.s_targeted <- t.s_targeted + n;
+      List.iter (fun p -> schedule_rx t frame p ~at:(arrival + extra)) tgts;
+      release_held t ~at:(arrival + 1)
+  | Some Fault.Reorder ->
+      t.s_targeted <- t.s_targeted + n;
+      (* At most one frame is parked: a second Reorder flushes the first. *)
+      release_held t ~at:arrival;
+      t.held <- Some frame;
+      t.held_flush <-
+        Some
+          (Vsim.Engine.at t.eng
+             (Vsim.Engine.now t.eng + reorder_flush_ns t)
+             (fun () ->
+               t.held_flush <- None;
+               release_held t ~at:(Vsim.Engine.now t.eng)))
+  | None ->
+      t.s_targeted <- t.s_targeted + n;
+      List.iter (fun p -> schedule_rx t frame p ~at:arrival) tgts;
+      release_held t ~at:(arrival + 1)
 
 let rec attempt t (p : pending) =
   let now = Vsim.Engine.now t.eng in

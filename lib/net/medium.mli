@@ -65,8 +65,13 @@ val fault : t -> Fault.t
 
 type stats = {
   attempted : int;  (** transmit calls *)
+  targeted : int;
+      (** per-receiver intended deliveries across completed transmissions:
+          1 per attached unicast destination, [stations - 1] per broadcast.
+          At quiescence [targeted + duplicated = delivered + dropped]. *)
   delivered : int;  (** frame-to-station deliveries *)
-  dropped : int;  (** lost to fault injection *)
+  dropped : int;  (** lost to fault injection, counted per receiver *)
+  duplicated : int;  (** extra per-receiver copies injected by Duplicate *)
   corrupted : int;  (** delivered with CRC damage *)
   collisions : int;  (** collision events *)
   excessive : int;  (** frames abandoned after 16 attempts *)

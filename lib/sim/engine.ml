@@ -65,4 +65,31 @@ let run ?until t =
   | Some limit when t.clock < limit -> t.clock <- limit
   | Some _ | None -> ()
 
+let run_bounded ?until ~max_events t =
+  let executed = ref 0 in
+  let continue () =
+    if !executed >= max_events then false
+    else
+      match until, Eventq.next_time t.queue with
+      | _, None -> false
+      | None, Some _ -> true
+      | Some limit, Some next -> next <= limit
+  in
+  while continue () do
+    if step t then incr executed
+  done;
+  let quiescent =
+    match until, Eventq.next_time t.queue with
+    | _, None -> true
+    | None, Some _ -> false
+    | Some limit, Some next -> next > limit
+  in
+  if quiescent then begin
+    (match until with
+    | Some limit when t.clock < limit -> t.clock <- limit
+    | Some _ | None -> ());
+    `Quiescent !executed
+  end
+  else `Exhausted !executed
+
 let pending t = Eventq.live_count t.queue

@@ -40,6 +40,13 @@ val run : ?until:Time.t -> t -> unit
 val step : t -> bool
 (** Execute the single earliest event. [false] if the queue was empty. *)
 
+val run_bounded :
+  ?until:Time.t -> max_events:int -> t -> [ `Quiescent of int | `Exhausted of int ]
+(** Like {!run}, but stop after executing [max_events] events.  Returns
+    [`Quiescent n] when the queue drained (or the clock reached [until])
+    after [n] events, [`Exhausted n] when the budget ran out first — the
+    checker's deterministic stand-in for "this run never terminates". *)
+
 val pending : t -> int
 (** Number of live scheduled events. *)
 

@@ -25,6 +25,10 @@ let float t bound =
   v /. 9007199254740992.0 *. bound
 
 let bool t = Int64.logand (int64 t) 1L = 1L
-let bernoulli t p = float t 1.0 < p
+
+(* Degenerate probabilities consume no randomness: a fault-free (or purely
+   scripted) run must not perturb any other stream by drawing per packet. *)
+let bernoulli t p =
+  if p <= 0.0 then false else if p >= 1.0 then true else float t 1.0 < p
 let exponential t ~mean = -.mean *. log (1.0 -. float t 1.0)
 let uniform t ~lo ~hi = lo +. float t (hi -. lo)

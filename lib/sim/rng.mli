@@ -27,7 +27,9 @@ val bool : t -> bool
 (** Fair coin flip. *)
 
 val bernoulli : t -> float -> bool
-(** [bernoulli t p] is [true] with probability [p]. *)
+(** [bernoulli t p] is [true] with probability [p].  Draws nothing when
+    [p <= 0.0] or [p >= 1.0], so degenerate trials leave the stream
+    untouched — a scripted fault schedule stays RNG-free. *)
 
 val exponential : t -> mean:float -> float
 (** Exponentially distributed value with the given mean. *)

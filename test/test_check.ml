@@ -1,0 +1,143 @@
+(* The vcheck protocol checker: schedule language, enumeration, the
+   scripted workload's invariants, and the shrinker. *)
+
+module Schedule = Vcheck.Schedule
+module Checker = Vcheck.Checker
+module Workload = Vcheck.Workload
+module Fault = Vnet.Fault
+
+let schedule = Alcotest.testable Schedule.pp ( = )
+
+let test_baseline_clean () =
+  let r = Workload.run () in
+  Alcotest.(check bool) "completed" true r.Workload.completed;
+  Alcotest.(check int) "all ops ran" Workload.op_count
+    (List.length r.Workload.ops);
+  Alcotest.(check (list string)) "no violations" []
+    (List.map
+       (fun (v : Checker.violation) -> v.Checker.invariant)
+       (Checker.violations_of r))
+
+let test_baseline_deterministic () =
+  let digest r = Format.asprintf "%a" Checker.pp_report r in
+  Alcotest.(check string) "two runs, one digest"
+    (digest (Workload.run ()))
+    (digest (Workload.run ()))
+
+let test_depth1_drop_sweep_clean () =
+  match Checker.sweep ~depth:1 ~actions:[ Fault.Drop ] () with
+  | Error _ -> Alcotest.fail "baseline violated"
+  | Ok res ->
+      Alcotest.(check bool) "covered every frame" true
+        (res.Checker.schedules_run = res.Checker.baseline_frames);
+      Alcotest.(check bool) "no violation found" true
+        (res.Checker.failure = None)
+
+let test_schedule_round_trip () =
+  let s =
+    Schedule.
+      [
+        { frame = 3; action = Fault.Drop };
+        { frame = 7; action = Fault.Duplicate };
+        { frame = 9; action = Fault.Delay (Vsim.Time.ms 15) };
+        { frame = 12; action = Fault.Reorder };
+      ]
+  in
+  match Schedule.of_string (Schedule.to_string s) with
+  | Error e -> Alcotest.fail e
+  | Ok s' -> Alcotest.check schedule "round trip" s s'
+
+let test_schedule_parse_errors () =
+  let bad = [ "drop3"; "drop@0"; "explode@4"; "delay@2"; "delay@2+0us" ] in
+  List.iter
+    (fun str ->
+      match Schedule.of_string str with
+      | Ok _ -> Alcotest.failf "%S parsed" str
+      | Error _ -> ())
+    bad
+
+let test_repro_file_round_trip () =
+  let s =
+    Schedule.
+      [ { frame = 13; action = Fault.Drop }; { frame = 21; action = Fault.Drop } ]
+  in
+  let vs = [ { Checker.invariant = "op-result"; detail = "move-from failed" } ] in
+  match Schedule.of_string (Checker.repro_file_contents s vs) with
+  | Error e -> Alcotest.fail e
+  | Ok s' -> Alcotest.check schedule "comments stripped, schedule kept" s s'
+
+let test_enumeration_shape () =
+  let actions = Fault.[ Drop; Duplicate ] in
+  let all =
+    Schedule.enumerate ~depth:2 ~frames:5 ~actions |> List.of_seq
+  in
+  (* 5 frames x 2 actions singletons, then C(5,2) x 2^2 pairs. *)
+  Alcotest.(check int) "count" ((5 * 2) + (10 * 4)) (List.length all);
+  let keys = List.map Schedule.to_string all in
+  Alcotest.(check int) "duplicate-free"
+    (List.length keys)
+    (List.length (List.sort_uniq compare keys));
+  List.iter
+    (function
+      | [ a; b ] ->
+          Alcotest.(check bool) "pairs strictly increasing" true
+            (a.Schedule.frame < b.Schedule.frame)
+      | _ -> ())
+    all
+
+let test_shrinker_minimizes () =
+  (* Synthetic oracle: a violation iff the schedule still contains both
+     drop@5 and dup@9.  The shrinker must strip the two bystanders. *)
+  let culprits =
+    Schedule.
+      [ { frame = 5; action = Fault.Drop }; { frame = 9; action = Fault.Duplicate } ]
+  in
+  let runs = ref 0 in
+  let run s =
+    incr runs;
+    if List.for_all (fun c -> List.mem c s) culprits then
+      [ { Checker.invariant = "synthetic"; detail = "both culprits present" } ]
+    else []
+  in
+  let noisy =
+    Schedule.
+      [
+        { frame = 2; action = Fault.Reorder };
+        { frame = 5; action = Fault.Drop };
+        { frame = 7; action = Fault.Delay 1000 };
+        { frame = 9; action = Fault.Duplicate };
+      ]
+  in
+  Alcotest.check schedule "minimal reproducer" culprits
+    (Checker.shrink ~run noisy);
+  Alcotest.(check bool) "bounded work" true (!runs <= 20)
+
+let test_injected_violation_caught () =
+  (* Starve the run of events: the termination invariant must fire, and a
+     schedule replayed under the same budget reports it identically. *)
+  let vs = Checker.run_schedule ~max_events:100 [] in
+  Alcotest.(check bool) "termination violation" true
+    (List.exists
+       (fun (v : Checker.violation) -> v.Checker.invariant = "termination")
+       vs);
+  match Checker.sweep ~max_events:100 () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "sweep accepted a non-terminating baseline"
+
+let suite =
+  [
+    Alcotest.test_case "baseline clean" `Quick test_baseline_clean;
+    Alcotest.test_case "baseline deterministic" `Quick
+      test_baseline_deterministic;
+    Alcotest.test_case "depth-1 drop sweep clean" `Slow
+      test_depth1_drop_sweep_clean;
+    Alcotest.test_case "schedule round trip" `Quick test_schedule_round_trip;
+    Alcotest.test_case "schedule parse errors" `Quick
+      test_schedule_parse_errors;
+    Alcotest.test_case "repro file round trip" `Quick
+      test_repro_file_round_trip;
+    Alcotest.test_case "enumeration shape" `Quick test_enumeration_shape;
+    Alcotest.test_case "shrinker minimizes" `Quick test_shrinker_minimizes;
+    Alcotest.test_case "injected violation caught" `Quick
+      test_injected_violation_caught;
+  ]

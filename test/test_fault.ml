@@ -246,11 +246,11 @@ let test_scripted_send_reply_loss () =
 let move_config =
   { K.default_config with K.retransmit_timeout_ns = Vsim.Time.ms 50 }
 
-let scripted_moveto tb ~drop =
+let scripted_moveto tb ~fault =
   (* A 3-fragment MoveTo inside a Send-Receive-MoveTo-Reply exchange.
      Wire order: 1 Send, 2-4 data fragments, 5 Data_ack, 6 Reply. *)
   let k1 = kernel_of tb 1 and k2 = kernel_of tb 2 in
-  Vnet.Medium.set_fault tb.Vworkload.Testbed.medium (Vnet.Fault.drop_nth drop);
+  Vnet.Medium.set_fault tb.Vworkload.Testbed.medium fault;
   let count = 3 * 1024 in
   let mover =
     K.spawn k2 ~name:"mover" (fun pid ->
@@ -273,7 +273,7 @@ let scripted_moveto tb ~drop =
 
 let test_scripted_moveto_fragment_loss () =
   let tb = Util.testbed ~kernel_config:move_config ~hosts:2 () in
-  scripted_moveto tb ~drop:[ 3 ];
+  scripted_moveto tb ~fault:(Vnet.Fault.drop_nth [ 3 ]);
   (* Losing a mid-train fragment is repaired by the receiver's gap NAK,
      well before the mover's end-of-train timer can fire. *)
   let s1 = kernel_of tb 1 |> K.stats and s2 = kernel_of tb 2 |> K.stats in
@@ -282,7 +282,7 @@ let test_scripted_moveto_fragment_loss () =
 
 let test_scripted_moveto_ack_loss () =
   let tb = Util.testbed ~kernel_config:move_config ~hosts:2 () in
-  scripted_moveto tb ~drop:[ 5 ];
+  scripted_moveto tb ~fault:(Vnet.Fault.drop_nth [ 5 ]);
   (* Losing the Data_ack leaves the mover waiting: its timer fires, it
      probes, and the receiver — already complete — re-acks. *)
   let s2 = kernel_of tb 2 |> K.stats in
@@ -317,6 +317,130 @@ let test_scripted_movefrom_fragment_loss () =
   let s2 = K.stats k2 in
   Alcotest.(check int) "requester NAKed the gap" 1 s2.K.gap_naks_sent;
   Alcotest.(check int) "requester timer never fired" 0 s2.K.timeouts_fired
+
+(* A counting server whose effect must apply exactly once per logical
+   request no matter how many copies of a frame the wire produces. *)
+let scripted_duplicate_exchange ~script =
+  let tb = Util.testbed ~kernel_config:fast_config ~hosts:2 () in
+  let k1 = kernel_of tb 1 and k2 = kernel_of tb 2 in
+  let served = ref 0 in
+  let server =
+    K.spawn k2 ~name:"server" (fun _ ->
+        let msg = Msg.create () in
+        let rec loop () =
+          let src = K.receive k2 msg in
+          incr served;
+          ignore (K.reply k2 msg src);
+          loop ()
+        in
+        loop ())
+  in
+  Vnet.Medium.set_fault tb.Vworkload.Testbed.medium (Vnet.Fault.script script);
+  Util.run_as_process tb ~host:1 (fun _ ->
+      let msg = Msg.create () in
+      Alcotest.check Util.status "send" K.Ok (K.send k1 msg server));
+  let m = Vnet.Medium.stats tb.Vworkload.Testbed.medium in
+  Alcotest.(check int) "exactly one service" 1 !served;
+  Alcotest.(check int) "extra copy accounted" 1 m.Vnet.Medium.duplicated;
+  Alcotest.(check int) "delivery conservation" 0
+    (m.Vnet.Medium.targeted + m.Vnet.Medium.duplicated
+    - m.Vnet.Medium.delivered - m.Vnet.Medium.dropped);
+  (K.stats k1, K.stats k2)
+
+let test_scripted_duplicate_request () =
+  (* Frame 1 is the Send: its twin reaches the server as a duplicate of a
+     queued message and must be filtered, not served twice. *)
+  let _, s2 = scripted_duplicate_exchange ~script:[ (1, Vnet.Fault.Duplicate) ] in
+  Alcotest.(check bool) "server kernel filtered the twin" true
+    (s2.K.duplicates_filtered >= 1)
+
+let test_scripted_duplicate_reply () =
+  (* Frame 2 is the Reply: the first copy resumes the client, the second
+     must be a no-op (the send is no longer outstanding). *)
+  let s1, _ = scripted_duplicate_exchange ~script:[ (2, Vnet.Fault.Duplicate) ] in
+  Alcotest.(check int) "no spurious retransmission" 0 s1.K.retransmissions
+
+let test_scripted_duplicate_moveto_data () =
+  (* Frame 3 is the first MoveTo data fragment; its twin arrives behind
+     it, reads as off < expected, and must be filtered rather than
+     re-blitted or NAKed. *)
+  let tb = Util.testbed ~kernel_config:move_config ~hosts:2 () in
+  scripted_moveto tb ~fault:(Vnet.Fault.script [ (3, Vnet.Fault.Duplicate) ]);
+  let s1 = kernel_of tb 1 |> K.stats and s2 = kernel_of tb 2 |> K.stats in
+  Alcotest.(check bool) "receiver filtered the twin" true
+    (s1.K.duplicates_filtered >= 1);
+  Alcotest.(check int) "no gap NAK" 0 s1.K.gap_naks_sent;
+  Alcotest.(check int) "mover timer never fired" 0 s2.K.timeouts_fired
+
+let test_stale_straggler_filtered () =
+  (* A delayed original Send arrives after its retransmission was served
+     AND the client has moved on to a later exchange with the same
+     server.  The straggler carries an older sequence number and must be
+     filtered — not treated as a fresh message and served again. *)
+  let tb = Util.testbed ~kernel_config:fast_config ~hosts:2 () in
+  let k1 = kernel_of tb 1 and k2 = kernel_of tb 2 in
+  let served = ref 0 in
+  let server =
+    K.spawn k2 ~name:"server" (fun _ ->
+        let msg = Msg.create () in
+        let rec loop () =
+          let src = K.receive k2 msg in
+          incr served;
+          ignore (K.reply k2 msg src);
+          loop ()
+        in
+        loop ())
+  in
+  (* Frame 1 is the first Send: park it on the wire past the 10 ms
+     retransmission timeout, so its retransmission is served first and a
+     second exchange completes before the original finally lands. *)
+  Vnet.Medium.set_fault tb.Vworkload.Testbed.medium
+    (Vnet.Fault.script [ (1, Vnet.Fault.Delay (Vsim.Time.ms 15)) ]);
+  Util.run_as_process tb ~host:1 (fun _ ->
+      let msg = Msg.create () in
+      Alcotest.check Util.status "first send" K.Ok (K.send k1 msg server);
+      Alcotest.check Util.status "second send" K.Ok (K.send k1 msg server));
+  Alcotest.(check int) "each request served exactly once" 2 !served;
+  Alcotest.(check bool) "straggler was filtered" true
+    ((K.stats k2).K.duplicates_filtered >= 1)
+
+let test_movefrom_nak_storm_suppressed () =
+  (* Found by the vcheck sweep (drop@13 drop@21 over its workload): losing
+     the first MoveFrom fragment AND the first fragment of the NAK-driven
+     restream used to spiral — every stale out-of-order fragment drew
+     another NAK, every NAK and request retransmission started another
+     full stream on top of the live ones, and the requester burned its
+     whole retry budget into a Retryable failure.  With stream
+     supersession at the source and per-gap NAK damping at the requester,
+     recovery is one NAK, one timeout, one retransmitted request.
+     Wire order: 1 Send, 2 Move_from_req, 3-5 data, then after the NAK
+     frame 7 is the restreamed first fragment. *)
+  let tb = Util.testbed ~kernel_config:move_config ~hosts:2 () in
+  let k1 = kernel_of tb 1 and k2 = kernel_of tb 2 in
+  Vnet.Medium.set_fault tb.Vworkload.Testbed.medium
+    (Vnet.Fault.script [ (3, Vnet.Fault.Drop); (7, Vnet.Fault.Drop) ]);
+  let count = 3 * 1024 in
+  let mover =
+    K.spawn k2 ~name:"mover" (fun pid ->
+        let mem = K.memory k2 pid in
+        let msg = Msg.create () in
+        let src = K.receive k2 msg in
+        Alcotest.check Util.status "move_from recovers" K.Ok
+          (K.move_from k2 ~src_pid:src ~dst:0 ~src:0 ~count);
+        Util.check_pattern mem ~pos:0 ~len:count ~name:"movefrom data";
+        ignore (K.reply k2 msg src))
+  in
+  Util.run_as_process tb ~host:1 (fun pid ->
+      let mem = K.memory k1 pid in
+      Util.fill_pattern mem ~pos:0 ~len:count;
+      let msg = Msg.create () in
+      Msg.set_segment msg Msg.Read_only ~ptr:0 ~len:count;
+      Msg.set_no_piggyback msg;
+      Alcotest.check Util.status "grant send" K.Ok (K.send k1 msg mover));
+  let s2 = K.stats k2 in
+  Alcotest.(check int) "one NAK, damped thereafter" 1 s2.K.gap_naks_sent;
+  Alcotest.(check int) "one requester timeout" 1 s2.K.timeouts_fired;
+  Alcotest.(check int) "one retransmitted request" 1 s2.K.retransmissions
 
 let test_alien_reclaim_safety () =
   (* One alien descriptor, two clients.  Client A's reply is dropped, so
@@ -366,6 +490,94 @@ let test_alien_reclaim_safety () =
   Alcotest.(check bool) "A's retransmit served from the reply cache" true
     (s1.K.duplicates_filtered >= 1);
   Alcotest.(check bool) "B waited out the pool" true (s1.K.alien_pool_full >= 1)
+
+let test_mt_in_reclaim_follows_adaptive_rto () =
+  (* The inbound-MoveTo table reclaims entries its mover has plausibly
+     abandoned.  Under an adaptive, backed-off estimator the mover's live
+     timer can dwarf the configured base timeout, and a horizon derived
+     from the static config would reclaim a completed entry whose mover
+     is still quietly waiting to probe — forcing a NAK and a full
+     restream instead of a cheap re-ack.
+
+     Both hosts first burn one send each against the other into Retryable
+     (six expiries, backoff 2^6), so their mutual RTO estimates sit near
+     the 800 ms cap while the configured base is 10 ms.  Mover A then
+     completes a 3-fragment MoveTo whose Data_ack (frame 17) is dropped:
+     A waits out its backed-off timer before probing.  Meanwhile a second
+     transfer lands ~300 ms later — past the static 200 ms horizon, far
+     inside the backed-off one — and sweeps the table.  The completed
+     entry must survive to answer A's probe with a duplicate ack. *)
+  let cfg =
+    {
+      K.default_config with
+      K.rto_mode = K.Adaptive;
+      retransmit_timeout_ns = Vsim.Time.ms 10;
+    }
+  in
+  let tb = Util.testbed ~kernel_config:cfg ~hosts:3 () in
+  let medium = tb.Vworkload.Testbed.medium in
+  let k1 = kernel_of tb 1 and k2 = kernel_of tb 2 and k3 = kernel_of tb 3 in
+  let count = 3 * 1024 in
+  let mk_mover k name =
+    K.spawn k ~name (fun pid ->
+        let mem = K.memory k pid in
+        Vkernel.Mem.write mem ~pos:0
+          (Bytes.init count (fun i -> Vworkload.Testbed.pattern_byte i));
+        let msg = Msg.create () in
+        let src = K.receive k msg in
+        Alcotest.check Util.status (name ^ " move_to") K.Ok
+          (K.move_to k ~dst_pid:src ~dst:0 ~src:0 ~count);
+        ignore (K.reply k msg src))
+  in
+  let mover_a = mk_mover k2 "moverA" and mover_b = mk_mover k3 "moverB" in
+  let doomed_done = ref false in
+  Vnet.Medium.set_fault medium (Vnet.Fault.drop 1.0);
+  let (_ : Vkernel.Pid.t) =
+    K.spawn k2 ~name:"doomed-2to1" (fun _ ->
+        let msg = Msg.create () in
+        Alcotest.check Util.status "2->1 exhausts" K.Retryable
+          (K.send k2 msg (Vkernel.Pid.make ~host:1 ~local:999));
+        doomed_done := true)
+  in
+  let grant k mover pid name =
+    let mem = K.memory k pid in
+    let msg = Msg.create () in
+    Msg.set_segment msg Msg.Read_write ~ptr:0 ~len:count;
+    Msg.set_no_piggyback msg;
+    Alcotest.check Util.status name K.Ok (K.send k msg mover);
+    let got = Vkernel.Mem.read mem ~pos:0 ~len:count in
+    let expect =
+      Bytes.init count (fun i -> Vworkload.Testbed.pattern_byte i)
+    in
+    Alcotest.(check bool) (name ^ " data exact") true (Bytes.equal got expect)
+  in
+  let (_ : Vkernel.Pid.t) =
+    K.spawn k1 ~name:"clientA" (fun pid ->
+        let msg = Msg.create () in
+        Alcotest.check Util.status "1->2 exhausts" K.Retryable
+          (K.send k1 msg (Vkernel.Pid.make ~host:2 ~local:999));
+        while not !doomed_done do
+          Vsim.Proc.sleep (Vsim.Time.ms 1)
+        done;
+        Vnet.Medium.set_fault medium
+          (Vnet.Fault.script [ (17, Vnet.Fault.Drop) ]);
+        grant k1 mover_a pid "grant A")
+  in
+  let (_ : Vkernel.Pid.t) =
+    K.spawn k1 ~name:"clientB" (fun pid ->
+        while (K.table_counts k1).K.mt_ins_total = 0 do
+          Vsim.Proc.sleep (Vsim.Time.ms 5)
+        done;
+        Vsim.Proc.sleep (Vsim.Time.ms 300);
+        grant k1 mover_b pid "grant B")
+  in
+  Vworkload.Testbed.run tb;
+  let s1 = K.stats k1 and tc = K.table_counts k1 in
+  Alcotest.(check int) "probe re-acked from the kept entry, no NAK" 0
+    s1.K.gap_naks_sent;
+  Alcotest.(check int) "both entries retained" 2 tc.K.mt_ins_total;
+  Alcotest.(check int) "no restreamed duplicate fragments" 0
+    s1.K.duplicates_filtered
 
 let test_reply_just_before_timeout () =
   (* A reply that lands a hair before the client's retransmission timer:
@@ -433,6 +645,18 @@ let suite =
       test_scripted_moveto_ack_loss;
     Alcotest.test_case "scripted move_from fragment loss" `Quick
       test_scripted_movefrom_fragment_loss;
+    Alcotest.test_case "scripted duplicate request" `Quick
+      test_scripted_duplicate_request;
+    Alcotest.test_case "scripted duplicate reply" `Quick
+      test_scripted_duplicate_reply;
+    Alcotest.test_case "scripted duplicate move_to data" `Quick
+      test_scripted_duplicate_moveto_data;
+    Alcotest.test_case "stale straggler filtered" `Quick
+      test_stale_straggler_filtered;
+    Alcotest.test_case "move_from NAK storm suppressed" `Quick
+      test_movefrom_nak_storm_suppressed;
+    Alcotest.test_case "mt_in reclaim follows adaptive RTO" `Quick
+      test_mt_in_reclaim_follows_adaptive_rto;
     Alcotest.test_case "alien reclaim safety" `Quick test_alien_reclaim_safety;
     Alcotest.test_case "reply just before timeout" `Quick
       test_reply_just_before_timeout;

@@ -24,4 +24,5 @@ let () =
       ("vexec", Test_vexec.suite);
       ("stress", Test_stress.suite);
       ("obs", Test_obs.suite);
+      ("check", Test_check.suite);
     ]

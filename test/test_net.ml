@@ -108,6 +108,107 @@ let test_fault_corrupt_and_crc () =
   Alcotest.(check bool) "CPU still paid for the packet" true
     (Vhw.Cpu.busy_ns cpu > 0)
 
+let test_scripted_duplicate () =
+  (* A duplicated frame reaches its receiver twice; the stats account the
+     extra copy so delivery conservation still balances. *)
+  let eng, medium = setup () in
+  Vnet.Medium.set_fault medium
+    (Vnet.Fault.script [ (1, Vnet.Fault.Duplicate) ]);
+  let got = ref 0 in
+  ignore (Vnet.Medium.attach medium ~addr:2 ~rx:(fun _ -> incr got));
+  ignore (Vnet.Medium.attach medium ~addr:1 ~rx:ignore);
+  Vnet.Medium.transmit medium
+    (Vnet.Frame.make ~src:1 ~dst:2 ~ethertype:0 (Bytes.make 10 'x'));
+  Vsim.Engine.run eng;
+  let s = Vnet.Medium.stats medium in
+  Alcotest.(check int) "both copies arrive" 2 !got;
+  Alcotest.(check int) "duplicate counted" 1 s.Vnet.Medium.duplicated;
+  Alcotest.(check int) "conservation" 0
+    (s.Vnet.Medium.targeted + s.Vnet.Medium.duplicated
+    - s.Vnet.Medium.delivered - s.Vnet.Medium.dropped)
+
+let test_scripted_reorder () =
+  (* Reorder holds a frame until the next completed transmission, so two
+     back-to-back frames swap arrival order. *)
+  let eng, medium = setup () in
+  Vnet.Medium.set_fault medium (Vnet.Fault.script [ (1, Vnet.Fault.Reorder) ]);
+  let order = ref [] in
+  ignore
+    (Vnet.Medium.attach medium ~addr:2 ~rx:(fun f ->
+         order := Bytes.get f.Vnet.Frame.payload 0 :: !order));
+  ignore (Vnet.Medium.attach medium ~addr:1 ~rx:ignore);
+  Vnet.Medium.transmit medium
+    (Vnet.Frame.make ~src:1 ~dst:2 ~ethertype:0 (Bytes.make 10 'a'));
+  (* Past the first frame's wire time, so the two never collide. *)
+  ignore
+    (Vsim.Engine.after eng (Vsim.Time.us 60) (fun () ->
+         Vnet.Medium.transmit medium
+           (Vnet.Frame.make ~src:1 ~dst:2 ~ethertype:0 (Bytes.make 10 'b'))));
+  Vsim.Engine.run eng;
+  let s = Vnet.Medium.stats medium in
+  Alcotest.(check (list char)) "swapped" [ 'b'; 'a' ] (List.rev !order);
+  Alcotest.(check int) "nothing lost" 2 s.Vnet.Medium.delivered;
+  Alcotest.(check int) "conservation" 0
+    (s.Vnet.Medium.targeted + s.Vnet.Medium.duplicated
+    - s.Vnet.Medium.delivered - s.Vnet.Medium.dropped)
+
+let test_broadcast_drop_per_receiver () =
+  (* A scripted drop of a broadcast frame loses one copy per receiver:
+     with three stations attached, two intended deliveries are lost and
+     the conservation identity still holds. *)
+  let eng, medium = setup () in
+  Vnet.Medium.set_fault medium (Vnet.Fault.script [ (1, Vnet.Fault.Drop) ]);
+  let got = ref 0 in
+  for a = 1 to 3 do
+    ignore (Vnet.Medium.attach medium ~addr:a ~rx:(fun _ -> incr got))
+  done;
+  Vnet.Medium.transmit medium
+    (Vnet.Frame.make ~src:1 ~dst:Vnet.Addr.broadcast ~ethertype:0
+       (Bytes.make 10 'b'));
+  Vsim.Engine.run eng;
+  let s = Vnet.Medium.stats medium in
+  Alcotest.(check int) "nobody hears it" 0 !got;
+  Alcotest.(check int) "two intended receivers" 2 s.Vnet.Medium.targeted;
+  Alcotest.(check int) "both copies counted lost" 2 s.Vnet.Medium.dropped;
+  Alcotest.(check int) "conservation" 0
+    (s.Vnet.Medium.targeted + s.Vnet.Medium.duplicated
+    - s.Vnet.Medium.delivered - s.Vnet.Medium.dropped)
+
+let test_drop_events_name_receiver () =
+  (* Packet_drop is attributed to the receiver that missed the frame for
+     both scripted and probabilistic faults; the reasons distinguish
+     them. *)
+  let collect () =
+    let eng, medium = setup () in
+    let drops = ref [] in
+    Vsim.Engine.add_tracer eng (fun _ ev ->
+        match ev with
+        | Vsim.Event.Packet_drop { host; reason; _ } ->
+            drops := (host, reason) :: !drops
+        | _ -> ());
+    ignore (Vnet.Medium.attach medium ~addr:2 ~rx:ignore);
+    ignore (Vnet.Medium.attach medium ~addr:1 ~rx:ignore);
+    (eng, medium, drops)
+  in
+  let eng, medium, drops = collect () in
+  Vnet.Medium.set_fault medium (Vnet.Fault.script [ (1, Vnet.Fault.Drop) ]);
+  Vnet.Medium.transmit medium
+    (Vnet.Frame.make ~src:1 ~dst:2 ~ethertype:0 (Bytes.make 10 'x'));
+  Vsim.Engine.run eng;
+  Alcotest.(check (list (pair int string)))
+    "scripted drop names the receiver"
+    [ (2, "fault-scripted") ]
+    !drops;
+  let eng, medium, drops = collect () in
+  Vnet.Medium.set_fault medium (Vnet.Fault.drop 1.0);
+  Vnet.Medium.transmit medium
+    (Vnet.Frame.make ~src:1 ~dst:2 ~ethertype:0 (Bytes.make 10 'x'));
+  Vsim.Engine.run eng;
+  Alcotest.(check (list (pair int string)))
+    "probabilistic drop names the receiver"
+    [ (2, "fault") ]
+    !drops
+
 let test_nic_costs () =
   (* The NIC charges setup + per-byte copy on transmit. *)
   let eng, medium = setup () in
@@ -192,6 +293,12 @@ let suite =
     Alcotest.test_case "collision backoff" `Quick test_collision_backoff;
     Alcotest.test_case "fault drop" `Quick test_fault_drop;
     Alcotest.test_case "fault corrupt + CRC" `Quick test_fault_corrupt_and_crc;
+    Alcotest.test_case "scripted duplicate" `Quick test_scripted_duplicate;
+    Alcotest.test_case "scripted reorder" `Quick test_scripted_reorder;
+    Alcotest.test_case "broadcast drop per receiver" `Quick
+      test_broadcast_drop_per_receiver;
+    Alcotest.test_case "drop events name receiver" `Quick
+      test_drop_events_name_receiver;
     Alcotest.test_case "nic tx costs" `Quick test_nic_costs;
     Alcotest.test_case "nic tx buffer" `Quick test_nic_tx_buffer_serializes;
     Alcotest.test_case "utilization metering" `Quick test_utilization_metering;
