@@ -18,6 +18,45 @@ let net3 = Vnet.Medium.config_3mb
 let net10 = Vnet.Medium.config_10mb
 
 (* ------------------------------------------------------------------ *)
+(* Catalog recording: every experiment emits one catalog cell per table
+   row alongside its human-readable output.  The harness (main.ml)
+   collects [cells ()] into a BENCH_*.json catalog and diffs it against
+   the committed baseline — see doc/BENCHMARKS.md. *)
+
+module Cat = Vobs.Catalog
+
+let recorded : Cat.cell list ref = ref []
+
+let reset_cells () = recorded := []
+let cells () = List.rev !recorded
+let cell_count () = List.length !recorded
+
+let record ~bench ~params metrics =
+  recorded := Cat.cell ~bench ~params metrics :: !recorded
+
+(* Stamp a metrics-registry digest onto every cell recorded after the
+   first [since] (a [cell_count] taken before the experiment ran). *)
+let stamp_digest ~since digest =
+  let total = List.length !recorded in
+  recorded :=
+    List.mapi
+      (fun i c ->
+        if i < total - since then { c with Cat.digest = Some digest }
+        else c)
+      !recorded
+
+(* Param and metric shorthands. *)
+let pi k v = (k, Vobs.Json.Int v)
+let ps k v = (k, Vobs.Json.Str v)
+let m_ms ns = Cat.metric ~units:"ms" (Vsim.Time.to_float_ms ns)
+let m_msf v = Cat.metric ~units:"ms" v
+let m_rate v = Cat.metric ~units:"per_s" ~better:Cat.Higher v
+let m_count v = Cat.metric ~units:"count" (float_of_int v)
+let m_frac_lo v = Cat.metric ~units:"frac" v
+let m_x v = Cat.metric ~units:"x" ~better:Cat.Higher v
+let m_wall_rate v = Cat.metric ~units:"per_s" ~better:Cat.Higher ~wall:true v
+
+(* ------------------------------------------------------------------ *)
 (* Table 4-1: network penalty                                          *)
 
 let table_4_1 () =
@@ -31,6 +70,9 @@ let table_4_1 () =
         in
         let got8 = R.measure_penalty ~cpu_model:m8 ~medium_config:net3 n in
         let got10 = R.measure_penalty ~cpu_model:m10 ~medium_config:net3 n in
+        record ~bench:"table_4_1"
+          ~params:[ pi "bytes" n; pi "net" 3 ]
+          [ ("penalty_8mhz_ms", m_ms got8); ("penalty_10mhz_ms", m_ms got10) ];
         [
           string_of_int n;
           Printf.sprintf "%.3f" wire;
@@ -49,7 +91,7 @@ let table_4_1 () =
 (* ------------------------------------------------------------------ *)
 (* Tables 5-1 / 5-2: kernel performance                                *)
 
-let kernel_table ~cpu_model ~paper_rows title =
+let kernel_table ~bench ~mhz ~cpu_model ~paper_rows title =
   Report.section title;
   let gt = R.gettime ~cpu_model () in
   let srr_l = R.srr_local ~cpu_model () in
@@ -79,6 +121,22 @@ let kernel_table ~cpu_model ~paper_rows title =
     ]
   in
   let p_gt, p_srr, p_mf, p_mt = paper_rows in
+  let rec_op op local (r : R.cols) =
+    record ~bench
+      ~params:[ pi "mhz" mhz; pi "net" 3; ps "op" op ]
+      [
+        ("local_ms", m_ms local);
+        ("remote_ms", m_ms r.R.elapsed);
+        ("client_cpu_ms", m_ms r.R.client_cpu);
+        ("server_cpu_ms", m_ms r.R.server_cpu);
+      ]
+  in
+  record ~bench
+    ~params:[ pi "mhz" mhz; pi "net" 3; ps "op" "gettime" ]
+    [ ("local_ms", m_ms gt) ];
+  rec_op "srr" srr_l srr_r;
+  rec_op "movefrom_1024" mf_l mf_r;
+  rec_op "moveto_1024" mt_l mt_r;
   Report.table
     ~header:
       [ "operation"; "local"; "remote"; "diff"; "penalty"; "client-cpu";
@@ -97,7 +155,7 @@ let kernel_table ~cpu_model ~paper_rows title =
     ]
 
 let table_5_1 () =
-  kernel_table ~cpu_model:m8
+  kernel_table ~bench:"table_5_1" ~mhz:8 ~cpu_model:m8
     ~paper_rows:
       ( 0.07,
         (1.00, 3.18, 1.60, 1.79, 2.30),
@@ -106,7 +164,7 @@ let table_5_1 () =
     "Table 5-1: kernel performance, 3 Mb Ethernet, 8 MHz (ms, sim (paper))"
 
 let table_5_2 () =
-  kernel_table ~cpu_model:m10
+  kernel_table ~bench:"table_5_2" ~mhz:10 ~cpu_model:m10
     ~paper_rows:
       ( 0.06,
         (0.77, 2.54, 1.30, 1.44, 1.79),
@@ -156,6 +214,16 @@ let section_5_4 () =
   in
   let load1, srr1 = flood_load ~pairs:1 in
   let load2, srr2 = flood_load ~pairs:2 in
+  List.iter
+    (fun (pairs, load, srr) ->
+      record ~bench:"section_5_4"
+        ~params:[ pi "pairs" pairs; pi "mhz" 8; pi "net" 3 ]
+        [
+          ( "offered_load_kbps",
+            Cat.metric ~units:"kbps" ~better:Cat.Higher (load /. 1e3) );
+          ("srr_ms", m_msf srr);
+        ])
+    [ (1, load1, srr1); (2, load2, srr2) ];
   Report.table
     ~header:[ "pairs"; "offered load"; "% of 3Mb"; "% of 10Mb"; "S-R-R ms" ]
     [
@@ -181,7 +249,10 @@ let section_5_4 () =
   Report.note
     "Hardware-bug mode (1/2000 packets corrupted): S-R-R %.2f ms (paper \
      3.4; clean 3.18)."
-    (Vsim.Time.to_float_ms bug.R.elapsed)
+    (Vsim.Time.to_float_ms bug.R.elapsed);
+  record ~bench:"section_5_4"
+    ~params:[ ps "mode" "hardware_bug"; pi "mhz" 8; pi "net" 3 ]
+    [ ("srr_ms", m_ms bug.R.elapsed) ]
 
 (* ------------------------------------------------------------------ *)
 (* Table 6-1 and Section 6.1                                           *)
@@ -196,6 +267,17 @@ let table_6_1 () =
   let write_r = R.page_op ~client_host:2 ~write:true ~basic:false () in
   let p = R.penalty_ns ~cpu_model:m10 ~medium_config:net3 in
   let page_penalty = p 64 + p 576 in
+  List.iter
+    (fun (op, (l : R.cols), (r : R.cols)) ->
+      record ~bench:"table_6_1"
+        ~params:[ ps "op" op; pi "mhz" 10; pi "net" 3 ]
+        [
+          ("local_ms", m_ms l.R.elapsed);
+          ("remote_ms", m_ms r.R.elapsed);
+          ("client_cpu_ms", m_ms r.R.client_cpu);
+          ("server_cpu_ms", m_ms r.R.server_cpu);
+        ])
+    [ ("page_read", read_l, read_r); ("page_write", write_l, write_r) ];
   let row name l r (pl, pr, pp, pc, ps) =
     [
       name;
@@ -224,6 +306,18 @@ let section_6_1_segments () =
   let seg_w = R.page_op ~client_host:2 ~write:true ~basic:false () in
   let bas_r = R.page_op ~client_host:2 ~write:false ~basic:true () in
   let bas_w = R.page_op ~client_host:2 ~write:true ~basic:true () in
+  List.iter
+    (fun (op, (seg : R.cols), (bas : R.cols)) ->
+      record ~bench:"section_6_1_segments"
+        ~params:[ ps "op" op; pi "mhz" 10; pi "net" 3 ]
+        [
+          ("segments_ms", m_ms seg.R.elapsed);
+          ("basic_ms", m_ms bas.R.elapsed);
+          ( "saved_ms",
+            Cat.metric ~units:"ms" ~better:Cat.Higher
+              (Vsim.Time.to_float_ms (bas.R.elapsed - seg.R.elapsed)) );
+        ])
+    [ ("page_read", seg_r, bas_r); ("page_write", seg_w, bas_w) ];
   Report.table ~header:[ "operation"; "segments ms"; "basic ms"; "saved ms" ]
     [
       [ "page read"; Report.ms seg_r.R.elapsed; Report.ms bas_r.R.elapsed;
@@ -249,6 +343,9 @@ let table_6_2 () =
     let got =
       R.sequential_read ~disk_latency_ns:(Vsim.Time.ms latency_ms) ()
     in
+    record ~bench:"table_6_2"
+      ~params:[ pi "disk_latency_ms" latency_ms; pi "mhz" 10; pi "net" 3 ]
+      [ ("per_page_ms", m_ms got) ];
     [ string_of_int latency_ms; Report.vs ~got ~paper ]
   in
   Report.table
@@ -271,6 +368,14 @@ let table_6_3 () =
         let tu = unit_kb * 1024 in
         let local = R.program_load ~transfer_unit:tu ~client_host:1 () in
         let remote = R.program_load ~transfer_unit:tu ~client_host:2 () in
+        record ~bench:"table_6_3"
+          ~params:[ pi "transfer_unit_kb" unit_kb; pi "mhz" 10; pi "net" 3 ]
+          [
+            ("local_ms", m_ms local.R.elapsed);
+            ("remote_ms", m_ms remote.R.elapsed);
+            ("client_cpu_ms", m_ms remote.R.client_cpu);
+            ("server_cpu_ms", m_ms remote.R.server_cpu);
+          ];
         [
           Printf.sprintf "%d Kb" unit_kb;
           Report.vs ~got:local.R.elapsed ~paper:pl;
@@ -290,8 +395,11 @@ let table_6_3 () =
       [ "transfer unit"; "local"; "remote"; "client-cpu"; "server-cpu" ]
     rows;
   let remote64 = R.program_load ~transfer_unit:65536 ~client_host:2 () in
-  Report.note "Large-unit data rate: %.0f KB/s (paper ~192 KB/s)."
-    (65536.0 /. 1024.0 /. Vsim.Time.to_float_s remote64.R.elapsed)
+  let rate = 65536.0 /. 1024.0 /. Vsim.Time.to_float_s remote64.R.elapsed in
+  record ~bench:"table_6_3"
+    ~params:[ ps "measure" "data_rate"; pi "mhz" 10; pi "net" 3 ]
+    [ ("kb_per_s", Cat.metric ~units:"kb_per_s" ~better:Cat.Higher rate) ];
+  Report.note "Large-unit data rate: %.0f KB/s (paper ~192 KB/s)." rate
 
 (* ------------------------------------------------------------------ *)
 (* Section 7: file server capacity                                     *)
@@ -304,6 +412,14 @@ let section_7_capacity () =
     List.map
       (fun n ->
         let thr, mean, cpu, net = R.capacity ~clients:n () in
+        record ~bench:"section_7_capacity"
+          ~params:[ pi "clients" n; pi "servers" 1; pi "mhz" 10 ]
+          [
+            ("req_per_s", m_rate thr);
+            ("mean_ms", m_msf mean);
+            ("server_cpu_util", m_frac_lo cpu);
+            ("network_util", m_frac_lo net);
+          ];
         [
           string_of_int n;
           Printf.sprintf "%.1f" thr;
@@ -355,10 +471,18 @@ let section_6_crossover () =
   in
   let server_latency = 16 in
   let diskless = page_with_disk ~client_host:2 ~latency_ms:server_latency in
+  record ~bench:"section_6_crossover"
+    ~params:[ ps "path" "diskless"; pi "server_disk_ms" server_latency;
+              pi "mhz" 10 ]
+    [ ("read_ms", m_ms diskless) ];
   let rows =
     List.map
       (fun local_latency ->
         let local = page_with_disk ~client_host:1 ~latency_ms:local_latency in
+        record ~bench:"section_6_crossover"
+          ~params:[ ps "path" "local"; pi "local_disk_ms" local_latency;
+                    pi "mhz" 10 ]
+          [ ("read_ms", m_ms local) ];
         [
           string_of_int local_latency;
           Report.ms local;
@@ -392,25 +516,35 @@ let section_7_exec () =
       let conn = R.get (Vfs.Client.connect k2 ()) in
       let h = R.get (Vfs.Client.open_file conn "scan") in
       let medium = tb.TB.medium in
-      let measure name f =
+      let measure ?(key = "") name f =
         let c1 = cpu_of tb 1 in
         let mk = Vhw.Cpu.mark c1 in
         let nm = Vnet.Medium.mark medium in
         let t0 = Vsim.Engine.now (K.engine k2) in
         f ();
+        let elapsed = Vsim.Engine.now (K.engine k2) - t0 in
+        let srv_cpu = Vhw.Cpu.busy_since c1 mk in
+        let net_bytes = Vnet.Medium.bits_since medium nm / 8 in
+        record ~bench:"section_7_exec"
+          ~params:[ ps "strategy" (if key = "" then name else key);
+                    pi "mhz" 10 ]
+          [
+            ("elapsed_ms", m_ms elapsed);
+            ("server_cpu_ms", m_ms srv_cpu);
+            ("net_bytes", m_count net_bytes);
+          ];
         [
           name;
-          Report.ms (Vsim.Engine.now (K.engine k2) - t0);
-          Report.ms (Vhw.Cpu.busy_since c1 mk);
-          string_of_int
-            (Vnet.Medium.bits_since medium nm / 8);
+          Report.ms elapsed;
+          Report.ms srv_cpu;
+          string_of_int net_bytes;
         ]
       in
       exec_row :=
-        measure "execute at the server" (fun () ->
+        measure ~key:"exec_at_server" "execute at the server" (fun () ->
             ignore (R.get (Vfs.Client.exec_scan conn h ~block:0 ~count:64)));
       fetch_row :=
-        measure "fetch pages + scan locally" (fun () ->
+        measure ~key:"fetch_and_scan" "fetch pages + scan locally" (fun () ->
             for b = 0 to 63 do
               ignore (R.get (Vfs.Client.read_page conn h ~block:b ~buf:0 ()));
               (* The same per-page computation, on the workstation. *)
@@ -431,6 +565,14 @@ let section_7_multi_server () =
         let thr, mean, cpu, net =
           R.capacity ~servers ~clients:30 ()
         in
+        record ~bench:"section_7_multi_server"
+          ~params:[ pi "servers" servers; pi "clients" 30; pi "mhz" 10 ]
+          [
+            ("req_per_s", m_rate thr);
+            ("mean_ms", m_msf mean);
+            ("server_cpu_util", m_frac_lo cpu);
+            ("network_util", m_frac_lo net);
+          ];
         [
           string_of_int servers;
           Printf.sprintf "%.1f" thr;
@@ -462,6 +604,13 @@ let section_8_10mb () =
     R.program_load ~cpu_model:m8 ~medium_config:net10 ~transfer_unit:16384
       ~client_host:2 ()
   in
+  List.iter
+    (fun (measure, ns) ->
+      record ~bench:"section_8_10mb"
+        ~params:[ ps "measure" measure; pi "mhz" 8; pi "net" 10 ]
+        [ ("elapsed_ms", m_ms ns) ])
+    [ ("srr", srr.R.elapsed); ("page_read", pr);
+      ("load_64kb", load.R.elapsed) ];
   Report.table ~header:[ "measure"; "sim"; "paper" ]
     [
       [ "remote S-R-R"; Report.ms srr.R.elapsed; "2.71" ];
@@ -507,15 +656,22 @@ let baseline_comparison () =
   in
   let p = R.penalty_ns ~cpu_model:m10 ~medium_config:net3 in
   let floor = p 64 + p 576 in
+  let basic_read =
+    (R.page_op ~client_host:2 ~write:false ~basic:true ()).R.elapsed
+  in
+  List.iter
+    (fun (meth, ns) ->
+      record ~bench:"baseline_comparison"
+        ~params:[ ps "method" meth; pi "mhz" 10; pi "net" 3 ]
+        [ ("page_read_ms", m_ms ns) ])
+    [ ("network_floor", floor); ("wfs", wfs_read);
+      ("v_segments", v_read.R.elapsed); ("v_basic", basic_read) ];
   Report.table ~header:[ "method"; "512B page read ms"; "packets/page" ]
     [
       [ "network penalty (floor)"; Report.ms floor; "2" ];
       [ "specialized (WFS-style)"; Report.ms wfs_read; "2" ];
       [ "V IPC with segments"; Report.ms v_read.R.elapsed; "2" ];
-      [ "V IPC basic (Thoth)";
-        Report.ms
-          (R.page_op ~client_host:2 ~write:false ~basic:true ()).R.elapsed;
-        "4" ];
+      [ "V IPC basic (Thoth)"; Report.ms basic_read; "4" ];
     ];
   Report.note
     "The paper's claim: V IPC is 'only slightly more expensive than a \
@@ -546,6 +702,12 @@ let baseline_comparison () =
     !out
   in
   let v_seq = R.sequential_read ~disk_latency_ns:(Vsim.Time.ms 15) () in
+  record ~bench:"baseline_comparison"
+    ~params:[ ps "method" "sequential"; pi "disk_ms" 15; pi "mhz" 10 ]
+    [
+      ("v_readahead_ms", m_ms v_seq);
+      ("streaming_ms", m_ms stream_pp);
+    ];
   Report.table
     ~header:[ "sequential read, 15 ms disk"; "ms/page" ]
     [
@@ -573,6 +735,18 @@ let ablations () =
       ~kernel_config:{ K.default_config with K.process_server_mode = true }
       ()
   in
+  List.iter
+    (fun (config, ns) ->
+      record ~bench:"ablations"
+        ~params:[ ps "config" config; pi "mhz" 8; pi "net" 3 ]
+        [
+          ("srr_ms", m_ms ns);
+          ("vs_raw",
+           Cat.metric ~units:"x"
+             (float_of_int ns /. float_of_int base.R.elapsed));
+        ])
+    [ ("raw", base.R.elapsed); ("ip_headers", ip.R.elapsed);
+      ("process_server", relay.R.elapsed) ];
   Report.table
     ~header:[ "configuration"; "remote S-R-R ms"; "vs raw" ]
     [
@@ -595,6 +769,9 @@ let ablations () =
         { K.default_config with K.retransmit_timeout_ns = Vsim.Time.ms 20 }
       ()
   in
+  record ~bench:"ablations"
+    ~params:[ ps "config" "lossy_5pct"; pi "mhz" 8; pi "net" 3 ]
+    [ ("srr_ms", m_ms lossy.R.elapsed) ];
   Report.note
     "Under 5%% loss with T = 20 ms, exchanges still average %.2f ms — \
      reliability comes from the reply itself, with no extra packets on \
@@ -653,6 +830,10 @@ let span_decomposition () =
       0 measured
     / n
   in
+  record ~bench:"span_decomposition"
+    ~params:[ pi "trials" trials; pi "mhz" 10 ]
+    (("total_ms", m_ms (!elapsed / n))
+     :: List.map (fun label -> (label ^ "_ms", m_ms (mean_of label))) labels);
   Report.table ~header:[ "segment"; "mean ms"; "share" ]
     (List.map
        (fun label ->
@@ -692,6 +873,14 @@ let cache_crossover () =
   let speedup =
     float_of_int remote.R.elapsed /. float_of_int (max 1 fit.R.warm_ns)
   in
+  record ~bench:"cache_crossover"
+    ~params:[ ps "measure" "warm_hit"; pi "mhz" 10; pi "net" 3 ]
+    [
+      ("remote_ms", m_ms remote.R.elapsed);
+      ("cold_ms", m_ms fit.R.cold_ns);
+      ("warm_ms", m_ms fit.R.warm_ns);
+      ("speedup", m_x speedup);
+    ];
   Report.note
     "Warm cached re-read is %.1fx cheaper than the remote page read."
     speedup;
@@ -715,6 +904,16 @@ let cache_crossover () =
                (s.Vfs.Cache.hits, s.Vfs.Cache.misses, s.Vfs.Cache.evictions)
            | None -> (0, 0, 0)
          in
+         record ~bench:"cache_crossover"
+           ~params:[ ps "measure" "lru_sweep"; pi "working_set" ws;
+                     pi "cache_blocks" cap ]
+           [
+             ("warm_ms", m_ms r.R.warm_ns);
+             ("hit_rate",
+              Cat.metric ~units:"frac" ~better:Cat.Higher
+                (float_of_int hits /. float_of_int (max 1 (hits + misses))));
+             ("evictions", m_count evicts);
+           ];
          [
            string_of_int ws;
            Report.ms r.R.warm_ns;
@@ -739,6 +938,13 @@ let cache_crossover () =
   let wb_flushed =
     match wb_stats with Some s -> s.Vfs.Cache.writebacks | None -> 0
   in
+  List.iter
+    (fun (policy, w, fl) ->
+      record ~bench:"cache_crossover"
+        ~params:[ ps "measure" "write_policy"; ps "policy" policy ]
+        [ ("per_write_ms", m_ms w); ("flush_ms", m_ms fl) ])
+    [ ("write_through", wt_write, wt_flush);
+      ("write_back", wb_write, wb_flush) ];
   Report.table
     ~header:[ "policy"; "per-write ms"; "flush total ms"; "blocks flushed" ]
     [
@@ -801,6 +1007,16 @@ let loss_sweep () =
       (fun d -> (d, median_batch_ns K.Fixed d, median_batch_ns K.Adaptive d))
       drops
   in
+  List.iter
+    (fun (d, f, a) ->
+      record ~bench:"loss_sweep"
+        ~params:[ ps "drop" (Printf.sprintf "%.2f" d); pi "mhz" 10;
+                  pi "net" 10 ]
+        [
+          ("fixed_median_ms", m_ms f);
+          ("adaptive_median_ms", m_ms a);
+        ])
+    rows;
   Report.table
     ~header:
       [ "drop prob"; "fixed median ms/batch"; "adaptive median ms/batch" ]
@@ -846,6 +1062,18 @@ let server_scaling () =
           client_counts)
       worker_counts
   in
+  List.iter
+    (fun (w, n, c) ->
+      record ~bench:"server_scaling"
+        ~params:[ pi "workers" w; pi "clients" n ]
+        [
+          ("reads_per_s", m_rate c.R.c_throughput);
+          ("mean_ms", m_msf c.R.c_mean_ms);
+          ("p95_ms", m_msf c.R.c_p95_ms);
+          ("disk_waits", m_count c.R.c_disk_waits);
+          ("max_disk_queue", m_count c.R.c_max_disk_queue);
+        ])
+    rows;
   Report.table
     ~header:
       [
@@ -897,36 +1125,81 @@ let check_sweep () =
   let rows =
     List.map
       (fun (depth, limit) ->
-        let t0 = Unix.gettimeofday () in
-        match Vcheck.Checker.sweep ~depth ~limit () with
+        let result, dt =
+          Report.timed (fun () -> Vcheck.Checker.sweep ~depth ~limit ())
+        in
+        match result with
         | Error _ -> failwith "check_sweep: baseline workload violated"
         | Ok res ->
-            let dt = Unix.gettimeofday () -. t0 in
             if res.Vcheck.Checker.failure <> None then
               failwith "check_sweep: sweep found an invariant violation";
             (depth, res.Vcheck.Checker.schedules_run, dt))
       depths
   in
+  List.iter
+    (fun (depth, n, dt) ->
+      record ~bench:"check_sweep" ~params:[ pi "depth" depth ]
+        [
+          ("schedules", m_count n);
+          ("schedules_per_s", m_wall_rate (float_of_int n /. dt));
+        ])
+    rows;
+  (* Wall-clock rates go to stderr: stdout must stay a pure function of
+     the seed for CI's byte-determinism comparison. *)
   Report.table
-    ~header:[ "depth"; "schedules"; "wall s"; "schedules/s" ]
+    ~header:[ "depth"; "schedules" ]
     (List.map
-       (fun (depth, n, dt) ->
-         [
-           string_of_int depth;
-           string_of_int n;
-           Printf.sprintf "%.2f" dt;
-           Printf.sprintf "%.0f" (float_of_int n /. dt);
-         ])
+       (fun (depth, n, _) -> [ string_of_int depth; string_of_int n ])
        rows);
+  List.iter
+    (fun (depth, n, dt) ->
+      Report.wall_note "check_sweep depth %d: %.2f s, %.0f schedules/s"
+        depth dt
+        (float_of_int n /. dt))
+    rows;
   Report.note
     "Each schedule is a full six-operation workload run under injected \
      drop/duplicate/delay/reorder faults, judged against the paper's \
      exactly-once and termination claims.";
-  let row_json (depth, n, dt) =
-    Printf.sprintf
-      "{\"depth\":%d,\"schedules\":%d,\"wall_s\":%.3f,\"per_s\":%.1f}" depth n
-      dt
-      (float_of_int n /. dt)
+  let row_json (depth, n, _) =
+    Printf.sprintf "{\"depth\":%d,\"schedules\":%d}" depth n
   in
   Format.printf "{\"experiment\":\"check_sweep\",\"rows\":[%s]}@."
     (String.concat "," (List.map row_json rows))
+
+(* ------------------------------------------------------------------ *)
+(* Engine profiler: where do the simulation's events go?               *)
+
+let profile () =
+  Report.section
+    "Engine profile: contention rig (4 workers, 8 clients) under the \
+     deterministic event profiler";
+  let prof = Vsim.Profile.create () in
+  (* Chain, don't clobber: the driver may already have a create hook
+     installed (bench/main.ml uses one to attach metrics registries). *)
+  let prev = Vsim.Engine.get_create_hook () in
+  Vsim.Engine.set_create_hook
+    (Some
+       (fun eng ->
+         ignore (Vsim.Engine.enable_profiling ~profile:prof eng);
+         match prev with Some h -> h eng | None -> ()));
+  let result, wall =
+    Fun.protect
+      ~finally:(fun () -> Vsim.Engine.set_create_hook prev)
+      (fun () -> Report.timed (fun () -> R.contention ~workers:4 ~clients:8 ()))
+  in
+  ignore result;
+  Format.printf "%a@." Vsim.Profile.pp prof;
+  let events = Vsim.Profile.events prof in
+  let events_per_s = float_of_int events /. wall in
+  Report.wall_note "profile: %d events in %.2f s wall (%.0f events/s)"
+    events wall events_per_s;
+  record ~bench:"profile" ~params:[ pi "workers" 4; pi "clients" 8 ]
+    (("events", m_count events)
+     :: ("sim_cost_ms",
+         m_msf (float_of_int (Vsim.Profile.sim_cost_total_ns prof) /. 1.0e6))
+     :: ("events_per_s", m_wall_rate events_per_s)
+     :: List.map
+          (fun (kind, e) ->
+            ("fires." ^ kind, m_count e.Vsim.Profile.fires))
+          (Vsim.Profile.entries prof))

@@ -1,11 +1,17 @@
 (* The benchmark harness: regenerates every table and measured claim of
    the paper's evaluation (Tables 4-1, 5-1, 5-2, 6-1, 6-2, 6-3 and the
    measured statements of Sections 5.4, 6.1, 7 and 8), plus baseline and
-   ablation comparisons.
+   ablation comparisons.  Every experiment also records its headline
+   numbers as catalog cells (lib/obs/catalog.ml); the harness can write
+   them out as a BENCH_*.json catalog and diff a fresh run against a
+   committed baseline — the CI regression gate.  See doc/BENCHMARKS.md.
 
    Usage:
      dune exec bench/main.exe                 # all experiments
      dune exec bench/main.exe -- table_6_3    # a single experiment
+     dune exec bench/main.exe -- all --json-out BENCH_2026-08-08.json
+     dune exec bench/main.exe -- compare --baseline BENCH_2026-08-08.json \
+         [--tolerance 0.5] [--wall-tolerance 50] [--json-out fresh.json]
      dune exec bench/main.exe -- --list
      dune exec bench/main.exe -- --bechamel   # Bechamel timing of each
                                               # experiment harness *)
@@ -32,7 +38,30 @@ let experiments =
     ("loss_sweep", Experiments.loss_sweep);
     ("server_scaling", Experiments.server_scaling);
     ("check_sweep", Experiments.check_sweep);
+    ("profile", Experiments.profile);
   ]
+
+(* Run one experiment with a fresh metrics registry attached to every
+   engine it creates, then stamp the registry's digest onto the catalog
+   cells it recorded.  Two runs of the same experiment at the same seed
+   produce the same digest; a digest change flags that the run's full
+   metric set shifted even where the headline numbers stayed inside
+   tolerance. *)
+let run_experiment f =
+  let before = Experiments.cell_count () in
+  let reg = Vobs.Metrics.create () in
+  let prev = Vsim.Engine.get_create_hook () in
+  Vsim.Engine.set_create_hook
+    (Some
+       (fun eng ->
+         Vobs.Metrics.attach reg eng;
+         match prev with Some h -> h eng | None -> ()));
+  Fun.protect ~finally:(fun () -> Vsim.Engine.set_create_hook prev) f;
+  let digest =
+    Vobs.Catalog.digest_string
+      (Vobs.Json.to_string (Vobs.Metrics.to_json reg))
+  in
+  Experiments.stamp_digest ~since:before digest
 
 let run_all () =
   Format.printf
@@ -40,7 +69,30 @@ let run_all () =
      and its Performance for Diskless Workstations\" (SOSP 1983)@.";
   Format.printf
     "All times are simulated; every table prints sim (paper) pairs.@.";
-  List.iter (fun (_, f) -> f ()) experiments
+  List.iter (fun (_, f) -> run_experiment f) experiments
+
+let current_catalog () = Vobs.Catalog.of_cells (Experiments.cells ())
+
+let save_catalog file =
+  Vobs.Catalog.save file (current_catalog ());
+  Format.eprintf "wrote %d catalog cells to %s@."
+    (Experiments.cell_count ()) file
+
+let compare_cmd ~baseline ~tolerance ~wall_tolerance ~json_out =
+  run_all ();
+  Option.iter save_catalog json_out;
+  match Vobs.Catalog.load baseline with
+  | Error e ->
+      Format.eprintf "cannot load baseline %s: %s@." baseline e;
+      exit 2
+  | Ok base ->
+      let report =
+        Vobs.Catalog.compare ?tolerance_pct:tolerance
+          ?wall_tolerance_pct:wall_tolerance ~baseline:base
+          ~current:(current_catalog ()) ()
+      in
+      Format.printf "@.%a@." Vobs.Catalog.pp_report report;
+      if not (Vobs.Catalog.report_ok report) then exit 1
 
 (* One Bechamel test per table: measures the wall-clock cost of each
    experiment harness itself (the simulator's own performance). *)
@@ -94,20 +146,74 @@ let bechamel () =
   Report.table ~header:[ "experiment"; "time/run" ]
     (List.sort compare !rows)
 
+type opts = {
+  json_out : string option;
+  baseline : string option;
+  tolerance : float option;
+  wall_tolerance : float option;
+}
+
+let usage () =
+  Format.eprintf
+    "usage: bench [all | NAME...] [--json-out FILE]@.       bench compare \
+     --baseline FILE [--tolerance PCT] [--wall-tolerance PCT] [--json-out \
+     FILE]@.       bench --list | --bechamel@.";
+  exit 2
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  match args with
-  | [] -> run_all ()
+  let pct flag v =
+    match float_of_string_opt v with
+    | Some f when f >= 0.0 -> f
+    | Some _ | None ->
+        Format.eprintf "%s: expected a non-negative percentage, got %S@."
+          flag v;
+        exit 2
+  in
+  let rec parse names o = function
+    | [] -> (List.rev names, o)
+    | "--json-out" :: f :: rest -> parse names { o with json_out = Some f } rest
+    | "--baseline" :: f :: rest -> parse names { o with baseline = Some f } rest
+    | "--tolerance" :: v :: rest ->
+        parse names { o with tolerance = Some (pct "--tolerance" v) } rest
+    | "--wall-tolerance" :: v :: rest ->
+        parse names
+          { o with wall_tolerance = Some (pct "--wall-tolerance" v) }
+          rest
+    | a :: _ when String.length a > 2 && String.sub a 0 2 = "--"
+                  && a <> "--list" && a <> "--bechamel" ->
+        Format.eprintf "unknown or incomplete option %s@." a;
+        usage ()
+    | a :: rest -> parse (a :: names) o rest
+  in
+  let names, o =
+    parse [] { json_out = None; baseline = None; tolerance = None;
+               wall_tolerance = None }
+      args
+  in
+  match names with
   | [ "--list" ] ->
       List.iter (fun (name, _) -> print_endline name) experiments
   | [ "--bechamel" ] -> bechamel ()
+  | [ "compare" ] -> (
+      match o.baseline with
+      | None ->
+          Format.eprintf "compare requires --baseline FILE@.";
+          usage ()
+      | Some baseline ->
+          compare_cmd ~baseline ~tolerance:o.tolerance
+            ~wall_tolerance:o.wall_tolerance ~json_out:o.json_out)
+  | [] | [ "all" ] ->
+      run_all ();
+      Option.iter save_catalog o.json_out
   | names ->
       List.iter
         (fun name ->
           match List.assoc_opt name experiments with
-          | Some f -> f ()
+          | Some f -> run_experiment f
           | None ->
               Format.eprintf
                 "unknown experiment %S (use --list to see them)@." name;
               exit 1)
-        names
+        names;
+      Option.iter save_catalog o.json_out

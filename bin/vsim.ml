@@ -40,7 +40,13 @@ let trials_arg =
 
 (* --- observability ---------------------------------------------------- *)
 
-type obs = { trace_out : string option; topics : string list; metrics : bool }
+type obs = {
+  trace_out : string option;
+  topics : string list;
+  metrics : bool;
+  metrics_out : string option;
+  profile : bool;
+}
 
 let obs_term =
   let trace_out =
@@ -61,8 +67,22 @@ let obs_term =
          & info [ "metrics" ]
              ~doc:"Print the per-host metrics registry after the run.")
   in
-  Term.(const (fun trace_out topics metrics -> { trace_out; topics; metrics })
-        $ trace_out $ topics $ metrics)
+  let metrics_out =
+    Arg.(value & opt (some string) None
+         & info [ "metrics-out" ] ~docv:"FILE"
+             ~doc:"Write the per-host metrics registry to $(docv) as JSON \
+                   (histograms carry derived p50/p95/p99).")
+  in
+  let profile =
+    Arg.(value & flag
+         & info [ "profile" ]
+             ~doc:"Profile the simulation engine: per-event-kind fire \
+                   counts and simulated costs (deterministic, stdout) plus \
+                   wall-clock buckets (stderr).")
+  in
+  Term.(const (fun trace_out topics metrics metrics_out profile ->
+            { trace_out; topics; metrics; metrics_out; profile })
+        $ trace_out $ topics $ metrics $ metrics_out $ profile)
 
 (* Instrument every engine the command creates: spans first (so their
    Span_open/Span_close events reach the sinks attached after them), then
@@ -70,7 +90,9 @@ let obs_term =
    consecutive run indices so multi-engine commands stay separable in one
    trace file. *)
 let with_obs obs f =
-  if obs.trace_out = None && not obs.metrics then f ()
+  if obs.trace_out = None && not obs.metrics && obs.metrics_out = None
+     && not obs.profile
+  then f ()
   else begin
     let chrome =
       match obs.trace_out with
@@ -86,6 +108,17 @@ let with_obs obs f =
     in
     let oc = Option.map open_or_die obs.trace_out in
     let registry = Vobs.Metrics.create () in
+    let want_metrics = obs.metrics || obs.metrics_out <> None in
+    (* One profile shared by every engine the command creates, so the GC
+       baselines snapshot once and multi-engine commands report a single
+       aggregate table. *)
+    let prof =
+      if obs.profile then begin
+        Vsim.Profile.set_clock Unix.gettimeofday;
+        Some (Vsim.Profile.create ())
+      end
+      else None
+    in
     let run_ix = ref 0 in
     Vsim.Engine.set_create_hook
       (Some
@@ -100,7 +133,10 @@ let with_obs obs f =
                Vobs.Jsonl.attach ~topics:obs.topics ~run eng
                  (output_string oc)
            | None, None -> ());
-           if obs.metrics then Vobs.Metrics.attach registry eng));
+           if want_metrics then Vobs.Metrics.attach registry eng;
+           match prof with
+           | Some p -> ignore (Vsim.Engine.enable_profiling ~profile:p eng)
+           | None -> ()));
     Fun.protect
       ~finally:(fun () ->
         Vsim.Engine.set_create_hook None;
@@ -108,7 +144,22 @@ let with_obs obs f =
         | Some c, Some oc -> output_string oc (Vobs.Chrome_trace.to_string c)
         | _ -> ());
         (match oc with Some oc -> close_out oc | None -> ());
-        if obs.metrics then Format.printf "%a@." Vobs.Metrics.pp registry)
+        if obs.metrics then Format.printf "%a@." Vobs.Metrics.pp registry;
+        (match obs.metrics_out with
+        | Some path ->
+            let moc = open_or_die path in
+            output_string moc
+              (Vobs.Json.to_string (Vobs.Metrics.to_json registry));
+            output_string moc "\n";
+            close_out moc
+        | None -> ());
+        match prof with
+        | Some p ->
+            (* Deterministic table to stdout; wall-clock diagnostics to
+               stderr so stdout stays byte-comparable across runs. *)
+            Format.printf "%a@." Vsim.Profile.pp p;
+            Format.eprintf "%a@." Vsim.Profile.pp_wall p
+        | None -> ())
       f
   end
 

@@ -185,7 +185,7 @@ let rpc c ~op ~inum ~block ~count ~data =
       let rec arm tries =
         p.p_timer <-
           Some
-            (Vsim.Engine.after c.c_eng c.c_timeout (fun () ->
+            (Vsim.Engine.after c.c_eng ~kind:"baseline.timeout" c.c_timeout (fun () ->
                  if Hashtbl.mem c.c_pending id then begin
                    if tries >= c.c_retries then begin
                      Hashtbl.remove c.c_pending id;

@@ -794,7 +794,7 @@ let rec arm_send_timer t (d : desc) (rs : rsend) =
   let rto = rto_timeout_ns t ~dst_host:rs.rs_dst_host ~bytes:0 in
   rs.rs_timer <-
     Some
-      (Vsim.Engine.after t.eng rto (fun () ->
+      (Vsim.Engine.after t.eng ~kind:"kernel.rto_send" rto (fun () ->
            retransmit_send t d rs ~gen ~rto))
 
 and retransmit_send t (d : desc) (rs : rsend) ~gen ~rto =
@@ -894,7 +894,9 @@ let rec mt_arm_timer t (mto : mt_out) =
       ~bytes:(min mto.mto_total t.cfg.max_packet_data)
   in
   mto.mto_timer <-
-    Some (Vsim.Engine.after t.eng rto (fun () -> mt_timeout t mto ~gen ~rto))
+    Some
+      (Vsim.Engine.after t.eng ~kind:"kernel.rto_moveto" rto (fun () ->
+           mt_timeout t mto ~gen ~rto))
 
 and mt_timeout t (mto : mt_out) ~gen ~rto =
   if mt_alive t mto && mto.mto_tgen = gen then begin
@@ -1034,7 +1036,9 @@ and mf_arm_timer t (mfo : mf_out) =
       ~bytes:(min mfo.mfo_total t.cfg.max_packet_data)
   in
   mfo.mfo_timer <-
-    Some (Vsim.Engine.after t.eng rto (fun () -> mf_timeout t mfo ~gen ~rto))
+    Some
+      (Vsim.Engine.after t.eng ~kind:"kernel.rto_movefrom" rto (fun () ->
+           mf_timeout t mfo ~gen ~rto))
 
 and mf_timeout t (mfo : mf_out) ~gen ~rto =
   if mf_alive t mfo && mfo.mfo_tgen = gen then begin
@@ -2275,7 +2279,7 @@ let rec getpid_broadcast t ~logical_id (gw : getpid_wait) ~me =
     let rto = rto_timeout_ns t ~dst_host:broadcast_dst ~bytes:0 in
     gw.gw_timer <-
       Some
-        (Vsim.Engine.after t.eng rto (fun () ->
+        (Vsim.Engine.after t.eng ~kind:"kernel.rto_getpid" rto (fun () ->
              match Hashtbl.find_opt t.getpid_waits logical_id with
              | Some gw' when gw' == gw && gw.gw_gen = gen ->
                  gw.gw_timer <- None;

@@ -29,7 +29,7 @@ let charge_k t ns k =
   if ns > 0 && Vsim.Trace.tracing t.eng then
     Vsim.Trace.event t.eng
       (Vsim.Event.Cpu_grant { host = t.chost; cpu = t.cname; ns });
-  ignore (Vsim.Engine.at t.eng finish k)
+  ignore (Vsim.Engine.at t.eng ~kind:"cpu.grant" finish k)
 
 let charge t ns =
   Vsim.Proc.suspend ~reason:"cpu" (fun resume -> charge_k t ns resume)

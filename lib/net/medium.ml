@@ -191,7 +191,7 @@ let targets t frame =
    receiver's corruption flag does not leak into another's frame. *)
 let schedule_rx t frame port ~at =
   let f = { frame with Frame.corrupted = frame.Frame.corrupted } in
-  ignore (Vsim.Engine.at t.eng at (fun () -> deliver_to t f port))
+  ignore (Vsim.Engine.at t.eng ~kind:"net.deliver" at (fun () -> deliver_to t f port))
 
 (* Scripted loss is accounted per receiver at what would have been the
    arrival instant, exactly like probabilistic loss, so that
@@ -199,7 +199,7 @@ let schedule_rx t frame port ~at =
    Packet_drop events always name the receiver that missed the frame. *)
 let drop_scripted t frame port ~at =
   ignore
-    (Vsim.Engine.at t.eng at (fun () ->
+    (Vsim.Engine.at t.eng ~kind:"net.drop" at (fun () ->
          t.s_dropped <- t.s_dropped + 1;
          if Vsim.Trace.tracing t.eng then
            Vsim.Trace.event t.eng
@@ -256,7 +256,7 @@ let deliver t frame =
       t.held <- Some frame;
       t.held_flush <-
         Some
-          (Vsim.Engine.at t.eng
+          (Vsim.Engine.at t.eng ~kind:"net.reorder_flush"
              (Vsim.Engine.now t.eng + reorder_flush_ns t)
              (fun () ->
                t.held_flush <- None;
@@ -280,7 +280,7 @@ let rec attempt t (p : pending) =
           (Vsim.Event.Collision
              { a = cur.who.frame.Frame.src; b = p.frame.Frame.src });
       t.busy_until <- now + t.cfg.jam_ns;
-      ignore (Vsim.Engine.at t.eng t.busy_until (fun () -> drain t));
+      ignore (Vsim.Engine.at t.eng ~kind:"net.drain" t.busy_until (fun () -> drain t));
       backoff t cur.who;
       backoff t p
   | Some _ ->
@@ -292,7 +292,8 @@ let rec attempt t (p : pending) =
         let tx = wire_time_ns t.cfg (Frame.length p.frame) in
         let finish_at = now + tx in
         let finish =
-          Vsim.Engine.at t.eng finish_at (fun () -> complete t p tx)
+          Vsim.Engine.at t.eng ~kind:"net.tx_done" finish_at (fun () ->
+              complete t p tx)
         in
         t.busy_until <- finish_at;
         t.current <- Some { who = p; started = now; finish }
@@ -324,7 +325,9 @@ and backoff t (p : pending) =
     let k = min p.attempts 10 in
     let slots = Vsim.Rng.int t.rng (1 lsl k) in
     let delay = t.cfg.jam_ns + (slots * t.cfg.slot_ns) in
-    ignore (Vsim.Engine.after t.eng delay (fun () -> attempt t p))
+    ignore
+      (Vsim.Engine.after t.eng ~kind:"net.backoff" delay (fun () ->
+           attempt t p))
   end
 
 and drain t =

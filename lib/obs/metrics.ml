@@ -149,11 +149,24 @@ let pp fmt t =
 
 let to_json t =
   let hist_json h =
+    (* Derived quantile estimates ride along with the raw buckets so
+       catalog lines and downstream consumers need no bucket math. *)
+    let quantiles =
+      if Vsim.Stat.Histogram.count h = 0 then []
+      else
+        List.map
+          (fun (name, q) ->
+            (name, Json.Float (Vsim.Stat.Histogram.quantile h q)))
+          [ ("p50", 0.50); ("p95", 0.95); ("p99", 0.99) ]
+    in
     Json.Obj
-      [
-        ("count", Json.Int (Vsim.Stat.Histogram.count h));
-        ("sum", Json.Float (Vsim.Stat.Histogram.sum h));
-        ("mean", Json.Float (Vsim.Stat.Histogram.mean h));
+      ([
+         ("count", Json.Int (Vsim.Stat.Histogram.count h));
+         ("sum", Json.Float (Vsim.Stat.Histogram.sum h));
+         ("mean", Json.Float (Vsim.Stat.Histogram.mean h));
+       ]
+      @ quantiles
+      @ [
         ( "buckets",
           Json.List
             (List.map
@@ -166,7 +179,7 @@ let to_json t =
                      ("count", Json.Int c);
                    ])
                (Vsim.Stat.Histogram.buckets h)) );
-      ]
+      ])
   in
   let by_host = Hashtbl.create 8 in
   List.iter

@@ -36,4 +36,6 @@ val pp : Format.formatter -> t -> unit
 
 val to_json : t -> Json.t
 (** [{"host-<n>": {"<name>": <int | histogram object>, ...}, ...}],
-    hosts and names sorted. *)
+    hosts and names sorted.  Non-empty histogram objects carry derived
+    [p50]/[p95]/[p99] estimates (see {!Vsim.Stat.Histogram.quantile})
+    alongside the raw bucket counts. *)

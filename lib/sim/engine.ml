@@ -3,6 +3,7 @@ type t = {
   queue : Eventq.t;
   rand : Rng.t;
   mutable tracers : (Time.t -> Event.t -> unit) list;
+  mutable profile : Profile.t option;
 }
 
 type handle = Eventq.event
@@ -15,10 +16,12 @@ let default_seed = 0x5EED_CAFE_F00DL
 let create_hook : (t -> unit) option ref = ref None
 
 let set_create_hook h = create_hook := h
+let get_create_hook () = !create_hook
 
 let create ?(seed = default_seed) () =
   let t =
-    { clock = 0; queue = Eventq.create (); rand = Rng.create seed; tracers = [] }
+    { clock = 0; queue = Eventq.create (); rand = Rng.create seed;
+      tracers = []; profile = None }
   in
   (match !create_hook with Some hook -> hook t | None -> ());
   t
@@ -28,27 +31,45 @@ let clear_tracers t = t.tracers <- []
 let tracers t = t.tracers
 let traced t = t.tracers <> []
 
+let enable_profiling ?profile t =
+  match t.profile with
+  | Some p -> p
+  | None ->
+      let p =
+        match profile with Some p -> p | None -> Profile.create ()
+      in
+      t.profile <- Some p;
+      p
+
+let profile t = t.profile
+
 let now t = t.clock
 let rng t = t.rand
 
-let at t time fn =
+let at t ?kind time fn =
   if time < t.clock then
     invalid_arg
       (Printf.sprintf "Engine.at: time %d is before now %d" time t.clock);
-  Eventq.add t.queue ~time fn
+  Eventq.add t.queue ~time ?kind ~born:t.clock fn
 
-let after t delay fn =
+let after t ?kind delay fn =
   if delay < 0 then invalid_arg "Engine.after: negative delay";
-  Eventq.add t.queue ~time:(t.clock + delay) fn
+  Eventq.add t.queue ~time:(t.clock + delay) ?kind ~born:t.clock fn
 
 let cancel = Eventq.cancel
 
 let step t =
-  match Eventq.pop t.queue with
+  match Eventq.pop_ev t.queue with
   | None -> false
-  | Some (time, fn) ->
+  | Some ev ->
+      let time = Eventq.ev_time ev in
       t.clock <- time;
-      fn ();
+      (match t.profile with
+      | None -> Eventq.ev_fn ev ()
+      | Some p ->
+          Profile.time p ~kind:(Eventq.ev_kind ev)
+            ~cost_ns:(time - Eventq.ev_born ev)
+            (Eventq.ev_fn ev));
       true
 
 let run ?until t =

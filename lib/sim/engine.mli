@@ -23,11 +23,13 @@ val now : t -> Time.t
 val rng : t -> Rng.t
 (** The engine's random stream. *)
 
-val at : t -> Time.t -> (unit -> unit) -> handle
+val at : t -> ?kind:string -> Time.t -> (unit -> unit) -> handle
 (** [at t time fn] schedules [fn] at absolute [time]; [time] must not be in
-    the past. *)
+    the past.  [kind] labels the event for the profiler (e.g.
+    ["net.deliver"], ["kernel.rto_send"]); unlabeled events count under
+    ["other"]. *)
 
-val after : t -> Time.t -> (unit -> unit) -> handle
+val after : t -> ?kind:string -> Time.t -> (unit -> unit) -> handle
 (** [after t delay fn] schedules [fn] at [now t + delay]. *)
 
 val cancel : handle -> unit
@@ -71,3 +73,21 @@ val set_create_hook : (t -> unit) option -> unit
 (** Install a process-wide hook invoked on every engine returned by
     {!create}.  Used by [bin/vsim] to attach trace sinks to engines
     constructed inside experiment rigs; clear it ([None]) when done. *)
+
+val get_create_hook : unit -> (t -> unit) option
+(** The currently installed hook, so callers that need a second hook can
+    chain rather than clobber it (restore the saved value afterwards). *)
+
+(** {1 Profiling}
+
+    Opt-in per engine.  When enabled, {!step} accounts every fired event
+    into a {!Profile.t}: per-kind fire counts, modeled simulated cost,
+    and wall-clock buckets. *)
+
+val enable_profiling : ?profile:Profile.t -> t -> Profile.t
+(** Enable profiling on this engine, creating a fresh {!Profile.t} unless
+    one is supplied (several engines may share one profile, which is how
+    [vsim --profile] aggregates a whole command).  Idempotent: if already
+    enabled, returns the existing profile. *)
+
+val profile : t -> Profile.t option

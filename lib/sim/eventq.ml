@@ -1,6 +1,8 @@
 type event = {
   time : Time.t;
   seq : int;
+  kind : string;
+  born : Time.t;
   fn : unit -> unit;
   mutable cancelled : bool;
 }
@@ -11,7 +13,9 @@ type t = {
   mutable next_seq : int;
 }
 
-let dummy = { time = 0; seq = -1; fn = ignore; cancelled = true }
+let dummy =
+  { time = 0; seq = -1; kind = "other"; born = 0; fn = ignore;
+    cancelled = true }
 let create () = { heap = Array.make 64 dummy; size = 0; next_seq = 0 }
 
 let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
@@ -44,8 +48,9 @@ let rec sift_down t i =
     sift_down t !smallest
   end
 
-let add t ~time fn =
-  let ev = { time; seq = t.next_seq; fn; cancelled = false } in
+let add t ~time ?(kind = "other") ?born fn =
+  let born = match born with Some b -> b | None -> time in
+  let ev = { time; seq = t.next_seq; kind; born; fn; cancelled = false } in
   t.next_seq <- t.next_seq + 1;
   if t.size = Array.length t.heap then grow t;
   t.heap.(t.size) <- ev;
@@ -81,6 +86,21 @@ let pop t =
     remove_top t;
     Some (ev.time, ev.fn)
   end
+
+(* Like [pop], but keeps the scheduling metadata the profiler needs. *)
+let pop_ev t =
+  skim t;
+  if t.size = 0 then None
+  else begin
+    let ev = t.heap.(0) in
+    remove_top t;
+    Some ev
+  end
+
+let ev_time ev = ev.time
+let ev_kind ev = ev.kind
+let ev_born ev = ev.born
+let ev_fn ev = ev.fn
 
 let is_empty t =
   skim t;

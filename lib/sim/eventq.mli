@@ -14,8 +14,11 @@ type event
 
 val create : unit -> t
 
-val add : t -> time:Time.t -> (unit -> unit) -> event
-(** Schedule a callback at an absolute time. *)
+val add :
+  t -> time:Time.t -> ?kind:string -> ?born:Time.t -> (unit -> unit) -> event
+(** Schedule a callback at an absolute time.  [kind] labels the event for
+    the profiler (default ["other"]); [born] is the simulated instant the
+    event was scheduled (default [time], i.e. zero modeled delay). *)
 
 val cancel : event -> unit
 (** Mark an event so it never fires. Idempotent. *)
@@ -27,6 +30,15 @@ val next_time : t -> Time.t option
 
 val pop : t -> (Time.t * (unit -> unit)) option
 (** Remove and return the earliest live event. *)
+
+val pop_ev : t -> event option
+(** Like {!pop} but returns the full event, so callers can read its
+    {!ev_kind} and {!ev_born} (the profiler's accounting inputs). *)
+
+val ev_time : event -> Time.t
+val ev_kind : event -> string
+val ev_born : event -> Time.t
+val ev_fn : event -> unit -> unit
 
 val is_empty : t -> bool
 (** [true] iff no live events remain. *)

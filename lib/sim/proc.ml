@@ -62,7 +62,7 @@ let spawn eng ?(name = "proc") fn =
   let proc =
     { pid = !counter; pname = name; eng; pstate = Runnable; waiters = [] }
   in
-  ignore (Engine.after eng 0 (fun () -> run_fiber proc fn));
+  ignore (Engine.after eng ~kind:"proc.start" 0 (fun () -> run_fiber proc fn));
   proc
 
 let self () = Effect.perform Self
@@ -71,7 +71,7 @@ let suspend ~reason register = Effect.perform (Suspend (reason, register))
 let sleep delay =
   let p = self () in
   suspend ~reason:"sleep" (fun resume ->
-      ignore (Engine.after p.eng delay (fun () -> resume ())))
+      ignore (Engine.after p.eng ~kind:"proc.sleep" delay (fun () -> resume ())))
 
 let yield () = sleep 0
 

@@ -1,0 +1,138 @@
+(* Deterministic engine profiler.
+
+   Counts every fired event by its scheduling [kind] and attributes to it
+   the simulated delay it modeled (fire time minus schedule time), plus a
+   wall-clock bucket measured around the callback.  Counts and simulated
+   costs depend only on the event sequence, so two same-seed runs report
+   byte-identical tables; wall-clock buckets and GC figures are
+   diagnostics of the host process and are rendered separately
+   ({!pp_wall}) so deterministic output stays comparable byte-for-byte.
+
+   GC accounting uses [Gc.allocated_bytes] (allocation since the profile
+   was created) and [Gc.quick_stat ()] top-of-heap words: both are
+   functions of the program's allocation sequence, hence reproducible for
+   a fixed workload. *)
+
+type entry = {
+  mutable fires : int;
+  mutable sim_cost_ns : int;
+  mutable wall_s : float;
+}
+
+type t = {
+  kinds : (string, entry) Hashtbl.t;
+  mutable events : int;
+  mutable sim_cost_total_ns : int;
+  start_alloc_bytes : float;
+  start_wall : float;
+}
+
+(* Wall-clock source for the per-kind buckets.  [Sys.time] (CPU seconds)
+   is the stdlib default; CLIs that link [unix] install
+   [Unix.gettimeofday] for real elapsed time. *)
+let clock = ref Sys.time
+let set_clock f = clock := f
+
+let create () =
+  {
+    kinds = Hashtbl.create 32;
+    events = 0;
+    sim_cost_total_ns = 0;
+    start_alloc_bytes = Gc.allocated_bytes ();
+    start_wall = !clock ();
+  }
+
+let entry t kind =
+  match Hashtbl.find_opt t.kinds kind with
+  | Some e -> e
+  | None ->
+      let e = { fires = 0; sim_cost_ns = 0; wall_s = 0.0 } in
+      Hashtbl.replace t.kinds kind e;
+      e
+
+(* Run [fn] as one fired event of [kind] whose modeled delay was
+   [cost_ns]. *)
+let time t ~kind ~cost_ns fn =
+  let e = entry t kind in
+  e.fires <- e.fires + 1;
+  e.sim_cost_ns <- e.sim_cost_ns + cost_ns;
+  t.events <- t.events + 1;
+  t.sim_cost_total_ns <- t.sim_cost_total_ns + cost_ns;
+  let t0 = !clock () in
+  Fun.protect ~finally:(fun () -> e.wall_s <- e.wall_s +. (!clock () -. t0)) fn
+
+let events t = t.events
+let sim_cost_total_ns t = t.sim_cost_total_ns
+
+let entries t =
+  Hashtbl.fold (fun kind e acc -> (kind, e) :: acc) t.kinds []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let fires t kind =
+  match Hashtbl.find_opt t.kinds kind with Some e -> e.fires | None -> 0
+
+let wall_total_s t =
+  Hashtbl.fold (fun _ e acc -> acc +. e.wall_s) t.kinds 0.0
+
+let elapsed_wall_s t = !clock () -. t.start_wall
+
+let allocated_bytes t = Gc.allocated_bytes () -. t.start_alloc_bytes
+let top_heap_words () = (Gc.quick_stat ()).Gc.top_heap_words
+
+(* Fold [src] into [dst]: used to aggregate the profiles of the several
+   engines one CLI command may create. *)
+let merge_into ~dst src =
+  Hashtbl.iter
+    (fun kind e ->
+      let d = entry dst kind in
+      d.fires <- d.fires + e.fires;
+      d.sim_cost_ns <- d.sim_cost_ns + e.sim_cost_ns;
+      d.wall_s <- d.wall_s +. e.wall_s)
+    src.kinds;
+  dst.events <- dst.events + src.events;
+  dst.sim_cost_total_ns <- dst.sim_cost_total_ns + src.sim_cost_total_ns
+
+let aggregate = function
+  | [] -> create ()
+  | first :: rest ->
+      let acc = create () in
+      merge_into ~dst:acc first;
+      List.iter (fun p -> merge_into ~dst:acc p) rest;
+      acc
+
+(* Deterministic rendering: per-kind fire counts and simulated costs,
+   engine totals, and the GC figures.  No wall-clock values. *)
+let pp fmt t =
+  Format.fprintf fmt "@[<v>-- engine profile --@,";
+  Format.fprintf fmt "%-22s %10s %14s %7s@," "event kind" "fires"
+    "sim cost ms" "share";
+  let total = max 1 t.sim_cost_total_ns in
+  List.iter
+    (fun (kind, e) ->
+      Format.fprintf fmt "%-22s %10d %14.3f %6.1f%%@," kind e.fires
+        (float_of_int e.sim_cost_ns /. 1e6)
+        (100.0 *. float_of_int e.sim_cost_ns /. float_of_int total))
+    (entries t);
+  Format.fprintf fmt "%-22s %10d %14.3f %7s@," "total" t.events
+    (float_of_int t.sim_cost_total_ns /. 1e6)
+    "";
+  Format.fprintf fmt "allocated %.1f MB, heap high-water %d words@,"
+    (allocated_bytes t /. 1e6)
+    (top_heap_words ());
+  Format.fprintf fmt "@]"
+
+(* Host-process diagnostics: wall-clock seconds inside callbacks per kind
+   and the resulting events/s.  Nondeterministic by nature — callers keep
+   this off any byte-compared stream (vsim prints it to stderr). *)
+let pp_wall fmt t =
+  Format.fprintf fmt "@[<v>-- engine profile (wall clock) --@,";
+  List.iter
+    (fun (kind, e) ->
+      Format.fprintf fmt "%-22s %10.4f s@," kind e.wall_s)
+    (entries t);
+  let elapsed = elapsed_wall_s t in
+  Format.fprintf fmt "%-22s %10.4f s in callbacks, %.4f s elapsed@,"
+    "total" (wall_total_s t) elapsed;
+  if elapsed > 0.0 then
+    Format.fprintf fmt "%.0f events/s@," (float_of_int t.events /. elapsed);
+  Format.fprintf fmt "@]"

@@ -166,6 +166,40 @@ module Histogram = struct
            (bound, c))
          t.counts)
 
+  (* Nearest-rank quantile estimated from the bucket counts by linear
+     interpolation inside the containing bucket (the first bucket spans
+     [0, bounds.(0)]).  The overflow bucket has no upper bound, so ranks
+     that land there report the last finite bound — an underestimate,
+     but deterministic and monotone. *)
+  let quantile t q =
+    if q < 0.0 || q > 1.0 then invalid_arg "Histogram.quantile";
+    if t.n = 0 then nan
+    else begin
+      let k = Array.length t.bounds in
+      let rank =
+        Stdlib.max 1
+          (Stdlib.min t.n
+             (int_of_float (ceil (q *. float_of_int t.n))))
+      in
+      let rec find i cum =
+        if i > k then t.bounds.(k - 1)
+        else
+          let c = t.counts.(i) in
+          if cum + c >= rank then
+            if i = k then t.bounds.(k - 1)
+            else begin
+              let lo = if i = 0 then 0.0 else t.bounds.(i - 1) in
+              let hi = t.bounds.(i) in
+              let frac =
+                float_of_int (rank - cum) /. float_of_int (Stdlib.max 1 c)
+              in
+              lo +. (frac *. (hi -. lo))
+            end
+          else find (i + 1) (cum + c)
+      in
+      find 0 0
+    end
+
   let clear t =
     Array.fill t.counts 0 (Array.length t.counts) 0;
     t.n <- 0;

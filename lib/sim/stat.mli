@@ -68,6 +68,12 @@ module Histogram : sig
   (** [(upper_bound, count)] per bucket, in bound order; the final entry
       is [(infinity, overflow_count)]. *)
 
+  val quantile : t -> float -> float
+  (** [quantile t q] with [q] in [\[0,1\]]: nearest-rank estimate from the
+      bucket counts, linearly interpolated within the containing bucket.
+      Ranks landing in the overflow bucket report the last finite bound.
+      [nan] when empty. *)
+
   val clear : t -> unit
 
   val pp : Format.formatter -> t -> unit

@@ -92,7 +92,7 @@ let rec begin_service t cost action =
   t.in_service <- true;
   let finish = Vsim.Engine.now t.eng + cost in
   ignore
-    (Vsim.Engine.at t.eng finish (fun () ->
+    (Vsim.Engine.at t.eng ~kind:"disk.complete" finish (fun () ->
          action ();
          (* [action] may resume a fiber that immediately submits another
             request; it is queued behind us and picked up here. *)

@@ -1,0 +1,278 @@
+(* The benchmark result catalog (lib/obs/catalog.ml) and the engine
+   profiler (lib/sim/profile.ml): round-trips, tolerance-gate verdicts,
+   and same-seed determinism. *)
+
+module Cat = Vobs.Catalog
+module J = Vobs.Json
+
+let m ?units ?better ?wall v = Cat.metric ?units ?better ?wall v
+
+let sample_cells () =
+  [
+    Cat.cell ~bench:"ipc"
+      ~params:[ ("mhz", J.Int 10); ("net", J.Int 3) ]
+      ~digest:"deadbeef00000000"
+      [ ("elapsed_ms", m ~units:"ms" 2.54); ("trials", m ~units:"count" 100.0) ];
+    Cat.cell ~bench:"sweep"
+      ~params:[ ("drop", J.Str "0.05") ]
+      [
+        ("median_ms", m ~units:"ms" 41.5);
+        ("rate", m ~units:"per_s" ~better:Cat.Higher 120.0);
+        ("wall_rate", m ~units:"per_s" ~better:Cat.Higher ~wall:true 5000.0);
+      ];
+  ]
+
+(* --- round-trip ------------------------------------------------------ *)
+
+let test_roundtrip () =
+  let t = Cat.of_cells (sample_cells ()) in
+  let s = Cat.to_string t in
+  match Cat.of_string s with
+  | Error e -> Alcotest.failf "of_string: %s" e
+  | Ok t' ->
+      Alcotest.(check string) "re-serialization identical" s (Cat.to_string t');
+      let r = Cat.compare ~baseline:t ~current:t' () in
+      Alcotest.(check bool) "self-compare ok" true (Cat.report_ok r);
+      Alcotest.(check int) "no regressions" 0 r.Cat.regress;
+      Alcotest.(check int) "no improvements" 0 r.Cat.improve;
+      Alcotest.(check int) "no missing" 0 r.Cat.missing;
+      Alcotest.(check int) "no new" 0 r.Cat.fresh;
+      Alcotest.(check int) "all metrics pass" 5 r.Cat.pass
+
+let test_file_roundtrip () =
+  let t = Cat.of_cells (sample_cells ()) in
+  let path = Filename.temp_file "catalog" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Cat.save path t;
+      match Cat.load path with
+      | Error e -> Alcotest.failf "load: %s" e
+      | Ok t' ->
+          Alcotest.(check string) "file round-trip" (Cat.to_string t)
+            (Cat.to_string t'))
+
+let test_bad_lines () =
+  (match Cat.of_line "not json at all {" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "malformed line accepted");
+  match Cat.of_line "{\"v\":99,\"bench\":\"x\",\"params\":{},\"metrics\":{}}" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "wrong schema version accepted"
+
+let test_merge () =
+  let base = Cat.of_cells (sample_cells ()) in
+  let update =
+    Cat.of_cells
+      [
+        Cat.cell ~bench:"ipc"
+          ~params:[ ("mhz", J.Int 10); ("net", J.Int 3) ]
+          [ ("elapsed_ms", m ~units:"ms" 9.99) ];
+        Cat.cell ~bench:"fresh" ~params:[] [ ("x", m 1.0) ];
+      ]
+  in
+  let merged = Cat.merge base update in
+  Alcotest.(check int) "override kept one copy" 3
+    (List.length (Cat.cells merged));
+  let ipc =
+    List.find (fun c -> c.Cat.bench = "ipc") (Cat.cells merged)
+  in
+  Alcotest.(check (float 1e-9)) "override wins" 9.99
+    (List.assoc "elapsed_ms" ipc.Cat.metrics).Cat.value
+
+(* --- tolerance gates ------------------------------------------------- *)
+
+let one_cell ?(wall = false) ?(better = Cat.Lower) v =
+  Cat.of_cells
+    [ Cat.cell ~bench:"b" ~params:[] [ ("m", m ~better ~wall v) ] ]
+
+let verdict ?tolerance_pct ?wall_tolerance_pct ~base ~cur ?(wall = false)
+    ?(better = Cat.Lower) () =
+  let r =
+    Cat.compare ?tolerance_pct ?wall_tolerance_pct
+      ~baseline:(one_cell ~wall ~better base)
+      ~current:(one_cell ~wall ~better cur)
+      ()
+  in
+  (r.Cat.pass, r.Cat.improve, r.Cat.regress)
+
+let test_verdicts () =
+  (* Lower-is-better, default 0.5% tolerance. *)
+  Alcotest.(check (triple int int int)) "worse beyond tolerance regresses"
+    (0, 0, 1)
+    (verdict ~base:100.0 ~cur:102.0 ());
+  Alcotest.(check (triple int int int)) "drift within tolerance passes"
+    (1, 0, 0)
+    (verdict ~base:100.0 ~cur:100.3 ());
+  Alcotest.(check (triple int int int)) "better beyond tolerance improves"
+    (0, 1, 0)
+    (verdict ~base:100.0 ~cur:95.0 ());
+  (* Higher-is-better flips the directions. *)
+  Alcotest.(check (triple int int int)) "higher-better: drop regresses"
+    (0, 0, 1)
+    (verdict ~base:100.0 ~cur:95.0 ~better:Cat.Higher ());
+  Alcotest.(check (triple int int int)) "higher-better: gain improves"
+    (0, 1, 0)
+    (verdict ~base:100.0 ~cur:110.0 ~better:Cat.Higher ());
+  (* Wall metrics use the looser wall tolerance. *)
+  Alcotest.(check (triple int int int)) "wall: 30% slower still passes"
+    (1, 0, 0)
+    (verdict ~base:100.0 ~cur:130.0 ~wall:true ());
+  Alcotest.(check (triple int int int)) "wall: 60% slower regresses"
+    (0, 0, 1)
+    (verdict ~base:100.0 ~cur:160.0 ~wall:true ());
+  (* Custom tolerance. *)
+  Alcotest.(check (triple int int int)) "10% tolerance forgives 2%"
+    (1, 0, 0)
+    (verdict ~tolerance_pct:10.0 ~base:100.0 ~cur:102.0 ())
+
+let test_missing_and_new () =
+  let both = Cat.of_cells (sample_cells ()) in
+  let only_ipc = Cat.of_cells [ List.hd (sample_cells ()) ] in
+  let r = Cat.compare ~baseline:both ~current:only_ipc () in
+  Alcotest.(check int) "missing cell counted" 1 r.Cat.missing;
+  Alcotest.(check bool) "missing cell gates" false (Cat.report_ok r);
+  let r' = Cat.compare ~baseline:only_ipc ~current:both () in
+  Alcotest.(check int) "new cell counted" 1 r'.Cat.fresh;
+  Alcotest.(check bool) "new cell does not gate" true (Cat.report_ok r')
+
+let test_metric_shape_change () =
+  let base =
+    Cat.of_cells [ Cat.cell ~bench:"b" ~params:[] [ ("gone", m 1.0) ] ]
+  in
+  let cur =
+    Cat.of_cells [ Cat.cell ~bench:"b" ~params:[] [ ("other", m 1.0) ] ]
+  in
+  let r = Cat.compare ~baseline:base ~current:cur () in
+  Alcotest.(check bool) "metric shape change gates" false (Cat.report_ok r)
+
+let test_digest_change () =
+  let with_digest d =
+    Cat.of_cells
+      [ Cat.cell ~bench:"b" ~params:[] ~digest:d [ ("m", m 1.0) ] ]
+  in
+  let r =
+    Cat.compare ~baseline:(with_digest "aaaa") ~current:(with_digest "bbbb") ()
+  in
+  Alcotest.(check int) "digest change counted" 1 r.Cat.digest_changes;
+  Alcotest.(check bool) "digest change does not gate" true (Cat.report_ok r)
+
+let test_digest_string () =
+  (* FNV-1a is stable: a changed catalog digest must mean changed input. *)
+  Alcotest.(check bool) "digest deterministic" true
+    (Cat.digest_string "hello" = Cat.digest_string "hello");
+  Alcotest.(check bool) "digest discriminates" true
+    (Cat.digest_string "hello" <> Cat.digest_string "hellp")
+
+(* --- profiler -------------------------------------------------------- *)
+
+(* Run the remote S-R-R rig with profiling enabled on every engine it
+   creates; return the profile. *)
+let profiled_srr () =
+  let prof = Vsim.Profile.create () in
+  let prev = Vsim.Engine.get_create_hook () in
+  Vsim.Engine.set_create_hook
+    (Some
+       (fun eng ->
+         ignore (Vsim.Engine.enable_profiling ~profile:prof eng);
+         match prev with Some h -> h eng | None -> ()));
+  Fun.protect
+    ~finally:(fun () -> Vsim.Engine.set_create_hook prev)
+    (fun () ->
+      ignore
+        (Vworkload.Rigs.srr_remote ~trials:10
+           ~cpu_model:Vhw.Cost_model.sun_10mhz
+           ~medium_config:Vnet.Medium.config_3mb ()));
+  prof
+
+let test_profiler_determinism () =
+  let p1 = profiled_srr () in
+  let p2 = profiled_srr () in
+  Alcotest.(check bool) "events fired" true (Vsim.Profile.events p1 > 0);
+  Alcotest.(check int) "event totals equal" (Vsim.Profile.events p1)
+    (Vsim.Profile.events p2);
+  Alcotest.(check int) "sim cost totals equal"
+    (Vsim.Profile.sim_cost_total_ns p1)
+    (Vsim.Profile.sim_cost_total_ns p2);
+  let shape p =
+    List.map
+      (fun (kind, e) ->
+        (kind, e.Vsim.Profile.fires, e.Vsim.Profile.sim_cost_ns))
+      (Vsim.Profile.entries p)
+  in
+  Alcotest.(check (list (triple string int int)))
+    "per-kind fires and costs equal" (shape p1) (shape p2);
+  (* The rig exercises the network and the CPU scheduler, so the kind
+     taxonomy must show both. *)
+  Alcotest.(check bool) "net.deliver seen" true
+    (Vsim.Profile.fires p1 "net.deliver" > 0);
+  Alcotest.(check bool) "cpu.grant seen" true
+    (Vsim.Profile.fires p1 "cpu.grant" > 0)
+
+let test_profiler_merge () =
+  let p1 = profiled_srr () in
+  let p2 = profiled_srr () in
+  let agg = Vsim.Profile.aggregate [ p1; p2 ] in
+  Alcotest.(check int) "aggregate sums events"
+    (Vsim.Profile.events p1 + Vsim.Profile.events p2)
+    (Vsim.Profile.events agg);
+  Alcotest.(check int) "aggregate sums per-kind fires"
+    (2 * Vsim.Profile.fires p1 "net.deliver")
+    (Vsim.Profile.fires agg "net.deliver")
+
+(* --- histogram quantiles --------------------------------------------- *)
+
+let test_quantiles () =
+  let h = Vsim.Stat.Histogram.create ~bounds:[| 1.0; 10.0; 100.0 |] () in
+  for _ = 1 to 90 do Vsim.Stat.Histogram.add h 5.0 done;
+  for _ = 1 to 10 do Vsim.Stat.Histogram.add h 50.0 done;
+  let q p = Vsim.Stat.Histogram.quantile h p in
+  Alcotest.(check bool) "p50 in the 90% bucket" true
+    (q 0.5 > 1.0 && q 0.5 <= 10.0);
+  Alcotest.(check bool) "p95 in the tail bucket" true
+    (q 0.95 > 10.0 && q 0.95 <= 100.0);
+  Alcotest.(check bool) "quantiles monotone" true (q 0.5 <= q 0.95);
+  Alcotest.(check bool) "empty histogram gives nan" true
+    (Float.is_nan
+       (Vsim.Stat.Histogram.quantile
+          (Vsim.Stat.Histogram.create ~bounds:[| 1.0 |] ())
+          0.5))
+
+let test_metrics_json_quantiles () =
+  let reg = Vobs.Metrics.create () in
+  for i = 1 to 100 do
+    Vobs.Metrics.observe reg ~host:1 "lat" (float_of_int i)
+  done;
+  let s = J.to_string (Vobs.Metrics.to_json reg) in
+  List.iter
+    (fun key ->
+      let needle = "\"" ^ key ^ "\":" in
+      let n = String.length needle in
+      let rec found i =
+        i + n <= String.length s
+        && (String.sub s i n = needle || found (i + 1))
+      in
+      Alcotest.(check bool) (key ^ " present") true (found 0))
+    [ "p50"; "p95"; "p99" ]
+
+let suite =
+  [
+    Alcotest.test_case "catalog line round-trip" `Quick test_roundtrip;
+    Alcotest.test_case "catalog file round-trip" `Quick test_file_roundtrip;
+    Alcotest.test_case "malformed lines rejected" `Quick test_bad_lines;
+    Alcotest.test_case "merge overrides by key" `Quick test_merge;
+    Alcotest.test_case "tolerance verdicts" `Quick test_verdicts;
+    Alcotest.test_case "missing gates, new does not" `Quick
+      test_missing_and_new;
+    Alcotest.test_case "metric shape change gates" `Quick
+      test_metric_shape_change;
+    Alcotest.test_case "digest change counted, not gating" `Quick
+      test_digest_change;
+    Alcotest.test_case "digest string stable" `Quick test_digest_string;
+    Alcotest.test_case "profiler deterministic across same-seed runs" `Quick
+      test_profiler_determinism;
+    Alcotest.test_case "profiler aggregate sums" `Quick test_profiler_merge;
+    Alcotest.test_case "histogram quantiles" `Quick test_quantiles;
+    Alcotest.test_case "metrics JSON carries quantiles" `Quick
+      test_metrics_json_quantiles;
+  ]

@@ -24,5 +24,6 @@ let () =
       ("vexec", Test_vexec.suite);
       ("stress", Test_stress.suite);
       ("obs", Test_obs.suite);
+      ("catalog", Test_catalog.suite);
       ("check", Test_check.suite);
     ]
