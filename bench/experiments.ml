@@ -45,6 +45,22 @@ let stamp_digest ~since digest =
         else c)
       !recorded
 
+(* Grid fan-out: every sweep-shaped experiment turns its parameter grid
+   into Vsim.Job values and runs them through Vsim.Pool, so
+   `bench --domains N` spreads the simulation runs across N domains.
+   Results come back in grid order, so tables and catalog cells are
+   byte-identical for any domain count.  Recording stays on the main
+   domain — jobs only compute. *)
+let domains = ref Vsim.Pool.default_domains
+let set_domains n = domains := n
+
+let grid ~label f xs =
+  Vsim.Pool.run_list ~domains:!domains
+    (List.mapi
+       (fun i x -> Vsim.Job.v ~label:(Printf.sprintf "%s:%d" label i)
+           (fun () -> f x))
+       xs)
+
 (* Param and metric shorthands. *)
 let pi k v = (k, Vobs.Json.Int v)
 let ps k v = (k, Vobs.Json.Str v)
@@ -62,14 +78,21 @@ let m_wall_rate v = Cat.metric ~units:"per_s" ~better:Cat.Higher ~wall:true v
 let table_4_1 () =
   Report.section
     "Table 4-1: 3 Mb Ethernet SUN network penalty (times in ms)";
+  let measured =
+    grid ~label:"penalty"
+      (fun (n, p8, p10) ->
+        let got8 = R.measure_penalty ~cpu_model:m8 ~medium_config:net3 n in
+        let got10 = R.measure_penalty ~cpu_model:m10 ~medium_config:net3 n in
+        (n, p8, p10, got8, got10))
+      [ (64, 0.80, 0.65); (128, 1.20, 0.96); (256, 2.00, 1.62);
+        (512, 3.65, 3.00); (1024, 6.95, 5.83) ]
+  in
   let rows =
     List.map
-      (fun (n, p8, p10) ->
+      (fun (n, p8, p10, got8, got10) ->
         let wire =
           float_of_int (n * Vnet.Medium.byte_time_ns net3) /. 1e6
         in
-        let got8 = R.measure_penalty ~cpu_model:m8 ~medium_config:net3 n in
-        let got10 = R.measure_penalty ~cpu_model:m10 ~medium_config:net3 n in
         record ~bench:"table_4_1"
           ~params:[ pi "bytes" n; pi "net" 3 ]
           [ ("penalty_8mhz_ms", m_ms got8); ("penalty_10mhz_ms", m_ms got10) ];
@@ -79,8 +102,7 @@ let table_4_1 () =
           Report.vs ~got:got8 ~paper:p8;
           Report.vs ~got:got10 ~paper:p10;
         ])
-      [ (64, 0.80, 0.65); (128, 1.20, 0.96); (256, 2.00, 1.62);
-        (512, 3.65, 3.00); (1024, 6.95, 5.83) ]
+      measured
   in
   Report.table
     ~header:[ "bytes"; "net-time"; "8MHz sim (paper)"; "10MHz sim (paper)" ]
@@ -339,18 +361,22 @@ let table_6_2 () =
   Report.section
     "Table 6-2: sequential page reads vs disk latency, read-ahead server \
      (ms/page, sim (paper))";
-  let run latency_ms paper =
-    let got =
-      R.sequential_read ~disk_latency_ns:(Vsim.Time.ms latency_ms) ()
-    in
-    record ~bench:"table_6_2"
-      ~params:[ pi "disk_latency_ms" latency_ms; pi "mhz" 10; pi "net" 3 ]
-      [ ("per_page_ms", m_ms got) ];
-    [ string_of_int latency_ms; Report.vs ~got ~paper ]
+  let measured =
+    grid ~label:"seq_read"
+      (fun (latency_ms, paper) ->
+        ( latency_ms, paper,
+          R.sequential_read ~disk_latency_ns:(Vsim.Time.ms latency_ms) () ))
+      [ (10, 12.02); (15, 17.13); (20, 22.22) ]
   in
   Report.table
     ~header:[ "disk latency ms"; "elapsed/page (paper)" ]
-    [ run 10 12.02; run 15 17.13; run 20 22.22 ];
+    (List.map
+       (fun (latency_ms, paper, got) ->
+         record ~bench:"table_6_2"
+           ~params:[ pi "disk_latency_ms" latency_ms; pi "mhz" 10; pi "net" 3 ]
+           [ ("per_page_ms", m_ms got) ];
+         [ string_of_int latency_ms; Report.vs ~got ~paper ])
+       measured);
   Report.note
     "Shape: elapsed/page = disk latency + ~constant, so a streaming \
      protocol could win at most 10-20%% (Section 6.2)."
@@ -362,12 +388,23 @@ let table_6_3 () =
   Report.section
     "Table 6-3: 64-kilobyte program load by transfer unit, 10 MHz (ms, sim \
      (paper))";
-  let rows =
-    List.map
-      (fun (unit_kb, pl, pr, pc, ps) ->
+  let measured =
+    grid ~label:"load"
+      (fun (unit_kb, paper) ->
         let tu = unit_kb * 1024 in
         let local = R.program_load ~transfer_unit:tu ~client_host:1 () in
         let remote = R.program_load ~transfer_unit:tu ~client_host:2 () in
+        (unit_kb, paper, local, remote))
+      [
+        (1, (71.7, 518.3, 207.1, 297.9));
+        (4, (62.5, 368.4, 176.1, 225.2));
+        (16, (60.2, 344.6, 170.0, 216.9));
+        (64, (59.7, 335.4, 168.1, 212.7));
+      ]
+  in
+  let rows =
+    List.map
+      (fun (unit_kb, (pl, pr, pc, ps), (local : R.cols), (remote : R.cols)) ->
         record ~bench:"table_6_3"
           ~params:[ pi "transfer_unit_kb" unit_kb; pi "mhz" 10; pi "net" 3 ]
           [
@@ -383,12 +420,7 @@ let table_6_3 () =
           Report.vs ~got:remote.R.client_cpu ~paper:pc;
           Report.vs ~got:remote.R.server_cpu ~paper:ps;
         ])
-      [
-        (1, 71.7, 518.3, 207.1, 297.9);
-        (4, 62.5, 368.4, 176.1, 225.2);
-        (16, 60.2, 344.6, 170.0, 216.9);
-        (64, 59.7, 335.4, 168.1, 212.7);
-      ]
+      measured
   in
   Report.table
     ~header:
@@ -408,10 +440,12 @@ let section_7_capacity () =
   Report.section
     "Section 7: file-server capacity (90% page reads / 10% 64KB loads, \
      10 MHz server)";
+  let measured =
+    R.capacity_sweep ~domains:!domains ~clients:[ 1; 2; 5; 10; 20; 30 ] ()
+  in
   let rows =
     List.map
-      (fun n ->
-        let thr, mean, cpu, net = R.capacity ~clients:n () in
+      (fun (n, (thr, mean, cpu, net)) ->
         record ~bench:"section_7_capacity"
           ~params:[ pi "clients" n; pi "servers" 1; pi "mhz" 10 ]
           [
@@ -427,7 +461,7 @@ let section_7_capacity () =
           Printf.sprintf "%.0f%%" (100.0 *. cpu);
           Printf.sprintf "%.1f%%" (100.0 *. net);
         ])
-      [ 1; 2; 5; 10; 20; 30 ]
+      measured
   in
   Report.table
     ~header:[ "workstations"; "req/s"; "mean ms"; "server-cpu"; "network" ]
@@ -559,12 +593,14 @@ let section_7_exec () =
 let section_7_multi_server () =
   Report.section
     "Section 7 extension: adding file servers (30 workstations)";
+  let measured =
+    grid ~label:"servers"
+      (fun servers -> (servers, R.capacity ~servers ~clients:30 ()))
+      [ 1; 2; 3 ]
+  in
   let rows =
     List.map
-      (fun servers ->
-        let thr, mean, cpu, net =
-          R.capacity ~servers ~clients:30 ()
-        in
+      (fun (servers, (thr, mean, cpu, net)) ->
         record ~bench:"section_7_multi_server"
           ~params:[ pi "servers" servers; pi "clients" 30; pi "mhz" 10 ]
           [
@@ -580,7 +616,7 @@ let section_7_multi_server () =
           Printf.sprintf "%.0f%%" (100.0 *. cpu);
           Printf.sprintf "%.1f%%" (100.0 *. net);
         ])
-      [ 1; 2; 3 ]
+      measured
   in
   Report.table
     ~header:
@@ -891,13 +927,19 @@ let cache_crossover () =
      LRU's worst case: one block over capacity and the hit rate falls
      off a cliff, since each block is evicted just before its reuse. *)
   let cap = 32 in
+  let lru_rows =
+    grid ~label:"lru"
+      (fun ws ->
+        ( ws,
+          R.cached_read ~cache_blocks:cap ~working_set:ws ~file_blocks:64
+            ~policy:wt () ))
+      [ 8; 16; 24; 32; 40; 48 ]
+  in
   Report.table
     ~header:
       [ "working set (cap 32)"; "warm ms/read"; "hit rate"; "evictions" ]
     (List.map
-       (fun ws ->
-         let r = R.cached_read ~cache_blocks:cap ~working_set:ws
-             ~file_blocks:64 ~policy:wt () in
+       (fun (ws, r) ->
          let hits, misses, evicts =
            match r.R.cache_stats with
            | Some s ->
@@ -921,7 +963,7 @@ let cache_crossover () =
              (float_of_int hits /. float_of_int (max 1 (hits + misses)));
            string_of_int evicts;
          ])
-       [ 8; 16; 24; 32; 40; 48 ]);
+       lru_rows);
   Report.note
     "Past the capacity crossover (ws > 32) the cyclic scan defeats LRU \
      and every warm read goes remote again.";
@@ -1003,7 +1045,7 @@ let loss_sweep () =
   in
   let drops = [ 0.0; 0.02; 0.05; 0.10; 0.20 ] in
   let rows =
-    List.map
+    grid ~label:"loss"
       (fun d -> (d, median_batch_ns K.Fixed d, median_batch_ns K.Adaptive d))
       drops
   in
@@ -1053,14 +1095,13 @@ let server_scaling () =
   let worker_counts = [ 1; 2; 4 ] in
   let client_counts = [ 2; 8; 30 ] in
   let rows =
-    List.concat_map
-      (fun w ->
-        List.map
-          (fun n ->
-            let c = R.contention ~workers:w ~clients:n () in
-            (w, n, c))
-          client_counts)
-      worker_counts
+    R.contention_sweep ~domains:!domains
+      ~grid:
+        (List.concat_map
+           (fun w -> List.map (fun n -> (w, n)) client_counts)
+           worker_counts)
+      ()
+    |> List.map (fun ((w, n), c) -> (w, n, c))
   in
   List.iter
     (fun (w, n, c) ->
@@ -1126,7 +1167,8 @@ let check_sweep () =
     List.map
       (fun (depth, limit) ->
         let result, dt =
-          Report.timed (fun () -> Vcheck.Checker.sweep ~depth ~limit ())
+          Report.timed (fun () ->
+              Vcheck.Checker.sweep ~depth ~limit ~domains:!domains ())
         in
         match result with
         | Error _ -> failwith "check_sweep: baseline workload violated"

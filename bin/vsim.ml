@@ -8,10 +8,16 @@
      vsim page --write --basic
      vsim load --unit 16384 --net 10
      vsim seq --latency 15
-     vsim capacity --clients 12
-     vsim fault --drop 0.1 --timeout 20 *)
+     vsim capacity --clients 5,10,20 --domains 4
+     vsim fault --drop 0.1 --timeout 20
+     vsim check --domains 4 --json
+
+   Every subcommand shares the Spec flags: --seed, --domains, and the
+   observability set (--trace-out/--trace-topics/--metrics/--metrics-out/
+   --profile). *)
 
 open Cmdliner
+module Spec = Vsim_cli.Spec
 
 let model_of_mhz = function
   | 8 -> Vhw.Cost_model.sun_8mhz
@@ -38,131 +44,6 @@ let local_arg =
 let trials_arg =
   Arg.(value & opt int 100 & info [ "trials" ] ~doc:"Measurement trials.")
 
-(* --- observability ---------------------------------------------------- *)
-
-type obs = {
-  trace_out : string option;
-  topics : string list;
-  metrics : bool;
-  metrics_out : string option;
-  profile : bool;
-}
-
-let obs_term =
-  let trace_out =
-    Arg.(value & opt (some string) None
-         & info [ "trace-out" ] ~docv:"FILE"
-             ~doc:"Write the structured event trace to $(docv): JSON lines \
-                   by default, or a Chrome trace_event array (loadable in \
-                   chrome://tracing or Perfetto) when $(docv) ends in .json.")
-  in
-  let topics =
-    Arg.(value & opt (list string) []
-         & info [ "trace-topics" ] ~docv:"LIST"
-             ~doc:"Comma-separated event topics to keep (kernel, net, cpu, \
-                   disk, fs, span).  Default: all.")
-  in
-  let metrics =
-    Arg.(value & flag
-         & info [ "metrics" ]
-             ~doc:"Print the per-host metrics registry after the run.")
-  in
-  let metrics_out =
-    Arg.(value & opt (some string) None
-         & info [ "metrics-out" ] ~docv:"FILE"
-             ~doc:"Write the per-host metrics registry to $(docv) as JSON \
-                   (histograms carry derived p50/p95/p99).")
-  in
-  let profile =
-    Arg.(value & flag
-         & info [ "profile" ]
-             ~doc:"Profile the simulation engine: per-event-kind fire \
-                   counts and simulated costs (deterministic, stdout) plus \
-                   wall-clock buckets (stderr).")
-  in
-  Term.(const (fun trace_out topics metrics metrics_out profile ->
-            { trace_out; topics; metrics; metrics_out; profile })
-        $ trace_out $ topics $ metrics $ metrics_out $ profile)
-
-(* Instrument every engine the command creates: spans first (so their
-   Span_open/Span_close events reach the sinks attached after them), then
-   the trace file sink, then the metrics registry.  Engines get
-   consecutive run indices so multi-engine commands stay separable in one
-   trace file. *)
-let with_obs obs f =
-  if obs.trace_out = None && not obs.metrics && obs.metrics_out = None
-     && not obs.profile
-  then f ()
-  else begin
-    let chrome =
-      match obs.trace_out with
-      | Some path when Filename.check_suffix path ".json" ->
-          Some (Vobs.Chrome_trace.create ())
-      | _ -> None
-    in
-    let open_or_die path =
-      try open_out path
-      with Sys_error e ->
-        Format.eprintf "vsim: cannot open trace file: %s@." e;
-        exit 1
-    in
-    let oc = Option.map open_or_die obs.trace_out in
-    let registry = Vobs.Metrics.create () in
-    let want_metrics = obs.metrics || obs.metrics_out <> None in
-    (* One profile shared by every engine the command creates, so the GC
-       baselines snapshot once and multi-engine commands report a single
-       aggregate table. *)
-    let prof =
-      if obs.profile then begin
-        Vsim.Profile.set_clock Unix.gettimeofday;
-        Some (Vsim.Profile.create ())
-      end
-      else None
-    in
-    let run_ix = ref 0 in
-    Vsim.Engine.set_create_hook
-      (Some
-         (fun eng ->
-           let run = !run_ix in
-           incr run_ix;
-           let (_ : Vobs.Spans.t) = Vobs.Spans.attach eng in
-           (match (chrome, oc) with
-           | Some c, _ ->
-               Vobs.Chrome_trace.attach ~topics:obs.topics ~run c eng
-           | None, Some oc ->
-               Vobs.Jsonl.attach ~topics:obs.topics ~run eng
-                 (output_string oc)
-           | None, None -> ());
-           if want_metrics then Vobs.Metrics.attach registry eng;
-           match prof with
-           | Some p -> ignore (Vsim.Engine.enable_profiling ~profile:p eng)
-           | None -> ()));
-    Fun.protect
-      ~finally:(fun () ->
-        Vsim.Engine.set_create_hook None;
-        (match (chrome, oc) with
-        | Some c, Some oc -> output_string oc (Vobs.Chrome_trace.to_string c)
-        | _ -> ());
-        (match oc with Some oc -> close_out oc | None -> ());
-        if obs.metrics then Format.printf "%a@." Vobs.Metrics.pp registry;
-        (match obs.metrics_out with
-        | Some path ->
-            let moc = open_or_die path in
-            output_string moc
-              (Vobs.Json.to_string (Vobs.Metrics.to_json registry));
-            output_string moc "\n";
-            close_out moc
-        | None -> ());
-        match prof with
-        | Some p ->
-            (* Deterministic table to stdout; wall-clock diagnostics to
-               stderr so stdout stays byte-comparable across runs. *)
-            Format.printf "%a@." Vsim.Profile.pp p;
-            Format.eprintf "%a@." Vsim.Profile.pp_wall p
-        | None -> ())
-      f
-  end
-
 let pp_cols (c : Vworkload.Rigs.cols) =
   Format.printf "elapsed      %a ms@." Vsim.Time.pp_ms c.Vworkload.Rigs.elapsed;
   Format.printf "client cpu   %a ms@." Vsim.Time.pp_ms c.Vworkload.Rigs.client_cpu;
@@ -171,19 +52,20 @@ let pp_cols (c : Vworkload.Rigs.cols) =
 (* --- ipc ------------------------------------------------------------ *)
 
 let ipc_cmd =
-  let run obs mhz net local trials =
-    with_obs obs @@ fun () ->
+  let run spec mhz net local trials =
+    Spec.with_obs spec @@ fun () ->
+    let seed = spec.Spec.seed in
     let cpu_model = model_of_mhz mhz in
     if local then
       Format.printf "local Send-Receive-Reply: %a ms@." Vsim.Time.pp_ms
-        (Vworkload.Rigs.srr_local ~trials ~cpu_model ())
+        (Vworkload.Rigs.srr_local ~trials ~cpu_model ?seed ())
     else
       pp_cols
         (Vworkload.Rigs.srr_remote ~trials ~cpu_model
-           ~medium_config:(medium_of_net net) ())
+           ~medium_config:(medium_of_net net) ?seed ())
   in
   Cmd.v (Cmd.info "ipc" ~doc:"Send-Receive-Reply message exchange")
-    Term.(const run $ obs_term $ mhz_arg $ net_arg $ local_arg $ trials_arg)
+    Term.(const run $ Spec.term $ mhz_arg $ net_arg $ local_arg $ trials_arg)
 
 (* --- penalty --------------------------------------------------------- *)
 
@@ -191,11 +73,12 @@ let penalty_cmd =
   let bytes =
     Arg.(value & opt int 1024 & info [ "bytes" ] ~doc:"Datagram size.")
   in
-  let run obs mhz net n trials =
-    with_obs obs @@ fun () ->
+  let run spec mhz net n trials =
+    Spec.with_obs spec @@ fun () ->
     let cpu_model = model_of_mhz mhz and medium_config = medium_of_net net in
     let measured =
-      Vworkload.Rigs.measure_penalty ~trials ~cpu_model ~medium_config n
+      Vworkload.Rigs.measure_penalty ~trials ?seed:spec.Spec.seed ~cpu_model
+        ~medium_config n
     in
     let analytic = Vworkload.Rigs.penalty_ns ~cpu_model ~medium_config n in
     Format.printf "network penalty P(%d): measured %a ms, analytic %a ms@." n
@@ -204,7 +87,7 @@ let penalty_cmd =
   Cmd.v
     (Cmd.info "penalty"
        ~doc:"Network penalty: one-way memory-to-memory datagram time")
-    Term.(const run $ obs_term $ mhz_arg $ net_arg $ bytes $ trials_arg)
+    Term.(const run $ Spec.term $ mhz_arg $ net_arg $ bytes $ trials_arg)
 
 (* --- move ------------------------------------------------------------ *)
 
@@ -215,22 +98,23 @@ let move_cmd =
   let from_flag =
     Arg.(value & flag & info [ "from" ] ~doc:"MoveFrom instead of MoveTo.")
   in
-  let run obs mhz net local count from_ =
-    with_obs obs @@ fun () ->
+  let run spec mhz net local count from_ =
+    Spec.with_obs spec @@ fun () ->
+    let seed = spec.Spec.seed in
     let cpu_model = model_of_mhz mhz in
     let to_remote = not from_ in
     if local then
       Format.printf "local Move%s %d bytes: %a ms@."
         (if to_remote then "To" else "From")
         count Vsim.Time.pp_ms
-        (Vworkload.Rigs.move_local ~cpu_model ~count ~to_remote ())
+        (Vworkload.Rigs.move_local ~cpu_model ~count ~to_remote ?seed ())
     else
       pp_cols
         (Vworkload.Rigs.move_remote ~cpu_model
-           ~medium_config:(medium_of_net net) ~count ~to_remote ())
+           ~medium_config:(medium_of_net net) ~count ~to_remote ?seed ())
   in
   Cmd.v (Cmd.info "move" ~doc:"MoveTo/MoveFrom bulk data transfer")
-    Term.(const run $ obs_term $ mhz_arg $ net_arg $ local_arg $ bytes
+    Term.(const run $ Spec.term $ mhz_arg $ net_arg $ local_arg $ bytes
           $ from_flag)
 
 (* --- page ------------------------------------------------------------ *)
@@ -272,13 +156,14 @@ let page_cmd =
              ~doc:"File-server worker processes (1 = the classic single \
                    Receive loop).")
   in
-  let run obs mhz net local write basic cache_blocks cache_policy workers =
-    with_obs obs @@ fun () ->
+  let run spec mhz net local write basic cache_blocks cache_policy workers =
+    Spec.with_obs spec @@ fun () ->
+    let seed = spec.Spec.seed in
     let cpu_model = model_of_mhz mhz
     and medium_config = medium_of_net net in
     if cache_blocks = 0 then
       pp_cols
-        (Vworkload.Rigs.page_op ~cpu_model ~medium_config ~workers
+        (Vworkload.Rigs.page_op ~cpu_model ~medium_config ~workers ?seed
            ~client_host:(if local then 1 else 2)
            ~write ~basic ())
     else
@@ -289,7 +174,7 @@ let page_cmd =
       | Some policy ->
           if write then begin
             let per_write, flush_ns, stats =
-              Vworkload.Rigs.cached_write ~cpu_model ~medium_config
+              Vworkload.Rigs.cached_write ~cpu_model ~medium_config ?seed
                 ~cache_blocks ~policy ()
             in
             Format.printf "per write    %a ms (%s)@." Vsim.Time.pp_ms
@@ -300,7 +185,7 @@ let page_cmd =
           end
           else begin
             let r =
-              Vworkload.Rigs.cached_read ~cpu_model ~medium_config
+              Vworkload.Rigs.cached_read ~cpu_model ~medium_config ?seed
                 ~cache_blocks ~policy ()
             in
             Format.printf "cold read    %a ms@." Vsim.Time.pp_ms
@@ -314,7 +199,7 @@ let page_cmd =
     (Cmd.info "page"
        ~doc:"512-byte page access against a file server, optionally \
              through a client block cache")
-    Term.(const run $ obs_term $ mhz_arg $ net_arg $ local_arg $ write_flag
+    Term.(const run $ Spec.term $ mhz_arg $ net_arg $ local_arg $ write_flag
           $ basic_flag $ cache_blocks_arg $ cache_policy_arg $ workers_arg)
 
 (* --- load ------------------------------------------------------------ *)
@@ -324,11 +209,11 @@ let load_cmd =
     Arg.(value & opt int 4096
          & info [ "unit" ] ~doc:"MoveTo transfer unit in bytes.")
   in
-  let run obs mhz net local transfer_unit =
-    with_obs obs @@ fun () ->
+  let run spec mhz net local transfer_unit =
+    Spec.with_obs spec @@ fun () ->
     let c =
       Vworkload.Rigs.program_load ~cpu_model:(model_of_mhz mhz)
-        ~medium_config:(medium_of_net net) ~transfer_unit
+        ~medium_config:(medium_of_net net) ?seed:spec.Spec.seed ~transfer_unit
         ~client_host:(if local then 1 else 2)
         ()
     in
@@ -337,7 +222,7 @@ let load_cmd =
       (65536.0 /. 1024.0 /. Vsim.Time.to_float_s c.Vworkload.Rigs.elapsed)
   in
   Cmd.v (Cmd.info "load" ~doc:"64-kilobyte program load")
-    Term.(const run $ obs_term $ mhz_arg $ net_arg $ local_arg $ unit_arg)
+    Term.(const run $ Spec.term $ mhz_arg $ net_arg $ local_arg $ unit_arg)
 
 (* --- seq ------------------------------------------------------------- *)
 
@@ -349,23 +234,28 @@ let seq_cmd =
   let pages =
     Arg.(value & opt int 30 & info [ "pages" ] ~doc:"File length in pages.")
   in
-  let run obs mhz latency npages =
-    with_obs obs @@ fun () ->
+  let run spec mhz latency npages =
+    Spec.with_obs spec @@ fun () ->
     Format.printf "sequential read, %d ms disk: %a ms/page@." latency
       Vsim.Time.pp_ms
       (Vworkload.Rigs.sequential_read ~cpu_model:(model_of_mhz mhz) ~npages
+         ?seed:spec.Spec.seed
          ~disk_latency_ns:(Vsim.Time.ms latency) ())
   in
   Cmd.v
     (Cmd.info "seq"
        ~doc:"Sequential file read against a read-ahead file server")
-    Term.(const run $ obs_term $ mhz_arg $ latency $ pages)
+    Term.(const run $ Spec.term $ mhz_arg $ latency $ pages)
 
 (* --- capacity --------------------------------------------------------- *)
 
 let capacity_cmd =
   let clients =
-    Arg.(value & opt int 10 & info [ "clients" ] ~doc:"Diskless workstations.")
+    Arg.(value & opt (list int) [ 10 ]
+         & info [ "clients" ] ~docv:"LIST"
+             ~doc:"Diskless workstation counts: a single value or a \
+                   comma-separated sweep (e.g. 5,10,20), one closed-loop \
+                   run per value, fanned out over --domains.")
   in
   let think =
     Arg.(value & opt int 320
@@ -380,21 +270,25 @@ let capacity_cmd =
              ~doc:"File-server worker processes (1 = the classic single \
                    Receive loop).")
   in
-  let run obs mhz clients think duration workers =
-    with_obs obs @@ fun () ->
-    let thr, mean, cpu, net =
-      Vworkload.Rigs.capacity ~cpu_model:(model_of_mhz mhz)
+  let run spec mhz clients think duration workers =
+    Spec.with_obs spec @@ fun () ->
+    let rows =
+      Vworkload.Rigs.capacity_sweep ~cpu_model:(model_of_mhz mhz)
         ~duration:(Vsim.Time.sec duration)
-        ~think_mean:(Vsim.Time.ms think) ~workers ~clients ()
+        ~think_mean:(Vsim.Time.ms think) ~workers ?seed:spec.Spec.seed
+        ~domains:spec.Spec.domains ~clients ()
     in
-    Format.printf
-      "%d workstations: %.1f req/s, mean %.2f ms, server cpu %.0f%%, \
-       network %.1f%%@."
-      clients thr mean (100.0 *. cpu) (100.0 *. net)
+    List.iter
+      (fun (clients, (thr, mean, cpu, net)) ->
+        Format.printf
+          "%d workstations: %.1f req/s, mean %.2f ms, server cpu %.0f%%, \
+           network %.1f%%@."
+          clients thr mean (100.0 *. cpu) (100.0 *. net))
+      rows
   in
   Cmd.v
     (Cmd.info "capacity" ~doc:"File-server capacity under multi-client load")
-    Term.(const run $ obs_term $ mhz_arg $ clients $ think $ duration
+    Term.(const run $ Spec.term $ mhz_arg $ clients $ think $ duration
           $ workers)
 
 (* --- fault ------------------------------------------------------------ *)
@@ -425,8 +319,8 @@ let fault_cmd =
                    $(b,adaptive) estimates per-destination RTT \
                    (Jacobson/Karn) with exponential backoff.")
   in
-  let run obs mhz net drop corrupt bug timeout rto_mode trials =
-    with_obs obs @@ fun () ->
+  let run spec mhz net drop corrupt bug timeout rto_mode trials =
+    Spec.with_obs spec @@ fun () ->
     let fault =
       if bug then Vnet.Fault.hardware_bug
       else
@@ -440,11 +334,12 @@ let fault_cmd =
     in
     pp_cols
       (Vworkload.Rigs.srr_remote ~trials ~cpu_model:(model_of_mhz mhz)
-         ~medium_config:(medium_of_net net) ~fault ~kernel_config ())
+         ~medium_config:(medium_of_net net) ~fault ~kernel_config
+         ?seed:spec.Spec.seed ())
   in
   Cmd.v
     (Cmd.info "fault" ~doc:"Message exchange under network faults")
-    Term.(const run $ obs_term $ mhz_arg $ net_arg $ drop $ corrupt $ bug
+    Term.(const run $ Spec.term $ mhz_arg $ net_arg $ drop $ corrupt $ bug
           $ timeout $ rto_mode $ trials_arg)
 
 (* --- check: systematic fault-schedule exploration --------------------- *)
@@ -471,13 +366,23 @@ let check_cmd =
          & info [ "emit-repro" ] ~docv:"FILE"
              ~doc:"Where to write the minimized reproducer on violation.")
   in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit the sweep report as one line of JSON on stdout \
+                   instead of the human-readable summary.  The JSON is \
+                   deterministic and byte-identical for any --domains \
+                   value.")
+  in
   let print_violations vs =
     List.iter
       (fun v ->
         Format.printf "  violation -- %a@." Vcheck.Checker.pp_violation v)
       vs
   in
-  let run depth limit repro emit =
+  let run spec depth limit repro emit json =
+    Spec.with_obs spec @@ fun () ->
+    let seed = spec.Spec.seed in
     match repro with
     | Some path -> (
         let text = In_channel.with_open_text path In_channel.input_all in
@@ -488,7 +393,7 @@ let check_cmd =
         | Ok s -> (
             Format.printf "replaying schedule: %a@." Vcheck.Schedule.pp s;
             let report =
-              Vcheck.Workload.run ~fault:(Vcheck.Schedule.to_fault s) ()
+              Vcheck.Workload.run ~fault:(Vcheck.Schedule.to_fault s) ?seed ()
             in
             Format.printf "@[<v>%a@]@." Vcheck.Checker.pp_report report;
             match Vcheck.Checker.violations_of report with
@@ -497,11 +402,17 @@ let check_cmd =
                 print_violations vs;
                 exit 1))
     | None -> (
-        match Vcheck.Checker.sweep ~depth ~limit () with
+        match
+          Vcheck.Checker.sweep ~depth ~limit ?seed
+            ~domains:spec.Spec.domains ()
+        with
         | Error vs ->
             Format.printf "the unfaulted baseline run violates invariants:@.";
             print_violations vs;
             exit 1
+        | Ok r when json ->
+            print_endline (Vcheck.Checker.report_to_json r);
+            if r.Vcheck.Checker.failure <> None then exit 1
         | Ok r -> (
             Format.printf "baseline workload: %d frames, %d operations@."
               r.Vcheck.Checker.baseline_frames Vcheck.Workload.op_count;
@@ -511,16 +422,19 @@ let check_cmd =
                   "explored %d fault schedules (depth <= %d): no invariant \
                    violations@."
                   r.Vcheck.Checker.schedules_run depth
-            | Some (first, minimal, vs) ->
+            | Some f ->
                 Format.printf "violation at schedule %d of the sweep@."
                   r.Vcheck.Checker.schedules_run;
-                Format.printf "  first failing: %a@." Vcheck.Schedule.pp first;
+                Format.printf "  first failing: %a@." Vcheck.Schedule.pp
+                  f.Vcheck.Checker.schedule;
                 Format.printf "  minimized:     %a@." Vcheck.Schedule.pp
-                  minimal;
-                print_violations vs;
+                  f.Vcheck.Checker.minimal;
+                print_violations f.Vcheck.Checker.violations;
                 Out_channel.with_open_text emit (fun oc ->
                     output_string oc
-                      (Vcheck.Checker.repro_file_contents minimal vs));
+                      (Vcheck.Checker.repro_file_contents
+                         f.Vcheck.Checker.minimal
+                         f.Vcheck.Checker.violations));
                 Format.printf "reproducer written to %s@." emit;
                 exit 1))
   in
@@ -530,7 +444,7 @@ let check_cmd =
              delay / reorder per frame) over a scripted IPC workload, \
              checking the paper's protocol invariants after every run; \
              violations are shrunk to a minimal replayable schedule")
-    Term.(const run $ depth $ limit $ repro $ emit)
+    Term.(const run $ Spec.term $ depth $ limit $ repro $ emit $ json)
 
 (* --- run: assemble a program and execute it on a diskless ws --------- *)
 
@@ -543,8 +457,8 @@ let run_cmd =
   let trace =
     Arg.(value & flag & info [ "trace" ] ~doc:"Print kernel/network trace.")
   in
-  let run obs mhz net source_path trace =
-    with_obs obs @@ fun () ->
+  let run spec mhz net source_path trace =
+    Spec.with_obs spec @@ fun () ->
     let source = In_channel.with_open_text source_path In_channel.input_all in
     let img =
       match Vexec.Asm.assemble source with
@@ -554,7 +468,8 @@ let run_cmd =
           exit 1
     in
     let tb =
-      Vworkload.Testbed.create ~cpu_model:(model_of_mhz mhz)
+      Vworkload.Testbed.create ?seed:spec.Spec.seed
+        ~cpu_model:(model_of_mhz mhz)
         ~medium_config:(medium_of_net net) ~hosts:2 ()
     in
     if trace then Vsim.Trace.to_stderr tb.Vworkload.Testbed.eng;
@@ -595,7 +510,7 @@ let run_cmd =
        ~doc:"Assemble a program and run it on a simulated diskless \
              workstation (loaded from the file server, interpreted with V \
              syscalls)")
-    Term.(const run $ obs_term $ mhz_arg $ net_arg $ file $ trace)
+    Term.(const run $ Spec.term $ mhz_arg $ net_arg $ file $ trace)
 
 let () =
   let info =

@@ -1,3 +1,5 @@
+let k_timeout = Vsim.Eventq.Kind.intern "baseline.timeout"
+
 (* Wire format (ethertype_stream):
    0      op (1 = stream request, 2 = data page, 3 = cumulative ack)
    4..7   stream id
@@ -54,7 +56,7 @@ let wait_event s ~timeout =
       | None -> s.s_wake <- Some (fun () -> resume true)
       | Some timeout ->
           let timer =
-            Vsim.Engine.after s.s_eng ~kind:"baseline.timeout" timeout (fun () ->
+            Vsim.Engine.after s.s_eng ~kind:k_timeout timeout (fun () ->
                 if s.s_wake <> None then begin
                   s.s_wake <- None;
                   resume false
@@ -225,7 +227,7 @@ let stream_file eng ~nic ~server ~inum ?(client_think_ns = 0)
             let ok =
               Vsim.Proc.suspend ~reason:"stream-page" (fun resume ->
                   let timer =
-                    Vsim.Engine.after eng ~kind:"baseline.timeout" (Vsim.Time.sec 1) (fun () ->
+                    Vsim.Engine.after eng ~kind:k_timeout (Vsim.Time.sec 1) (fun () ->
                         if st.wake <> None then begin
                           st.wake <- None;
                           resume false

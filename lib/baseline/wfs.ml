@@ -1,3 +1,5 @@
+let k_timeout = Vsim.Eventq.Kind.intern "baseline.timeout"
+
 (* Wire format (payload bytes):
    0      op (1 = read request, 2 = write request, 3 = read response,
              4 = write ack, 5 = error)
@@ -185,7 +187,7 @@ let rpc c ~op ~inum ~block ~count ~data =
       let rec arm tries =
         p.p_timer <-
           Some
-            (Vsim.Engine.after c.c_eng ~kind:"baseline.timeout" c.c_timeout (fun () ->
+            (Vsim.Engine.after c.c_eng ~kind:k_timeout c.c_timeout (fun () ->
                  if Hashtbl.mem c.c_pending id then begin
                    if tries >= c.c_retries then begin
                      Hashtbl.remove c.c_pending id;

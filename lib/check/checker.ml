@@ -61,8 +61,8 @@ let violations_of (r : Workload.report) =
          m.targeted m.duplicated m.delivered m.dropped);
   List.rev !vs
 
-let run_schedule ?max_events (s : Schedule.t) =
-  violations_of (Workload.run ~fault:(Schedule.to_fault s) ?max_events ())
+let run_schedule ?max_events ?seed (s : Schedule.t) =
+  violations_of (Workload.run ~fault:(Schedule.to_fault s) ?max_events ?seed ())
 
 (* A deterministic, wall-clock-free digest of one run, for replay
    diagnosis. *)
@@ -112,48 +112,135 @@ let shrink ~run (s : Schedule.t) =
   in
   go s
 
-type sweep_result = {
+type sweep_failure = {
+  schedule : Schedule.t;
+  minimal : Schedule.t;
+  violations : violation list;
+}
+
+type sweep_report = {
+  depth : int;
+  limit : int;
   schedules_run : int;
   baseline_frames : int;
-  failure : (Schedule.t * Schedule.t * violation list) option;
-      (** first violating schedule, its shrunk form, and the shrunk
-          form's violations *)
+  failure : sweep_failure option;
 }
 
 (* Enumerate schedules over the baseline run's frame positions and stop
    at the first violation (shrunk to a minimal reproducer) or at
-   [limit].  The baseline run itself must be violation-free. *)
+   [limit].  The baseline run itself must be violation-free.
+
+   Execution is chunked through {!Vsim.Pool}: each chunk of the (lazy,
+   deterministic) enumeration becomes a batch of jobs, results come back
+   in enumeration order, and the first violating schedule is found by
+   scanning the batch in order.  Because the scan stops at the first
+   violation, [schedules_run] — the 1-based index of the violating
+   schedule, or the total enumerated when clean — does not depend on
+   [domains] or on chunk size: the report is byte-identical for any
+   domain count.  Chunks past the first violation are speculative work
+   that is simply discarded.  Shrinking stays sequential — it is a
+   chain of dependent runs. *)
 let sweep ?(depth = 2) ?(limit = 600) ?(actions = Schedule.default_actions)
-    ?max_events ?(progress = fun _ -> ()) () =
-  let baseline = Workload.run ?max_events () in
+    ?max_events ?seed ?(domains = Vsim.Pool.default_domains)
+    ?(progress = fun _ -> ()) () =
+  let baseline = Workload.run ?max_events ?seed () in
   match violations_of baseline with
   | _ :: _ as vs -> Error vs
   | [] ->
       let frames = baseline.Workload.frames in
-      let run s = run_schedule ?max_events s in
-      let count = ref 0 in
+      let run s = run_schedule ?max_events ?seed s in
+      let seq = ref (Schedule.enumerate ~depth ~frames ~actions) in
+      let taken = ref 0 in
+      let next_chunk k =
+        let rec go acc k =
+          if k = 0 || !taken >= limit then List.rev acc
+          else
+            match Seq.uncons !seq with
+            | None -> List.rev acc
+            | Some (s, rest) ->
+                seq := rest;
+                incr taken;
+                go (s :: acc) (k - 1)
+        in
+        go [] k
+      in
+      (* Big chunks amortize Pool's per-call domain spawns; the price is
+         at most a chunk of speculative runs past the first violation. *)
+      let chunk = if domains <= 1 then 1 else 32 * domains in
+      let ran = ref 0 in
       let failure = ref None in
-      let seq = Schedule.enumerate ~depth ~frames ~actions in
-      (try
-         Seq.iter
-           (fun s ->
-             if !count >= limit then raise Exit;
-             incr count;
-             progress !count;
-             match run s with
-             | [] -> ()
-             | _ :: _ ->
-                 let minimal = shrink ~run s in
-                 failure := Some (s, minimal, run minimal);
-                 raise Exit)
-           seq
-       with Exit -> ());
+      let rec loop () =
+        match next_chunk chunk with
+        | [] -> ()
+        | batch ->
+            let jobs =
+              List.map
+                (fun s ->
+                  Vsim.Job.v ~label:(Schedule.to_string s) (fun () -> run s))
+                batch
+            in
+            let results = Vsim.Pool.run_list ~domains jobs in
+            let rec scan ss rs =
+              match (ss, rs) with
+              | [], [] -> None
+              | s :: ss', vs :: rs' -> (
+                  incr ran;
+                  progress !ran;
+                  match vs with [] -> scan ss' rs' | _ :: _ -> Some s)
+              | _ -> assert false
+            in
+            (match scan batch results with
+            | None -> loop ()
+            | Some s ->
+                let minimal = shrink ~run s in
+                failure := Some { schedule = s; minimal; violations = run minimal })
+      in
+      loop ();
       Ok
         {
-          schedules_run = !count;
+          depth;
+          limit;
+          schedules_run = !ran;
           baseline_frames = frames;
           failure = !failure;
         }
+
+(* Deterministic JSON rendering of a sweep report: everything in it is a
+   pure function of the sweep inputs, never of wall clock or [domains],
+   so CI can byte-compare this output across domain counts. *)
+let report_to_json (r : sweep_report) =
+  let open Vobs.Json in
+  let failure =
+    match r.failure with
+    | None -> Null
+    | Some f ->
+        Obj
+          [
+            ("schedule", Str (Schedule.to_string f.schedule));
+            ("minimal", Str (Schedule.to_string f.minimal));
+            ( "violations",
+              List
+                (List.map
+                   (fun v ->
+                     Obj
+                       [
+                         ("invariant", Str v.invariant);
+                         ("detail", Str v.detail);
+                       ])
+                   f.violations) );
+          ]
+  in
+  to_string
+    (Obj
+       [
+         ("checker", Str "vcheck");
+         ("depth", Int r.depth);
+         ("limit", Int r.limit);
+         ("schedules_run", Int r.schedules_run);
+         ("baseline_frames", Int r.baseline_frames);
+         ("ok", Bool (r.failure = None));
+         ("failure", failure);
+       ])
 
 let repro_file_contents (s : Schedule.t) (vs : violation list) =
   let b = Buffer.create 256 in

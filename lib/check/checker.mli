@@ -17,7 +17,7 @@ val violations_of : Workload.report -> violation list
     success and data fidelity, exactly-once application, protocol-table
     drain, and medium delivery conservation. *)
 
-val run_schedule : ?max_events:int -> Schedule.t -> violation list
+val run_schedule : ?max_events:int -> ?seed:int64 -> Schedule.t -> violation list
 (** One workload run under the schedule, judged. *)
 
 val pp_report : Format.formatter -> Workload.report -> unit
@@ -29,12 +29,20 @@ val shrink : run:(Schedule.t -> violation list) -> Schedule.t -> Schedule.t
     removal preserves a violation.  The result still violates (per
     [run]) and no strictly smaller single-removal neighbour does. *)
 
-type sweep_result = {
+type sweep_failure = {
+  schedule : Schedule.t;  (** first violating schedule, enumeration order *)
+  minimal : Schedule.t;  (** its shrunk form *)
+  violations : violation list;  (** the shrunk form's violations *)
+}
+
+type sweep_report = {
+  depth : int;
+  limit : int;
   schedules_run : int;
+      (** 1-based index of the first violating schedule, or the total
+          enumerated when clean — identical for any [domains] *)
   baseline_frames : int;
-  failure : (Schedule.t * Schedule.t * violation list) option;
-      (** first violating schedule, its shrunk form, and the shrunk
-          form's violations; [None] when every schedule passed *)
+  failure : sweep_failure option;  (** [None] when every schedule passed *)
 }
 
 val sweep :
@@ -42,13 +50,22 @@ val sweep :
   ?limit:int ->
   ?actions:Vnet.Fault.action list ->
   ?max_events:int ->
+  ?seed:int64 ->
+  ?domains:int ->
   ?progress:(int -> unit) ->
   unit ->
-  (sweep_result, violation list) result
+  (sweep_report, violation list) result
 (** Systematic exploration, stopping at the first violation or after
     [limit] schedules.  [Error vs] when the unfaulted baseline itself
-    violates (nothing useful can be explored then).  [progress] is
-    called with the running schedule count. *)
+    violates (nothing useful can be explored then).  [domains > 1] fans
+    schedule runs out across OCaml 5 domains via {!Vsim.Pool} in
+    deterministic chunks; the returned report is byte-identical for any
+    domain count.  [progress] is called with the running schedule count
+    (main domain only). *)
+
+val report_to_json : sweep_report -> string
+(** Compact, deterministic JSON for [vsim check --json] and CI
+    assertions.  Contains no wall-clock or domain-count fields. *)
 
 val repro_file_contents : Schedule.t -> violation list -> string
 (** The replayable repro-file text for a minimized schedule. *)

@@ -38,9 +38,9 @@ let io_block = 2 (* file block the cached write dirties *)
 let default_max_events = 2_000_000
 
 let run ?(fault = Vnet.Fault.none) ?(max_events = default_max_events)
-    ?(trace = false) () =
+    ?(trace = false) ?seed () =
   let tb =
-    Vworkload.Testbed.create ~hosts:3 ~kernel_config:fast_config ()
+    Vworkload.Testbed.create ?seed ~hosts:3 ~kernel_config:fast_config ()
   in
   let eng = tb.Vworkload.Testbed.eng in
   if trace then Vsim.Trace.to_stderr eng;

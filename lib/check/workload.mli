@@ -39,7 +39,14 @@ val op_count : int
 
 val default_max_events : int
 
-val run : ?fault:Vnet.Fault.t -> ?max_events:int -> ?trace:bool -> unit -> report
+val run :
+  ?fault:Vnet.Fault.t ->
+  ?max_events:int ->
+  ?trace:bool ->
+  ?seed:int64 ->
+  unit ->
+  report
 (** Build a fresh testbed, run the script under [fault], and report.
     Deterministic: equal arguments give equal reports.  [trace] attaches
-    a stderr event tracer for repro diagnosis. *)
+    a stderr event tracer for repro diagnosis; [seed] overrides the
+    engine's default seed. *)

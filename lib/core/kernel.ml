@@ -7,6 +7,11 @@ type status =
   | Retryable
   | Dead
 
+let k_rto_send = Vsim.Eventq.Kind.intern "kernel.rto_send"
+let k_rto_moveto = Vsim.Eventq.Kind.intern "kernel.rto_moveto"
+let k_rto_movefrom = Vsim.Eventq.Kind.intern "kernel.rto_movefrom"
+let k_rto_getpid = Vsim.Eventq.Kind.intern "kernel.rto_getpid"
+
 let status_to_string = function
   | Ok -> "ok"
   | Nonexistent -> "nonexistent"
@@ -794,7 +799,7 @@ let rec arm_send_timer t (d : desc) (rs : rsend) =
   let rto = rto_timeout_ns t ~dst_host:rs.rs_dst_host ~bytes:0 in
   rs.rs_timer <-
     Some
-      (Vsim.Engine.after t.eng ~kind:"kernel.rto_send" rto (fun () ->
+      (Vsim.Engine.after t.eng ~kind:k_rto_send rto (fun () ->
            retransmit_send t d rs ~gen ~rto))
 
 and retransmit_send t (d : desc) (rs : rsend) ~gen ~rto =
@@ -895,7 +900,7 @@ let rec mt_arm_timer t (mto : mt_out) =
   in
   mto.mto_timer <-
     Some
-      (Vsim.Engine.after t.eng ~kind:"kernel.rto_moveto" rto (fun () ->
+      (Vsim.Engine.after t.eng ~kind:k_rto_moveto rto (fun () ->
            mt_timeout t mto ~gen ~rto))
 
 and mt_timeout t (mto : mt_out) ~gen ~rto =
@@ -1037,7 +1042,7 @@ and mf_arm_timer t (mfo : mf_out) =
   in
   mfo.mfo_timer <-
     Some
-      (Vsim.Engine.after t.eng ~kind:"kernel.rto_movefrom" rto (fun () ->
+      (Vsim.Engine.after t.eng ~kind:k_rto_movefrom rto (fun () ->
            mf_timeout t mfo ~gen ~rto))
 
 and mf_timeout t (mfo : mf_out) ~gen ~rto =
@@ -2279,7 +2284,7 @@ let rec getpid_broadcast t ~logical_id (gw : getpid_wait) ~me =
     let rto = rto_timeout_ns t ~dst_host:broadcast_dst ~bytes:0 in
     gw.gw_timer <-
       Some
-        (Vsim.Engine.after t.eng ~kind:"kernel.rto_getpid" rto (fun () ->
+        (Vsim.Engine.after t.eng ~kind:k_rto_getpid rto (fun () ->
              match Hashtbl.find_opt t.getpid_waits logical_id with
              | Some gw' when gw' == gw && gw.gw_gen = gen ->
                  gw.gw_timer <- None;

@@ -9,6 +9,8 @@ type t = {
 
 type mark = { at : Vsim.Time.t; busy_then : int }
 
+let k_grant = Vsim.Eventq.Kind.intern "cpu.grant"
+
 let create ?(host = 0) eng ~model ~name =
   { cname = name; chost = host; cmodel = model; eng; free = 0; busy = 0 }
 
@@ -29,7 +31,7 @@ let charge_k t ns k =
   if ns > 0 && Vsim.Trace.tracing t.eng then
     Vsim.Trace.event t.eng
       (Vsim.Event.Cpu_grant { host = t.chost; cpu = t.cname; ns });
-  ignore (Vsim.Engine.at t.eng ~kind:"cpu.grant" finish k)
+  ignore (Vsim.Engine.at t.eng ~kind:k_grant finish k)
 
 let charge t ns =
   Vsim.Proc.suspend ~reason:"cpu" (fun resume -> charge_k t ns resume)

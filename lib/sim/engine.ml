@@ -12,18 +12,22 @@ let default_seed = 0x5EED_CAFE_F00DL
 
 (* Invoked on every freshly created engine.  This is how a CLI flag can
    attach trace sinks to engines constructed deep inside experiment rigs
-   without threading a parameter through every layer. *)
-let create_hook : (t -> unit) option ref = ref None
+   without threading a parameter through every layer.  The hook is
+   domain-local: engines built by Pool worker domains see no hook unless
+   their job installs one, so observability sinks wired up on the main
+   domain are never shared (or raced) across domains. *)
+let create_hook : (t -> unit) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
 
-let set_create_hook h = create_hook := h
-let get_create_hook () = !create_hook
+let set_create_hook h = Domain.DLS.get create_hook := h
+let get_create_hook () = !(Domain.DLS.get create_hook)
 
 let create ?(seed = default_seed) () =
   let t =
     { clock = 0; queue = Eventq.create (); rand = Rng.create seed;
       tracers = []; profile = None }
   in
-  (match !create_hook with Some hook -> hook t | None -> ());
+  (match get_create_hook () with Some hook -> hook t | None -> ());
   t
 
 let add_tracer t f = t.tracers <- t.tracers @ [ f ]

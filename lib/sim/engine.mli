@@ -17,19 +17,22 @@ val create : ?seed:int64 -> unit -> t
 (** Fresh engine with clock at 0. Default seed is a fixed constant, so all
     simulations are reproducible unless a seed is supplied. *)
 
+val default_seed : int64
+(** The seed {!create} uses when none is supplied. *)
+
 val now : t -> Time.t
 (** Current simulated time. *)
 
 val rng : t -> Rng.t
 (** The engine's random stream. *)
 
-val at : t -> ?kind:string -> Time.t -> (unit -> unit) -> handle
+val at : t -> ?kind:Eventq.kind -> Time.t -> (unit -> unit) -> handle
 (** [at t time fn] schedules [fn] at absolute [time]; [time] must not be in
-    the past.  [kind] labels the event for the profiler (e.g.
-    ["net.deliver"], ["kernel.rto_send"]); unlabeled events count under
-    ["other"]. *)
+    the past.  [kind] labels the event for the profiler (an interned
+    {!Eventq.Kind.t}, e.g. [Eventq.Kind.intern "net.deliver"] bound once
+    at module initialisation); unlabeled events count under ["other"]. *)
 
-val after : t -> ?kind:string -> Time.t -> (unit -> unit) -> handle
+val after : t -> ?kind:Eventq.kind -> Time.t -> (unit -> unit) -> handle
 (** [after t delay fn] schedules [fn] at [now t + delay]. *)
 
 val cancel : handle -> unit
@@ -70,9 +73,12 @@ val traced : t -> bool
 (** [true] iff at least one tracer is attached. *)
 
 val set_create_hook : (t -> unit) option -> unit
-(** Install a process-wide hook invoked on every engine returned by
-    {!create}.  Used by [bin/vsim] to attach trace sinks to engines
-    constructed inside experiment rigs; clear it ([None]) when done. *)
+(** Install a domain-local hook invoked on every engine returned by
+    {!create} on this domain.  Used by [bin/vsim] to attach trace sinks
+    to engines constructed inside experiment rigs; clear it ([None]) when
+    done.  {!Pool} worker domains start with no hook, so engines built
+    inside parallel jobs stay unobserved unless the job installs its
+    own. *)
 
 val get_create_hook : unit -> (t -> unit) option
 (** The currently installed hook, so callers that need a second hook can

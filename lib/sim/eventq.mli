@@ -5,7 +5,38 @@
     latter is essential for determinism — the whole simulator relies on it.
 
     Cancellation is O(1): events carry a [cancelled] flag and are skipped
-    (and dropped) when they reach the top of the heap. *)
+    (and dropped) when they reach the top of the heap.  Cancelled entries
+    that never reach the top are counted and lazily compacted away once
+    they outnumber the live ones, so cancel-heavy workloads (retransmit
+    timers) do not accumulate garbage in the heap
+    ({!cancelled_pending}). *)
+
+(** Event kinds, interned to small integer ids so the per-event hot path
+    never compares or hashes strings.  Intern each kind once at module
+    initialisation and reuse the id. *)
+module Kind : sig
+  type t = private int
+
+  val intern : string -> t
+  (** Id for [name], allocating one on first use.  Same string, same id
+      for the whole process; safe to call from any domain. *)
+
+  val name : t -> string
+  (** Inverse of {!intern}. *)
+
+  val other : t
+  (** The default kind, ["other"]. *)
+
+  val count : unit -> int
+  (** Number of kinds interned so far. *)
+
+  val of_int : int -> t
+  (** The kind with id [i]; raises [Invalid_argument] for an id no
+      {!intern} call has produced.  For code (the profiler) that indexes
+      its own tables by [(kind :> int)]. *)
+end
+
+type kind = Kind.t
 
 type t
 
@@ -15,15 +46,23 @@ type event
 val create : unit -> t
 
 val add :
-  t -> time:Time.t -> ?kind:string -> ?born:Time.t -> (unit -> unit) -> event
+  t -> time:Time.t -> ?kind:kind -> ?born:Time.t -> (unit -> unit) -> event
 (** Schedule a callback at an absolute time.  [kind] labels the event for
-    the profiler (default ["other"]); [born] is the simulated instant the
-    event was scheduled (default [time], i.e. zero modeled delay). *)
+    the profiler (default {!Kind.other}); [born] is the simulated instant
+    the event was scheduled (default [time], i.e. zero modeled delay). *)
 
 val cancel : event -> unit
-(** Mark an event so it never fires. Idempotent. *)
+(** Mark an event so it never fires. Idempotent; safe after the event
+    fired. *)
 
 val cancelled : event -> bool
+
+val cancelled_pending : t -> int
+(** Cancelled events still occupying heap slots.  Drops to zero when they
+    are skimmed off the top or a lazy compaction sweeps them out. *)
+
+val compactions : t -> int
+(** Number of lazy compaction sweeps performed (diagnostics). *)
 
 val next_time : t -> Time.t option
 (** Time of the earliest live event, if any. *)
@@ -36,7 +75,7 @@ val pop_ev : t -> event option
     {!ev_kind} and {!ev_born} (the profiler's accounting inputs). *)
 
 val ev_time : event -> Time.t
-val ev_kind : event -> string
+val ev_kind : event -> kind
 val ev_born : event -> Time.t
 val ev_fn : event -> unit -> unit
 
@@ -44,4 +83,4 @@ val is_empty : t -> bool
 (** [true] iff no live events remain. *)
 
 val live_count : t -> int
-(** Number of non-cancelled events (O(n); for tests and diagnostics). *)
+(** Number of non-cancelled events (O(1)). *)

@@ -1,0 +1,28 @@
+(** A pure, engine-free description of one simulation cell.
+
+    A job is a label plus a closure that builds a fresh engine (with its
+    own seed, metrics, and profile), runs the simulation, and returns a
+    serializable result.  Jobs must not capture engines, RNGs, or other
+    mutable simulation state from their creation site: everything a job
+    needs it creates when run.  That contract is what lets {!Pool}
+    execute jobs on worker domains while preserving per-job
+    byte-determinism — a job's result depends only on its own inputs,
+    never on which domain ran it or what ran before it.
+
+    Sweep drivers ({!Vcheck.Checker.sweep}, the bench grids, the rig
+    sweeps) describe each grid cell as a job and hand the list to
+    {!Pool.run_list}. *)
+
+type 'a t
+
+val v : ?label:string -> (unit -> 'a) -> 'a t
+(** [v ~label run] describes one cell.  [run] is executed at most once
+    per {!Pool} run, on an arbitrary domain. *)
+
+val label : 'a t -> string
+
+val run : 'a t -> 'a
+(** Execute the job in the calling domain. *)
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+(** Post-process a job's result (still inside the job, on the worker). *)

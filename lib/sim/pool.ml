@@ -1,0 +1,86 @@
+(* Fan a batch of jobs out across OCaml 5 domains.
+
+   Work distribution is an atomic cursor: each worker claims the next
+   unclaimed job index with [Atomic.fetch_and_add] and writes its result
+   into that index's slot, so results come back ordered by job index no
+   matter which domain ran what.  Claims are monotone — if index [i] was
+   claimed, every index below [i] was claimed first — which gives the
+   exception contract its determinism: when jobs fail, every job below
+   the lowest failing index has run to completion, so the lowest failing
+   index is the same on every run regardless of domain count or
+   scheduling.
+
+   [domains <= 1] short-circuits to a plain sequential loop in the
+   calling domain: no spawns, no atomics on the hot path, exceptions
+   propagate directly — byte-identical to the pre-Pool drivers. *)
+
+exception Job_failed of { index : int; label : string; exn : exn }
+
+let () =
+  Printexc.register_printer (function
+    | Job_failed { index; label; exn } ->
+        Some
+          (Printf.sprintf "Pool.Job_failed(job %d %S: %s)" index label
+             (Printexc.to_string exn))
+    | _ -> None)
+
+let default_domains = 1
+
+let run_seq jobs =
+  Array.mapi
+    (fun i j ->
+      try Job.run j
+      with exn -> raise (Job_failed { index = i; label = Job.label j; exn }))
+    jobs
+
+let run ?(domains = default_domains) jobs =
+  let n = Array.length jobs in
+  if domains <= 1 || n <= 1 then run_seq jobs
+  else begin
+    let results : _ option array = Array.make n None in
+    let next = Atomic.make 0 in
+    (* Lowest failing index seen so far; claims stop once any failure is
+       recorded, so the fleet drains quickly on error. *)
+    let failed : (int * exn) option Atomic.t = Atomic.make None in
+    let record_failure i exn =
+      let rec loop () =
+        match Atomic.get failed with
+        | Some (j, _) when j <= i -> ()
+        | cur ->
+            if not (Atomic.compare_and_set failed cur (Some (i, exn))) then
+              loop ()
+      in
+      loop ()
+    in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        if Atomic.get failed <> None then continue := false
+        else begin
+          let i = Atomic.fetch_and_add next 1 in
+          if i >= n then continue := false
+          else
+            match Job.run jobs.(i) with
+            | r -> results.(i) <- Some r
+            | exception exn -> record_failure i exn
+        end
+      done
+    in
+    let spawned =
+      Array.init (min (domains - 1) (n - 1)) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    Array.iter Domain.join spawned;
+    match Atomic.get failed with
+    | Some (i, exn) ->
+        raise (Job_failed { index = i; label = Job.label jobs.(i); exn })
+    | None ->
+        Array.map
+          (function
+            | Some r -> r
+            | None -> assert false (* no failure => every slot filled *))
+          results
+  end
+
+let run_list ?domains jobs =
+  Array.to_list (run ?domains (Array.of_list jobs))

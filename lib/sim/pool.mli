@@ -1,0 +1,33 @@
+(** Run a batch of {!Job}s across OCaml 5 domains.
+
+    The execution contract, relied on by every sweep driver:
+
+    - {b Result order is job order.}  [run jobs].(i) is the result of
+      [jobs.(i)], whatever domain ran it and in whatever order jobs
+      finished.
+    - {b Per-job determinism.}  Jobs are pure (see {!Job}): a job's
+      result is independent of the domain count, so a sweep's output is
+      byte-identical for any [domains].
+    - {b Deterministic failure.}  If any jobs raise, [run] raises
+      {!Job_failed} carrying the {e lowest} failing job index — the same
+      index for any [domains], because job indices are claimed in order
+      and every claimed job runs to completion before the pool reports.
+      Remaining unclaimed jobs are skipped once a failure is recorded.
+
+    [domains <= 1] (the default) runs the jobs sequentially in the
+    calling domain with no spawns — the legacy single-core path. *)
+
+exception Job_failed of { index : int; label : string; exn : exn }
+(** Raised when one or more jobs raise; carries the lowest failing job's
+    index, its label, and the original exception. *)
+
+val default_domains : int
+(** [1]: parallelism is opt-in via [--domains N]. *)
+
+val run : ?domains:int -> 'a Job.t array -> 'a array
+(** Execute every job; result [i] belongs to job [i].  [domains] is the
+    total worker count including the calling domain (values above the
+    job count spawn no extra workers). *)
+
+val run_list : ?domains:int -> 'a Job.t list -> 'a list
+(** {!run} on lists. *)

@@ -12,7 +12,12 @@ type _ Effect.t +=
   | Suspend : string * (('a -> unit) -> unit) -> 'a Effect.t
   | Self : t Effect.t
 
-let counter = ref 0
+(* Atomic so concurrent Pool domains can spawn processes without racing;
+   pids stay deterministic per engine only when a single domain drives
+   it, which is the Pool contract (each job owns its engine). *)
+let counter = Atomic.make 0
+let k_start = Eventq.Kind.intern "proc.start"
+let k_sleep = Eventq.Kind.intern "proc.sleep"
 
 let id t = t.pid
 let name t = t.pname
@@ -58,11 +63,9 @@ let run_fiber proc fn =
     }
 
 let spawn eng ?(name = "proc") fn =
-  incr counter;
-  let proc =
-    { pid = !counter; pname = name; eng; pstate = Runnable; waiters = [] }
-  in
-  ignore (Engine.after eng ~kind:"proc.start" 0 (fun () -> run_fiber proc fn));
+  let pid = 1 + Atomic.fetch_and_add counter 1 in
+  let proc = { pid; pname = name; eng; pstate = Runnable; waiters = [] } in
+  ignore (Engine.after eng ~kind:k_start 0 (fun () -> run_fiber proc fn));
   proc
 
 let self () = Effect.perform Self
@@ -71,7 +74,7 @@ let suspend ~reason register = Effect.perform (Suspend (reason, register))
 let sleep delay =
   let p = self () in
   suspend ~reason:"sleep" (fun resume ->
-      ignore (Engine.after p.eng ~kind:"proc.sleep" delay (fun () -> resume ())))
+      ignore (Engine.after p.eng ~kind:k_sleep delay (fun () -> resume ())))
 
 let yield () = sleep 0
 

@@ -8,6 +8,10 @@
    diagnostics of the host process and are rendered separately
    ({!pp_wall}) so deterministic output stays comparable byte-for-byte.
 
+   Kinds are interned ints (Eventq.Kind), so the per-event accounting is
+   an array index, not a hashtable probe.  Rendering resolves names and
+   sorts by them, so output does not depend on interning order.
+
    GC accounting uses [Gc.allocated_bytes] (allocation since the profile
    was created) and [Gc.quick_stat ()] top-of-heap words: both are
    functions of the program's allocation sequence, hence reproducible for
@@ -20,7 +24,7 @@ type entry = {
 }
 
 type t = {
-  kinds : (string, entry) Hashtbl.t;
+  mutable kinds : entry option array;  (* indexed by Eventq.Kind id *)
   mutable events : int;
   mutable sim_cost_total_ns : int;
   start_alloc_bytes : float;
@@ -35,19 +39,25 @@ let set_clock f = clock := f
 
 let create () =
   {
-    kinds = Hashtbl.create 32;
+    kinds = Array.make (max 16 (Eventq.Kind.count ())) None;
     events = 0;
     sim_cost_total_ns = 0;
     start_alloc_bytes = Gc.allocated_bytes ();
     start_wall = !clock ();
   }
 
-let entry t kind =
-  match Hashtbl.find_opt t.kinds kind with
+let entry t (kind : Eventq.kind) =
+  let id = (kind :> int) in
+  if id >= Array.length t.kinds then begin
+    let bigger = Array.make (max (2 * Array.length t.kinds) (id + 1)) None in
+    Array.blit t.kinds 0 bigger 0 (Array.length t.kinds);
+    t.kinds <- bigger
+  end;
+  match t.kinds.(id) with
   | Some e -> e
   | None ->
       let e = { fires = 0; sim_cost_ns = 0; wall_s = 0.0 } in
-      Hashtbl.replace t.kinds kind e;
+      t.kinds.(id) <- Some e;
       e
 
 (* Run [fn] as one fired event of [kind] whose modeled delay was
@@ -59,20 +69,34 @@ let time t ~kind ~cost_ns fn =
   t.events <- t.events + 1;
   t.sim_cost_total_ns <- t.sim_cost_total_ns + cost_ns;
   let t0 = !clock () in
-  Fun.protect ~finally:(fun () -> e.wall_s <- e.wall_s +. (!clock () -. t0)) fn
+  match fn () with
+  | () -> e.wall_s <- e.wall_s +. (!clock () -. t0)
+  | exception exn ->
+      e.wall_s <- e.wall_s +. (!clock () -. t0);
+      raise exn
 
 let events t = t.events
 let sim_cost_total_ns t = t.sim_cost_total_ns
 
+let fold f t acc =
+  let acc = ref acc in
+  Array.iteri
+    (fun id e ->
+      match e with None -> () | Some e -> acc := f id e !acc)
+    t.kinds;
+  !acc
+
 let entries t =
-  Hashtbl.fold (fun kind e acc -> (kind, e) :: acc) t.kinds []
+  fold (fun id e acc -> (Eventq.Kind.name (Eventq.Kind.of_int id), e) :: acc) t []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let fires t kind =
-  match Hashtbl.find_opt t.kinds kind with Some e -> e.fires | None -> 0
+  let id = (Eventq.Kind.intern kind :> int) in
+  if id < Array.length t.kinds then
+    match t.kinds.(id) with Some e -> e.fires | None -> 0
+  else 0
 
-let wall_total_s t =
-  Hashtbl.fold (fun _ e acc -> acc +. e.wall_s) t.kinds 0.0
+let wall_total_s t = fold (fun _ e acc -> acc +. e.wall_s) t 0.0
 
 let elapsed_wall_s t = !clock () -. t.start_wall
 
@@ -82,12 +106,15 @@ let top_heap_words () = (Gc.quick_stat ()).Gc.top_heap_words
 (* Fold [src] into [dst]: used to aggregate the profiles of the several
    engines one CLI command may create. *)
 let merge_into ~dst src =
-  Hashtbl.iter
-    (fun kind e ->
-      let d = entry dst kind in
-      d.fires <- d.fires + e.fires;
-      d.sim_cost_ns <- d.sim_cost_ns + e.sim_cost_ns;
-      d.wall_s <- d.wall_s +. e.wall_s)
+  Array.iteri
+    (fun id e ->
+      match e with
+      | None -> ()
+      | Some e ->
+          let d = entry dst (Eventq.Kind.of_int id) in
+          d.fires <- d.fires + e.fires;
+          d.sim_cost_ns <- d.sim_cost_ns + e.sim_cost_ns;
+          d.wall_s <- d.wall_s +. e.wall_s)
     src.kinds;
   dst.events <- dst.events + src.events;
   dst.sim_cost_total_ns <- dst.sim_cost_total_ns + src.sim_cost_total_ns

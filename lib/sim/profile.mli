@@ -19,9 +19,10 @@ type entry = {
 val create : unit -> t
 (** Snapshot [Gc.allocated_bytes] and the wall clock as the baseline. *)
 
-val time : t -> kind:string -> cost_ns:int -> (unit -> unit) -> unit
+val time : t -> kind:Eventq.kind -> cost_ns:int -> (unit -> unit) -> unit
 (** Account one fired event and run its callback.  Called by
-    {!Engine.step}; exposed for tests. *)
+    {!Engine.step}; exposed for tests.  Accounting is an array index on
+    the interned kind id — no string hashing on the hot path. *)
 
 val events : t -> int
 (** Total events fired. *)
@@ -29,7 +30,8 @@ val events : t -> int
 val sim_cost_total_ns : t -> int
 
 val entries : t -> (string * entry) list
-(** Per-kind entries sorted by kind name. *)
+(** Per-kind entries sorted by kind name (names resolved through
+    {!Eventq.Kind.name}, so output is independent of interning order). *)
 
 val fires : t -> string -> int
 (** Fire count of one kind; 0 if never seen. *)

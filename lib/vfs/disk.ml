@@ -9,10 +9,15 @@ type latency =
 
 type pending = { p_cost : int; p_action : unit -> unit }
 
+let k_complete = Vsim.Eventq.Kind.intern "disk.complete"
+
 type t = {
   eng : Vsim.Engine.t;
   dhost : int;
   store : Bytes.t array;
+  zero : Bytes.t;
+      (* shared all-zero sentinel; [store] slots point at it until first
+         written, so creating a disk is O(blocks) pointers, not O(bytes) *)
   bsize : int;
   mutable lat : latency;
   mutable head_cyl : int;
@@ -32,10 +37,12 @@ let create eng ?(host = 0) ?(latency = Fixed (Vsim.Time.ms 20)) ~blocks
     ~block_size () =
   if blocks <= 0 || block_size <= 0 then
     invalid_arg "Disk.create: blocks and block_size must be positive";
+  let zero = Bytes.make block_size '\000' in
   {
     eng;
     dhost = host;
-    store = Array.init blocks (fun _ -> Bytes.make block_size '\000');
+    store = Array.make blocks zero;
+    zero;
     bsize = block_size;
     lat = latency;
     head_cyl = 0;
@@ -92,7 +99,7 @@ let rec begin_service t cost action =
   t.in_service <- true;
   let finish = Vsim.Engine.now t.eng + cost in
   ignore
-    (Vsim.Engine.at t.eng ~kind:"disk.complete" finish (fun () ->
+    (Vsim.Engine.at t.eng ~kind:k_complete finish (fun () ->
          action ();
          (* [action] may resume a fiber that immediately submits another
             request; it is queued behind us and picked up here. *)
@@ -142,6 +149,7 @@ let write_k t b data k =
   t.n_writes <- t.n_writes + 1;
   let data = Bytes.copy data in
   schedule t ~rw:"write" b (fun () ->
+      if t.store.(b) == t.zero then t.store.(b) <- Bytes.create t.bsize;
       Bytes.blit data 0 t.store.(b) 0 t.bsize;
       k ())
 

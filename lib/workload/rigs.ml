@@ -24,9 +24,9 @@ let as_process tb ~host f =
   Testbed.run tb
 
 let srr_remote ?(trials = 50) ~cpu_model ~medium_config ?fault
-    ?(kernel_config = K.default_config) () =
+    ?(kernel_config = K.default_config) ?seed () =
   let tb =
-    Testbed.create ~cpu_model ~medium_config ~kernel_config ~hosts:2 ()
+    Testbed.create ?seed ~cpu_model ~medium_config ~kernel_config ~hosts:2 ()
   in
   (match fault with
   | Some f -> Vnet.Medium.set_fault tb.Testbed.medium f
@@ -51,8 +51,8 @@ let srr_remote ?(trials = 50) ~cpu_model ~medium_config ?fault
         });
   !out
 
-let srr_local ?(trials = 50) ~cpu_model () =
-  let tb = Testbed.create ~cpu_model ~hosts:1 () in
+let srr_local ?(trials = 50) ~cpu_model ?seed () =
+  let tb = Testbed.create ?seed ~cpu_model ~hosts:1 () in
   let server = start_echo tb ~host:1 in
   let k = kernel_of tb 1 in
   let out = ref 0 in
@@ -66,8 +66,8 @@ let srr_local ?(trials = 50) ~cpu_model () =
       out := (Vsim.Engine.now (K.engine k) - t0) / trials);
   !out
 
-let gettime ~cpu_model () =
-  let tb = Testbed.create ~cpu_model ~hosts:1 () in
+let gettime ~cpu_model ?seed () =
+  let tb = Testbed.create ?seed ~cpu_model ~hosts:1 () in
   let k = kernel_of tb 1 in
   let out = ref 0 in
   as_process tb ~host:1 (fun _ ->
@@ -78,9 +78,9 @@ let gettime ~cpu_model () =
       out := (Vsim.Engine.now (K.engine k) - t0) / 50);
   !out
 
-let move_remote ?(trials = 30) ~cpu_model ~medium_config ~count ~to_remote ()
-    =
-  let tb = Testbed.create ~cpu_model ~medium_config ~hosts:2 () in
+let move_remote ?(trials = 30) ~cpu_model ~medium_config ~count ~to_remote
+    ?seed () =
+  let tb = Testbed.create ?seed ~cpu_model ~medium_config ~hosts:2 () in
   let k1 = kernel_of tb 1 and k2 = kernel_of tb 2 in
   let out = ref { elapsed = 0; client_cpu = 0; server_cpu = 0 } in
   let mover =
@@ -113,8 +113,8 @@ let move_remote ?(trials = 30) ~cpu_model ~medium_config ~count ~to_remote ()
       ignore (K.send k2 msg mover));
   !out
 
-let move_local ?(trials = 30) ~cpu_model ~count ~to_remote () =
-  let tb = Testbed.create ~cpu_model ~hosts:1 () in
+let move_local ?(trials = 30) ~cpu_model ~count ~to_remote ?seed () =
+  let tb = Testbed.create ?seed ~cpu_model ~hosts:1 () in
   let k = kernel_of tb 1 in
   let out = ref 0 in
   let mover =
@@ -148,8 +148,8 @@ let penalty_ns ~cpu_model ~medium_config n =
      * ((2 * cpu_model.Vhw.Cost_model.nic_copy_ns_per_byte)
        + Vnet.Medium.byte_time_ns medium_config))
 
-let measure_penalty ?(trials = 100) ~cpu_model ~medium_config n =
-  let tb = Testbed.create ~cpu_model ~medium_config ~hosts:2 () in
+let measure_penalty ?(trials = 100) ?seed ~cpu_model ~medium_config n =
+  let tb = Testbed.create ?seed ~cpu_model ~medium_config ~hosts:2 () in
   let eng = tb.Testbed.eng in
   let nic1 = nic_of tb 1 and nic2 = nic_of tb 2 in
   let pending = ref None in
@@ -182,18 +182,18 @@ let get = function
   | Error e -> Fmt.failwith "rig client: %s" (Vfs.Client.error_to_string e)
 
 let file_rig ?(hosts = 2) ?(cpu_model = Vhw.Cost_model.sun_10mhz)
-    ?(medium_config = Vnet.Medium.config_3mb) ?server_config ?latency ~files
-    () =
-  let tb = Testbed.create ~cpu_model ~medium_config ~hosts () in
+    ?(medium_config = Vnet.Medium.config_3mb) ?server_config ?latency ?seed
+    ~files () =
+  let tb = Testbed.create ?seed ~cpu_model ~medium_config ~hosts () in
   let fs = Testbed.make_test_fs tb ?latency ~files () in
   let server = Vfs.Server.start (kernel_of tb 1) fs ?config:server_config () in
   (tb, fs, server)
 
 let page_op ?(trials = 50) ?(cpu_model = Vhw.Cost_model.sun_10mhz)
-    ?(medium_config = Vnet.Medium.config_3mb) ?(workers = 1) ~client_host
-    ~write ~basic () =
+    ?(medium_config = Vnet.Medium.config_3mb) ?(workers = 1) ?seed
+    ~client_host ~write ~basic () =
   let tb, _fs, _srv =
-    file_rig ~hosts:(max 2 client_host) ~cpu_model ~medium_config
+    file_rig ?seed ~hosts:(max 2 client_host) ~cpu_model ~medium_config
       ~server_config:{ Vfs.Server.default_config with workers }
       ~latency:(Vfs.Disk.Fixed 0) ~files:[ ("pages", 16 * 512) ] ()
   in
@@ -228,13 +228,13 @@ let page_op ?(trials = 50) ?(cpu_model = Vhw.Cost_model.sun_10mhz)
   !out
 
 let program_load ?(cpu_model = Vhw.Cost_model.sun_10mhz)
-    ?(medium_config = Vnet.Medium.config_3mb) ~transfer_unit ~client_host ()
-    =
+    ?(medium_config = Vnet.Medium.config_3mb) ?seed ~transfer_unit
+    ~client_host () =
   let server_config =
     { Vfs.Server.default_config with Vfs.Server.transfer_unit }
   in
   let tb, _fs, _srv =
-    file_rig ~hosts:(max 2 client_host) ~cpu_model ~medium_config
+    file_rig ?seed ~hosts:(max 2 client_host) ~cpu_model ~medium_config
       ~server_config ~latency:(Vfs.Disk.Fixed 0) ~files:[ ("prog", 65536) ]
       ()
   in
@@ -260,12 +260,12 @@ let program_load ?(cpu_model = Vhw.Cost_model.sun_10mhz)
   !out
 
 let sequential_read ?(cpu_model = Vhw.Cost_model.sun_10mhz) ?(npages = 30)
-    ~disk_latency_ns () =
+    ?seed ~disk_latency_ns () =
   let server_config =
     { Vfs.Server.default_config with Vfs.Server.read_ahead = true }
   in
   let tb, fs, _srv =
-    file_rig ~cpu_model ~server_config
+    file_rig ?seed ~cpu_model ~server_config
       ~latency:(Vfs.Disk.Fixed disk_latency_ns)
       ~files:[ ("seq", npages * 512) ]
       ()
@@ -298,10 +298,10 @@ let make_cache tb ~host ~cache_blocks ~policy =
 
 let cached_read ?(passes = 4) ?(cpu_model = Vhw.Cost_model.sun_10mhz)
     ?(medium_config = Vnet.Medium.config_3mb) ?(file_blocks = 64)
-    ?(working_set = 16) ~cache_blocks ~policy () =
+    ?(working_set = 16) ?seed ~cache_blocks ~policy () =
   let bs = Vfs.Fs.block_size in
   let tb, _fs, _srv =
-    file_rig ~cpu_model ~medium_config ~latency:(Vfs.Disk.Fixed 0)
+    file_rig ?seed ~cpu_model ~medium_config ~latency:(Vfs.Disk.Fixed 0)
       ~files:[ ("data", file_blocks * bs) ]
       ()
   in
@@ -335,11 +335,11 @@ let cached_read ?(passes = 4) ?(cpu_model = Vhw.Cost_model.sun_10mhz)
   !out
 
 let cached_write ?(cpu_model = Vhw.Cost_model.sun_10mhz)
-    ?(medium_config = Vnet.Medium.config_3mb) ?(blocks = 16) ~cache_blocks
-    ~policy () =
+    ?(medium_config = Vnet.Medium.config_3mb) ?(blocks = 16) ?seed
+    ~cache_blocks ~policy () =
   let bs = Vfs.Fs.block_size in
   let tb, _fs, _srv =
-    file_rig ~cpu_model ~medium_config ~latency:(Vfs.Disk.Fixed 0)
+    file_rig ?seed ~cpu_model ~medium_config ~latency:(Vfs.Disk.Fixed 0)
       ~files:[ ("out", blocks * bs) ]
       ()
   in
@@ -366,7 +366,7 @@ let cached_write ?(cpu_model = Vhw.Cost_model.sun_10mhz)
 
 let capacity ?(cpu_model = Vhw.Cost_model.sun_10mhz)
     ?(duration = Vsim.Time.sec 4) ?(think_mean = Vsim.Time.ms 320)
-    ?(servers = 1) ?(workers = 1) ~clients () =
+    ?(servers = 1) ?(workers = 1) ?seed ~clients () =
   let server_config =
     {
       Vfs.Server.default_config with
@@ -376,7 +376,7 @@ let capacity ?(cpu_model = Vhw.Cost_model.sun_10mhz)
       workers;
     }
   in
-  let tb = Testbed.create ~cpu_model ~hosts:(clients + servers) () in
+  let tb = Testbed.create ?seed ~cpu_model ~hosts:(clients + servers) () in
   let server_pids =
     Array.init servers (fun i ->
         let fs =
@@ -453,7 +453,8 @@ type contention_cols = {
    count, which keeps runs deterministic and comparable across worker
    counts. *)
 let contention ?(cpu_model = Vhw.Cost_model.sun_10mhz) ?(workers = 1)
-    ?(reads_per_client = 40) ?(think_mean = Vsim.Time.ms 10) ~clients () =
+    ?(reads_per_client = 40) ?(think_mean = Vsim.Time.ms 10) ?seed ~clients
+    () =
   let server_config =
     {
       Vfs.Server.default_config with
@@ -462,7 +463,7 @@ let contention ?(cpu_model = Vhw.Cost_model.sun_10mhz) ?(workers = 1)
       workers;
     }
   in
-  let tb = Testbed.create ~cpu_model ~hosts:(clients + 1) () in
+  let tb = Testbed.create ?seed ~cpu_model ~hosts:(clients + 1) () in
   let fs =
     Testbed.make_test_fs tb
       ~latency:(Vfs.Disk.Fixed (Vsim.Time.ms 8))
@@ -500,3 +501,37 @@ let contention ?(cpu_model = Vhw.Cost_model.sun_10mhz) ?(workers = 1)
     c_max_disk_queue = Vfs.Disk.max_queue_depth dsk;
     c_dispatches = Vfs.Server.dispatches srv;
   }
+
+(* --- sweep drivers ----------------------------------------------------
+
+   The closed-loop rigs above are the expensive cells of the paper's
+   Section 7 grids.  These drivers describe each cell as a pure
+   Vsim.Job (every job builds its own testbed) and hand the batch to
+   Vsim.Pool, so grids parallelize across domains while results stay in
+   grid order and each cell stays byte-deterministic. *)
+
+let capacity_sweep ?cpu_model ?duration ?think_mean ?servers ?workers ?seed
+    ?(domains = Vsim.Pool.default_domains) ~clients () =
+  Vsim.Pool.run_list ~domains
+    (List.map
+       (fun n ->
+         Vsim.Job.v
+           ~label:(Printf.sprintf "capacity:%d" n)
+           (fun () ->
+             ( n,
+               capacity ?cpu_model ?duration ?think_mean ?servers ?workers
+                 ?seed ~clients:n () )))
+       clients)
+
+let contention_sweep ?cpu_model ?reads_per_client ?think_mean ?seed
+    ?(domains = Vsim.Pool.default_domains) ~grid () =
+  Vsim.Pool.run_list ~domains
+    (List.map
+       (fun (workers, clients) ->
+         Vsim.Job.v
+           ~label:(Printf.sprintf "contention:w%d/c%d" workers clients)
+           (fun () ->
+             ( (workers, clients),
+               contention ?cpu_model ~workers ?reads_per_client ?think_mean
+                 ?seed ~clients () )))
+       grid)

@@ -17,14 +17,16 @@ val srr_remote :
   medium_config:Vnet.Medium.config ->
   ?fault:Vnet.Fault.t ->
   ?kernel_config:Vkernel.Kernel.config ->
+  ?seed:int64 ->
   unit ->
   cols
 (** Remote Send-Receive-Reply between two workstations (Tables 5-1/5-2). *)
 
-val srr_local : ?trials:int -> cpu_model:Vhw.Cost_model.t -> unit -> int
+val srr_local :
+  ?trials:int -> cpu_model:Vhw.Cost_model.t -> ?seed:int64 -> unit -> int
 (** Local Send-Receive-Reply elapsed time. *)
 
-val gettime : cpu_model:Vhw.Cost_model.t -> unit -> int
+val gettime : cpu_model:Vhw.Cost_model.t -> ?seed:int64 -> unit -> int
 (** The trivial kernel operation. *)
 
 val move_remote :
@@ -33,6 +35,7 @@ val move_remote :
   medium_config:Vnet.Medium.config ->
   count:int ->
   to_remote:bool ->
+  ?seed:int64 ->
   unit ->
   cols
 (** Remote MoveTo ([to_remote = true]) or MoveFrom of [count] bytes. *)
@@ -42,6 +45,7 @@ val move_local :
   cpu_model:Vhw.Cost_model.t ->
   count:int ->
   to_remote:bool ->
+  ?seed:int64 ->
   unit ->
   int
 
@@ -51,6 +55,7 @@ val penalty_ns :
 
 val measure_penalty :
   ?trials:int ->
+  ?seed:int64 ->
   cpu_model:Vhw.Cost_model.t ->
   medium_config:Vnet.Medium.config ->
   int ->
@@ -63,6 +68,7 @@ val file_rig :
   ?medium_config:Vnet.Medium.config ->
   ?server_config:Vfs.Server.config ->
   ?latency:Vfs.Disk.latency ->
+  ?seed:int64 ->
   files:(string * int) list ->
   unit ->
   Testbed.t * Vfs.Fs.t * Vfs.Server.t
@@ -83,6 +89,7 @@ val page_op :
   ?cpu_model:Vhw.Cost_model.t ->
   ?medium_config:Vnet.Medium.config ->
   ?workers:int ->
+  ?seed:int64 ->
   client_host:int ->
   write:bool ->
   basic:bool ->
@@ -97,6 +104,7 @@ val page_op :
 val program_load :
   ?cpu_model:Vhw.Cost_model.t ->
   ?medium_config:Vnet.Medium.config ->
+  ?seed:int64 ->
   transfer_unit:int ->
   client_host:int ->
   unit ->
@@ -106,6 +114,7 @@ val program_load :
 val sequential_read :
   ?cpu_model:Vhw.Cost_model.t ->
   ?npages:int ->
+  ?seed:int64 ->
   disk_latency_ns:int ->
   unit ->
   int
@@ -124,6 +133,7 @@ val cached_read :
   ?medium_config:Vnet.Medium.config ->
   ?file_blocks:int ->
   ?working_set:int ->
+  ?seed:int64 ->
   cache_blocks:int ->
   policy:Vfs.Cache.policy ->
   unit ->
@@ -139,6 +149,7 @@ val cached_write :
   ?cpu_model:Vhw.Cost_model.t ->
   ?medium_config:Vnet.Medium.config ->
   ?blocks:int ->
+  ?seed:int64 ->
   cache_blocks:int ->
   policy:Vfs.Cache.policy ->
   unit ->
@@ -154,6 +165,7 @@ val capacity :
   ?think_mean:Vsim.Time.t ->
   ?servers:int ->
   ?workers:int ->
+  ?seed:int64 ->
   clients:int ->
   unit ->
   float * float * float * float
@@ -178,6 +190,7 @@ val contention :
   ?workers:int ->
   ?reads_per_client:int ->
   ?think_mean:Vsim.Time.t ->
+  ?seed:int64 ->
   clients:int ->
   unit ->
   contention_cols
@@ -187,3 +200,33 @@ val contention :
     access.  A team overlaps one request's disk wait with another's
     processing; a single worker serializes them.  Deterministic: each
     client issues exactly [reads_per_client] requests. *)
+
+val capacity_sweep :
+  ?cpu_model:Vhw.Cost_model.t ->
+  ?duration:Vsim.Time.t ->
+  ?think_mean:Vsim.Time.t ->
+  ?servers:int ->
+  ?workers:int ->
+  ?seed:int64 ->
+  ?domains:int ->
+  clients:int list ->
+  unit ->
+  (int * (float * float * float * float)) list
+(** One {!capacity} cell per entry of [clients], described as
+    {!Vsim.Job}s and executed through {!Vsim.Pool} with [domains]
+    workers.  Results come back in [clients] order and each cell is
+    byte-identical for any domain count (each job builds its own
+    testbed). *)
+
+val contention_sweep :
+  ?cpu_model:Vhw.Cost_model.t ->
+  ?reads_per_client:int ->
+  ?think_mean:Vsim.Time.t ->
+  ?seed:int64 ->
+  ?domains:int ->
+  grid:(int * int) list ->
+  unit ->
+  ((int * int) * contention_cols) list
+(** One {!contention} cell per [(workers, clients)] pair of [grid], via
+    {!Vsim.Pool}; same ordering and determinism contract as
+    {!capacity_sweep}. *)

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "v-kernel"
     [
       ("sim", Test_sim.suite);
+      ("pool", Test_pool.suite);
       ("hw", Test_hw.suite);
       ("net", Test_net.suite);
       ("msg-pid", Test_msg.suite);

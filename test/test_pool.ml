@@ -1,0 +1,189 @@
+(* Vsim.Job / Vsim.Pool: ordering, failure determinism, the Eventq kind
+   table and lazy compaction, and cross-domain byte-determinism of the
+   vcheck sweep — the contract `--domains N` rests on. *)
+
+module Job = Vsim.Job
+module Pool = Vsim.Pool
+module Eventq = Vsim.Eventq
+module Checker = Vcheck.Checker
+
+let test_job_basics () =
+  let j = Job.v ~label:"double" (fun () -> 21) in
+  Alcotest.(check string) "label" "double" (Job.label j);
+  Alcotest.(check int) "run" 21 (Job.run j);
+  let j2 = Job.map (fun n -> n * 2) j in
+  Alcotest.(check string) "map keeps label" "double" (Job.label j2);
+  Alcotest.(check int) "map applies" 42 (Job.run j2)
+
+(* Result i must belong to job i for every domain count, including
+   domain counts above the job count. *)
+let test_pool_ordering () =
+  let jobs = List.init 37 (fun i -> Job.v (fun () -> i * i)) in
+  let expect = List.init 37 (fun i -> i * i) in
+  List.iter
+    (fun domains ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "ordered at domains=%d" domains)
+        expect
+        (Pool.run_list ~domains jobs))
+    [ 1; 2; 4; 64 ]
+
+let test_pool_empty_and_single () =
+  Alcotest.(check (list int)) "empty" [] (Pool.run_list ~domains:4 []);
+  Alcotest.(check (list int)) "single" [ 7 ]
+    (Pool.run_list ~domains:4 [ Job.v (fun () -> 7) ])
+
+exception Boom of int
+
+(* The lowest failing index must surface for any domain count. *)
+let test_pool_failure_deterministic () =
+  let jobs =
+    List.init 20 (fun i ->
+        Job.v ~label:(Printf.sprintf "j%d" i) (fun () ->
+            if i mod 7 = 3 then raise (Boom i) else i))
+  in
+  List.iter
+    (fun domains ->
+      match Pool.run_list ~domains jobs with
+      | _ -> Alcotest.fail "failing batch returned results"
+      | exception Pool.Job_failed { index; label; exn } ->
+          Alcotest.(check int)
+            (Printf.sprintf "lowest index at domains=%d" domains)
+            3 index;
+          Alcotest.(check string) "label" "j3" label;
+          Alcotest.(check bool) "original exn" true (exn = Boom 3))
+    [ 1; 2; 4 ]
+
+let test_kind_interning () =
+  let a = Eventq.Kind.intern "pool-test-kind-a" in
+  let a' = Eventq.Kind.intern "pool-test-kind-a" in
+  let b = Eventq.Kind.intern "pool-test-kind-b" in
+  Alcotest.(check bool) "same string, same id" true (a = a');
+  Alcotest.(check bool) "distinct strings, distinct ids" true (a <> b);
+  Alcotest.(check string) "name round trip" "pool-test-kind-a"
+    (Eventq.Kind.name a);
+  Alcotest.(check string) "of_int round trip" "pool-test-kind-b"
+    (Eventq.Kind.name (Eventq.Kind.of_int (b :> int)));
+  match Eventq.Kind.of_int max_int with
+  | (_ : Eventq.kind) -> Alcotest.fail "of_int accepted an unknown id"
+  | exception Invalid_argument _ -> ()
+
+(* Cancelled events are counted exactly and lazily swept: after
+   cancelling far more than half the heap, the next add must compact. *)
+let test_eventq_lazy_compaction () =
+  let q = Eventq.create () in
+  let evs =
+    Array.init 300 (fun i ->
+        Eventq.add q ~time:(i + 1) (fun () -> ()))
+  in
+  Alcotest.(check int) "live" 300 (Eventq.live_count q);
+  Alcotest.(check int) "none cancelled" 0 (Eventq.cancelled_pending q);
+  for i = 0 to 249 do
+    Eventq.cancel evs.(i)
+  done;
+  (* Double cancel must not double count. *)
+  Eventq.cancel evs.(0);
+  Alcotest.(check int) "cancelled pending" 250 (Eventq.cancelled_pending q);
+  Alcotest.(check int) "live after cancel" 50 (Eventq.live_count q);
+  let before = Eventq.compactions q in
+  let (_ : Eventq.event) = Eventq.add q ~time:1000 (fun () -> ()) in
+  Alcotest.(check int) "compaction swept" 0 (Eventq.cancelled_pending q);
+  Alcotest.(check bool) "compaction counted" true
+    (Eventq.compactions q > before);
+  Alcotest.(check int) "live preserved" 51 (Eventq.live_count q);
+  (* The survivors still pop in time order. *)
+  let rec drain acc =
+    match Eventq.pop_ev q with
+    | None -> List.rev acc
+    | Some ev -> drain (Eventq.ev_time ev :: acc)
+  in
+  let times = drain [] in
+  Alcotest.(check int) "drained all" 51 (List.length times);
+  Alcotest.(check (list int)) "time order" (List.sort compare times) times
+
+(* Popping a cancelled event off the top must not leave a stale pending
+   count behind (the gone flag), and cancel-after-fire is a no-op. *)
+let test_eventq_cancel_accounting () =
+  let q = Eventq.create () in
+  let e1 = Eventq.add q ~time:1 (fun () -> ()) in
+  let e2 = Eventq.add q ~time:2 (fun () -> ()) in
+  Eventq.cancel e1;
+  Alcotest.(check int) "one pending" 1 (Eventq.cancelled_pending q);
+  (* pop skips the cancelled head and returns e2. *)
+  (match Eventq.pop_ev q with
+  | Some ev -> Alcotest.(check int) "skipped to live" 2 (Eventq.ev_time ev)
+  | None -> Alcotest.fail "queue drained early");
+  Alcotest.(check int) "skim cleared pending" 0 (Eventq.cancelled_pending q);
+  Eventq.cancel e2;
+  Alcotest.(check int) "cancel after fire is free" 0
+    (Eventq.cancelled_pending q);
+  Alcotest.(check bool) "empty" true (Eventq.is_empty q)
+
+(* The acceptance bar: the depth-2 sweep's report (and its JSON) is a
+   pure function of the seed — byte-identical for domains 1, 2 and 4. *)
+let test_sweep_domain_determinism () =
+  let report domains =
+    match Checker.sweep ~depth:2 ~limit:60 ~domains () with
+    | Error _ -> Alcotest.fail "baseline violated"
+    | Ok r -> r
+  in
+  let r1 = report 1 in
+  let j1 = Checker.report_to_json r1 in
+  Alcotest.(check int) "ran the limit" 60 r1.Checker.schedules_run;
+  List.iter
+    (fun domains ->
+      let r = report domains in
+      Alcotest.(check bool)
+        (Printf.sprintf "report equal at domains=%d" domains)
+        true (r = r1);
+      Alcotest.(check string)
+        (Printf.sprintf "json equal at domains=%d" domains)
+        j1 (Checker.report_to_json r))
+    [ 2; 4 ]
+
+(* A violating sweep must converge on the same first failing schedule
+   for any domain count, even though parallel chunks run speculative
+   schedules past the violation.  An event budget of 260 lets the
+   unfaulted baseline (252 events) finish but starves any schedule
+   whose injected drop forces a retransmission timeout — the first such
+   schedule sits in the middle of the enumeration, so the in-order scan
+   and speculative-discard logic are both exercised. *)
+let test_sweep_failure_domain_determinism () =
+  let failing domains =
+    match
+      Checker.sweep ~depth:1 ~limit:40 ~max_events:260 ~domains ()
+    with
+    | Error _ -> Alcotest.fail "expected a clean baseline"
+    | Ok r -> r
+  in
+  let r1 = failing 1 in
+  Alcotest.(check bool) "a schedule violated" true
+    (r1.Checker.failure <> None);
+  Alcotest.(check bool) "stopped mid-sweep" true
+    (r1.Checker.schedules_run > 1 && r1.Checker.schedules_run < 40);
+  List.iter
+    (fun domains ->
+      Alcotest.(check bool)
+        (Printf.sprintf "failure report equal at domains=%d" domains)
+        true
+        (failing domains = r1))
+    [ 2; 4 ]
+
+let suite =
+  [
+    Alcotest.test_case "job basics" `Quick test_job_basics;
+    Alcotest.test_case "pool result ordering" `Quick test_pool_ordering;
+    Alcotest.test_case "pool empty and single" `Quick
+      test_pool_empty_and_single;
+    Alcotest.test_case "pool failure deterministic" `Quick
+      test_pool_failure_deterministic;
+    Alcotest.test_case "event kind interning" `Quick test_kind_interning;
+    Alcotest.test_case "eventq lazy compaction" `Quick
+      test_eventq_lazy_compaction;
+    Alcotest.test_case "eventq cancel accounting" `Quick
+      test_eventq_cancel_accounting;
+    Alcotest.test_case "sweep domain determinism" `Slow
+      test_sweep_domain_determinism;
+    Alcotest.test_case "sweep failure domain determinism" `Slow
+      test_sweep_failure_domain_determinism;
+  ]
