@@ -50,16 +50,62 @@ let stamp_digest ~since digest =
    `bench --domains N` spreads the simulation runs across N domains.
    Results come back in grid order, so tables and catalog cells are
    byte-identical for any domain count.  Recording stays on the main
-   domain — jobs only compute. *)
+   domain — jobs only compute.
+
+   Metrics digests: the engine-create hook is domain-local, so a
+   registry attached on the main domain would miss every engine a
+   worker-domain job creates — and which jobs land where depends on
+   scheduling.  Instead each job carries its own registry: the thunk
+   installs it for the job's duration (replacing, not chaining, any
+   main-domain hook, so the same engines are captured whichever domain
+   the job runs on), and returns its digest alongside the result.  The
+   digests come back in grid order, so the per-experiment digest the
+   harness stamps — main-domain registry plus job digests, in order —
+   is byte-identical for any --domains value. *)
 let domains = ref Vsim.Pool.default_domains
 let set_domains n = domains := n
+let job_digests : string list ref = ref []
+
+let take_job_digests () =
+  let d = !job_digests in
+  job_digests := [];
+  d
+
+(* Library-level sweeps (Rigs.capacity_sweep, Rigs.contention_sweep,
+   Checker.sweep) fan out through their own Vsim.Pool: their engines run
+   on arbitrary worker domains, where the domain-local create hook can't
+   see them, so which engines a main-domain registry captures would
+   depend on --domains.  Suspend the hook around such calls: they
+   contribute nothing to the digest at any domain count, keeping it
+   byte-identical. *)
+let without_metrics_capture f =
+  let prev = Vsim.Engine.get_create_hook () in
+  Vsim.Engine.set_create_hook None;
+  Fun.protect ~finally:(fun () -> Vsim.Engine.set_create_hook prev) f
 
 let grid ~label f xs =
-  Vsim.Pool.run_list ~domains:!domains
-    (List.mapi
-       (fun i x -> Vsim.Job.v ~label:(Printf.sprintf "%s:%d" label i)
-           (fun () -> f x))
-       xs)
+  let results =
+    Vsim.Pool.run_list ~domains:!domains
+      (List.mapi
+         (fun i x ->
+           Vsim.Job.v ~label:(Printf.sprintf "%s:%d" label i) (fun () ->
+               let reg = Vobs.Metrics.create () in
+               let prev = Vsim.Engine.get_create_hook () in
+               Vsim.Engine.set_create_hook
+                 (Some (fun eng -> Vobs.Metrics.attach reg eng));
+               Fun.protect
+                 ~finally:(fun () -> Vsim.Engine.set_create_hook prev)
+                 (fun () ->
+                   let r = f x in
+                   let digest =
+                     Cat.digest_string
+                       (Vobs.Json.to_string (Vobs.Metrics.to_json reg))
+                   in
+                   (r, digest))))
+         xs)
+  in
+  job_digests := !job_digests @ List.map snd results;
+  List.map fst results
 
 (* Param and metric shorthands. *)
 let pi k v = (k, Vobs.Json.Int v)
@@ -441,7 +487,8 @@ let section_7_capacity () =
     "Section 7: file-server capacity (90% page reads / 10% 64KB loads, \
      10 MHz server)";
   let measured =
-    R.capacity_sweep ~domains:!domains ~clients:[ 1; 2; 5; 10; 20; 30 ] ()
+    without_metrics_capture (fun () ->
+        R.capacity_sweep ~domains:!domains ~clients:[ 1; 2; 5; 10; 20; 30 ] ())
   in
   let rows =
     List.map
@@ -1095,12 +1142,13 @@ let server_scaling () =
   let worker_counts = [ 1; 2; 4 ] in
   let client_counts = [ 2; 8; 30 ] in
   let rows =
-    R.contention_sweep ~domains:!domains
-      ~grid:
-        (List.concat_map
-           (fun w -> List.map (fun n -> (w, n)) client_counts)
-           worker_counts)
-      ()
+    without_metrics_capture (fun () ->
+        R.contention_sweep ~domains:!domains
+          ~grid:
+            (List.concat_map
+               (fun w -> List.map (fun n -> (w, n)) client_counts)
+               worker_counts)
+          ())
     |> List.map (fun ((w, n), c) -> (w, n, c))
   in
   List.iter
@@ -1168,7 +1216,8 @@ let check_sweep () =
       (fun (depth, limit) ->
         let result, dt =
           Report.timed (fun () ->
-              Vcheck.Checker.sweep ~depth ~limit ~domains:!domains ())
+              without_metrics_capture (fun () ->
+                  Vcheck.Checker.sweep ~depth ~limit ~domains:!domains ()))
         in
         match result with
         | Error _ -> failwith "check_sweep: baseline workload violated"
@@ -1208,6 +1257,81 @@ let check_sweep () =
   in
   Format.printf "{\"experiment\":\"check_sweep\",\"rows\":[%s]}@."
     (String.concat "," (List.map row_json rows))
+
+(* ------------------------------------------------------------------ *)
+(* Journal overhead: write amplification of the write-ahead journal    *)
+
+let journal_overhead () =
+  Report.section
+    "Journal overhead: disk writes for a fixed 32-op write workload, \
+     journaled vs raw (write amplification)";
+  let bs = Vfs.Fs.block_size in
+  let ops = 32 in
+  (* The same workload against a freshly formatted disk, with and
+     without a journal region: create one file, then [ops] single-block
+     writes cycling over 8 block positions.  Only the disk-write count
+     matters, so latency is zero. *)
+  let run_config journal_blocks =
+    let eng = Vsim.Engine.create () in
+    let disk =
+      Vfs.Disk.create eng ~latency:(Vfs.Disk.Fixed 0) ~blocks:512
+        ~block_size:bs ()
+    in
+    let writes = ref 0 in
+    let ok = function
+      | Ok v -> v
+      | Error e -> failwith ("journal_overhead: " ^ Vfs.Fs.error_to_string e)
+    in
+    let (_ : Vsim.Proc.t) =
+      Vsim.Proc.spawn eng (fun () ->
+          Vfs.Fs.format disk ~journal_blocks ~ninodes:32 ();
+          let fs = ok (Vfs.Fs.mount disk) in
+          let inum = ok (Vfs.Fs.create fs "data") in
+          let base = Vfs.Disk.writes disk in
+          for k = 0 to ops - 1 do
+            let block =
+              Bytes.init bs (fun i ->
+                  Char.chr (((k * 131) + (i * 7)) land 0xff))
+            in
+            ok (Vfs.Fs.write fs ~inum ~pos:(k mod 8 * bs) block)
+          done;
+          writes := Vfs.Disk.writes disk - base)
+    in
+    Vsim.Engine.run eng;
+    !writes
+  in
+  let results =
+    grid ~label:"journal" (fun j -> (j, run_config j)) [ 0; 64 ]
+  in
+  let raw = List.assoc 0 results in
+  let journaled = List.assoc 64 results in
+  let amp = float_of_int journaled /. float_of_int raw in
+  List.iter
+    (fun (j, w) ->
+      record ~bench:"journal_overhead"
+        ~params:[ pi "journal_blocks" j; pi "ops" ops ]
+        [ ("disk_writes", m_count w) ])
+    results;
+  record ~bench:"journal_overhead" ~params:[ pi "ops" ops ]
+    [ ("write_amplification", Cat.metric ~units:"x" amp) ];
+  Report.table
+    ~header:[ "journal_blocks"; "disk writes"; "writes/op" ]
+    (List.map
+       (fun (j, w) ->
+         [
+           string_of_int j;
+           string_of_int w;
+           Printf.sprintf "%.2f" (float_of_int w /. float_of_int ops);
+         ])
+       results);
+  Report.note
+    "Each journaled write pays descriptor + after-image + commit before \
+     the checkpoint write to the home block; retire batches across \
+     transactions.  The amplification is the durability price of \
+     surviving a crash at any record boundary (doc/RECOVERY.md).";
+  Format.printf
+    "{\"experiment\":\"journal_overhead\",\"rows\":[{\"raw_writes\":%d,\"journaled_writes\":%d,\"write_amplification\":%.3f}]}@."
+    raw journaled amp
 
 (* ------------------------------------------------------------------ *)
 (* Engine profiler: where do the simulation's events go?               *)

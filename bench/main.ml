@@ -39,19 +39,26 @@ let experiments =
     ("loss_sweep", Experiments.loss_sweep);
     ("server_scaling", Experiments.server_scaling);
     ("check_sweep", Experiments.check_sweep);
+    ("journal_overhead", Experiments.journal_overhead);
     ("profile", Experiments.profile);
   ]
 
 (* Run one experiment with a fresh metrics registry attached to every
-   engine it creates, then stamp the registry's digest onto the catalog
-   cells it recorded.  Two runs of the same experiment at the same seed
-   produce the same digest; a digest change flags that the run's full
-   metric set shifted even where the headline numbers stayed inside
-   tolerance. *)
+   engine it creates on the main domain, then stamp a digest onto the
+   catalog cells it recorded.  Engines created inside grid jobs are
+   captured by per-job registries whichever domain the job runs on
+   (Experiments.grid replaces the create hook for the job's duration)
+   and reduced to per-job digests returned in grid order — so the
+   stamped digest is a pure function of the experiment and seed,
+   byte-identical for any --domains value.  Two runs of the same
+   experiment at the same seed produce the same digest; a digest change
+   flags that the run's full metric set shifted even where the headline
+   numbers stayed inside tolerance. *)
 let domains = ref Vsim.Pool.default_domains
 
 let run_experiment f =
   let before = Experiments.cell_count () in
+  ignore (Experiments.take_job_digests ());
   let reg = Vobs.Metrics.create () in
   let prev = Vsim.Engine.get_create_hook () in
   Vsim.Engine.set_create_hook
@@ -60,18 +67,13 @@ let run_experiment f =
          Vobs.Metrics.attach reg eng;
          match prev with Some h -> h eng | None -> ()));
   Fun.protect ~finally:(fun () -> Vsim.Engine.set_create_hook prev) f;
-  (* The create hook is domain-local, so with --domains > 1 the registry
-     only sees the engines that happened to run on the main domain —
-     which engines those are depends on scheduling.  Headline catalog
-     numbers stay deterministic (Pool returns results in grid order),
-     but the digest would not, so it is only stamped at --domains 1. *)
-  if !domains <= 1 then begin
-    let digest =
-      Vobs.Catalog.digest_string
-        (Vobs.Json.to_string (Vobs.Metrics.to_json reg))
-    in
-    Experiments.stamp_digest ~since:before digest
-  end
+  let digest =
+    Vobs.Catalog.digest_string
+      (String.concat "|"
+         (Vobs.Json.to_string (Vobs.Metrics.to_json reg)
+         :: Experiments.take_job_digests ()))
+  in
+  Experiments.stamp_digest ~since:before digest
 
 let run_all () =
   Format.printf

@@ -374,13 +374,23 @@ let check_cmd =
                    deterministic and byte-identical for any --domains \
                    value.")
   in
+  let crash =
+    Arg.(value & flag
+         & info [ "crash" ]
+             ~doc:"Sweep host crash points instead of network faults: \
+                   crash + restart the file-server host at every baseline \
+                   frame (depth 1), paired with one network fault at every \
+                   other frame at depth 2, over the journaled-recovery \
+                   workload.  Replays of schedules containing crash/restart \
+                   entries select this workload automatically.")
+  in
   let print_violations vs =
     List.iter
       (fun v ->
         Format.printf "  violation -- %a@." Vcheck.Checker.pp_violation v)
       vs
   in
-  let run spec depth limit repro emit json =
+  let run spec depth limit repro emit json crash =
     Spec.with_obs spec @@ fun () ->
     let seed = spec.Spec.seed in
     match repro with
@@ -391,21 +401,49 @@ let check_cmd =
             Format.eprintf "vsim check: %s@." e;
             exit 2
         | Ok s -> (
-            Format.printf "replaying schedule: %a@." Vcheck.Schedule.pp s;
-            let report =
-              Vcheck.Workload.run ~fault:(Vcheck.Schedule.to_fault s) ?seed ()
+            let has_crash =
+              List.exists
+                (fun e ->
+                  match e.Vcheck.Schedule.action with
+                  | Vcheck.Schedule.Crash | Vcheck.Schedule.Restart _ -> true
+                  | Vcheck.Schedule.Net _ -> false)
+                s
             in
-            Format.printf "@[<v>%a@]@." Vcheck.Checker.pp_report report;
-            match Vcheck.Checker.violations_of report with
+            Format.printf "replaying schedule: %a@." Vcheck.Schedule.pp s;
+            let vs =
+              if crash || has_crash then begin
+                let report =
+                  Vcheck.Crash_workload.run
+                    ~fault:(Vcheck.Schedule.to_fault s) ?seed ()
+                in
+                Format.printf "@[<v>%a@]@." Vcheck.Checker.pp_crash_report
+                  report;
+                Vcheck.Checker.crash_violations_of report
+              end
+              else begin
+                let report =
+                  Vcheck.Workload.run ~fault:(Vcheck.Schedule.to_fault s)
+                    ?seed ()
+                in
+                Format.printf "@[<v>%a@]@." Vcheck.Checker.pp_report report;
+                Vcheck.Checker.violations_of report
+              end
+            in
+            match vs with
             | [] -> Format.printf "no invariant violations@."
             | vs ->
                 print_violations vs;
                 exit 1))
     | None -> (
-        match
-          Vcheck.Checker.sweep ~depth ~limit ?seed
-            ~domains:spec.Spec.domains ()
-        with
+        let result =
+          if crash then
+            Vcheck.Checker.sweep_crash ~depth ~limit ?seed
+              ~domains:spec.Spec.domains ()
+          else
+            Vcheck.Checker.sweep ~depth ~limit ?seed
+              ~domains:spec.Spec.domains ()
+        in
+        match result with
         | Error vs ->
             Format.printf "the unfaulted baseline run violates invariants:@.";
             print_violations vs;
@@ -415,13 +453,17 @@ let check_cmd =
             if r.Vcheck.Checker.failure <> None then exit 1
         | Ok r -> (
             Format.printf "baseline workload: %d frames, %d operations@."
-              r.Vcheck.Checker.baseline_frames Vcheck.Workload.op_count;
+              r.Vcheck.Checker.baseline_frames
+              (if crash then Vcheck.Crash_workload.op_count
+               else Vcheck.Workload.op_count);
             match r.Vcheck.Checker.failure with
             | None ->
                 Format.printf
-                  "explored %d fault schedules (depth <= %d): no invariant \
+                  "explored %d %s schedules (depth <= %d): no invariant \
                    violations@."
-                  r.Vcheck.Checker.schedules_run depth
+                  r.Vcheck.Checker.schedules_run
+                  (if crash then "crash" else "fault")
+                  depth
             | Some f ->
                 Format.printf "violation at schedule %d of the sweep@."
                   r.Vcheck.Checker.schedules_run;
@@ -441,10 +483,11 @@ let check_cmd =
   Cmd.v
     (Cmd.info "check"
        ~doc:"Systematically explore fault schedules (drop / duplicate / \
-             delay / reorder per frame) over a scripted IPC workload, \
-             checking the paper's protocol invariants after every run; \
-             violations are shrunk to a minimal replayable schedule")
-    Term.(const run $ Spec.term $ depth $ limit $ repro $ emit $ json)
+             delay / reorder per frame — or, with --crash, host crash + \
+             restart points) over a scripted IPC workload, checking the \
+             paper's protocol invariants after every run; violations are \
+             shrunk to a minimal replayable schedule")
+    Term.(const run $ Spec.term $ depth $ limit $ repro $ emit $ json $ crash)
 
 (* --- run: assemble a program and execute it on a diskless ws --------- *)
 

@@ -3,6 +3,33 @@ type violation = { invariant : string; detail : string }
 let pp_violation fmt v =
   Format.fprintf fmt "%s: %s" v.invariant v.detail
 
+(* Shared across both workloads: protocol tables must be empty at
+   quiescence, and the medium's frame accounting must balance. *)
+let kernel_and_medium_violations ~add (kernels : Workload.kernel_probe list)
+    (m : Vnet.Medium.stats) =
+  List.iter
+    (fun (p : Workload.kernel_probe) ->
+      let t = p.Workload.tables in
+      let leak name n =
+        if n <> 0 then
+          add "table-drain"
+            (Printf.sprintf "host %d: %d %s left at quiescence"
+               p.Workload.host n name)
+      in
+      leak "live aliens" t.Vkernel.Kernel.aliens_live;
+      leak "incomplete mt_ins" t.Vkernel.Kernel.mt_ins_incomplete;
+      leak "mt_outs" t.Vkernel.Kernel.mt_outs_pending;
+      leak "mf_outs" t.Vkernel.Kernel.mf_outs_pending;
+      leak "getpid waits" t.Vkernel.Kernel.getpid_pending;
+      leak "blocked senders" t.Vkernel.Kernel.sends_blocked)
+    kernels;
+  let open Vnet.Medium in
+  if m.targeted + m.duplicated <> m.delivered + m.dropped then
+    add "conservation"
+      (Printf.sprintf
+         "medium: targeted %d + duplicated %d <> delivered %d + dropped %d"
+         m.targeted m.duplicated m.delivered m.dropped)
+
 (* Judge one run report against the paper's claims.  A depth-2 schedule
    can force at most a few retransmissions, far under max_retries, so
    under any such schedule every operation must still succeed. *)
@@ -36,33 +63,61 @@ let violations_of (r : Workload.report) =
          r.Workload.pages_written);
   if r.Workload.completed && not r.Workload.file_ok then
     add "data" "server-side file bytes differ from the client's write";
+  kernel_and_medium_violations ~add r.Workload.kernels r.Workload.medium;
+  List.rev !vs
+
+(* Judge one crash run.  The three crash-specific invariants the
+   journal + recovery machinery must uphold:
+   - durability: a write the client saw acknowledged survives the crash
+     (its bytes are on the disk after recovery);
+   - atomicity: every block is entirely its old image or entirely its
+     new one — a torn block means a mutation was half-applied;
+   - fs-consistency: the recovered file system passes {!Vfs.Fs.check}
+     (bitmap, inode table and directory agree).
+   Termination and per-op success still apply: every enumerated crash
+   comes with a restart, so the client must eventually finish. *)
+let crash_violations_of (r : Crash_workload.report) =
+  let vs = ref [] in
+  let add invariant detail = vs := { invariant; detail } :: !vs in
+  if not r.Crash_workload.completed then
+    add "termination"
+      (Printf.sprintf "run did not quiesce cleanly (%d events executed)"
+         r.Crash_workload.events);
   List.iter
-    (fun (p : Workload.kernel_probe) ->
-      let t = p.Workload.tables in
-      let leak name n =
-        if n <> 0 then
-          add "table-drain"
-            (Printf.sprintf "host %d: %d %s left at quiescence"
-               p.Workload.host n name)
-      in
-      leak "live aliens" t.Vkernel.Kernel.aliens_live;
-      leak "incomplete mt_ins" t.Vkernel.Kernel.mt_ins_incomplete;
-      leak "mt_outs" t.Vkernel.Kernel.mt_outs_pending;
-      leak "mf_outs" t.Vkernel.Kernel.mf_outs_pending;
-      leak "getpid waits" t.Vkernel.Kernel.getpid_pending;
-      leak "blocked senders" t.Vkernel.Kernel.sends_blocked)
-    r.Workload.kernels;
-  let m = r.Workload.medium in
-  let open Vnet.Medium in
-  if m.targeted + m.duplicated <> m.delivered + m.dropped then
-    add "conservation"
-      (Printf.sprintf
-         "medium: targeted %d + duplicated %d <> delivered %d + dropped %d"
-         m.targeted m.duplicated m.delivered m.dropped);
+    (fun (o : Crash_workload.op_result) ->
+      if not o.Crash_workload.ok then
+        add "op-result"
+          (Printf.sprintf "%s failed (%s)" o.Crash_workload.op
+             o.Crash_workload.detail))
+    r.Crash_workload.ops;
+  if
+    r.Crash_workload.completed
+    && List.length r.Crash_workload.ops < Crash_workload.op_count
+  then
+    add "op-result"
+      (Printf.sprintf "only %d of %d operations ran"
+         (List.length r.Crash_workload.ops)
+         Crash_workload.op_count);
+  List.iter
+    (fun b ->
+      add "durability" (Printf.sprintf "acknowledged write to block %d lost" b))
+    r.Crash_workload.acked_lost;
+  List.iter
+    (fun b ->
+      add "atomicity"
+        (Printf.sprintf "block %d torn: neither old nor new image" b))
+    r.Crash_workload.torn;
+  List.iter (fun msg -> add "fs-consistent" msg) r.Crash_workload.fsck;
+  kernel_and_medium_violations ~add r.Crash_workload.kernels
+    r.Crash_workload.medium;
   List.rev !vs
 
 let run_schedule ?max_events ?seed (s : Schedule.t) =
   violations_of (Workload.run ~fault:(Schedule.to_fault s) ?max_events ?seed ())
+
+let run_crash_schedule ?max_events ?seed (s : Schedule.t) =
+  crash_violations_of
+    (Crash_workload.run ~fault:(Schedule.to_fault s) ?max_events ?seed ())
 
 (* A deterministic, wall-clock-free digest of one run, for replay
    diagnosis. *)
@@ -88,6 +143,34 @@ let pp_report fmt (r : Workload.report) =
         Vkernel.Kernel.pp_table_counts p.Workload.tables)
     r.Workload.kernels;
   let m = r.Workload.medium in
+  Format.fprintf fmt
+    "medium: attempted=%d targeted=%d delivered=%d dropped=%d duplicated=%d \
+     collisions=%d excessive=%d"
+    m.Vnet.Medium.attempted m.Vnet.Medium.targeted m.Vnet.Medium.delivered
+    m.Vnet.Medium.dropped m.Vnet.Medium.duplicated m.Vnet.Medium.collisions
+    m.Vnet.Medium.excessive
+
+let pp_crash_report fmt (r : Crash_workload.report) =
+  let open Crash_workload in
+  Format.fprintf fmt "completed=%b frames=%d crashes=%d restarts=%d@,"
+    r.completed r.frames r.crashes r.restarts;
+  List.iter
+    (fun (o : op_result) ->
+      Format.fprintf fmt "op %-10s %s (%s)@," o.op
+        (if o.ok then "ok" else "FAILED")
+        o.detail)
+    r.ops;
+  let ints l = String.concat "," (List.map string_of_int l) in
+  Format.fprintf fmt "acked=[%s] lost=[%s] torn=[%s]@," (ints r.acked)
+    (ints r.acked_lost) (ints r.torn);
+  List.iter (fun msg -> Format.fprintf fmt "fsck: %s@," msg) r.fsck;
+  List.iter
+    (fun (p : Workload.kernel_probe) ->
+      Format.fprintf fmt "host %d: %a@,        %a@," p.Workload.host
+        Vkernel.Kernel.pp_stats p.Workload.kstats
+        Vkernel.Kernel.pp_table_counts p.Workload.tables)
+    r.kernels;
+  let m = r.medium in
   Format.fprintf fmt
     "medium: attempted=%d targeted=%d delivered=%d dropped=%d duplicated=%d \
      collisions=%d excessive=%d"
@@ -126,20 +209,71 @@ type sweep_report = {
   failure : sweep_failure option;
 }
 
-(* Enumerate schedules over the baseline run's frame positions and stop
-   at the first violation (shrunk to a minimal reproducer) or at
-   [limit].  The baseline run itself must be violation-free.
+(* Shared sweep driver: run every schedule of a (lazy, deterministic)
+   enumeration and stop at the first violation (shrunk to a minimal
+   reproducer) or at [limit].
 
-   Execution is chunked through {!Vsim.Pool}: each chunk of the (lazy,
-   deterministic) enumeration becomes a batch of jobs, results come back
-   in enumeration order, and the first violating schedule is found by
-   scanning the batch in order.  Because the scan stops at the first
-   violation, [schedules_run] — the 1-based index of the violating
-   schedule, or the total enumerated when clean — does not depend on
-   [domains] or on chunk size: the report is byte-identical for any
-   domain count.  Chunks past the first violation are speculative work
-   that is simply discarded.  Shrinking stays sequential — it is a
-   chain of dependent runs. *)
+   Execution is chunked through {!Vsim.Pool}: each chunk of the
+   enumeration becomes a batch of jobs, results come back in enumeration
+   order, and the first violating schedule is found by scanning the
+   batch in order.  Because the scan stops at the first violation,
+   [schedules_run] — the 1-based index of the violating schedule, or the
+   total enumerated when clean — does not depend on [domains] or on
+   chunk size: the report is byte-identical for any domain count.
+   Chunks past the first violation are speculative work that is simply
+   discarded.  Shrinking stays sequential — it is a chain of dependent
+   runs. *)
+let sweep_seq ~limit ~domains ~progress ~run seq0 =
+  let seq = ref seq0 in
+  let taken = ref 0 in
+  let next_chunk k =
+    let rec go acc k =
+      if k = 0 || !taken >= limit then List.rev acc
+      else
+        match Seq.uncons !seq with
+        | None -> List.rev acc
+        | Some (s, rest) ->
+            seq := rest;
+            incr taken;
+            go (s :: acc) (k - 1)
+    in
+    go [] k
+  in
+  (* Big chunks amortize Pool's per-call domain spawns; the price is
+     at most a chunk of speculative runs past the first violation. *)
+  let chunk = if domains <= 1 then 1 else 32 * domains in
+  let ran = ref 0 in
+  let failure = ref None in
+  let rec loop () =
+    match next_chunk chunk with
+    | [] -> ()
+    | batch ->
+        let jobs =
+          List.map
+            (fun s -> Vsim.Job.v ~label:(Schedule.to_string s) (fun () -> run s))
+            batch
+        in
+        let results = Vsim.Pool.run_list ~domains jobs in
+        let rec scan ss rs =
+          match (ss, rs) with
+          | [], [] -> None
+          | s :: ss', vs :: rs' -> (
+              incr ran;
+              progress !ran;
+              match vs with [] -> scan ss' rs' | _ :: _ -> Some s)
+          | _ -> assert false
+        in
+        (match scan batch results with
+        | None -> loop ()
+        | Some s ->
+            let minimal = shrink ~run s in
+            failure := Some { schedule = s; minimal; violations = run minimal })
+  in
+  loop ();
+  (!ran, !failure)
+
+(* Enumerate network-fault schedules over the baseline run's frame
+   positions.  The baseline run itself must be violation-free. *)
 let sweep ?(depth = 2) ?(limit = 600) ?(actions = Schedule.default_actions)
     ?max_events ?seed ?(domains = Vsim.Pool.default_domains)
     ?(progress = fun _ -> ()) () =
@@ -149,61 +283,29 @@ let sweep ?(depth = 2) ?(limit = 600) ?(actions = Schedule.default_actions)
   | [] ->
       let frames = baseline.Workload.frames in
       let run s = run_schedule ?max_events ?seed s in
-      let seq = ref (Schedule.enumerate ~depth ~frames ~actions) in
-      let taken = ref 0 in
-      let next_chunk k =
-        let rec go acc k =
-          if k = 0 || !taken >= limit then List.rev acc
-          else
-            match Seq.uncons !seq with
-            | None -> List.rev acc
-            | Some (s, rest) ->
-                seq := rest;
-                incr taken;
-                go (s :: acc) (k - 1)
-        in
-        go [] k
+      let ran, failure =
+        sweep_seq ~limit ~domains ~progress ~run
+          (Schedule.enumerate ~depth ~frames ~actions)
       in
-      (* Big chunks amortize Pool's per-call domain spawns; the price is
-         at most a chunk of speculative runs past the first violation. *)
-      let chunk = if domains <= 1 then 1 else 32 * domains in
-      let ran = ref 0 in
-      let failure = ref None in
-      let rec loop () =
-        match next_chunk chunk with
-        | [] -> ()
-        | batch ->
-            let jobs =
-              List.map
-                (fun s ->
-                  Vsim.Job.v ~label:(Schedule.to_string s) (fun () -> run s))
-                batch
-            in
-            let results = Vsim.Pool.run_list ~domains jobs in
-            let rec scan ss rs =
-              match (ss, rs) with
-              | [], [] -> None
-              | s :: ss', vs :: rs' -> (
-                  incr ran;
-                  progress !ran;
-                  match vs with [] -> scan ss' rs' | _ :: _ -> Some s)
-              | _ -> assert false
-            in
-            (match scan batch results with
-            | None -> loop ()
-            | Some s ->
-                let minimal = shrink ~run s in
-                failure := Some { schedule = s; minimal; violations = run minimal })
+      Ok { depth; limit; schedules_run = ran; baseline_frames = frames; failure }
+
+(* Crash-point exploration over the crash workload: crash + restart the
+   server host at every baseline frame (depth 1), optionally paired with
+   one network fault elsewhere (depth 2). *)
+let sweep_crash ?(depth = 1) ?(limit = 600) ?restart_ns
+    ?(actions = Schedule.default_actions) ?max_events ?seed
+    ?(domains = Vsim.Pool.default_domains) ?(progress = fun _ -> ()) () =
+  let baseline = Crash_workload.run ?max_events ?seed () in
+  match crash_violations_of baseline with
+  | _ :: _ as vs -> Error vs
+  | [] ->
+      let frames = baseline.Crash_workload.frames in
+      let run s = run_crash_schedule ?max_events ?seed s in
+      let ran, failure =
+        sweep_seq ~limit ~domains ~progress ~run
+          (Schedule.enumerate_crash ~depth ~frames ?restart_ns ~actions ())
       in
-      loop ();
-      Ok
-        {
-          depth;
-          limit;
-          schedules_run = !ran;
-          baseline_frames = frames;
-          failure = !failure;
-        }
+      Ok { depth; limit; schedules_run = ran; baseline_frames = frames; failure }
 
 (* Deterministic JSON rendering of a sweep report: everything in it is a
    pure function of the sweep inputs, never of wall clock or [domains],

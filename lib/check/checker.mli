@@ -17,12 +17,27 @@ val violations_of : Workload.report -> violation list
     success and data fidelity, exactly-once application, protocol-table
     drain, and medium delivery conservation. *)
 
+val crash_violations_of : Crash_workload.report -> violation list
+(** Empty iff the crash run upholds termination, per-op success, and the
+    three recovery invariants: durability (no acknowledged write lost),
+    atomicity (no torn block — every block entirely old or entirely
+    new), and fs-consistency ({!Vfs.Fs.check} clean after recovery) —
+    plus the shared table-drain and conservation checks. *)
+
 val run_schedule : ?max_events:int -> ?seed:int64 -> Schedule.t -> violation list
 (** One workload run under the schedule, judged. *)
+
+val run_crash_schedule :
+  ?max_events:int -> ?seed:int64 -> Schedule.t -> violation list
+(** One crash-workload run under the schedule, judged by
+    {!crash_violations_of}. *)
 
 val pp_report : Format.formatter -> Workload.report -> unit
 (** Deterministic digest of a run (ops, ledger, per-kernel stats and
     tables, medium counters) for replay diagnosis. *)
+
+val pp_crash_report : Format.formatter -> Crash_workload.report -> unit
+(** Same, for a crash run: ops, acked/lost/torn blocks, fsck findings. *)
 
 val shrink : run:(Schedule.t -> violation list) -> Schedule.t -> Schedule.t
 (** Greedy delta debugging: repeatedly remove any single entry whose
@@ -62,6 +77,23 @@ val sweep :
     deterministic chunks; the returned report is byte-identical for any
     domain count.  [progress] is called with the running schedule count
     (main domain only). *)
+
+val sweep_crash :
+  ?depth:int ->
+  ?limit:int ->
+  ?restart_ns:int ->
+  ?actions:Vnet.Fault.action list ->
+  ?max_events:int ->
+  ?seed:int64 ->
+  ?domains:int ->
+  ?progress:(int -> unit) ->
+  unit ->
+  (sweep_report, violation list) result
+(** Crash-point exploration over {!Crash_workload}: crash + restart the
+    server host at every baseline frame (depth 1, the default),
+    optionally paired with one network fault at every other frame
+    (depth 2), via {!Schedule.enumerate_crash}.  Same chunked execution,
+    determinism guarantees and failure shrinking as {!sweep}. *)
 
 val report_to_json : sweep_report -> string
 (** Compact, deterministic JSON for [vsim check --json] and CI

@@ -1,15 +1,39 @@
-type entry = { frame : int; action : Vnet.Fault.action }
+type action =
+  | Net of Vnet.Fault.action
+  | Crash
+  | Restart of int
+
+type entry = { frame : int; action : action }
 type t = entry list
 
 let to_fault s =
-  Vnet.Fault.script (List.map (fun e -> (e.frame, e.action)) s)
+  let net =
+    List.filter_map
+      (fun e -> match e.action with Net a -> Some (e.frame, a) | _ -> None)
+      s
+  in
+  let hosts =
+    List.filter_map
+      (fun e ->
+        match e.action with
+        | Crash -> Some (e.frame, Vnet.Fault.Crash)
+        | Restart d -> Some (e.frame, Vnet.Fault.Restart d)
+        | Net _ -> None)
+      s
+  in
+  Vnet.Fault.with_host_events
+    (Vnet.Fault.script net)
+    hosts
 
 let entry_to_string e =
   match e.action with
-  | Vnet.Fault.Drop -> Printf.sprintf "drop@%d" e.frame
-  | Vnet.Fault.Duplicate -> Printf.sprintf "dup@%d" e.frame
-  | Vnet.Fault.Delay ns -> Printf.sprintf "delay@%d+%dus" e.frame (ns / 1000)
-  | Vnet.Fault.Reorder -> Printf.sprintf "reorder@%d" e.frame
+  | Net Vnet.Fault.Drop -> Printf.sprintf "drop@%d" e.frame
+  | Net Vnet.Fault.Duplicate -> Printf.sprintf "dup@%d" e.frame
+  | Net (Vnet.Fault.Delay ns) ->
+      Printf.sprintf "delay@%d+%dus" e.frame (ns / 1000)
+  | Net Vnet.Fault.Reorder -> Printf.sprintf "reorder@%d" e.frame
+  | Crash -> Printf.sprintf "crash@%d" e.frame
+  | Restart ns -> Printf.sprintf "restart@%d+%dus" e.frame (ns / 1000)
 
 let to_string s = String.concat " " (List.map entry_to_string s)
 
@@ -28,32 +52,44 @@ let entry_of_string w =
         | Some n when n >= 1 -> Ok n
         | _ -> Error (Printf.sprintf "bad frame number in %S" w)
       in
+      (* frame'+'duration-in-us, as in [delay@5+15000us]. *)
+      let frame_plus_us () =
+        match String.index_opt rest '+' with
+        | None -> Error (Printf.sprintf "bad entry %S: missing '+'" w)
+        | Some j ->
+            let frame_s = String.sub rest 0 j in
+            let us_s = String.sub rest (j + 1) (String.length rest - j - 1) in
+            let us_s =
+              if Filename.check_suffix us_s "us" then
+                Filename.chop_suffix us_s "us"
+              else us_s
+            in
+            Result.bind (frame_of frame_s) (fun frame ->
+                match int_of_string_opt us_s with
+                | Some us when us > 0 -> Ok (frame, us * 1000)
+                | _ -> Error (Printf.sprintf "bad duration in %S" w))
+      in
       match verb with
       | "drop" ->
-          Result.map (fun frame -> { frame; action = Vnet.Fault.Drop })
+          Result.map (fun frame -> { frame; action = Net Vnet.Fault.Drop })
             (frame_of rest)
       | "dup" ->
-          Result.map (fun frame -> { frame; action = Vnet.Fault.Duplicate })
+          Result.map
+            (fun frame -> { frame; action = Net Vnet.Fault.Duplicate })
             (frame_of rest)
       | "reorder" ->
-          Result.map (fun frame -> { frame; action = Vnet.Fault.Reorder })
+          Result.map (fun frame -> { frame; action = Net Vnet.Fault.Reorder })
             (frame_of rest)
-      | "delay" -> (
-          match String.index_opt rest '+' with
-          | None -> Error (Printf.sprintf "bad delay entry %S: missing '+'" w)
-          | Some j ->
-              let frame_s = String.sub rest 0 j in
-              let us_s = String.sub rest (j + 1) (String.length rest - j - 1) in
-              let us_s =
-                if Filename.check_suffix us_s "us" then
-                  Filename.chop_suffix us_s "us"
-                else us_s
-              in
-              Result.bind (frame_of frame_s) (fun frame ->
-                  match int_of_string_opt us_s with
-                  | Some us when us > 0 ->
-                      Ok { frame; action = Vnet.Fault.Delay (us * 1000) }
-                  | _ -> Error (Printf.sprintf "bad delay amount in %S" w)))
+      | "delay" ->
+          Result.map
+            (fun (frame, ns) -> { frame; action = Net (Vnet.Fault.Delay ns) })
+            (frame_plus_us ())
+      | "crash" ->
+          Result.map (fun frame -> { frame; action = Crash }) (frame_of rest)
+      | "restart" ->
+          Result.map
+            (fun (frame, ns) -> { frame; action = Restart ns })
+            (frame_plus_us ())
       | _ -> Error (Printf.sprintf "unknown schedule verb %S" verb))
 
 let of_string str =
@@ -83,14 +119,20 @@ let default_delay_ns = Vsim.Time.ms 15
 let default_actions =
   Vnet.Fault.[ Drop; Duplicate; Delay default_delay_ns; Reorder ]
 
+let default_restart_ns = Vsim.Time.ms 50
+
 (* Systematic enumeration, lazily: every single-entry schedule over frames
    1..frames in (frame, action) lexicographic order, then every two-entry
    schedule with strictly increasing frame positions.  Deterministic and
    duplicate-free by construction. *)
 let enumerate ~depth ~frames ~actions =
   let frame_seq = Seq.init frames (fun i -> i + 1) in
-  let entries f = List.to_seq actions |> Seq.map (fun a -> { frame = f; action = a }) in
-  let depth1 = Seq.concat_map (fun f -> Seq.map (fun e -> [ e ]) (entries f)) frame_seq in
+  let entries f =
+    List.to_seq actions |> Seq.map (fun a -> { frame = f; action = Net a })
+  in
+  let depth1 =
+    Seq.concat_map (fun f -> Seq.map (fun e -> [ e ]) (entries f)) frame_seq
+  in
   let depth2 =
     Seq.concat_map
       (fun f1 ->
@@ -108,3 +150,38 @@ let enumerate ~depth ~frames ~actions =
   | 1 -> depth1
   | 2 -> Seq.append depth1 depth2
   | d -> invalid_arg (Printf.sprintf "Schedule.enumerate: depth %d not supported" d)
+
+(* Crash-point enumeration: depth 1 crashes the server host at every
+   frame (with a restart so recovery is exercised and the completion
+   invariant stays meaningful); depth 2 additionally pairs each crash
+   point with one network fault at every other frame — the fault may
+   land before the crash (damaging the prefix whose effects recovery
+   must reconstruct) or after it (stressing the re-connect path).
+   Entries are kept in increasing frame order so schedules print and
+   replay canonically. *)
+let enumerate_crash ~depth ~frames ?(restart_ns = default_restart_ns)
+    ?(actions = default_actions) () =
+  let restart f = { frame = f; action = Restart restart_ns } in
+  let frame_seq = Seq.init frames (fun i -> i + 1) in
+  let depth1 = Seq.map (fun f -> [ restart f ]) frame_seq in
+  let depth2 =
+    Seq.concat_map
+      (fun f1 ->
+        Seq.concat_map
+          (fun f2 ->
+            if f2 = f1 then Seq.empty
+            else
+              List.to_seq actions
+              |> Seq.map (fun a ->
+                     let e2 = { frame = f2; action = Net a } in
+                     if f2 < f1 then [ e2; restart f1 ]
+                     else [ restart f1; e2 ]))
+          frame_seq)
+      frame_seq
+  in
+  match depth with
+  | 1 -> depth1
+  | 2 -> Seq.append depth1 depth2
+  | d ->
+      invalid_arg
+        (Printf.sprintf "Schedule.enumerate_crash: depth %d not supported" d)

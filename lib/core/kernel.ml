@@ -267,6 +267,10 @@ type t = {
   getpid_cache : (int, Pid.t) Hashtbl.t;
   getpid_waits : (int, getpid_wait) Hashtbl.t;
   rtos : (int, rto_state) Hashtbl.t;  (** dst host -> RTO estimator *)
+  kfibers : (int, Vsim.Proc.t) Hashtbl.t;
+      (** fiber id -> fiber, so a crash can kill every process *)
+  mutable down : bool;  (** crashed and not yet restarted *)
+  mutable restart_hooks : (unit -> unit) list;
   mutable next_local_id : int;
   mutable next_seq : int;
   (* statistics *)
@@ -504,6 +508,10 @@ let relay_cost t len =
   + (len * m.Vhw.Cost_model.mem_copy_ns_per_byte)
 
 let send_pkt_gen t ?(pre_cost = 0) ~dst_addr pkt k =
+  if t.down then ()
+    (* a crashed host transmits nothing; the continuation belongs to
+       protocol machinery that died with it *)
+  else begin
   let payload = Packet.to_bytes pkt in
   let payload =
     if t.cfg.ip_header_mode then Bytes.cat (Bytes.make ip_pad '\000') payload
@@ -531,6 +539,7 @@ let send_pkt_gen t ?(pre_cost = 0) ~dst_addr pkt k =
          });
   Vnet.Nic.send_k t.nic ~pre_cost ~dst:dst_addr
     ~ethertype:Vnet.Frame.ethertype_kernel payload k
+  end
 
 let send_pkt_k t ?pre_cost ~dst_host pkt k =
   send_pkt_gen t ?pre_cost ~dst_addr:(addr_for t ~dst_host) pkt k
@@ -764,7 +773,21 @@ let finish_send t (d : desc) st =
       | Retryable | Dead -> ()
       | Nonexistent | Bad_address | No_permission | Too_big ->
           (* A NACK answered us: the destination host is alive. *)
-          rto_note_success t ~dst_host:rs.rs_dst_host ~sample_ns:None);
+          rto_note_success t ~dst_host:rs.rs_dst_host ~sample_ns:None;
+          if st = Nonexistent then begin
+            (* Proof-positive the pid itself is gone — e.g. its host
+               crashed and restarted, so the local-id space moved on.
+               Any GetPid binding still naming it is stale; drop it so
+               the next lookup re-broadcasts and finds the pid the new
+               incarnation registered. *)
+            let dst = rs.rs_pkt.Packet.dst_pid in
+            let stale =
+              Hashtbl.fold
+                (fun lid p acc -> if Pid.equal p dst then lid :: acc else acc)
+                t.getpid_cache []
+            in
+            List.iter (Hashtbl.remove t.getpid_cache) stale
+          end);
       d.d_rsend <- None;
       d.d_state <- Ready;
       let k = d.d_on_reply in
@@ -1471,7 +1494,10 @@ let handle_getpid_reply t (pkt : Packet.t) =
 (* Main receive dispatch, invoked by the NIC after the receive-side CPU
    charge for the packet itself. *)
 let handle_frame t (frame : Vnet.Frame.t) =
-  begin
+  if t.down then ()
+    (* a crashed host hears nothing: frames in flight towards it when the
+       power went out fall on the floor *)
+  else begin
     let payload = frame.Vnet.Frame.payload in
     let payload, extra =
       if t.cfg.ip_header_mode then
@@ -1510,6 +1536,10 @@ let handle_frame t (frame : Vnet.Frame.t) =
         else begin
           let m = model t in
           let dispatch () =
+            if t.down then ()
+              (* the interrupt-level charge for this packet was still
+                 pending when the host crashed *)
+            else begin
             if Vsim.Trace.tracing t.eng then
               Vsim.Trace.event t.eng
                 (Vsim.Event.Packet_rx
@@ -1534,6 +1564,7 @@ let handle_frame t (frame : Vnet.Frame.t) =
             | Packet.Getpid_req -> handle_getpid_req t pkt
             | Packet.Getpid_reply -> handle_getpid_reply t pkt
             | Packet.Fwd_notice -> handle_fwd_notice t pkt
+            end
           in
           (* Data fragments are handled at interrupt level with no extra
              kernel-op charge (the NIC copy already placed the bytes);
@@ -1578,6 +1609,9 @@ let make_kernel eng ~cpu ~nic ~host ~config ~addressing =
       getpid_cache = Hashtbl.create 16;
       getpid_waits = Hashtbl.create 16;
       rtos = Hashtbl.create 16;
+      kfibers = Hashtbl.create 64;
+      down = false;
+      restart_hooks = [];
       next_local_id = 0;
       next_seq = 0;
       s_tx = 0;
@@ -1612,6 +1646,7 @@ let create_mapped eng ~cpu ~nic ~host ?(config = default_config) () =
 (* Processes                                                           *)
 
 let spawn t ?(name = "process") ?mem_size body =
+  if t.down then invalid_arg "Kernel.spawn: host is down";
   t.next_local_id <- t.next_local_id + 1;
   if t.next_local_id > 0xFFFF then failwith "Kernel.spawn: out of local ids";
   let pid = Pid.make ~host:t.khost ~local:t.next_local_id in
@@ -1632,14 +1667,17 @@ let spawn t ?(name = "process") ?mem_size body =
     }
   in
   Hashtbl.replace t.procs (Pid.local pid) d;
-  let (_ : Vsim.Proc.t) =
+  let p =
     Vsim.Proc.spawn t.eng ~name (fun () ->
         let self = Vsim.Proc.self () in
         Hashtbl.replace t.fibers (Vsim.Proc.id self) d;
         Fun.protect
-          ~finally:(fun () -> Hashtbl.remove t.fibers (Vsim.Proc.id self))
+          ~finally:(fun () ->
+            Hashtbl.remove t.fibers (Vsim.Proc.id self);
+            Hashtbl.remove t.kfibers (Vsim.Proc.id self))
           (fun () -> body pid))
   in
+  Hashtbl.replace t.kfibers (Vsim.Proc.id p) p;
   pid
 
 let destroy t pid =
@@ -1695,6 +1733,75 @@ let alive t pid = find_proc t pid <> None
 
 let process_name t pid =
   match find_proc t pid with Some d -> Some d.d_name | None -> None
+
+(* ------------------------------------------------------------------ *)
+(* Host crash and restart                                              *)
+
+(* Power loss: every process fiber is killed (parked continuations are
+   abandoned, wake-ups already registered elsewhere become no-ops), every
+   protocol timer is cancelled, and all volatile kernel state vanishes.
+   Nothing is transmitted — a dying host sends no NACKs, unlike [destroy].
+   The local-id and sequence counters deliberately survive: pids of
+   pre-crash incarnations stay dead forever, so a stale client addressing
+   an old pid after restart gets a Nonexistent NACK instead of reaching an
+   unrelated new process. *)
+let crash t =
+  if not t.down then begin
+    t.down <- true;
+    Hashtbl.iter (fun _ p -> Vsim.Proc.kill p) t.kfibers;
+    Hashtbl.reset t.kfibers;
+    Hashtbl.iter
+      (fun _ d ->
+        d.d_state <- Dead;
+        match d.d_rsend with
+        | Some rs ->
+            cancel_timer rs.rs_timer;
+            rs.rs_timer <- None;
+            rs.rs_gen <- rs.rs_gen + 1
+        | None -> ())
+      t.procs;
+    Hashtbl.iter
+      (fun _ mto ->
+        cancel_timer mto.mto_timer;
+        mto.mto_timer <- None;
+        mto.mto_gen <- mto.mto_gen + 1;
+        mto.mto_tgen <- mto.mto_tgen + 1)
+      t.mt_outs;
+    Hashtbl.iter
+      (fun _ mfo ->
+        cancel_timer mfo.mfo_timer;
+        mfo.mfo_timer <- None;
+        mfo.mfo_tgen <- mfo.mfo_tgen + 1)
+      t.mf_outs;
+    Hashtbl.iter
+      (fun _ gw ->
+        cancel_timer gw.gw_timer;
+        gw.gw_timer <- None;
+        gw.gw_gen <- gw.gw_gen + 1)
+      t.getpid_waits;
+    Hashtbl.reset t.procs;
+    Hashtbl.reset t.fibers;
+    Hashtbl.reset t.aliens;
+    t.alien_count <- 0;
+    Hashtbl.reset t.mt_outs;
+    Hashtbl.reset t.mt_ins;
+    Hashtbl.reset t.mf_outs;
+    Hashtbl.reset t.registry;
+    Hashtbl.reset t.getpid_cache;
+    Hashtbl.reset t.getpid_waits;
+    Hashtbl.reset t.rtos;
+    Hashtbl.reset t.host_map
+  end
+
+let restart t =
+  if t.down then begin
+    t.down <- false;
+    List.iter (fun hook -> hook ()) (List.rev t.restart_hooks)
+  end
+
+let is_down t = t.down
+let on_restart t hook = t.restart_hooks <- hook :: t.restart_hooks
+let forget_pid t ~logical_id = Hashtbl.remove t.getpid_cache logical_id
 
 (* ------------------------------------------------------------------ *)
 (* IPC primitives                                                      *)

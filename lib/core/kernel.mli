@@ -124,6 +124,31 @@ val my_memory : t -> Mem.t
 val alive : t -> Pid.t -> bool
 val process_name : t -> Pid.t -> string option
 
+(** {1 Host crash and restart} *)
+
+val crash : t -> unit
+(** Power loss: every process fiber is killed mid-flight, every protocol
+    timer is cancelled, and all volatile kernel state (processes, aliens,
+    move streams, name registry, GetPid cache, RTO estimators) vanishes.
+    Nothing is transmitted — a dying host sends no NACKs.  The host stops
+    hearing and sending frames until {!restart}.  Idempotent. *)
+
+val restart : t -> unit
+(** Bring a crashed host back up: the kernel starts empty (fresh pid
+    incarnations, nothing registered) and each hook registered with
+    {!on_restart} runs, in registration order.  No-op if not down. *)
+
+val is_down : t -> bool
+
+val on_restart : t -> (unit -> unit) -> unit
+(** Register a hook run by {!restart}; services use this to re-spawn
+    their process teams and run recovery. *)
+
+val forget_pid : t -> logical_id:int -> unit
+(** Drop a cached GetPid translation so the next {!get_pid} broadcasts
+    again.  Clients call this when a server stops answering: the cached
+    pid may name a dead incarnation. *)
+
 val host_suspected : t -> host:int -> bool
 (** Whether this kernel's failure detector currently suspects
     destination [host] (consecutive retry exhaustions reached the

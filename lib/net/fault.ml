@@ -4,6 +4,10 @@ type action =
   | Delay of int
   | Reorder
 
+type host_event =
+  | Crash
+  | Restart of int
+
 type t = {
   drop_prob : float;
   corrupt_prob : float;
@@ -11,6 +15,7 @@ type t = {
   bug_prob : float;
   drop_frames : int list;
   actions : (int * action) list;
+  host_events : (int * host_event) list;
 }
 
 let none =
@@ -21,12 +26,15 @@ let none =
     bug_prob = 0.0;
     drop_frames = [];
     actions = [];
+    host_events = [];
   }
 
 let drop p = { none with drop_prob = p }
 let corrupt p = { none with corrupt_prob = p }
 let drop_nth frames = { none with drop_frames = frames }
 let script actions = { none with actions }
+let script_hosts host_events = { none with host_events }
+let with_host_events t host_events = { t with host_events }
 let hardware_bug = { none with collision_bug = true; bug_prob = 1.0 /. 2000.0 }
 
 (* [drop_frames] is kept as sugar for scripted Drop actions; an explicit
@@ -36,13 +44,18 @@ let action_for t n =
   | Some _ as a -> a
   | None -> if List.mem n t.drop_frames then Some Drop else None
 
-let scripted t = t.drop_frames <> [] || t.actions <> []
+let host_event_for t n = List.assoc_opt n t.host_events
+let scripted t = t.drop_frames <> [] || t.actions <> [] || t.host_events <> []
 
 let action_to_string = function
   | Drop -> "drop"
   | Duplicate -> "dup"
   | Delay ns -> Printf.sprintf "delay+%dus" (ns / 1000)
   | Reorder -> "reorder"
+
+let host_event_to_string = function
+  | Crash -> "crash"
+  | Restart ns -> Printf.sprintf "restart+%dus" (ns / 1000)
 
 let pp_action fmt a = Format.pp_print_string fmt (action_to_string a)
 
@@ -54,4 +67,7 @@ let pp fmt t =
   List.iter
     (fun (n, a) -> Format.fprintf fmt " %s@%d" (action_to_string a) n)
     t.actions;
+  List.iter
+    (fun (n, e) -> Format.fprintf fmt " %s@%d" (host_event_to_string e) n)
+    t.host_events;
   Format.fprintf fmt "}"

@@ -9,6 +9,15 @@ type action =
           transmission's delivery, swapping their arrival order; if the
           wire then goes quiet the held frame is flushed by a timer *)
 
+type host_event =
+  | Crash
+      (** the host loses power at the instant the given transmission
+          completes: its kernel state vanishes, its fibers never run
+          again, but its disk contents persist *)
+  | Restart of int
+      (** like [Crash], then the host comes back up the given number of
+          nanoseconds later and runs its recovery path *)
+
 type t = {
   drop_prob : float;  (** Frame silently lost in transit. *)
   corrupt_prob : float;
@@ -29,6 +38,11 @@ type t = {
           completed-transmission order.  Independent of the RNG, so a
           checker can explore schedules without perturbing any other
           random stream. *)
+  host_events : (int * host_event) list;
+      (** Scripted host-level faults keyed by the same 1-based
+          completed-transmission order.  Which host crashes is decided by
+          the medium's host handler, not the schedule: the checker wires
+          the handler to the host under test. *)
 }
 
 val none : t
@@ -42,6 +56,12 @@ val drop_nth : int list -> t
 val script : (int * action) list -> t
 (** Scripted actions only: [script [(2, Duplicate); (5, Drop)]]. *)
 
+val script_hosts : (int * host_event) list -> t
+(** Scripted host events only: [script_hosts [(3, Restart 1_000_000)]]. *)
+
+val with_host_events : t -> (int * host_event) list -> t
+(** [t] with its host-event script replaced. *)
+
 val hardware_bug : t
 (** The Section 5.4 configuration: 1/2000 corruption. *)
 
@@ -49,9 +69,13 @@ val action_for : t -> int -> action option
 (** The scripted action for completed transmission [n], if any.  An
     explicit [actions] entry wins over a [drop_frames] entry. *)
 
+val host_event_for : t -> int -> host_event option
+(** The scripted host event for completed transmission [n], if any. *)
+
 val scripted : t -> bool
 (** True when any scripted entries are present. *)
 
 val action_to_string : action -> string
+val host_event_to_string : host_event -> string
 val pp_action : Format.formatter -> action -> unit
 val pp : Format.formatter -> t -> unit

@@ -69,6 +69,8 @@ type t = {
   mutable frame_no : int;  (** completed transmissions, for scripted actions *)
   mutable held : Frame.t option;  (** frame parked by a Reorder action *)
   mutable held_flush : Vsim.Engine.handle option;
+  mutable host_handler : ((unit -> unit) * (unit -> unit)) option;
+      (** (crash, restart) callbacks for scripted host events *)
   mutable s_attempted : int;
   mutable s_targeted : int;
   mutable s_delivered : int;
@@ -89,6 +91,7 @@ let k_reorder_flush = Vsim.Eventq.Kind.intern "net.reorder_flush"
 let k_drain = Vsim.Eventq.Kind.intern "net.drain"
 let k_tx_done = Vsim.Eventq.Kind.intern "net.tx_done"
 let k_backoff = Vsim.Eventq.Kind.intern "net.backoff"
+let k_host_restart = Vsim.Eventq.Kind.intern "net.host_restart"
 
 let create eng cfg =
   {
@@ -103,6 +106,7 @@ let create eng cfg =
     frame_no = 0;
     held = None;
     held_flush = None;
+    host_handler = None;
     s_attempted = 0;
     s_targeted = 0;
     s_delivered = 0;
@@ -119,6 +123,7 @@ let config t = t.cfg
 let engine t = t.eng
 let set_fault t f = t.flt <- f
 let fault t = t.flt
+let set_host_handler t ~crash ~restart = t.host_handler <- Some (crash, restart)
 
 let attach t ~addr ~rx =
   if not (Addr.is_valid addr) || Addr.is_broadcast addr then
@@ -255,6 +260,20 @@ let release_held t ~at =
 
 let deliver t frame =
   t.frame_no <- t.frame_no + 1;
+  (* Host faults fire at the instant transmission [frame_no] completes:
+     the crash happens now (so the crashing host misses even this frame,
+     still in flight towards it), and a restart is scheduled for later. *)
+  (match (Fault.host_event_for t.flt t.frame_no, t.host_handler) with
+  | Some ev, Some (crash, restart) ->
+      crash ();
+      (match ev with
+      | Fault.Crash -> ()
+      | Fault.Restart d ->
+          ignore
+            (Vsim.Engine.at t.eng ~kind:k_host_restart
+               (Vsim.Engine.now t.eng + d)
+               restart))
+  | _ -> ());
   let arrival = Vsim.Engine.now t.eng + t.cfg.latency_ns in
   let tgts = targets t frame in
   let n = List.length tgts in

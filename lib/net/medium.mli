@@ -63,6 +63,14 @@ val transmit : ?on_sent:(unit -> unit) -> t -> Frame.t -> unit
 val set_fault : t -> Fault.t -> unit
 val fault : t -> Fault.t
 
+val set_host_handler : t -> crash:(unit -> unit) -> restart:(unit -> unit) -> unit
+(** Wire the callbacks that scripted {!Fault.host_event}s invoke.  When
+    transmission [n] completes and the fault script has a host event for
+    [n], [crash] runs at that instant (before the frame's own delivery,
+    so the crashing host misses it); for [Restart d], [restart] then runs
+    [d] nanoseconds later.  Which host these act on is entirely up to the
+    caller — typically the checker's server host. *)
+
 type stats = {
   attempted : int;  (** transmit calls *)
   targeted : int;

@@ -5,6 +5,7 @@ type t = {
   pname : string;
   eng : Engine.t;
   mutable pstate : state;
+  mutable killed : bool;
   mutable waiters : (unit -> unit) list;
 }
 
@@ -32,6 +33,16 @@ let finish proc =
   proc.waiters <- [];
   List.iter (fun w -> w ()) ws
 
+(* A killed fiber never runs again: its parked continuation is abandoned
+   (resume functions already handed out become no-ops), modeling a
+   process that vanishes in a host crash.  The continuation itself is
+   dropped, not discontinued — unwinding it would run [Fun.protect]
+   finalizers of code that is supposed to have lost power mid-flight. *)
+let kill proc = if proc.pstate <> Terminated then begin
+    proc.killed <- true;
+    finish proc
+  end
+
 let run_fiber proc fn =
   let open Effect.Deep in
   proc.pstate <- Running;
@@ -51,11 +62,17 @@ let run_fiber proc fn =
                   proc.pstate <- Blocked reason;
                   let resumed = ref false in
                   let resume v =
-                    if !resumed then
-                      Fmt.invalid_arg "Proc: double resume of %s" proc.pname;
-                    resumed := true;
-                    proc.pstate <- Running;
-                    continue k v
+                    if proc.killed then ()
+                      (* killed while blocked: the wake-up (a disk
+                         completion, a CPU grant...) outlived the
+                         process; drop it on the floor *)
+                    else begin
+                      if !resumed then
+                        Fmt.invalid_arg "Proc: double resume of %s" proc.pname;
+                      resumed := true;
+                      proc.pstate <- Running;
+                      continue k v
+                    end
                   in
                   register resume)
           | Self -> Some (fun (k : (a, _) continuation) -> continue k proc)
@@ -64,8 +81,12 @@ let run_fiber proc fn =
 
 let spawn eng ?(name = "proc") fn =
   let pid = 1 + Atomic.fetch_and_add counter 1 in
-  let proc = { pid; pname = name; eng; pstate = Runnable; waiters = [] } in
-  ignore (Engine.after eng ~kind:k_start 0 (fun () -> run_fiber proc fn));
+  let proc =
+    { pid; pname = name; eng; pstate = Runnable; killed = false; waiters = [] }
+  in
+  ignore
+    (Engine.after eng ~kind:k_start 0 (fun () ->
+         if not proc.killed then run_fiber proc fn));
   proc
 
 let self () = Effect.perform Self

@@ -52,6 +52,14 @@ val join : t -> unit
 (** Block until the given fiber terminates. Returns immediately if it
     already has. *)
 
+val kill : t -> unit
+(** Terminate the fiber without running it further: a not-yet-started
+    body never starts, a parked continuation is abandoned, and any
+    resume function already registered with another subsystem becomes a
+    silent no-op.  Used to model processes lost in a host crash.  Join
+    waiters are woken.  Idempotent; killing a terminated fiber is a
+    no-op. *)
+
 val terminated : t -> bool
 
 val pp : Format.formatter -> t -> unit

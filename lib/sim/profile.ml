@@ -127,8 +127,11 @@ let aggregate = function
       List.iter (fun p -> merge_into ~dst:acc p) rest;
       acc
 
-(* Deterministic rendering: per-kind fire counts and simulated costs,
-   engine totals, and the GC figures.  No wall-clock values. *)
+(* Deterministic rendering: per-kind fire counts and simulated costs and
+   engine totals only.  No wall-clock values, and no GC figures — heap
+   high-water and allocation totals depend on what else the process (or
+   a Pool worker domain) has run, so they'd break the byte-determinism
+   of any stream this is printed to. *)
 let pp fmt t =
   Format.fprintf fmt "@[<v>-- engine profile --@,";
   Format.fprintf fmt "%-22s %10s %14s %7s@," "event kind" "fires"
@@ -143,9 +146,6 @@ let pp fmt t =
   Format.fprintf fmt "%-22s %10d %14.3f %7s@," "total" t.events
     (float_of_int t.sim_cost_total_ns /. 1e6)
     "";
-  Format.fprintf fmt "allocated %.1f MB, heap high-water %d words@,"
-    (allocated_bytes t /. 1e6)
-    (top_heap_words ());
   Format.fprintf fmt "@]"
 
 (* Host-process diagnostics: wall-clock seconds inside callbacks per kind
@@ -162,4 +162,7 @@ let pp_wall fmt t =
     "total" (wall_total_s t) elapsed;
   if elapsed > 0.0 then
     Format.fprintf fmt "%.0f events/s@," (float_of_int t.events /. elapsed);
+  Format.fprintf fmt "allocated %.1f MB, heap high-water %d words@,"
+    (allocated_bytes t /. 1e6)
+    (top_heap_words ());
   Format.fprintf fmt "@]"

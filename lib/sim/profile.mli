@@ -55,9 +55,9 @@ val set_clock : (unit -> float) -> unit
     link [unix] install [Unix.gettimeofday]. *)
 
 val pp : Format.formatter -> t -> unit
-(** Deterministic table: kind, fires, simulated cost, share, plus totals
-    and GC allocation / heap high-water. *)
+(** Deterministic table: kind, fires, simulated cost, share, plus
+    totals. *)
 
 val pp_wall : Format.formatter -> t -> unit
-(** Wall-clock buckets and events/s — nondeterministic; keep off
-    byte-compared streams. *)
+(** Wall-clock buckets, events/s, and GC allocation / heap high-water —
+    nondeterministic; keep off byte-compared streams. *)

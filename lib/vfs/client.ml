@@ -144,7 +144,9 @@ let exec_scan c handle ~block ~count =
 
 module Io = struct
   type io = {
-    conn : conn;
+    mutable conn : conn;
+        (* mutable so session recovery can swap in a reconnection to a
+           restarted server *)
     cache : Cache.t option;
     files : (int, file) Hashtbl.t;
         (* open files by inum — write-back needs a live handle to push a
@@ -152,12 +154,18 @@ module Io = struct
            being read.  A doubly-opened file has multiple bindings
            (Hashtbl.add); push resolves to any still-open one.  Never
            iterated, so hash order cannot leak. *)
+    recover_on : bool;
+    logical_id : int;  (* how to find the server again *)
   }
 
   and file = {
     io : io;
-    fh : handle;
-    inum : int;
+    mutable fh : handle;
+    mutable inum : int;
+    name : string;
+        (* recovery re-opens by name: the handle is dead after a server
+           restart, and even the inum can change if the file was
+           recreated *)
     mutable version : int;
         (* latest file version this client has observed *)
     mutable closed : bool;
@@ -165,7 +173,10 @@ module Io = struct
 
   type t = io
 
-  let make ?cache conn = { conn; cache; files = Hashtbl.create 8 }
+  let make ?cache ?(recover = false)
+      ?(logical_id = Protocol.fileserver_logical_id) conn =
+    { conn; cache; files = Hashtbl.create 8; recover_on = recover; logical_id }
+
   let conn io = io.conn
   let cache_stats io = Option.map Cache.stats io.cache
   let file_handle f = f.fh
@@ -243,20 +254,16 @@ module Io = struct
         (match io.cache with
         | Some c -> Cache.revalidate c ~inum ~version
         | None -> ());
-        let f = { io; fh = h; inum; version; closed = false } in
+        let f = { io; fh = h; inum; name; version; closed = false } in
         Hashtbl.add io.files inum f;
         Ok f
 
   let open_file io name = open_gen io name ~op:Protocol.Open
   let create io name = open_gen io name ~op:Protocol.Create
 
-  let size f =
-    if f.closed then Error (Server Protocol.Sbad_handle)
-    else file_size f.io.conn f.fh
-
   (* Write one whole-block image for [f] at [block] and fold the reply's
      version into our knowledge. *)
-  let push_content f ~block content =
+  let push_content_raw f ~block content =
     let c = f.io.conn in
     let mem = K.my_memory c.k in
     let ptr = block_scratch mem in
@@ -274,6 +281,109 @@ module Io = struct
         note_write_reply f ~version;
         Ok ()
     | Error e -> Error e
+
+  (* Drop exactly [f]'s binding from the open-file table, keeping any
+     other still-open handles on the same inum (legal double-open). *)
+  let forget_file f =
+    let tbl = f.io.files in
+    let all = Hashtbl.find_all tbl f.inum in
+    List.iter (fun _ -> Hashtbl.remove tbl f.inum) all;
+    (* find_all lists bindings most-recent-first; re-add in reverse to
+       preserve the original order. *)
+    List.iter
+      (fun g -> Hashtbl.add tbl f.inum g)
+      (List.rev (List.filter (fun g -> g != f) all))
+
+  (* ---- session recovery (opt-in via [make ~recover:true]) ----------
+
+     After a server-host crash + restart everything volatile on the
+     server side is gone: our handle, the per-inode versions, even the
+     GetPid binding (the restarted kernel re-registers under a fresh
+     pid).  Recovery re-resolves the server by logical id, re-opens the
+     file by name, and re-pushes any not-yet-acknowledged dirty blocks;
+     the operation that tripped over the crash is then retried.  Only
+     idempotent operations flow through here — page reads, whole-block
+     image writes, stat — so replaying one that may or may not have
+     executed before the crash is safe. *)
+
+  let session_error = function
+    | Ipc (K.Dead | K.Nonexistent | K.Retryable) ->
+        (* failure detector fired, a restarted host NACKed our stale
+           server pid, or retransmissions ran dry *)
+        true
+    | Server Protocol.Sbad_handle ->
+        (* a restarted server begins with an empty handle table *)
+        true
+    | No_server -> true
+    | Server _ | Ipc _ -> false
+
+  let max_recoveries = 8
+
+  (* Re-resolve the server pid.  The cached GetPid binding points at the
+     dead incarnation; drop it so the lookup goes back on the wire and
+     finds the restarted server's registration. *)
+  let recover_session io =
+    let k = io.conn.k in
+    K.forget_pid k ~logical_id:io.logical_id;
+    match connect k ~logical_id:io.logical_id () with
+    | Ok c ->
+        io.conn <- c;
+        true
+    | Error _ -> false
+
+  (* Re-open [f] by name against the re-found server.  Dirty cached
+     blocks were never acknowledged, so they are collected before the
+     cache entries are dropped and re-pushed through the fresh handle —
+     write-back data survives the crash exactly when the write-back
+     contract says it may still be pending. *)
+  let reopen f =
+    let dirty =
+      match f.io.cache with
+      | Some cch -> Cache.dirty_blocks cch ~inum:f.inum
+      | None -> []
+    in
+    (match f.io.cache with
+    | Some cch -> Cache.drop_file cch ~inum:f.inum
+    | None -> ());
+    match with_retry (fun () -> with_name_ext f.io.conn f.name ~op:Protocol.Open)
+    with
+    | Error e -> Error e
+    | Ok (h, inum, version) ->
+        f.fh <- h;
+        f.version <- version;
+        if inum <> f.inum then begin
+          (* The file was deleted and recreated while we were away;
+             follow the name, not the inode. *)
+          forget_file f;
+          f.inum <- inum;
+          Hashtbl.add f.io.files inum f
+        end;
+        let rec repush = function
+          | [] -> Ok ()
+          | (block, data) :: rest -> (
+              match push_content_raw f ~block data with
+              | Ok () -> repush rest
+              | Error e -> Error e)
+        in
+        repush dirty
+
+  let rec with_recovery ?(tries = 0) f op =
+    match op () with
+    | Error e
+      when f.io.recover_on && session_error e && tries < max_recoveries ->
+        (* Give the host time to restart and re-register before probing
+           again; a fixed pause keeps runs deterministic. *)
+        Vsim.Proc.sleep (Vsim.Time.ms 10);
+        if recover_session f.io then ignore (reopen f);
+        with_recovery ~tries:(tries + 1) f op
+    | r -> r
+
+  let push_content f ~block content =
+    with_recovery f (fun () -> push_content_raw f ~block content)
+
+  let size f =
+    if f.closed then Error (Server Protocol.Sbad_handle)
+    else with_recovery f (fun () -> file_size f.io.conn f.fh)
 
   (* Push a dirty block the cache gave back (eviction or flush) to the
      server, on behalf of whichever open file owns it. *)
@@ -293,7 +403,7 @@ module Io = struct
 
   (* Remote block fetch via Read_page; inserts the block (clean) into
      the cache, writing back any dirty victims that fall out. *)
-  let fetch_block f ~block =
+  let fetch_block_raw f ~block =
     let c = f.io.conn in
     let mem = K.my_memory c.k in
     let ptr = block_scratch mem in
@@ -319,6 +429,9 @@ module Io = struct
             match push_all f.io evicted with
             | Ok () -> Ok data
             | Error e -> Error e))
+
+  let fetch_block f ~block =
+    with_recovery f (fun () -> fetch_block_raw f ~block)
 
   (* The block through the cache: a hit costs local trap-plus-copy for
      the [want] bytes the caller will consume; a miss goes remote. *)
@@ -458,18 +571,6 @@ module Io = struct
           in
           go (Cache.dirty_blocks cch ~inum:f.inum)
 
-  (* Drop exactly [f]'s binding from the open-file table, keeping any
-     other still-open handles on the same inum (legal double-open). *)
-  let forget_file f =
-    let tbl = f.io.files in
-    let all = Hashtbl.find_all tbl f.inum in
-    List.iter (fun _ -> Hashtbl.remove tbl f.inum) all;
-    (* find_all lists bindings most-recent-first; re-add in reverse to
-       preserve the original order. *)
-    List.iter
-      (fun g -> Hashtbl.add tbl f.inum g)
-      (List.rev (List.filter (fun g -> g != f) all))
-
   let close f =
     if f.closed then Ok ()
     else
@@ -478,7 +579,13 @@ module Io = struct
       | Ok () ->
           f.closed <- true;
           forget_file f;
-          close_file f.io.conn f.fh
+          (match close_file f.io.conn f.fh with
+          | Error e when f.io.recover_on && session_error e ->
+              (* The server that held the handle is gone — there is
+                 nothing left to close; a restarted server starts with
+                 an empty handle table. *)
+              Ok ()
+          | r -> r)
 end
 
 let read_sequential c handle ~buf ~on_page =

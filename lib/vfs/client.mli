@@ -130,8 +130,20 @@ module Io : sig
   type file
   (** An open file: server handle, inode number, last-observed version. *)
 
-  val make : ?cache:Cache.t -> conn -> t
-  (** No [cache] means every operation goes to the server. *)
+  val make : ?cache:Cache.t -> ?recover:bool -> ?logical_id:int -> conn -> t
+  (** No [cache] means every operation goes to the server.
+
+      With [recover] (default false) the client survives a server-host
+      crash + restart: when an operation fails with a session-level
+      error — the failure detector declared the server dead, a
+      restarted host NACKed our stale pid, retransmissions ran dry, or
+      a fresh server rejected our dead handle — it re-resolves the
+      server by [logical_id] (default the well-known file-server id),
+      re-opens the file by name, re-pushes any unacknowledged dirty
+      cached blocks, and retries the operation.  Only idempotent
+      operations (page reads, whole-block-image writes, stat) flow
+      through the retry, so replaying one that may or may not have
+      executed before the crash is safe. *)
 
   val conn : t -> conn
   val cache_stats : t -> Cache.stats option

@@ -58,6 +58,7 @@ let create eng ?(host = 0) ?(latency = Fixed (Vsim.Time.ms 20)) ~blocks
     rng = Vsim.Rng.split (Vsim.Engine.rng eng);
   }
 
+let engine t = t.eng
 let block_size t = t.bsize
 let blocks t = Array.length t.store
 let latency t = t.lat
@@ -152,6 +153,21 @@ let write_k t b data k =
       if t.store.(b) == t.zero then t.store.(b) <- Bytes.create t.bsize;
       Bytes.blit data 0 t.store.(b) 0 t.bsize;
       k ())
+
+(* Snapshots capture media contents only (not queue or timing state):
+   they exist so crash tests can save an image at one point of a write
+   sequence and wind the media back to replay recovery from there. *)
+type snapshot = Bytes.t array
+
+let snapshot t =
+  Array.map (fun b -> if b == t.zero then t.zero else Bytes.copy b) t.store
+
+let restore t img =
+  if Array.length img <> Array.length t.store then
+    invalid_arg "Disk.restore: snapshot from a different geometry";
+  Array.iteri
+    (fun i b -> t.store.(i) <- (if b == t.zero then t.zero else Bytes.copy b))
+    img
 
 let read t b =
   Vsim.Proc.suspend ~reason:"disk-read" (fun resume -> read_k t b resume)

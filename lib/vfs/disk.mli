@@ -31,6 +31,7 @@ val create :
 (** Default latency is [Fixed 20ms], the paper's rule-of-thumb disk.
     [host] attributes [Disk_io] trace events; defaults to 0. *)
 
+val engine : t -> Vsim.Engine.t
 val block_size : t -> int
 val blocks : t -> int
 val latency : t -> latency
@@ -48,6 +49,16 @@ val read_k : t -> int -> (Bytes.t -> unit) -> unit
 (** Callback form, e.g. for asynchronous read-ahead. *)
 
 val write_k : t -> int -> Bytes.t -> (unit -> unit) -> unit
+
+type snapshot
+
+val snapshot : t -> snapshot
+(** Copy of the media contents only — no queue or timing state.  Crash
+    tests use it to save the image mid-sequence and wind the media back
+    with {!restore} to replay recovery from that point. *)
+
+val restore : t -> snapshot -> unit
+(** Overwrite the media with a snapshot taken from the same geometry. *)
 
 val reads : t -> int
 val writes : t -> int

@@ -40,6 +40,18 @@ type geometry = {
   inode_start : int;
   inode_blocks : int;
   data_start : int;
+  journal_start : int;  (** 0 when the filesystem has no journal *)
+  journal_blocks : int;
+}
+
+(* An open transaction: block writes are buffered here instead of going
+   to cache and disk, and reads see the buffer, so an aborted operation
+   leaves no trace and a committed one reaches the disk only through the
+   journal's commit protocol. *)
+type txn = {
+  tbuf : (int, Bytes.t) Hashtbl.t;
+  tmeta : (int, bool) Hashtbl.t;  (** cache policy of the last write *)
+  mutable torder : int list;  (** reverse order of first write per block *)
 }
 
 type t = {
@@ -49,6 +61,10 @@ type t = {
   mutable cache_on : bool;
   mutable hits : int;
   mutable misses : int;
+  mutable jseq : int;  (** last committed journal sequence number *)
+  mutable txn : txn option;
+  mutable lock_busy : bool;
+  lock_waiters : (unit -> unit) Queue.t;
 }
 
 let disk t = t.dsk
@@ -62,7 +78,7 @@ let compute_geometry ~nblocks ~ninodes =
   let inode_start = bitmap_start + bitmap_blocks in
   let data_start = inode_start + inode_blocks in
   { nblocks; ninodes; bitmap_start; bitmap_blocks; inode_start; inode_blocks;
-    data_start }
+    data_start; journal_start = 0; journal_blocks = 0 }
 
 let set32 b off v = Bytes.set_int32_le b off (Int32.of_int v)
 let get32 b off = Int32.to_int (Bytes.get_int32_le b off) land 0xFFFF_FFFF
@@ -74,21 +90,34 @@ let get32 b off = Int32.to_int (Bytes.get_int32_le b off) land 0xFFFF_FFFF
    experiments that disable the cache mean *data* caching — Table 6-2's
    one-disk-access-per-page condition. *)
 let read_block ?(meta = false) t b =
-  let cached = meta || t.cache_on in
-  match if cached then Hashtbl.find_opt t.cache b else None with
-  | Some data ->
+  match t.txn with
+  | Some tx when Hashtbl.mem tx.tbuf b ->
       t.hits <- t.hits + 1;
-      Bytes.copy data
-  | None ->
-      t.misses <- t.misses + 1;
-      let data = Disk.read t.dsk b in
-      if cached then Hashtbl.replace t.cache b (Bytes.copy data);
-      data
+      Bytes.copy (Hashtbl.find tx.tbuf b)
+  | _ -> (
+      let cached = meta || t.cache_on in
+      match if cached then Hashtbl.find_opt t.cache b else None with
+      | Some data ->
+          t.hits <- t.hits + 1;
+          Bytes.copy data
+      | None ->
+          t.misses <- t.misses + 1;
+          let data = Disk.read t.dsk b in
+          if cached then Hashtbl.replace t.cache b (Bytes.copy data);
+          data)
 
-(* Write-through: the cache is updated and the disk written. *)
+(* Write-through: the cache is updated and the disk written.  Under an
+   open transaction the write is buffered instead; it reaches cache and
+   disk only when the transaction commits. *)
 let write_block ?(meta = false) t b data =
-  if meta || t.cache_on then Hashtbl.replace t.cache b (Bytes.copy data);
-  Disk.write t.dsk b data
+  match t.txn with
+  | Some tx ->
+      if not (Hashtbl.mem tx.tbuf b) then tx.torder <- b :: tx.torder;
+      Hashtbl.replace tx.tbuf b (Bytes.copy data);
+      Hashtbl.replace tx.tmeta b meta
+  | None ->
+      if meta || t.cache_on then Hashtbl.replace t.cache b (Bytes.copy data);
+      Disk.write t.dsk b data
 
 let set_cache_enabled t on =
   t.cache_on <- on;
@@ -98,6 +127,195 @@ let cache_enabled t = t.cache_on
 let evict_cache t = Hashtbl.reset t.cache
 let cache_hits t = t.hits
 let cache_misses t = t.misses
+
+(* ---------------- write-ahead journal ---------------- *)
+
+(* One transaction occupies the journal region from its start:
+
+     [descriptor] [image]*  ...repeated...  [commit]
+
+   A descriptor block lists up to [jtags_per_desc] target block numbers
+   and is followed by that many after-image blocks; a transaction larger
+   than one descriptor's worth emits several descriptor groups.  The
+   commit block repeats the sequence number and the total image count.
+   Replay applies a transaction only when its commit block is present
+   and consistent — anything else (torn descriptor chain, missing
+   commit, stale sequence) is discarded, which is exactly the
+   crash-before-commit case.  Applying is idempotent: every record is a
+   whole-block after-image, so replaying twice equals replaying once.
+   The journal is retired after checkpoint by zeroing its first block. *)
+
+let jmagic = 0x564A4C31 (* "VJL1" *)
+let j_desc = 1
+let j_commit = 2
+let jtags_per_desc = (block_size - 16) / 4
+
+let journaled t = t.geo.journal_blocks > 0
+
+(* Mutating operations on a journaled filesystem are serialized by a
+   fiber lock: a transaction must not interleave with another operation's
+   writes, and readers must not observe a half-checkpointed commit.  On
+   an unjournaled filesystem the lock is a no-op and every code path is
+   unchanged. *)
+let k_lock = Vsim.Eventq.Kind.intern "fs.lock"
+
+let lock t =
+  if journaled t then begin
+    if t.lock_busy then
+      Vsim.Proc.suspend ~reason:"fs-lock" (fun resume ->
+          Queue.add resume t.lock_waiters)
+    else t.lock_busy <- true
+  end
+
+let unlock t =
+  if journaled t then
+    match Queue.take_opt t.lock_waiters with
+    | Some k ->
+        (* Hand the lock over, but resume from an event, not from inside
+           the releasing fiber. *)
+        ignore (Vsim.Engine.after (Disk.engine t.dsk) ~kind:k_lock 0 k)
+    | None -> t.lock_busy <- false
+
+let with_lock t f =
+  lock t;
+  Fun.protect ~finally:(fun () -> unlock t) f
+
+let begin_txn t =
+  t.txn <-
+    Some { tbuf = Hashtbl.create 32; tmeta = Hashtbl.create 16; torder = [] }
+
+let abort_txn t = t.txn <- None
+
+let commit_txn t =
+  match t.txn with
+  | None -> Ok ()
+  | Some tx ->
+      t.txn <- None;
+      let blocks = List.rev tx.torder in
+      let n = List.length blocks in
+      if n = 0 then Ok ()
+      else begin
+        let ndesc = (n + jtags_per_desc - 1) / jtags_per_desc in
+        if n + ndesc + 1 > t.geo.journal_blocks then Error No_space
+        else begin
+          t.jseq <- t.jseq + 1;
+          let seq = t.jseq in
+          let pos = ref t.geo.journal_start in
+          let put data =
+            Disk.write t.dsk !pos data;
+            incr pos
+          in
+          let rec emit = function
+            | [] -> ()
+            | rest ->
+                let k = min jtags_per_desc (List.length rest) in
+                let hdr = Bytes.make block_size '\000' in
+                set32 hdr 0 jmagic;
+                set32 hdr 4 seq;
+                set32 hdr 8 j_desc;
+                set32 hdr 12 k;
+                let rec fill i = function
+                  | b :: tl when i < k ->
+                      set32 hdr (16 + (4 * i)) b;
+                      fill (i + 1) tl
+                  | tl -> tl
+                in
+                let tail = fill 0 rest in
+                put hdr;
+                List.iteri
+                  (fun i b -> if i < k then put (Hashtbl.find tx.tbuf b))
+                  rest;
+                emit tail
+          in
+          emit blocks;
+          let cmt = Bytes.make block_size '\000' in
+          set32 cmt 0 jmagic;
+          set32 cmt 4 seq;
+          set32 cmt 8 j_commit;
+          set32 cmt 12 n;
+          put cmt;
+          (* Checkpoint: apply in place (through the cache), then retire
+             the journal. *)
+          List.iter
+            (fun b ->
+              let meta =
+                match Hashtbl.find_opt tx.tmeta b with
+                | Some m -> m
+                | None -> false
+              in
+              write_block ~meta t b (Hashtbl.find tx.tbuf b))
+            blocks;
+          Disk.write t.dsk t.geo.journal_start (Bytes.make block_size '\000');
+          Ok ()
+        end
+      end
+
+(* A transaction per public mutating operation: buffer, then commit.
+   Unjournaled filesystems write through directly, unchanged. *)
+let with_txn t f =
+  if not (journaled t) then f ()
+  else begin
+    begin_txn t;
+    match f () with
+    | Ok _ as ok -> ( match commit_txn t with Ok () -> ok | Error e -> Error e)
+    | Error _ as e ->
+        abort_txn t;
+        e
+  end
+
+(* Replay straight against the disk: the caller guarantees the block
+   cache is empty (fresh mount or just-reset after a crash). *)
+let journal_replay t =
+  if journaled t then begin
+    let jend = t.geo.journal_start + t.geo.journal_blocks in
+    let hdr0 = Disk.read t.dsk t.geo.journal_start in
+    if get32 hdr0 0 = jmagic then begin
+      let seq = get32 hdr0 4 in
+      let rec scan pos acc =
+        if pos >= jend then None
+        else begin
+          let hdr = Disk.read t.dsk pos in
+          if get32 hdr 0 <> jmagic || get32 hdr 4 <> seq then None
+          else if get32 hdr 8 = j_commit then
+            if get32 hdr 12 = List.length acc then Some (List.rev acc)
+            else None
+          else if get32 hdr 8 = j_desc then begin
+            let k = get32 hdr 12 in
+            if k <= 0 || k > jtags_per_desc || pos + 1 + k >= jend then None
+            else begin
+              let acc = ref acc in
+              for i = 0 to k - 1 do
+                let b = get32 hdr (16 + (4 * i)) in
+                let img = Disk.read t.dsk (pos + 1 + i) in
+                acc := (b, img) :: !acc
+              done;
+              scan (pos + 1 + k) !acc
+            end
+          end
+          else None
+        end
+      in
+      (match scan t.geo.journal_start [] with
+      | Some writes ->
+          t.jseq <- max t.jseq seq;
+          List.iter
+            (fun (b, img) ->
+              if b >= 0 && b < t.geo.journal_start then Disk.write t.dsk b img)
+            writes
+      | None -> ());
+      Disk.write t.dsk t.geo.journal_start (Bytes.make block_size '\000')
+    end
+  end
+
+(* After a host crash killed every fiber mid-operation: volatile state
+   (cache, open transaction, lock) is gone with the host; the journal
+   decides what the disk means. *)
+let recover t =
+  Hashtbl.reset t.cache;
+  t.txn <- None;
+  t.lock_busy <- false;
+  Queue.clear t.lock_waiters;
+  journal_replay t
 
 (* ---------------- bitmap ---------------- *)
 
@@ -210,8 +428,11 @@ let alloc_inode t =
   in
   scan 1 (* inode 0 is the root directory *)
 
-(* Map a file block index to a disk block; optionally allocating. *)
-let bmap t (ino : inode) ~inum ~idx ~alloc =
+(* Map a file block index to a disk block; optionally allocating.
+   [on_alloc] observes every block newly allocated on this call (data,
+   and the indirect table itself), so the caller can unwind them if a
+   later step of the same operation fails. *)
+let bmap t (ino : inode) ~inum ~idx ~alloc ?(on_alloc = ignore) () =
   if idx < 0 || idx >= max_blocks_per_file then Error Too_big
   else if idx < n_direct then begin
     if ino.i_direct.(idx) <> 0 then Ok (Some ino.i_direct.(idx))
@@ -220,6 +441,7 @@ let bmap t (ino : inode) ~inum ~idx ~alloc =
       match alloc_block t with
       | Error e -> Error e
       | Ok blk ->
+          on_alloc blk;
           ino.i_direct.(idx) <- blk;
           write_inode t inum ino;
           Ok (Some blk)
@@ -235,6 +457,7 @@ let bmap t (ino : inode) ~inum ~idx ~alloc =
         match alloc_block t with
         | Error e -> Error e
         | Ok blk ->
+            on_alloc blk;
             set32 table (4 * slot) blk;
             write_block ~meta:true t iblk table;
             Ok (Some blk)
@@ -245,6 +468,7 @@ let bmap t (ino : inode) ~inum ~idx ~alloc =
       match alloc_block t with
       | Error e -> Error e
       | Ok iblk ->
+          on_alloc iblk;
           ino.i_indirect <- iblk;
           write_inode t inum ino;
           with_indirect iblk
@@ -267,7 +491,7 @@ let read_range t ~inum ~pos ~len =
             let abs = pos + off in
             let idx = abs / block_size and boff = abs mod block_size in
             let n = min (block_size - boff) (len - off) in
-            match bmap t ino ~inum ~idx ~alloc:false with
+            match bmap t ino ~inum ~idx ~alloc:false () with
             | Error e -> Error e
             | Ok None -> go (off + n) (* hole: zeros *)
             | Ok (Some blk) ->
@@ -287,6 +511,35 @@ let write_range t ~inum ~pos data =
     | Error e -> Error e
     | Ok ino when not ino.i_used -> Error Not_found
     | Ok ino ->
+        (* Snapshot the pointer state so a failure partway through (e.g.
+           [No_space] after some blocks were already allocated) can put
+           everything back instead of leaking bitmap bits. *)
+        let orig =
+          {
+            i_used = ino.i_used;
+            i_size = ino.i_size;
+            i_direct = Array.copy ino.i_direct;
+            i_indirect = ino.i_indirect;
+          }
+        in
+        let fresh = ref [] in
+        let on_alloc blk = fresh := blk :: !fresh in
+        let unwind () =
+          if !fresh <> [] then begin
+            List.iter (free_block t) !fresh;
+            if orig.i_indirect <> 0 then begin
+              (* The table itself predates this call; only scrub the
+                 entries that point at blocks we just freed. *)
+              let table = read_block ~meta:true t orig.i_indirect in
+              for i = 0 to ptrs_per_block - 1 do
+                if List.mem (get32 table (4 * i)) !fresh then
+                  set32 table (4 * i) 0
+              done;
+              write_block ~meta:true t orig.i_indirect table
+            end;
+            write_inode t inum orig
+          end
+        in
         let rec go off =
           if off >= len then begin
             if pos + len > ino.i_size then begin
@@ -299,9 +552,13 @@ let write_range t ~inum ~pos data =
             let abs = pos + off in
             let idx = abs / block_size and boff = abs mod block_size in
             let n = min (block_size - boff) (len - off) in
-            match bmap t ino ~inum ~idx ~alloc:true with
-            | Error e -> Error e
-            | Ok None -> Error No_space
+            match bmap t ino ~inum ~idx ~alloc:true ~on_alloc () with
+            | Error e ->
+                unwind ();
+                Error e
+            | Ok None ->
+                unwind ();
+                Error No_space
             | Ok (Some blk) ->
                 let cur =
                   if n = block_size then Bytes.make block_size '\000'
@@ -356,14 +613,36 @@ let find_entry t name =
 
 (* ---------------- public API ---------------- *)
 
-let format dsk ~ninodes =
+let make_t dsk geo =
+  {
+    dsk;
+    geo;
+    cache = Hashtbl.create 512;
+    cache_on = true;
+    hits = 0;
+    misses = 0;
+    jseq = 0;
+    txn = None;
+    lock_busy = false;
+    lock_waiters = Queue.create ();
+  }
+
+let format dsk ?(journal_blocks = 0) ~ninodes () =
   if Disk.block_size dsk <> block_size then
     invalid_arg "Fs.format: disk block size must be 512";
+  if journal_blocks < 0 then invalid_arg "Fs.format: negative journal size";
   let geo = compute_geometry ~nblocks:(Disk.blocks dsk) ~ninodes in
-  let t =
-    { dsk; geo; cache = Hashtbl.create 512; cache_on = true; hits = 0;
-      misses = 0 }
+  (* The journal lives at the tail of the disk, outside the data area. *)
+  let geo =
+    if journal_blocks = 0 then geo
+    else begin
+      let journal_start = geo.nblocks - journal_blocks in
+      if journal_start <= geo.data_start then
+        invalid_arg "Fs.format: journal leaves no data space";
+      { geo with journal_start; journal_blocks }
+    end
   in
+  let t = make_t dsk geo in
   (* Superblock. *)
   let sb = Bytes.make block_size '\000' in
   set32 sb 0 magic;
@@ -374,6 +653,8 @@ let format dsk ~ninodes =
   set32 sb 20 geo.inode_start;
   set32 sb 24 geo.inode_blocks;
   set32 sb 28 geo.data_start;
+  set32 sb 32 geo.journal_start;
+  set32 sb 36 geo.journal_blocks;
   write_block ~meta:true t 0 sb;
   (* Zero the bitmap and inode table, then mark metadata blocks used. *)
   let zero = Bytes.make block_size '\000' in
@@ -383,6 +664,14 @@ let format dsk ~ninodes =
   for b = 0 to geo.data_start - 1 do
     mark_used t b
   done;
+  (* The journal region is reserved in the bitmap so the allocator never
+     hands its blocks out; an empty head block marks it retired. *)
+  if geo.journal_blocks > 0 then begin
+    for b = geo.journal_start to geo.nblocks - 1 do
+      mark_used t b
+    done;
+    Disk.write t.dsk geo.journal_start zero
+  end;
   (* Root directory: inode 0, empty. *)
   let root =
     { i_used = true; i_size = 0; i_direct = Array.make n_direct 0;
@@ -393,16 +682,7 @@ let format dsk ~ninodes =
 let mount dsk =
   if Disk.block_size dsk <> block_size then Error Bad_argument
   else begin
-    let t0 =
-      {
-        dsk;
-        geo = compute_geometry ~nblocks:(Disk.blocks dsk) ~ninodes:1;
-        cache = Hashtbl.create 512;
-        cache_on = true;
-        hits = 0;
-        misses = 0;
-      }
-    in
+    let t0 = make_t dsk (compute_geometry ~nblocks:(Disk.blocks dsk) ~ninodes:1) in
     let sb = read_block ~meta:true t0 0 in
     if get32 sb 0 <> magic then Error Not_formatted
     else begin
@@ -415,13 +695,18 @@ let mount dsk =
           inode_start = get32 sb 20;
           inode_blocks = get32 sb 24;
           data_start = get32 sb 28;
+          (* 0/0 on images formatted before the journal existed. *)
+          journal_start = get32 sb 32;
+          journal_blocks = get32 sb 36;
         }
       in
-      Ok { t0 with geo }
+      let t = { t0 with geo } in
+      journal_replay t;
+      Ok t
     end
   end
 
-let create t name =
+let create_op t name =
   if String.length name = 0 then Error Bad_argument
   else if String.length name > max_name then Error Name_too_long
   else if find_entry t name <> None then Error Already_exists
@@ -443,7 +728,16 @@ let create t name =
             in
             let slot = find_free 0 in
             (match write_dirent t slot ~name ~inum with
-            | Error e -> Error e
+            | Error e ->
+                (* No dirent references the new inode: free it rather
+                   than leak a table slot. *)
+                (match read_inode t inum with
+                | Ok ino ->
+                    ino.i_used <- false;
+                    ino.i_size <- 0;
+                    write_inode t inum ino
+                | Error _ -> ());
+                Error e
             | Ok () -> Ok inum))
 
 let lookup t name =
@@ -460,7 +754,7 @@ let free_file_blocks t (ino : inode) =
     free_block t ino.i_indirect
   end
 
-let unlink t name =
+let unlink_op t name =
   match find_entry t name with
   | None -> Error Not_found
   | Some (slot, inum) -> (
@@ -481,8 +775,18 @@ let size t ~inum =
   | Ok ino when not ino.i_used -> Error Not_found
   | Ok ino -> Ok ino.i_size
 
-let read t ~inum ~pos ~len = read_range t ~inum ~pos ~len
-let write t ~inum ~pos data = write_range t ~inum ~pos data
+(* Public mutating operations: on a journaled filesystem each runs as
+   one serialized transaction (all-or-nothing on disk); otherwise these
+   are exactly the bare operations.  Reads take the lock too so they
+   never observe a half-checkpointed commit. *)
+let create t name = with_lock t (fun () -> with_txn t (fun () -> create_op t name))
+let unlink t name = with_lock t (fun () -> with_txn t (fun () -> unlink_op t name))
+
+let read t ~inum ~pos ~len =
+  with_lock t (fun () -> read_range t ~inum ~pos ~len)
+
+let write t ~inum ~pos data =
+  with_lock t (fun () -> with_txn t (fun () -> write_range t ~inum ~pos data))
 
 let list t =
   match read_inode t root_inum with
@@ -497,3 +801,92 @@ let list t =
           | Some (name, inum) -> go (i + 1) ((name, inum) :: acc)
       in
       go 0 []
+
+(* ---------------- consistency check (fsck) ---------------- *)
+
+let check t =
+  with_lock t (fun () ->
+      let geo = t.geo in
+      let issues = ref [] in
+      let problem fmt = Printf.ksprintf (fun s -> issues := s :: !issues) fmt in
+      (* The bitmap, decoded. *)
+      let used = Array.make geo.nblocks false in
+      for bi = 0 to geo.bitmap_blocks - 1 do
+        let bytes = read_block ~meta:true t (geo.bitmap_start + bi) in
+        for i = 0 to block_size - 1 do
+          let v = Char.code (Bytes.get bytes i) in
+          if v <> 0 then
+            for bit = 0 to 7 do
+              let blk = (((bi * block_size) + i) * 8) + bit in
+              if blk < geo.nblocks && v land (1 lsl bit) <> 0 then
+                used.(blk) <- true
+            done
+        done
+      done;
+      (* Who owns each block: -2 nobody, -1 the system (metadata,
+         journal), otherwise the owning inode. *)
+      let owner = Array.make geo.nblocks (-2) in
+      for b = 0 to geo.data_start - 1 do
+        owner.(b) <- -1
+      done;
+      if geo.journal_blocks > 0 then
+        for b = geo.journal_start to geo.nblocks - 1 do
+          owner.(b) <- -1
+        done;
+      let claim inum what blk =
+        if blk < 0 || blk >= geo.nblocks then
+          problem "inode %d: %s points outside the disk (block %d)" inum what
+            blk
+        else if owner.(blk) = -1 then
+          problem "inode %d: %s claims reserved block %d" inum what blk
+        else if owner.(blk) >= 0 then
+          problem "block %d claimed by both inode %d and inode %d" blk
+            owner.(blk) inum
+        else owner.(blk) <- inum
+      in
+      for inum = 0 to geo.ninodes - 1 do
+        match read_inode t inum with
+        | Error _ -> problem "inode %d: unreadable" inum
+        | Ok ino when not ino.i_used -> ()
+        | Ok ino ->
+            if ino.i_size < 0 || ino.i_size > max_file_size then
+              problem "inode %d: impossible size %d" inum ino.i_size;
+            Array.iter
+              (fun blk -> if blk <> 0 then claim inum "direct pointer" blk)
+              ino.i_direct;
+            if ino.i_indirect <> 0 then begin
+              claim inum "indirect table" ino.i_indirect;
+              if ino.i_indirect > 0 && ino.i_indirect < geo.nblocks then begin
+                let table = read_block ~meta:true t ino.i_indirect in
+                for i = 0 to ptrs_per_block - 1 do
+                  let ptr = get32 table (4 * i) in
+                  if ptr <> 0 then claim inum "indirect pointer" ptr
+                done
+              end
+            end
+      done;
+      (* Bitmap vs ownership. *)
+      for b = 0 to geo.nblocks - 1 do
+        if owner.(b) = -1 then begin
+          if not used.(b) then
+            problem "reserved block %d marked free in the bitmap" b
+        end
+        else if owner.(b) >= 0 then begin
+          if not used.(b) then
+            problem "block %d in use by inode %d but marked free" b owner.(b)
+        end
+        else if used.(b) then
+          problem "block %d marked used but referenced by no inode (leak)" b
+      done;
+      (* Directory entries must point at live inodes. *)
+      List.iter
+        (fun (name, inum) ->
+          if inum < 0 || inum >= geo.ninodes then
+            problem "dirent %S points outside the inode table (%d)" name inum
+          else
+            match read_inode t inum with
+            | Ok ino when ino.i_used -> ()
+            | Ok _ -> problem "dirent %S points to free inode %d" name inum
+            | Error _ -> problem "dirent %S: inode %d unreadable" name inum)
+        (list t);
+      List.rev !issues)

@@ -39,12 +39,32 @@ val block_size : int
 
 val max_file_size : int
 
-val format : Disk.t -> ninodes:int -> unit
-(** Initialize an empty filesystem on the disk. *)
+val format : Disk.t -> ?journal_blocks:int -> ninodes:int -> unit -> unit
+(** Initialize an empty filesystem on the disk.  [journal_blocks > 0]
+    reserves that many blocks at the tail of the disk for a write-ahead
+    journal: every mutating operation then becomes an atomic, serialized
+    transaction (see {!recover}).  Default [0]: no journal, identical
+    on-disk layout and behaviour to earlier versions. *)
 
 val mount : Disk.t -> (t, error) result
+(** Mount, replaying any committed journal transaction first. *)
 
 val disk : t -> Disk.t
+
+val journaled : t -> bool
+
+val recover : t -> unit
+(** Crash recovery on a filesystem handle whose host just restarted:
+    drops all volatile state (block cache, open transaction, lock) and
+    replays the journal — a committed-but-not-checkpointed transaction
+    is applied (idempotently), an uncommitted one is discarded.  Must be
+    called from a fiber; blocks for the disk I/O it incurs. *)
+
+val check : t -> string list
+(** Offline-style consistency check ("fsck"): bitmap vs reachable
+    blocks, double claims, reserved-region integrity, directory entries
+    vs inode table.  Returns human-readable problems; [[]] means
+    consistent. *)
 
 (** {1 Files} *)
 

@@ -504,7 +504,35 @@ let dispatcher_body t pid () =
   in
   loop ()
 
-let start kernel fs ?(config = default_config) () =
+(* Process bodies are deferred fibers (Engine.after 0), so every field
+   assigned below is visible before any body runs. *)
+let spawn_team t =
+  let kernel = t.kernel in
+  if t.cfg.workers <= 1 then begin
+    let pid =
+      K.spawn kernel ~name:"file-server" ~mem_size:(256 * 1024) (fun pid ->
+          let mem = K.memory kernel pid in
+          server_body t mem pid ())
+    in
+    t.spid <- pid
+  end
+  else begin
+    let pid =
+      K.spawn kernel ~name:"file-server" ~mem_size:4096 (fun pid ->
+          dispatcher_body t pid ())
+    in
+    t.spid <- pid;
+    t.worker_pids <-
+      List.init t.cfg.workers (fun i ->
+          K.spawn kernel
+            ~name:(Printf.sprintf "fs-worker-%d" i)
+            ~mem_size:(256 * 1024)
+            (fun pid ->
+              let mem = K.memory kernel pid in
+              worker_body t mem pid ()))
+  end
+
+let start kernel fs ?(config = default_config) ?(restartable = false) () =
   let t =
     {
       kernel;
@@ -524,30 +552,20 @@ let start kernel fs ?(config = default_config) () =
       n_reclaimed = 0;
     }
   in
-  (* Process bodies are deferred fibers (Engine.after 0), so every
-     field assigned below is visible before any body runs. *)
-  if config.workers <= 1 then begin
-    let pid =
-      K.spawn kernel ~name:"file-server" ~mem_size:(256 * 1024) (fun pid ->
-          let mem = K.memory kernel pid in
-          server_body t mem pid ())
-    in
-    t.spid <- pid;
-    t
-  end
-  else begin
-    let pid =
-      K.spawn kernel ~name:"file-server" ~mem_size:4096 (fun pid ->
-          dispatcher_body t pid ())
-    in
-    t.spid <- pid;
-    t.worker_pids <-
-      List.init config.workers (fun i ->
-          K.spawn kernel
-            ~name:(Printf.sprintf "fs-worker-%d" i)
-            ~mem_size:(256 * 1024)
-            (fun pid ->
-              let mem = K.memory kernel pid in
-              worker_body t mem pid ()));
-    t
-  end
+  if restartable then
+    K.on_restart kernel (fun () ->
+        (* The handle table, version map and process team were volatile
+           state of the crashed host; the disk is what survived.  Run
+           filesystem recovery first, then bring the team back up — the
+           server answers no requests until the journal has been
+           replayed. *)
+        Array.fill t.handles 0 (Array.length t.handles) None;
+        Hashtbl.reset t.versions;
+        t.worker_pids <- [];
+        t.spid <- Vkernel.Pid.nil;
+        ignore
+          (K.spawn kernel ~name:"fs-recover" ~mem_size:4096 (fun _ ->
+               Fs.recover t.fs;
+               spawn_team t)));
+  spawn_team t;
+  t

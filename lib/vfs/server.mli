@@ -48,9 +48,14 @@ val default_config : config
 
 type t
 
-val start : Vkernel.Kernel.t -> Fs.t -> ?config:config -> unit -> t
+val start :
+  Vkernel.Kernel.t -> Fs.t -> ?config:config -> ?restartable:bool -> unit -> t
 (** Spawn the server process on the kernel's host and return immediately;
-    the server registers itself and serves forever. *)
+    the server registers itself and serves forever.  With [restartable]
+    (default false) the server registers a {!Vkernel.Kernel.on_restart}
+    hook: after a host crash + restart it runs {!Fs.recover} and then
+    re-spawns its process team with a fresh handle table — open handles
+    and version state die with the host, disk contents survive. *)
 
 val pid : t -> Vkernel.Pid.t
 (** The pid clients Send to: the server process itself in single-worker

@@ -48,14 +48,14 @@ let pattern_bytes ~pos ~len =
   Bytes.init len (fun i -> pattern_byte (pos + i))
 
 let make_test_fs t ?(host = 1) ?(latency = Vfs.Disk.Fixed 0) ?(blocks = 16384)
-    ~files () =
+    ?(journal_blocks = 0) ~files () =
   let disk =
     Vfs.Disk.create t.eng ~host ~latency:(Vfs.Disk.Fixed 0) ~blocks
       ~block_size:Vfs.Fs.block_size ()
   in
   let fs_box = ref None in
   run_proc t ~name:"mkfs" (fun () ->
-      Vfs.Fs.format disk ~ninodes:256;
+      Vfs.Fs.format disk ~journal_blocks ~ninodes:256 ();
       let fs =
         match Vfs.Fs.mount disk with
         | Ok fs -> fs

@@ -47,6 +47,7 @@ val make_test_fs :
   ?host:int ->
   ?latency:Vfs.Disk.latency ->
   ?blocks:int ->
+  ?journal_blocks:int ->
   files:(string * int) list ->
   unit ->
   Vfs.Fs.t
@@ -54,4 +55,6 @@ val make_test_fs :
     in bytes, contents from {!pattern_byte}).  Runs its own setup fiber to
     completion; the disk has zero latency during population, then the
     requested latency.  [host] (default 1) attributes the disk's [Disk_io]
-    trace events to the server's station address. *)
+    trace events to the server's station address.  [journal_blocks]
+    (default 0, unjournaled) reserves a write-ahead journal so crash
+    tests get atomic, replayable mutations — see {!Vfs.Fs.format}. *)

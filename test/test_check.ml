@@ -37,10 +37,10 @@ let test_schedule_round_trip () =
   let s =
     Schedule.
       [
-        { frame = 3; action = Fault.Drop };
-        { frame = 7; action = Fault.Duplicate };
-        { frame = 9; action = Fault.Delay (Vsim.Time.ms 15) };
-        { frame = 12; action = Fault.Reorder };
+        { frame = 3; action = Net Fault.Drop };
+        { frame = 7; action = Net Fault.Duplicate };
+        { frame = 9; action = Net (Fault.Delay (Vsim.Time.ms 15)) };
+        { frame = 12; action = Net Fault.Reorder };
       ]
   in
   match Schedule.of_string (Schedule.to_string s) with
@@ -48,7 +48,13 @@ let test_schedule_round_trip () =
   | Ok s' -> Alcotest.check schedule "round trip" s s'
 
 let test_schedule_parse_errors () =
-  let bad = [ "drop3"; "drop@0"; "explode@4"; "delay@2"; "delay@2+0us" ] in
+  let bad =
+    [
+      "drop3"; "drop@0"; "explode@4"; "delay@2"; "delay@2+0us"; "crash@0";
+      "crash@"; "crash@x"; "restart@2"; "restart@2+0us"; "restart@2+xus";
+      "restart@0+50000us";
+    ]
+  in
   List.iter
     (fun str ->
       match Schedule.of_string str with
@@ -56,10 +62,53 @@ let test_schedule_parse_errors () =
       | Error _ -> ())
     bad
 
+let test_crash_schedule_round_trip () =
+  let s =
+    Schedule.
+      [
+        { frame = 2; action = Net Fault.Drop };
+        { frame = 4; action = Crash };
+        { frame = 9; action = Restart (Vsim.Time.ms 50) };
+      ]
+  in
+  Alcotest.(check string) "printed form" "drop@2 crash@4 restart@9+50000us"
+    (Schedule.to_string s);
+  match Schedule.of_string (Schedule.to_string s) with
+  | Error e -> Alcotest.fail e
+  | Ok s' -> Alcotest.check schedule "round trip" s s'
+
+let test_crash_enumeration_shape () =
+  let actions = Fault.[ Drop; Duplicate ] in
+  let all =
+    Schedule.enumerate_crash ~depth:2 ~frames:4 ~actions () |> List.of_seq
+  in
+  (* 4 crash points, then 4 x 3 other frames x 2 actions pairs. *)
+  Alcotest.(check int) "count" (4 + (4 * 3 * 2)) (List.length all);
+  let keys = List.map Schedule.to_string all in
+  Alcotest.(check int) "duplicate-free"
+    (List.length keys)
+    (List.length (List.sort_uniq compare keys));
+  List.iter
+    (fun s ->
+      Alcotest.(check int) "exactly one crash entry" 1
+        (List.length
+           (List.filter
+              (fun e ->
+                match e.Schedule.action with
+                | Schedule.Restart _ | Schedule.Crash -> true
+                | Schedule.Net _ -> false)
+              s));
+      match s with
+      | [ a; b ] ->
+          Alcotest.(check bool) "pairs strictly increasing" true
+            (a.Schedule.frame < b.Schedule.frame)
+      | _ -> ())
+    all
+
 let test_repro_file_round_trip () =
   let s =
     Schedule.
-      [ { frame = 13; action = Fault.Drop }; { frame = 21; action = Fault.Drop } ]
+      [ { frame = 13; action = Net Fault.Drop }; { frame = 21; action = Net Fault.Drop } ]
   in
   let vs = [ { Checker.invariant = "op-result"; detail = "move-from failed" } ] in
   match Schedule.of_string (Checker.repro_file_contents s vs) with
@@ -90,7 +139,7 @@ let test_shrinker_minimizes () =
      drop@5 and dup@9.  The shrinker must strip the two bystanders. *)
   let culprits =
     Schedule.
-      [ { frame = 5; action = Fault.Drop }; { frame = 9; action = Fault.Duplicate } ]
+      [ { frame = 5; action = Net Fault.Drop }; { frame = 9; action = Net Fault.Duplicate } ]
   in
   let runs = ref 0 in
   let run s =
@@ -102,10 +151,10 @@ let test_shrinker_minimizes () =
   let noisy =
     Schedule.
       [
-        { frame = 2; action = Fault.Reorder };
-        { frame = 5; action = Fault.Drop };
-        { frame = 7; action = Fault.Delay 1000 };
-        { frame = 9; action = Fault.Duplicate };
+        { frame = 2; action = Net Fault.Reorder };
+        { frame = 5; action = Net Fault.Drop };
+        { frame = 7; action = Net (Fault.Delay 1000) };
+        { frame = 9; action = Net Fault.Duplicate };
       ]
   in
   Alcotest.check schedule "minimal reproducer" culprits
@@ -134,6 +183,10 @@ let suite =
     Alcotest.test_case "schedule round trip" `Quick test_schedule_round_trip;
     Alcotest.test_case "schedule parse errors" `Quick
       test_schedule_parse_errors;
+    Alcotest.test_case "crash schedule round trip" `Quick
+      test_crash_schedule_round_trip;
+    Alcotest.test_case "crash enumeration shape" `Quick
+      test_crash_enumeration_shape;
     Alcotest.test_case "repro file round trip" `Quick
       test_repro_file_round_trip;
     Alcotest.test_case "enumeration shape" `Quick test_enumeration_shape;

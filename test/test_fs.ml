@@ -9,7 +9,7 @@ let with_fs ?(blocks = 2048) f =
   let result = ref None in
   let (_ : Vsim.Proc.t) =
     Vsim.Proc.spawn eng (fun () ->
-        Vfs.Fs.format disk ~ninodes:64;
+        Vfs.Fs.format disk ~ninodes:64 ();
         match Vfs.Fs.mount disk with
         | Error e -> Alcotest.failf "mount: %s" (Vfs.Fs.error_to_string e)
         | Ok fs -> result := Some (f fs))
@@ -119,7 +119,7 @@ let test_remount () =
   let ok = ref false in
   let (_ : Vsim.Proc.t) =
     Vsim.Proc.spawn eng (fun () ->
-        Vfs.Fs.format disk ~ninodes:16;
+        Vfs.Fs.format disk ~ninodes:16 ();
         let fs = get (Vfs.Fs.mount disk) in
         let inum = get (Vfs.Fs.create fs "persist") in
         get (Vfs.Fs.write fs ~inum ~pos:0 (Bytes.of_string "durable"));

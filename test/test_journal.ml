@@ -1,0 +1,181 @@
+(* The write-ahead journal: crash-at-every-record-boundary recovery,
+   replay idempotence, and allocation unwind when an operation fails
+   midway. *)
+
+let bs = Vfs.Fs.block_size
+
+let get = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "fs error: %s" (Vfs.Fs.error_to_string e)
+
+let blocks = 256
+let jblocks = 32
+let file_blocks = 4
+let old_image = Bytes.init (file_blocks * bs) Vworkload.Testbed.pattern_byte
+
+let new_image =
+  Bytes.init (file_blocks * bs) (fun i ->
+      Vworkload.Testbed.pattern_byte (9000 + i))
+
+(* One instrumented run: build a journaled fs holding "data" = old_image,
+   then overwrite the whole file in a single (journaled, hence single-
+   transaction) write, capturing a media snapshot after every completed
+   disk write.  Snapshot [k] is exactly what a host crash between disk
+   writes [k] and [k+1] leaves on the platter — every journal-record
+   boundary (descriptor, after-image, commit, checkpoint, retire) shows
+   up as one snapshot. *)
+let boundary_snapshots () =
+  let eng = Vsim.Engine.create () in
+  let disk =
+    Vfs.Disk.create eng ~latency:(Vfs.Disk.Fixed 0) ~blocks ~block_size:bs ()
+  in
+  let snaps = ref [] in
+  let (_ : Vsim.Proc.t) =
+    Vsim.Proc.spawn eng (fun () ->
+        Vfs.Fs.format disk ~journal_blocks:jblocks ~ninodes:16 ();
+        let fs = get (Vfs.Fs.mount disk) in
+        let inum = get (Vfs.Fs.create fs "data") in
+        get (Vfs.Fs.write fs ~inum ~pos:0 old_image);
+        (* Separate the op's disk writes in time so the monitor below
+           can snapshot at every single completion. *)
+        Vfs.Disk.set_latency disk (Vfs.Disk.Fixed 1000);
+        let base = Vfs.Disk.writes disk in
+        let op_done = ref false in
+        snaps := [ Vfs.Disk.snapshot disk ];
+        let (_ : Vsim.Proc.t) =
+          Vsim.Proc.spawn eng ~name:"boundary-monitor" (fun () ->
+              let seen = ref 0 in
+              while not !op_done do
+                Vsim.Proc.sleep 100;
+                let w = Vfs.Disk.writes disk - base in
+                if w > !seen then begin
+                  (* 1 us per write vs 100 ns polls: no boundary can
+                     slip past unobserved. *)
+                  Alcotest.(check int) "one boundary per poll" (!seen + 1) w;
+                  seen := w;
+                  snaps := Vfs.Disk.snapshot disk :: !snaps
+                end
+              done)
+        in
+        get (Vfs.Fs.write fs ~inum ~pos:0 new_image);
+        op_done := true)
+  in
+  Vsim.Engine.run eng;
+  List.rev !snaps
+
+(* Mount a fresh disk restored from [snap] and hand (fs, file content)
+   to [f]; mounting runs journal replay. *)
+let with_recovered snap f =
+  let eng = Vsim.Engine.create () in
+  let disk =
+    Vfs.Disk.create eng ~latency:(Vfs.Disk.Fixed 0) ~blocks ~block_size:bs ()
+  in
+  Vfs.Disk.restore disk snap;
+  let ran = ref false in
+  let (_ : Vsim.Proc.t) =
+    Vsim.Proc.spawn eng (fun () ->
+        let fs = get (Vfs.Fs.mount disk) in
+        let inum =
+          match Vfs.Fs.lookup fs "data" with
+          | Some i -> i
+          | None -> Alcotest.fail "file vanished after recovery"
+        in
+        let content =
+          get (Vfs.Fs.read fs ~inum ~pos:0 ~len:(file_blocks * bs))
+        in
+        f fs content;
+        ran := true)
+  in
+  Vsim.Engine.run eng;
+  Alcotest.(check bool) "recovery check ran" true !ran
+
+let test_crash_every_boundary () =
+  let snaps = boundary_snapshots () in
+  (* A 4-block overwrite journals at least: descriptor + images + commit
+     + checkpoints + retire. *)
+  Alcotest.(check bool) "enough boundaries covered" true
+    (List.length snaps >= 8);
+  List.iteri
+    (fun k snap ->
+      with_recovered snap (fun fs content ->
+          Alcotest.(check (list string))
+            (Printf.sprintf "fsck clean at boundary %d" k)
+            [] (Vfs.Fs.check fs);
+          let all_old = Bytes.equal content old_image in
+          let all_new = Bytes.equal content new_image in
+          if not (all_old || all_new) then
+            Alcotest.failf "boundary %d: torn file after recovery" k))
+    snaps;
+  (* The last boundary is after the final disk write: the transaction
+     committed and checkpointed, so recovery must surface the new
+     image. *)
+  with_recovered
+    (List.nth snaps (List.length snaps - 1))
+    (fun _ content ->
+      Alcotest.(check bool) "completed write survives" true
+        (Bytes.equal content new_image))
+
+let test_replay_idempotent () =
+  let snaps = boundary_snapshots () in
+  List.iteri
+    (fun k snap ->
+      with_recovered snap (fun fs content1 ->
+          (* Replay again on the already-recovered image: the journal
+             was retired, so nothing may change. *)
+          Vfs.Fs.recover fs;
+          let inum = Option.get (Vfs.Fs.lookup fs "data") in
+          let content2 =
+            get (Vfs.Fs.read fs ~inum ~pos:0 ~len:(file_blocks * bs))
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "twice = once at boundary %d" k)
+            true
+            (Bytes.equal content1 content2);
+          Alcotest.(check (list string)) "still consistent" []
+            (Vfs.Fs.check fs)))
+    snaps
+
+(* Regression: a write that fails midway (No_space after some blocks
+   were already allocated) must unwind its allocations — bitmap, inode
+   and indirect table — instead of leaking them.  Covers both the
+   explicit unwind (unjournaled) and transaction abort (journaled). *)
+let no_space_unwind journal_blocks () =
+  let eng = Vsim.Engine.create () in
+  let disk =
+    Vfs.Disk.create eng ~latency:(Vfs.Disk.Fixed 0) ~blocks:64 ~block_size:bs
+      ()
+  in
+  let ran = ref false in
+  let (_ : Vsim.Proc.t) =
+    Vsim.Proc.spawn eng (fun () ->
+        Vfs.Fs.format disk ~journal_blocks ~ninodes:16 ();
+        let fs = get (Vfs.Fs.mount disk) in
+        let keep = get (Vfs.Fs.create fs "keep") in
+        get (Vfs.Fs.write fs ~inum:keep ~pos:0 (Bytes.make bs 'k'));
+        let b = get (Vfs.Fs.create fs "b") in
+        (match Vfs.Fs.write fs ~inum:b ~pos:0 (Bytes.make 40000 'x') with
+        | Error Vfs.Fs.No_space -> ()
+        | Ok () -> Alcotest.fail "oversized write accepted"
+        | Error e ->
+            Alcotest.failf "wrong error: %s" (Vfs.Fs.error_to_string e));
+        Alcotest.(check (list string)) "no leaked allocations" []
+          (Vfs.Fs.check fs);
+        Alcotest.(check int) "failed write left no bytes" 0
+          (get (Vfs.Fs.size fs ~inum:b));
+        (* The space really is reusable: a fitting write must succeed. *)
+        get (Vfs.Fs.write fs ~inum:b ~pos:0 (Bytes.make (8 * bs) 'y'));
+        ran := true)
+  in
+  Vsim.Engine.run eng;
+  Alcotest.(check bool) "unwind check ran" true !ran
+
+let suite =
+  [
+    Alcotest.test_case "crash at every journal boundary" `Quick
+      test_crash_every_boundary;
+    Alcotest.test_case "replay idempotent" `Quick test_replay_idempotent;
+    Alcotest.test_case "no-space unwind (unjournaled)" `Quick
+      (no_space_unwind 0);
+    Alcotest.test_case "no-space unwind (journaled)" `Quick
+      (no_space_unwind 16);
+  ]

@@ -27,4 +27,6 @@ let () =
       ("obs", Test_obs.suite);
       ("catalog", Test_catalog.suite);
       ("check", Test_check.suite);
+      ("journal", Test_journal.suite);
+      ("crash", Test_crash.suite);
     ]
