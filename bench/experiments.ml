@@ -1334,6 +1334,111 @@ let journal_overhead () =
     raw journaled amp
 
 (* ------------------------------------------------------------------ *)
+(* Lease coherence: server traffic per open-read-close cycle           *)
+
+let lease_coherence () =
+  Report.section
+    "Lease/callback coherence: server requests per open-read-close cycle \
+     of a warm cached file, leases off (open-close revalidation) vs on \
+     (doc/LEASES.md)";
+  let bs = Vfs.Fs.block_size in
+  let file_blocks = 4 in
+  let cycles = 8 in
+  (* One client re-running open / read-everything / close against a warm
+     write-through cache.  Without leases every cycle pays the open
+     (revalidation point) and close RPCs even though the data hasn't
+     moved; with leases the close parks the handle under the live lease
+     and the reopen touches the server zero times.  The server's own
+     request counter is the witness. *)
+  let run_mode ~lease =
+    let tb = TB.create ~hosts:2 () in
+    let eng = tb.TB.eng in
+    let fs =
+      TB.make_test_fs tb ~host:2 ~files:[ ("bench", file_blocks * bs) ] ()
+    in
+    let server = Vfs.Server.start (kernel_of tb 2) fs () in
+    let warm = ref 0 and reopen_min = ref max_int and reopen_max = ref 0 in
+    let lease_valid_on_reopen = ref true in
+    let k1 = kernel_of tb 1 in
+    let (_ : Vkernel.Pid.t) =
+      K.spawn k1 ~name:"bench-client" (fun _ ->
+          let cache =
+            Vfs.Cache.create eng ~host:(K.host k1)
+              { Vfs.Cache.capacity_blocks = file_blocks * 2;
+                policy = Vfs.Cache.Write_through }
+          in
+          let conn = Result.get_ok (Vfs.Client.connect k1 ()) in
+          let io = Vfs.Client.Io.make ~cache ~lease conn in
+          let ok = function
+            | Ok v -> v
+            | Error e ->
+                failwith
+                  ("lease_coherence: " ^ Vfs.Client.error_to_string e)
+          in
+          let cycle () =
+            let f = ok (Vfs.Client.Io.open_file io "bench") in
+            for b = 0 to file_blocks - 1 do
+              ignore (ok (Vfs.Client.Io.read f ~off:(b * bs) ~len:bs))
+            done;
+            f
+          in
+          (* Cold cycle: populates the cache (and takes the lease). *)
+          let f = cycle () in
+          if lease then
+            lease_valid_on_reopen :=
+              !lease_valid_on_reopen && Vfs.Client.Io.file_lease_valid f;
+          ok (Vfs.Client.Io.close f);
+          let before = Vfs.Server.requests_served server in
+          for _ = 1 to cycles do
+            let from = Vfs.Server.requests_served server in
+            let f = cycle () in
+            let cost = Vfs.Server.requests_served server - from in
+            reopen_min := min !reopen_min cost;
+            reopen_max := max !reopen_max cost;
+            if lease then
+              lease_valid_on_reopen :=
+                !lease_valid_on_reopen && Vfs.Client.Io.file_lease_valid f;
+            ok (Vfs.Client.Io.close f)
+          done;
+          warm := Vfs.Server.requests_served server - before)
+    in
+    Vsim.Engine.run eng;
+    (!warm, !reopen_min, !reopen_max, !lease_valid_on_reopen)
+  in
+  let off_total, _, _, _ = run_mode ~lease:false in
+  let on_total, on_min, on_max, on_lease_held = run_mode ~lease:true in
+  let per_cycle total = float_of_int total /. float_of_int cycles in
+  List.iter
+    (fun (mode, total) ->
+      record ~bench:"lease_coherence"
+        ~params:[ ps "mode" mode; pi "cycles" cycles;
+                  pi "file_blocks" file_blocks ]
+        [
+          ("server_requests", m_count total);
+          ("requests_per_open", Cat.metric ~units:"count" (per_cycle total));
+        ])
+    [ ("lease_off", off_total); ("lease_on", on_total) ];
+  Report.table
+    ~header:[ "mode"; "server requests"; "requests/open-close cycle" ]
+    [
+      [ "leases off"; string_of_int off_total;
+        Printf.sprintf "%.1f" (per_cycle off_total) ];
+      [ "leases on"; string_of_int on_total;
+        Printf.sprintf "%.1f" (per_cycle on_total) ];
+    ];
+  Report.note
+    "With a live lease the close parks the server handle and the reopen \
+     revalidates nothing: the whole warm cycle is local.";
+  (* The acceptance bar: every reopen under a valid lease costs zero
+     server requests, and the lease actually stood for all cycles. *)
+  assert on_lease_held;
+  assert (on_min = 0 && on_max = 0);
+  assert (off_total > 0);
+  Format.printf
+    "{\"experiment\":\"lease_coherence\",\"rows\":[{\"cycles\":%d,\"lease_off_requests\":%d,\"lease_on_requests\":%d,\"lease_on_reopen_rpcs_max\":%d}]}@."
+    cycles off_total on_total on_max
+
+(* ------------------------------------------------------------------ *)
 (* Engine profiler: where do the simulation's events go?               *)
 
 let profile () =

@@ -40,6 +40,7 @@ let experiments =
     ("server_scaling", Experiments.server_scaling);
     ("check_sweep", Experiments.check_sweep);
     ("journal_overhead", Experiments.journal_overhead);
+    ("lease_coherence", Experiments.lease_coherence);
     ("profile", Experiments.profile);
   ]
 

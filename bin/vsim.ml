@@ -384,13 +384,25 @@ let check_cmd =
                    workload.  Replays of schedules containing crash/restart \
                    entries select this workload automatically.")
   in
+  let shared =
+    Arg.(value & flag
+         & info [ "shared" ]
+             ~doc:"Sweep the two-client shared-file coherence workload \
+                   instead: both clients cache through the lease/callback \
+                   protocol of doc/LEASES.md, and every read must observe \
+                   the latest acknowledged write (no stale reads), with \
+                   reopen-under-lease costing zero server requests.  \
+                   Composes with --crash to script file-server crash + \
+                   restart points instead of network faults, and with \
+                   --repro to replay a schedule against this workload.")
+  in
   let print_violations vs =
     List.iter
       (fun v ->
         Format.printf "  violation -- %a@." Vcheck.Checker.pp_violation v)
       vs
   in
-  let run spec depth limit repro emit json crash =
+  let run spec depth limit repro emit json crash shared =
     Spec.with_obs spec @@ fun () ->
     let seed = spec.Spec.seed in
     match repro with
@@ -411,7 +423,16 @@ let check_cmd =
             in
             Format.printf "replaying schedule: %a@." Vcheck.Schedule.pp s;
             let vs =
-              if crash || has_crash then begin
+              if shared then begin
+                let report =
+                  Vcheck.Shared_workload.run
+                    ~fault:(Vcheck.Schedule.to_fault s) ?seed ()
+                in
+                Format.printf "@[<v>%a@]@." Vcheck.Checker.pp_shared_report
+                  report;
+                Vcheck.Checker.shared_violations_of report
+              end
+              else if crash || has_crash then begin
                 let report =
                   Vcheck.Crash_workload.run
                     ~fault:(Vcheck.Schedule.to_fault s) ?seed ()
@@ -436,7 +457,10 @@ let check_cmd =
                 exit 1))
     | None -> (
         let result =
-          if crash then
+          if shared then
+            Vcheck.Checker.sweep_shared ~crash ~depth ~limit ?seed
+              ~domains:spec.Spec.domains ()
+          else if crash then
             Vcheck.Checker.sweep_crash ~depth ~limit ?seed
               ~domains:spec.Spec.domains ()
           else
@@ -454,7 +478,8 @@ let check_cmd =
         | Ok r -> (
             Format.printf "baseline workload: %d frames, %d operations@."
               r.Vcheck.Checker.baseline_frames
-              (if crash then Vcheck.Crash_workload.op_count
+              (if shared then Vcheck.Shared_workload.op_count
+               else if crash then Vcheck.Crash_workload.op_count
                else Vcheck.Workload.op_count);
             match r.Vcheck.Checker.failure with
             | None ->
@@ -462,7 +487,11 @@ let check_cmd =
                   "explored %d %s schedules (depth <= %d): no invariant \
                    violations@."
                   r.Vcheck.Checker.schedules_run
-                  (if crash then "crash" else "fault")
+                  (match (shared, crash) with
+                  | true, true -> "shared-coherence crash"
+                  | true, false -> "shared-coherence fault"
+                  | false, true -> "crash"
+                  | false, false -> "fault")
                   depth
             | Some f ->
                 Format.printf "violation at schedule %d of the sweep@."
@@ -487,7 +516,8 @@ let check_cmd =
              restart points) over a scripted IPC workload, checking the \
              paper's protocol invariants after every run; violations are \
              shrunk to a minimal replayable schedule")
-    Term.(const run $ Spec.term $ depth $ limit $ repro $ emit $ json $ crash)
+    Term.(const run $ Spec.term $ depth $ limit $ repro $ emit $ json $ crash
+          $ shared)
 
 (* --- run: assemble a program and execute it on a diskless ws --------- *)
 

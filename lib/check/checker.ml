@@ -112,12 +112,56 @@ let crash_violations_of (r : Crash_workload.report) =
     r.Crash_workload.medium;
   List.rev !vs
 
+(* Judge one shared-file coherence run.  The invariant this workload
+   exists for is {e no-stale-read}: every read in the script must
+   observe the latest acknowledged write, because the server breaks all
+   conflicting leases (blocking on each holder's acknowledgement)
+   before acking any mutation.  Its companion is the lease fast path:
+   when client A's reopen happened under a still-valid lease, it must
+   have cost zero server requests. *)
+let shared_violations_of (r : Shared_workload.report) =
+  let vs = ref [] in
+  let add invariant detail = vs := { invariant; detail } :: !vs in
+  if not r.Shared_workload.completed then
+    add "termination"
+      (Printf.sprintf "run did not quiesce cleanly (%d events executed)"
+         r.Shared_workload.events);
+  List.iter
+    (fun (o : Shared_workload.op_result) ->
+      if not o.Shared_workload.ok then
+        add "op-result"
+          (Printf.sprintf "%s failed (%s)" o.Shared_workload.op
+             o.Shared_workload.detail))
+    r.Shared_workload.ops;
+  if
+    r.Shared_workload.completed
+    && List.length r.Shared_workload.ops < Shared_workload.op_count
+  then
+    add "op-result"
+      (Printf.sprintf "only %d of %d operations ran"
+         (List.length r.Shared_workload.ops)
+         Shared_workload.op_count);
+  List.iter (fun msg -> add "no-stale-read" msg) r.Shared_workload.stale;
+  (match r.Shared_workload.lease_reopen_rpcs with
+  | Some n when n <> 0 ->
+      add "lease-fast-path"
+        (Printf.sprintf "reopen under a valid lease cost %d server requests \
+                         (want 0)" n)
+  | _ -> ());
+  kernel_and_medium_violations ~add r.Shared_workload.kernels
+    r.Shared_workload.medium;
+  List.rev !vs
+
 let run_schedule ?max_events ?seed (s : Schedule.t) =
   violations_of (Workload.run ~fault:(Schedule.to_fault s) ?max_events ?seed ())
 
 let run_crash_schedule ?max_events ?seed (s : Schedule.t) =
   crash_violations_of
     (Crash_workload.run ~fault:(Schedule.to_fault s) ?max_events ?seed ())
+
+let run_shared_schedule ?max_events ?seed (s : Schedule.t) =
+  shared_violations_of
+    (Shared_workload.run ~fault:(Schedule.to_fault s) ?max_events ?seed ())
 
 (* A deterministic, wall-clock-free digest of one run, for replay
    diagnosis. *)
@@ -164,6 +208,38 @@ let pp_crash_report fmt (r : Crash_workload.report) =
   Format.fprintf fmt "acked=[%s] lost=[%s] torn=[%s]@," (ints r.acked)
     (ints r.acked_lost) (ints r.torn);
   List.iter (fun msg -> Format.fprintf fmt "fsck: %s@," msg) r.fsck;
+  List.iter
+    (fun (p : Workload.kernel_probe) ->
+      Format.fprintf fmt "host %d: %a@,        %a@," p.Workload.host
+        Vkernel.Kernel.pp_stats p.Workload.kstats
+        Vkernel.Kernel.pp_table_counts p.Workload.tables)
+    r.kernels;
+  let m = r.medium in
+  Format.fprintf fmt
+    "medium: attempted=%d targeted=%d delivered=%d dropped=%d duplicated=%d \
+     collisions=%d excessive=%d"
+    m.Vnet.Medium.attempted m.Vnet.Medium.targeted m.Vnet.Medium.delivered
+    m.Vnet.Medium.dropped m.Vnet.Medium.duplicated m.Vnet.Medium.collisions
+    m.Vnet.Medium.excessive
+
+let pp_shared_report fmt (r : Shared_workload.report) =
+  let open Shared_workload in
+  Format.fprintf fmt "completed=%b frames=%d crashes=%d restarts=%d@,"
+    r.completed r.frames r.crashes r.restarts;
+  List.iter
+    (fun (o : op_result) ->
+      Format.fprintf fmt "op %-16s %s (%s)@," o.op
+        (if o.ok then "ok" else "FAILED")
+        o.detail)
+    r.ops;
+  Format.fprintf fmt
+    "leases: granted=%d broken=%d expired=%d breaks_acked=a:%d,b:%d \
+     reopen_rpcs=%s@,"
+    r.leases_granted r.leases_broken r.leases_expired r.breaks_a r.breaks_b
+    (match r.lease_reopen_rpcs with
+    | None -> "untested"
+    | Some n -> string_of_int n);
+  List.iter (fun msg -> Format.fprintf fmt "stale: %s@," msg) r.stale;
   List.iter
     (fun (p : Workload.kernel_probe) ->
       Format.fprintf fmt "host %d: %a@,        %a@," p.Workload.host
@@ -305,6 +381,26 @@ let sweep_crash ?(depth = 1) ?(limit = 600) ?restart_ns
         sweep_seq ~limit ~domains ~progress ~run
           (Schedule.enumerate_crash ~depth ~frames ?restart_ns ~actions ())
       in
+      Ok { depth; limit; schedules_run = ran; baseline_frames = frames; failure }
+
+(* Coherence exploration over the two-client shared-file workload: every
+   network-fault schedule (or, with [crash], every crash point paired
+   with an optional network fault) against the no-stale-read and
+   lease-fast-path invariants. *)
+let sweep_shared ?(crash = false) ?(depth = 2) ?(limit = 600) ?restart_ns
+    ?(actions = Schedule.default_actions) ?max_events ?seed
+    ?(domains = Vsim.Pool.default_domains) ?(progress = fun _ -> ()) () =
+  let baseline = Shared_workload.run ?max_events ?seed () in
+  match shared_violations_of baseline with
+  | _ :: _ as vs -> Error vs
+  | [] ->
+      let frames = baseline.Shared_workload.frames in
+      let run s = run_shared_schedule ?max_events ?seed s in
+      let seq =
+        if crash then Schedule.enumerate_crash ~depth ~frames ?restart_ns ~actions ()
+        else Schedule.enumerate ~depth ~frames ~actions
+      in
+      let ran, failure = sweep_seq ~limit ~domains ~progress ~run seq in
       Ok { depth; limit; schedules_run = ran; baseline_frames = frames; failure }
 
 (* Deterministic JSON rendering of a sweep report: everything in it is a

@@ -24,6 +24,13 @@ val crash_violations_of : Crash_workload.report -> violation list
     new), and fs-consistency ({!Vfs.Fs.check} clean after recovery) —
     plus the shared table-drain and conservation checks. *)
 
+val shared_violations_of : Shared_workload.report -> violation list
+(** Empty iff the two-client coherence run upholds termination, per-op
+    success, {e no-stale-read} (every read observed the latest
+    acknowledged write) and the lease fast path (a reopen performed
+    under a still-valid lease cost zero server requests) — plus the
+    shared table-drain and conservation checks. *)
+
 val run_schedule : ?max_events:int -> ?seed:int64 -> Schedule.t -> violation list
 (** One workload run under the schedule, judged. *)
 
@@ -32,12 +39,21 @@ val run_crash_schedule :
 (** One crash-workload run under the schedule, judged by
     {!crash_violations_of}. *)
 
+val run_shared_schedule :
+  ?max_events:int -> ?seed:int64 -> Schedule.t -> violation list
+(** One shared-coherence run under the schedule, judged by
+    {!shared_violations_of}. *)
+
 val pp_report : Format.formatter -> Workload.report -> unit
 (** Deterministic digest of a run (ops, ledger, per-kernel stats and
     tables, medium counters) for replay diagnosis. *)
 
 val pp_crash_report : Format.formatter -> Crash_workload.report -> unit
 (** Same, for a crash run: ops, acked/lost/torn blocks, fsck findings. *)
+
+val pp_shared_report : Format.formatter -> Shared_workload.report -> unit
+(** Same, for a coherence run: both clients' ops, lease counters, stale
+    findings. *)
 
 val shrink : run:(Schedule.t -> violation list) -> Schedule.t -> Schedule.t
 (** Greedy delta debugging: repeatedly remove any single entry whose
@@ -94,6 +110,25 @@ val sweep_crash :
     optionally paired with one network fault at every other frame
     (depth 2), via {!Schedule.enumerate_crash}.  Same chunked execution,
     determinism guarantees and failure shrinking as {!sweep}. *)
+
+val sweep_shared :
+  ?crash:bool ->
+  ?depth:int ->
+  ?limit:int ->
+  ?restart_ns:int ->
+  ?actions:Vnet.Fault.action list ->
+  ?max_events:int ->
+  ?seed:int64 ->
+  ?domains:int ->
+  ?progress:(int -> unit) ->
+  unit ->
+  (sweep_report, violation list) result
+(** Coherence exploration over {!Shared_workload}: every network-fault
+    schedule up to [depth] (the default 2), or with [crash] every crash
+    point optionally paired with one network fault
+    ({!Schedule.enumerate_crash}), judged by {!shared_violations_of}.
+    Same chunked execution, determinism guarantees and failure shrinking
+    as {!sweep}. *)
 
 val report_to_json : sweep_report -> string
 (** Compact, deterministic JSON for [vsim check --json] and CI

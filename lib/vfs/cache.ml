@@ -170,6 +170,11 @@ let retag_file t ~inum ~version =
       if i = inum && e.version = version - 1 then e.version <- version)
     t.tbl
 
+let retag_block t ~inum ~block ~version =
+  match Hashtbl.find_opt t.tbl (inum, block) with
+  | Some e -> if e.version < version then e.version <- version
+  | None -> ()
+
 let dirty_blocks t ~inum =
   let dirty =
     Hashtbl.fold

@@ -89,6 +89,13 @@ val retag_file : t -> inum:int -> version:int -> unit
     validity (they may predate a remote write) and keep their tags, to
     be dropped by {!find}'s lazy check or {!revalidate} on reopen. *)
 
+val retag_block : t -> inum:int -> block:int -> version:int -> unit
+(** Raise one block's tag to [version] (never lowers; no-op if absent).
+    Used after a write is acknowledged: whatever concurrent writers did
+    to the rest of the file, the block just written holds exactly the
+    content the server acknowledged at [version], so it is current by
+    definition even when the reply reveals a version gap. *)
+
 val dirty_blocks : t -> inum:int -> (int * Bytes.t) list
 (** All dirty blocks of a file as [(block, data)], sorted by block
     number.  The dirty bits are {e not} cleared: the caller pushes each

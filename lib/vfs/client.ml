@@ -52,12 +52,14 @@ let exchange c msg =
       Error (Ipc st)
 
 (* Like [exchange] but also decoding the (inum, version) consistency
-   metadata the server piggybacks on extended replies. *)
+   metadata — and any piggybacked lease term — the server attaches to
+   extended replies. *)
 let exchange_ext c msg =
   match K.send c.k msg c.server with
   | K.Ok -> (
       match Protocol.decode_reply_ext msg with
-      | Protocol.Sok, value, inum, version -> Ok (value, inum, version)
+      | Protocol.Sok, value, inum, version ->
+          Ok (value, inum, version, Protocol.reply_lease_us msg)
       | st, _, _, _ -> Error (Server st))
   | ( K.Nonexistent | K.Bad_address | K.No_permission | K.Too_big
     | K.Retryable | K.Dead ) as st ->
@@ -154,8 +156,25 @@ module Io = struct
            being read.  A doubly-opened file has multiple bindings
            (Hashtbl.add); push resolves to any still-open one.  Never
            iterated, so hash order cannot leak. *)
+    versions : (int, int ref) Hashtbl.t;
+        (* latest file version observed per inum, shared by every handle
+           on the file — independent per-handle copies would make one
+           handle's write look like a version gap to its sibling *)
     recover_on : bool;
     logical_id : int;  (* how to find the server again *)
+    lease_on : bool;
+    mutable cb_pid : Vkernel.Pid.t;
+        (* the callback fiber stamped on our requests; nil = no leases *)
+    leases : (int, int ref) Hashtbl.t;
+        (* per-inum lease expiry (engine time); absent or past = none *)
+    cached_opens : (string, handle * int) Hashtbl.t;
+        (* deferred closes: name -> (server handle, inum), parked under a
+           live lease so a reopen costs zero RPCs *)
+    mutable breaks_seen : int;
+        (* monotonic Break_lease count; a grant is installed only if no
+           break arrived between request send and reply, so a callback
+           overtaking its reply (reordered network) cannot resurrect the
+           lease it just killed *)
   }
 
   and file = {
@@ -166,21 +185,109 @@ module Io = struct
         (* recovery re-opens by name: the handle is dead after a server
            restart, and even the inum can change if the file was
            recreated *)
-    mutable version : int;
-        (* latest file version this client has observed *)
     mutable closed : bool;
   }
 
   type t = io
 
-  let make ?cache ?(recover = false)
+  (* Simulated time on the client's own host: lease validity must come
+     from the local clock, never from a server round trip. *)
+  let local_now io = Vsim.Engine.now (K.engine io.conn.k)
+
+  let obs_ref io inum =
+    match Hashtbl.find_opt io.versions inum with
+    | Some r -> r
+    | None ->
+        let r = ref 1 in
+        Hashtbl.replace io.versions inum r;
+        r
+
+  (* Valid-lease test with lazy demotion: a lease that lapses without a
+     Break_lease means the server may have acknowledged conflicting
+     writes we never heard about (most concretely: it restarted, and its
+     volatile lease table — with our entry in it — died with the old
+     incarnation).  On first detection of the lapse, forget the lease
+     and discard the inode's clean cached blocks, falling back to
+     honest open-close revalidation. *)
+  let lease_valid io ~inum =
+    io.lease_on
+    &&
+    match Hashtbl.find_opt io.leases inum with
+    | Some expiry when local_now io < !expiry -> true
+    | Some _ ->
+        Hashtbl.remove io.leases inum;
+        (match io.cache with
+        | Some c -> Cache.revalidate c ~inum ~version:max_int
+        | None -> ());
+        false
+    | None -> false
+
+  let void_lease io ~inum = Hashtbl.remove io.leases inum
+
+  (* Install a lease granted at term [term_us], anchored at [t0] (the
+     time we {e sent} the request — necessarily no later than the
+     server's grant time, so our expiry is conservative under any clock
+     skew).  [breaks0] is the Break_lease count snapshotted before the
+     send: if any break arrived while the request was in flight, the
+     grant may already be stale and is discarded. *)
+  let install_lease io ~inum ~t0 ~term_us ~breaks0 =
+    if io.lease_on && term_us > 0 && io.breaks_seen = breaks0 then
+      Hashtbl.replace io.leases inum (ref (t0 + (term_us * 1_000)))
+
+  (* The callback fiber: Receives Break_lease messages from the server,
+     voids the lease and discards every clean cached block of the named
+     inode, then Replies — the server withholds the conflicting write's
+     acknowledgement until that Reply, which is what makes the no-stale-
+     read invariant hold.  This fiber must never Send to the server (the
+     server is blocked on us; a single-worker server would deadlock). *)
+  let callback_body io () =
+    let k = io.conn.k in
+    let msg = Msg.create () in
+    let rec loop () =
+      let src = K.receive k msg in
+      (match Protocol.decode_break_lease msg with
+      | Some (inum, _version) ->
+          io.breaks_seen <- io.breaks_seen + 1;
+          void_lease io ~inum;
+          (match io.cache with
+          | Some c -> Cache.revalidate c ~inum ~version:max_int
+          | None -> ())
+      | None -> ());
+      ignore (K.reply k msg src);
+      loop ()
+    in
+    loop ()
+
+  let make ?cache ?(recover = false) ?(lease = false)
       ?(logical_id = Protocol.fileserver_logical_id) conn =
-    { conn; cache; files = Hashtbl.create 8; recover_on = recover; logical_id }
+    let io =
+      {
+        conn;
+        cache;
+        files = Hashtbl.create 8;
+        versions = Hashtbl.create 8;
+        recover_on = recover;
+        logical_id;
+        lease_on = lease;
+        cb_pid = Vkernel.Pid.nil;
+        leases = Hashtbl.create 8;
+        cached_opens = Hashtbl.create 8;
+        breaks_seen = 0;
+      }
+    in
+    if lease then
+      io.cb_pid <-
+        K.spawn conn.k ~name:"lease-callback" ~mem_size:4096 (fun _ ->
+            callback_body io ());
+    io
 
   let conn io = io.conn
   let cache_stats io = Option.map Cache.stats io.cache
+  let callback_pid io = io.cb_pid
+  let breaks_received io = io.breaks_seen
   let file_handle f = f.fh
-  let file_version f = f.version
+  let file_version f = !(obs_ref f.io f.inum)
+  let file_lease_valid f = lease_valid f.io ~inum:f.inum
 
   let bs = Fs.block_size
 
@@ -222,17 +329,22 @@ module Io = struct
 
   (* Our own successful write moved the file to [version].  If that is
      exactly the successor of what we knew, no other writer intervened
-     and every block we hold is still current, so re-tag them all;
-     otherwise leave the tags alone and let [Cache.find] invalidate
-     lazily. *)
-  let note_write_reply f ~version =
+     and every block we hold is still current, so re-tag them all.  The
+     block just written is current by definition {e whatever} other
+     writers did — its content is exactly what the server acknowledged
+     at [version] — so it is re-tagged even across a version gap
+     (leaving it behind would make a read-after-write refetch its own
+     data). *)
+  let note_write_reply f ~block ~version =
+    let vr = obs_ref f.io f.inum in
     (match f.io.cache with
-    | Some c when version = f.version + 1 ->
-        Cache.retag_file c ~inum:f.inum ~version
-    | _ -> ());
-    if version > f.version then f.version <- version
+    | Some c ->
+        if version = !vr + 1 then Cache.retag_file c ~inum:f.inum ~version;
+        Cache.retag_block c ~inum:f.inum ~block ~version
+    | None -> ());
+    if version > !vr then vr := version
 
-  let with_name_ext c name ~op =
+  let with_name_ext c ~cb name ~op =
     let mem = K.my_memory c.k in
     let scratch = Vkernel.Mem.size mem - name_scratch_size in
     let len = String.length name in
@@ -241,22 +353,52 @@ module Io = struct
       Vkernel.Mem.write mem ~pos:scratch (Bytes.of_string name);
       let msg = Msg.create () in
       Protocol.encode_request msg ~op ~handle:0 ~block:0 ~count:len;
+      Protocol.set_request_callback msg cb;
       Msg.set_segment msg Msg.Read_only ~ptr:scratch ~len;
       exchange_ext c msg
     end
 
+  (* Release a server handle we no longer want, best-effort: if the
+     server is gone so is the handle. *)
+  let drop_handle io h = ignore (close_file io.conn h)
+
   let open_gen io name ~op =
-    match with_retry (fun () -> with_name_ext io.conn name ~op) with
-    | Error e -> Error e
-    | Ok (h, inum, version) ->
-        (* Open-time consistency: the reply's version exposes remote
-           writes since we last had the file; stale clean blocks go. *)
-        (match io.cache with
-        | Some c -> Cache.revalidate c ~inum ~version
-        | None -> ());
-        let f = { io; fh = h; inum; name; version; closed = false } in
+    (* Zero-RPC reopen: a deferred [close] parked the server handle, and
+       the lease certifies that no conflicting write has been
+       acknowledged since — the cached blocks and observed version are
+       valid as they stand, so no revalidation round trip is needed. *)
+    match Hashtbl.find_opt io.cached_opens name with
+    | Some (h, inum) when lease_valid io ~inum ->
+        Hashtbl.remove io.cached_opens name;
+        charge_local io.conn.k ~bytes:0;
+        let f = { io; fh = h; inum; name; closed = false } in
         Hashtbl.add io.files inum f;
         Ok f
+    | stale -> (
+        (* Demoted to PR-2 open-close consistency: release any stale
+           parked handle, then a real open whose reply version drives
+           {!Cache.revalidate}. *)
+        (match stale with
+        | Some (h, _) ->
+            Hashtbl.remove io.cached_opens name;
+            drop_handle io h
+        | None -> ());
+        let t0 = local_now io and breaks0 = io.breaks_seen in
+        match
+          with_retry (fun () -> with_name_ext io.conn ~cb:io.cb_pid name ~op)
+        with
+        | Error e -> Error e
+        | Ok (h, inum, version, lease_us) ->
+            (* Open-time consistency: the reply's version exposes remote
+               writes since we last had the file; stale clean blocks go. *)
+            (match io.cache with
+            | Some c -> Cache.revalidate c ~inum ~version
+            | None -> ());
+            (obs_ref io inum) := version;
+            install_lease io ~inum ~t0 ~term_us:lease_us ~breaks0;
+            let f = { io; fh = h; inum; name; closed = false } in
+            Hashtbl.add io.files inum f;
+            Ok f)
 
   let open_file io name = open_gen io name ~op:Protocol.Open
   let create io name = open_gen io name ~op:Protocol.Create
@@ -273,12 +415,13 @@ module Io = struct
       let msg = Msg.create () in
       Protocol.encode_request msg ~op:Protocol.Write_page ~handle:f.fh ~block
         ~count:len;
+      Protocol.set_request_callback msg f.io.cb_pid;
       Msg.set_segment msg Msg.Read_only ~ptr ~len;
       exchange_ext c msg
     in
     match with_retry attempt with
-    | Ok (_, _, version) ->
-        note_write_reply f ~version;
+    | Ok (_, _, version, _) ->
+        note_write_reply f ~block ~version;
         Ok ()
     | Error e -> Error e
 
@@ -321,10 +464,15 @@ module Io = struct
 
   (* Re-resolve the server pid.  The cached GetPid binding points at the
      dead incarnation; drop it so the lookup goes back on the wire and
-     finds the restarted server's registration. *)
+     finds the restarted server's registration.  Everything leased is
+     void too: the restarted server's lease table is empty, so holding
+     on to a lease (or a parked handle) from the old incarnation could
+     serve stale data the new server would never have allowed. *)
   let recover_session io =
     let k = io.conn.k in
     K.forget_pid k ~logical_id:io.logical_id;
+    Hashtbl.reset io.leases;
+    Hashtbl.reset io.cached_opens;
     match connect k ~logical_id:io.logical_id () with
     | Ok c ->
         io.conn <- c;
@@ -332,40 +480,70 @@ module Io = struct
     | Error _ -> false
 
   (* Re-open [f] by name against the re-found server.  Dirty cached
-     blocks were never acknowledged, so they are collected before the
-     cache entries are dropped and re-pushed through the fresh handle —
-     write-back data survives the crash exactly when the write-back
-     contract says it may still be pending. *)
+     blocks were never acknowledged, so they must survive the crash —
+     and they stay dirty in the cache until each re-push is individually
+     acknowledged, so a second failure mid-re-push loses nothing: the
+     next recovery round collects the still-dirty remainder, and if the
+     budget runs out the error surfaces to the caller with the blocks
+     still held.  Only clean blocks are dropped up front (the restarted
+     server's version counters restarted with it, so their tags prove
+     nothing). *)
   let reopen f =
+    let io = f.io in
+    void_lease io ~inum:f.inum;
     let dirty =
-      match f.io.cache with
+      match io.cache with
       | Some cch -> Cache.dirty_blocks cch ~inum:f.inum
       | None -> []
     in
-    (match f.io.cache with
-    | Some cch -> Cache.drop_file cch ~inum:f.inum
+    (match io.cache with
+    | Some cch -> Cache.revalidate cch ~inum:f.inum ~version:max_int
     | None -> ());
-    match with_retry (fun () -> with_name_ext f.io.conn f.name ~op:Protocol.Open)
+    let t0 = local_now io and breaks0 = io.breaks_seen in
+    match
+      with_retry (fun () ->
+          with_name_ext io.conn ~cb:io.cb_pid f.name ~op:Protocol.Open)
     with
     | Error e -> Error e
-    | Ok (h, inum, version) ->
+    | Ok (h, inum, version, lease_us) ->
         f.fh <- h;
-        f.version <- version;
+        let old_inum = f.inum in
         if inum <> f.inum then begin
           (* The file was deleted and recreated while we were away;
              follow the name, not the inode. *)
           forget_file f;
           f.inum <- inum;
-          Hashtbl.add f.io.files inum f
+          Hashtbl.add io.files inum f
         end;
+        (* Force (not max) the observed version down to the reply's: the
+           restarted server restarted its version counters too, and our
+           higher pre-crash observation would otherwise make every fresh
+           reply look stale. *)
+        (obs_ref io inum) := version;
+        install_lease io ~inum ~t0 ~term_us:lease_us ~breaks0;
         let rec repush = function
           | [] -> Ok ()
           | (block, data) :: rest -> (
               match push_content_raw f ~block data with
-              | Ok () -> repush rest
+              | Ok () ->
+                  (match io.cache with
+                  | Some cch when old_inum = inum ->
+                      Cache.mark_clean cch ~inum ~block;
+                      Cache.note_writeback cch ~inum ~block
+                  | _ -> ());
+                  repush rest
               | Error e -> Error e)
         in
-        repush dirty
+        let r = repush dirty in
+        (* A recreated file changed identity: the surviving images are
+           keyed under the dead inum.  Once every one is safely pushed
+           into the new file, drop them; on failure they stay put so the
+           loss is visible, and the error names the session. *)
+        (match (r, io.cache) with
+        | Ok (), Some cch when old_inum <> inum ->
+            Cache.drop_file cch ~inum:old_inum
+        | _ -> ());
+        r
 
   let rec with_recovery ?(tries = 0) f op =
     match op () with
@@ -402,29 +580,34 @@ module Io = struct
         | Error e -> Error e)
 
   (* Remote block fetch via Read_page; inserts the block (clean) into
-     the cache, writing back any dirty victims that fall out. *)
+     the cache, writing back any dirty victims that fall out.  Read
+     replies also refresh the lease. *)
   let fetch_block_raw f ~block =
     let c = f.io.conn in
     let mem = K.my_memory c.k in
     let ptr = block_scratch mem in
+    let t0 = local_now f.io and breaks0 = f.io.breaks_seen in
     let attempt () =
       let msg = Msg.create () in
       Protocol.encode_request msg ~op:Protocol.Read_page ~handle:f.fh ~block
         ~count:bs;
+      Protocol.set_request_callback msg f.io.cb_pid;
       Msg.set_segment msg Msg.Write_only ~ptr ~len:bs;
       exchange_ext c msg
     in
     match with_retry attempt with
     | Error e -> Error e
-    | Ok (n, _, version) ->
-        if version > f.version then f.version <- version;
+    | Ok (n, _, version, lease_us) ->
+        let vr = obs_ref f.io f.inum in
+        if version > !vr then vr := version;
+        install_lease f.io ~inum:f.inum ~t0 ~term_us:lease_us ~breaks0;
         let data = Vkernel.Mem.read mem ~pos:ptr ~len:n in
         (match f.io.cache with
         | None -> Ok data
         | Some cch -> (
             let evicted =
-              Cache.insert cch ~inum:f.inum ~block ~version:f.version
-                ~dirty:false data
+              Cache.insert cch ~inum:f.inum ~block ~version:!vr ~dirty:false
+                data
             in
             match push_all f.io evicted with
             | Ok () -> Ok data
@@ -436,9 +619,14 @@ module Io = struct
   (* The block through the cache: a hit costs local trap-plus-copy for
      the [want] bytes the caller will consume; a miss goes remote. *)
   let get_block f ~block ~want =
+    (* Detect a lapsed (expired-unbroken) lease before consulting the
+       cache: [lease_valid] purges the inode's clean blocks on the
+       lapse, so the read below misses and refetches rather than
+       serving data whose coherence nobody vouches for any more. *)
+    if f.io.lease_on then ignore (lease_valid f.io ~inum:f.inum);
     match f.io.cache with
     | Some cch -> (
-        match Cache.find cch ~inum:f.inum ~block ~version:f.version with
+        match Cache.find cch ~inum:f.inum ~block ~version:(file_version f) with
         | Some data ->
             charge_local f.io.conn.k ~bytes:want;
             Ok data
@@ -514,8 +702,8 @@ module Io = struct
                flush or close. *)
             charge_local f.io.conn.k ~bytes:m;
             let evicted =
-              Cache.insert cch ~inum:f.inum ~block ~version:f.version
-                ~dirty:true content
+              Cache.insert cch ~inum:f.inum ~block
+                ~version:(file_version f) ~dirty:true content
             in
             push_all f.io evicted
         | Some cch -> (
@@ -525,8 +713,8 @@ module Io = struct
             | Error e -> Error e
             | Ok () ->
                 let evicted =
-                  Cache.insert cch ~inum:f.inum ~block ~version:f.version
-                    ~dirty:false content
+                  Cache.insert cch ~inum:f.inum ~block
+                    ~version:(file_version f) ~dirty:false content
                 in
                 push_all f.io evicted)
         | None -> push_content f ~block content)
@@ -579,13 +767,26 @@ module Io = struct
       | Ok () ->
           f.closed <- true;
           forget_file f;
-          (match close_file f.io.conn f.fh with
-          | Error e when f.io.recover_on && session_error e ->
-              (* The server that held the handle is gone — there is
-                 nothing left to close; a restarted server starts with
-                 an empty handle table. *)
-              Ok ()
-          | r -> r)
+          if
+            lease_valid f.io ~inum:f.inum
+            && not (Hashtbl.mem f.io.cached_opens f.name)
+          then begin
+            (* Deferred close: everything is flushed and the lease still
+               stands, so park the server handle instead of releasing
+               it — the matching reopen then needs zero RPCs.  If the
+               lease breaks while parked, the next open releases the
+               handle and demotes to a real Open. *)
+            Hashtbl.replace f.io.cached_opens f.name (f.fh, f.inum);
+            Ok ()
+          end
+          else
+            (match close_file f.io.conn f.fh with
+            | Error e when f.io.recover_on && session_error e ->
+                (* The server that held the handle is gone — there is
+                   nothing left to close; a restarted server starts with
+                   an empty handle table. *)
+                Ok ()
+            | r -> r)
 end
 
 let read_sequential c handle ~buf ~on_page =

@@ -130,7 +130,13 @@ module Io : sig
   type file
   (** An open file: server handle, inode number, last-observed version. *)
 
-  val make : ?cache:Cache.t -> ?recover:bool -> ?logical_id:int -> conn -> t
+  val make :
+    ?cache:Cache.t ->
+    ?recover:bool ->
+    ?lease:bool ->
+    ?logical_id:int ->
+    conn ->
+    t
   (** No [cache] means every operation goes to the server.
 
       With [recover] (default false) the client survives a server-host
@@ -143,10 +149,29 @@ module Io : sig
       cached blocks, and retries the operation.  Only idempotent
       operations (page reads, whole-block-image writes, stat) flow
       through the retry, so replaying one that may or may not have
-      executed before the crash is safe. *)
+      executed before the crash is safe.
+
+      With [lease] (default false) the client takes part in the lease
+      protocol of doc/LEASES.md: a callback fiber is spawned and its pid
+      stamped on every request, open/read replies carrying a grant make
+      cached blocks and the observed version authoritative until the
+      term expires or the server breaks the lease, and {!close} under a
+      live lease parks the server handle so the matching {!open_file}
+      costs {e zero} RPCs.  When the lease is broken (a conflicting
+      write was acknowledged) or expires, the client demotes itself to
+      the plain open-close revalidation above.  Lease clients that can
+      face a server restart should also pass [~recover:true]: session
+      recovery voids every lease and parked handle, which is what keeps
+      a post-failover cache honest. *)
 
   val conn : t -> conn
   val cache_stats : t -> Cache.stats option
+
+  val callback_pid : t -> Vkernel.Pid.t
+  (** The lease-callback fiber's pid ([Pid.nil] unless [~lease:true]). *)
+
+  val breaks_received : t -> int
+  (** Break_lease callbacks this client has acknowledged. *)
 
   val open_file : t -> string -> (file, error) result
   (** Open by name.  The open reply's version is checked against the
@@ -158,8 +183,15 @@ module Io : sig
   (** Create (or open, if racing an existing file) by name. *)
 
   val file_handle : file -> handle
+
   val file_version : file -> int
-  (** The file version this client most recently observed. *)
+  (** The file version this client most recently observed.  Shared by
+      every handle open on the same inode: a write acknowledged through
+      one handle advances the version its siblings see. *)
+
+  val file_lease_valid : file -> bool
+  (** Whether this client currently holds an unexpired, unbroken lease
+      on the file's inode (always [false] without [~lease:true]). *)
 
   val size : file -> (int, error) result
 

@@ -95,6 +95,16 @@ let encode_request msg ~op ~handle ~block ~count =
   Vkernel.Msg.set_u32 msg 4 block;
   Vkernel.Msg.set_u32 msg 8 count
 
+(* Lease-capable clients stamp every request with the pid of their
+   callback fiber on otherwise-unused request bytes.  A zeroed field
+   decodes to [Pid.nil], so version- and lease-unaware clients are
+   indistinguishable from clients that decline leases. *)
+
+let set_request_callback msg pid =
+  Vkernel.Msg.set_u32 msg 12 (Vkernel.Pid.to_int pid)
+
+let request_callback msg = Vkernel.Pid.of_int (Vkernel.Msg.get_u32 msg 12)
+
 let decode_request msg =
   match op_of_byte (Vkernel.Msg.get_u8 msg 1) with
   | None -> None
@@ -125,3 +135,28 @@ let encode_reply_ext msg ~status ~value ~inum ~version =
 let decode_reply_ext msg =
   let status, value = decode_reply msg in
   (status, value, Vkernel.Msg.get_u32 msg 12, Vkernel.Msg.get_u32 msg 8)
+
+(* Lease grants ride on extended replies at bytes 16-19: the lease term
+   in microseconds (u32), 0 meaning "no lease granted".  Like the other
+   extended fields, version-unaware clients never look at these bytes. *)
+
+let set_reply_lease msg ~term_us = Vkernel.Msg.set_u32 msg 16 term_us
+let reply_lease_us msg = Vkernel.Msg.get_u32 msg 16
+
+(* Break_lease is the one server->client message in the protocol: the
+   server Sends it to the callback pid a client stamped on its requests,
+   and the client's callback fiber Replies once its cache is
+   invalidated.  The opcode byte is outside the request [op] space so a
+   confused endpoint answers Sbad_request rather than mis-executing. *)
+
+let break_lease_byte = 12
+
+let encode_break_lease msg ~inum ~version =
+  Vkernel.Msg.set_u8 msg 1 break_lease_byte;
+  Vkernel.Msg.set_u32 msg 4 inum;
+  Vkernel.Msg.set_u32 msg 8 version
+
+let decode_break_lease msg =
+  if Vkernel.Msg.get_u8 msg 1 = break_lease_byte then
+    Some (Vkernel.Msg.get_u32 msg 4, Vkernel.Msg.get_u32 msg 8)
+  else None

@@ -64,6 +64,15 @@ val encode_request :
 val decode_request : Vkernel.Msg.t -> (op * int * int * int) option
 (** [(op, handle, block, count)] if the message parses. *)
 
+val set_request_callback : Vkernel.Msg.t -> Vkernel.Pid.t -> unit
+(** Stamp the pid of the client's lease-callback fiber on request bytes
+    12-15.  Servers grant leases only to requests carrying a non-nil
+    callback pid; requests built by {!encode_request} leave the field
+    zeroed, which decodes to [Pid.nil] ("no lease wanted"). *)
+
+val request_callback : Vkernel.Msg.t -> Vkernel.Pid.t
+(** The callback pid a request carries ([Pid.nil] if none). *)
+
 (** {1 Replies} *)
 
 val encode_reply : Vkernel.Msg.t -> status:rstatus -> value:int -> unit
@@ -79,3 +88,26 @@ val encode_reply_ext :
 
 val decode_reply_ext : Vkernel.Msg.t -> rstatus * int * int * int
 (** [(status, value, inum, version)]. *)
+
+val set_reply_lease : Vkernel.Msg.t -> term_us:int -> unit
+(** Piggyback a lease grant on an extended reply: bytes 16-19 carry the
+    lease term in microseconds, 0 meaning "no lease granted". *)
+
+val reply_lease_us : Vkernel.Msg.t -> int
+(** The lease term (microseconds) granted by a reply; 0 if none. *)
+
+(** {1 Lease callbacks}
+
+    The server invalidates a client's cache by Sending a Break_lease
+    message to the callback pid the client stamped on its requests.  The
+    client's callback fiber Replies once every block cached under the
+    named inode has been discarded; the server withholds the conflicting
+    write's acknowledgement until then, so no client can read stale data
+    under a lease it believes valid (doc/LEASES.md). *)
+
+val encode_break_lease : Vkernel.Msg.t -> inum:int -> version:int -> unit
+(** Fill a message with a Break_lease callback for [inum]; [version] is
+    the server's version after the conflicting write, for diagnostics. *)
+
+val decode_break_lease : Vkernel.Msg.t -> (int * int) option
+(** [(inum, version)] if the message is a Break_lease callback. *)

@@ -11,6 +11,7 @@ type config = {
   max_open : int;
   workers : int;
   register_id : int option;
+  lease_term_ns : int;
 }
 
 let default_config =
@@ -23,6 +24,7 @@ let default_config =
     max_open = 32;
     workers = 1;
     register_id = Some Protocol.fileserver_logical_id;
+    lease_term_ns = Vsim.Time.ms 200;
   }
 
 type open_file = {
@@ -30,6 +32,15 @@ type open_file = {
   of_owner : Vkernel.Pid.t;
   of_stamp : int;  (* open order, for oldest-first reclaim *)
   mutable of_last_block : int;
+}
+
+(* One client's lease on one inode.  [l_pid] is the callback fiber the
+   client stamped on its request; [l_host] lets the failure detector
+   veto callbacks to suspected hosts. *)
+type holder = {
+  l_pid : Vkernel.Pid.t;
+  l_host : int;
+  mutable l_expiry : int;
 }
 
 type t = {
@@ -42,7 +53,15 @@ type t = {
   versions : (int, int) Hashtbl.t;
       (* per-inode version number, bumped on every accepted mutation;
          piggybacked on extended replies for client-cache consistency *)
+  leases : (int, holder list) Hashtbl.t;
+      (* per-inode lease holders, insertion-ordered so callback order is
+         deterministic; volatile, dropped wholesale across a crash *)
   mutable open_seq : int;
+  mutable grace_until : int;
+  mutable n_lease_grants : int;
+  mutable n_grace_waits : int;
+  mutable n_lease_breaks : int;
+  mutable n_lease_expired : int;
   mutable n_requests : int;
   mutable n_reads : int;
   mutable n_writes : int;
@@ -61,6 +80,10 @@ let file_version t ~inum =
 let bump_version t ~inum =
   Hashtbl.replace t.versions inum (file_version t ~inum + 1)
 let requests_served t = t.n_requests
+let leases_granted t = t.n_lease_grants
+let leases_broken t = t.n_lease_breaks
+let leases_expired t = t.n_lease_expired
+let grace_waits t = t.n_grace_waits
 let pages_read t = t.n_reads
 let pages_written t = t.n_writes
 let loads_served t = t.n_loads
@@ -129,6 +152,101 @@ let alloc_handle t ~owner inum =
 let lookup_handle t h =
   if h <= 0 || h >= Array.length t.handles then None else t.handles.(h)
 
+let now t = Vsim.Engine.now (K.engine t.kernel)
+
+(* A holder whose lease term has elapsed, or whose host the failure
+   detector suspects, gets no callback: an expired lease was already
+   self-invalidated by the client's clock, and a suspected host cannot
+   be waited on without stalling the server behind a full
+   retransmission exhaustion for every conflicting write. *)
+let holder_expired t h =
+  h.l_expiry <= now t || K.host_suspected t.kernel ~host:h.l_host
+
+let live_holders t ~inum =
+  match Hashtbl.find_opt t.leases inum with
+  | None -> []
+  | Some hs -> List.filter (fun h -> not (holder_expired t h)) hs
+
+let lease_holders t ~inum =
+  List.map (fun h -> h.l_pid) (live_holders t ~inum)
+
+(* Grant (or refresh) [cb]'s lease on [inum]; returns the term to
+   piggyback on the reply, in microseconds (0 = nothing granted). *)
+let grant_lease t ~inum ~cb =
+  if t.cfg.lease_term_ns <= 0 || Vkernel.Pid.equal cb Vkernel.Pid.nil then 0
+  else begin
+    let expiry = now t + t.cfg.lease_term_ns in
+    let holders =
+      match Hashtbl.find_opt t.leases inum with Some hs -> hs | None -> []
+    in
+    (match
+       List.find_opt (fun h -> Vkernel.Pid.equal h.l_pid cb) holders
+     with
+    | Some h -> h.l_expiry <- max h.l_expiry expiry
+    | None ->
+        let h =
+          { l_pid = cb; l_host = Vkernel.Pid.host cb; l_expiry = expiry }
+        in
+        Hashtbl.replace t.leases inum (holders @ [ h ]);
+        t.n_lease_grants <- t.n_lease_grants + 1);
+    t.cfg.lease_term_ns / 1_000
+  end
+
+(* Invalidate every other client's lease on [inum] before the caller
+   acknowledges a conflicting mutation.  Each live holder is Sent a
+   Break_lease callback and the Send blocks until the holder's callback
+   fiber has discarded its cached blocks and Replied — so by the time
+   the write is acked, no lease-holding client can serve stale data
+   from cache.  Expired or suspected holders are dropped without a
+   callback (their leases are void by clock or by failure detector);
+   a holder whose callback Send fails is likewise dropped. *)
+let break_leases t ~inum ~except =
+  (* Post-restart grace: the crashed incarnation's lease table died with
+     the host, so this incarnation cannot name — let alone break — the
+     leases its predecessor granted.  It {e can} bound them: no
+     pre-crash lease outlives crash time + term, which is at most
+     [restart time + term].  Until that horizon passes, hold every
+     conflicting acknowledgement; the holders' own clocks void their
+     leases in the meantime (Gray-Cheriton lease recovery). *)
+  let grace = t.grace_until - now t in
+  if grace > 0 then begin
+    t.n_grace_waits <- t.n_grace_waits + 1;
+    Vsim.Proc.sleep grace
+  end;
+  match Hashtbl.find_opt t.leases inum with
+  | None -> ()
+  | Some holders ->
+      let keep =
+        List.filter
+          (fun h ->
+            if Vkernel.Pid.equal h.l_pid except then true
+            else begin
+              if holder_expired t h then
+                t.n_lease_expired <- t.n_lease_expired + 1
+              else begin
+                let m = Msg.create () in
+                Protocol.encode_break_lease m ~inum
+                  ~version:(file_version t ~inum);
+                (match K.send t.kernel m h.l_pid with
+                | K.Ok -> ()
+                | K.Nonexistent | K.Bad_address | K.No_permission
+                | K.Too_big | K.Retryable | K.Dead ->
+                    (* Unreachable holder with an unexpired lease: fall
+                       back to the Gray-Cheriton guarantee and wait out
+                       the remainder of its term before letting the
+                       conflicting write be acknowledged — the holder's
+                       own clock voids the lease no later than this. *)
+                    let remaining = h.l_expiry - now t in
+                    if remaining > 0 then Vsim.Proc.sleep remaining);
+                t.n_lease_breaks <- t.n_lease_breaks + 1
+              end;
+              false
+            end)
+          holders
+      in
+      if keep = [] then Hashtbl.remove t.leases inum
+      else Hashtbl.replace t.leases inum keep
+
 let fs_error_status : Fs.error -> Protocol.rstatus = function
   | Fs.Not_found -> Protocol.Snot_found
   | Fs.Already_exists -> Protocol.Sexists
@@ -165,17 +283,26 @@ let maybe_read_ahead t (f : open_file) ~block =
 let handle_request t ~mem ~msg ~src ~seg_count =
   t.n_requests <- t.n_requests + 1;
   let client_seg = Msg.segment msg in
+  (* The callback pid must be read before the reply encoders reuse the
+     message buffer. *)
+  let cb = Protocol.request_callback msg in
   let reply st value =
     Msg.clear_segment msg;
     Protocol.encode_reply msg ~status:st ~value;
     ignore (K.reply t.kernel msg src)
   in
   (* Success replies for ops bound to a file carry (inum, version) so
-     version-aware clients can keep their block caches consistent. *)
-  let reply_ext st value ~inum =
+     version-aware clients can keep their block caches consistent.
+     [grant] additionally piggybacks a lease on open/read replies when
+     the request carried a callback pid. *)
+  let reply_ext ?(grant = false) st value ~inum =
     Msg.clear_segment msg;
     Protocol.encode_reply_ext msg ~status:st ~value ~inum
       ~version:(file_version t ~inum);
+    let term_us =
+      if grant && st = Protocol.Sok then grant_lease t ~inum ~cb else 0
+    in
+    Protocol.set_reply_lease msg ~term_us;
     ignore (K.reply t.kernel msg src)
   in
   match Protocol.decode_request msg with
@@ -202,8 +329,11 @@ let handle_request t ~mem ~msg ~src ~seg_count =
                 | Ok inum ->
                     (* Fresh inode: bumping (rather than resetting to 1)
                        invalidates stale cached blocks if the inum is
-                       being reused after an unlink. *)
+                       being reused after an unlink.  Any lease left over
+                       from the inode's previous life is broken for the
+                       same reason. *)
                     bump_version t ~inum;
+                    break_leases t ~inum ~except:cb;
                     Ok inum
                 | Error Fs.Already_exists -> (
                     match Fs.lookup t.fs name with
@@ -220,7 +350,7 @@ let handle_request t ~mem ~msg ~src ~seg_count =
           | Ok inum -> (
               match alloc_handle t ~owner:src inum with
               | None -> reply Protocol.Sno_space 0
-              | Some h -> reply_ext Protocol.Sok h ~inum))
+              | Some h -> reply_ext ~grant:true Protocol.Sok h ~inum))
       | Protocol.Close -> (
           match lookup_handle t handle with
           | None -> reply Protocol.Sbad_handle 0
@@ -230,8 +360,16 @@ let handle_request t ~mem ~msg ~src ~seg_count =
       | Protocol.Delete -> (
           let name = string_of_segment mem ~count:seg_count in
           fs_work t;
+          let victim = Fs.lookup t.fs name in
           match Fs.unlink t.fs name with
-          | Ok () -> reply Protocol.Sok 0
+          | Ok () ->
+              (* Every lease on the dead inode is void, including the
+                 deleter's own — its cached blocks describe a file that
+                 no longer exists. *)
+              (match victim with
+              | Some inum -> break_leases t ~inum ~except:Vkernel.Pid.nil
+              | None -> ());
+              reply Protocol.Sok 0
           | Error e -> reply (fs_error_status e) 0)
       | Protocol.Stat -> (
           match lookup_handle t handle with
@@ -260,6 +398,8 @@ let handle_request t ~mem ~msg ~src ~seg_count =
                   Msg.clear_segment msg;
                   Protocol.encode_reply_ext msg ~status:Protocol.Sok ~value:n
                     ~inum:f.of_inum ~version:(file_version t ~inum:f.of_inum);
+                  Protocol.set_reply_lease msg
+                    ~term_us:(grant_lease t ~inum:f.of_inum ~cb);
                   ignore
                     (K.reply_with_segment t.kernel msg src ~destptr:dptr
                        ~segptr:scratch_ptr ~segsize:n);
@@ -282,9 +422,10 @@ let handle_request t ~mem ~msg ~src ~seg_count =
               in
               if t.cfg.write_behind then begin
                 (* The write is accepted at reply time, so the version is
-                   bumped before replying even though the store is
-                   asynchronous. *)
+                   bumped — and other holders' leases broken — before
+                   replying even though the store is asynchronous. *)
                 bump_version t ~inum:f.of_inum;
+                break_leases t ~inum:f.of_inum ~except:cb;
                 reply_ext Protocol.Sok n ~inum:f.of_inum;
                 (* Asynchronous store of the modified page. *)
                 ignore
@@ -295,6 +436,7 @@ let handle_request t ~mem ~msg ~src ~seg_count =
                 match do_write () with
                 | Ok () ->
                     bump_version t ~inum:f.of_inum;
+                    break_leases t ~inum:f.of_inum ~except:cb;
                     reply_ext Protocol.Sok n ~inum:f.of_inum
                 | Error e -> reply (fs_error_status e) 0
               end)
@@ -345,6 +487,7 @@ let handle_request t ~mem ~msg ~src ~seg_count =
                   with
                   | Ok () ->
                       bump_version t ~inum:f.of_inum;
+                      break_leases t ~inum:f.of_inum ~except:cb;
                       reply_ext Protocol.Sok n ~inum:f.of_inum
                   | Error e -> reply (fs_error_status e) 0)
               | K.Nonexistent | K.Bad_address | K.No_permission | K.Too_big
@@ -542,7 +685,13 @@ let start kernel fs ?(config = default_config) ?(restartable = false) () =
       worker_pids = [];
       handles = Array.make (max 2 config.max_open) None;
       versions = Hashtbl.create 16;
+      leases = Hashtbl.create 16;
       open_seq = 0;
+      grace_until = 0;
+      n_lease_grants = 0;
+      n_grace_waits = 0;
+      n_lease_breaks = 0;
+      n_lease_expired = 0;
       n_requests = 0;
       n_reads = 0;
       n_writes = 0;
@@ -554,13 +703,21 @@ let start kernel fs ?(config = default_config) ?(restartable = false) () =
   in
   if restartable then
     K.on_restart kernel (fun () ->
-        (* The handle table, version map and process team were volatile
-           state of the crashed host; the disk is what survived.  Run
-           filesystem recovery first, then bring the team back up — the
-           server answers no requests until the journal has been
-           replayed. *)
+        (* The handle table, version map, lease table and process team
+           were volatile state of the crashed host; the disk is what
+           survived.  Run filesystem recovery first, then bring the team
+           back up — the server answers no requests until the journal
+           has been replayed.  Dropping the lease table means recovery
+           re-grants from scratch; clients void their own leases when
+           they detect the failover. *)
         Array.fill t.handles 0 (Array.length t.handles) None;
         Hashtbl.reset t.versions;
+        Hashtbl.reset t.leases;
+        (* If the dead incarnation ever granted a lease, some may still
+           be live on client clocks; withhold conflicting acks until the
+           longest possible one has expired (see break_leases). *)
+        if t.n_lease_grants > 0 && t.cfg.lease_term_ns > 0 then
+          t.grace_until <- now t + t.cfg.lease_term_ns;
         t.worker_pids <- [];
         t.spid <- Vkernel.Pid.nil;
         ignore

@@ -42,6 +42,13 @@ type config = {
   register_id : int option;
       (** logical id to register (network scope); default the well-known
           file-server id, [None] to skip registration *)
+  lease_term_ns : int;
+      (** term of the leases granted on open/read replies to clients
+          that stamp a callback pid on their requests
+          ({!Protocol.set_request_callback}); [0] disables granting.
+          Clients without a callback pid are never granted leases, so
+          the default (200 ms) is invisible to lease-unaware clients.
+          See doc/LEASES.md. *)
 }
 
 val default_config : config
@@ -70,6 +77,33 @@ val file_version : t -> inum:int -> int
     — basic write, or create reusing the inode).  Piggybacked on
     extended replies ({!Protocol.encode_reply_ext}) so clients can
     detect stale cached blocks. *)
+
+val lease_holders : t -> inum:int -> Vkernel.Pid.t list
+(** Callback pids currently holding a live (unexpired, unsuspected)
+    lease on [inum], in grant order. *)
+
+val leases_granted : t -> int
+(** Leases granted to distinct (inum, callback) pairs (refreshes of an
+    existing lease are not re-counted). *)
+
+val leases_broken : t -> int
+(** Break_lease callbacks sent before acknowledging conflicting
+    mutations.  The server's Send blocks until the holder's callback
+    fiber acknowledges the invalidation, so a counted break implies the
+    holder's cache was purged before the write was acked. *)
+
+val leases_expired : t -> int
+(** Leases dropped {e without} a callback because the holder's term had
+    elapsed or its host was suspected by the failure detector. *)
+
+val grace_waits : t -> int
+(** Conflicting mutations that had to wait out the post-restart grace
+    period.  A restarted server's lease table died with its previous
+    incarnation, so until one full lease term has elapsed since restart
+    it withholds every conflicting acknowledgement — the only sound
+    bound on leases it can no longer enumerate (Gray-Cheriton lease
+    recovery).  Zero when the previous incarnation never granted a
+    lease. *)
 
 val requests_served : t -> int
 val pages_read : t -> int

@@ -246,6 +246,85 @@ let test_double_open () =
           (fs_get (Vfs.Fs.read fs ~inum ~pos:(b * 512) ~len:512))
       done)
 
+(* Regression: a write-back flush whose reply version jumps by more than
+   one (a remote writer got in between) must still retag the block just
+   pushed — the server stored exactly these bytes, so they are current
+   at the reply version no matter how big the gap.  The old code only
+   retagged on the expected-successor reply and then refetched its own
+   data from the server. *)
+let test_writeback_retag_gap () =
+  let tb, _ = rig () in
+  Util.run_as_process tb ~host:2 (fun _ ->
+      let io, cache =
+        make_io tb ~host:2 ~capacity:8 ~policy:Vfs.Cache.Write_back
+      in
+      let f = get (Io.open_file io "data") in
+      (* Dirty block 0 locally; nothing reaches the server yet. *)
+      let (_ : int) = get (Io.write f ~off:0 (Bytes.make 512 'W')) in
+      (* A remote writer bumps the file version behind our back. *)
+      let k3 = kernel_of tb 3 in
+      let done_ = ref false in
+      let (_ : Vkernel.Pid.t) =
+        K.spawn k3 ~name:"remote-writer" (fun pid ->
+            let mem = K.memory k3 pid in
+            let conn = get (Vfs.Client.connect k3 ()) in
+            let h = get (Vfs.Client.open_file conn "data") in
+            Vkernel.Mem.write mem ~pos:0 (Bytes.make 512 'R');
+            let (_ : int) =
+              get (Vfs.Client.write_page conn h ~block:5 ~buf:0 ~count:512)
+            in
+            get (Vfs.Client.close_file conn h);
+            done_ := true)
+      in
+      Vsim.Proc.sleep (Vsim.Time.ms 100);
+      Alcotest.(check bool) "remote writer ran" true !done_;
+      (* Our flush replies with a version two past what we observed. *)
+      get (Io.flush f);
+      let hits0 = (Vfs.Cache.stats cache).Vfs.Cache.hits in
+      Alcotest.(check bytes) "own bytes still correct" (Bytes.make 512 'W')
+        (get (Io.read f ~off:0 ~len:512));
+      Alcotest.(check int) "own flushed block re-read is a hit, not a refetch"
+        (hits0 + 1)
+        (Vfs.Cache.stats cache).Vfs.Cache.hits)
+
+(* Regression: two handles on the same file through one Io must share
+   one observed version.  With per-handle versions, alternating writes
+   leave each handle's version behind the server's, so every block the
+   other handle wrote looks stale and warm reads go remote again. *)
+let test_shared_version_across_handles () =
+  let tb, _ = rig () in
+  Util.run_as_process tb ~host:2 (fun _ ->
+      let io, cache =
+        make_io tb ~host:2 ~capacity:8 ~policy:Vfs.Cache.Write_through
+      in
+      let f1 = get (Io.open_file io "data") in
+      let f2 = get (Io.open_file io "data") in
+      let content b = Bytes.make 512 (Char.chr (Char.code 'A' + b)) in
+      List.iter
+        (fun (f, b) ->
+          let (_ : int) = get (Io.write f ~off:(b * 512) (content b)) in
+          ())
+        [ (f1, 0); (f2, 1); (f1, 2); (f2, 3) ];
+      Alcotest.(check int) "handles agree on the version"
+        (Io.file_version f1) (Io.file_version f2);
+      let hits0 = (Vfs.Cache.stats cache).Vfs.Cache.hits in
+      let misses0 = (Vfs.Cache.stats cache).Vfs.Cache.misses in
+      List.iter
+        (fun f ->
+          for b = 0 to 3 do
+            Alcotest.(check bytes)
+              (Printf.sprintf "block %d readback" b)
+              (content b)
+              (get (Io.read f ~off:(b * 512) ~len:512))
+          done)
+        [ f1; f2 ];
+      Alcotest.(check int) "all eight reads were warm hits" (hits0 + 8)
+        (Vfs.Cache.stats cache).Vfs.Cache.hits;
+      Alcotest.(check int) "no block was refetched" misses0
+        (Vfs.Cache.stats cache).Vfs.Cache.misses;
+      get (Io.close f2);
+      get (Io.close f1))
+
 (* The extended reply carries the inode number at full width: inums
    above 65535 must survive the encode/decode round trip, or clients
    would cache blocks under a truncated key. *)
@@ -339,6 +418,10 @@ let suite =
     Alcotest.test_case "flush failure keeps dirty" `Quick
       test_flush_failure_keeps_dirty;
     Alcotest.test_case "double open" `Quick test_double_open;
+    Alcotest.test_case "writeback retag across version gap" `Quick
+      test_writeback_retag_gap;
+    Alcotest.test_case "shared version across handles" `Quick
+      test_shared_version_across_handles;
     Alcotest.test_case "ext reply inum width" `Quick test_ext_reply_inum_width;
     Alcotest.test_case "unaligned access" `Quick test_unaligned;
     Alcotest.test_case "determinism" `Quick test_determinism;

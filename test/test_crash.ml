@@ -113,6 +113,114 @@ let test_crash_plus_drop () =
   Alcotest.(check (list string)) "crash+drop clean" []
     (violation_strings (Checker.run_crash_schedule s))
 
+(* Regression: session recovery's reopen used to drop the file's cache
+   entries — dirty images included — before the re-pushed writes were
+   acknowledged.  A second crash landing between the recovery open and
+   the write acks then left nothing dirty to retry: the next recovery
+   round found a clean cache, the flush reported Ok, and the data was
+   gone.  Script: dirty three blocks write-back, crash the server so the
+   flush enters recovery, and crash it again the moment the recovery's
+   first request is served (after the open, before the pushes are
+   acked).  Every block must still reach the recovered disk. *)
+let test_recovery_repush_survives_second_crash () =
+  let tb =
+    Util.testbed ~hosts:2 ~kernel_config:Vcheck.Workload.fast_config ()
+  in
+  let kernel i = (Vworkload.Testbed.host tb i).Vworkload.Testbed.kernel in
+  let fs =
+    Vworkload.Testbed.make_test_fs tb ~journal_blocks:64
+      ~files:[ ("data", 8 * 512) ]
+      ()
+  in
+  let server = Vfs.Server.start (kernel 1) fs ~restartable:true () in
+  let inum =
+    match Vfs.Fs.lookup fs "data" with
+    | Some i -> i
+    | None -> Alcotest.fail "data file missing"
+  in
+  let ready = ref false and down = ref false and crashes = ref 0 in
+  let crasher () =
+    let k1 = kernel 1 in
+    let await cond =
+      let tries = ref 0 in
+      while not (cond ()) && !tries < 5000 do
+        incr tries;
+        Vsim.Proc.sleep (Vsim.Time.ms 1)
+      done;
+      Alcotest.(check bool) "crasher: condition reached" true (cond ())
+    in
+    await (fun () -> !ready);
+    K.crash k1;
+    incr crashes;
+    down := true;
+    Vsim.Proc.sleep (Vsim.Time.ms 30);
+    K.restart k1;
+    (* The client's recovery round is under way: its reconnect and open
+       are the first requests the new incarnation serves.  Crash again
+       the instant one is answered — before the re-pushed dirty writes
+       are acknowledged. *)
+    let base = Vfs.Server.requests_served server in
+    let tries = ref 0 in
+    while Vfs.Server.requests_served server <= base && !tries < 5000 do
+      incr tries;
+      Vsim.Proc.sleep (Vsim.Time.us 200)
+    done;
+    Alcotest.(check bool) "crasher: recovery request observed" true
+      (Vfs.Server.requests_served server > base);
+    K.crash k1;
+    incr crashes;
+    Vsim.Proc.sleep (Vsim.Time.ms 30);
+    K.restart k1
+  in
+  Util.run_as_process tb ~host:2 (fun _ ->
+      let (_ : Vkernel.Pid.t) =
+        K.spawn (kernel 2) ~name:"crasher" (fun _ -> crasher ())
+      in
+      let k2 = kernel 2 in
+      let conn =
+        match Vfs.Client.connect k2 () with
+        | Ok c -> c
+        | Error e -> Alcotest.failf "connect: %s" (Vfs.Client.error_to_string e)
+      in
+      let cache =
+        Vfs.Cache.create tb.Vworkload.Testbed.eng ~host:2
+          { Vfs.Cache.capacity_blocks = 8; policy = Vfs.Cache.Write_back }
+      in
+      let io = Vfs.Client.Io.make ~cache ~recover:true conn in
+      let get = function
+        | Ok v -> v
+        | Error e -> Alcotest.failf "client: %s" (Vfs.Client.error_to_string e)
+      in
+      let f = get (Vfs.Client.Io.open_file io "data") in
+      let content b = Bytes.make 512 (Char.chr (Char.code 'a' + b)) in
+      for b = 0 to 2 do
+        let (_ : int) =
+          get (Vfs.Client.Io.write f ~off:(b * 512) (content b))
+        in
+        ()
+      done;
+      ready := true;
+      (* Flush only once the server is already down, so the recovery
+         path — not a clean push — carries every block. *)
+      let tries = ref 0 in
+      while not !down && !tries < 5000 do
+        incr tries;
+        Vsim.Proc.sleep (Vsim.Time.ms 1)
+      done;
+      get (Vfs.Client.Io.flush f);
+      get (Vfs.Client.Io.close f);
+      Alcotest.(check int) "both crashes fired" 2 !crashes;
+      for b = 0 to 2 do
+        let on_disk =
+          match Vfs.Fs.read fs ~inum ~pos:(b * 512) ~len:512 with
+          | Ok bytes -> bytes
+          | Error e -> Alcotest.failf "fs: %a" Vfs.Fs.pp_error e
+        in
+        Alcotest.(check bytes)
+          (Printf.sprintf "block %d survived the double crash" b)
+          (content b) on_disk
+      done)
+
 let suite =
   [
     Alcotest.test_case "kernel crash/restart semantics" `Quick
@@ -122,4 +230,6 @@ let suite =
     Alcotest.test_case "regression: stale getpid cache" `Quick
       test_regression_stale_getpid_cache;
     Alcotest.test_case "crash + dropped frame" `Quick test_crash_plus_drop;
+    Alcotest.test_case "recovery repush survives second crash" `Quick
+      test_recovery_repush_survives_second_crash;
   ]

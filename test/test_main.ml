@@ -20,6 +20,7 @@ let () =
       ("file-server", Test_server.suite);
       ("server-team", Test_team.suite);
       ("cache", Test_cache.suite);
+      ("lease", Test_lease.suite);
       ("baseline", Test_baseline.suite);
       ("workload", Test_workload.suite);
       ("vexec", Test_vexec.suite);
