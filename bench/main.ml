@@ -41,6 +41,8 @@ let experiments =
     ("check_sweep", Experiments.check_sweep);
     ("journal_overhead", Experiments.journal_overhead);
     ("lease_coherence", Experiments.lease_coherence);
+    ("gateway_penalty", Experiments.gateway_penalty);
+    ("boot_storm", Experiments.boot_storm);
     ("profile", Experiments.profile);
   ]
 

@@ -396,13 +396,35 @@ let check_cmd =
                    restart points instead of network faults, and with \
                    --repro to replay a schedule against this workload.")
   in
+  let inet =
+    Arg.(value & flag
+         & info [ "inet" ]
+             ~doc:"Sweep the cross-segment internetwork workload instead: \
+                   a client on a 3 Mb segment reaching an echo service and \
+                   a file server on a 10 Mb segment through a \
+                   store-and-forward gateway (doc/INTERNETWORK.md).  \
+                   Network faults act on the client's segment; with \
+                   --crash the schedule crashes + restarts the GATEWAY, \
+                   partitioning the segments until it returns.  Composes \
+                   with --repro.")
+  in
+  let failover =
+    Arg.(value & flag
+         & info [ "failover" ]
+             ~doc:"Sweep the sharded-service failover workload instead: \
+                   crash-STOP the shard-A primary at every baseline frame \
+                   (paired with one network fault at depth 2) and demand \
+                   the standby replica takes the shard over with no \
+                   acknowledged write lost (doc/INTERNETWORK.md).  \
+                   Composes with --repro.")
+  in
   let print_violations vs =
     List.iter
       (fun v ->
         Format.printf "  violation -- %a@." Vcheck.Checker.pp_violation v)
       vs
   in
-  let run spec depth limit repro emit json crash shared =
+  let run spec depth limit repro emit json crash shared inet failover =
     Spec.with_obs spec @@ fun () ->
     let seed = spec.Spec.seed in
     match repro with
@@ -423,7 +445,25 @@ let check_cmd =
             in
             Format.printf "replaying schedule: %a@." Vcheck.Schedule.pp s;
             let vs =
-              if shared then begin
+              if failover then begin
+                let report =
+                  Vcheck.Failover_workload.run
+                    ~fault:(Vcheck.Schedule.to_fault s) ?seed ()
+                in
+                Format.printf "@[<v>%a@]@." Vcheck.Checker.pp_failover_report
+                  report;
+                Vcheck.Checker.failover_violations_of report
+              end
+              else if inet then begin
+                let report =
+                  Vcheck.Inet_workload.run ~fault:(Vcheck.Schedule.to_fault s)
+                    ?seed ()
+                in
+                Format.printf "@[<v>%a@]@." Vcheck.Checker.pp_inet_report
+                  report;
+                Vcheck.Checker.inet_violations_of report
+              end
+              else if shared then begin
                 let report =
                   Vcheck.Shared_workload.run
                     ~fault:(Vcheck.Schedule.to_fault s) ?seed ()
@@ -457,7 +497,13 @@ let check_cmd =
                 exit 1))
     | None -> (
         let result =
-          if shared then
+          if failover then
+            Vcheck.Checker.sweep_failover ~depth ~limit ?seed
+              ~domains:spec.Spec.domains ()
+          else if inet then
+            Vcheck.Checker.sweep_inet ~crash ~depth ~limit ?seed
+              ~domains:spec.Spec.domains ()
+          else if shared then
             Vcheck.Checker.sweep_shared ~crash ~depth ~limit ?seed
               ~domains:spec.Spec.domains ()
           else if crash then
@@ -478,7 +524,9 @@ let check_cmd =
         | Ok r -> (
             Format.printf "baseline workload: %d frames, %d operations@."
               r.Vcheck.Checker.baseline_frames
-              (if shared then Vcheck.Shared_workload.op_count
+              (if failover then Vcheck.Failover_workload.op_count
+               else if inet then Vcheck.Inet_workload.op_count
+               else if shared then Vcheck.Shared_workload.op_count
                else if crash then Vcheck.Crash_workload.op_count
                else Vcheck.Workload.op_count);
             match r.Vcheck.Checker.failure with
@@ -487,11 +535,15 @@ let check_cmd =
                   "explored %d %s schedules (depth <= %d): no invariant \
                    violations@."
                   r.Vcheck.Checker.schedules_run
-                  (match (shared, crash) with
-                  | true, true -> "shared-coherence crash"
-                  | true, false -> "shared-coherence fault"
-                  | false, true -> "crash"
-                  | false, false -> "fault")
+                  (if failover then "crash-stop failover"
+                   else
+                     match (inet, shared, crash) with
+                     | true, _, true -> "internetwork gateway-crash"
+                     | true, _, false -> "internetwork fault"
+                     | false, true, true -> "shared-coherence crash"
+                     | false, true, false -> "shared-coherence fault"
+                     | false, false, true -> "crash"
+                     | false, false, false -> "fault")
                   depth
             | Some f ->
                 Format.printf "violation at schedule %d of the sweep@."
@@ -517,7 +569,80 @@ let check_cmd =
              paper's protocol invariants after every run; violations are \
              shrunk to a minimal replayable schedule")
     Term.(const run $ Spec.term $ depth $ limit $ repro $ emit $ json $ crash
-          $ shared)
+          $ shared $ inet $ failover)
+
+(* --- boot: the multicast boot storm ---------------------------------- *)
+
+let boot_cmd =
+  let clients =
+    Arg.(value & opt int 32
+         & info [ "clients" ] ~docv:"N"
+             ~doc:"Diskless clients booting simultaneously (1..200).")
+  in
+  let pages =
+    Arg.(value & opt int 128
+         & info [ "pages" ] ~docv:"N" ~doc:"Image size in pages.")
+  in
+  let page_bytes =
+    Arg.(value & opt int 512
+         & info [ "page-bytes" ] ~docv:"BYTES" ~doc:"Page payload size.")
+  in
+  let topology =
+    Arg.(value & opt (some string) None
+         & info [ "topology" ] ~docv:"SPEC"
+             ~doc:"Segment spec NET:CLIENTS,... (NET is 3mb or 10mb), e.g. \
+                   10mb:16,3mb:16; the boot server sits on the first \
+                   segment.  Overrides --clients.  Default: --clients split \
+                   over 10mb,3mb.")
+  in
+  let run spec clients pages page_bytes topology =
+    Spec.with_obs spec @@ fun () ->
+    let module Boot = Vworkload.Boot in
+    let segments =
+      match topology with
+      | None -> Boot.default_segments ~clients
+      | Some s -> (
+          match Vworkload.Topology.spec_of_string s with
+          | Ok segs -> segs
+          | Error e ->
+              Format.eprintf "--topology: %s@." e;
+              exit 1)
+    in
+    let config = { Boot.default_config with pages; page_bytes } in
+    let r = Boot.run ?seed:spec.Spec.seed ~config ~segments () in
+    let cpu_s_per_k, bytes_per_k = Boot.cost_per_1000_clients r in
+    Format.printf "boot storm: %d clients, %d x %d-byte pages over %d segments@."
+      r.Boot.clients r.Boot.pages r.Boot.page_bytes
+      (List.length r.Boot.media);
+    Format.printf "  completed        %b (%d/%d clients booted)@."
+      r.Boot.completed
+      (Array.fold_left
+         (fun a p -> a + if p = r.Boot.pages then 1 else 0)
+         0 r.Boot.per_client_pages)
+      r.Boot.clients;
+    Format.printf "  elapsed          %a ms@." Vsim.Time.pp_ms r.Boot.elapsed_ns;
+    Format.printf "  rounds           %d (%d pages re-multicast)@."
+      r.Boot.rounds r.Boot.resent_pages;
+    Format.printf "  server cpu       %a ms@." Vsim.Time.pp_ms
+      r.Boot.server_cpu_ns;
+    Format.printf "  network          %d bytes on the wire@." r.Boot.wire_bytes;
+    Format.printf "  gateway          %d forwarded, %d rebroadcast, %d \
+                   suppressed, %d dropped@."
+      r.Boot.gateway.Vnet.Gateway.forwarded
+      r.Boot.gateway.Vnet.Gateway.rebroadcast
+      r.Boot.gateway.Vnet.Gateway.suppressed
+      (r.Boot.gateway.Vnet.Gateway.queue_drops
+      + r.Boot.gateway.Vnet.Gateway.down_drops);
+    Format.printf "  cost_per_1000_clients  %.3f server-cpu s, %.0f net bytes@."
+      cpu_s_per_k bytes_per_k;
+    if not r.Boot.completed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "boot"
+       ~doc:"Boot storm: N diskless clients multicast-load one kernel image \
+             from a single boot server across a gatewayed two-segment \
+             internetwork, with NACK-driven re-multicast rounds")
+    Term.(const run $ Spec.term $ clients $ pages $ page_bytes $ topology)
 
 (* --- run: assemble a program and execute it on a diskless ws --------- *)
 
@@ -594,4 +719,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ ipc_cmd; penalty_cmd; move_cmd; page_cmd; load_cmd; seq_cmd;
-            capacity_cmd; fault_cmd; check_cmd; run_cmd ]))
+            capacity_cmd; fault_cmd; check_cmd; boot_cmd; run_cmd ]))

@@ -3,10 +3,9 @@ type violation = { invariant : string; detail : string }
 let pp_violation fmt v =
   Format.fprintf fmt "%s: %s" v.invariant v.detail
 
-(* Shared across both workloads: protocol tables must be empty at
-   quiescence, and the medium's frame accounting must balance. *)
-let kernel_and_medium_violations ~add (kernels : Workload.kernel_probe list)
-    (m : Vnet.Medium.stats) =
+(* Shared across all workloads: protocol tables must be empty at
+   quiescence, and each medium's frame accounting must balance. *)
+let kernel_violations ~add (kernels : Workload.kernel_probe list) =
   List.iter
     (fun (p : Workload.kernel_probe) ->
       let t = p.Workload.tables in
@@ -22,13 +21,20 @@ let kernel_and_medium_violations ~add (kernels : Workload.kernel_probe list)
       leak "mf_outs" t.Vkernel.Kernel.mf_outs_pending;
       leak "getpid waits" t.Vkernel.Kernel.getpid_pending;
       leak "blocked senders" t.Vkernel.Kernel.sends_blocked)
-    kernels;
+    kernels
+
+let medium_conservation ~add ?(label = "medium") (m : Vnet.Medium.stats) =
   let open Vnet.Medium in
   if m.targeted + m.duplicated <> m.delivered + m.dropped then
     add "conservation"
       (Printf.sprintf
-         "medium: targeted %d + duplicated %d <> delivered %d + dropped %d"
+         "%s: targeted %d + duplicated %d <> delivered %d + dropped %d" label
          m.targeted m.duplicated m.delivered m.dropped)
+
+let kernel_and_medium_violations ~add (kernels : Workload.kernel_probe list)
+    (m : Vnet.Medium.stats) =
+  kernel_violations ~add kernels;
+  medium_conservation ~add m
 
 (* Judge one run report against the paper's claims.  A depth-2 schedule
    can force at most a few retransmissions, far under max_retries, so
@@ -152,6 +158,88 @@ let shared_violations_of (r : Shared_workload.report) =
     r.Shared_workload.medium;
   List.rev !vs
 
+(* Judge one cross-segment run.  The deepened retry budget means even a
+   full gateway outage is survivable, so per-op success still holds
+   under any depth-2 schedule.  Two internetwork-specific invariants:
+   conservation must hold on every segment independently, and no
+   unicast frame may reach the gateway unrouted (the topology installs a
+   route for every host). *)
+let inet_violations_of (r : Inet_workload.report) =
+  let vs = ref [] in
+  let add invariant detail = vs := { invariant; detail } :: !vs in
+  if not r.Inet_workload.completed then
+    add "termination"
+      (Printf.sprintf "run did not quiesce cleanly (%d events executed)"
+         r.Inet_workload.events);
+  List.iter
+    (fun (o : Inet_workload.op_result) ->
+      if not o.Inet_workload.ok then
+        add "op-result"
+          (Printf.sprintf "%s failed (%s)" o.Inet_workload.op
+             o.Inet_workload.detail))
+    r.Inet_workload.ops;
+  if
+    r.Inet_workload.completed
+    && List.length r.Inet_workload.ops < Inet_workload.op_count
+  then
+    add "op-result"
+      (Printf.sprintf "only %d of %d operations ran"
+         (List.length r.Inet_workload.ops)
+         Inet_workload.op_count);
+  let g = r.Inet_workload.gateway in
+  if g.Vnet.Gateway.unrouted <> 0 then
+    add "gw-routed"
+      (Printf.sprintf "gateway saw %d unroutable unicast frames"
+         g.Vnet.Gateway.unrouted);
+  kernel_violations ~add r.Inet_workload.kernels;
+  List.iteri
+    (fun i m ->
+      medium_conservation ~add ~label:(Printf.sprintf "segment %d" i) m)
+    r.Inet_workload.media;
+  List.rev !vs
+
+(* Judge one failover run.  Crash schedules here are crash-stop, so
+   termination and per-op success certify that the standby took the
+   shard over in time; durability demands the acked writes crossed the
+   takeover intact.  One detector-shaped invariant on top: if the
+   primary crashed before the client finished writing, somebody must
+   actually have taken over. *)
+let failover_violations_of (r : Failover_workload.report) =
+  let vs = ref [] in
+  let add invariant detail = vs := { invariant; detail } :: !vs in
+  if not r.Failover_workload.completed then
+    add "termination"
+      (Printf.sprintf "run did not quiesce cleanly (%d events executed)"
+         r.Failover_workload.events);
+  List.iter
+    (fun (o : Failover_workload.op_result) ->
+      if not o.Failover_workload.ok then
+        add "op-result"
+          (Printf.sprintf "%s failed (%s)" o.Failover_workload.op
+             o.Failover_workload.detail))
+    r.Failover_workload.ops;
+  if
+    r.Failover_workload.completed
+    && List.length r.Failover_workload.ops < Failover_workload.op_count
+  then
+    add "op-result"
+      (Printf.sprintf "only %d of %d operations ran"
+         (List.length r.Failover_workload.ops)
+         Failover_workload.op_count);
+  List.iter
+    (fun b ->
+      add "durability" (Printf.sprintf "acknowledged write to block %d lost" b))
+    r.Failover_workload.acked_lost;
+  List.iter
+    (fun b ->
+      add "atomicity"
+        (Printf.sprintf "block %d torn: neither old nor new image" b))
+    r.Failover_workload.torn;
+  List.iter (fun msg -> add "fs-consistent" msg) r.Failover_workload.fsck;
+  kernel_violations ~add r.Failover_workload.kernels;
+  medium_conservation ~add r.Failover_workload.medium;
+  List.rev !vs
+
 let run_schedule ?max_events ?seed (s : Schedule.t) =
   violations_of (Workload.run ~fault:(Schedule.to_fault s) ?max_events ?seed ())
 
@@ -162,6 +250,14 @@ let run_crash_schedule ?max_events ?seed (s : Schedule.t) =
 let run_shared_schedule ?max_events ?seed (s : Schedule.t) =
   shared_violations_of
     (Shared_workload.run ~fault:(Schedule.to_fault s) ?max_events ?seed ())
+
+let run_inet_schedule ?max_events ?seed (s : Schedule.t) =
+  inet_violations_of
+    (Inet_workload.run ~fault:(Schedule.to_fault s) ?max_events ?seed ())
+
+let run_failover_schedule ?max_events ?seed (s : Schedule.t) =
+  failover_violations_of
+    (Failover_workload.run ~fault:(Schedule.to_fault s) ?max_events ?seed ())
 
 (* A deterministic, wall-clock-free digest of one run, for replay
    diagnosis. *)
@@ -253,6 +349,67 @@ let pp_shared_report fmt (r : Shared_workload.report) =
     m.Vnet.Medium.attempted m.Vnet.Medium.targeted m.Vnet.Medium.delivered
     m.Vnet.Medium.dropped m.Vnet.Medium.duplicated m.Vnet.Medium.collisions
     m.Vnet.Medium.excessive
+
+let pp_medium_line fmt label (m : Vnet.Medium.stats) =
+  Format.fprintf fmt
+    "%s: attempted=%d targeted=%d delivered=%d dropped=%d duplicated=%d \
+     collisions=%d excessive=%d"
+    label m.Vnet.Medium.attempted m.Vnet.Medium.targeted
+    m.Vnet.Medium.delivered m.Vnet.Medium.dropped m.Vnet.Medium.duplicated
+    m.Vnet.Medium.collisions m.Vnet.Medium.excessive
+
+let pp_inet_report fmt (r : Inet_workload.report) =
+  let open Inet_workload in
+  Format.fprintf fmt "completed=%b frames=%d gw_crashes=%d gw_restarts=%d@,"
+    r.completed r.frames r.gw_crashes r.gw_restarts;
+  List.iter
+    (fun (o : op_result) ->
+      Format.fprintf fmt "op %-10s %s (%s)@," o.op
+        (if o.ok then "ok" else "FAILED")
+        o.detail)
+    r.ops;
+  let g = r.gateway in
+  Format.fprintf fmt
+    "gateway: received=%d forwarded=%d rebroadcast=%d queue_drops=%d \
+     unrouted=%d suppressed=%d crc_drops=%d down_drops=%d@,"
+    g.Vnet.Gateway.received g.Vnet.Gateway.forwarded
+    g.Vnet.Gateway.rebroadcast g.Vnet.Gateway.queue_drops
+    g.Vnet.Gateway.unrouted g.Vnet.Gateway.suppressed g.Vnet.Gateway.crc_drops
+    g.Vnet.Gateway.down_drops;
+  List.iter
+    (fun (p : Workload.kernel_probe) ->
+      Format.fprintf fmt "host %d: %a@,        %a@," p.Workload.host
+        Vkernel.Kernel.pp_stats p.Workload.kstats
+        Vkernel.Kernel.pp_table_counts p.Workload.tables)
+    r.kernels;
+  List.iteri
+    (fun i m ->
+      if i > 0 then Format.fprintf fmt "@,";
+      pp_medium_line fmt (Printf.sprintf "segment %d" i) m)
+    r.media
+
+let pp_failover_report fmt (r : Failover_workload.report) =
+  let open Failover_workload in
+  Format.fprintf fmt
+    "completed=%b frames=%d crashes=%d took_over=%b probes=%d@," r.completed
+    r.frames r.crashes r.took_over r.probes;
+  List.iter
+    (fun (o : op_result) ->
+      Format.fprintf fmt "op %-10s %s (%s)@," o.op
+        (if o.ok then "ok" else "FAILED")
+        o.detail)
+    r.ops;
+  let ints l = String.concat "," (List.map string_of_int l) in
+  Format.fprintf fmt "acked=[%s] lost=[%s] torn=[%s]@," (ints r.acked)
+    (ints r.acked_lost) (ints r.torn);
+  List.iter (fun msg -> Format.fprintf fmt "fsck: %s@," msg) r.fsck;
+  List.iter
+    (fun (p : Workload.kernel_probe) ->
+      Format.fprintf fmt "host %d: %a@,        %a@," p.Workload.host
+        Vkernel.Kernel.pp_stats p.Workload.kstats
+        Vkernel.Kernel.pp_table_counts p.Workload.tables)
+    r.kernels;
+  pp_medium_line fmt "medium" r.medium
 
 (* Greedy delta debugging: drop one entry at a time, keeping any removal
    that preserves a violation, until no single removal does.  [run] is a
@@ -401,6 +558,47 @@ let sweep_shared ?(crash = false) ?(depth = 2) ?(limit = 600) ?restart_ns
         else Schedule.enumerate ~depth ~frames ~actions
       in
       let ran, failure = sweep_seq ~limit ~domains ~progress ~run seq in
+      Ok { depth; limit; schedules_run = ran; baseline_frames = frames; failure }
+
+(* Cross-segment exploration over the internetwork workload: every
+   network-fault schedule on segment 0, or with [crash] every GATEWAY
+   crash + restart point paired with an optional network fault — the
+   gateway outage / partition-healing regime. *)
+let sweep_inet ?(crash = false) ?(depth = 2) ?(limit = 600) ?restart_ns
+    ?(actions = Schedule.default_actions) ?max_events ?seed
+    ?(domains = Vsim.Pool.default_domains) ?(progress = fun _ -> ()) () =
+  let baseline = Inet_workload.run ?max_events ?seed () in
+  match inet_violations_of baseline with
+  | _ :: _ as vs -> Error vs
+  | [] ->
+      let frames = baseline.Inet_workload.frames in
+      let run s = run_inet_schedule ?max_events ?seed s in
+      let seq =
+        if crash then
+          Schedule.enumerate_crash ~depth ~frames ?restart_ns ~actions ()
+        else Schedule.enumerate ~depth ~frames ~actions
+      in
+      let ran, failure = sweep_seq ~limit ~domains ~progress ~run seq in
+      Ok { depth; limit; schedules_run = ran; baseline_frames = frames; failure }
+
+(* Failover exploration: crash-STOP the shard-A primary at every
+   baseline frame (depth 1), optionally paired with one network fault
+   (depth 2), via {!Schedule.enumerate_crash_only}.  Completion under
+   every schedule certifies the standby takeover; durability certifies
+   no acked write was lost across it. *)
+let sweep_failover ?(depth = 1) ?(limit = 600)
+    ?(actions = Schedule.default_actions) ?max_events ?seed
+    ?(domains = Vsim.Pool.default_domains) ?(progress = fun _ -> ()) () =
+  let baseline = Failover_workload.run ?max_events ?seed () in
+  match failover_violations_of baseline with
+  | _ :: _ as vs -> Error vs
+  | [] ->
+      let frames = baseline.Failover_workload.frames in
+      let run s = run_failover_schedule ?max_events ?seed s in
+      let ran, failure =
+        sweep_seq ~limit ~domains ~progress ~run
+          (Schedule.enumerate_crash_only ~depth ~frames ~actions ())
+      in
       Ok { depth; limit; schedules_run = ran; baseline_frames = frames; failure }
 
 (* Deterministic JSON rendering of a sweep report: everything in it is a

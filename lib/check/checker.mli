@@ -31,6 +31,20 @@ val shared_violations_of : Shared_workload.report -> violation list
     under a still-valid lease cost zero server requests) — plus the
     shared table-drain and conservation checks. *)
 
+val inet_violations_of : Inet_workload.report -> violation list
+(** Empty iff the cross-segment run upholds termination and per-op
+    success (the deepened retry budget makes even a full gateway outage
+    survivable), no unroutable unicast reached the gateway, the
+    table-drain checks, and delivery conservation on {e every} segment
+    independently. *)
+
+val failover_violations_of : Failover_workload.report -> violation list
+(** Empty iff the failover run upholds termination and per-op success
+    (under a crash-stop schedule that certifies the standby takeover),
+    durability (no acknowledged write lost across the takeover),
+    atomicity, fs-consistency on both shards, and the table-drain and
+    conservation checks (live hosts only). *)
+
 val run_schedule : ?max_events:int -> ?seed:int64 -> Schedule.t -> violation list
 (** One workload run under the schedule, judged. *)
 
@@ -44,6 +58,16 @@ val run_shared_schedule :
 (** One shared-coherence run under the schedule, judged by
     {!shared_violations_of}. *)
 
+val run_inet_schedule :
+  ?max_events:int -> ?seed:int64 -> Schedule.t -> violation list
+(** One cross-segment run under the schedule (host events crash/restart
+    the gateway), judged by {!inet_violations_of}. *)
+
+val run_failover_schedule :
+  ?max_events:int -> ?seed:int64 -> Schedule.t -> violation list
+(** One failover run under the schedule (crash entries stop the shard-A
+    primary for good), judged by {!failover_violations_of}. *)
+
 val pp_report : Format.formatter -> Workload.report -> unit
 (** Deterministic digest of a run (ops, ledger, per-kernel stats and
     tables, medium counters) for replay diagnosis. *)
@@ -54,6 +78,14 @@ val pp_crash_report : Format.formatter -> Crash_workload.report -> unit
 val pp_shared_report : Format.formatter -> Shared_workload.report -> unit
 (** Same, for a coherence run: both clients' ops, lease counters, stale
     findings. *)
+
+val pp_inet_report : Format.formatter -> Inet_workload.report -> unit
+(** Same, for a cross-segment run: ops, gateway counters, per-segment
+    medium counters. *)
+
+val pp_failover_report : Format.formatter -> Failover_workload.report -> unit
+(** Same, for a failover run: ops, takeover state, acked/lost/torn
+    blocks, fsck findings on both shards. *)
 
 val shrink : run:(Schedule.t -> violation list) -> Schedule.t -> Schedule.t
 (** Greedy delta debugging: repeatedly remove any single entry whose
@@ -129,6 +161,43 @@ val sweep_shared :
     ({!Schedule.enumerate_crash}), judged by {!shared_violations_of}.
     Same chunked execution, determinism guarantees and failure shrinking
     as {!sweep}. *)
+
+val sweep_inet :
+  ?crash:bool ->
+  ?depth:int ->
+  ?limit:int ->
+  ?restart_ns:int ->
+  ?actions:Vnet.Fault.action list ->
+  ?max_events:int ->
+  ?seed:int64 ->
+  ?domains:int ->
+  ?progress:(int -> unit) ->
+  unit ->
+  (sweep_report, violation list) result
+(** Cross-segment exploration over {!Inet_workload}: every network-fault
+    schedule on segment 0 up to [depth] (default 2), or with [crash]
+    every {e gateway} crash + restart point optionally paired with one
+    network fault ({!Schedule.enumerate_crash}) — the partition-healing
+    regime.  Same chunked execution, determinism guarantees and failure
+    shrinking as {!sweep}. *)
+
+val sweep_failover :
+  ?depth:int ->
+  ?limit:int ->
+  ?actions:Vnet.Fault.action list ->
+  ?max_events:int ->
+  ?seed:int64 ->
+  ?domains:int ->
+  ?progress:(int -> unit) ->
+  unit ->
+  (sweep_report, violation list) result
+(** Failover exploration over {!Failover_workload}: crash-stop the
+    shard-A primary at every baseline frame (depth 1, the default),
+    optionally paired with one network fault (depth 2), via
+    {!Schedule.enumerate_crash_only}.  Completion certifies the standby
+    takeover; durability certifies no acked write lost across it.  Same
+    chunked execution, determinism guarantees and failure shrinking as
+    {!sweep}. *)
 
 val report_to_json : sweep_report -> string
 (** Compact, deterministic JSON for [vsim check --json] and CI

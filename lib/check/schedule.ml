@@ -185,3 +185,33 @@ let enumerate_crash ~depth ~frames ?(restart_ns = default_restart_ns)
   | d ->
       invalid_arg
         (Printf.sprintf "Schedule.enumerate_crash: depth %d not supported" d)
+
+(* Crash-stop enumeration: like {!enumerate_crash} but the host never
+   comes back.  This is the failover regime — completion then depends on
+   a standby taking over the dead host's service, which is exactly the
+   property the failover workload sweeps. *)
+let enumerate_crash_only ~depth ~frames ?(actions = default_actions) () =
+  let crash f = { frame = f; action = Crash } in
+  let frame_seq = Seq.init frames (fun i -> i + 1) in
+  let depth1 = Seq.map (fun f -> [ crash f ]) frame_seq in
+  let depth2 =
+    Seq.concat_map
+      (fun f1 ->
+        Seq.concat_map
+          (fun f2 ->
+            if f2 = f1 then Seq.empty
+            else
+              List.to_seq actions
+              |> Seq.map (fun a ->
+                     let e2 = { frame = f2; action = Net a } in
+                     if f2 < f1 then [ e2; crash f1 ] else [ crash f1; e2 ]))
+          frame_seq)
+      frame_seq
+  in
+  match depth with
+  | 1 -> depth1
+  | 2 -> Seq.append depth1 depth2
+  | d ->
+      invalid_arg
+        (Printf.sprintf "Schedule.enumerate_crash_only: depth %d not supported"
+           d)

@@ -63,3 +63,13 @@ val enumerate_crash :
     [1..frames]; depth 2 additionally pairs each crash point with one
     network fault at every other frame (before or after the crash).
     Lazy, deterministic, duplicate-free. *)
+
+val enumerate_crash_only :
+  depth:int ->
+  frames:int ->
+  ?actions:Vnet.Fault.action list ->
+  unit ->
+  t Seq.t
+(** Like {!enumerate_crash} but crash-stop: the host never restarts, so
+    completion requires a standby to take the service over (the failover
+    workload's regime). *)

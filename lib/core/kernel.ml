@@ -329,9 +329,16 @@ let current t =
 (* ------------------------------------------------------------------ *)
 (* Adaptive retransmission: per-destination RTO (Jacobson/Karn)        *)
 
-(* GetPid broadcasts have no single destination host; they share one
-   estimator under this pseudo-destination. *)
-let broadcast_dst = -1
+(* GetPid broadcasts have no single destination host.  They used to share
+   one estimator under a single pseudo-destination (-1), but once
+   broadcasts span gateway-joined segments with different round-trip
+   times that is wrong both ways: a slow segment's samples inflate the
+   timeout for every local lookup, and a fast segment's samples starve a
+   cross-gateway lookup into spurious retransmission.  Each logical id
+   answers from one place, so keying the estimator by the id being
+   resolved gives every service its own (effectively per-segment/per-hop)
+   timer.  Pseudo-destinations are negative, disjoint from host ids. *)
+let getpid_dst ~logical_id = -1 - logical_id
 
 (* Cost-model seed for a destination we have never measured: the CPU side
    of an idealized remote S-R-R, both directions.  It deliberately
@@ -1483,7 +1490,8 @@ let handle_getpid_reply t (pkt : Packet.t) =
         if gw.gw_tries = 1 then Some (Vsim.Engine.now t.eng - gw.gw_born)
         else None
       in
-      rto_note_success t ~dst_host:broadcast_dst ~sample_ns:sample;
+      rto_note_success t ~dst_host:(getpid_dst ~logical_id:lid)
+        ~sample_ns:sample;
       if not (Pid.is_nil pkt.Packet.src_pid) then
         rto_note_success t
           ~dst_host:(Pid.host pkt.Packet.src_pid)
@@ -2357,14 +2365,14 @@ let set_pid t ~logical_id pid scope =
   charge t (model t).Vhw.Cost_model.syscall_ns;
   Hashtbl.replace t.registry logical_id { re_pid = pid; re_scope = scope }
 
-(* GetPid rides the shared retransmission machinery: the broadcast
+(* GetPid rides the shared retransmission machinery: each logical id's
    pseudo-destination gets the same adaptive timer, backoff and stats
    accounting as every other exchange (retransmissions / timeouts_fired),
    with [1 + max_retries] attempts total. *)
 let rec getpid_broadcast t ~logical_id (gw : getpid_wait) ~me =
   gw.gw_tries <- gw.gw_tries + 1;
   if gw.gw_tries > 1 + t.cfg.max_retries then begin
-    ignore (rto_note_exhausted t ~dst_host:broadcast_dst : status);
+    ignore (rto_note_exhausted t ~dst_host:(getpid_dst ~logical_id) : status);
     Hashtbl.remove t.getpid_waits logical_id;
     List.iter (fun k -> k None) (List.rev gw.gw_waiters)
   end
@@ -2388,14 +2396,15 @@ let rec getpid_broadcast t ~logical_id (gw : getpid_wait) ~me =
     send_pkt_gen t ~dst_addr:Vnet.Addr.broadcast pkt ignore;
     gw.gw_gen <- gw.gw_gen + 1;
     let gen = gw.gw_gen in
-    let rto = rto_timeout_ns t ~dst_host:broadcast_dst ~bytes:0 in
+    let rto = rto_timeout_ns t ~dst_host:(getpid_dst ~logical_id) ~bytes:0 in
     gw.gw_timer <-
       Some
         (Vsim.Engine.after t.eng ~kind:k_rto_getpid rto (fun () ->
              match Hashtbl.find_opt t.getpid_waits logical_id with
              | Some gw' when gw' == gw && gw.gw_gen = gen ->
                  gw.gw_timer <- None;
-                 rto_note_expiry t ~dst_host:broadcast_dst ~kind:"getpid"
+                 rto_note_expiry t ~dst_host:(getpid_dst ~logical_id)
+                   ~kind:"getpid"
                    ~seq:pkt.Packet.seq ~attempt:gw.gw_tries ~rto_ns:rto;
                  getpid_broadcast t ~logical_id gw ~me
              | Some _ | None -> ()))

@@ -24,3 +24,4 @@ let ethertype_kernel = 0x0512
 let ethertype_wfs = 0x0513
 let ethertype_stream = 0x0514
 let ethertype_raw = 0x0515
+let ethertype_boot = 0x0516

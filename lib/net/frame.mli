@@ -34,3 +34,6 @@ val ethertype_stream : int
 
 val ethertype_raw : int
 (** Raw test traffic (network-penalty measurements). *)
+
+val ethertype_boot : int
+(** Multicast boot/page-load protocol (the boot-storm rig). *)

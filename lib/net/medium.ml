@@ -62,6 +62,8 @@ type t = {
   eng : Vsim.Engine.t;
   rng : Vsim.Rng.t;
   ports : (Addr.t, port) Hashtbl.t;
+  taps : (Addr.t, port) Hashtbl.t;
+      (** promiscuous stations (bridges): targeted by every frame *)
   waiters : pending Queue.t;
   mutable busy_until : Vsim.Time.t;
   mutable current : current option;
@@ -99,6 +101,7 @@ let create eng cfg =
     eng;
     rng = Vsim.Rng.split (Vsim.Engine.rng eng);
     ports = Hashtbl.create 16;
+    taps = Hashtbl.create 4;
     waiters = Queue.create ();
     busy_until = 0;
     current = None;
@@ -132,6 +135,15 @@ let attach t ~addr ~rx =
     Fmt.invalid_arg "Medium.attach: address %d already attached" addr;
   let port = { paddr = addr; prx = rx } in
   Hashtbl.replace t.ports addr port;
+  port
+
+let attach_tap t ~addr ~rx =
+  if not (Addr.is_valid addr) || Addr.is_broadcast addr then
+    invalid_arg "Medium.attach_tap: bad address";
+  if Hashtbl.mem t.ports addr || Hashtbl.mem t.taps addr then
+    Fmt.invalid_arg "Medium.attach_tap: address %d already attached" addr;
+  let port = { paddr = addr; prx = rx } in
+  Hashtbl.replace t.taps addr port;
   port
 
 let stats t =
@@ -186,18 +198,31 @@ let deliver_to t frame (port : port) =
   end
 
 (* The stations a completed transmission is aimed at.  An unattached
-   unicast destination yields the empty list: those bits fall on the
-   floor and are not counted as targeted. *)
+   unicast destination with no tap listening yields the empty list: those
+   bits fall on the floor and are not counted as targeted.  Taps
+   (promiscuous bridge ports) hear every frame they did not source
+   themselves, appended after the regular ports so that a tapless medium
+   keeps the exact delivery order it had before taps existed. *)
+let tap_targets t frame acc =
+  Hashtbl.fold
+    (fun addr port acc ->
+      if Addr.equal addr frame.Frame.src then acc else port :: acc)
+    t.taps acc
+
 let targets t frame =
-  if Frame.is_broadcast frame then
-    Hashtbl.fold
-      (fun addr port acc ->
-        if Addr.equal addr frame.Frame.src then acc else port :: acc)
-      t.ports []
-  else
-    match Hashtbl.find_opt t.ports frame.Frame.dst with
-    | Some port -> [ port ]
-    | None -> []
+  let direct =
+    if Frame.is_broadcast frame then
+      Hashtbl.fold
+        (fun addr port acc ->
+          if Addr.equal addr frame.Frame.src then acc else port :: acc)
+        t.ports []
+    else
+      match Hashtbl.find_opt t.ports frame.Frame.dst with
+      | Some port -> [ port ]
+      | None -> []
+  in
+  if Hashtbl.length t.taps = 0 then direct
+  else direct @ List.rev (tap_targets t frame [])
 
 (* Batched delivery: one event per arrival instant covers every target
    port, iterated in target order — the same relative delivery order the
@@ -382,11 +407,14 @@ and drain t =
     attempt t p
   done
 
-let transmit ?(on_sent = ignore) t frame =
+let transmit ?(on_sent = ignore) ?(bridged = false) t frame =
   if Frame.length frame > t.cfg.max_payload then
     Fmt.invalid_arg "Medium.transmit: frame of %d bytes exceeds max %d"
       (Frame.length frame) t.cfg.max_payload;
-  if not (Hashtbl.mem t.ports frame.Frame.src) then
+  (* A bridge forwards frames transparently: the original source address
+     is preserved even though that station is attached to another segment,
+     so Mapped-mode address learning keeps working across the gateway. *)
+  if (not bridged) && not (Hashtbl.mem t.ports frame.Frame.src) then
     invalid_arg "Medium.transmit: source not attached";
   t.s_attempted <- t.s_attempted + 1;
   attempt t { frame; attempts = 0; on_sent }

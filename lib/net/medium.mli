@@ -53,12 +53,23 @@ val attach : t -> addr:Addr.t -> rx:(Frame.t -> unit) -> port
     frames (the NIC's CRC check is the receiver's job). Each address may be
     attached once. *)
 
-val transmit : ?on_sent:(unit -> unit) -> t -> Frame.t -> unit
+val attach_tap : t -> addr:Addr.t -> rx:(Frame.t -> unit) -> port
+(** Connect a promiscuous station (a bridge port): [rx] is invoked for
+    {e every} frame on the segment — unicast, broadcast, attached or
+    unattached destination — except frames the tap itself sourced.  Taps
+    are targeted after the regular ports, so attaching one never changes
+    the relative delivery order existing stations observe.  Like ports,
+    taps are counted in {!stats} ([targeted]/[delivered]) and are subject
+    to fault injection. *)
+
+val transmit : ?on_sent:(unit -> unit) -> ?bridged:bool -> t -> Frame.t -> unit
 (** Queue a frame for transmission from [frame.src] (which must be
     attached). Asynchronous: returns immediately; CSMA/CD and delivery
     proceed via events.  [on_sent] fires when the frame leaves the wire
     (or is abandoned after excessive collisions) — NICs use it to free
-    their single transmit buffer. *)
+    their single transmit buffer.  [bridged] waives the source-attachment
+    check: a store-and-forward bridge re-transmits frames verbatim, so
+    the source address names a station on {e another} segment. *)
 
 val set_fault : t -> Fault.t -> unit
 val fault : t -> Fault.t

@@ -10,9 +10,27 @@
    index is the same on every run regardless of domain count or
    scheduling.
 
+   Worker domains are persistent.  Sweep drivers run thousands of small
+   batches (the checker chunks schedules 32 x domains at a time), and
+   spawning a domain costs far more than running one chunk: the first
+   parallel [run] spawns the workers, later runs reuse them, and an
+   [at_exit] hook joins them at program end.  Workers park on a condition
+   variable between batches; a batch is published as a generation bump
+   plus a monomorphic [unit -> unit] body closure that carries the typed
+   job array, cursor, and result slots in its environment.  The
+   publish/complete handshake runs under one mutex, whose acquire/release
+   pairs give the happens-before edges that make worker-written result
+   slots safe to read from the caller after the batch completes.
+
+   Reentrancy: a job may itself call [run] (a bench grid cell running a
+   checker sweep, say).  The persistent pool serves one batch at a time —
+   a nested or concurrent call finds it busy and falls back to spawning
+   ephemeral domains for just that batch, the pre-persistence behaviour.
+
    [domains <= 1] short-circuits to a plain sequential loop in the
    calling domain: no spawns, no atomics on the hot path, exceptions
-   propagate directly — byte-identical to the pre-Pool drivers. *)
+   propagate directly — byte-identical to the pre-Pool drivers.  Job
+   results never depend on which path ran them. *)
 
 exception Job_failed of { index : int; label : string; exn : exn }
 
@@ -33,44 +51,42 @@ let run_seq jobs =
       with exn -> raise (Job_failed { index = i; label = Job.label j; exn }))
     jobs
 
-let run ?(domains = default_domains) jobs =
-  let n = Array.length jobs in
-  if domains <= 1 || n <= 1 then run_seq jobs
-  else begin
-    let results : _ option array = Array.make n None in
-    let next = Atomic.make 0 in
-    (* Lowest failing index seen so far; claims stop once any failure is
-       recorded, so the fleet drains quickly on error. *)
-    let failed : (int * exn) option Atomic.t = Atomic.make None in
-    let record_failure i exn =
-      let rec loop () =
-        match Atomic.get failed with
-        | Some (j, _) when j <= i -> ()
-        | cur ->
-            if not (Atomic.compare_and_set failed cur (Some (i, exn))) then
-              loop ()
-      in
-      loop ()
+(* --- the shared batch machinery ------------------------------------- *)
+
+(* The per-batch claim loop, identical for persistent workers, ephemeral
+   workers and the calling domain.  Returns the completed result array or
+   raises the deterministic lowest-index failure. *)
+let make_batch jobs n =
+  let results : _ option array = Array.make n None in
+  let next = Atomic.make 0 in
+  (* Lowest failing index seen so far; claims stop once any failure is
+     recorded, so the fleet drains quickly on error. *)
+  let failed : (int * exn) option Atomic.t = Atomic.make None in
+  let record_failure i exn =
+    let rec loop () =
+      match Atomic.get failed with
+      | Some (j, _) when j <= i -> ()
+      | cur ->
+          if not (Atomic.compare_and_set failed cur (Some (i, exn))) then
+            loop ()
     in
-    let worker () =
-      let continue = ref true in
-      while !continue do
-        if Atomic.get failed <> None then continue := false
-        else begin
-          let i = Atomic.fetch_and_add next 1 in
-          if i >= n then continue := false
-          else
-            match Job.run jobs.(i) with
-            | r -> results.(i) <- Some r
-            | exception exn -> record_failure i exn
-        end
-      done
-    in
-    let spawned =
-      Array.init (min (domains - 1) (n - 1)) (fun _ -> Domain.spawn worker)
-    in
-    worker ();
-    Array.iter Domain.join spawned;
+    loop ()
+  in
+  let body () =
+    let continue = ref true in
+    while !continue do
+      if Atomic.get failed <> None then continue := false
+      else begin
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n then continue := false
+        else
+          match Job.run jobs.(i) with
+          | r -> results.(i) <- Some r
+          | exception exn -> record_failure i exn
+      end
+    done
+  in
+  let finish () =
     match Atomic.get failed with
     | Some (i, exn) ->
         raise (Job_failed { index = i; label = Job.label jobs.(i); exn })
@@ -80,7 +96,113 @@ let run ?(domains = default_domains) jobs =
             | Some r -> r
             | None -> assert false (* no failure => every slot filled *))
           results
+  in
+  (body, finish)
+
+(* --- the persistent pool -------------------------------------------- *)
+
+let m = Mutex.create ()
+let cv_work = Condition.create ()
+let cv_done = Condition.create ()
+let generation = ref 0
+let work : (unit -> unit) option ref = ref None
+let active = ref 0
+let busy = ref false
+let stopping = ref false
+let members : unit Domain.t list ref = ref []
+let exit_hook = ref false
+
+let worker_main () =
+  let seen = ref 0 in
+  let running = ref true in
+  Mutex.lock m;
+  while !running do
+    if !stopping then running := false
+    else if !generation = !seen then Condition.wait cv_work m
+    else begin
+      seen := !generation;
+      match !work with
+      | None -> ()
+      | Some body ->
+          Mutex.unlock m;
+          body ();
+          Mutex.lock m;
+          decr active;
+          if !active = 0 then Condition.broadcast cv_done
+    end
+  done;
+  Mutex.unlock m
+
+let shutdown () =
+  Mutex.lock m;
+  stopping := true;
+  Condition.broadcast cv_work;
+  Mutex.unlock m;
+  List.iter Domain.join !members;
+  members := [];
+  stopping := false
+
+let persistent_workers () =
+  Mutex.lock m;
+  let n = List.length !members in
+  Mutex.unlock m;
+  n
+
+(* Grow the pool to [want] workers (called with [m] held).  The pool is
+   capped at the machine's recommended domain count: a request for more
+   still runs — determinism never depends on the worker count — just on
+   fewer domains than asked. *)
+let ensure_members want =
+  let cap = max 1 (Domain.recommended_domain_count () - 1) in
+  let want = min want cap in
+  if not !exit_hook then begin
+    exit_hook := true;
+    at_exit shutdown
+  end;
+  while List.length !members < want do
+    members := Domain.spawn worker_main :: !members
+  done
+
+let run_persistent domains jobs n =
+  let body, finish = make_batch jobs n in
+  Mutex.lock m;
+  ensure_members (min (domains - 1) (n - 1));
+  active := List.length !members;
+  work := Some body;
+  incr generation;
+  Condition.broadcast cv_work;
+  Mutex.unlock m;
+  body ();
+  Mutex.lock m;
+  while !active > 0 do
+    Condition.wait cv_done m
+  done;
+  work := None;
+  busy := false;
+  Mutex.unlock m;
+  finish ()
+
+(* The fallback for nested/concurrent calls: spawn domains for this one
+   batch and join them before returning. *)
+let run_ephemeral domains jobs n =
+  let body, finish = make_batch jobs n in
+  let spawned =
+    Array.init (min (domains - 1) (n - 1)) (fun _ -> Domain.spawn body)
+  in
+  body ();
+  Array.iter Domain.join spawned;
+  finish ()
+
+let run ?(domains = default_domains) jobs =
+  let n = Array.length jobs in
+  if domains <= 1 || n <= 1 then run_seq jobs
+  else begin
+    Mutex.lock m;
+    let claimed = (not !busy) && not !stopping in
+    if claimed then busy := true;
+    Mutex.unlock m;
+    if claimed then run_persistent domains jobs n
+    else run_ephemeral domains jobs n
   end
 
-let run_list ?domains jobs =
-  Array.to_list (run ?domains (Array.of_list jobs))
+let run_list ?domains jobs = Array.to_list (run ?domains (Array.of_list jobs))

@@ -15,7 +15,18 @@
       Remaining unclaimed jobs are skipped once a failure is recorded.
 
     [domains <= 1] (the default) runs the jobs sequentially in the
-    calling domain with no spawns — the legacy single-core path. *)
+    calling domain with no spawns — the legacy single-core path.
+
+    Worker domains are {b persistent}: the first parallel {!run} spawns
+    them, later runs reuse them (sweep drivers issue thousands of small
+    chunked batches, and a domain spawn costs more than a chunk), and an
+    [at_exit] hook joins them.  Persistence is invisible to the
+    contract above — a job's result never depends on which domain ran
+    it, how many there were, or what ran before (jobs are pure, and
+    well-behaved jobs restore any domain-local state they touch, as
+    {!Engine.set_create_hook} users do).  A nested or concurrent [run]
+    (e.g. a grid cell that itself sweeps) finds the pool busy and falls
+    back to ephemeral domains for that batch. *)
 
 exception Job_failed of { index : int; label : string; exn : exn }
 (** Raised when one or more jobs raise; carries the lowest failing job's
@@ -31,3 +42,12 @@ val run : ?domains:int -> 'a Job.t array -> 'a array
 
 val run_list : ?domains:int -> 'a Job.t list -> 'a list
 (** {!run} on lists. *)
+
+val persistent_workers : unit -> int
+(** Worker domains currently parked in the persistent pool (0 until the
+    first parallel {!run}; capped at the machine's recommended domain
+    count). *)
+
+val shutdown : unit -> unit
+(** Join and discard the persistent workers.  Runs automatically at
+    program exit; safe to call eagerly (a later {!run} respawns). *)

@@ -804,3 +804,58 @@ let read_sequential c handle ~buf ~on_page =
               go (block + 1) (total + n)
       in
       go 0 0
+
+(* ------------------------------------------------------------------ *)
+(* Sharded access: one Io per shard, routed by the shard map           *)
+
+module Sharded = struct
+  type t = {
+    kernel : Vkernel.Kernel.t;
+    names : Names.t;
+    mk_cache : unit -> Cache.t option;
+    recover : bool;
+    lease : bool;
+    ios : (int, Io.t) Hashtbl.t;
+  }
+
+  let make ?(mk_cache = fun () -> None) ?(recover = false) ?(lease = false)
+      kernel names =
+    { kernel; names; mk_cache; recover; lease; ios = Hashtbl.create 8 }
+
+  let names t = t.names
+
+  (* Connections are made lazily, one per shard logical id, so a client
+     never pays GetPid for shards it does not touch.  Each shard gets
+     its own cache: inode numbers are per-shard namespaces, so sharing
+     one cache across shards would alias unrelated blocks. *)
+  let io_for t lid =
+    match Hashtbl.find_opt t.ios lid with
+    | Some io -> Ok io
+    | None -> (
+        match connect t.kernel ~logical_id:lid () with
+        | Error e -> Error e
+        | Ok conn ->
+            let io =
+              Io.make
+                ?cache:(t.mk_cache ())
+                ~recover:t.recover ~lease:t.lease ~logical_id:lid conn
+            in
+            Hashtbl.replace t.ios lid io;
+            Ok io)
+
+  let io_for_name t name = io_for t (Names.shard_of t.names name)
+
+  let open_file t name =
+    match io_for_name t name with
+    | Error e -> Error e
+    | Ok io -> Io.open_file io name
+
+  let create t name =
+    match io_for_name t name with
+    | Error e -> Error e
+    | Ok io -> Io.create io name
+
+  let ios t =
+    Hashtbl.fold (fun lid io acc -> (lid, io) :: acc) t.ios []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+end

@@ -215,3 +215,42 @@ module Io : sig
   val close : file -> (unit, error) result
   (** {!flush}, then release the server handle.  Idempotent. *)
 end
+
+(** {1 Sharded access}
+
+    A thin router over several {!Io} sessions: file names resolve to a
+    shard logical id through a {!Names} map, and each shard gets its own
+    lazily-created connection (and cache — inode numbers are per-shard).
+    With [~recover:true] every shard session also survives crashes and
+    failovers, exactly as a single {!Io} session does; combined with a
+    {!Replica} standby this is the name-based failover path.  See
+    doc/INTERNETWORK.md. *)
+
+module Sharded : sig
+  type t
+
+  val make :
+    ?mk_cache:(unit -> Cache.t option) ->
+    ?recover:bool ->
+    ?lease:bool ->
+    Vkernel.Kernel.t ->
+    Names.t ->
+    t
+  (** [mk_cache] is invoked once per shard the client actually touches
+      (default: no cache). *)
+
+  val names : t -> Names.t
+
+  val open_file : t -> string -> (Io.file, error) result
+  (** Route by shard map, connect if this shard is new, then
+      {!Io.open_file}.  The returned file is used with the plain {!Io}
+      operations ([Io.read], [Io.write], [Io.close], ...). *)
+
+  val create : t -> string -> (Io.file, error) result
+
+  val io_for : t -> int -> (Io.t, error) result
+  (** The session for a shard logical id (connecting on first use). *)
+
+  val ios : t -> (int * Io.t) list
+  (** Sessions created so far, by logical id. *)
+end

@@ -502,6 +502,68 @@ let contention ?(cpu_model = Vhw.Cost_model.sun_10mhz) ?(workers = 1)
     c_dispatches = Vfs.Server.dispatches srv;
   }
 
+(* --- cross-segment SRR ------------------------------------------------
+
+   The paper's installation spanned a 3 Mb and a 10 Mb Ethernet joined
+   by a gateway; every V measurement in the tables is same-segment.
+   This rig measures what the tables omit: the store-and-forward penalty
+   a message exchange pays when client and server sit on different
+   segments.  Host 1 (client) and host 2 (near echo) share the 3 Mb
+   segment; host 3 (far echo) sits alone on the 10 Mb segment behind
+   the gateway. *)
+
+let srr_gateway ?(trials = 50) ~cpu_model ?seed () =
+  let tp =
+    Topology.create ?seed ~cpu_model
+      ~segments:
+        [
+          { Topology.medium_config = Vnet.Medium.config_3mb; seg_hosts = 2 };
+          { Topology.medium_config = Vnet.Medium.config_10mb; seg_hosts = 1 };
+        ]
+      ()
+  in
+  let kernel_at i = (Topology.host tp i).Testbed.kernel in
+  let cpu_at i = (Topology.host tp i).Testbed.cpu in
+  let start_echo host =
+    let k = kernel_at host in
+    K.spawn k ~name:"echo" (fun _ ->
+        let msg = Msg.create () in
+        let rec loop () =
+          let src = K.receive k msg in
+          ignore (K.reply k msg src);
+          loop ()
+        in
+        loop ())
+  in
+  let near = start_echo 2 in
+  let far = start_echo 3 in
+  let k1 = kernel_at 1 in
+  let zero = { elapsed = 0; client_cpu = 0; server_cpu = 0 } in
+  let near_out = ref zero and far_out = ref zero in
+  let measure server ~server_host =
+    let msg = Msg.create () in
+    (* Warm: first exchange pays one-time path setup. *)
+    ignore (K.send k1 msg server);
+    let c1 = cpu_at 1 and cs = cpu_at server_host in
+    let mk1 = Vhw.Cpu.mark c1 and mks = Vhw.Cpu.mark cs in
+    let t0 = Vsim.Engine.now (K.engine k1) in
+    for _ = 1 to trials do
+      ignore (K.send k1 msg server)
+    done;
+    {
+      elapsed = (Vsim.Engine.now (K.engine k1) - t0) / trials;
+      client_cpu = Vhw.Cpu.busy_since c1 mk1 / trials;
+      server_cpu = Vhw.Cpu.busy_since cs mks / trials;
+    }
+  in
+  let (_ : Vkernel.Pid.t) =
+    K.spawn k1 ~name:"rig" (fun _ ->
+        near_out := measure near ~server_host:2;
+        far_out := measure far ~server_host:3)
+  in
+  Topology.run tp;
+  (!near_out, !far_out)
+
 (* --- sweep drivers ----------------------------------------------------
 
    The closed-loop rigs above are the expensive cells of the paper's

@@ -201,6 +201,20 @@ val contention :
     processing; a single worker serializes them.  Deterministic: each
     client issues exactly [reads_per_client] requests. *)
 
+val srr_gateway :
+  ?trials:int ->
+  cpu_model:Vhw.Cost_model.t ->
+  ?seed:int64 ->
+  unit ->
+  cols * cols
+(** [(same_segment, cross_segment)] Send-Receive-Reply columns over a
+    two-segment internetwork: the client and the near echo server share
+    the 3 Mb segment; the far echo server sits on the 10 Mb segment
+    behind the store-and-forward gateway.  The difference is the
+    gateway hop penalty (forwarding CPU + queueing + second wire),
+    paid twice per exchange — a number the paper's same-segment tables
+    omit.  Deterministic. *)
+
 val capacity_sweep :
   ?cpu_model:Vhw.Cost_model.t ->
   ?duration:Vsim.Time.t ->

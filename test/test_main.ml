@@ -28,6 +28,9 @@ let () =
       ("obs", Test_obs.suite);
       ("catalog", Test_catalog.suite);
       ("check", Test_check.suite);
+      ("inet", Test_inet.suite);
+      ("failover", Test_failover.suite);
+      ("boot", Test_boot.suite);
       ("journal", Test_journal.suite);
       ("crash", Test_crash.suite);
     ]

@@ -54,6 +54,37 @@ let test_pool_failure_deterministic () =
           Alcotest.(check bool) "original exn" true (exn = Boom 3))
     [ 1; 2; 4 ]
 
+(* The persistent pool: workers spawn once, park between batches, and
+   get reused — and an eager shutdown respawns cleanly. *)
+let test_pool_persistent_reuse () =
+  Pool.shutdown ();
+  Alcotest.(check int) "empty after shutdown" 0 (Pool.persistent_workers ());
+  let jobs = List.init 16 (fun i -> Job.v (fun () -> i * 5)) in
+  let expect = List.init 16 (fun i -> i * 5) in
+  Alcotest.(check (list int)) "first run" expect (Pool.run_list ~domains:3 jobs);
+  let w = Pool.persistent_workers () in
+  Alcotest.(check bool) "workers persist between batches" true (w >= 1);
+  Alcotest.(check (list int)) "second run" expect
+    (Pool.run_list ~domains:3 jobs);
+  Alcotest.(check int) "reused, not respawned" w (Pool.persistent_workers ());
+  Pool.shutdown ();
+  Alcotest.(check int) "shutdown drains" 0 (Pool.persistent_workers ());
+  Alcotest.(check (list int)) "respawn after shutdown" expect
+    (Pool.run_list ~domains:3 jobs)
+
+(* A job that itself calls Pool.run (a grid cell running a sweep) finds
+   the pool busy and must still complete correctly via the ephemeral
+   fallback. *)
+let test_pool_nested_run () =
+  let inner () =
+    List.fold_left ( + ) 0
+      (Pool.run_list ~domains:2 (List.init 5 (fun i -> Job.v (fun () -> i))))
+  in
+  let jobs = List.init 6 (fun j -> Job.v (fun () -> j + inner ())) in
+  Alcotest.(check (list int)) "nested batches complete"
+    (List.init 6 (fun j -> j + 10))
+    (Pool.run_list ~domains:3 jobs)
+
 let test_kind_interning () =
   let a = Eventq.Kind.intern "pool-test-kind-a" in
   let a' = Eventq.Kind.intern "pool-test-kind-a" in
@@ -177,6 +208,9 @@ let suite =
       test_pool_empty_and_single;
     Alcotest.test_case "pool failure deterministic" `Quick
       test_pool_failure_deterministic;
+    Alcotest.test_case "persistent workers reused" `Quick
+      test_pool_persistent_reuse;
+    Alcotest.test_case "nested run falls back" `Quick test_pool_nested_run;
     Alcotest.test_case "event kind interning" `Quick test_kind_interning;
     Alcotest.test_case "eventq lazy compaction" `Quick
       test_eventq_lazy_compaction;
